@@ -1,0 +1,101 @@
+#ifndef STREAMLINK_BENCH_BENCH_COMMON_H_
+#define STREAMLINK_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the experiment binaries (bench_t1 .. bench_f9).
+// Each binary reproduces one table/figure of the evaluation (see
+// DESIGN.md §5): it prints the rows to stdout through TablePrinter and,
+// when --out is given, also writes them as CSV for plotting.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/link_predictor.h"
+#include "core/predictor_factory.h"
+#include "eval/experiment.h"
+#include "gen/pair_sampler.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "util/csv_writer.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace streamlink {
+namespace bench {
+
+/// Flags shared by all experiment binaries:
+///   --scale   workload scale multiplier (1.0 = paper-size defaults)
+///   --seed    master seed
+///   --pairs   number of query pairs per accuracy measurement
+///   --out     CSV output path ("" = console only)
+struct BenchConfig {
+  double scale = 1.0;
+  uint64_t seed = 42;
+  uint32_t pairs = 1000;
+  std::string out;
+
+  static BenchConfig FromFlags(int argc, char** argv,
+                               double default_scale = 1.0,
+                               uint32_t default_pairs = 1000) {
+    FlagParser flags(argc, argv);
+    SL_CHECK_OK(flags.CheckUnknown({"scale", "seed", "pairs", "out"}));
+    BenchConfig config;
+    config.scale = flags.GetDouble("scale", default_scale);
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    config.pairs =
+        static_cast<uint32_t>(flags.GetInt("pairs", default_pairs));
+    config.out = flags.GetString("out", "");
+    return config;
+  }
+};
+
+/// Prints the experiment banner.
+inline void Banner(const std::string& id, const std::string& title) {
+  std::printf("=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+/// Collects experiment rows once, then renders them to the console and
+/// (optionally) a CSV file.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a double with the table-wide %.4g convention.
+  static std::string Cell(double v) { return TablePrinter::FormatCell(v); }
+
+  void Emit(const BenchConfig& config) const {
+    TablePrinter table(columns_);
+    for (const auto& row : rows_) table.AddRow(row);
+    table.Print(std::cout);
+    if (!config.out.empty()) {
+      CsvWriter csv(config.out);
+      SL_CHECK_OK(csv.status());
+      csv.WriteHeader(columns_);
+      for (const auto& row : rows_) csv.AppendRow(row);
+      std::printf("wrote %s\n", config.out.c_str());
+    }
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Builds a predictor or dies (bench binaries treat config errors as bugs).
+inline std::unique_ptr<LinkPredictor> MustMakePredictor(
+    const PredictorConfig& config) {
+  auto p = MakePredictor(config);
+  SL_CHECK(p.ok()) << p.status().ToString();
+  return std::move(*p);
+}
+
+}  // namespace bench
+}  // namespace streamlink
+
+#endif  // STREAMLINK_BENCH_BENCH_COMMON_H_

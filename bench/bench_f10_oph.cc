@@ -1,0 +1,71 @@
+// Experiment F10 (extension ablation): one-permutation hashing vs
+// k-permutation MinHash.
+//
+// OPH hashes each update once instead of k times. This bench measures, at
+// equal sketch width, (a) ingest throughput and (b) estimation accuracy
+// for all three measures. Expected shape: OPH throughput is flat in k
+// while k-perm falls as 1/k; OPH accuracy matches k-perm once degrees are
+// a few times k and degrades on small neighborhoods (densified bins are
+// correlated).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/exact_predictor.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  Banner("F10", "one-permutation (oph) vs k-permutation (minhash)");
+  ResultTable table({"workload", "predictor", "k", "edges_per_sec",
+                     "jaccard_mae", "cn_mre", "aa_mre"});
+
+  for (const std::string& workload :
+       {std::string("ba"), std::string("ws")}) {
+    GeneratedGraph g =
+        MakeWorkload(WorkloadSpec{workload, config.scale, config.seed});
+    CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+    Rng rng(config.seed + 23);
+    auto pairs = SampleOverlappingPairs(csr, config.pairs, rng);
+    ExactPredictor exact;
+    FeedStream(exact, g.edges);
+
+    for (const std::string& kind :
+         {std::string("minhash"), std::string("oph")}) {
+      for (uint32_t k : {16u, 64u, 256u, 1024u}) {
+        PredictorConfig pc;
+        pc.kind = kind;
+        pc.sketch_size = k;
+        pc.seed = config.seed;
+        auto predictor = MustMakePredictor(pc);
+        Stopwatch sw;
+        FeedStream(*predictor, g.edges);
+        double rate = sw.Rate(g.edges.size());
+        AccuracyReport report =
+            MeasureAccuracyAgainst(*predictor, exact, pairs);
+        table.AddRow({workload, kind, std::to_string(k),
+                      ResultTable::Cell(rate),
+                      ResultTable::Cell(report.jaccard.MeanAbsoluteError()),
+                      ResultTable::Cell(
+                          report.common_neighbors.MeanRelativeError()),
+                      ResultTable::Cell(
+                          report.adamic_adar.MeanRelativeError())});
+      }
+    }
+  }
+  table.Emit(config);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  return streamlink::bench::Run(streamlink::bench::BenchConfig::FromFlags(
+      argc, argv, /*scale=*/0.3, /*pairs=*/500));
+}

@@ -1,0 +1,105 @@
+// Experiment F11 (extension): sliding-window tracking under drift.
+//
+// A community-drift stream: three phases, each an SBM with a *rotated*
+// block assignment, concatenated. The insert-only predictor blurs all
+// phases together; the windowed predictor (window = one phase) tracks the
+// current phase. Ground truth is the exact sliding-window graph. Expected
+// shape: after each phase change the insert-only error grows phase over
+// phase while the windowed error returns to its steady level.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/exact_predictor.h"
+#include "core/windowed_predictor.h"
+#include "gen/drifting.h"
+#include "graph/exact_measures.h"
+#include "stream/sliding_window.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  Banner("F11", "sliding-window predictor vs insert-only under drift");
+  ResultTable table({"phase", "progress", "windowed_jc_mae",
+                     "insert_only_jc_mae", "window_edges"});
+
+  // Three phases of equal length over the same vertex set with shifted
+  // community assignments (gen/drifting.h).
+  Rng rng(config.seed);
+  DriftingStreamParams params;
+  params.num_vertices =
+      static_cast<VertexId>(2000 * config.scale) + 500;
+  params.num_phases = 3;
+  DriftingStream drift = GenerateDriftingStream(params, rng);
+
+  std::vector<EdgeList> phases;
+  for (uint32_t p = 0; p < params.num_phases; ++p) {
+    size_t begin = drift.phase_boundaries[p];
+    size_t end = p + 1 < params.num_phases ? drift.phase_boundaries[p + 1]
+                                           : drift.graph.edges.size();
+    phases.emplace_back(drift.graph.edges.begin() + begin,
+                        drift.graph.edges.begin() + end);
+  }
+  const uint64_t phase_edges = phases[0].size();
+  const uint64_t window = phase_edges;
+
+  WindowedPredictorOptions window_options;
+  window_options.num_hashes = 128;
+  window_options.window_edges = window;
+  window_options.num_buckets = 8;
+  window_options.seed = config.seed;
+  WindowedMinHashPredictor windowed(window_options);
+
+  auto insert_only = MustMakePredictor(
+      {.kind = "minhash", .sketch_size = 128, .seed = config.seed});
+  SlidingWindowGraph exact_window(window);
+
+  Rng pair_rng(config.seed + 29);
+  auto measure = [&](int phase, double progress) {
+    double windowed_error = 0.0, insert_error = 0.0;
+    int count = 0;
+    for (uint32_t i = 0; i < config.pairs; ++i) {
+      VertexId u =
+          static_cast<VertexId>(pair_rng.NextBounded(params.num_vertices));
+      VertexId v =
+          static_cast<VertexId>(pair_rng.NextBounded(params.num_vertices));
+      if (u == v) continue;
+      double truth = ComputeOverlap(exact_window.graph(), u, v).Jaccard();
+      windowed_error +=
+          std::abs(windowed.EstimateOverlap(u, v).jaccard - truth);
+      insert_error +=
+          std::abs(insert_only->EstimateOverlap(u, v).jaccard - truth);
+      ++count;
+    }
+    table.AddRow({std::to_string(phase), ResultTable::Cell(progress),
+                  ResultTable::Cell(windowed_error / count),
+                  ResultTable::Cell(insert_error / count),
+                  std::to_string(window)});
+  };
+
+  for (int phase = 0; phase < 3; ++phase) {
+    uint64_t consumed = 0;
+    for (const Edge& e : phases[phase]) {
+      windowed.OnEdge(e);
+      insert_only->OnEdge(e);
+      exact_window.Add(e);
+      ++consumed;
+      if (consumed == phase_edges / 2) measure(phase, 0.5);
+    }
+    measure(phase, 1.0);
+  }
+  table.Emit(config);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  return streamlink::bench::Run(streamlink::bench::BenchConfig::FromFlags(
+      argc, argv, /*scale=*/0.5, /*pairs=*/300));
+}

@@ -1,0 +1,104 @@
+// Experiment F12 (extension ablation): b-bit MinHash payload compression.
+//
+// When sketches are shipped (distributed ingestion) or persisted
+// (snapshots), payload bytes dominate. b-bit MinHash keeps b ∈ {1,2,4,8}
+// bits per slot with a closed-form bias correction. This bench compares
+// Jaccard accuracy at *equal payload bytes*: a b-bit sketch affords 64/b×
+// more slots than the full 64-bit sketch. Expected shape (Li & König):
+// at equal bytes, smaller b wins for Jaccard estimation on all but the
+// tiniest similarities — the variance per slot grows only by
+// 1/(1−2^-b)² while the slot count grows by 64/b.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/adjacency_graph.h"
+#include "graph/exact_measures.h"
+#include "sketch/minhash.h"
+#include "sketch/bbit_minhash.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  Banner("F12", "b-bit minhash: accuracy at equal payload bytes");
+  ResultTable table({"bits", "k", "payload_bytes_per_vertex", "jaccard_mae",
+                     "jaccard_p90_abs_err"});
+
+  GeneratedGraph g =
+      MakeWorkload(WorkloadSpec{"ws", config.scale, config.seed});
+  AdjacencyGraph graph;
+  for (const Edge& e : g.edges) graph.AddEdge(e);
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(config.seed + 31);
+  auto pairs = SampleOverlappingPairs(csr, config.pairs, rng);
+
+  // Equal payload budget: 64 bytes per vertex.
+  struct Variant {
+    uint32_t bits;  // 0 = full 64-bit MinHash reference
+    uint32_t k;
+  };
+  const Variant variants[] = {
+      {0, 8},     // 8 slots * 8 bytes = 64 B
+      {8, 64},    // 64 slots * 1 byte  = 64 B
+      {4, 128},   // 128 slots * 4 bits = 64 B
+      {2, 256},   // 256 slots * 2 bits = 64 B
+      {1, 512},   // 512 slots * 1 bit  = 64 B
+  };
+
+  for (const Variant& v : variants) {
+    HashFamily family(config.seed, v.k);
+    std::vector<double> abs_errors;
+    double total_error = 0.0;
+
+    if (v.bits == 0) {
+      // Full-width reference: MinHashSketch.
+      std::vector<MinHashSketch> sketches(
+          g.num_vertices, MinHashSketch(v.k));
+      for (const Edge& e : g.edges) {
+        sketches[e.u].Update(e.v, family);
+        sketches[e.v].Update(e.u, family);
+      }
+      for (const QueryPair& p : pairs) {
+        double truth = ComputeOverlap(graph, p.u, p.v).Jaccard();
+        double est =
+            MinHashSketch::EstimateJaccard(sketches[p.u], sketches[p.v]);
+        abs_errors.push_back(std::abs(est - truth));
+        total_error += abs_errors.back();
+      }
+    } else {
+      std::vector<BBitMinHash> sketches(g.num_vertices,
+                                        BBitMinHash(v.k, v.bits));
+      for (const Edge& e : g.edges) {
+        sketches[e.u].Update(e.v, family);
+        sketches[e.v].Update(e.u, family);
+      }
+      for (const QueryPair& p : pairs) {
+        double truth = ComputeOverlap(graph, p.u, p.v).Jaccard();
+        double est =
+            BBitMinHash::EstimateJaccard(sketches[p.u], sketches[p.v]);
+        abs_errors.push_back(std::abs(est - truth));
+        total_error += abs_errors.back();
+      }
+    }
+    std::sort(abs_errors.begin(), abs_errors.end());
+    double p90 = abs_errors[static_cast<size_t>(0.9 * (abs_errors.size() - 1))];
+    table.AddRow({v.bits == 0 ? "64 (full)" : std::to_string(v.bits),
+                  std::to_string(v.k), "64",
+                  ResultTable::Cell(total_error / abs_errors.size()),
+                  ResultTable::Cell(p90)});
+  }
+  table.Emit(config);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  return streamlink::bench::Run(streamlink::bench::BenchConfig::FromFlags(
+      argc, argv, /*scale=*/0.2, /*pairs=*/600));
+}

@@ -1,0 +1,63 @@
+// Experiment F2: estimation accuracy vs sketch size.
+//
+// The paper's core accuracy figure: mean relative error of the Jaccard,
+// common-neighbor, and Adamic-Adar estimators as the per-vertex sketch
+// size k grows, on several graph streams. Expected shape: error decays
+// like 1/sqrt(k) for every measure and workload.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  Banner("F2", "estimation error vs sketch size k");
+  ResultTable table({"workload", "predictor", "k", "jaccard_mre", "cn_mre",
+                     "aa_mre", "jaccard_mae", "pairs"});
+
+  const std::vector<std::string> workloads = {"ba", "rmat", "sbm"};
+  const std::vector<uint32_t> sketch_sizes = {8, 16, 32, 64, 128, 256, 512};
+  const std::vector<std::string> predictors = {"minhash", "bottomk",
+                                               "vertex_biased"};
+
+  for (const std::string& workload : workloads) {
+    GeneratedGraph g =
+        MakeWorkload(WorkloadSpec{workload, config.scale, config.seed});
+    CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+    Rng rng(config.seed + 7);
+    auto pairs = SampleOverlappingPairs(csr, config.pairs, rng);
+
+    for (const std::string& kind : predictors) {
+      for (uint32_t k : sketch_sizes) {
+        PredictorConfig pc;
+        pc.kind = kind;
+        pc.sketch_size = k;
+        pc.seed = config.seed;
+        AccuracyReport report = MeasureAccuracy(g, pc, pairs);
+        table.AddRow({workload, kind, std::to_string(k),
+                      ResultTable::Cell(report.jaccard.MeanRelativeError()),
+                      ResultTable::Cell(
+                          report.common_neighbors.MeanRelativeError()),
+                      ResultTable::Cell(
+                          report.adamic_adar.MeanRelativeError()),
+                      ResultTable::Cell(report.jaccard.MeanAbsoluteError()),
+                      std::to_string(report.query_pairs)});
+      }
+    }
+  }
+  table.Emit(config);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  return streamlink::bench::Run(streamlink::bench::BenchConfig::FromFlags(
+      argc, argv, /*scale=*/0.2, /*pairs=*/500));
+}

@@ -1,0 +1,68 @@
+// Experiment F4: stream-update throughput.
+//
+// Edges/second ingested by each predictor as sketch size k varies, against
+// the exact adjacency baseline. Expected shape: sketch throughput falls
+// roughly as 1/k (O(k) work per edge) and is flat in stream length; the
+// exact baseline pays hash-set maintenance and allocation churn.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+double MeasureThroughput(LinkPredictor& predictor, const EdgeList& edges) {
+  Stopwatch sw;
+  FeedStream(predictor, edges);
+  return sw.Rate(edges.size());
+}
+
+int Run(const BenchConfig& config) {
+  Banner("F4", "update throughput (edges/sec) vs sketch size");
+  ResultTable table(
+      {"workload", "predictor", "k", "edges", "edges_per_sec", "mbytes"});
+
+  for (const std::string& workload : {std::string("ba"), std::string("rmat")}) {
+    GeneratedGraph g =
+        MakeWorkload(WorkloadSpec{workload, config.scale, config.seed});
+
+    // Exact baseline first.
+    {
+      auto exact = MustMakePredictor({.kind = "exact"});
+      double rate = MeasureThroughput(*exact, g.edges);
+      table.AddRow({workload, "exact", "-", std::to_string(g.edges.size()),
+                    ResultTable::Cell(rate),
+                    ResultTable::Cell(exact->MemoryBytes() / 1e6)});
+    }
+    for (const std::string& kind :
+         {std::string("minhash"), std::string("bottomk"),
+          std::string("vertex_biased")}) {
+      for (uint32_t k : {16u, 64u, 256u}) {
+        PredictorConfig pc;
+        pc.kind = kind;
+        pc.sketch_size = k;
+        pc.seed = config.seed;
+        auto predictor = MustMakePredictor(pc);
+        double rate = MeasureThroughput(*predictor, g.edges);
+        table.AddRow({workload, kind, std::to_string(k),
+                      std::to_string(g.edges.size()),
+                      ResultTable::Cell(rate),
+                      ResultTable::Cell(predictor->MemoryBytes() / 1e6)});
+      }
+    }
+  }
+  table.Emit(config);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  return streamlink::bench::Run(
+      streamlink::bench::BenchConfig::FromFlags(argc, argv, /*scale=*/1.0));
+}

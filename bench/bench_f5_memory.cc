@@ -1,0 +1,67 @@
+// Experiment F5: memory footprint vs graph size and density.
+//
+// The space claim: sketches cost O(k) bytes per vertex regardless of
+// degree, while the exact adjacency baseline grows with average degree.
+// Expected shape: flat bytes/vertex lines for sketches across densities;
+// a rising line for exact.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "gen/barabasi_albert.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  Banner("F5", "memory bytes/vertex: sketch vs exact");
+  ResultTable table({"vertices", "edges_per_vertex", "predictor", "k",
+                     "total_mbytes", "bytes_per_vertex"});
+
+  const VertexId base_n =
+      static_cast<VertexId>(10000 * config.scale) + 1000;
+  for (uint32_t edges_per_vertex : {4u, 8u, 16u, 32u}) {
+    Rng rng(config.seed);
+    BarabasiAlbertParams params;
+    params.num_vertices = base_n;
+    params.edges_per_vertex = edges_per_vertex;
+    GeneratedGraph g = GenerateBarabasiAlbert(params, rng);
+
+    struct Variant {
+      std::string kind;
+      uint32_t k;
+    };
+    for (const Variant& v :
+         {Variant{"exact", 0}, Variant{"minhash", 64},
+          Variant{"bottomk", 64}, Variant{"vertex_biased", 64}}) {
+      PredictorConfig pc;
+      pc.kind = v.kind;
+      pc.sketch_size = v.k == 0 ? 64 : v.k;  // ignored by exact
+      pc.seed = config.seed;
+      auto predictor = MustMakePredictor(pc);
+      FeedStream(*predictor, g.edges);
+      double per_vertex = predictor->num_vertices() > 0
+                              ? static_cast<double>(predictor->MemoryBytes()) /
+                                    predictor->num_vertices()
+                              : 0.0;
+      table.AddRow({std::to_string(base_n),
+                    std::to_string(edges_per_vertex), v.kind,
+                    v.kind == "exact" ? "-" : std::to_string(v.k),
+                    ResultTable::Cell(predictor->MemoryBytes() / 1e6),
+                    ResultTable::Cell(per_vertex)});
+    }
+  }
+  table.Emit(config);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  return streamlink::bench::Run(
+      streamlink::bench::BenchConfig::FromFlags(argc, argv, /*scale=*/1.0));
+}

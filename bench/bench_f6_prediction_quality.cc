@@ -1,0 +1,94 @@
+// Experiment F6: end-task link-prediction quality.
+//
+// Temporal 80/20 split: predictors observe the stream prefix, then rank
+// held-out future edges against sampled non-edges. Reports AUC and
+// precision@100 per (workload, predictor, measure). Expected shape:
+// sketch AUC approaches exact AUC as k grows; relative ordering of
+// measures (AA ≥ JC ≥ CN on most graphs) is preserved by the sketches.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/exact_predictor.h"
+#include "eval/metrics.h"
+#include "eval/temporal_split.h"
+#include "gen/stream_order.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  Banner("F6", "link-prediction AUC / precision@100 (temporal split)");
+  ResultTable table({"workload", "predictor", "k", "measure", "auc",
+                     "precision_at_100", "positives"});
+
+  const std::vector<LinkMeasure> measures = {LinkMeasure::kJaccard,
+                                             LinkMeasure::kCommonNeighbors,
+                                             LinkMeasure::kAdamicAdar};
+
+  for (const std::string& workload :
+       {std::string("ba"), std::string("ws"), std::string("sbm")}) {
+    GeneratedGraph g =
+        MakeWorkload(WorkloadSpec{workload, config.scale, config.seed});
+    // Random edge holdout (the standard protocol): a strictly temporal
+    // order like Barabási-Albert's would leave no predictable positives,
+    // since every future edge touches a vertex unseen at train time.
+    Rng order_rng(config.seed + 1);
+    ApplyStreamOrder(StreamOrder::kRandom, g.edges, order_rng);
+    TrainTestSplit split = MakeTemporalSplit(g.edges, 0.8);
+    Rng rng(config.seed + 3);
+    LabeledPairs labeled = MakeLabeledPairs(split, 1.0, rng);
+    if (split.test_positives.empty()) {
+      std::printf("  (skipping %s: no predictable positives)\n",
+                  workload.c_str());
+      continue;
+    }
+
+    struct Variant {
+      std::string kind;
+      uint32_t k;
+    };
+    for (const Variant& v :
+         {Variant{"exact", 0}, Variant{"minhash", 32},
+          Variant{"minhash", 128}, Variant{"bottomk", 128},
+          Variant{"vertex_biased", 128}}) {
+      PredictorConfig pc;
+      pc.kind = v.kind;
+      pc.sketch_size = v.k == 0 ? 64 : v.k;
+      pc.seed = config.seed;
+      auto predictor = MustMakePredictor(pc);
+      FeedStream(*predictor, split.train);
+
+      for (LinkMeasure measure : measures) {
+        std::vector<LabeledScore> scored;
+        scored.reserve(labeled.pairs.size());
+        for (size_t i = 0; i < labeled.pairs.size(); ++i) {
+          scored.push_back(LabeledScore{
+              predictor->Score(measure, labeled.pairs[i].u,
+                               labeled.pairs[i].v),
+              labeled.labels[i]});
+        }
+        double auc = ComputeAuc(scored);
+        double p100 = PrecisionAtK(scored, 100);
+        table.AddRow({workload, v.kind,
+                      v.kind == "exact" ? "-" : std::to_string(v.k),
+                      LinkMeasureName(measure), ResultTable::Cell(auc),
+                      ResultTable::Cell(p100),
+                      std::to_string(split.test_positives.size())});
+      }
+    }
+  }
+  table.Emit(config);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  return streamlink::bench::Run(
+      streamlink::bench::BenchConfig::FromFlags(argc, argv, /*scale=*/0.4));
+}

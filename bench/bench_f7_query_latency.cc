@@ -1,0 +1,79 @@
+// Experiment F7: query throughput (pairs scored per second).
+//
+// The query-side claim: sketch queries read O(k) state per pair, while the
+// exact baseline walks full neighborhoods — O(min degree) with hashing.
+// Expected shape: sketch query rate is flat across graph density; exact
+// degrades as degrees grow, losing decisively on hub-heavy pairs.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  Banner("F7", "query throughput (scored pairs/sec)");
+  ResultTable table({"workload", "predictor", "k", "pairs", "queries_per_sec",
+                     "ns_per_query"});
+
+  const uint32_t num_queries = static_cast<uint32_t>(100000 * config.scale);
+
+  for (const std::string& workload : {std::string("ba"), std::string("ws")}) {
+    GeneratedGraph g =
+        MakeWorkload(WorkloadSpec{workload, config.scale, config.seed});
+    CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+    Rng rng(config.seed + 5);
+    // Overlapping pairs hit the expensive path (hubs show up often).
+    auto pairs = SampleOverlappingPairs(
+        csr, std::min<uint32_t>(num_queries, 20000), rng);
+
+    struct Variant {
+      std::string kind;
+      uint32_t k;
+    };
+    for (const Variant& v :
+         {Variant{"exact", 0}, Variant{"minhash", 16}, Variant{"minhash", 64},
+          Variant{"minhash", 256}, Variant{"bottomk", 64},
+          Variant{"vertex_biased", 64}}) {
+      PredictorConfig pc;
+      pc.kind = v.kind;
+      pc.sketch_size = v.k == 0 ? 64 : v.k;
+      pc.seed = config.seed;
+      auto predictor = MustMakePredictor(pc);
+      FeedStream(*predictor, g.edges);
+
+      // Score every pair repeatedly until enough work accumulated.
+      Stopwatch sw;
+      uint64_t scored = 0;
+      double checksum = 0.0;
+      while (scored < num_queries) {
+        for (const QueryPair& qp : pairs) {
+          checksum += predictor->EstimateOverlap(qp.u, qp.v).jaccard;
+          if (++scored >= num_queries) break;
+        }
+      }
+      double rate = sw.Rate(scored);
+      // Prevent the optimizer from discarding the queries.
+      if (checksum < -1.0) std::printf("impossible\n");
+      table.AddRow({workload, v.kind,
+                    v.kind == "exact" ? "-" : std::to_string(v.k),
+                    std::to_string(scored), ResultTable::Cell(rate),
+                    ResultTable::Cell(rate > 0 ? 1e9 / rate : 0)});
+    }
+  }
+  table.Emit(config);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  return streamlink::bench::Run(
+      streamlink::bench::BenchConfig::FromFlags(argc, argv, /*scale=*/0.5));
+}

@@ -1,0 +1,55 @@
+// Experiment T1: dataset statistics table.
+//
+// The paper opens its evaluation with a table of graph-stream datasets
+// (|V|, |E|, density, skew). Our stand-ins are the six synthetic workloads
+// (DESIGN.md §4); this binary regenerates the table.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/graph_stats.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  Banner("T1", "workload statistics (paper: dataset table)");
+  ResultTable table({"workload", "vertices", "edges", "avg_deg", "max_deg",
+                     "skew", "clustering", "triangles", "isolated",
+                     "pl_alpha"});
+
+  for (const std::string& name : StandardWorkloadNames()) {
+    GeneratedGraph g =
+        MakeWorkload(WorkloadSpec{name, config.scale, config.seed});
+    CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+    Rng rng(config.seed + 1);
+    // Exact stats are affordable at default scale; sampling keeps large
+    // --scale runs fast.
+    GraphStats stats = csr.num_edges() < 500000
+                           ? ComputeGraphStats(csr)
+                           : ComputeGraphStatsSampled(csr, 200000, rng);
+    double alpha = FitPowerLawExponent(DegreeHistogram(csr), 2);
+    table.AddRow({name, std::to_string(stats.num_vertices),
+                  std::to_string(stats.num_edges),
+                  ResultTable::Cell(stats.avg_degree),
+                  std::to_string(stats.max_degree),
+                  ResultTable::Cell(stats.degree_skew),
+                  ResultTable::Cell(stats.global_clustering),
+                  std::to_string(stats.num_triangles),
+                  std::to_string(stats.num_isolated),
+                  ResultTable::Cell(alpha)});
+  }
+  table.Emit(config);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  return streamlink::bench::Run(
+      streamlink::bench::BenchConfig::FromFlags(argc, argv, /*scale=*/0.5));
+}

@@ -1,0 +1,77 @@
+// Predicting future collaborations in an evolving co-authorship network.
+//
+// The temporal-evaluation workflow end to end: observe the first 80% of a
+// growing collaboration network, predict which new collaborations form in
+// the final 20%, and score the predictions (AUC, precision@k) for every
+// predictor kind at several sketch sizes — a miniature of experiment F6
+// written against the public API.
+//
+// Run:  ./examples/citation_evolution [--scale 0.4]
+
+#include <cstdio>
+
+#include "core/predictor_factory.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/temporal_split.h"
+#include "gen/stream_order.h"
+#include "gen/workloads.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+using namespace streamlink;  // example code only; library code never does this  // NOLINT
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  SL_CHECK_OK(flags.CheckUnknown({"scale"}));
+  const double scale = flags.GetDouble("scale", 0.4);
+
+  // A clustered small-world graph is the classic stand-in for
+  // co-authorship networks (high clustering, short paths).
+  GeneratedGraph network = MakeWorkload(WorkloadSpec{"ws", scale, 11});
+  Rng rng(12);
+  ApplyStreamOrder(StreamOrder::kRandom, network.edges, rng);
+
+  TrainTestSplit split = MakeTemporalSplit(network.edges, 0.8);
+  LabeledPairs labeled = MakeLabeledPairs(split, 1.0, rng);
+  std::printf(
+      "observed %zu collaborations; predicting %zu future ones against %zu "
+      "non-collaborations\n\n",
+      split.train.size(), split.test_positives.size(),
+      labeled.pairs.size() - split.test_positives.size());
+
+  std::printf("%-15s %-6s %-8s %-8s %-14s\n", "predictor", "k", "auc",
+              "p@50", "memory (MB)");
+  struct Variant {
+    const char* kind;
+    uint32_t k;
+  };
+  for (const Variant& v :
+       {Variant{"exact", 0}, Variant{"minhash", 32}, Variant{"minhash", 128},
+        Variant{"bottomk", 128}, Variant{"vertex_biased", 128}}) {
+    PredictorConfig config;
+    config.kind = v.kind;
+    config.sketch_size = v.k == 0 ? 64 : v.k;
+    auto predictor = MakePredictor(config);
+    SL_CHECK_OK(predictor.status());
+    FeedStream(**predictor, split.train);
+
+    std::vector<LabeledScore> scored;
+    scored.reserve(labeled.pairs.size());
+    for (size_t i = 0; i < labeled.pairs.size(); ++i) {
+      scored.push_back(LabeledScore{
+          (*predictor)->Score(LinkMeasure::kAdamicAdar, labeled.pairs[i].u,
+                              labeled.pairs[i].v),
+          labeled.labels[i]});
+    }
+    std::printf("%-15s %-6u %-8.4f %-8.2f %-14.2f\n", v.kind,
+                v.k, ComputeAuc(scored), PrecisionAtK(scored, 50),
+                (*predictor)->MemoryBytes() / 1e6);
+  }
+
+  std::printf(
+      "\nSketch predictors reach near-exact AUC at a fraction of the\n"
+      "memory — and they never needed the graph to fit anywhere.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Friend recommendation over a community-structured network.
+//
+// The canonical link-prediction application: given the stream of
+// friendships observed so far, recommend "people you may know" — the
+// non-friends with the strongest neighborhood overlap. Communities (from
+// a stochastic block model) give the recommendations a ground truth to be
+// judged against: good recommendations stay inside the user's community.
+//
+// The streaming predictor scores candidates online from per-vertex
+// sketches; an exact snapshot is used only to *enumerate* the 2-hop
+// candidates (candidate generation is the application's job — the
+// predictor only scores).
+//
+// Run:  ./examples/friend_recommendation [--user 7] [--top 5]
+
+#include <cstdio>
+
+#include "core/top_k_engine.h"
+#include "core/vertex_biased_predictor.h"
+#include "gen/sbm.h"
+#include "graph/csr_graph.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+using namespace streamlink;  // example code only; library code never does this  // NOLINT
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  SL_CHECK_OK(flags.CheckUnknown({"user", "top"}));
+  const VertexId user = static_cast<VertexId>(flags.GetInt("user", 7));
+  const uint32_t top = static_cast<uint32_t>(flags.GetInt("top", 5));
+
+  // A 6-community friendship network.
+  Rng rng(7);
+  SbmParams params;
+  params.num_vertices = 3000;
+  params.num_blocks = 6;
+  params.p_intra = 0.03;
+  params.p_inter = 0.0008;
+  SbmGraph network = GenerateSbm(params, rng);
+  SL_CHECK(user < params.num_vertices) << "--user out of range";
+
+  // Stream the friendships into the vertex-biased predictor (best
+  // Adamic-Adar accuracy — the measure of choice for recommendations).
+  VertexBiasedPredictor predictor;
+  for (const Edge& e : network.graph.edges) predictor.OnEdge(e);
+
+  // Candidate generation from a snapshot; scoring from the sketches.
+  CsrGraph snapshot =
+      CsrGraph::FromEdges(network.graph.edges, network.graph.num_vertices);
+  auto candidates = TwoHopCandidates(snapshot, user);
+  std::printf("user %u: community %u, %u friends, %zu 2-hop candidates\n\n",
+              user, network.block_of[user], snapshot.Degree(user),
+              candidates.size());
+
+  TopKEngine engine(predictor, LinkMeasure::kAdamicAdar);
+  auto recommendations = engine.TopK(candidates, top);
+
+  std::printf("top-%u recommendations by streaming Adamic-Adar:\n", top);
+  std::printf("%-10s %-10s %-12s %-10s\n", "candidate", "aa_score",
+              "community", "same?");
+  uint32_t same_community = 0;
+  for (const ScoredPair& r : recommendations) {
+    VertexId candidate = r.pair.u == user ? r.pair.v : r.pair.u;
+    bool same = network.block_of[candidate] == network.block_of[user];
+    same_community += same;
+    std::printf("%-10u %-10.3f %-12u %-10s\n", candidate, r.score,
+                network.block_of[candidate], same ? "yes" : "no");
+  }
+  std::printf(
+      "\n%u/%zu recommendations fall in the user's own community —\n"
+      "the sketches recovered the community structure without ever\n"
+      "materializing the graph.\n",
+      same_community, recommendations.size());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: the 60-second tour of streamlink.
+//
+// Builds a small social-network-like graph stream, feeds it to the
+// MinHash streaming link predictor, and asks the three questions the
+// library answers online, comparing each against exact ground truth:
+//   1. How similar are two users' neighborhoods (Jaccard)?
+//   2. How many friends do they share (common neighbors)?
+//   3. How strongly do their *rare* shared friends connect them
+//      (Adamic-Adar)?
+//
+// Run:  ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/exact_predictor.h"
+#include "core/minhash_predictor.h"
+#include "gen/barabasi_albert.h"
+#include "util/random.h"
+
+using streamlink::BarabasiAlbertParams;
+using streamlink::Edge;
+using streamlink::ExactPredictor;
+using streamlink::GenerateBarabasiAlbert;
+using streamlink::GeneratedGraph;
+using streamlink::MinHashPredictor;
+using streamlink::MinHashPredictorOptions;
+using streamlink::OverlapEstimate;
+using streamlink::Rng;
+using streamlink::VertexId;
+
+int main() {
+  // 1. A synthetic "social network" stream: preferential attachment, so a
+  //    few users become hubs, like real follower graphs.
+  Rng rng(2026);
+  BarabasiAlbertParams params;
+  params.num_vertices = 5000;
+  params.edges_per_vertex = 6;
+  GeneratedGraph network = GenerateBarabasiAlbert(params, rng);
+  std::printf("stream: %zu edges over %u vertices\n\n",
+              network.edges.size(), network.num_vertices);
+
+  // 2. The streaming predictor: 128 hash slots per vertex, constant space
+  //    and constant time per edge. The exact predictor keeps the whole
+  //    graph and is our ground truth.
+  MinHashPredictor sketch(MinHashPredictorOptions{/*num_hashes=*/128,
+                                                  /*seed=*/1});
+  ExactPredictor exact;
+  for (const Edge& e : network.edges) {
+    sketch.OnEdge(e);
+    exact.OnEdge(e);
+  }
+
+  std::printf("sketch memory:  %6.2f MB (%u slots/vertex)\n",
+              sketch.MemoryBytes() / 1e6, sketch.options().num_hashes);
+  std::printf("exact memory:   %6.2f MB (full adjacency)\n\n",
+              exact.MemoryBytes() / 1e6);
+
+  // 3. Query a few pairs, online. Hubs (low ids in BA) share many
+  //    neighbors; late arrivals share few.
+  std::printf("%-14s %22s %22s\n", "pair", "sketch (J / CN / AA)",
+              "exact (J / CN / AA)");
+  for (auto [u, v] : {std::pair<VertexId, VertexId>{0, 1},
+                      {0, 5},
+                      {10, 11},
+                      {100, 101},
+                      {2000, 2001}}) {
+    OverlapEstimate est = sketch.EstimateOverlap(u, v);
+    OverlapEstimate truth = exact.EstimateOverlap(u, v);
+    std::printf("(%4u, %4u)   %6.3f %6.1f %7.2f   %6.3f %6.1f %7.2f\n", u, v,
+                est.jaccard, est.intersection, est.adamic_adar, truth.jaccard,
+                truth.intersection, truth.adamic_adar);
+  }
+
+  std::printf(
+      "\nThe sketch answered every query from %u slots per vertex —\n"
+      "it never stored a single adjacency list.\n",
+      sketch.options().num_hashes);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Weighted link prediction over an interaction-strength stream.
+//
+// Co-purchase / messaging / collaboration graphs carry *strengths*, and
+// binarizing them throws the signal away: two users who exchanged 500
+// messages with the same friend are more alike than two who exchanged
+// one. This example streams weighted edges (a clustered topology with
+// heavy-tailed strengths) into the ICWS-based WeightedJaccardPredictor
+// and contrasts, for a few pairs, the weighted generalized-Jaccard
+// estimate against (a) exact weighted truth and (b) the unweighted
+// Jaccard, showing where binarization reorders pairs.
+//
+// Run:  ./examples/weighted_interactions [--scale 0.2]
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/minhash_predictor.h"
+#include "core/weighted_predictor.h"
+#include "gen/workloads.h"
+#include "graph/weighted_graph.h"
+#include "util/flags.h"
+#include "util/hashing.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+using namespace streamlink;  // example code only; library code never does this  // NOLINT
+
+namespace {
+
+double StrengthOf(const Edge& e, uint64_t seed) {
+  Edge c = e.Canonical();
+  uint64_t key = (static_cast<uint64_t>(c.u) << 32) | c.v;
+  return std::exp(3.0 * HashToUnit(HashU64(key, seed)));  // heavy-tailed
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  SL_CHECK_OK(flags.CheckUnknown({"scale"}));
+  const double scale = flags.GetDouble("scale", 0.2);
+
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ws", scale, 17});
+  std::printf("streaming %zu weighted interactions...\n\n", g.edges.size());
+
+  WeightedPredictorOptions options;
+  options.num_slots = 256;
+  WeightedJaccardPredictor weighted(options);
+  MinHashPredictor unweighted(MinHashPredictorOptions{256, 17});
+  WeightedAdjacencyGraph exact;
+  for (const Edge& e : g.edges) {
+    double w = StrengthOf(e, 99);
+    weighted.OnWeightedEdge(e.u, e.v, w);
+    unweighted.OnEdge(e);
+    exact.AddEdge(e.u, e.v, w);
+  }
+
+  std::printf("%-14s %-12s %-12s %-12s %-12s\n", "pair", "weighted_est",
+              "weighted_true", "unweighted", "strength_sum");
+  Rng rng(3);
+  for (int shown = 0; shown < 8;) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = u + 1 + static_cast<VertexId>(rng.NextBounded(4));
+    if (v >= g.num_vertices) continue;
+    WeightedOverlap truth = exact.ComputeOverlap(u, v);
+    if (truth.min_sum <= 0) continue;  // show overlapping pairs only
+    auto est = weighted.Estimate(u, v);
+    std::printf("(%5u,%5u)  %-12.4f %-12.4f %-12.4f %-12.1f\n", u, v,
+                est.generalized_jaccard, truth.GeneralizedJaccard(),
+                unweighted.EstimateOverlap(u, v).jaccard,
+                est.strength_u + est.strength_v);
+    ++shown;
+  }
+
+  std::printf(
+      "\nThe weighted estimate tracks weighted truth from %u ICWS slots per\n"
+      "vertex; the unweighted column shows what binarization would report.\n",
+      options.num_slots);
+  return 0;
+}

@@ -1,0 +1,265 @@
+#include "cli/commands.h"
+
+#include <ostream>
+
+#include "core/exact_predictor.h"
+#include "core/minhash_predictor.h"
+#include "core/predictor_factory.h"
+#include "core/top_k_engine.h"
+#include "eval/experiment.h"
+#include "gen/pair_sampler.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_list_io.h"
+#include "graph/graph_stats.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace streamlink {
+
+namespace {
+
+/// Parses "u:v,u:v,..." into query pairs.
+Result<std::vector<QueryPair>> ParsePairs(const std::string& text) {
+  std::vector<QueryPair> pairs;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    std::string token = text.substr(pos, comma - pos);
+    size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad pair (want u:v): '" + token + "'");
+    }
+    char* end = nullptr;
+    unsigned long u = std::strtoul(token.c_str(), &end, 10);
+    unsigned long v = std::strtoul(token.c_str() + colon + 1, &end, 10);
+    pairs.push_back(QueryPair{static_cast<VertexId>(u),
+                              static_cast<VertexId>(v)});
+    pos = comma + 1;
+  }
+  if (pairs.empty()) return Status::InvalidArgument("no pairs given");
+  return pairs;
+}
+
+Result<LinkMeasure> ParseMeasure(const std::string& name) {
+  for (LinkMeasure m : AllLinkMeasures()) {
+    if (name == LinkMeasureName(m)) return m;
+  }
+  return Status::InvalidArgument("unknown measure: " + name);
+}
+
+Status CmdGenerate(const FlagParser& flags, std::ostream& out) {
+  if (auto st = flags.CheckUnknown({"workload", "scale", "seed", "out"});
+      !st.ok()) {
+    return st;
+  }
+  std::string workload = flags.GetString("workload", "ba");
+  std::string path = flags.GetString("out", "");
+  if (path.empty()) return Status::InvalidArgument("--out is required");
+  bool known = false;
+  for (const std::string& name : StandardWorkloadNames()) {
+    known = known || name == workload;
+  }
+  if (!known) {
+    return Status::InvalidArgument("unknown workload: " + workload);
+  }
+  GeneratedGraph g = MakeWorkload(
+      WorkloadSpec{workload, flags.GetDouble("scale", 1.0),
+                   static_cast<uint64_t>(flags.GetInt("seed", 42))});
+  if (auto st = WriteEdgeList(path, g.edges); !st.ok()) return st;
+  out << "wrote " << g.edges.size() << " edges (" << g.num_vertices
+      << " vertices) to " << path << "\n";
+  return Status::Ok();
+}
+
+Status CmdStats(const FlagParser& flags, std::ostream& out) {
+  if (auto st = flags.CheckUnknown({"input"}); !st.ok()) return st;
+  std::string path = flags.GetString("input", "");
+  if (path.empty()) return Status::InvalidArgument("--input is required");
+  auto file = ReadEdgeList(path);
+  if (!file.ok()) return file.status();
+  CsrGraph graph = CsrGraph::FromEdges(file->edges, file->num_vertices);
+  GraphStats stats = ComputeGraphStats(graph);
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"vertices", std::to_string(stats.num_vertices)});
+  table.AddRow({"edges", std::to_string(stats.num_edges)});
+  table.AddRow({"avg_degree", TablePrinter::FormatCell(stats.avg_degree)});
+  table.AddRow({"max_degree", std::to_string(stats.max_degree)});
+  table.AddRow(
+      {"clustering", TablePrinter::FormatCell(stats.global_clustering)});
+  table.AddRow({"triangles", std::to_string(stats.num_triangles)});
+  table.AddRow({"isolated", std::to_string(stats.num_isolated)});
+  table.Print(out);
+  return Status::Ok();
+}
+
+Status CmdBuild(const FlagParser& flags, std::ostream& out) {
+  if (auto st = flags.CheckUnknown({"input", "k", "seed", "snapshot"});
+      !st.ok()) {
+    return st;
+  }
+  std::string input = flags.GetString("input", "");
+  std::string snapshot = flags.GetString("snapshot", "");
+  if (input.empty() || snapshot.empty()) {
+    return Status::InvalidArgument("--input and --snapshot are required");
+  }
+  auto file = ReadEdgeList(input);
+  if (!file.ok()) return file.status();
+
+  MinHashPredictorOptions options;
+  options.num_hashes = static_cast<uint32_t>(flags.GetInt("k", 64));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  MinHashPredictor predictor(options);
+  FeedStream(predictor, file->edges);
+  if (auto st = predictor.Save(snapshot); !st.ok()) return st;
+  out << "ingested " << predictor.edges_processed() << " edges over "
+      << predictor.num_vertices() << " vertices; snapshot ("
+      << predictor.MemoryBytes() / 1024 << " KiB of state) saved to "
+      << snapshot << "\n";
+  return Status::Ok();
+}
+
+Status CmdQuery(const FlagParser& flags, std::ostream& out) {
+  if (auto st = flags.CheckUnknown({"snapshot", "pairs", "measure"});
+      !st.ok()) {
+    return st;
+  }
+  std::string snapshot = flags.GetString("snapshot", "");
+  if (snapshot.empty()) return Status::InvalidArgument("--snapshot required");
+  auto pairs = ParsePairs(flags.GetString("pairs", ""));
+  if (!pairs.ok()) return pairs.status();
+  auto predictor = MinHashPredictor::Load(snapshot);
+  if (!predictor.ok()) return predictor.status();
+
+  TablePrinter table({"u", "v", "jaccard", "common", "adamic_adar"});
+  for (const QueryPair& p : *pairs) {
+    OverlapEstimate e = predictor->EstimateOverlap(p.u, p.v);
+    table.AddRow({std::to_string(p.u), std::to_string(p.v),
+                  TablePrinter::FormatCell(e.jaccard),
+                  TablePrinter::FormatCell(e.intersection),
+                  TablePrinter::FormatCell(e.adamic_adar)});
+  }
+  table.Print(out);
+  return Status::Ok();
+}
+
+Status CmdTopK(const FlagParser& flags, std::ostream& out) {
+  if (auto st = flags.CheckUnknown(
+          {"input", "vertex", "top", "k", "seed", "measure"});
+      !st.ok()) {
+    return st;
+  }
+  std::string input = flags.GetString("input", "");
+  if (input.empty()) return Status::InvalidArgument("--input is required");
+  auto file = ReadEdgeList(input);
+  if (!file.ok()) return file.status();
+  auto measure = ParseMeasure(flags.GetString("measure", "adamic_adar"));
+  if (!measure.ok()) return measure.status();
+
+  VertexId vertex = static_cast<VertexId>(flags.GetInt("vertex", 0));
+  if (vertex >= file->num_vertices) {
+    return Status::OutOfRange("--vertex " + std::to_string(vertex) +
+                              " not in graph");
+  }
+  MinHashPredictorOptions options;
+  options.num_hashes = static_cast<uint32_t>(flags.GetInt("k", 128));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  MinHashPredictor predictor(options);
+  FeedStream(predictor, file->edges);
+
+  CsrGraph snapshot = CsrGraph::FromEdges(file->edges, file->num_vertices);
+  auto candidates = TwoHopCandidates(snapshot, vertex);
+  TopKEngine engine(predictor, *measure);
+  auto top =
+      engine.TopK(candidates, static_cast<uint32_t>(flags.GetInt("top", 10)));
+
+  TablePrinter table({"candidate", LinkMeasureName(*measure)});
+  for (const ScoredPair& s : top) {
+    VertexId other = s.pair.u == vertex ? s.pair.v : s.pair.u;
+    table.AddRow(
+        {std::to_string(other), TablePrinter::FormatCell(s.score)});
+  }
+  table.Print(out);
+  return Status::Ok();
+}
+
+Status CmdCompare(const FlagParser& flags, std::ostream& out) {
+  if (auto st = flags.CheckUnknown({"input", "k", "pairs", "seed"});
+      !st.ok()) {
+    return st;
+  }
+  std::string input = flags.GetString("input", "");
+  if (input.empty()) return Status::InvalidArgument("--input is required");
+  auto file = ReadEdgeList(input);
+  if (!file.ok()) return file.status();
+
+  GeneratedGraph graph;
+  graph.name = input;
+  graph.edges = file->edges;
+  graph.num_vertices = file->num_vertices;
+  CsrGraph csr = CsrGraph::FromEdges(graph.edges, graph.num_vertices);
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  auto pairs = SampleOverlappingPairs(
+      csr, static_cast<uint32_t>(flags.GetInt("pairs", 500)), rng);
+
+  TablePrinter table({"predictor", "k", "jaccard_mae", "cn_mre", "aa_mre",
+                      "mbytes"});
+  for (const std::string& kind : PredictorKinds()) {
+    if (kind == "exact" || kind == "windowed_minhash") continue;
+    PredictorConfig config;
+    config.kind = kind;
+    config.sketch_size = static_cast<uint32_t>(flags.GetInt("k", 128));
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    auto predictor = MakePredictor(config);
+    if (!predictor.ok()) return predictor.status();
+    ExactPredictor exact;
+    FeedStream(**predictor, graph.edges);
+    FeedStream(exact, graph.edges);
+    AccuracyReport report = MeasureAccuracyAgainst(**predictor, exact, pairs);
+    table.AddRow(
+        {kind, std::to_string(config.sketch_size),
+         TablePrinter::FormatCell(report.jaccard.MeanAbsoluteError()),
+         TablePrinter::FormatCell(report.common_neighbors.MeanRelativeError()),
+         TablePrinter::FormatCell(report.adamic_adar.MeanRelativeError()),
+         TablePrinter::FormatCell((*predictor)->MemoryBytes() / 1e6)});
+  }
+  table.Print(out);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string CliUsage() {
+  return
+      "usage: streamlink_cli <command> [flags]\n"
+      "commands:\n"
+      "  generate  --workload ba|er|ws|rmat|sbm|plconfig [--scale S] "
+      "[--seed N] --out FILE\n"
+      "  stats     --input FILE\n"
+      "  build     --input FILE [--k N] [--seed N] --snapshot FILE\n"
+      "  query     --snapshot FILE --pairs u:v[,u:v...]\n"
+      "  topk      --input FILE --vertex U [--top N] [--k N] "
+      "[--measure NAME]\n"
+      "  compare   --input FILE [--k N] [--pairs N] [--seed N]\n";
+}
+
+Status RunCliCommand(const std::vector<std::string>& args,
+                     std::ostream& out) {
+  if (args.empty()) {
+    return Status::InvalidArgument("missing command\n" + CliUsage());
+  }
+  const std::string& command = args[0];
+  FlagParser flags(std::vector<std::string>(args.begin() + 1, args.end()));
+  if (command == "generate") return CmdGenerate(flags, out);
+  if (command == "stats") return CmdStats(flags, out);
+  if (command == "build") return CmdBuild(flags, out);
+  if (command == "query") return CmdQuery(flags, out);
+  if (command == "topk") return CmdTopK(flags, out);
+  if (command == "compare") return CmdCompare(flags, out);
+  return Status::InvalidArgument("unknown command: " + command + "\n" +
+                                 CliUsage());
+}
+
+}  // namespace streamlink

@@ -1,0 +1,34 @@
+#ifndef STREAMLINK_CLI_COMMANDS_H_
+#define STREAMLINK_CLI_COMMANDS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace streamlink {
+
+/// The command layer behind the `streamlink` CLI binary. Each command is a
+/// plain function taking parsed arguments and an output stream, so tests
+/// drive them directly and the binary stays a thin dispatcher.
+///
+/// Commands:
+///   generate  --workload <name> [--scale S] [--seed N] --out FILE
+///             Writes a synthetic graph stream as an edge-list file.
+///   stats     --input FILE
+///             Prints graph statistics of an edge-list file.
+///   build     --input FILE [--k N] [--seed N] --snapshot FILE
+///             Streams the file into a MinHash predictor, saves a snapshot.
+///   query     --snapshot FILE --pairs "u:v,u:v,..." [--measure NAME]
+///             Loads a snapshot and scores the pairs.
+///   topk      --input FILE --vertex U [--top N] [--k N] [--measure NAME]
+///             Builds from the file and prints U's best predicted links.
+Status RunCliCommand(const std::vector<std::string>& args, std::ostream& out);
+
+/// The usage text printed for unknown/missing commands.
+std::string CliUsage();
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_CLI_COMMANDS_H_

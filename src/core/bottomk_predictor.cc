@@ -1,0 +1,175 @@
+#include "core/bottomk_predictor.h"
+
+#include <algorithm>
+
+#include "graph/exact_measures.h"
+#include "util/hashing.h"
+#include "util/serde.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+BottomKPredictor::BottomKPredictor(const BottomKPredictorOptions& options)
+    : options_(options), store_([k = options.k] { return BottomKSketch(k); }) {
+  SL_CHECK(options.k >= 2) << "bottom-k predictor needs k >= 2";
+}
+
+void BottomKPredictor::ProcessEdge(const Edge& edge) {
+  store_.Mutable(edge.u).Update(HashU64(edge.v, options_.seed), edge.v);
+  store_.Mutable(edge.v).Update(HashU64(edge.u, options_.seed), edge.u);
+  if (options_.track_exact_degrees) {
+    degrees_.Increment(edge.u);
+    degrees_.Increment(edge.v);
+  }
+}
+
+double BottomKPredictor::Degree(VertexId u) const {
+  if (options_.track_exact_degrees) return degrees_.Degree(u);
+  const BottomKSketch* s = store_.Get(u);
+  return s == nullptr ? 0.0 : s->EstimateCardinality();
+}
+
+OverlapEstimate BottomKPredictor::EstimateOverlap(VertexId u,
+                                                  VertexId v) const {
+  OverlapEstimate est;
+  est.degree_u = Degree(u);
+  est.degree_v = Degree(v);
+
+  const BottomKSketch* su = store_.Get(u);
+  const BottomKSketch* sv = store_.Get(v);
+  if (su == nullptr || sv == nullptr || su->IsEmpty() || sv->IsEmpty()) {
+    est.union_size = est.degree_u + est.degree_v;
+    return est;
+  }
+
+  BottomKSketch::PairEstimate pair = BottomKSketch::EstimatePair(*su, *sv);
+  est.jaccard = pair.jaccard;
+  if (options_.track_exact_degrees) {
+    // Exact degrees give the lower-variance closed form (as in MinHash).
+    double degree_sum = est.degree_u + est.degree_v;
+    est.union_size = degree_sum / (1.0 + est.jaccard);
+    est.intersection = est.jaccard * est.union_size;
+  } else {
+    est.union_size = pair.union_cardinality;
+    est.intersection = pair.intersection_cardinality;
+  }
+
+  // Adamic-Adar / RA: matched entries of the merged bottom-k are uniform
+  // intersection samples; weight them by current degree.
+  uint32_t matched = 0;
+  double aa_weight_sum = 0.0;
+  double ra_weight_sum = 0.0;
+  const auto& ea = su->entries();
+  const auto& eb = sv->entries();
+  const uint64_t tau = std::min(su->Threshold(), sv->Threshold());
+  size_t i = 0, j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].hash < eb[j].hash) {
+      ++i;
+    } else if (ea[i].hash > eb[j].hash) {
+      ++j;
+    } else {
+      if (ea[i].hash <= tau) {
+        ++matched;
+        double dw = options_.track_exact_degrees
+                        ? degrees_.Degree(static_cast<VertexId>(ea[i].item))
+                        : [&] {
+                            const BottomKSketch* sw = store_.Get(
+                                static_cast<VertexId>(ea[i].item));
+                            return sw ? sw->EstimateCardinality() : 0.0;
+                          }();
+        uint32_t dw_int = static_cast<uint32_t>(dw + 0.5);
+        aa_weight_sum += AdamicAdarWeight(dw_int);
+        if (dw > 0) ra_weight_sum += 1.0 / dw;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  if (matched > 0) {
+    est.adamic_adar = est.intersection * (aa_weight_sum / matched);
+    est.resource_allocation = est.intersection * (ra_weight_sum / matched);
+  }
+  return est;
+}
+
+uint64_t BottomKPredictor::MemoryBytes() const {
+  uint64_t bytes = store_.MemoryBytes();
+  if (options_.track_exact_degrees) bytes += degrees_.MemoryBytes();
+  return bytes;
+}
+
+void BottomKPredictor::MergeFrom(const BottomKPredictor& other) {
+  SL_CHECK(options_.k == other.options_.k &&
+           options_.seed == other.options_.seed &&
+           options_.track_exact_degrees == other.options_.track_exact_degrees)
+      << "cannot merge predictors with different options";
+  store_.MergeFrom(other.store_,
+                   [](BottomKSketch& mine, const BottomKSketch& theirs) {
+                     mine.MergeUnion(theirs);
+                   });
+  if (options_.track_exact_degrees) degrees_.MergeFrom(other.degrees_);
+  AddProcessedEdges(other.edges_processed());
+}
+
+namespace {
+constexpr uint32_t kBottomKSnapshotMagic = 0x534c424b;  // "SLBK"
+constexpr uint32_t kBottomKSnapshotVersion = 1;
+}  // namespace
+
+Status BottomKPredictor::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  if (!writer.status().ok()) return writer.status();
+  writer.WriteU32(kBottomKSnapshotMagic);
+  writer.WriteU32(kBottomKSnapshotVersion);
+  writer.WriteU32(options_.k);
+  writer.WriteU64(options_.seed);
+  writer.WriteU32(options_.track_exact_degrees ? 1 : 0);
+  writer.WriteU64(edges_processed());
+  writer.WriteVector(degrees_.raw());
+  writer.WriteU64(store_.num_vertices());
+  for (VertexId u = 0; u < store_.num_vertices(); ++u) {
+    writer.WriteVector(store_.Get(u)->entries());
+  }
+  return writer.Finish();
+}
+
+Result<BottomKPredictor> BottomKPredictor::Load(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return reader.status();
+  if (reader.ReadU32() != kBottomKSnapshotMagic) {
+    return Status::InvalidArgument("not a bottomk snapshot: " + path);
+  }
+  if (uint32_t version = reader.ReadU32();
+      version != kBottomKSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  BottomKPredictorOptions options;
+  options.k = reader.ReadU32();
+  options.seed = reader.ReadU64();
+  options.track_exact_degrees = reader.ReadU32() != 0;
+  uint64_t edges = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (options.k < 2) {
+    return Status::InvalidArgument("corrupt snapshot: bad k");
+  }
+
+  BottomKPredictor predictor(options);
+  predictor.degrees_.SetRaw(reader.ReadVector<uint32_t>());
+  uint64_t num_vertices = reader.ReadU64();
+  for (uint64_t u = 0; u < num_vertices && reader.ok(); ++u) {
+    auto entries = reader.ReadVector<BottomKSketch::Entry>();
+    if (entries.size() > options.k) {
+      return Status::InvalidArgument("corrupt snapshot: oversized sketch");
+    }
+    BottomKSketch sketch(options.k);
+    for (const auto& entry : entries) sketch.Update(entry.hash, entry.item);
+    predictor.store_.Mutable(static_cast<VertexId>(u)) = std::move(sketch);
+  }
+  if (!reader.ok()) return reader.status();
+  predictor.AddProcessedEdges(edges);
+  return predictor;
+}
+
+}  // namespace streamlink

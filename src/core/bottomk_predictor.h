@@ -1,0 +1,70 @@
+#ifndef STREAMLINK_CORE_BOTTOMK_PREDICTOR_H_
+#define STREAMLINK_CORE_BOTTOMK_PREDICTOR_H_
+
+#include <string>
+
+#include "core/link_predictor.h"
+#include "core/sketch_store.h"
+#include "sketch/bottomk.h"
+#include "util/status.h"
+
+namespace streamlink {
+
+/// Options for BottomKPredictor.
+struct BottomKPredictorOptions {
+  /// Sketch size k: number of minimum hash values kept per vertex.
+  uint32_t k = 64;
+  /// Seed of the single shared hash function.
+  uint64_t seed = 0x5eed;
+  /// When false, degrees come from the sketches' KMV cardinality
+  /// estimators instead of exact counters — the fully self-contained
+  /// variant whose state is pure sketch (mergeable, no exact side-state).
+  bool track_exact_degrees = true;
+};
+
+/// Bottom-k (KMV) variant of the streaming link predictor.
+///
+/// One hash evaluation per edge endpoint (vs k for MinHash) and
+/// cardinality estimates built in. Pairwise estimation walks the merged
+/// bottom-k of the two neighborhoods: the union's k minima form a uniform
+/// sample of N(u) ∪ N(v); the fraction present in both sketches estimates
+/// Jaccard, the k-th smallest hash estimates |∪| (KMV), and the matched
+/// items — uniform samples of the intersection — carry the Adamic-Adar /
+/// Resource-Allocation weights exactly as in MinHashPredictor.
+class BottomKPredictor : public LinkPredictor {
+ public:
+  explicit BottomKPredictor(const BottomKPredictorOptions& options = {});
+
+  std::string name() const override { return "bottomk"; }
+  OverlapEstimate EstimateOverlap(VertexId u, VertexId v) const override;
+  VertexId num_vertices() const override { return store_.num_vertices(); }
+  uint64_t MemoryBytes() const override;
+
+  const BottomKPredictorOptions& options() const { return options_; }
+
+  /// Degree estimate: exact counter or KMV estimate per options.
+  double Degree(VertexId u) const;
+
+  const BottomKSketch* Sketch(VertexId u) const { return store_.Get(u); }
+
+  /// Disjoint-partition merge (see MinHashPredictor::MergeFrom): sketches
+  /// take bottom-k unions, exact degree counters add. Aborts on differing
+  /// options.
+  void MergeFrom(const BottomKPredictor& other);
+
+  /// Binary snapshot of the full predictor state.
+  Status Save(const std::string& path) const;
+  static Result<BottomKPredictor> Load(const std::string& path);
+
+ protected:
+  void ProcessEdge(const Edge& edge) override;
+
+ private:
+  BottomKPredictorOptions options_;
+  SketchStore<BottomKSketch> store_;
+  DegreeTable degrees_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_CORE_BOTTOMK_PREDICTOR_H_

@@ -1,0 +1,72 @@
+#include "core/directed_predictor.h"
+
+#include <algorithm>
+
+#include "graph/exact_measures.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+DirectedMinHashPredictor::DirectedMinHashPredictor(
+    const DirectedPredictorOptions& options)
+    : options_(options),
+      family_(options.seed, options.num_hashes),
+      out_store_([k = options.num_hashes] { return MinHashSketch(k); }),
+      in_store_([k = options.num_hashes] { return MinHashSketch(k); }) {
+  SL_CHECK(options.num_hashes >= 1) << "num_hashes must be >= 1";
+}
+
+void DirectedMinHashPredictor::OnEdge(const Edge& edge) {
+  if (edge.IsSelfLoop()) return;
+  ++arcs_processed_;
+  out_store_.Mutable(edge.u).Update(edge.v, family_);
+  in_store_.Mutable(edge.v).Update(edge.u, family_);
+  out_degrees_.Increment(edge.u);
+  in_degrees_.Increment(edge.v);
+}
+
+VertexId DirectedMinHashPredictor::num_vertices() const {
+  return std::max(out_store_.num_vertices(), in_store_.num_vertices());
+}
+
+DirectedMinHashPredictor::DirectedEstimate DirectedMinHashPredictor::Estimate(
+    VertexId u, Direction du, VertexId v, Direction dv) const {
+  DirectedEstimate est;
+  est.size_u = SideDegree(u, du);
+  est.size_v = SideDegree(v, dv);
+  const double size_sum = est.size_u + est.size_v;
+
+  const MinHashSketch* su = SideStore(du).Get(u);
+  const MinHashSketch* sv = SideStore(dv).Get(v);
+  if (su == nullptr || sv == nullptr || su->IsEmpty() || sv->IsEmpty()) {
+    est.union_size = size_sum;
+    return est;
+  }
+
+  const uint32_t k = su->num_slots();
+  uint32_t matches = 0;
+  double aa_weight_sum = 0.0;
+  for (uint32_t i = 0; i < k; ++i) {
+    const auto& a = su->slot(i);
+    const auto& b = sv->slot(i);
+    if (a.hash != b.hash || a.hash == ~0ULL) continue;
+    ++matches;
+    VertexId w = static_cast<VertexId>(a.item);
+    aa_weight_sum +=
+        AdamicAdarWeight(out_degrees_.Degree(w) + in_degrees_.Degree(w));
+  }
+  est.jaccard = static_cast<double>(matches) / k;
+  est.union_size = size_sum / (1.0 + est.jaccard);
+  est.intersection = est.jaccard * est.union_size;
+  if (matches > 0) {
+    est.adamic_adar = est.intersection * (aa_weight_sum / matches);
+  }
+  return est;
+}
+
+uint64_t DirectedMinHashPredictor::MemoryBytes() const {
+  return out_store_.MemoryBytes() + in_store_.MemoryBytes() +
+         out_degrees_.MemoryBytes() + in_degrees_.MemoryBytes();
+}
+
+}  // namespace streamlink

@@ -1,0 +1,41 @@
+#include "core/error_bounds.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+double MinHashJaccardFailureProbability(uint32_t k, double epsilon) {
+  SL_CHECK(epsilon > 0.0) << "epsilon must be positive";
+  double p = 2.0 * std::exp(-2.0 * static_cast<double>(k) * epsilon * epsilon);
+  return p > 1.0 ? 1.0 : p;
+}
+
+uint32_t MinHashSketchSizeFor(double epsilon, double delta) {
+  SL_CHECK(epsilon > 0.0 && epsilon < 1.0) << "epsilon must be in (0,1)";
+  SL_CHECK(delta > 0.0 && delta < 1.0) << "delta must be in (0,1)";
+  double k = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
+  return static_cast<uint32_t>(std::ceil(k));
+}
+
+double MinHashJaccardErrorAt(uint32_t k, double delta) {
+  SL_CHECK(k >= 1) << "k must be >= 1";
+  SL_CHECK(delta > 0.0 && delta < 1.0) << "delta must be in (0,1)";
+  return std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(k)));
+}
+
+double BottomKCardinalityRelativeStdError(uint32_t k) {
+  SL_CHECK(k >= 3) << "KMV error formula needs k >= 3";
+  return 1.0 / std::sqrt(static_cast<double>(k) - 2.0);
+}
+
+double CommonNeighborErrorBound(double epsilon, double jaccard,
+                                double degree_sum) {
+  SL_CHECK(epsilon >= 0.0) << "epsilon must be non-negative";
+  SL_CHECK(jaccard >= 0.0 && jaccard <= 1.0) << "jaccard must be in [0,1]";
+  double denom = (1.0 + jaccard) * (1.0 + jaccard);
+  return epsilon * degree_sum / denom;
+}
+
+}  // namespace streamlink

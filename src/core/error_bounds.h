@@ -1,0 +1,38 @@
+#ifndef STREAMLINK_CORE_ERROR_BOUNDS_H_
+#define STREAMLINK_CORE_ERROR_BOUNDS_H_
+
+#include <cstdint>
+
+namespace streamlink {
+
+/// Analytic accuracy guarantees for the sketch estimators — the "theoretical
+/// accuracy guarantee" half of the paper's claim, packaged as a small
+/// calculator API so callers can size sketches for a target error and tests
+/// can verify the empirical error respects the bounds.
+
+/// Hoeffding tail for the MinHash Jaccard estimator (k i.i.d. slot
+/// indicators): P(|Ĵ − J| ≥ epsilon) ≤ 2·exp(−2·k·epsilon²).
+double MinHashJaccardFailureProbability(uint32_t k, double epsilon);
+
+/// Smallest k such that P(|Ĵ − J| ≥ epsilon) ≤ delta:
+/// k = ⌈ln(2/δ) / (2ε²)⌉.
+uint32_t MinHashSketchSizeFor(double epsilon, double delta);
+
+/// Two-sided additive half-width ε with confidence 1−δ at sketch size k:
+/// ε = sqrt(ln(2/δ) / (2k)).
+double MinHashJaccardErrorAt(uint32_t k, double delta);
+
+/// Relative standard error of the bottom-k (KMV) cardinality estimator:
+/// ≈ 1/sqrt(k − 2).
+double BottomKCardinalityRelativeStdError(uint32_t k);
+
+/// First-order error propagation for the common-neighbor estimator
+/// ĈN = Ĵ/(1+Ĵ)·(d_u+d_v) with exact degrees: an additive Jaccard error
+/// of ε yields |ĈN − CN| ≤ ε·(d_u+d_v)/(1+J)² (derivative of x/(1+x) is
+/// ≤ 1/(1+J)² near J). Returns that additive bound.
+double CommonNeighborErrorBound(double epsilon, double jaccard,
+                                double degree_sum);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_CORE_ERROR_BOUNDS_H_

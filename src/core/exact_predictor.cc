@@ -1,0 +1,20 @@
+#include "core/exact_predictor.h"
+
+#include "graph/exact_measures.h"
+
+namespace streamlink {
+
+OverlapEstimate ExactPredictor::EstimateOverlap(VertexId u, VertexId v) const {
+  PairOverlap exact = ComputeOverlap(graph_, u, v);
+  OverlapEstimate est;
+  est.degree_u = exact.degree_u;
+  est.degree_v = exact.degree_v;
+  est.intersection = exact.intersection;
+  est.union_size = exact.union_size;
+  est.jaccard = exact.Jaccard();
+  est.adamic_adar = exact.adamic_adar;
+  est.resource_allocation = exact.resource_allocation;
+  return est;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,36 @@
+#ifndef STREAMLINK_CORE_EXACT_PREDICTOR_H_
+#define STREAMLINK_CORE_EXACT_PREDICTOR_H_
+
+#include <string>
+
+#include "core/link_predictor.h"
+#include "graph/adjacency_graph.h"
+
+namespace streamlink {
+
+/// The exact baseline: maintains full adjacency sets (O(d) space per
+/// vertex, unbounded) and computes every measure exactly. This is what the
+/// paper compares the sketches against on accuracy (ground truth), memory
+/// (the cost of exactness) and speed (hash-set updates vs O(k) sketch
+/// updates; O(min-degree) queries vs O(k) sketch queries).
+class ExactPredictor : public LinkPredictor {
+ public:
+  ExactPredictor() = default;
+
+  std::string name() const override { return "exact"; }
+  OverlapEstimate EstimateOverlap(VertexId u, VertexId v) const override;
+  VertexId num_vertices() const override { return graph_.num_vertices(); }
+  uint64_t MemoryBytes() const override { return graph_.MemoryBytes(); }
+
+  const AdjacencyGraph& graph() const { return graph_; }
+
+ protected:
+  void ProcessEdge(const Edge& edge) override { graph_.AddEdge(edge); }
+
+ private:
+  AdjacencyGraph graph_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_CORE_EXACT_PREDICTOR_H_

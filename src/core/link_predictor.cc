@@ -1,0 +1,47 @@
+#include "core/link_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+double MeasureFromEstimate(LinkMeasure measure, const OverlapEstimate& e) {
+  switch (measure) {
+    case LinkMeasure::kCommonNeighbors:
+      return e.intersection;
+    case LinkMeasure::kJaccard:
+      return e.jaccard;
+    case LinkMeasure::kAdamicAdar:
+      return e.adamic_adar;
+    case LinkMeasure::kResourceAllocation:
+      return e.resource_allocation;
+    case LinkMeasure::kPreferentialAttachment:
+      return e.degree_u * e.degree_v;
+    case LinkMeasure::kSalton: {
+      double denom = std::sqrt(e.degree_u * e.degree_v);
+      return denom > 0 ? e.intersection / denom : 0.0;
+    }
+    case LinkMeasure::kSorensen: {
+      double denom = e.degree_u + e.degree_v;
+      return denom > 0 ? 2.0 * e.intersection / denom : 0.0;
+    }
+    case LinkMeasure::kHubPromoted: {
+      double denom = std::min(e.degree_u, e.degree_v);
+      return denom > 0 ? e.intersection / denom : 0.0;
+    }
+    case LinkMeasure::kHubDepressed: {
+      double denom = std::max(e.degree_u, e.degree_v);
+      return denom > 0 ? e.intersection / denom : 0.0;
+    }
+    case LinkMeasure::kLeichtHolmeNewman: {
+      double denom = e.degree_u * e.degree_v;
+      return denom > 0 ? e.intersection / denom : 0.0;
+    }
+  }
+  SL_LOG(kFatal) << "unhandled LinkMeasure";
+  return 0.0;
+}
+
+}  // namespace streamlink

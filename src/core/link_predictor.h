@@ -1,0 +1,87 @@
+#ifndef STREAMLINK_CORE_LINK_PREDICTOR_H_
+#define STREAMLINK_CORE_LINK_PREDICTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/exact_measures.h"
+#include "graph/types.h"
+#include "stream/stream_driver.h"
+
+namespace streamlink {
+
+/// The estimated overlap structure of a vertex pair — the approximate
+/// counterpart of PairOverlap. All fields are real-valued estimates; the
+/// exact predictor fills them with exact values.
+struct OverlapEstimate {
+  double degree_u = 0.0;
+  double degree_v = 0.0;
+  double intersection = 0.0;        // ≈ |N(u) ∩ N(v)|  (common neighbors)
+  double union_size = 0.0;          // ≈ |N(u) ∪ N(v)|
+  double jaccard = 0.0;             // ≈ |∩| / |∪|
+  double adamic_adar = 0.0;         // ≈ Σ_{w∈∩} 1/ln d(w)
+  double resource_allocation = 0.0; // ≈ Σ_{w∈∩} 1/d(w)
+};
+
+/// Derives any LinkMeasure score from an overlap estimate (the approximate
+/// analogue of MeasureFromOverlap).
+double MeasureFromEstimate(LinkMeasure measure, const OverlapEstimate& e);
+
+/// A streaming link predictor: ingests a graph stream edge by edge and
+/// answers pairwise neighborhood-overlap queries at any point, online.
+///
+/// Contract (mirrors the paper's abstract):
+///  * per-edge update cost is O(sketch size) — constant, independent of
+///    the graph;
+///  * per-vertex state is O(sketch size) — constant;
+///  * queries read only the two vertices' state.
+///
+/// Streams are expected to be *simple* (each undirected edge appears
+/// once). The sketches themselves are duplicate-idempotent, but exact
+/// degree counters are not; wrap multigraph sources in DedupEdgeStream.
+class LinkPredictor : public EdgeConsumer {
+ public:
+  ~LinkPredictor() override = default;
+
+  /// Short identifier, e.g. "minhash", "bottomk", "exact".
+  virtual std::string name() const = 0;
+
+  /// Estimates the full overlap structure of (u, v) on the stream so far.
+  /// Vertices never seen in the stream are treated as isolated.
+  virtual OverlapEstimate EstimateOverlap(VertexId u, VertexId v) const = 0;
+
+  /// Convenience: a single measure's estimated score.
+  double Score(LinkMeasure measure, VertexId u, VertexId v) const {
+    return MeasureFromEstimate(measure, EstimateOverlap(u, v));
+  }
+
+  /// Number of vertices with any state (max endpoint seen + 1).
+  virtual VertexId num_vertices() const = 0;
+
+  /// Edges ingested so far.
+  uint64_t edges_processed() const { return edges_processed_; }
+
+  /// Total heap footprint of the predictor's state in bytes.
+  virtual uint64_t MemoryBytes() const = 0;
+
+  void OnEdge(const Edge& edge) final {
+    if (edge.IsSelfLoop()) return;
+    ++edges_processed_;
+    ProcessEdge(edge);
+  }
+
+ protected:
+  /// Implementations ingest one non-self-loop edge here.
+  virtual void ProcessEdge(const Edge& edge) = 0;
+
+  /// For mergeable predictors: folds a merged-in peer's edge count into
+  /// this predictor's.
+  void AddProcessedEdges(uint64_t count) { edges_processed_ += count; }
+
+ private:
+  uint64_t edges_processed_ = 0;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_CORE_LINK_PREDICTOR_H_

@@ -1,0 +1,139 @@
+#include "core/minhash_predictor.h"
+
+#include "graph/exact_measures.h"
+#include "util/serde.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+MinHashPredictor::MinHashPredictor(const MinHashPredictorOptions& options)
+    : options_(options),
+      family_(options.seed, options.num_hashes),
+      store_([k = options.num_hashes] { return MinHashSketch(k); }) {
+  SL_CHECK(options.num_hashes >= 1) << "num_hashes must be >= 1";
+}
+
+void MinHashPredictor::ProcessEdge(const Edge& edge) {
+  store_.Mutable(edge.u).Update(edge.v, family_);
+  store_.Mutable(edge.v).Update(edge.u, family_);
+  degrees_.Increment(edge.u);
+  degrees_.Increment(edge.v);
+}
+
+OverlapEstimate MinHashPredictor::EstimateOverlap(VertexId u,
+                                                  VertexId v) const {
+  OverlapEstimate est;
+  est.degree_u = degrees_.Degree(u);
+  est.degree_v = degrees_.Degree(v);
+  const double degree_sum = est.degree_u + est.degree_v;
+
+  const MinHashSketch* su = store_.Get(u);
+  const MinHashSketch* sv = store_.Get(v);
+  if (su == nullptr || sv == nullptr || su->IsEmpty() || sv->IsEmpty()) {
+    // At least one endpoint is isolated: every overlap quantity is zero.
+    est.union_size = degree_sum;
+    return est;
+  }
+
+  const uint32_t k = su->num_slots();
+  uint32_t matches = 0;
+  double aa_weight_sum = 0.0;
+  double ra_weight_sum = 0.0;
+  for (uint32_t i = 0; i < k; ++i) {
+    const auto& a = su->slot(i);
+    const auto& b = sv->slot(i);
+    if (a.hash != b.hash || a.hash == ~0ULL) continue;
+    ++matches;
+    // Matching slot => the arg-min vertex is a uniform sample of the
+    // intersection. Weight it by its *current* degree.
+    uint32_t dw = degrees_.Degree(static_cast<VertexId>(a.item));
+    aa_weight_sum += AdamicAdarWeight(dw);
+    if (dw > 0) ra_weight_sum += 1.0 / dw;
+  }
+
+  est.jaccard = static_cast<double>(matches) / k;
+  // |∩| = J·|∪| and |∪| = d(u)+d(v)−|∩| imply the closed forms below.
+  est.union_size = degree_sum / (1.0 + est.jaccard);
+  est.intersection = est.jaccard * est.union_size;
+  if (matches > 0) {
+    est.adamic_adar = est.intersection * (aa_weight_sum / matches);
+    est.resource_allocation = est.intersection * (ra_weight_sum / matches);
+  }
+  return est;
+}
+
+uint64_t MinHashPredictor::MemoryBytes() const {
+  return store_.MemoryBytes() + degrees_.MemoryBytes();
+}
+
+void MinHashPredictor::MergeFrom(const MinHashPredictor& other) {
+  SL_CHECK(options_.num_hashes == other.options_.num_hashes &&
+           options_.seed == other.options_.seed)
+      << "cannot merge predictors with different options";
+  store_.MergeFrom(other.store_,
+                   [](MinHashSketch& mine, const MinHashSketch& theirs) {
+                     mine.MergeUnion(theirs);
+                   });
+  degrees_.MergeFrom(other.degrees_);
+  AddProcessedEdges(other.edges_processed());
+}
+
+namespace {
+// Snapshot format magic/version for MinHashPredictor::Save.
+constexpr uint32_t kMinHashSnapshotMagic = 0x534c4d48;  // "SLMH"
+constexpr uint32_t kMinHashSnapshotVersion = 1;
+}  // namespace
+
+Status MinHashPredictor::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  if (!writer.status().ok()) return writer.status();
+  writer.WriteU32(kMinHashSnapshotMagic);
+  writer.WriteU32(kMinHashSnapshotVersion);
+  writer.WriteU32(options_.num_hashes);
+  writer.WriteU64(options_.seed);
+  writer.WriteU64(edges_processed());
+  writer.WriteVector(degrees_.raw());
+  writer.WriteU64(store_.num_vertices());
+  for (VertexId u = 0; u < store_.num_vertices(); ++u) {
+    writer.WriteVector(store_.Get(u)->slots());
+  }
+  return writer.Finish();
+}
+
+Result<MinHashPredictor> MinHashPredictor::Load(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return reader.status();
+  if (reader.ReadU32() != kMinHashSnapshotMagic) {
+    return Status::InvalidArgument("not a minhash snapshot: " + path);
+  }
+  uint32_t version = reader.ReadU32();
+  if (version != kMinHashSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  MinHashPredictorOptions options;
+  options.num_hashes = reader.ReadU32();
+  options.seed = reader.ReadU64();
+  uint64_t edges = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (options.num_hashes == 0) {
+    return Status::InvalidArgument("corrupt snapshot: zero sketch width");
+  }
+
+  MinHashPredictor predictor(options);
+  predictor.degrees_.SetRaw(reader.ReadVector<uint32_t>());
+  uint64_t num_vertices = reader.ReadU64();
+  for (uint64_t u = 0; u < num_vertices && reader.ok(); ++u) {
+    auto slots = reader.ReadVector<MinHashSketch::Slot>();
+    if (slots.size() != options.num_hashes) {
+      return Status::InvalidArgument("corrupt snapshot: bad sketch width");
+    }
+    predictor.store_.Mutable(static_cast<VertexId>(u)) =
+        MinHashSketch::FromSlots(std::move(slots));
+  }
+  if (!reader.ok()) return reader.status();
+  predictor.AddProcessedEdges(edges);
+  return predictor;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,90 @@
+#ifndef STREAMLINK_CORE_MINHASH_PREDICTOR_H_
+#define STREAMLINK_CORE_MINHASH_PREDICTOR_H_
+
+#include <string>
+
+#include "core/link_predictor.h"
+#include "core/sketch_store.h"
+#include "sketch/minhash.h"
+#include "util/hashing.h"
+#include "util/status.h"
+
+namespace streamlink {
+
+/// Options for MinHashPredictor.
+struct MinHashPredictorOptions {
+  /// Sketch width k: number of independent min-hash slots per vertex.
+  /// Estimation error decays as 1/sqrt(k).
+  uint32_t num_hashes = 64;
+  /// Master seed of the shared hash family.
+  uint64_t seed = 0x5eed;
+};
+
+/// The paper's primary method: per-vertex k-permutation MinHash sketches
+/// of neighborhoods, updated in O(k) per edge, O(k) space per vertex.
+///
+/// Estimators (see DESIGN.md §3.1):
+///  * Jaccard: fraction of matching slots — unbiased, Hoeffding
+///    concentration 2·exp(−2kε²).
+///  * Common neighbors: Ĵ/(1+Ĵ)·(d(u)+d(v)) with exact O(1) degree
+///    counters. Exact when Ĵ is exact.
+///  * Adamic-Adar / Resource-Allocation: intersection estimate times the
+///    sample mean of 1/ln d(w) (resp. 1/d(w)) over the arg-min vertices of
+///    matching slots — each matching slot is a *uniform* sample of
+///    N(u) ∩ N(v) by min-wise symmetry.
+class MinHashPredictor : public LinkPredictor {
+ public:
+  explicit MinHashPredictor(const MinHashPredictorOptions& options = {});
+
+  std::string name() const override { return "minhash"; }
+  OverlapEstimate EstimateOverlap(VertexId u, VertexId v) const override;
+  VertexId num_vertices() const override { return store_.num_vertices(); }
+  uint64_t MemoryBytes() const override;
+
+  const MinHashPredictorOptions& options() const { return options_; }
+  uint32_t Degree(VertexId u) const { return degrees_.Degree(u); }
+
+  /// The per-vertex sketch, or nullptr for never-seen vertices
+  /// (exposed for tests and the space-accuracy experiments).
+  const MinHashSketch* Sketch(VertexId u) const { return store_.Get(u); }
+
+  /// Half-edge update for vertex-partitioned parallel/distributed
+  /// ingestion: records that `neighbor` joined N(u), touching ONLY u's
+  /// sketch and degree. A full edge (u, v) is two half-edges — routed to
+  /// (possibly) different shards that each own a disjoint slice of the
+  /// vertex space, so total sketch memory equals a single-node build and
+  /// MergeFrom recombines the shards losslessly. Does not advance
+  /// edges_processed() (half-edges are not edges).
+  void ObserveNeighbor(VertexId u, VertexId neighbor) {
+    store_.Mutable(u).Update(neighbor, family_);
+    degrees_.Increment(u);
+  }
+
+  /// Folds in a peer predictor built over a *disjoint partition* of the
+  /// same stream with identical options: sketches take slot-wise minima,
+  /// degrees add. After merging, estimates equal those of a single
+  /// predictor that saw the concatenated stream — the mergeability that
+  /// makes the sketches usable in parallel and distributed ingestion.
+  /// Aborts if options differ. Partitions sharing edges double-count
+  /// degrees (sketches remain correct).
+  void MergeFrom(const MinHashPredictor& other);
+
+  /// Writes a binary snapshot of the full predictor state.
+  Status Save(const std::string& path) const;
+
+  /// Restores a predictor from Save output.
+  static Result<MinHashPredictor> Load(const std::string& path);
+
+ protected:
+  void ProcessEdge(const Edge& edge) override;
+
+ private:
+  MinHashPredictorOptions options_;
+  HashFamily family_;
+  SketchStore<MinHashSketch> store_;
+  DegreeTable degrees_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_CORE_MINHASH_PREDICTOR_H_

@@ -1,0 +1,63 @@
+#include "core/oph_predictor.h"
+
+#include <vector>
+
+#include "graph/exact_measures.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+OphPredictor::OphPredictor(const OphPredictorOptions& options)
+    : options_(options), store_([options] {
+        return OphSketch(options.num_bins, options.seed);
+      }) {
+  SL_CHECK(options.num_bins >= 2) << "num_bins must be >= 2";
+}
+
+void OphPredictor::ProcessEdge(const Edge& edge) {
+  store_.Mutable(edge.u).Update(edge.v);
+  store_.Mutable(edge.v).Update(edge.u);
+  degrees_.Increment(edge.u);
+  degrees_.Increment(edge.v);
+}
+
+OverlapEstimate OphPredictor::EstimateOverlap(VertexId u, VertexId v) const {
+  OverlapEstimate est;
+  est.degree_u = degrees_.Degree(u);
+  est.degree_v = degrees_.Degree(v);
+  const double degree_sum = est.degree_u + est.degree_v;
+
+  const OphSketch* su = store_.Get(u);
+  const OphSketch* sv = store_.Get(v);
+  if (su == nullptr || sv == nullptr || su->IsEmpty() || sv->IsEmpty()) {
+    est.union_size = degree_sum;
+    return est;
+  }
+
+  std::vector<uint64_t> matched_items;
+  uint32_t matches = OphSketch::CountMatches(*su, *sv, &matched_items);
+  est.jaccard = static_cast<double>(matches) / su->num_bins();
+  est.union_size = degree_sum / (1.0 + est.jaccard);
+  est.intersection = est.jaccard * est.union_size;
+
+  if (!matched_items.empty()) {
+    double aa_weight_sum = 0.0;
+    double ra_weight_sum = 0.0;
+    for (uint64_t item : matched_items) {
+      uint32_t dw = degrees_.Degree(static_cast<VertexId>(item));
+      aa_weight_sum += AdamicAdarWeight(dw);
+      if (dw > 0) ra_weight_sum += 1.0 / dw;
+    }
+    est.adamic_adar =
+        est.intersection * (aa_weight_sum / matched_items.size());
+    est.resource_allocation =
+        est.intersection * (ra_weight_sum / matched_items.size());
+  }
+  return est;
+}
+
+uint64_t OphPredictor::MemoryBytes() const {
+  return store_.MemoryBytes() + degrees_.MemoryBytes();
+}
+
+}  // namespace streamlink

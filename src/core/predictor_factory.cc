@@ -1,0 +1,65 @@
+#include "core/predictor_factory.h"
+
+#include "core/bottomk_predictor.h"
+#include "core/exact_predictor.h"
+#include "core/minhash_predictor.h"
+#include "core/oph_predictor.h"
+#include "core/vertex_biased_predictor.h"
+#include "core/windowed_predictor.h"
+
+namespace streamlink {
+
+Result<std::unique_ptr<LinkPredictor>> MakePredictor(
+    const PredictorConfig& config) {
+  if (config.kind != "exact" && config.sketch_size < 2) {
+    return Status::InvalidArgument("sketch_size must be >= 2, got " +
+                                   std::to_string(config.sketch_size));
+  }
+  if (config.kind == "minhash") {
+    MinHashPredictorOptions options;
+    options.num_hashes = config.sketch_size;
+    options.seed = config.seed;
+    return std::unique_ptr<LinkPredictor>(new MinHashPredictor(options));
+  }
+  if (config.kind == "bottomk") {
+    BottomKPredictorOptions options;
+    options.k = config.sketch_size;
+    options.seed = config.seed;
+    options.track_exact_degrees = !config.sketch_degrees;
+    return std::unique_ptr<LinkPredictor>(new BottomKPredictor(options));
+  }
+  if (config.kind == "vertex_biased") {
+    VertexBiasedPredictorOptions options;
+    options.num_hashes = config.sketch_size / 2;
+    options.num_weighted_samples =
+        config.sketch_size - options.num_hashes;
+    options.seed = config.seed;
+    return std::unique_ptr<LinkPredictor>(new VertexBiasedPredictor(options));
+  }
+  if (config.kind == "oph") {
+    OphPredictorOptions options;
+    options.num_bins = config.sketch_size;
+    options.seed = config.seed;
+    return std::unique_ptr<LinkPredictor>(new OphPredictor(options));
+  }
+  if (config.kind == "windowed_minhash") {
+    WindowedPredictorOptions options;
+    options.num_hashes = config.sketch_size;
+    options.seed = config.seed;
+    options.window_edges = config.window_edges;
+    options.num_buckets = config.window_buckets;
+    return std::unique_ptr<LinkPredictor>(
+        new WindowedMinHashPredictor(options));
+  }
+  if (config.kind == "exact") {
+    return std::unique_ptr<LinkPredictor>(new ExactPredictor());
+  }
+  return Status::InvalidArgument("unknown predictor kind: " + config.kind);
+}
+
+std::vector<std::string> PredictorKinds() {
+  return {"minhash", "bottomk", "vertex_biased", "oph", "windowed_minhash",
+          "exact"};
+}
+
+}  // namespace streamlink

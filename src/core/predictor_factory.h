@@ -1,0 +1,41 @@
+#ifndef STREAMLINK_CORE_PREDICTOR_FACTORY_H_
+#define STREAMLINK_CORE_PREDICTOR_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/link_predictor.h"
+#include "util/status.h"
+
+namespace streamlink {
+
+/// Unified construction knobs for all predictor kinds (bench binaries map
+/// flags straight onto this).
+struct PredictorConfig {
+  /// One of: "minhash", "bottomk", "vertex_biased", "oph",
+  /// "windowed_minhash", "exact".
+  std::string kind = "minhash";
+  /// Sketch size (slots per vertex). For "vertex_biased" the budget is
+  /// split evenly between the MinHash part and the weighted part; for
+  /// "windowed_minhash" it is the per-bucket width.
+  uint32_t sketch_size = 64;
+  uint64_t seed = 0x5eed;
+  /// BottomK only: use KMV degree estimates instead of exact counters.
+  bool sketch_degrees = false;
+  /// windowed_minhash only: count-based window length and bucket count.
+  uint64_t window_edges = 100000;
+  uint32_t window_buckets = 8;
+};
+
+/// Builds a predictor from the config; InvalidArgument on unknown kinds or
+/// out-of-range sizes.
+Result<std::unique_ptr<LinkPredictor>> MakePredictor(
+    const PredictorConfig& config);
+
+/// All predictor kind names MakePredictor accepts.
+std::vector<std::string> PredictorKinds();
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_CORE_PREDICTOR_FACTORY_H_

@@ -1,0 +1,107 @@
+#include "core/similarity_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+BandingPlan ChooseBanding(uint32_t num_hashes, double threshold) {
+  SL_CHECK(num_hashes >= 1) << "need at least one hash";
+  SL_CHECK(threshold > 0.0 && threshold <= 1.0)
+      << "threshold must be in (0, 1]";
+  BandingPlan best;
+  double best_gap = 1e9;
+  for (uint32_t r = 1; r <= num_hashes; ++r) {
+    uint32_t b = num_hashes / r;
+    if (b == 0) break;
+    double implied = std::pow(1.0 / static_cast<double>(b),
+                              1.0 / static_cast<double>(r));
+    double gap = std::abs(implied - threshold);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = BandingPlan{r, b, implied};
+    }
+  }
+  return best;
+}
+
+std::vector<ScoredPair> AllPairsSimilarVertices(
+    const MinHashPredictor& predictor, const SimilarityJoinOptions& options) {
+  SL_CHECK(options.threshold > 0.0 && options.threshold <= 1.0)
+      << "threshold must be in (0, 1]";
+  const uint32_t k = predictor.options().num_hashes;
+  BandingPlan plan = options.rows_per_band > 0
+                         ? BandingPlan{std::min(options.rows_per_band, k),
+                                       k / std::min(options.rows_per_band, k),
+                                       0.0}
+                         : ChooseBanding(k, options.threshold);
+  SL_CHECK(plan.num_bands >= 1) << "degenerate banding";
+
+  // Bucket vertices by band signature.
+  struct PairHash {
+    size_t operator()(const std::pair<uint32_t, uint64_t>& key) const {
+      return static_cast<size_t>(
+          Mix64(key.second ^ (static_cast<uint64_t>(key.first) << 48)));
+    }
+  };
+  std::unordered_map<std::pair<uint32_t, uint64_t>, std::vector<VertexId>,
+                     PairHash>
+      buckets;
+  const VertexId n = predictor.num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    const MinHashSketch* sketch = predictor.Sketch(u);
+    if (sketch == nullptr || sketch->IsEmpty()) continue;
+    for (uint32_t band = 0; band < plan.num_bands; ++band) {
+      uint64_t signature = Mix64(band + 0x9e37);
+      for (uint32_t row = 0; row < plan.rows_per_band; ++row) {
+        signature =
+            Mix64(signature ^ sketch->slot(band * plan.rows_per_band + row)
+                                  .hash);
+      }
+      auto& bucket = buckets[{band, signature}];
+      if (bucket.size() < options.max_bucket) bucket.push_back(u);
+    }
+  }
+
+  // Candidate pairs from co-bucketed vertices, verified with the full
+  // matched-slot estimate.
+  struct CandidateHash {
+    size_t operator()(const QueryPair& p) const {
+      return static_cast<size_t>(
+          Mix64((static_cast<uint64_t>(p.u) << 32) | p.v));
+    }
+  };
+  std::unordered_set<QueryPair, CandidateHash> seen;
+  std::vector<ScoredPair> out;
+  for (const auto& [key, bucket] : buckets) {
+    (void)key;
+    if (bucket.size() < 2) continue;
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      for (size_t j = i + 1; j < bucket.size(); ++j) {
+        QueryPair pair = bucket[i] < bucket[j]
+                             ? QueryPair{bucket[i], bucket[j]}
+                             : QueryPair{bucket[j], bucket[i]};
+        if (!seen.insert(pair).second) continue;
+        double score = MinHashSketch::EstimateJaccard(
+            *predictor.Sketch(pair.u), *predictor.Sketch(pair.v));
+        if (score >= options.threshold) {
+          out.push_back(ScoredPair{pair, score});
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.pair.u != b.pair.u) return a.pair.u < b.pair.u;
+              return a.pair.v < b.pair.v;
+            });
+  return out;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,56 @@
+#ifndef STREAMLINK_CORE_SIMILARITY_JOIN_H_
+#define STREAMLINK_CORE_SIMILARITY_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/minhash_predictor.h"
+#include "core/top_k_engine.h"
+
+namespace streamlink {
+
+/// Options for AllPairsSimilarVertices.
+struct SimilarityJoinOptions {
+  /// Report pairs whose estimated Jaccard is at least this.
+  double threshold = 0.5;
+  /// MinHash rows per LSH band; 0 = choose automatically so the banding
+  /// S-curve's 50%-collision point sits near `threshold`
+  /// (t ≈ (1/b)^(1/r) with b = k/r bands).
+  uint32_t rows_per_band = 0;
+  /// Skip candidate pairs sharing no bucket of at least 2 — always true by
+  /// construction; this caps pathological buckets instead: buckets larger
+  /// than this are truncated (they arise from many identical
+  /// neighborhoods; the survivors still pair with each other).
+  uint32_t max_bucket = 256;
+};
+
+/// All-pairs neighborhood-similarity join over EVERY vertex the predictor
+/// has seen, via LSH banding of the MinHash vectors (Broder/LSH classic):
+/// split each vertex's k slot-minima into b bands of r rows; vertices
+/// agreeing on an entire band land in the same bucket and become
+/// candidates; candidates are verified with the full matched-slot
+/// estimate. A pair with Jaccard J collides in at least one band with
+/// probability 1 − (1 − J^r)^b — the S-curve that makes the join output-
+/// sensitive: nothing close to quadratic is ever enumerated.
+///
+/// Everything runs on sketch state only (no adjacency anywhere), so the
+/// join answers "which vertices play the same structural role right now?"
+/// on a live stream. Returned pairs are distinct, u < v, sorted by
+/// descending estimated Jaccard; scores are estimates (k-slot precision).
+std::vector<ScoredPair> AllPairsSimilarVertices(
+    const MinHashPredictor& predictor,
+    const SimilarityJoinOptions& options = {});
+
+/// The banding parameters the join would use for a sketch width k and
+/// threshold t (exposed for tests and tuning): rows per band r and the
+/// implied 50%-collision threshold (1/b)^(1/r).
+struct BandingPlan {
+  uint32_t rows_per_band = 1;
+  uint32_t num_bands = 1;
+  double implied_threshold = 0.0;
+};
+BandingPlan ChooseBanding(uint32_t num_hashes, double threshold);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_CORE_SIMILARITY_JOIN_H_

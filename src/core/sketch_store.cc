@@ -1,0 +1,19 @@
+#include "core/sketch_store.h"
+
+namespace streamlink {
+
+void DegreeTable::Increment(VertexId u) {
+  if (u >= degrees_.size()) degrees_.resize(u + 1, 0);
+  ++degrees_[u];
+}
+
+void DegreeTable::MergeFrom(const DegreeTable& other) {
+  if (other.degrees_.size() > degrees_.size()) {
+    degrees_.resize(other.degrees_.size(), 0);
+  }
+  for (size_t u = 0; u < other.degrees_.size(); ++u) {
+    degrees_[u] += other.degrees_[u];
+  }
+}
+
+}  // namespace streamlink

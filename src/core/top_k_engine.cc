@@ -1,0 +1,115 @@
+#include "core/top_k_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/minhash_predictor.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+namespace {
+
+bool ScoredBetter(const ScoredPair& a, const ScoredPair& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.pair.u != b.pair.u) return a.pair.u < b.pair.u;
+  return a.pair.v < b.pair.v;
+}
+
+std::vector<ScoredPair> SelectTopK(std::vector<ScoredPair>& scored,
+                                   uint32_t k) {
+  if (scored.size() > k) {
+    std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                      ScoredBetter);
+    scored.resize(k);
+  } else {
+    std::sort(scored.begin(), scored.end(), ScoredBetter);
+  }
+  return std::move(scored);
+}
+
+}  // namespace
+
+std::vector<ScoredPair> TopKEngine::TopK(
+    const std::vector<QueryPair>& candidates, uint32_t k) const {
+  std::vector<ScoredPair> scored;
+  scored.reserve(candidates.size());
+  for (const QueryPair& p : candidates) {
+    scored.push_back(ScoredPair{p, predictor_.Score(measure_, p.u, p.v)});
+  }
+  return SelectTopK(scored, k);
+}
+
+std::vector<ScoredPair> TopKEngine::TopKForVertex(
+    VertexId u, const std::vector<VertexId>& partners, uint32_t k) const {
+  std::vector<ScoredPair> scored;
+  scored.reserve(partners.size());
+  for (VertexId v : partners) {
+    if (v == u) continue;
+    scored.push_back(
+        ScoredPair{QueryPair{u, v}, predictor_.Score(measure_, u, v)});
+  }
+  return SelectTopK(scored, k);
+}
+
+std::vector<QueryPair> TwoHopCandidates(const CsrGraph& graph, VertexId u,
+                                        uint32_t max_candidates) {
+  SL_CHECK(u < graph.num_vertices()) << "vertex out of range";
+  std::unordered_set<VertexId> seen;
+  std::vector<QueryPair> out;
+  for (VertexId w : graph.Neighbors(u)) {
+    for (VertexId v : graph.Neighbors(w)) {
+      if (v == u) continue;
+      if (graph.HasEdge(u, v)) continue;
+      if (!seen.insert(v).second) continue;
+      out.push_back(QueryPair{u, v});
+      if (max_candidates > 0 && out.size() >= max_candidates) return out;
+    }
+  }
+  return out;
+}
+
+std::vector<QueryPair> AllTwoHopCandidates(const CsrGraph& graph,
+                                           uint32_t max_per_vertex) {
+  std::vector<QueryPair> out;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    auto candidates = TwoHopCandidates(graph, u, max_per_vertex);
+    for (const QueryPair& p : candidates) {
+      if (p.u < p.v) out.push_back(p);  // emit each unordered pair once
+    }
+  }
+  return out;
+}
+
+std::vector<QueryPair> SketchTwoHopCandidates(const MinHashPredictor& sketch,
+                                              VertexId u,
+                                              uint32_t max_candidates) {
+  std::vector<QueryPair> out;
+  const MinHashSketch* su = sketch.Sketch(u);
+  if (su == nullptr || su->IsEmpty()) return out;
+
+  // Distinct sampled neighbors of u.
+  std::unordered_set<VertexId> neighbors;
+  for (const auto& slot : su->slots()) {
+    if (slot.hash == ~0ULL) continue;
+    neighbors.insert(static_cast<VertexId>(slot.item));
+  }
+
+  std::unordered_set<VertexId> seen;  // candidates emitted so far
+  for (VertexId w : neighbors) {
+    const MinHashSketch* sw = sketch.Sketch(w);
+    if (sw == nullptr || sw->IsEmpty()) continue;
+    for (const auto& slot : sw->slots()) {
+      if (slot.hash == ~0ULL) continue;
+      VertexId v = static_cast<VertexId>(slot.item);
+      if (v == u) continue;
+      if (neighbors.count(v) > 0) continue;  // sampled as already linked
+      if (!seen.insert(v).second) continue;
+      out.push_back(QueryPair{u, v});
+      if (max_candidates > 0 && out.size() >= max_candidates) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace streamlink

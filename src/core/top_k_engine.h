@@ -1,0 +1,74 @@
+#ifndef STREAMLINK_CORE_TOP_K_ENGINE_H_
+#define STREAMLINK_CORE_TOP_K_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/link_predictor.h"
+#include "gen/pair_sampler.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace streamlink {
+
+/// A scored link-prediction candidate.
+struct ScoredPair {
+  QueryPair pair;
+  double score;
+};
+
+/// Ranks candidate pairs by a predictor's estimated measure and returns
+/// the best. This is the end-task query layer: "which links are most
+/// likely to form next?" Candidates come from the caller (streaming
+/// predictors hold no adjacency to enumerate from) or from a graph
+/// snapshot via TwoHopCandidates.
+class TopKEngine {
+ public:
+  TopKEngine(const LinkPredictor& predictor, LinkMeasure measure)
+      : predictor_(predictor), measure_(measure) {}
+
+  /// Scores every candidate and returns the `k` highest, descending by
+  /// score; ties break toward the lexicographically smaller pair (stable,
+  /// reproducible output).
+  std::vector<ScoredPair> TopK(const std::vector<QueryPair>& candidates,
+                               uint32_t k) const;
+
+  /// Scores a single vertex's candidates: returns the `k` best partners
+  /// for `u` among `partners`.
+  std::vector<ScoredPair> TopKForVertex(VertexId u,
+                                        const std::vector<VertexId>& partners,
+                                        uint32_t k) const;
+
+ private:
+  const LinkPredictor& predictor_;
+  LinkMeasure measure_;
+};
+
+/// Enumerates non-adjacent 2-hop pairs around `u` in a snapshot: the
+/// standard link-prediction candidate set (pairs at distance exactly 2).
+/// Capped at `max_candidates` (0 = unlimited).
+std::vector<QueryPair> TwoHopCandidates(const CsrGraph& graph, VertexId u,
+                                        uint32_t max_candidates = 0);
+
+/// All-pairs variant: non-adjacent 2-hop pairs of the whole snapshot,
+/// capped at `max_candidates` per center vertex. O(Σ wedges).
+std::vector<QueryPair> AllTwoHopCandidates(const CsrGraph& graph,
+                                           uint32_t max_per_vertex = 0);
+
+class MinHashPredictor;
+
+/// Candidate generation WITHOUT any graph snapshot: mines the predictor's
+/// own sketches. The arg-min items of u's MinHash slots are up to k
+/// uniform samples of N(u); chaining through *their* sketches samples the
+/// 2-hop neighborhood. Returns distinct non-self candidates (u's sampled
+/// neighbors excluded — they are already linked). Recall against the true
+/// 2-hop set grows with k and is measured in tests; this is what makes
+/// fully streaming "who will u connect to next?" queries possible when no
+/// adjacency exists anywhere.
+std::vector<QueryPair> SketchTwoHopCandidates(const MinHashPredictor& sketch,
+                                              VertexId u,
+                                              uint32_t max_candidates = 0);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_CORE_TOP_K_ENGINE_H_

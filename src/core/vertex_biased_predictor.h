@@ -1,0 +1,75 @@
+#ifndef STREAMLINK_CORE_VERTEX_BIASED_PREDICTOR_H_
+#define STREAMLINK_CORE_VERTEX_BIASED_PREDICTOR_H_
+
+#include <string>
+
+#include "core/link_predictor.h"
+#include "core/sketch_store.h"
+#include "sketch/minhash.h"
+#include "sketch/weighted_sampler.h"
+#include "util/hashing.h"
+
+namespace streamlink {
+
+/// Options for VertexBiasedPredictor.
+struct VertexBiasedPredictorOptions {
+  /// MinHash slots for the Jaccard / common-neighbor part.
+  uint32_t num_hashes = 32;
+  /// Weighted-sampler slots for the Adamic-Adar part.
+  uint32_t num_weighted_samples = 32;
+  uint64_t seed = 0x5eed;
+};
+
+/// The paper's "vertex-biased sampling" refinement for Adamic-Adar.
+///
+/// Uniform intersection sampling (MinHashPredictor's AA path) weights all
+/// common neighbors equally, but AA's mass concentrates on *low-degree*
+/// common neighbors (weight 1/ln d(w)). On skewed graphs a uniform sample
+/// mostly hits hubs whose contribution is negligible — high variance. This
+/// predictor keeps, per vertex, a coordinated bottom-k *weighted* sampler
+/// (exponential ranks, rank = Exp(hash(w)) · ln(d(w)+e)) that
+/// preferentially retains low-degree neighbors, and estimates
+/// AA(u,v) directly as a coordinated-sample weighted-intersection sum with
+/// Horvitz-Thompson correction (see sketch/weighted_sampler.h).
+///
+/// Degrees evolve during the stream; an entry's stored weight is the
+/// weight at its last offer. Re-offers (duplicate or refreshed edges)
+/// recompute ranks with fresh weights. Weight drift is logarithmic in
+/// degree and its residual effect is measured by the T8 ablation.
+///
+/// Jaccard / CN are served by an embedded MinHash part (the paper's system
+/// likewise maintains one sketch per target measure; total state is still
+/// O(k) per vertex).
+class VertexBiasedPredictor : public LinkPredictor {
+ public:
+  explicit VertexBiasedPredictor(
+      const VertexBiasedPredictorOptions& options = {});
+
+  std::string name() const override { return "vertex_biased"; }
+  OverlapEstimate EstimateOverlap(VertexId u, VertexId v) const override;
+  VertexId num_vertices() const override;
+  uint64_t MemoryBytes() const override;
+
+  const VertexBiasedPredictorOptions& options() const { return options_; }
+  uint32_t Degree(VertexId u) const { return degrees_.Degree(u); }
+
+  /// The sampling weight used for a vertex of degree d: 1/ln(d + e).
+  /// Strictly positive and monotone-decreasing; tracks the AA weight
+  /// 1/ln(d) closely for d >= 2.
+  static double SamplingWeight(uint32_t degree);
+
+ protected:
+  void ProcessEdge(const Edge& edge) override;
+
+ private:
+  VertexBiasedPredictorOptions options_;
+  HashFamily family_;             // for the MinHash part
+  uint64_t exp_seed_;             // hash seed for shared Exp(1) variates
+  SketchStore<MinHashSketch> minhash_store_;
+  SketchStore<WeightedBottomKSampler> weighted_store_;
+  DegreeTable degrees_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_CORE_VERTEX_BIASED_PREDICTOR_H_

@@ -1,0 +1,52 @@
+#include "core/weighted_predictor.h"
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+WeightedJaccardPredictor::WeightedJaccardPredictor(
+    const WeightedPredictorOptions& options)
+    : options_(options), store_([options] {
+        return IcwsSketch(options.num_slots, options.seed);
+      }) {
+  SL_CHECK(options.num_slots >= 1) << "num_slots must be >= 1";
+}
+
+void WeightedJaccardPredictor::OnWeightedEdge(const WeightedEdge& edge) {
+  if (edge.u == edge.v) return;
+  SL_CHECK(edge.weight > 0.0) << "edge weights must be positive";
+  ++edges_processed_;
+  store_.Mutable(edge.u).Update(edge.v, edge.weight);
+  store_.Mutable(edge.v).Update(edge.u, edge.weight);
+  VertexId needed = std::max(edge.u, edge.v) + 1;
+  if (needed > strength_.size()) strength_.resize(needed, 0.0);
+  strength_[edge.u] += edge.weight;
+  strength_[edge.v] += edge.weight;
+}
+
+WeightedJaccardPredictor::WeightedEstimate WeightedJaccardPredictor::Estimate(
+    VertexId u, VertexId v) const {
+  WeightedEstimate est;
+  est.strength_u = Strength(u);
+  est.strength_v = Strength(v);
+  const double strength_sum = est.strength_u + est.strength_v;
+
+  const IcwsSketch* su = store_.Get(u);
+  const IcwsSketch* sv = store_.Get(v);
+  if (su == nullptr || sv == nullptr || su->IsEmpty() || sv->IsEmpty()) {
+    est.max_sum = strength_sum;
+    return est;
+  }
+  est.generalized_jaccard = IcwsSketch::EstimateGeneralizedJaccard(*su, *sv);
+  // Σmin + Σmax = S_u + S_v and J = Σmin/Σmax.
+  est.max_sum = strength_sum / (1.0 + est.generalized_jaccard);
+  est.min_sum = est.generalized_jaccard * est.max_sum;
+  return est;
+}
+
+uint64_t WeightedJaccardPredictor::MemoryBytes() const {
+  return store_.MemoryBytes() + sizeof(*this) +
+         strength_.capacity() * sizeof(double);
+}
+
+}  // namespace streamlink

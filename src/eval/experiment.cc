@@ -1,0 +1,41 @@
+#include "eval/experiment.h"
+
+#include "core/exact_predictor.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+void FeedStream(LinkPredictor& predictor, const EdgeList& edges) {
+  for (const Edge& e : edges) predictor.OnEdge(e);
+}
+
+AccuracyReport MeasureAccuracyAgainst(const LinkPredictor& predictor,
+                                      const LinkPredictor& exact,
+                                      const std::vector<QueryPair>& pairs) {
+  AccuracyReport report;
+  report.predictor = predictor.name();
+  report.query_pairs = pairs.size();
+  for (const QueryPair& p : pairs) {
+    OverlapEstimate truth = exact.EstimateOverlap(p.u, p.v);
+    OverlapEstimate est = predictor.EstimateOverlap(p.u, p.v);
+    report.jaccard.Add(truth.jaccard, est.jaccard);
+    report.common_neighbors.Add(truth.intersection, est.intersection);
+    report.adamic_adar.Add(truth.adamic_adar, est.adamic_adar);
+  }
+  return report;
+}
+
+AccuracyReport MeasureAccuracy(const GeneratedGraph& graph,
+                               const PredictorConfig& config,
+                               const std::vector<QueryPair>& pairs) {
+  auto predictor = MakePredictor(config);
+  SL_CHECK(predictor.ok()) << predictor.status().ToString();
+  ExactPredictor exact;
+  FeedStream(**predictor, graph.edges);
+  FeedStream(exact, graph.edges);
+  AccuracyReport report = MeasureAccuracyAgainst(**predictor, exact, pairs);
+  report.sketch_size = config.sketch_size;
+  return report;
+}
+
+}  // namespace streamlink

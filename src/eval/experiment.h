@@ -1,0 +1,48 @@
+#ifndef STREAMLINK_EVAL_EXPERIMENT_H_
+#define STREAMLINK_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/link_predictor.h"
+#include "core/predictor_factory.h"
+#include "eval/relative_error.h"
+#include "gen/generated_graph.h"
+#include "gen/pair_sampler.h"
+
+namespace streamlink {
+
+/// Shared plumbing for the bench harness and integration tests, so each
+/// experiment binary is a thin parameter sweep around these calls.
+
+/// Feeds every edge of `edges` into `predictor` (self-loops dropped by the
+/// predictor itself).
+void FeedStream(LinkPredictor& predictor, const EdgeList& edges);
+
+/// Per-measure error statistics of one predictor against exact ground
+/// truth on a fixed query set.
+struct AccuracyReport {
+  std::string predictor;
+  uint32_t sketch_size = 0;
+  ErrorAccumulator jaccard;
+  ErrorAccumulator common_neighbors;
+  ErrorAccumulator adamic_adar;
+  uint64_t query_pairs = 0;
+};
+
+/// Builds the predictor from `config`, streams `graph.edges` into it and
+/// into an exact baseline, then accumulates errors for the paper's three
+/// measures over `pairs`.
+AccuracyReport MeasureAccuracy(const GeneratedGraph& graph,
+                               const PredictorConfig& config,
+                               const std::vector<QueryPair>& pairs);
+
+/// As above but reuses an already-fed predictor and exact baseline
+/// (callers doing their own streaming, e.g. checkpointed runs).
+AccuracyReport MeasureAccuracyAgainst(const LinkPredictor& predictor,
+                                      const LinkPredictor& exact,
+                                      const std::vector<QueryPair>& pairs);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_EVAL_EXPERIMENT_H_

@@ -1,0 +1,93 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+namespace {
+
+/// Sorts descending by score (stable, so equal scores keep input order).
+void SortDescending(std::vector<LabeledScore>& examples) {
+  std::stable_sort(examples.begin(), examples.end(),
+                   [](const LabeledScore& a, const LabeledScore& b) {
+                     return a.score > b.score;
+                   });
+}
+
+}  // namespace
+
+double ComputeAuc(std::vector<LabeledScore> examples) {
+  uint64_t positives = 0, negatives = 0;
+  for (const LabeledScore& e : examples) {
+    e.positive ? ++positives : ++negatives;
+  }
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  // Ascending by score; assign midranks to ties.
+  std::sort(examples.begin(), examples.end(),
+            [](const LabeledScore& a, const LabeledScore& b) {
+              return a.score < b.score;
+            });
+  double positive_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < examples.size()) {
+    size_t j = i;
+    while (j < examples.size() && examples[j].score == examples[i].score) ++j;
+    // Ranks i+1 .. j (1-based); midrank:
+    double midrank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    for (size_t t = i; t < j; ++t) {
+      if (examples[t].positive) positive_rank_sum += midrank;
+    }
+    i = j;
+  }
+  double p = static_cast<double>(positives);
+  double n = static_cast<double>(negatives);
+  return (positive_rank_sum - p * (p + 1.0) / 2.0) / (p * n);
+}
+
+double PrecisionAtK(std::vector<LabeledScore> examples, uint32_t k) {
+  if (examples.empty() || k == 0) return 0.0;
+  SortDescending(examples);
+  uint32_t limit = std::min<uint64_t>(k, examples.size());
+  uint32_t hits = 0;
+  for (uint32_t i = 0; i < limit; ++i) {
+    if (examples[i].positive) ++hits;
+  }
+  return static_cast<double>(hits) / limit;
+}
+
+double RecallAtK(std::vector<LabeledScore> examples, uint32_t k) {
+  uint64_t positives = 0;
+  for (const LabeledScore& e : examples) {
+    if (e.positive) ++positives;
+  }
+  if (positives == 0 || k == 0) return 0.0;
+  SortDescending(examples);
+  uint32_t limit = std::min<uint64_t>(k, examples.size());
+  uint32_t hits = 0;
+  for (uint32_t i = 0; i < limit; ++i) {
+    if (examples[i].positive) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(positives);
+}
+
+double AveragePrecision(std::vector<LabeledScore> examples) {
+  uint64_t positives = 0;
+  for (const LabeledScore& e : examples) {
+    if (e.positive) ++positives;
+  }
+  if (positives == 0) return 0.0;
+  SortDescending(examples);
+  double sum = 0.0;
+  uint64_t hits = 0;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    if (!examples[i].positive) continue;
+    ++hits;
+    sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+  }
+  return sum / static_cast<double>(positives);
+}
+
+}  // namespace streamlink

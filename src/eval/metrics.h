@@ -1,0 +1,38 @@
+#ifndef STREAMLINK_EVAL_METRICS_H_
+#define STREAMLINK_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace streamlink {
+
+/// Binary-classification ranking metrics over (score, is_positive) pairs —
+/// the end-task quality measures of the prediction-quality experiment (F6).
+
+/// A scored example with a ground-truth label.
+struct LabeledScore {
+  double score;
+  bool positive;
+};
+
+/// Area under the ROC curve computed by the rank statistic
+/// AUC = (Σ ranks of positives − P(P+1)/2) / (P·N), with midrank tie
+/// handling (ties contribute 1/2). Returns 0.5 when either class is empty
+/// (no ranking information).
+double ComputeAuc(std::vector<LabeledScore> examples);
+
+/// Precision among the k highest-scoring examples (ties broken by stable
+/// order after a stable sort on descending score). k is clamped to size.
+double PrecisionAtK(std::vector<LabeledScore> examples, uint32_t k);
+
+/// Recall among the k highest-scoring examples: fraction of all positives
+/// that appear in the top k.
+double RecallAtK(std::vector<LabeledScore> examples, uint32_t k);
+
+/// Average precision (area under the precision-recall curve, step
+/// interpolation): mean over positives of precision at each positive hit.
+double AveragePrecision(std::vector<LabeledScore> examples);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_EVAL_METRICS_H_

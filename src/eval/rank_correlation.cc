@@ -1,0 +1,143 @@
+#include "eval/rank_correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+std::vector<double> MidRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return values[x] < values[y]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && values[order[j]] == values[order[i]]) ++j;
+    double midrank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    for (size_t t = i; t < j; ++t) ranks[order[t]] = midrank;
+    i = j;
+  }
+  return ranks;
+}
+
+namespace {
+
+/// Counts inversions in `v` by merge sort. Used for Kendall's discordant
+/// pair count.
+uint64_t CountInversions(std::vector<double>& v, std::vector<double>& buffer,
+                         size_t lo, size_t hi) {
+  if (hi - lo <= 1) return 0;
+  size_t mid = lo + (hi - lo) / 2;
+  uint64_t count = CountInversions(v, buffer, lo, mid) +
+                   CountInversions(v, buffer, mid, hi);
+  size_t i = lo, j = mid, out = lo;
+  while (i < mid && j < hi) {
+    if (v[i] <= v[j]) {
+      buffer[out++] = v[i++];
+    } else {
+      count += mid - i;
+      buffer[out++] = v[j++];
+    }
+  }
+  while (i < mid) buffer[out++] = v[i++];
+  while (j < hi) buffer[out++] = v[j++];
+  std::copy(buffer.begin() + lo, buffer.begin() + hi, v.begin() + lo);
+  return count;
+}
+
+/// Σ t(t-1)/2 over groups of tied values.
+uint64_t TiePairs(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  uint64_t pairs = 0;
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t j = i;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    uint64_t t = j - i;
+    pairs += t * (t - 1) / 2;
+    i = j;
+  }
+  return pairs;
+}
+
+}  // namespace
+
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b) {
+  SL_CHECK(a.size() == b.size()) << "rank correlation needs equal sizes";
+  SL_CHECK(a.size() >= 2) << "rank correlation needs at least 2 items";
+  const size_t n = a.size();
+  const uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+
+  // Sort by a (breaking ties by b so tied-a groups are b-sorted, making
+  // within-group b-inversions zero as required by tau-b accounting).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    if (a[x] != a[y]) return a[x] < a[y];
+    return b[x] < b[y];
+  });
+
+  std::vector<double> b_sorted(n);
+  for (size_t i = 0; i < n; ++i) b_sorted[i] = b[order[i]];
+
+  // Joint ties (same a AND same b).
+  uint64_t joint_ties = 0;
+  {
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j < n && a[order[j]] == a[order[i]] &&
+             b[order[j]] == b[order[i]])
+        ++j;
+      uint64_t t = j - i;
+      joint_ties += t * (t - 1) / 2;
+      i = j;
+    }
+  }
+
+  uint64_t ties_a = TiePairs(a);
+  uint64_t ties_b = TiePairs(b);
+
+  std::vector<double> buffer(n);
+  uint64_t discordant = CountInversions(b_sorted, buffer, 0, n);
+
+  // Pairs tied in neither: total - ties_a - ties_b + joint (inclusion-
+  // exclusion). Concordant = those - discordant.
+  uint64_t tied_any = ties_a + ties_b - joint_ties;
+  uint64_t comparable = total_pairs - tied_any;
+  double numerator =
+      static_cast<double>(comparable) - 2.0 * static_cast<double>(discordant);
+  double denom = std::sqrt(static_cast<double>(total_pairs - ties_a)) *
+                 std::sqrt(static_cast<double>(total_pairs - ties_b));
+  if (denom == 0.0) return 0.0;
+  return numerator / denom;
+}
+
+double SpearmanRho(const std::vector<double>& a, const std::vector<double>& b) {
+  SL_CHECK(a.size() == b.size()) << "rank correlation needs equal sizes";
+  SL_CHECK(a.size() >= 2) << "rank correlation needs at least 2 items";
+  std::vector<double> ra = MidRanks(a);
+  std::vector<double> rb = MidRanks(b);
+  const double n = static_cast<double>(a.size());
+  double mean = (n + 1.0) / 2.0;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = ra[i] - mean;
+    double db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  double denom = std::sqrt(var_a) * std::sqrt(var_b);
+  if (denom == 0.0) return 0.0;
+  return cov / denom;
+}
+
+}  // namespace streamlink

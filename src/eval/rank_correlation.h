@@ -1,0 +1,27 @@
+#ifndef STREAMLINK_EVAL_RANK_CORRELATION_H_
+#define STREAMLINK_EVAL_RANK_CORRELATION_H_
+
+#include <vector>
+
+namespace streamlink {
+
+/// Rank-agreement statistics between exact and estimated score vectors —
+/// link prediction consumes *rankings*, so rank correlation is often the
+/// more honest accuracy metric than pointwise error.
+
+/// Kendall tau-b: concordant/discordant pair statistic with tie
+/// correction. O(n log n) via merge-sort inversion counting.
+/// Preconditions: equal sizes, size >= 2.
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Spearman rank correlation: Pearson correlation of midrank vectors.
+/// Preconditions: equal sizes, size >= 2.
+double SpearmanRho(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Fractional (midrank) ranks of `values`, 1-based; ties share the mean of
+/// the ranks they span. Exposed for tests.
+std::vector<double> MidRanks(const std::vector<double>& values);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_EVAL_RANK_CORRELATION_H_

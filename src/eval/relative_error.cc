@@ -1,0 +1,62 @@
+#include "eval/relative_error.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+void ErrorAccumulator::Add(double exact, double estimate) {
+  ++count_;
+  double diff = estimate - exact;
+  abs_error_sum_ += std::abs(diff);
+  squared_error_sum_ += diff * diff;
+  signed_error_sum_ += diff;
+  if (exact > 0.0) {
+    relative_errors_.push_back(std::abs(diff) / exact);
+    sorted_ = false;
+  }
+}
+
+double ErrorAccumulator::MeanRelativeError() const {
+  if (relative_errors_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double e : relative_errors_) sum += e;
+  return sum / static_cast<double>(relative_errors_.size());
+}
+
+double ErrorAccumulator::RelativeErrorQuantile(double q) const {
+  SL_CHECK(q >= 0.0 && q <= 1.0) << "quantile must be in [0,1]";
+  if (relative_errors_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(relative_errors_.begin(), relative_errors_.end());
+    sorted_ = true;
+  }
+  size_t idx = static_cast<size_t>(q * (relative_errors_.size() - 1) + 0.5);
+  return relative_errors_[idx];
+}
+
+double ErrorAccumulator::MedianRelativeError() const {
+  return RelativeErrorQuantile(0.5);
+}
+
+double ErrorAccumulator::MaxRelativeError() const {
+  return RelativeErrorQuantile(1.0);
+}
+
+double ErrorAccumulator::MeanAbsoluteError() const {
+  return count_ > 0 ? abs_error_sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double ErrorAccumulator::RootMeanSquaredError() const {
+  return count_ > 0
+             ? std::sqrt(squared_error_sum_ / static_cast<double>(count_))
+             : 0.0;
+}
+
+double ErrorAccumulator::MeanSignedError() const {
+  return count_ > 0 ? signed_error_sum_ / static_cast<double>(count_) : 0.0;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,50 @@
+#ifndef STREAMLINK_EVAL_RELATIVE_ERROR_H_
+#define STREAMLINK_EVAL_RELATIVE_ERROR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace streamlink {
+
+/// Accumulates estimation-error statistics over query pairs — the core
+/// accuracy metric of experiments F2/F3/T8/F9.
+///
+/// For each (exact, estimate) observation the accumulator records:
+///  * relative error |est − exact| / exact, over observations with
+///    exact > 0 (relative error is undefined at zero);
+///  * absolute error |est − exact|, over all observations;
+///  * signed bias (est − exact), over all observations.
+class ErrorAccumulator {
+ public:
+  ErrorAccumulator() = default;
+
+  void Add(double exact, double estimate);
+
+  uint64_t count() const { return count_; }
+  uint64_t nonzero_count() const {
+    return static_cast<uint64_t>(relative_errors_.size());
+  }
+
+  double MeanRelativeError() const;
+  double MedianRelativeError() const;
+  /// q in [0, 1]; nearest-rank quantile of the relative errors.
+  double RelativeErrorQuantile(double q) const;
+  double MaxRelativeError() const;
+
+  double MeanAbsoluteError() const;
+  double RootMeanSquaredError() const;
+  /// Mean of (estimate − exact): ≈0 indicates an unbiased estimator.
+  double MeanSignedError() const;
+
+ private:
+  mutable std::vector<double> relative_errors_;  // sorted lazily
+  mutable bool sorted_ = false;
+  uint64_t count_ = 0;
+  double abs_error_sum_ = 0.0;
+  double squared_error_sum_ = 0.0;
+  double signed_error_sum_ = 0.0;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_EVAL_RELATIVE_ERROR_H_

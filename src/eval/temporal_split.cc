@@ -1,0 +1,87 @@
+#include "eval/temporal_split.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+TrainTestSplit MakeTemporalSplit(const EdgeList& stream,
+                                 double train_fraction) {
+  SL_CHECK(train_fraction > 0.0 && train_fraction < 1.0)
+      << "train_fraction must be in (0,1)";
+  TrainTestSplit split;
+  size_t cut = static_cast<size_t>(train_fraction * stream.size());
+  split.train.assign(stream.begin(), stream.begin() + cut);
+
+  std::unordered_set<Edge, EdgeHash> train_edges;
+  std::unordered_set<VertexId> train_vertices;
+  train_edges.reserve(cut * 2);
+  for (const Edge& e : split.train) {
+    train_edges.insert(e.Canonical());
+    train_vertices.insert(e.u);
+    train_vertices.insert(e.v);
+  }
+
+  std::unordered_set<Edge, EdgeHash> seen_test;
+  for (size_t i = cut; i < stream.size(); ++i) {
+    Edge e = stream[i].Canonical();
+    if (e.IsSelfLoop()) continue;
+    if (train_edges.count(e) > 0) continue;
+    if (train_vertices.count(e.u) == 0 || train_vertices.count(e.v) == 0) {
+      continue;  // endpoints unseen at prediction time: not predictable
+    }
+    if (!seen_test.insert(e).second) continue;
+    split.test_positives.push_back(e);
+  }
+  return split;
+}
+
+LabeledPairs MakeLabeledPairs(const TrainTestSplit& split,
+                              double negatives_per_positive, Rng& rng) {
+  SL_CHECK(negatives_per_positive > 0.0)
+      << "need a positive negative-sampling ratio";
+  LabeledPairs out;
+
+  std::unordered_set<Edge, EdgeHash> known;
+  std::vector<VertexId> train_vertices;
+  {
+    std::unordered_set<VertexId> vertex_set;
+    for (const Edge& e : split.train) {
+      known.insert(e.Canonical());
+      vertex_set.insert(e.u);
+      vertex_set.insert(e.v);
+    }
+    for (const Edge& e : split.test_positives) known.insert(e.Canonical());
+    train_vertices.assign(vertex_set.begin(), vertex_set.end());
+    std::sort(train_vertices.begin(), train_vertices.end());
+  }
+  SL_CHECK(train_vertices.size() >= 2) << "train graph too small";
+
+  for (const Edge& e : split.test_positives) {
+    out.pairs.push_back(QueryPair{e.u, e.v});
+    out.labels.push_back(true);
+  }
+
+  uint64_t target_negatives = static_cast<uint64_t>(
+      negatives_per_positive *
+      static_cast<double>(split.test_positives.size()));
+  std::unordered_set<Edge, EdgeHash> sampled;
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = target_negatives * 64 + 4096;
+  while (sampled.size() < target_negatives && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = train_vertices[rng.NextBounded(train_vertices.size())];
+    VertexId v = train_vertices[rng.NextBounded(train_vertices.size())];
+    if (u == v) continue;
+    Edge e = Edge(u, v).Canonical();
+    if (known.count(e) > 0) continue;
+    if (!sampled.insert(e).second) continue;
+    out.pairs.push_back(QueryPair{e.u, e.v});
+    out.labels.push_back(false);
+  }
+  return out;
+}
+
+}  // namespace streamlink

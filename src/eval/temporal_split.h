@@ -1,0 +1,40 @@
+#ifndef STREAMLINK_EVAL_TEMPORAL_SPLIT_H_
+#define STREAMLINK_EVAL_TEMPORAL_SPLIT_H_
+
+#include <vector>
+
+#include "gen/pair_sampler.h"
+#include "graph/types.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+/// Temporal train/test split of an edge stream: the prefix is observed
+/// (train), the suffix is the future to predict (test). The standard
+/// link-prediction evaluation protocol (F6).
+struct TrainTestSplit {
+  EdgeList train;
+  /// Future edges that are predictable: both endpoints appear in train and
+  /// the edge is not already in train (deduplicated, canonical).
+  EdgeList test_positives;
+};
+
+/// Splits `stream` at `train_fraction` of its length and filters the test
+/// suffix down to predictable positives.
+TrainTestSplit MakeTemporalSplit(const EdgeList& stream,
+                                 double train_fraction);
+
+/// The labeled example set for AUC/precision evaluation: all test
+/// positives plus `negatives_per_positive ×` as many sampled negatives —
+/// vertex pairs that are edges in neither train nor test.
+struct LabeledPairs {
+  std::vector<QueryPair> pairs;
+  std::vector<bool> labels;  // parallel to pairs; true = future edge
+};
+
+LabeledPairs MakeLabeledPairs(const TrainTestSplit& split,
+                              double negatives_per_positive, Rng& rng);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_EVAL_TEMPORAL_SPLIT_H_

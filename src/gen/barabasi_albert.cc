@@ -1,0 +1,51 @@
+#include "gen/barabasi_albert.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+GeneratedGraph GenerateBarabasiAlbert(const BarabasiAlbertParams& params,
+                                      Rng& rng) {
+  const VertexId n = params.num_vertices;
+  const uint32_t m = params.edges_per_vertex;
+  SL_CHECK(m >= 1) << "edges_per_vertex must be >= 1";
+  SL_CHECK(n > m) << "need more vertices than edges_per_vertex";
+
+  GeneratedGraph out;
+  out.name = "barabasi_albert";
+  out.num_vertices = n;
+  out.edges.reserve(static_cast<size_t>(n) * m);
+
+  // `targets` holds one entry per edge endpoint; sampling an entry
+  // uniformly samples a vertex proportionally to its degree.
+  std::vector<VertexId> targets;
+  targets.reserve(2 * static_cast<size_t>(n) * m);
+
+  // Seed: a clique on the first m+1 vertices.
+  for (VertexId u = 0; u <= m; ++u) {
+    for (VertexId v = u + 1; v <= m; ++v) {
+      out.edges.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+
+  std::unordered_set<VertexId> chosen;
+  for (VertexId u = m + 1; u < n; ++u) {
+    chosen.clear();
+    while (chosen.size() < m) {
+      VertexId v = targets[rng.NextBounded(targets.size())];
+      chosen.insert(v);
+    }
+    for (VertexId v : chosen) {
+      out.edges.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace streamlink

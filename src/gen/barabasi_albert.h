@@ -1,0 +1,26 @@
+#ifndef STREAMLINK_GEN_BARABASI_ALBERT_H_
+#define STREAMLINK_GEN_BARABASI_ALBERT_H_
+
+#include "gen/generated_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+/// Barabási–Albert preferential attachment: vertices arrive one at a time
+/// and connect `edges_per_vertex` edges to existing vertices with
+/// probability proportional to current degree. Produces the power-law
+/// degree distributions typical of social networks — the main "real-world
+/// stand-in" workload of the evaluation suite. The arrival order is a
+/// natural temporal stream (old vertices first), which also makes it the
+/// workload for temporal train/test splits.
+struct BarabasiAlbertParams {
+  VertexId num_vertices = 10000;
+  uint32_t edges_per_vertex = 5;  // m; also the size of the seed clique
+};
+
+GeneratedGraph GenerateBarabasiAlbert(const BarabasiAlbertParams& params,
+                                      Rng& rng);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GEN_BARABASI_ALBERT_H_

@@ -1,0 +1,78 @@
+#include "gen/configuration_model.h"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "graph/types.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+GeneratedGraph GenerateConfigurationModel(
+    const ConfigurationModelParams& params, Rng& rng) {
+  GeneratedGraph out;
+  out.name = "configuration_model";
+  out.num_vertices = static_cast<VertexId>(params.degrees.size());
+  if (params.degrees.empty()) return out;
+
+  uint64_t stub_count =
+      std::accumulate(params.degrees.begin(), params.degrees.end(),
+                      static_cast<uint64_t>(0));
+  SL_CHECK(stub_count % 2 == 0) << "degree sequence sum must be even";
+
+  std::vector<VertexId> stubs;
+  stubs.reserve(stub_count);
+  for (VertexId u = 0; u < params.degrees.size(); ++u) {
+    for (uint32_t i = 0; i < params.degrees[u]; ++i) stubs.push_back(u);
+  }
+  rng.Shuffle(stubs);
+
+  std::unordered_set<Edge, EdgeHash> seen;
+  seen.reserve(stub_count);
+  out.edges.reserve(stub_count / 2);
+  // Pair consecutive stubs; drop self-loops and duplicates (an "erased"
+  // configuration model — degree sequence is approximate, which is the
+  // standard practical compromise).
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    VertexId u = stubs[i], v = stubs[i + 1];
+    if (u == v) continue;
+    Edge e = Edge(u, v).Canonical();
+    if (!seen.insert(e).second) continue;
+    out.edges.push_back(e);
+  }
+  return out;
+}
+
+std::vector<uint32_t> PowerLawDegreeSequence(VertexId num_vertices,
+                                             double exponent,
+                                             uint32_t min_degree,
+                                             uint32_t max_degree, Rng& rng) {
+  SL_CHECK(min_degree >= 1 && min_degree <= max_degree)
+      << "need 1 <= min_degree <= max_degree";
+  SL_CHECK(exponent > 1.0) << "power-law exponent must exceed 1";
+
+  // Cumulative mass over the degree range.
+  std::vector<double> cumulative;
+  cumulative.reserve(max_degree - min_degree + 1);
+  double total = 0.0;
+  for (uint32_t d = min_degree; d <= max_degree; ++d) {
+    total += std::pow(static_cast<double>(d), -exponent);
+    cumulative.push_back(total);
+  }
+
+  std::vector<uint32_t> degrees(num_vertices);
+  uint64_t sum = 0;
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    double r = rng.NextDouble() * total;
+    size_t idx = std::lower_bound(cumulative.begin(), cumulative.end(), r) -
+                 cumulative.begin();
+    if (idx >= cumulative.size()) idx = cumulative.size() - 1;
+    degrees[u] = min_degree + static_cast<uint32_t>(idx);
+    sum += degrees[u];
+  }
+  if (sum % 2 == 1) ++degrees[0];  // make the stub count even
+  return degrees;
+}
+
+}  // namespace streamlink

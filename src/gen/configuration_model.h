@@ -1,0 +1,33 @@
+#ifndef STREAMLINK_GEN_CONFIGURATION_MODEL_H_
+#define STREAMLINK_GEN_CONFIGURATION_MODEL_H_
+
+#include <vector>
+
+#include "gen/generated_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+/// Configuration model: a uniform random simple graph with (approximately)
+/// a prescribed degree sequence, built by stub matching with rejection of
+/// self-loops and multi-edges. Gives direct control over degree skew — the
+/// knob the accuracy experiments sweep when isolating the effect of hub
+/// vertices on the estimators.
+struct ConfigurationModelParams {
+  std::vector<uint32_t> degrees;
+};
+
+GeneratedGraph GenerateConfigurationModel(
+    const ConfigurationModelParams& params, Rng& rng);
+
+/// Builds a discrete power-law degree sequence: P(d) ∝ d^-exponent for
+/// d in [min_degree, max_degree], sampled for `num_vertices` vertices
+/// (sum adjusted to even by bumping one vertex).
+std::vector<uint32_t> PowerLawDegreeSequence(VertexId num_vertices,
+                                             double exponent,
+                                             uint32_t min_degree,
+                                             uint32_t max_degree, Rng& rng);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GEN_CONFIGURATION_MODEL_H_

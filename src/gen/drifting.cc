@@ -1,0 +1,49 @@
+#include "gen/drifting.h"
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+DriftingStream GenerateDriftingStream(const DriftingStreamParams& params,
+                                      Rng& rng) {
+  SL_CHECK(params.num_phases >= 1) << "need at least one phase";
+  DriftingStream out;
+  out.graph.name = "drifting_sbm";
+  out.graph.num_vertices = params.num_vertices;
+
+  SbmParams sbm;
+  sbm.num_vertices = params.num_vertices;
+  sbm.num_blocks = params.num_blocks;
+  sbm.p_intra = params.p_intra;
+  sbm.p_inter = params.p_inter;
+
+  const VertexId shift_step =
+      params.num_vertices / std::max(1u, params.num_phases);
+  for (uint32_t phase = 0; phase < params.num_phases; ++phase) {
+    SbmGraph g = GenerateSbm(sbm, rng);
+    // Rotate vertex ids so the community structure moves each phase. The
+    // SBM assigns blocks as v % num_blocks (interleaved), so a shift that
+    // is a multiple of num_blocks would leave membership unchanged — add
+    // `phase` to break the divisibility and genuinely reshuffle blocks.
+    const VertexId shift =
+        (phase * shift_step + phase) % params.num_vertices;
+    out.phase_boundaries.push_back(out.graph.edges.size());
+    for (Edge e : g.graph.edges) {
+      e.u = (e.u + shift) % params.num_vertices;
+      e.v = (e.v + shift) % params.num_vertices;
+      out.graph.edges.push_back(e);
+    }
+    // Rotated block assignment: block of v in this phase is the block the
+    // unshifted generator assigned to (v - shift) mod n.
+    std::vector<uint32_t> blocks(params.num_vertices);
+    for (VertexId v = 0; v < params.num_vertices; ++v) {
+      VertexId original =
+          (v + params.num_vertices - shift) % params.num_vertices;
+      blocks[v] = g.block_of[original];
+    }
+    out.block_of_phase.push_back(std::move(blocks));
+  }
+  return out;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,41 @@
+#ifndef STREAMLINK_GEN_DRIFTING_H_
+#define STREAMLINK_GEN_DRIFTING_H_
+
+#include <vector>
+
+#include "gen/generated_graph.h"
+#include "gen/sbm.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+/// A non-stationary graph stream: several phases, each an SBM over the
+/// same vertex set with the block assignment rotated, concatenated in
+/// time. The canonical workload for sliding-window and concept-drift
+/// experiments (F11): within a phase, intra-community pairs are similar;
+/// across a phase boundary the "right" similarities change wholesale.
+struct DriftingStreamParams {
+  VertexId num_vertices = 2000;
+  uint32_t num_blocks = 5;
+  double p_intra = 0.04;
+  double p_inter = 0.0005;
+  uint32_t num_phases = 3;
+};
+
+struct DriftingStream {
+  /// The full concatenated stream, phase by phase.
+  GeneratedGraph graph;
+  /// Index of the first edge of each phase in graph.edges (size
+  /// num_phases); phase p spans [boundaries[p], boundaries[p+1]) with an
+  /// implicit final boundary at edges.size().
+  std::vector<size_t> phase_boundaries;
+  /// Per-phase block assignment of each vertex.
+  std::vector<std::vector<uint32_t>> block_of_phase;
+};
+
+DriftingStream GenerateDriftingStream(const DriftingStreamParams& params,
+                                      Rng& rng);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GEN_DRIFTING_H_

@@ -1,0 +1,80 @@
+#include "gen/erdos_renyi.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/types.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+GeneratedGraph GenerateErdosRenyi(const ErdosRenyiParams& params, Rng& rng) {
+  const uint64_t n = params.num_vertices;
+  SL_CHECK(n >= 2) << "Erdos-Renyi needs at least 2 vertices";
+  const uint64_t max_edges = n * (n - 1) / 2;
+  SL_CHECK(params.num_edges <= max_edges)
+      << "requested " << params.num_edges << " edges but only " << max_edges
+      << " pairs exist";
+
+  GeneratedGraph out;
+  out.name = "erdos_renyi";
+  out.num_vertices = params.num_vertices;
+  out.edges.reserve(params.num_edges);
+
+  std::unordered_set<Edge, EdgeHash> seen;
+  seen.reserve(params.num_edges * 2);
+  while (out.edges.size() < params.num_edges) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    Edge e = Edge(u, v).Canonical();
+    if (!seen.insert(e).second) continue;
+    out.edges.push_back(e);
+  }
+  return out;
+}
+
+GeneratedGraph GenerateErdosRenyiGnp(VertexId num_vertices, double p,
+                                     Rng& rng) {
+  SL_CHECK(num_vertices >= 2) << "G(n,p) needs at least 2 vertices";
+  SL_CHECK(p >= 0.0 && p <= 1.0) << "p must be in [0,1]";
+  GeneratedGraph out;
+  out.name = "erdos_renyi_gnp";
+  out.num_vertices = num_vertices;
+  if (p == 0.0) return out;
+
+  // Geometric skipping over the lexicographic enumeration of pairs
+  // (u, v), u < v. Positions are 0 .. n(n-1)/2 - 1.
+  const uint64_t n = num_vertices;
+  const uint64_t total_pairs = n * (n - 1) / 2;
+  uint64_t pos = 0;
+  bool first = true;
+  while (true) {
+    uint64_t skip = p >= 1.0 ? 0 : rng.NextGeometric(p);
+    pos += skip + (first ? 0 : 1);
+    first = false;
+    if (pos >= total_pairs) break;
+    // Invert position -> (u, v): u is the largest row whose prefix count
+    // row_offset(u) = u*n - u(u+3)/2 ... use direct scan-free inversion via
+    // the quadratic formula on cumulative pair counts.
+    // Pairs with first endpoint < u: C(u) = u*(2n - u - 1)/2.
+    double nd = static_cast<double>(n);
+    uint64_t u = static_cast<uint64_t>(
+        std::floor((2.0 * nd - 1.0 -
+                    std::sqrt((2.0 * nd - 1.0) * (2.0 * nd - 1.0) -
+                              8.0 * static_cast<double>(pos))) /
+                   2.0));
+    auto prefix = [n](uint64_t row) { return row * (2 * n - row - 1) / 2; };
+    while (prefix(u + 1) <= pos) ++u;  // guard against fp rounding
+    while (prefix(u) > pos) --u;
+    uint64_t v = u + 1 + (pos - prefix(u));
+    out.edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    if (p >= 1.0) {
+      // take every pair
+      continue;
+    }
+  }
+  return out;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,29 @@
+#ifndef STREAMLINK_GEN_ERDOS_RENYI_H_
+#define STREAMLINK_GEN_ERDOS_RENYI_H_
+
+#include "gen/generated_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+/// Parameters for the G(n, m) Erdős–Rényi model: exactly `num_edges`
+/// distinct undirected edges drawn uniformly from all pairs.
+struct ErdosRenyiParams {
+  VertexId num_vertices = 1000;
+  uint64_t num_edges = 5000;
+};
+
+/// Samples a uniform simple graph with exactly the requested edge count
+/// (rejection sampling on duplicate/self-loop pairs). Edge order is the
+/// random draw order. Precondition: num_edges <= n(n-1)/2.
+GeneratedGraph GenerateErdosRenyi(const ErdosRenyiParams& params, Rng& rng);
+
+/// G(n, p) variant: each pair independently with probability p, using
+/// geometric skipping (O(edges), not O(n^2)). Edge order is lexicographic
+/// scan order; shuffle with stream_order.h for a random arrival order.
+GeneratedGraph GenerateErdosRenyiGnp(VertexId num_vertices, double p,
+                                     Rng& rng);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GEN_ERDOS_RENYI_H_

@@ -1,0 +1,21 @@
+#ifndef STREAMLINK_GEN_GENERATED_GRAPH_H_
+#define STREAMLINK_GEN_GENERATED_GRAPH_H_
+
+#include <string>
+
+#include "graph/types.h"
+
+namespace streamlink {
+
+/// Output of every synthetic generator: the edge sequence *is* the stream
+/// (generation order), plus the vertex-set size (which may exceed the
+/// largest endpoint when isolated vertices exist).
+struct GeneratedGraph {
+  std::string name;
+  EdgeList edges;
+  VertexId num_vertices = 0;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GEN_GENERATED_GRAPH_H_

@@ -1,0 +1,111 @@
+#include "gen/pair_sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+namespace {
+
+struct PairHash {
+  size_t operator()(const QueryPair& p) const {
+    uint64_t key = (static_cast<uint64_t>(p.u) << 32) | p.v;
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    return static_cast<size_t>(key);
+  }
+};
+
+QueryPair Canonical(VertexId a, VertexId b) {
+  return a <= b ? QueryPair{a, b} : QueryPair{b, a};
+}
+
+}  // namespace
+
+std::vector<QueryPair> SampleUniformPairs(VertexId num_vertices,
+                                          uint32_t count, Rng& rng) {
+  SL_CHECK(num_vertices >= 2) << "need at least two vertices to form pairs";
+  const uint64_t max_pairs =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  SL_CHECK(count <= max_pairs)
+      << "requested " << count << " distinct pairs but only " << max_pairs
+      << " exist";
+
+  std::vector<QueryPair> out;
+  out.reserve(count);
+  std::unordered_set<QueryPair, PairHash> seen;
+  seen.reserve(count * 2);
+  while (out.size() < count) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u == v) continue;
+    QueryPair p = Canonical(u, v);
+    if (!seen.insert(p).second) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<QueryPair> SampleOverlappingPairs(const CsrGraph& graph,
+                                              uint32_t count, Rng& rng) {
+  // Degree-weighted wedge centers: cumulative wedge counts per vertex.
+  std::vector<VertexId> centers;
+  std::vector<double> cumulative;
+  double total = 0.0;
+  for (VertexId w = 0; w < graph.num_vertices(); ++w) {
+    uint32_t d = graph.Degree(w);
+    if (d < 2) continue;
+    total += static_cast<double>(d) * (d - 1) / 2;
+    centers.push_back(w);
+    cumulative.push_back(total);
+  }
+  SL_CHECK(!centers.empty()) << "graph has no wedges; cannot sample "
+                                "overlapping pairs";
+
+  std::vector<QueryPair> out;
+  out.reserve(count);
+  std::unordered_set<QueryPair, PairHash> seen;
+  seen.reserve(count * 2);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = static_cast<uint64_t>(count) * 256 + 4096;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    double r = rng.NextDouble() * total;
+    size_t idx = std::lower_bound(cumulative.begin(), cumulative.end(), r) -
+                 cumulative.begin();
+    if (idx >= centers.size()) idx = centers.size() - 1;
+    VertexId w = centers[idx];
+    auto nbrs = graph.Neighbors(w);
+    uint64_t i = rng.NextBounded(nbrs.size());
+    uint64_t j = rng.NextBounded(nbrs.size() - 1);
+    if (j >= i) ++j;
+    QueryPair p = Canonical(nbrs[i], nbrs[j]);
+    if (!seen.insert(p).second) continue;
+    out.push_back(p);
+  }
+  if (out.size() < count) {
+    SL_LOG(kWarning) << "only found " << out.size() << " of " << count
+                     << " distinct overlapping pairs";
+  }
+  return out;
+}
+
+std::vector<QueryPair> SampleMixedPairs(const CsrGraph& graph, uint32_t count,
+                                        double overlap_fraction, Rng& rng) {
+  SL_CHECK(overlap_fraction >= 0.0 && overlap_fraction <= 1.0)
+      << "overlap_fraction must be in [0,1]";
+  uint32_t overlapping =
+      static_cast<uint32_t>(overlap_fraction * static_cast<double>(count));
+  std::vector<QueryPair> out =
+      SampleOverlappingPairs(graph, overlapping, rng);
+  std::vector<QueryPair> uniform =
+      SampleUniformPairs(graph.num_vertices(), count - overlapping, rng);
+  out.insert(out.end(), uniform.begin(), uniform.end());
+  rng.Shuffle(out);
+  return out;
+}
+
+}  // namespace streamlink

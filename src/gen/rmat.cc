@@ -1,0 +1,73 @@
+#include "gen/rmat.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+GeneratedGraph GenerateRmat(const RmatParams& params, Rng& rng) {
+  SL_CHECK(params.scale >= 1 && params.scale <= 30)
+      << "rmat scale must be in [1, 30]";
+  const double d = 1.0 - params.a - params.b - params.c;
+  SL_CHECK(params.a > 0 && params.b >= 0 && params.c >= 0 && d >= 0)
+      << "rmat probabilities must be non-negative and a > 0";
+
+  GeneratedGraph out;
+  out.name = "rmat";
+  out.num_vertices = static_cast<VertexId>(1u) << params.scale;
+  out.edges.reserve(params.num_edges);
+
+  std::unordered_set<Edge, EdgeHash> seen;
+  if (params.deduplicate) seen.reserve(params.num_edges * 2);
+
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = params.num_edges * 64 + 1024;
+  while (out.edges.size() < params.num_edges && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0, v = 0;
+    for (uint32_t level = 0; level < params.scale; ++level) {
+      // Optional multiplicative noise, renormalized.
+      double na = params.a, nb = params.b, nc = params.c, nd = d;
+      if (params.noise > 0.0) {
+        auto jitter = [&](double p) {
+          return p * (1.0 - params.noise + 2.0 * params.noise *
+                                               rng.NextDouble());
+        };
+        na = jitter(na);
+        nb = jitter(nb);
+        nc = jitter(nc);
+        nd = jitter(nd);
+        double total = na + nb + nc + nd;
+        na /= total;
+        nb /= total;
+        nc /= total;
+      }
+      double r = rng.NextDouble();
+      uint32_t quadrant;
+      if (r < na) {
+        quadrant = 0;
+      } else if (r < na + nb) {
+        quadrant = 1;
+      } else if (r < na + nb + nc) {
+        quadrant = 2;
+      } else {
+        quadrant = 3;
+      }
+      u = (u << 1) | (quadrant >> 1);
+      v = (v << 1) | (quadrant & 1);
+    }
+    if (u == v) continue;
+    Edge e = Edge(u, v).Canonical();
+    if (params.deduplicate && !seen.insert(e).second) continue;
+    out.edges.push_back(e);
+  }
+  if (out.edges.size() < params.num_edges) {
+    SL_LOG(kWarning) << "rmat produced only " << out.edges.size() << " of "
+                     << params.num_edges
+                     << " requested edges (dedup exhausted the quadrants)";
+  }
+  return out;
+}
+
+}  // namespace streamlink

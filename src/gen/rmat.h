@@ -1,0 +1,30 @@
+#ifndef STREAMLINK_GEN_RMAT_H_
+#define STREAMLINK_GEN_RMAT_H_
+
+#include "gen/generated_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+/// R-MAT recursive matrix generator (Chakrabarti, Zhan, Faloutsos): each
+/// edge picks a quadrant of the adjacency matrix recursively with
+/// probabilities (a, b, c, d). The Graph500 defaults (0.57, 0.19, 0.19,
+/// 0.05) give heavily skewed, web-graph-like degree distributions — the
+/// workload that stresses the Adamic-Adar estimators with extreme hubs.
+struct RmatParams {
+  uint32_t scale = 14;  // num_vertices = 2^scale
+  uint64_t num_edges = 160000;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  /// Deduplicate the generated edges (the raw model is a multigraph).
+  bool deduplicate = true;
+  /// Perturb quadrant probabilities per level (reduces staircase artifacts).
+  double noise = 0.1;
+};
+
+GeneratedGraph GenerateRmat(const RmatParams& params, Rng& rng);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GEN_RMAT_H_

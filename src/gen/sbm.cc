@@ -1,0 +1,99 @@
+#include "gen/sbm.h"
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+namespace {
+
+/// Emits each pair (u, v), u < v, with probability p, by geometric
+/// skipping over a virtual enumeration `enumerate(index) -> Edge`.
+template <typename EnumerateFn>
+void SampleBernoulliPairs(uint64_t total_pairs, double p, Rng& rng,
+                          const EnumerateFn& enumerate, EdgeList& out) {
+  if (p <= 0.0 || total_pairs == 0) return;
+  uint64_t pos = 0;
+  bool first = true;
+  while (true) {
+    uint64_t skip = p >= 1.0 ? 0 : rng.NextGeometric(p);
+    pos += skip + (first ? 0 : 1);
+    first = false;
+    if (pos >= total_pairs) break;
+    out.push_back(enumerate(pos));
+  }
+}
+
+}  // namespace
+
+SbmGraph GenerateSbm(const SbmParams& params, Rng& rng) {
+  SL_CHECK(params.num_blocks >= 1) << "SBM needs at least one block";
+  SL_CHECK(params.num_vertices >= params.num_blocks)
+      << "fewer vertices than blocks";
+  SL_CHECK(params.p_intra >= 0.0 && params.p_intra <= 1.0 &&
+           params.p_inter >= 0.0 && params.p_inter <= 1.0)
+      << "probabilities must be in [0,1]";
+
+  SbmGraph out;
+  out.graph.name = "sbm";
+  out.graph.num_vertices = params.num_vertices;
+
+  const VertexId n = params.num_vertices;
+  const uint32_t blocks = params.num_blocks;
+  // Vertex u belongs to block u % blocks — interleaved assignment keeps
+  // block sizes balanced (within 1) for any n.
+  out.block_of.resize(n);
+  for (VertexId u = 0; u < n; ++u) out.block_of[u] = u % blocks;
+
+  // Vertices of block b: {b, b + blocks, b + 2*blocks, ...}.
+  auto block_size = [&](uint32_t b) -> uint64_t {
+    return (n - b + blocks - 1) / blocks;
+  };
+  auto block_member = [&](uint32_t b, uint64_t i) -> VertexId {
+    return static_cast<VertexId>(b + i * blocks);
+  };
+
+  EdgeList& edges = out.graph.edges;
+
+  // Intra-block pairs, block by block.
+  for (uint32_t b = 0; b < blocks; ++b) {
+    uint64_t size = block_size(b);
+    if (size < 2) continue;
+    uint64_t pairs = size * (size - 1) / 2;
+    SampleBernoulliPairs(
+        pairs, params.p_intra, rng,
+        [&](uint64_t pos) {
+          // Invert pos -> (i, j), i < j, row-major over the triangle.
+          uint64_t i = 0;
+          uint64_t row_pairs = size - 1;
+          while (pos >= row_pairs) {
+            pos -= row_pairs;
+            ++i;
+            --row_pairs;
+          }
+          uint64_t j = i + 1 + pos;
+          return Edge(block_member(b, i), block_member(b, j)).Canonical();
+        },
+        edges);
+  }
+
+  // Inter-block pairs, per ordered block pair (b1 < b2): full bipartite
+  // grid of size(b1) x size(b2).
+  for (uint32_t b1 = 0; b1 < blocks; ++b1) {
+    for (uint32_t b2 = b1 + 1; b2 < blocks; ++b2) {
+      uint64_t s1 = block_size(b1), s2 = block_size(b2);
+      SampleBernoulliPairs(
+          s1 * s2, params.p_inter, rng,
+          [&](uint64_t pos) {
+            uint64_t i = pos / s2;
+            uint64_t j = pos % s2;
+            return Edge(block_member(b1, i), block_member(b2, j)).Canonical();
+          },
+          edges);
+    }
+  }
+
+  rng.Shuffle(edges);
+  return out;
+}
+
+}  // namespace streamlink

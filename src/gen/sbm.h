@@ -1,0 +1,34 @@
+#ifndef STREAMLINK_GEN_SBM_H_
+#define STREAMLINK_GEN_SBM_H_
+
+#include <vector>
+
+#include "gen/generated_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+/// Stochastic block model: `num_blocks` equal-size communities; an edge
+/// between two vertices exists independently with `p_intra` (same block)
+/// or `p_inter` (different blocks). Community structure produces the
+/// many-moderate-overlap query pairs where link prediction is actually
+/// interesting (within-community non-edges score high).
+struct SbmParams {
+  VertexId num_vertices = 10000;
+  uint32_t num_blocks = 10;
+  double p_intra = 0.02;
+  double p_inter = 0.0005;
+};
+
+/// Generated graph plus the ground-truth block assignment (useful for
+/// community-aware examples and tests).
+struct SbmGraph {
+  GeneratedGraph graph;
+  std::vector<uint32_t> block_of;  // size num_vertices
+};
+
+SbmGraph GenerateSbm(const SbmParams& params, Rng& rng);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GEN_SBM_H_

@@ -1,0 +1,46 @@
+#include "gen/stream_order.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+const char* StreamOrderName(StreamOrder order) {
+  switch (order) {
+    case StreamOrder::kGenerated:
+      return "generated";
+    case StreamOrder::kRandom:
+      return "random";
+    case StreamOrder::kSortedBySource:
+      return "sorted_by_source";
+    case StreamOrder::kReversed:
+      return "reversed";
+  }
+  return "unknown";
+}
+
+void ApplyStreamOrder(StreamOrder order, EdgeList& edges, Rng& rng) {
+  switch (order) {
+    case StreamOrder::kGenerated:
+      return;
+    case StreamOrder::kRandom:
+      rng.Shuffle(edges);
+      return;
+    case StreamOrder::kSortedBySource:
+      std::sort(edges.begin(), edges.end());
+      return;
+    case StreamOrder::kReversed:
+      std::reverse(edges.begin(), edges.end());
+      return;
+  }
+  SL_LOG(kFatal) << "unhandled StreamOrder";
+}
+
+size_t SplitPoint(const EdgeList& edges, double fraction) {
+  SL_CHECK(fraction >= 0.0 && fraction <= 1.0)
+      << "split fraction must be in [0,1]";
+  return static_cast<size_t>(fraction * static_cast<double>(edges.size()));
+}
+
+}  // namespace streamlink

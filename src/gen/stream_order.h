@@ -1,0 +1,31 @@
+#ifndef STREAMLINK_GEN_STREAM_ORDER_H_
+#define STREAMLINK_GEN_STREAM_ORDER_H_
+
+#include "graph/types.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+/// How the edges of a generated graph arrive as a stream. The sketches are
+/// order-insensitive for Jaccard/CN, but Adamic-Adar estimation interacts
+/// with arrival order through evolving degrees — the order sweeps in the
+/// robustness experiments use these.
+enum class StreamOrder {
+  kGenerated,     // whatever order the generator emitted (temporal for BA)
+  kRandom,        // uniform shuffle
+  kSortedBySource,  // ascending (u, v): adversarially "clumped" per vertex
+  kReversed,      // generated order reversed (newest-first for BA)
+};
+
+const char* StreamOrderName(StreamOrder order);
+
+/// Reorders `edges` in place according to `order`.
+void ApplyStreamOrder(StreamOrder order, EdgeList& edges, Rng& rng);
+
+/// Splits a stream into `fraction` prefix (train) and suffix (test) by
+/// position. Returns the split point index.
+size_t SplitPoint(const EdgeList& edges, double fraction);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GEN_STREAM_ORDER_H_

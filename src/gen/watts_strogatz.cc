@@ -1,0 +1,61 @@
+#include "gen/watts_strogatz.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+GeneratedGraph GenerateWattsStrogatz(const WattsStrogatzParams& params,
+                                     Rng& rng) {
+  const VertexId n = params.num_vertices;
+  const uint32_t k = params.neighbors_each_side;
+  SL_CHECK(k >= 1) << "neighbors_each_side must be >= 1";
+  SL_CHECK(n > 2 * k) << "ring too small for lattice degree";
+  SL_CHECK(params.rewire_prob >= 0.0 && params.rewire_prob <= 1.0)
+      << "rewire_prob must be in [0,1]";
+
+  GeneratedGraph out;
+  out.name = "watts_strogatz";
+  out.num_vertices = n;
+  out.edges.reserve(static_cast<size_t>(n) * k);
+
+  std::unordered_set<Edge, EdgeHash> present;
+  present.reserve(static_cast<size_t>(n) * k * 2);
+
+  // Lattice edges (u, u+offset mod n) for offset in [1, k].
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t offset = 1; offset <= k; ++offset) {
+      Edge e = Edge(u, (u + offset) % n).Canonical();
+      present.insert(e);
+    }
+  }
+
+  // Rewire each lattice edge with probability rewire_prob: replace the far
+  // endpoint with a uniform vertex, avoiding self-loops and duplicates.
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t offset = 1; offset <= k; ++offset) {
+      Edge original = Edge(u, (u + offset) % n).Canonical();
+      if (present.count(original) == 0) continue;  // already rewired away
+      if (!rng.NextBernoulli(params.rewire_prob)) continue;
+      // Try a handful of times; on dense rings a valid target can be rare.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        VertexId w = static_cast<VertexId>(rng.NextBounded(n));
+        if (w == u) continue;
+        Edge candidate = Edge(u, w).Canonical();
+        if (present.count(candidate) > 0) continue;
+        present.erase(original);
+        present.insert(candidate);
+        break;
+      }
+    }
+  }
+
+  out.edges.assign(present.begin(), present.end());
+  // Hash-set order is arbitrary but deterministic for a given build; give
+  // the stream a well-defined random arrival order instead.
+  rng.Shuffle(out.edges);
+  return out;
+}
+
+}  // namespace streamlink

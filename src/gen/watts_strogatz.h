@@ -1,0 +1,26 @@
+#ifndef STREAMLINK_GEN_WATTS_STROGATZ_H_
+#define STREAMLINK_GEN_WATTS_STROGATZ_H_
+
+#include "gen/generated_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+/// Watts–Strogatz small-world model: a ring lattice where each vertex
+/// connects to its `neighbors_each_side` nearest neighbors per side, with
+/// each edge rewired to a random endpoint with probability `rewire_prob`.
+/// High clustering at low rewiring — the workload that stresses the
+/// sketches with *large Jaccard overlaps* (neighbors of adjacent ring
+/// vertices overlap heavily).
+struct WattsStrogatzParams {
+  VertexId num_vertices = 10000;
+  uint32_t neighbors_each_side = 5;  // lattice degree = 2 * this
+  double rewire_prob = 0.1;
+};
+
+GeneratedGraph GenerateWattsStrogatz(const WattsStrogatzParams& params,
+                                     Rng& rng);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GEN_WATTS_STROGATZ_H_

@@ -1,0 +1,94 @@
+#include "gen/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/barabasi_albert.h"
+#include "gen/configuration_model.h"
+#include "gen/erdos_renyi.h"
+#include "gen/rmat.h"
+#include "gen/sbm.h"
+#include "gen/watts_strogatz.h"
+#include "util/hashing.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+namespace {
+
+VertexId ScaledVertices(double scale, VertexId base) {
+  double n = std::max(64.0, scale * static_cast<double>(base));
+  return static_cast<VertexId>(n);
+}
+
+}  // namespace
+
+GeneratedGraph MakeWorkload(const WorkloadSpec& spec) {
+  Rng rng(Mix64(spec.seed ^ HashBytes(spec.name, 0x5717)));
+  const double s = spec.scale;
+  SL_CHECK(s > 0.0) << "workload scale must be positive";
+
+  if (spec.name == "ba") {
+    BarabasiAlbertParams p;
+    p.num_vertices = ScaledVertices(s, 20000);
+    p.edges_per_vertex = 8;
+    return GenerateBarabasiAlbert(p, rng);
+  }
+  if (spec.name == "er") {
+    ErdosRenyiParams p;
+    p.num_vertices = ScaledVertices(s, 20000);
+    p.num_edges = static_cast<uint64_t>(p.num_vertices) * 8;
+    return GenerateErdosRenyi(p, rng);
+  }
+  if (spec.name == "ws") {
+    WattsStrogatzParams p;
+    p.num_vertices = ScaledVertices(s, 20000);
+    p.neighbors_each_side = 8;
+    p.rewire_prob = 0.1;
+    return GenerateWattsStrogatz(p, rng);
+  }
+  if (spec.name == "rmat") {
+    RmatParams p;
+    // Pick the scale so 2^scale ≈ 20000 * s.
+    double target = std::max(64.0, s * 20000.0);
+    p.scale = std::clamp(
+        static_cast<uint32_t>(std::lround(std::log2(target))), 6u, 24u);
+    p.num_edges = static_cast<uint64_t>((1u << p.scale)) * 8;
+    return GenerateRmat(p, rng);
+  }
+  if (spec.name == "sbm") {
+    SbmParams p;
+    p.num_vertices = ScaledVertices(s, 20000);
+    p.num_blocks = 20;
+    // Keep expected degree ~16 regardless of scale.
+    double block_size = static_cast<double>(p.num_vertices) / p.num_blocks;
+    p.p_intra = std::min(1.0, 14.0 / block_size);
+    p.p_inter = std::min(1.0, 2.0 / (p.num_vertices - block_size));
+    return GenerateSbm(p, rng).graph;
+  }
+  if (spec.name == "plconfig") {
+    VertexId n = ScaledVertices(s, 20000);
+    ConfigurationModelParams p;
+    p.degrees = PowerLawDegreeSequence(n, 2.2, 2, std::max<uint32_t>(n / 20, 8),
+                                       rng);
+    return GenerateConfigurationModel(p, rng);
+  }
+  SL_LOG(kFatal) << "unknown workload: " << spec.name;
+  return {};
+}
+
+std::vector<std::string> StandardWorkloadNames() {
+  return {"ba", "er", "ws", "rmat", "sbm", "plconfig"};
+}
+
+std::vector<GeneratedGraph> MakeStandardWorkloads(double scale,
+                                                  uint64_t seed) {
+  std::vector<GeneratedGraph> out;
+  for (const std::string& name : StandardWorkloadNames()) {
+    out.push_back(MakeWorkload(WorkloadSpec{name, scale, seed}));
+  }
+  return out;
+}
+
+}  // namespace streamlink

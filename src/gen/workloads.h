@@ -1,0 +1,38 @@
+#ifndef STREAMLINK_GEN_WORKLOADS_H_
+#define STREAMLINK_GEN_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/generated_graph.h"
+
+namespace streamlink {
+
+/// The named workloads the experiment suite runs on — stand-ins for the
+/// paper's real-world graph streams (see DESIGN.md §4 for the substitution
+/// rationale). `scale` multiplies the default sizes: 1.0 is the standard
+/// bench configuration (laptop-seconds per experiment), smaller values are
+/// used by integration tests.
+struct WorkloadSpec {
+  std::string name;
+  double scale = 1.0;
+  uint64_t seed = 0;
+};
+
+/// Generates one workload by name. Known names: "ba" (Barabási–Albert,
+/// social-network stand-in), "er" (Erdős–Rényi), "ws" (Watts–Strogatz,
+/// high clustering), "rmat" (skewed web-like), "sbm" (community
+/// structure), "plconfig" (power-law configuration model).
+/// Aborts on unknown names (programming error in a bench harness).
+GeneratedGraph MakeWorkload(const WorkloadSpec& spec);
+
+/// All known workload names in canonical order.
+std::vector<std::string> StandardWorkloadNames();
+
+/// Generates the full standard suite at `scale` with per-workload
+/// deterministic seeds derived from `seed`.
+std::vector<GeneratedGraph> MakeStandardWorkloads(double scale, uint64_t seed);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GEN_WORKLOADS_H_

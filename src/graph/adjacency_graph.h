@@ -1,0 +1,63 @@
+#ifndef STREAMLINK_GRAPH_ADJACENCY_GRAPH_H_
+#define STREAMLINK_GRAPH_ADJACENCY_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace streamlink {
+
+/// Dynamic undirected simple graph backed by one hash set per vertex.
+///
+/// This is the *exact* substrate: it stores full neighborhoods and is what
+/// the sketches are measured against for accuracy, memory, and speed. Edge
+/// insertion is idempotent (duplicates and self-loops are rejected), so
+/// feeding the same stream twice yields the same graph.
+class AdjacencyGraph {
+ public:
+  /// Creates a graph with `num_vertices` isolated vertices.
+  explicit AdjacencyGraph(VertexId num_vertices = 0);
+
+  /// Grows the vertex set to at least `num_vertices` (never shrinks).
+  void EnsureVertices(VertexId num_vertices);
+
+  /// Inserts undirected edge {u, v}, growing the vertex set as needed.
+  /// Returns true if the edge was new; false for duplicates or self-loops.
+  bool AddEdge(VertexId u, VertexId v);
+  bool AddEdge(const Edge& e) { return AddEdge(e.u, e.v); }
+
+  /// Removes undirected edge {u, v}. Returns true if it was present.
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(adjacency_.size());
+  }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Degree (= neighborhood size; the graph is simple). 0 for ids beyond
+  /// the current vertex set.
+  uint32_t Degree(VertexId u) const;
+
+  /// Neighborhood of u. Precondition: u < num_vertices().
+  const std::unordered_set<VertexId>& Neighbors(VertexId u) const;
+
+  /// All edges in canonical (u <= v) form, sorted. O(E log E).
+  EdgeList SortedEdges() const;
+
+  /// Estimated heap footprint in bytes (buckets + nodes), used by the
+  /// memory experiments. An estimate: hash-set internals are approximated
+  /// from bucket_count and size.
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::vector<std::unordered_set<VertexId>> adjacency_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GRAPH_ADJACENCY_GRAPH_H_

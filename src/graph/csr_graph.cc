@@ -1,0 +1,77 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+#include "graph/adjacency_graph.h"
+
+namespace streamlink {
+
+CsrGraph CsrGraph::FromEdges(const EdgeList& edges, VertexId num_vertices) {
+  // Canonicalize, drop self-loops, dedup.
+  EdgeList clean;
+  clean.reserve(edges.size());
+  VertexId max_vertex = num_vertices;
+  for (const Edge& e : edges) {
+    // A self-loop still establishes its endpoint as a vertex.
+    max_vertex = std::max(
+        max_vertex, static_cast<VertexId>(std::max(e.u, e.v) + 1));
+    if (e.IsSelfLoop()) continue;
+    clean.push_back(e.Canonical());
+  }
+  std::sort(clean.begin(), clean.end());
+  clean.erase(std::unique(clean.begin(), clean.end()), clean.end());
+
+  CsrGraph g;
+  const VertexId n = max_vertex;
+  std::vector<uint32_t> degree(n, 0);
+  for (const Edge& e : clean) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    g.offsets_[u + 1] = g.offsets_[u] + degree[u];
+  }
+  g.neighbors_.resize(g.offsets_[n]);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : clean) {
+    g.neighbors_[cursor[e.u]++] = e.v;
+    g.neighbors_[cursor[e.v]++] = e.u;
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    std::sort(g.neighbors_.begin() + g.offsets_[u],
+              g.neighbors_.begin() + g.offsets_[u + 1]);
+  }
+  return g;
+}
+
+CsrGraph CsrGraph::FromAdjacency(const AdjacencyGraph& graph) {
+  return FromEdges(graph.SortedEdges(), graph.num_vertices());
+}
+
+bool CsrGraph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices()) return false;
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint32_t CsrGraph::IntersectionSize(VertexId u, VertexId v) const {
+  auto a = Neighbors(u);
+  auto b = Neighbors(v);
+  uint32_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,65 @@
+#ifndef STREAMLINK_GRAPH_CSR_GRAPH_H_
+#define STREAMLINK_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace streamlink {
+
+class AdjacencyGraph;
+
+/// Immutable compressed-sparse-row snapshot of an undirected graph.
+///
+/// Built once from an edge list (or AdjacencyGraph), then queried with
+/// cache-friendly sorted neighbor ranges. Exact measure computation and the
+/// evaluation harness run on CSR snapshots; the streaming predictors never
+/// need one (that is the point of the paper).
+class CsrGraph {
+ public:
+  /// Builds from an edge list. Duplicate edges and self-loops are dropped;
+  /// `num_vertices` may exceed the max endpoint to keep isolated vertices.
+  static CsrGraph FromEdges(const EdgeList& edges, VertexId num_vertices = 0);
+
+  /// Snapshot of a dynamic graph.
+  static CsrGraph FromAdjacency(const AdjacencyGraph& graph);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+  uint64_t num_edges() const { return neighbors_.size() / 2; }
+
+  uint32_t Degree(VertexId u) const {
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Sorted neighbor ids of u.
+  std::span<const VertexId> Neighbors(VertexId u) const {
+    return {neighbors_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// Binary search in u's sorted neighbor range.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Size of the sorted-neighborhood intersection |N(u) ∩ N(v)|.
+  /// Linear merge: O(d(u) + d(v)).
+  uint32_t IntersectionSize(VertexId u, VertexId v) const;
+
+  /// Heap bytes of the CSR arrays.
+  uint64_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           neighbors_.capacity() * sizeof(VertexId);
+  }
+
+ private:
+  CsrGraph() = default;
+
+  std::vector<uint64_t> offsets_;    // size num_vertices + 1
+  std::vector<VertexId> neighbors_;  // size 2 * num_edges, sorted per vertex
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GRAPH_CSR_GRAPH_H_

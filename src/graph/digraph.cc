@@ -1,0 +1,107 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/exact_measures.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+const char* DirectionName(Direction direction) {
+  switch (direction) {
+    case Direction::kOut:
+      return "out";
+    case Direction::kIn:
+      return "in";
+  }
+  return "unknown";
+}
+
+DirectedAdjacencyGraph::DirectedAdjacencyGraph(VertexId num_vertices)
+    : out_(num_vertices), in_(num_vertices) {}
+
+void DirectedAdjacencyGraph::EnsureVertices(VertexId num_vertices) {
+  if (num_vertices > out_.size()) {
+    out_.resize(num_vertices);
+    in_.resize(num_vertices);
+  }
+}
+
+bool DirectedAdjacencyGraph::AddArc(VertexId u, VertexId v) {
+  if (u == v) return false;
+  EnsureVertices(std::max(u, v) + 1);
+  if (!out_[u].insert(v).second) return false;
+  in_[v].insert(u);
+  ++num_arcs_;
+  return true;
+}
+
+bool DirectedAdjacencyGraph::HasArc(VertexId u, VertexId v) const {
+  if (u >= out_.size()) return false;
+  return out_[u].count(v) > 0;
+}
+
+uint32_t DirectedAdjacencyGraph::OutDegree(VertexId u) const {
+  return u < out_.size() ? static_cast<uint32_t>(out_[u].size()) : 0;
+}
+
+uint32_t DirectedAdjacencyGraph::InDegree(VertexId u) const {
+  return u < in_.size() ? static_cast<uint32_t>(in_[u].size()) : 0;
+}
+
+const std::unordered_set<VertexId>& DirectedAdjacencyGraph::Successors(
+    VertexId u) const {
+  SL_CHECK(u < out_.size()) << "vertex " << u << " out of range";
+  return out_[u];
+}
+
+const std::unordered_set<VertexId>& DirectedAdjacencyGraph::Predecessors(
+    VertexId u) const {
+  SL_CHECK(u < in_.size()) << "vertex " << u << " out of range";
+  return in_[u];
+}
+
+const std::unordered_set<VertexId>& DirectedAdjacencyGraph::Side(
+    VertexId u, Direction direction) const {
+  return direction == Direction::kOut ? Successors(u) : Predecessors(u);
+}
+
+DirectedAdjacencyGraph::DirectedOverlap
+DirectedAdjacencyGraph::ComputeOverlap(VertexId u, Direction du, VertexId v,
+                                       Direction dv) const {
+  DirectedOverlap overlap;
+  uint32_t size_u = du == Direction::kOut ? OutDegree(u) : InDegree(u);
+  uint32_t size_v = dv == Direction::kOut ? OutDegree(v) : InDegree(v);
+  if (size_u > 0 && size_v > 0) {
+    const auto& small = size_u <= size_v ? Side(u, du) : Side(v, dv);
+    const auto& large = size_u <= size_v ? Side(v, dv) : Side(u, du);
+    for (VertexId w : small) {
+      if (large.count(w) == 0) continue;
+      ++overlap.intersection;
+      overlap.adamic_adar += AdamicAdarWeight(OutDegree(w) + InDegree(w));
+    }
+  }
+  overlap.union_size = size_u + size_v - overlap.intersection;
+  overlap.jaccard =
+      overlap.union_size > 0
+          ? static_cast<double>(overlap.intersection) / overlap.union_size
+          : 0.0;
+  return overlap;
+}
+
+uint64_t DirectedAdjacencyGraph::MemoryBytes() const {
+  uint64_t bytes = sizeof(*this);
+  auto side_bytes = [](const std::vector<std::unordered_set<VertexId>>& side) {
+    uint64_t total = side.capacity() * sizeof(side[0]);
+    for (const auto& set : side) {
+      total += set.bucket_count() * sizeof(void*);
+      total += set.size() *
+               (sizeof(void*) + sizeof(size_t) + sizeof(VertexId) + 4);
+    }
+    return total;
+  };
+  return bytes + side_bytes(out_) + side_bytes(in_);
+}
+
+}  // namespace streamlink

@@ -1,0 +1,72 @@
+#ifndef STREAMLINK_GRAPH_DIGRAPH_H_
+#define STREAMLINK_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace streamlink {
+
+/// Which neighborhood a directed overlap query reads.
+enum class Direction {
+  kOut,  // successors:  N+(x) = { w : x -> w }
+  kIn,   // predecessors: N-(x) = { w : w -> x }
+};
+
+const char* DirectionName(Direction direction);
+
+/// Dynamic directed simple graph: one successor set and one predecessor
+/// set per vertex. The exact substrate for directed link prediction
+/// (common-successor / common-predecessor measures), mirroring
+/// AdjacencyGraph for the undirected case.
+class DirectedAdjacencyGraph {
+ public:
+  explicit DirectedAdjacencyGraph(VertexId num_vertices = 0);
+
+  void EnsureVertices(VertexId num_vertices);
+
+  /// Inserts arc u -> v. Returns true if new; self-loops rejected.
+  bool AddArc(VertexId u, VertexId v);
+
+  bool HasArc(VertexId u, VertexId v) const;
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(out_.size());
+  }
+  uint64_t num_arcs() const { return num_arcs_; }
+
+  uint32_t OutDegree(VertexId u) const;
+  uint32_t InDegree(VertexId u) const;
+
+  const std::unordered_set<VertexId>& Successors(VertexId u) const;
+  const std::unordered_set<VertexId>& Predecessors(VertexId u) const;
+
+  /// |N_dir(u) ∩ N_dir(v)| plus the Adamic-Adar-style weighted sum with
+  /// weights 1/ln(total degree of w). Directions may differ per endpoint
+  /// (e.g. common "u follows x who is followed by v" patterns come from
+  /// (kOut, kIn)).
+  struct DirectedOverlap {
+    uint32_t intersection = 0;
+    uint32_t union_size = 0;
+    double jaccard = 0.0;
+    double adamic_adar = 0.0;
+  };
+  DirectedOverlap ComputeOverlap(VertexId u, Direction du, VertexId v,
+                                 Direction dv) const;
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  const std::unordered_set<VertexId>& Side(VertexId u,
+                                           Direction direction) const;
+
+  std::vector<std::unordered_set<VertexId>> out_;
+  std::vector<std::unordered_set<VertexId>> in_;
+  uint64_t num_arcs_ = 0;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GRAPH_DIGRAPH_H_

@@ -1,0 +1,153 @@
+#include "graph/exact_measures.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+const char* LinkMeasureName(LinkMeasure measure) {
+  switch (measure) {
+    case LinkMeasure::kCommonNeighbors:
+      return "common_neighbors";
+    case LinkMeasure::kJaccard:
+      return "jaccard";
+    case LinkMeasure::kAdamicAdar:
+      return "adamic_adar";
+    case LinkMeasure::kResourceAllocation:
+      return "resource_allocation";
+    case LinkMeasure::kPreferentialAttachment:
+      return "preferential_attachment";
+    case LinkMeasure::kSalton:
+      return "salton";
+    case LinkMeasure::kSorensen:
+      return "sorensen";
+    case LinkMeasure::kHubPromoted:
+      return "hub_promoted";
+    case LinkMeasure::kHubDepressed:
+      return "hub_depressed";
+    case LinkMeasure::kLeichtHolmeNewman:
+      return "leicht_holme_newman";
+  }
+  return "unknown";
+}
+
+std::vector<LinkMeasure> AllLinkMeasures() {
+  return {LinkMeasure::kCommonNeighbors,
+          LinkMeasure::kJaccard,
+          LinkMeasure::kAdamicAdar,
+          LinkMeasure::kResourceAllocation,
+          LinkMeasure::kPreferentialAttachment,
+          LinkMeasure::kSalton,
+          LinkMeasure::kSorensen,
+          LinkMeasure::kHubPromoted,
+          LinkMeasure::kHubDepressed,
+          LinkMeasure::kLeichtHolmeNewman};
+}
+
+double AdamicAdarWeight(uint32_t degree) {
+  return degree >= 2 ? 1.0 / std::log(static_cast<double>(degree)) : 0.0;
+}
+
+namespace {
+
+/// Folds one common neighbor `w` (with degree `dw`) into `overlap`.
+inline void AccumulateCommon(uint32_t dw, PairOverlap& overlap) {
+  ++overlap.intersection;
+  overlap.adamic_adar += AdamicAdarWeight(dw);
+  if (dw > 0) overlap.resource_allocation += 1.0 / dw;
+}
+
+}  // namespace
+
+PairOverlap ComputeOverlap(const AdjacencyGraph& graph, VertexId u,
+                           VertexId v) {
+  PairOverlap overlap;
+  overlap.degree_u = graph.Degree(u);
+  overlap.degree_v = graph.Degree(v);
+  if (overlap.degree_u > 0 && overlap.degree_v > 0) {
+    // Iterate the smaller set, probe the larger.
+    VertexId small = u, large = v;
+    if (graph.Degree(small) > graph.Degree(large)) std::swap(small, large);
+    const auto& probe = graph.Neighbors(large);
+    for (VertexId w : graph.Neighbors(small)) {
+      if (probe.count(w) > 0) AccumulateCommon(graph.Degree(w), overlap);
+    }
+  }
+  overlap.union_size =
+      overlap.degree_u + overlap.degree_v - overlap.intersection;
+  return overlap;
+}
+
+PairOverlap ComputeOverlap(const CsrGraph& graph, VertexId u, VertexId v) {
+  PairOverlap overlap;
+  const VertexId n = graph.num_vertices();
+  overlap.degree_u = u < n ? graph.Degree(u) : 0;
+  overlap.degree_v = v < n ? graph.Degree(v) : 0;
+  if (overlap.degree_u > 0 && overlap.degree_v > 0) {
+    auto a = graph.Neighbors(u);
+    auto b = graph.Neighbors(v);
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (a[i] > b[j]) {
+        ++j;
+      } else {
+        AccumulateCommon(graph.Degree(a[i]), overlap);
+        ++i;
+        ++j;
+      }
+    }
+  }
+  overlap.union_size =
+      overlap.degree_u + overlap.degree_v - overlap.intersection;
+  return overlap;
+}
+
+double MeasureFromOverlap(LinkMeasure measure, const PairOverlap& o) {
+  const double du = o.degree_u;
+  const double dv = o.degree_v;
+  const double inter = o.intersection;
+  switch (measure) {
+    case LinkMeasure::kCommonNeighbors:
+      return inter;
+    case LinkMeasure::kJaccard:
+      return o.Jaccard();
+    case LinkMeasure::kAdamicAdar:
+      return o.adamic_adar;
+    case LinkMeasure::kResourceAllocation:
+      return o.resource_allocation;
+    case LinkMeasure::kPreferentialAttachment:
+      return du * dv;
+    case LinkMeasure::kSalton:
+      return du > 0 && dv > 0 ? inter / std::sqrt(du * dv) : 0.0;
+    case LinkMeasure::kSorensen:
+      return du + dv > 0 ? 2.0 * inter / (du + dv) : 0.0;
+    case LinkMeasure::kHubPromoted: {
+      double m = std::min(du, dv);
+      return m > 0 ? inter / m : 0.0;
+    }
+    case LinkMeasure::kHubDepressed: {
+      double m = std::max(du, dv);
+      return m > 0 ? inter / m : 0.0;
+    }
+    case LinkMeasure::kLeichtHolmeNewman:
+      return du > 0 && dv > 0 ? inter / (du * dv) : 0.0;
+  }
+  SL_LOG(kFatal) << "unhandled LinkMeasure";
+  return 0.0;
+}
+
+double ExactScore(const AdjacencyGraph& graph, LinkMeasure measure,
+                  VertexId u, VertexId v) {
+  return MeasureFromOverlap(measure, ComputeOverlap(graph, u, v));
+}
+
+double ExactScore(const CsrGraph& graph, LinkMeasure measure, VertexId u,
+                  VertexId v) {
+  return MeasureFromOverlap(measure, ComputeOverlap(graph, u, v));
+}
+
+}  // namespace streamlink

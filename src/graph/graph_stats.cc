@@ -1,0 +1,145 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+namespace {
+
+/// Fills the degree-derived fields shared by exact and sampled variants.
+void FillBasicStats(const CsrGraph& graph, GraphStats& stats) {
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  uint64_t degree_sum = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    uint32_t d = graph.Degree(u);
+    degree_sum += d;
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) ++stats.num_isolated;
+    stats.num_wedges += static_cast<uint64_t>(d) * (d - 1) / 2;
+  }
+  stats.avg_degree = stats.num_vertices > 0
+                         ? static_cast<double>(degree_sum) / stats.num_vertices
+                         : 0.0;
+  stats.degree_skew =
+      stats.avg_degree > 0 ? stats.max_degree / stats.avg_degree : 0.0;
+}
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const CsrGraph& graph) {
+  GraphStats stats;
+  FillBasicStats(graph, stats);
+
+  // Exact triangle counting and local clustering.
+  uint64_t triangles3 = 0;  // each triangle counted 3 times (once per corner)
+  double local_sum = 0.0;
+  uint64_t non_trivial = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    uint32_t d = graph.Degree(u);
+    if (d < 2) continue;
+    ++non_trivial;
+    uint64_t closed = 0;
+    auto nbrs = graph.Neighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      // Count closed wedges (u; nbrs[i], nbrs[j]) with i < j via
+      // intersection of N(u) (suffix) with N(nbrs[i]).
+      auto other = graph.Neighbors(nbrs[i]);
+      size_t a = i + 1, b = 0;
+      while (a < nbrs.size() && b < other.size()) {
+        if (nbrs[a] < other[b]) {
+          ++a;
+        } else if (nbrs[a] > other[b]) {
+          ++b;
+        } else {
+          ++closed;
+          ++a;
+          ++b;
+        }
+      }
+    }
+    triangles3 += closed;
+    double wedges_u = static_cast<double>(d) * (d - 1) / 2;
+    local_sum += static_cast<double>(closed) / wedges_u;
+  }
+  stats.num_triangles = triangles3 / 3;
+  stats.global_clustering =
+      stats.num_wedges > 0
+          ? static_cast<double>(triangles3) / stats.num_wedges
+          : 0.0;
+  stats.avg_local_clustering =
+      non_trivial > 0 ? local_sum / non_trivial : 0.0;
+  return stats;
+}
+
+GraphStats ComputeGraphStatsSampled(const CsrGraph& graph,
+                                    uint64_t num_samples, Rng& rng) {
+  GraphStats stats;
+  FillBasicStats(graph, stats);
+  if (stats.num_wedges == 0 || num_samples == 0) return stats;
+
+  // Sample wedges proportionally to per-vertex wedge counts.
+  std::vector<VertexId> centers;
+  std::vector<double> cumulative;
+  centers.reserve(graph.num_vertices());
+  cumulative.reserve(graph.num_vertices());
+  double total = 0.0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    uint32_t d = graph.Degree(u);
+    if (d < 2) continue;
+    total += static_cast<double>(d) * (d - 1) / 2;
+    centers.push_back(u);
+    cumulative.push_back(total);
+  }
+  uint64_t closed = 0;
+  for (uint64_t s = 0; s < num_samples; ++s) {
+    double r = rng.NextDouble() * total;
+    size_t idx = std::lower_bound(cumulative.begin(), cumulative.end(), r) -
+                 cumulative.begin();
+    if (idx >= centers.size()) idx = centers.size() - 1;
+    VertexId u = centers[idx];
+    auto nbrs = graph.Neighbors(u);
+    uint64_t i = rng.NextBounded(nbrs.size());
+    uint64_t j = rng.NextBounded(nbrs.size() - 1);
+    if (j >= i) ++j;
+    if (graph.HasEdge(nbrs[i], nbrs[j])) ++closed;
+  }
+  stats.global_clustering = static_cast<double>(closed) / num_samples;
+  stats.num_triangles = static_cast<uint64_t>(
+      stats.global_clustering * static_cast<double>(stats.num_wedges) / 3.0);
+  stats.avg_local_clustering = stats.global_clustering;  // sampled proxy
+  return stats;
+}
+
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& graph) {
+  uint32_t max_degree = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    max_degree = std::max(max_degree, graph.Degree(u));
+  }
+  std::vector<uint64_t> hist(max_degree + 1, 0);
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    ++hist[graph.Degree(u)];
+  }
+  return hist;
+}
+
+double FitPowerLawExponent(const std::vector<uint64_t>& degree_histogram,
+                           uint32_t d_min) {
+  SL_CHECK(d_min >= 1) << "d_min must be >= 1";
+  // Discrete MLE approximation: alpha = 1 + n / Σ ln(d / (d_min - 0.5)).
+  double log_sum = 0.0;
+  uint64_t n = 0;
+  for (uint32_t d = d_min; d < degree_histogram.size(); ++d) {
+    uint64_t count = degree_histogram[d];
+    if (count == 0) continue;
+    n += count;
+    log_sum += count * std::log(static_cast<double>(d) / (d_min - 0.5));
+  }
+  if (n < 10 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+}  // namespace streamlink

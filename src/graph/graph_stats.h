@@ -1,0 +1,46 @@
+#ifndef STREAMLINK_GRAPH_GRAPH_STATS_H_
+#define STREAMLINK_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+/// Summary statistics of a graph snapshot — the rows of the dataset table
+/// (experiment T1).
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  double avg_degree = 0.0;
+  uint32_t max_degree = 0;
+  double degree_skew = 0.0;  // ratio max_degree / avg_degree
+  double global_clustering = 0.0;  // 3·triangles / wedges
+  double avg_local_clustering = 0.0;
+  uint64_t num_triangles = 0;
+  uint64_t num_wedges = 0;  // paths of length 2
+  uint64_t num_isolated = 0;
+};
+
+/// Computes all statistics exactly. Triangle counting is done per-vertex by
+/// neighborhood merging: O(Σ d(u)·avg_d) — fine at laptop scale.
+GraphStats ComputeGraphStats(const CsrGraph& graph);
+
+/// Approximates clustering statistics by sampling `num_samples` wedges;
+/// used when the exact pass would be too slow. Other fields are exact.
+GraphStats ComputeGraphStatsSampled(const CsrGraph& graph,
+                                    uint64_t num_samples, Rng& rng);
+
+/// Degree histogram: result[d] = number of vertices with degree d.
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& graph);
+
+/// Empirical power-law exponent fit via the MLE for discrete power laws
+/// (Clauset et al.), over degrees >= d_min. Returns 0 if too few samples.
+double FitPowerLawExponent(const std::vector<uint64_t>& degree_histogram,
+                           uint32_t d_min = 2);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,9 @@
+#include "graph/types.h"
+
+namespace streamlink {
+
+std::string ToString(const Edge& e) {
+  return "(" + std::to_string(e.u) + "," + std::to_string(e.v) + ")";
+}
+
+}  // namespace streamlink

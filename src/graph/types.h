@@ -1,0 +1,61 @@
+#ifndef STREAMLINK_GRAPH_TYPES_H_
+#define STREAMLINK_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace streamlink {
+
+/// Dense vertex identifier. Generators and loaders produce ids in
+/// [0, num_vertices); sketch stores index flat arrays by VertexId.
+using VertexId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = ~static_cast<VertexId>(0);
+
+/// An undirected edge. Canonical form has u <= v (see Canonical()).
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  Edge() = default;
+  Edge(VertexId a, VertexId b) : u(a), v(b) {}
+
+  /// Returns the same edge with endpoints ordered so u <= v.
+  Edge Canonical() const { return u <= v ? Edge(u, v) : Edge(v, u); }
+
+  /// True for edges of the form (x, x).
+  bool IsSelfLoop() const { return u == v; }
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+};
+
+/// Hash functor for canonical edges (order-insensitive would be wrong for
+/// directed uses; callers canonicalize first when hashing undirected edges).
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    uint64_t key = (static_cast<uint64_t>(e.u) << 32) | e.v;
+    // splitmix-style scramble
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    return static_cast<size_t>(key);
+  }
+};
+
+/// The ordered edge sequence a generator or loader produced: the stream.
+using EdgeList = std::vector<Edge>;
+
+/// Renders an edge as "(u,v)".
+std::string ToString(const Edge& e);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GRAPH_TYPES_H_

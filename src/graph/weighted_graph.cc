@@ -1,0 +1,80 @@
+#include "graph/weighted_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+bool WeightedAdjacencyGraph::AddEdge(VertexId u, VertexId v, double weight) {
+  SL_CHECK(weight > 0.0) << "edge weights must be positive, got " << weight;
+  if (u == v) return false;
+  VertexId needed = std::max(u, v) + 1;
+  if (needed > adjacency_.size()) {
+    adjacency_.resize(needed);
+    strength_.resize(needed, 0.0);
+  }
+  auto [it, inserted] = adjacency_[u].try_emplace(v, 0.0);
+  it->second += weight;
+  adjacency_[v][u] = it->second;
+  strength_[u] += weight;
+  strength_[v] += weight;
+  if (inserted) ++num_edges_;
+  return inserted;
+}
+
+double WeightedAdjacencyGraph::EdgeWeight(VertexId u, VertexId v) const {
+  if (u >= adjacency_.size()) return 0.0;
+  auto it = adjacency_[u].find(v);
+  return it == adjacency_[u].end() ? 0.0 : it->second;
+}
+
+double WeightedAdjacencyGraph::Strength(VertexId u) const {
+  return u < strength_.size() ? strength_[u] : 0.0;
+}
+
+uint32_t WeightedAdjacencyGraph::Degree(VertexId u) const {
+  return u < adjacency_.size() ? static_cast<uint32_t>(adjacency_[u].size())
+                               : 0;
+}
+
+WeightedOverlap WeightedAdjacencyGraph::ComputeOverlap(VertexId u,
+                                                       VertexId v) const {
+  WeightedOverlap overlap;
+  overlap.strength_u = Strength(u);
+  overlap.strength_v = Strength(v);
+  if (u >= adjacency_.size() || v >= adjacency_.size()) {
+    overlap.max_sum = overlap.strength_u + overlap.strength_v;
+    return overlap;
+  }
+  // Σmin over shared neighbors; Σmax = S_u + S_v − Σmin.
+  const auto& small =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const auto& large =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[v]
+                                                   : adjacency_[u];
+  for (const auto& [w, weight] : small) {
+    auto it = large.find(w);
+    if (it != large.end()) {
+      overlap.min_sum += std::min(weight, it->second);
+    }
+  }
+  overlap.max_sum =
+      overlap.strength_u + overlap.strength_v - overlap.min_sum;
+  return overlap;
+}
+
+uint64_t WeightedAdjacencyGraph::MemoryBytes() const {
+  uint64_t bytes = sizeof(*this) +
+                   adjacency_.capacity() * sizeof(adjacency_[0]) +
+                   strength_.capacity() * sizeof(double);
+  for (const auto& nbrs : adjacency_) {
+    bytes += nbrs.bucket_count() * sizeof(void*);
+    bytes += nbrs.size() * (sizeof(void*) + sizeof(size_t) +
+                            sizeof(VertexId) + sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace streamlink

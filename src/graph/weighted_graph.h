@@ -1,0 +1,74 @@
+#ifndef STREAMLINK_GRAPH_WEIGHTED_GRAPH_H_
+#define STREAMLINK_GRAPH_WEIGHTED_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace streamlink {
+
+/// An undirected edge carrying a positive weight.
+struct WeightedEdge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  double weight = 1.0;
+};
+
+using WeightedEdgeList = std::vector<WeightedEdge>;
+
+/// Exact weighted overlap of two weighted neighborhoods:
+///   min_sum = Σ_x min(w_u(x), w_v(x)),  max_sum = Σ_x max(w_u(x), w_v(x)),
+///   generalized Jaccard = min_sum / max_sum.
+struct WeightedOverlap {
+  double strength_u = 0.0;  // Σ_x w_u(x)
+  double strength_v = 0.0;
+  double min_sum = 0.0;
+  double max_sum = 0.0;
+
+  double GeneralizedJaccard() const {
+    return max_sum > 0.0 ? min_sum / max_sum : 0.0;
+  }
+};
+
+/// Dynamic undirected *weighted* simple graph: per-vertex weight maps.
+/// The exact baseline for the weighted link-prediction extension.
+/// Inserting an existing edge accumulates its weight.
+class WeightedAdjacencyGraph {
+ public:
+  WeightedAdjacencyGraph() = default;
+
+  /// Adds `weight` (> 0) to edge {u, v}; creates it if absent.
+  /// Self-loops rejected (returns false).
+  bool AddEdge(VertexId u, VertexId v, double weight);
+  bool AddEdge(const WeightedEdge& e) { return AddEdge(e.u, e.v, e.weight); }
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(adjacency_.size());
+  }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Weight of edge {u, v}; 0 if absent.
+  double EdgeWeight(VertexId u, VertexId v) const;
+
+  /// Total incident weight of u (weighted degree).
+  double Strength(VertexId u) const;
+
+  /// Number of (distinct) neighbors.
+  uint32_t Degree(VertexId u) const;
+
+  /// Exact weighted overlap statistics of the pair.
+  WeightedOverlap ComputeOverlap(VertexId u, VertexId v) const;
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::vector<std::unordered_map<VertexId, double>> adjacency_;
+  std::vector<double> strength_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GRAPH_WEIGHTED_GRAPH_H_

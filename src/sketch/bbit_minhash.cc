@@ -1,0 +1,84 @@
+#include "sketch/bbit_minhash.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+BBitMinHash::BBitMinHash(uint32_t num_hashes, uint32_t bits)
+    : num_hashes_(num_hashes), bits_(bits) {
+  SL_CHECK(num_hashes >= 1) << "need at least one hash";
+  SL_CHECK(bits >= 1 && bits <= 8) << "bits must be in [1, 8]";
+  minima_.assign(num_hashes, ~0ULL);
+  packed_.assign((static_cast<size_t>(num_hashes) * bits + 7) / 8, 0);
+}
+
+void BBitMinHash::StoreSlot(uint32_t i, uint8_t value) {
+  const uint32_t bit_offset = i * bits_;
+  const uint8_t mask = static_cast<uint8_t>((1u << bits_) - 1);
+  value &= mask;
+  size_t byte = bit_offset / 8;
+  uint32_t shift = bit_offset % 8;
+  // The b bits may straddle a byte boundary; write as a 16-bit window.
+  uint16_t window = packed_[byte];
+  if (byte + 1 < packed_.size()) {
+    window |= static_cast<uint16_t>(packed_[byte + 1]) << 8;
+  }
+  window = static_cast<uint16_t>(
+      (window & ~(static_cast<uint16_t>(mask) << shift)) |
+      (static_cast<uint16_t>(value) << shift));
+  packed_[byte] = static_cast<uint8_t>(window);
+  if (byte + 1 < packed_.size()) {
+    packed_[byte + 1] = static_cast<uint8_t>(window >> 8);
+  }
+}
+
+uint8_t BBitMinHash::SlotBits(uint32_t i) const {
+  SL_DCHECK(i < num_hashes_) << "slot out of range";
+  const uint32_t bit_offset = i * bits_;
+  const uint8_t mask = static_cast<uint8_t>((1u << bits_) - 1);
+  size_t byte = bit_offset / 8;
+  uint32_t shift = bit_offset % 8;
+  uint16_t window = packed_[byte];
+  if (byte + 1 < packed_.size()) {
+    window |= static_cast<uint16_t>(packed_[byte + 1]) << 8;
+  }
+  return static_cast<uint8_t>((window >> shift) & mask);
+}
+
+void BBitMinHash::Update(uint64_t item, const HashFamily& family) {
+  SL_DCHECK(family.size() == num_hashes_)
+      << "hash family size mismatch: " << family.size() << " vs "
+      << num_hashes_;
+  has_items_ = true;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t h = family.Hash(i, item);
+    if (h < minima_[i]) {
+      minima_[i] = h;
+      StoreSlot(i, static_cast<uint8_t>(h));
+    }
+  }
+}
+
+double BBitMinHash::MatchFraction(const BBitMinHash& a, const BBitMinHash& b) {
+  SL_CHECK(a.num_hashes_ == b.num_hashes_ && a.bits_ == b.bits_)
+      << "incompatible b-bit sketches";
+  if (a.IsEmpty() || b.IsEmpty()) return 0.0;
+  uint32_t matches = 0;
+  for (uint32_t i = 0; i < a.num_hashes_; ++i) {
+    if (a.SlotBits(i) == b.SlotBits(i)) ++matches;
+  }
+  return static_cast<double>(matches) / a.num_hashes_;
+}
+
+double BBitMinHash::EstimateJaccard(const BBitMinHash& a,
+                                    const BBitMinHash& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return 0.0;
+  const double collision = std::ldexp(1.0, -static_cast<int>(a.bits_));
+  double match = MatchFraction(a, b);
+  return std::max(0.0, (match - collision) / (1.0 - collision));
+}
+
+}  // namespace streamlink

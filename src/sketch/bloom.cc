@@ -1,0 +1,65 @@
+#include "sketch/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+BloomFilter::BloomFilter(uint64_t num_bits, uint32_t num_hashes, uint64_t seed)
+    : num_hashes_(num_hashes), seed_(seed) {
+  SL_CHECK(num_bits >= 64) << "bloom filter needs at least 64 bits";
+  SL_CHECK(num_hashes >= 1) << "bloom filter needs at least one hash";
+  words_.assign((num_bits + 63) / 64, 0);
+}
+
+BloomFilter BloomFilter::FromExpectedItems(uint64_t expected_items,
+                                           double target_fpp, uint64_t seed) {
+  SL_CHECK(expected_items > 0) << "expected_items must be positive";
+  SL_CHECK(target_fpp > 0.0 && target_fpp < 1.0) << "fpp must be in (0,1)";
+  const double ln2 = std::log(2.0);
+  double bits = -static_cast<double>(expected_items) * std::log(target_fpp) /
+                (ln2 * ln2);
+  uint32_t hashes = std::max(
+      1u, static_cast<uint32_t>(std::lround(bits / expected_items * ln2)));
+  return BloomFilter(std::max<uint64_t>(64, static_cast<uint64_t>(bits)),
+                     hashes, seed);
+}
+
+bool BloomFilter::Add(uint64_t key) {
+  const uint64_t h1 = HashU64(key, seed_);
+  const uint64_t h2 = HashU64(key, seed_ ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  bool flipped = false;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = BitIndex(i, h1, h2);
+    uint64_t mask = 1ULL << (bit & 63);
+    uint64_t& word = words_[bit >> 6];
+    if ((word & mask) == 0) {
+      word |= mask;
+      flipped = true;
+    }
+  }
+  ++items_added_;
+  return flipped;
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  const uint64_t h1 = HashU64(key, seed_);
+  const uint64_t h2 = HashU64(key, seed_ ^ 0xa5a5a5a5a5a5a5a5ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = BitIndex(i, h1, h2);
+    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::EstimatedFpp() const {
+  // (1 - e^{-kn/m})^k
+  double exponent = -static_cast<double>(num_hashes_) * items_added_ /
+                    static_cast<double>(num_bits());
+  return std::pow(1.0 - std::exp(exponent), num_hashes_);
+}
+
+}  // namespace streamlink

@@ -1,0 +1,58 @@
+#ifndef STREAMLINK_SKETCH_BLOOM_H_
+#define STREAMLINK_SKETCH_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace streamlink {
+
+/// Standard Bloom filter over 64-bit keys with double hashing
+/// (g_i(x) = h1(x) + i·h2(x)), which preserves the asymptotic false-positive
+/// rate of independent hashes (Kirsch & Mitzenmacher).
+///
+/// streamlink uses it to deduplicate edges in stream adapters (so sketches
+/// can be fed simple streams from multigraph sources) and in the examples.
+class BloomFilter {
+ public:
+  /// `num_bits` is rounded up to a multiple of 64. Preconditions:
+  /// num_bits >= 64, num_hashes >= 1.
+  BloomFilter(uint64_t num_bits, uint32_t num_hashes, uint64_t seed);
+
+  /// Sizes the filter for `expected_items` at `target_fpp` false-positive
+  /// probability using the standard optimal formulas.
+  static BloomFilter FromExpectedItems(uint64_t expected_items,
+                                       double target_fpp, uint64_t seed);
+
+  uint64_t num_bits() const { return words_.size() * 64; }
+  uint32_t num_hashes() const { return num_hashes_; }
+  uint64_t items_added() const { return items_added_; }
+
+  /// Inserts `key`. Returns true if the key was definitely new (at least
+  /// one bit flipped from 0), false if it was possibly already present.
+  bool Add(uint64_t key);
+
+  /// True if `key` may have been added (false positives possible,
+  /// false negatives impossible).
+  bool MayContain(uint64_t key) const;
+
+  /// Expected false-positive probability at the current fill.
+  double EstimatedFpp() const;
+
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + words_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  uint64_t BitIndex(uint32_t i, uint64_t h1, uint64_t h2) const {
+    return (h1 + static_cast<uint64_t>(i) * h2) % num_bits();
+  }
+
+  uint32_t num_hashes_;
+  uint64_t seed_;
+  std::vector<uint64_t> words_;
+  uint64_t items_added_ = 0;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_BLOOM_H_

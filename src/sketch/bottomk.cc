@@ -1,0 +1,118 @@
+#include "sketch/bottomk.h"
+
+#include <algorithm>
+
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+BottomKSketch::BottomKSketch(uint32_t k) : k_(k) {
+  SL_CHECK(k > 0) << "bottom-k sketch needs k >= 1";
+  entries_.reserve(k);
+}
+
+bool BottomKSketch::Update(uint64_t hash, uint64_t item) {
+  if (entries_.size() == k_ && hash >= entries_.back().hash) return false;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), hash,
+      [](const Entry& e, uint64_t h) { return e.hash < h; });
+  if (it != entries_.end() && it->hash == hash) return false;  // duplicate
+  entries_.insert(it, Entry{hash, item});
+  if (entries_.size() > k_) entries_.pop_back();
+  return true;
+}
+
+uint64_t BottomKSketch::Threshold() const {
+  return IsSaturated() ? entries_.back().hash : ~0ULL;
+}
+
+double BottomKSketch::EstimateCardinality() const {
+  if (!IsSaturated()) return static_cast<double>(entries_.size());
+  // KMV estimator: (k-1) / U_(k) where U_(k) is the k-th smallest hash
+  // normalized to (0, 1].
+  double u_k = HashToUnit(entries_.back().hash);
+  return static_cast<double>(k_ - 1) / u_k;
+}
+
+void BottomKSketch::MergeUnion(const BottomKSketch& other) {
+  SL_CHECK(k_ == other.k_) << "cannot merge bottom-k sketches of different k";
+  std::vector<Entry> merged;
+  merged.reserve(k_);
+  size_t i = 0, j = 0;
+  while (merged.size() < k_ &&
+         (i < entries_.size() || j < other.entries_.size())) {
+    const Entry* next = nullptr;
+    if (i < entries_.size() &&
+        (j >= other.entries_.size() ||
+         entries_[i].hash <= other.entries_[j].hash)) {
+      next = &entries_[i];
+      if (j < other.entries_.size() &&
+          other.entries_[j].hash == entries_[i].hash) {
+        ++j;  // same hash on both sides: keep one copy
+      }
+      ++i;
+    } else {
+      next = &other.entries_[j];
+      ++j;
+    }
+    merged.push_back(*next);
+  }
+  entries_ = std::move(merged);
+}
+
+BottomKSketch::PairEstimate BottomKSketch::EstimatePair(
+    const BottomKSketch& a, const BottomKSketch& b) {
+  SL_CHECK(a.k_ == b.k_) << "pairwise estimate requires equal k";
+  PairEstimate out;
+  if (a.IsEmpty() && b.IsEmpty()) return out;
+
+  // Walk the merged bottom-k of the union; count how many of those union
+  // samples appear in *both* sketches.
+  const uint32_t k = a.k_;
+  uint32_t taken = 0;
+  uint32_t in_both = 0;
+  uint64_t kth_hash = 0;
+  size_t i = 0, j = 0;
+  while (taken < k && (i < a.entries_.size() || j < b.entries_.size())) {
+    uint64_t h;
+    bool in_a = false, in_b = false;
+    bool pick_a =
+        i < a.entries_.size() &&
+        (j >= b.entries_.size() || a.entries_[i].hash <= b.entries_[j].hash);
+    if (pick_a) {
+      h = a.entries_[i].hash;
+      in_a = true;
+      if (j < b.entries_.size() && b.entries_[j].hash == h) {
+        in_b = true;
+        ++j;
+      }
+      ++i;
+    } else {
+      h = b.entries_[j].hash;
+      in_b = true;
+      ++j;
+    }
+    // A union sample counts toward the intersection only if it is below
+    // both sketches' thresholds — otherwise absence from one sketch is
+    // uninformative.
+    if (in_a && in_b) ++in_both;
+    (void)in_a;
+    (void)in_b;
+    kth_hash = h;
+    ++taken;
+  }
+  if (taken == 0) return out;
+
+  out.jaccard = static_cast<double>(in_both) / taken;
+  if (taken < k) {
+    // Union was seen in full: cardinality is exact.
+    out.union_cardinality = taken;
+  } else {
+    out.union_cardinality = static_cast<double>(k - 1) / HashToUnit(kth_hash);
+  }
+  out.intersection_cardinality = out.jaccard * out.union_cardinality;
+  return out;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,82 @@
+#ifndef STREAMLINK_SKETCH_BOTTOMK_H_
+#define STREAMLINK_SKETCH_BOTTOMK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace streamlink {
+
+/// Bottom-k (KMV, "k minimum values") distinct sketch of a set of 64-bit
+/// items under a *single* hash function.
+///
+/// Keeps the k smallest distinct hash values seen, with arg-min items.
+/// One sketch answers distinct-cardinality queries; two sketches built with
+/// the same hash answer Jaccard and union-cardinality queries via the
+/// bottom-k merge estimator. Compared with k-permutation MinHash, bottom-k
+/// hashes each update once instead of k times (cheaper updates) and gives
+/// cardinality "for free", at the cost of slightly more involved pairwise
+/// estimation.
+///
+/// The caller supplies pre-hashed values to Update, which keeps this class
+/// independent of the hash family choice.
+class BottomKSketch {
+ public:
+  struct Entry {
+    uint64_t hash;
+    uint64_t item;
+
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.hash == b.hash && a.item == b.item;
+    }
+  };
+
+  explicit BottomKSketch(uint32_t k);
+
+  uint32_t k() const { return k_; }
+  uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
+  bool IsEmpty() const { return entries_.empty(); }
+  bool IsSaturated() const { return entries_.size() == k_; }
+
+  /// Inserts an item with its hash value. Duplicate hashes are ignored
+  /// (idempotent). Returns true if the sketch changed. O(log k + k) worst
+  /// case (sorted-array insert); k is small by design.
+  bool Update(uint64_t hash, uint64_t item);
+
+  /// Entries sorted by hash ascending.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// The k-th smallest hash (the inclusion threshold); ~0 if unsaturated,
+  /// meaning every item seen so far is in the sketch.
+  uint64_t Threshold() const;
+
+  /// Distinct-count estimate: exact (= size) while unsaturated, otherwise
+  /// the KMV estimator (k-1) / U(kth smallest hash) with U mapping hashes
+  /// to (0,1].
+  double EstimateCardinality() const;
+
+  /// Folds `other` in, producing the bottom-k sketch of the set union.
+  void MergeUnion(const BottomKSketch& other);
+
+  /// Pairwise estimates from two sketches built with the same hash:
+  /// Jaccard |A∩B|/|A∪B|, union cardinality |A∪B|, and intersection
+  /// |A∩B| = Jaccard · union. Computed in one pass over the merged bottom-k.
+  struct PairEstimate {
+    double jaccard = 0.0;
+    double union_cardinality = 0.0;
+    double intersection_cardinality = 0.0;
+  };
+  static PairEstimate EstimatePair(const BottomKSketch& a,
+                                   const BottomKSketch& b);
+
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + entries_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  uint32_t k_;
+  std::vector<Entry> entries_;  // sorted by hash ascending, size <= k_
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_BOTTOMK_H_

@@ -1,0 +1,48 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+CountSketch::CountSketch(uint32_t depth, uint32_t width, uint64_t seed)
+    : depth_(depth),
+      width_(width),
+      bucket_family_(Mix64(seed), depth),
+      sign_family_(Mix64(seed ^ 0x51617), depth) {
+  SL_CHECK(depth >= 1) << "count-sketch depth must be >= 1";
+  SL_CHECK(width >= 2) << "count-sketch width must be >= 2";
+  counters_.assign(static_cast<size_t>(depth) * width, 0);
+}
+
+void CountSketch::Update(uint64_t key, int64_t count) {
+  for (uint32_t row = 0; row < depth_; ++row) {
+    counters_[static_cast<size_t>(row) * width_ + Column(row, key)] +=
+        Sign(row, key) * count;
+  }
+}
+
+int64_t CountSketch::Estimate(uint64_t key) const {
+  std::vector<int64_t> estimates;
+  estimates.reserve(depth_);
+  for (uint32_t row = 0; row < depth_; ++row) {
+    estimates.push_back(
+        Sign(row, key) *
+        counters_[static_cast<size_t>(row) * width_ + Column(row, key)]);
+  }
+  std::nth_element(estimates.begin(), estimates.begin() + depth_ / 2,
+                   estimates.end());
+  return estimates[depth_ / 2];
+}
+
+void CountSketch::MergeFrom(const CountSketch& other) {
+  SL_CHECK(depth_ == other.depth_ && width_ == other.width_ &&
+           bucket_family_.master_seed() == other.bucket_family_.master_seed())
+      << "cannot merge incompatible count-sketches";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+}  // namespace streamlink

@@ -1,0 +1,60 @@
+#ifndef STREAMLINK_SKETCH_COUNT_SKETCH_H_
+#define STREAMLINK_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hashing.h"
+
+namespace streamlink {
+
+/// Count-Sketch (Charikar, Chen, Farach-Colton): frequency estimation with
+/// signed counters and median-of-rows estimation.
+///
+/// Unlike Count-Min (one-sided overestimates), Count-Sketch is *unbiased*:
+/// each row adds sign(key)·count to one counter, and the estimate is the
+/// median over rows of sign(key)·counter. Error is bounded by the L2 norm
+/// of the frequency vector (vs Count-Min's L1), which is much tighter on
+/// skewed streams. streamlink offers both so callers can pick the error
+/// profile; the heavy-hitter ablation exercises the contrast.
+class CountSketch {
+ public:
+  /// Preconditions: depth >= 1 (odd recommended for a clean median),
+  /// width >= 2.
+  CountSketch(uint32_t depth, uint32_t width, uint64_t seed);
+
+  uint32_t depth() const { return depth_; }
+  uint32_t width() const { return width_; }
+
+  /// Adds `count` (may be negative: deletions are supported) to key's
+  /// frequency. O(depth).
+  void Update(uint64_t key, int64_t count = 1);
+
+  /// Unbiased point estimate (median of per-row estimates).
+  int64_t Estimate(uint64_t key) const;
+
+  /// Counter-wise addition: sketch of the combined stream.
+  void MergeFrom(const CountSketch& other);
+
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + counters_.capacity() * sizeof(int64_t);
+  }
+
+ private:
+  uint32_t Column(uint32_t row, uint64_t key) const {
+    return static_cast<uint32_t>(bucket_family_.Hash(row, key) % width_);
+  }
+  int64_t Sign(uint32_t row, uint64_t key) const {
+    return (sign_family_.Hash(row, key) & 1) ? 1 : -1;
+  }
+
+  uint32_t depth_;
+  uint32_t width_;
+  HashFamily bucket_family_;
+  HashFamily sign_family_;
+  std::vector<int64_t> counters_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,50 @@
+#include "sketch/countmin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+CountMinSketch::CountMinSketch(uint32_t depth, uint32_t width, uint64_t seed)
+    : depth_(depth), width_(width), family_(seed, depth) {
+  SL_CHECK(depth >= 1) << "count-min depth must be >= 1";
+  SL_CHECK(width >= 2) << "count-min width must be >= 2";
+  counters_.assign(static_cast<size_t>(depth) * width, 0);
+}
+
+CountMinSketch CountMinSketch::FromErrorBounds(double epsilon, double delta,
+                                               uint64_t seed) {
+  SL_CHECK(epsilon > 0.0 && epsilon < 1.0) << "epsilon must be in (0,1)";
+  SL_CHECK(delta > 0.0 && delta < 1.0) << "delta must be in (0,1)";
+  uint32_t width = static_cast<uint32_t>(std::ceil(std::exp(1.0) / epsilon));
+  uint32_t depth = static_cast<uint32_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(std::max(depth, 1u), std::max(width, 2u), seed);
+}
+
+void CountMinSketch::Update(uint64_t key, uint64_t count) {
+  for (uint32_t row = 0; row < depth_; ++row) {
+    Cell(row, Column(row, key)) += count;
+  }
+  total_count_ += count;
+}
+
+void CountMinSketch::UpdateConservative(uint64_t key, uint64_t count) {
+  const uint64_t target = Estimate(key) + count;
+  for (uint32_t row = 0; row < depth_; ++row) {
+    uint64_t& cell = Cell(row, Column(row, key));
+    cell = std::max(cell, target);
+  }
+  total_count_ += count;
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint64_t best = ~0ULL;
+  for (uint32_t row = 0; row < depth_; ++row) {
+    best = std::min(best, Cell(row, Column(row, key)));
+  }
+  return best;
+}
+
+}  // namespace streamlink

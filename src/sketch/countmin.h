@@ -1,0 +1,66 @@
+#ifndef STREAMLINK_SKETCH_COUNTMIN_H_
+#define STREAMLINK_SKETCH_COUNTMIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hashing.h"
+
+namespace streamlink {
+
+/// Count-Min sketch for frequency estimation over 64-bit keys.
+///
+/// depth × width counter matrix; point query error is at most
+/// ε·(total count) with probability 1−δ for width = ⌈e/ε⌉ and
+/// depth = ⌈ln 1/δ⌉. Supports conservative update (tighter estimates for
+/// skewed streams). In streamlink it backs the approximate-degree-tracking
+/// ablation and the heavy-hitter example.
+class CountMinSketch {
+ public:
+  /// Preconditions: depth >= 1, width >= 2.
+  CountMinSketch(uint32_t depth, uint32_t width, uint64_t seed);
+
+  /// Builder from accuracy targets: error ≤ epsilon·N at confidence 1-delta.
+  static CountMinSketch FromErrorBounds(double epsilon, double delta,
+                                        uint64_t seed);
+
+  uint32_t depth() const { return depth_; }
+  uint32_t width() const { return width_; }
+  uint64_t total_count() const { return total_count_; }
+
+  /// Adds `count` to `key`'s frequency. O(depth).
+  void Update(uint64_t key, uint64_t count = 1);
+
+  /// Conservative variant: only raises counters up to the new estimate;
+  /// never underestimates, usually overestimates less.
+  void UpdateConservative(uint64_t key, uint64_t count = 1);
+
+  /// Point estimate (an upper bound in expectation-free terms: the
+  /// estimate never undershoots the true count).
+  uint64_t Estimate(uint64_t key) const;
+
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + counters_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  uint64_t& Cell(uint32_t row, uint32_t col) {
+    return counters_[static_cast<size_t>(row) * width_ + col];
+  }
+  const uint64_t& Cell(uint32_t row, uint32_t col) const {
+    return counters_[static_cast<size_t>(row) * width_ + col];
+  }
+  uint32_t Column(uint32_t row, uint64_t key) const {
+    return static_cast<uint32_t>(family_.Hash(row, key) % width_);
+  }
+
+  uint32_t depth_;
+  uint32_t width_;
+  HashFamily family_;
+  std::vector<uint64_t> counters_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_COUNTMIN_H_

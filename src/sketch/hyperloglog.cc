@@ -1,0 +1,68 @@
+#include "sketch/hyperloglog.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+HyperLogLog::HyperLogLog(uint32_t precision) : precision_(precision) {
+  SL_CHECK(precision >= 4 && precision <= 18)
+      << "HLL precision must be in [4, 18], got " << precision;
+  registers_.assign(1u << precision, 0);
+}
+
+void HyperLogLog::Update(uint64_t hash) {
+  const uint32_t index = static_cast<uint32_t>(hash >> (64 - precision_));
+  // Rank = position of the leftmost 1 in the remaining bits, 1-based.
+  const uint64_t rest = (hash << precision_) | (1ULL << (precision_ - 1));
+  const uint8_t rank = static_cast<uint8_t>(std::countl_zero(rest) + 1);
+  if (rank > registers_[index]) registers_[index] = rank;
+}
+
+void HyperLogLog::MergeUnion(const HyperLogLog& other) {
+  SL_CHECK(precision_ == other.precision_)
+      << "cannot merge HLLs of different precision";
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  switch (registers_.size()) {
+    case 16:
+      alpha = 0.673;
+      break;
+    case 32:
+      alpha = 0.697;
+      break;
+    case 64:
+      alpha = 0.709;
+      break;
+    default:
+      alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double inverse_sum = 0.0;
+  uint32_t zeros = 0;
+  for (uint8_t r : registers_) {
+    inverse_sum += std::ldexp(1.0, -r);
+    if (r == 0) ++zeros;
+  }
+  double raw = alpha * m * m / inverse_sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    // Small-range correction: linear counting.
+    return m * std::log(m / zeros);
+  }
+  return raw;
+}
+
+double HyperLogLog::StandardError() const {
+  return 1.04 / std::sqrt(static_cast<double>(registers_.size()));
+}
+
+}  // namespace streamlink

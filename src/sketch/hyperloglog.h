@@ -1,0 +1,50 @@
+#ifndef STREAMLINK_SKETCH_HYPERLOGLOG_H_
+#define STREAMLINK_SKETCH_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace streamlink {
+
+/// HyperLogLog distinct-count sketch over pre-hashed 64-bit values.
+///
+/// 2^precision byte registers; standard-error ≈ 1.04 / sqrt(2^precision).
+/// Used in streamlink as the alternative degree estimator for the fully
+/// self-contained bottom-k predictor variant and in the ablation suite.
+/// Small cardinalities use linear counting (the usual bias correction).
+class HyperLogLog {
+ public:
+  /// Precondition: 4 <= precision <= 18.
+  explicit HyperLogLog(uint32_t precision);
+
+  uint32_t precision() const { return precision_; }
+  uint32_t num_registers() const {
+    return static_cast<uint32_t>(registers_.size());
+  }
+
+  /// Inserts a (pre-hashed) value. O(1), idempotent.
+  void Update(uint64_t hash);
+
+  /// Register-wise max merge: sketch of the union.
+  void MergeUnion(const HyperLogLog& other);
+
+  /// Bias-corrected cardinality estimate.
+  double Estimate() const;
+
+  /// Theoretical relative standard error for this precision.
+  double StandardError() const;
+
+  const std::vector<uint8_t>& registers() const { return registers_; }
+
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + registers_.capacity();
+  }
+
+ private:
+  uint32_t precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_HYPERLOGLOG_H_

@@ -1,0 +1,86 @@
+#include "sketch/icws.h"
+
+#include <cmath>
+
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+IcwsSketch::IcwsSketch(uint32_t num_slots, uint64_t seed)
+    : seed_(seed), slots_(num_slots) {
+  SL_CHECK(num_slots >= 1) << "ICWS needs at least one slot";
+}
+
+namespace {
+
+/// Uniform(0,1] variate for (slot, item, which) under `seed`.
+inline double UniformAt(uint64_t seed, uint32_t slot, uint64_t item,
+                        uint32_t which) {
+  uint64_t key = Mix64(item ^ (static_cast<uint64_t>(slot) << 40) ^
+                       (static_cast<uint64_t>(which) << 56));
+  return HashToUnit(HashU64(key, seed));
+}
+
+}  // namespace
+
+void IcwsSketch::Update(uint64_t item, double weight) {
+  SL_CHECK(weight > 0.0) << "ICWS weights must be positive, got " << weight;
+  has_items_ = true;
+  const double log_weight = std::log(weight);
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    // r, c ~ Gamma(2, 1) as sums of two Exp(1); beta ~ Uniform(0, 1).
+    double r = -std::log(UniformAt(seed_, i, item, 1)) -
+               std::log(UniformAt(seed_, i, item, 2));
+    double c = -std::log(UniformAt(seed_, i, item, 3)) -
+               std::log(UniformAt(seed_, i, item, 4));
+    double beta = UniformAt(seed_, i, item, 5);
+
+    double t = std::floor(log_weight / r + beta);
+    double y = std::exp(r * (t - beta));
+    double a = c / (y * std::exp(r));
+
+    Slot& slot = slots_[i];
+    if (a < slot.a) {
+      slot.a = a;
+      slot.item = item;
+      slot.t = static_cast<int64_t>(t);
+    }
+  }
+}
+
+void IcwsSketch::MergeUnion(const IcwsSketch& other) {
+  SL_CHECK(slots_.size() == other.slots_.size() && seed_ == other.seed_)
+      << "cannot merge incompatible ICWS sketches";
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    if (other.slots_[i].a < slots_[i].a) {
+      slots_[i] = other.slots_[i];
+    }
+  }
+  has_items_ = has_items_ || other.has_items_;
+}
+
+uint32_t IcwsSketch::CountMatches(const IcwsSketch& a, const IcwsSketch& b,
+                                  std::vector<uint64_t>* items) {
+  SL_CHECK(a.slots_.size() == b.slots_.size() && a.seed_ == b.seed_)
+      << "cannot compare incompatible ICWS sketches";
+  if (a.IsEmpty() || b.IsEmpty()) return 0;
+  uint32_t matches = 0;
+  for (uint32_t i = 0; i < a.slots_.size(); ++i) {
+    const Slot& sa = a.slots_[i];
+    const Slot& sb = b.slots_[i];
+    if (sa.item == sb.item && sa.t == sb.t && sa.a != Slot::kEmpty) {
+      ++matches;
+      if (items != nullptr) items->push_back(sa.item);
+    }
+  }
+  return matches;
+}
+
+double IcwsSketch::EstimateGeneralizedJaccard(const IcwsSketch& a,
+                                              const IcwsSketch& b) {
+  if (a.IsEmpty() || b.IsEmpty() || a.num_slots() == 0) return 0.0;
+  return static_cast<double>(CountMatches(a, b, nullptr)) / a.num_slots();
+}
+
+}  // namespace streamlink

@@ -1,0 +1,85 @@
+#ifndef STREAMLINK_SKETCH_ICWS_H_
+#define STREAMLINK_SKETCH_ICWS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace streamlink {
+
+/// Improved Consistent Weighted Sampling (Ioffe 2010): MinHash for
+/// *weighted* sets.
+///
+/// For a weighted set `S = {(x, w_x)}, w_x > 0`, each of the k slots
+/// draws, per element, hash-derived variates
+///
+///     r, c ~ Gamma(2,1),  β ~ Uniform(0,1)
+///     t = ⌊ln(w_x)/r + β⌋,  y = exp(r(t − β)),  a = c / (y·exp(r))
+///
+/// and retains the element minimizing `a` together with its quantized
+/// level `t`. Ioffe's theorem: for two weighted sets, a slot's samples
+/// coincide — same element AND same level — with probability exactly the
+/// generalized (weighted) Jaccard
+///
+///     J_w(A, B) = Σ_x min(a_x, b_x) / Σ_x max(a_x, b_x),
+///
+/// so the matched-slot fraction is an unbiased estimator with the usual
+/// Hoeffding concentration in k. All variates are derived from seeded
+/// hashes of (slot, element), making sketches of equal weighted sets
+/// identical (coordination), and the scheme is *consistent*: growing one
+/// element's weight can only change the sample to that element.
+///
+/// Streamlink's model: each weighted edge arrives once with its final
+/// weight (a weighted simple stream). Aggregating repeat arrivals would
+/// require per-edge weight state, which the constant-space budget
+/// excludes — see docs/algorithms.md §11.
+class IcwsSketch {
+ public:
+  struct Slot {
+    double a = kEmpty;     // minimized value
+    uint64_t item = ~0ULL; // arg-min element
+    int64_t t = 0;         // quantized weight level of the arg-min
+
+    static constexpr double kEmpty = 1e300;
+  };
+
+  /// Preconditions: num_slots >= 1.
+  IcwsSketch(uint32_t num_slots, uint64_t seed);
+
+  uint32_t num_slots() const { return static_cast<uint32_t>(slots_.size()); }
+  uint64_t seed() const { return seed_; }
+  bool IsEmpty() const { return !has_items_; }
+
+  /// Inserts element `item` with weight `weight` (> 0). O(k). Re-inserting
+  /// the same (item, weight) is a no-op (idempotent); re-inserting with a
+  /// *larger* weight is consistent (the element's `a` only decreases).
+  void Update(uint64_t item, double weight);
+
+  const Slot& slot(uint32_t i) const { return slots_[i]; }
+
+  /// Slot-wise "min by a" merge: the sketch of the weighted union
+  /// (element-wise max of weights) when the sets are disjoint or agree on
+  /// shared weights.
+  void MergeUnion(const IcwsSketch& other);
+
+  /// Matched-slot fraction (same item and level) — the unbiased estimator
+  /// of generalized Jaccard. Returns 0 if either sketch is empty.
+  static double EstimateGeneralizedJaccard(const IcwsSketch& a,
+                                           const IcwsSketch& b);
+
+  /// Matches with the arg-min items appended to `items` if non-null.
+  static uint32_t CountMatches(const IcwsSketch& a, const IcwsSketch& b,
+                               std::vector<uint64_t>* items);
+
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + slots_.capacity() * sizeof(Slot);
+  }
+
+ private:
+  uint64_t seed_;
+  bool has_items_ = false;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_ICWS_H_

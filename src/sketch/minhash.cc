@@ -1,0 +1,42 @@
+#include "sketch/minhash.h"
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+bool MinHashSketch::IsEmpty() const {
+  // All slots are updated together, so checking one suffices — but an
+  // all-default sketch with zero slots is also "empty".
+  return slots_.empty() || slots_[0].hash == ~0ULL;
+}
+
+void MinHashSketch::MergeUnion(const MinHashSketch& other) {
+  SL_CHECK(slots_.size() == other.slots_.size())
+      << "cannot merge sketches of different widths";
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    if (other.slots_[i].hash < slots_[i].hash) {
+      slots_[i] = other.slots_[i];
+    }
+  }
+}
+
+uint32_t MinHashSketch::CountMatches(const MinHashSketch& a,
+                                     const MinHashSketch& b) {
+  SL_CHECK(a.slots_.size() == b.slots_.size())
+      << "cannot compare sketches of different widths";
+  uint32_t matches = 0;
+  for (uint32_t i = 0; i < a.slots_.size(); ++i) {
+    if (a.slots_[i].hash == b.slots_[i].hash && a.slots_[i].hash != ~0ULL) {
+      ++matches;
+    }
+  }
+  return matches;
+}
+
+double MinHashSketch::EstimateJaccard(const MinHashSketch& a,
+                                      const MinHashSketch& b) {
+  if (a.IsEmpty() || b.IsEmpty() || a.num_slots() == 0) return 0.0;
+  return static_cast<double>(CountMatches(a, b)) / a.num_slots();
+}
+
+}  // namespace streamlink

@@ -1,0 +1,91 @@
+#ifndef STREAMLINK_SKETCH_MINHASH_H_
+#define STREAMLINK_SKETCH_MINHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hashing.h"
+
+namespace streamlink {
+
+/// k-permutation MinHash sketch of a set of 64-bit items.
+///
+/// Slot i remembers the minimum of h_i over all items inserted so far,
+/// together with the item achieving it (the "arg-min"). The arg-min makes
+/// the sketch a *min-wise sampler*: each slot holds a uniform random member
+/// of the set, and a slot where two sketches agree holds a uniform random
+/// member of the sets' intersection — the property the Adamic-Adar
+/// estimator in core/ relies on.
+///
+/// Update is O(k); space is exactly k (hash, item) pairs regardless of set
+/// size; insertion is idempotent and order-independent (min is a
+/// commutative idempotent monoid), so duplicate stream edges are harmless.
+class MinHashSketch {
+ public:
+  struct Slot {
+    uint64_t hash = ~0ULL;  // minimum hash seen; ~0 = empty
+    uint64_t item = ~0ULL;  // arg-min item
+
+    friend bool operator==(const Slot& a, const Slot& b) {
+      return a.hash == b.hash && a.item == b.item;
+    }
+  };
+
+  /// Creates an empty sketch with `family.size()` slots. The family must
+  /// outlive all Update calls that use it; the sketch stores only slots.
+  explicit MinHashSketch(uint32_t num_slots) : slots_(num_slots) {}
+
+  /// Reconstructs a sketch from serialized slots (see core snapshot I/O).
+  static MinHashSketch FromSlots(std::vector<Slot> slots) {
+    MinHashSketch s(0);
+    s.slots_ = std::move(slots);
+    return s;
+  }
+
+  uint32_t num_slots() const { return static_cast<uint32_t>(slots_.size()); }
+
+  /// True if no item has ever been inserted.
+  bool IsEmpty() const;
+
+  /// Inserts `item`, hashing it with each function of `family` — any type
+  /// exposing `size()` and `Hash(i, key)` (HashFamily by default,
+  /// TabulationFamily for guaranteed independence; see the A14 ablation).
+  /// Precondition: family.size() == num_slots().
+  template <typename FamilyT = HashFamily>
+  void Update(uint64_t item, const FamilyT& family) {
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+      uint64_t h = family.Hash(i, item);
+      if (h < slots_[i].hash) {
+        slots_[i].hash = h;
+        slots_[i].item = item;
+      }
+    }
+  }
+
+  /// Folds `other` in, producing the sketch of the union of both sets.
+  /// Precondition: equal slot counts and both built with the same family.
+  void MergeUnion(const MinHashSketch& other);
+
+  const Slot& slot(uint32_t i) const { return slots_[i]; }
+  const std::vector<Slot>& slots() const { return slots_; }
+
+  /// Number of slots where both sketches hold the same minimum.
+  /// Empty-in-both slots do not count as matches.
+  static uint32_t CountMatches(const MinHashSketch& a, const MinHashSketch& b);
+
+  /// The classic unbiased Jaccard estimator: matches / k.
+  /// Returns 0 if either sketch is empty.
+  static double EstimateJaccard(const MinHashSketch& a, const MinHashSketch& b);
+
+  /// Heap + inline footprint in bytes.
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + slots_.capacity() * sizeof(Slot);
+  }
+
+ private:
+  std::vector<Slot> slots_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_MINHASH_H_

@@ -1,0 +1,84 @@
+#include "sketch/oph.h"
+
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+OphSketch::OphSketch(uint32_t num_bins, uint64_t seed)
+    : seed_(seed), bins_(num_bins) {
+  SL_CHECK(num_bins >= 2) << "OPH needs at least 2 bins";
+}
+
+void OphSketch::Update(uint64_t item) {
+  const uint64_t h = HashU64(item, seed_);
+  // Top bits choose the bin (Lemire multiply-shift range reduction keeps
+  // the choice unbiased for any bin count); a second mix of the remaining
+  // entropy is the within-bin rank.
+  const uint32_t bin_index = static_cast<uint32_t>(
+      (static_cast<__uint128_t>(h) * bins_.size()) >> 64);
+  const uint64_t rank = Mix64(h);
+  Bin& bin = bins_[bin_index];
+  if (bin.rank == ~0ULL) ++non_empty_;
+  if (rank < bin.rank) {
+    bin.rank = rank;
+    bin.item = item;
+  }
+}
+
+void OphSketch::MergeUnion(const OphSketch& other) {
+  SL_CHECK(bins_.size() == other.bins_.size() && seed_ == other.seed_)
+      << "cannot merge incompatible OPH sketches";
+  for (uint32_t i = 0; i < bins_.size(); ++i) {
+    if (other.bins_[i].rank < bins_[i].rank) {
+      if (bins_[i].rank == ~0ULL) ++non_empty_;
+      bins_[i] = other.bins_[i];
+    }
+  }
+}
+
+std::vector<OphSketch::Bin> OphSketch::Densified() const {
+  std::vector<Bin> out = bins_;
+  if (non_empty_ == 0 || non_empty_ == bins_.size()) return out;
+  const uint32_t k = static_cast<uint32_t>(bins_.size());
+  for (uint32_t i = 0; i < k; ++i) {
+    if (out[i].rank != ~0ULL) continue;
+    // Optimal-densification-style probing: a seeded sequence of candidate
+    // donors, identical for every sketch with this seed, so two sketches
+    // of equal sets densify identically.
+    for (uint32_t attempt = 0;; ++attempt) {
+      uint32_t donor = static_cast<uint32_t>(
+          HashU64(static_cast<uint64_t>(i) << 32 | attempt, seed_ ^ 0xdef5) %
+          k);
+      if (bins_[donor].rank != ~0ULL) {
+        out[i] = bins_[donor];
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+uint32_t OphSketch::CountMatches(const OphSketch& a, const OphSketch& b,
+                                 std::vector<uint64_t>* items) {
+  SL_CHECK(a.bins_.size() == b.bins_.size() && a.seed_ == b.seed_)
+      << "cannot compare incompatible OPH sketches";
+  if (a.IsEmpty() || b.IsEmpty()) return 0;
+  std::vector<Bin> da = a.Densified();
+  std::vector<Bin> db = b.Densified();
+  uint32_t matches = 0;
+  for (uint32_t i = 0; i < da.size(); ++i) {
+    if (da[i].rank == db[i].rank && da[i].rank != ~0ULL) {
+      ++matches;
+      if (items != nullptr) items->push_back(da[i].item);
+    }
+  }
+  return matches;
+}
+
+double OphSketch::EstimateJaccard(const OphSketch& a, const OphSketch& b) {
+  if (a.IsEmpty() || b.IsEmpty() || a.num_bins() == 0) return 0.0;
+  return static_cast<double>(CountMatches(a, b, nullptr)) / a.num_bins();
+}
+
+}  // namespace streamlink

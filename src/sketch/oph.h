@@ -1,0 +1,78 @@
+#ifndef STREAMLINK_SKETCH_OPH_H_
+#define STREAMLINK_SKETCH_OPH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace streamlink {
+
+/// One-permutation hashing (OPH) MinHash sketch with optimal densification
+/// (Li, Owen & Zhang 2012; Shrivastava 2017).
+///
+/// Where the k-permutation MinHashSketch evaluates k hash functions per
+/// insert, OPH evaluates *one*: the hash's top bits pick one of k bins and
+/// the remaining entropy is the rank competing for that bin's minimum.
+/// Updates are O(1); a full sketch still yields k (nearly) independent
+/// min-wise samples. Bins that never received an item are *densified* at
+/// estimation time by borrowing from a non-empty bin chosen by a seeded
+/// probe sequence — identical across sketches, so borrowed bins still
+/// match exactly when the underlying sets match.
+///
+/// The estimator is the usual matched-bin fraction. Accuracy approaches
+/// k-permutation MinHash once sets are a few times larger than k; for very
+/// small sets more bins are densified and variance grows — the F10 bench
+/// quantifies the tradeoff.
+class OphSketch {
+ public:
+  struct Bin {
+    uint64_t rank = ~0ULL;  // min rank seen; ~0 = empty
+    uint64_t item = ~0ULL;  // arg-min item
+  };
+
+  /// Creates an empty sketch with `num_bins` bins. `seed` drives both the
+  /// bin assignment and the densification probes; two sketches are
+  /// comparable iff they share the seed and bin count.
+  OphSketch(uint32_t num_bins, uint64_t seed);
+
+  uint32_t num_bins() const { return static_cast<uint32_t>(bins_.size()); }
+  uint64_t seed() const { return seed_; }
+  bool IsEmpty() const { return non_empty_ == 0; }
+  uint32_t non_empty_bins() const { return non_empty_; }
+
+  /// Inserts an item: one hash, one bin update. Idempotent and
+  /// order-independent.
+  void Update(uint64_t item);
+
+  /// Bin-wise union merge.
+  void MergeUnion(const OphSketch& other);
+
+  const Bin& bin(uint32_t i) const { return bins_[i]; }
+
+  /// The sketch vector after densification: every entry holds the rank and
+  /// arg-min of some non-empty bin (its own, or the bin its probe sequence
+  /// found). An entirely empty sketch densifies to all-empty bins.
+  std::vector<Bin> Densified() const;
+
+  /// Matched-bin Jaccard estimate of two comparable sketches, computed on
+  /// the densified vectors. Returns 0 if either sketch is empty.
+  static double EstimateJaccard(const OphSketch& a, const OphSketch& b);
+
+  /// Matched densified bins with arg-min items — uniform-ish intersection
+  /// samples, used by OphPredictor's Adamic-Adar estimator. Returns the
+  /// number of matches; appends each match's item to `items` when non-null.
+  static uint32_t CountMatches(const OphSketch& a, const OphSketch& b,
+                               std::vector<uint64_t>* items);
+
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + bins_.capacity() * sizeof(Bin);
+  }
+
+ private:
+  uint64_t seed_;
+  uint32_t non_empty_ = 0;
+  std::vector<Bin> bins_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_OPH_H_

@@ -1,0 +1,82 @@
+#include "sketch/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+QuantileSketch::QuantileSketch(double epsilon) : epsilon_(epsilon) {
+  SL_CHECK(epsilon > 0.0 && epsilon < 0.5)
+      << "epsilon must be in (0, 0.5), got " << epsilon;
+}
+
+void QuantileSketch::Insert(double value) {
+  ++count_;
+  // Find insertion point (first tuple with larger value).
+  auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](double v, const Tuple& t) { return v < t.value; });
+
+  uint64_t delta;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    // New minimum or maximum: exact rank.
+    delta = 0;
+  } else {
+    delta = static_cast<uint64_t>(
+        std::floor(2.0 * epsilon_ * static_cast<double>(count_)));
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+
+  // Compress periodically (every 1/(2ε) insertions keeps the invariant).
+  if (count_ % std::max<uint64_t>(
+                   1, static_cast<uint64_t>(1.0 / (2.0 * epsilon_))) ==
+      0) {
+    Compress();
+  }
+}
+
+void QuantileSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const double threshold = 2.0 * epsilon_ * static_cast<double>(count_);
+  // Merge each tuple into its successor when the combined uncertainty
+  // stays within the band. Never merge into the last tuple's successor
+  // (none) and keep the first tuple (minimum) intact.
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_.front());
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    const Tuple& current = tuples_[i];
+    const Tuple& next = tuples_[i + 1];
+    if (static_cast<double>(current.g + next.g + next.delta) <= threshold) {
+      // Merge current into next: defer by accumulating g into the next
+      // emitted tuple. Mutate a copy of next in the source array.
+      tuples_[i + 1].g += current.g;
+    } else {
+      out.push_back(current);
+    }
+  }
+  out.push_back(tuples_.back());
+  tuples_ = std::move(out);
+}
+
+double QuantileSketch::Quantile(double q) const {
+  SL_CHECK(q >= 0.0 && q <= 1.0) << "quantile must be in [0,1]";
+  SL_CHECK(!IsEmpty()) << "quantile of empty sketch";
+  const double target_rank = q * static_cast<double>(count_);
+  const double allowed = epsilon_ * static_cast<double>(count_);
+
+  uint64_t rank_min = 0;
+  for (const Tuple& t : tuples_) {
+    rank_min += t.g;
+    // The tuple's true rank lies in [rank_min, rank_min + delta].
+    if (static_cast<double>(rank_min) + static_cast<double>(t.delta) >=
+        target_rank - allowed) {
+      return t.value;
+    }
+  }
+  return tuples_.back().value;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,62 @@
+#ifndef STREAMLINK_SKETCH_QUANTILE_H_
+#define STREAMLINK_SKETCH_QUANTILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace streamlink {
+
+/// Greenwald-Khanna ε-approximate streaming quantile sketch.
+///
+/// Answers rank/quantile queries over a stream of doubles with rank error
+/// at most ε·n using O((1/ε)·log(εn)) space. streamlink uses it to track
+/// degree distributions online (the streaming monitor reports "p99 degree
+/// so far" without storing degrees) and it completes the classic
+/// streaming-summary substrate.
+class QuantileSketch {
+ public:
+  /// `epsilon`: rank-error bound as a fraction of the stream length.
+  /// Precondition: 0 < epsilon < 0.5.
+  explicit QuantileSketch(double epsilon = 0.01);
+
+  double epsilon() const { return epsilon_; }
+  uint64_t count() const { return count_; }
+  bool IsEmpty() const { return count_ == 0; }
+
+  /// Inserts one value. Amortized O(log(1/ε) + compress).
+  void Insert(double value);
+
+  /// Value whose rank is within ε·n of q·n. Precondition: q in [0, 1],
+  /// non-empty sketch.
+  double Quantile(double q) const;
+
+  /// Convenience accessors.
+  double Median() const { return Quantile(0.5); }
+  double Min() const { return Quantile(0.0); }
+  double Max() const { return Quantile(1.0); }
+
+  /// Number of retained tuples (space check).
+  size_t NumTuples() const { return tuples_.size(); }
+
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + tuples_.capacity() * sizeof(Tuple);
+  }
+
+ private:
+  struct Tuple {
+    double value;
+    uint64_t g;      // rank gap to the previous tuple
+    uint64_t delta;  // rank uncertainty
+  };
+
+  void Compress();
+
+  double epsilon_;
+  uint64_t count_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by value
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_QUANTILE_H_

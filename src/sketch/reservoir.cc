@@ -1,0 +1,36 @@
+#include "sketch/reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+std::vector<uint64_t> ReservoirSampleIndices(uint64_t n, uint32_t count,
+                                             Rng& rng) {
+  SL_CHECK(count <= n) << "cannot sample " << count << " positions from " << n;
+  std::vector<uint64_t> reservoir;
+  reservoir.reserve(count);
+  if (count == 0) return reservoir;
+
+  for (uint64_t i = 0; i < count; ++i) reservoir.push_back(i);
+
+  // Algorithm L: after filling, jump geometrically between accepted items.
+  double w = std::exp(std::log(rng.NextDoublePositive()) / count);
+  uint64_t i = count - 1;
+  while (true) {
+    double jump =
+        std::floor(std::log(rng.NextDoublePositive()) / std::log1p(-w));
+    // Guard against numerical overflow of the jump.
+    if (jump > static_cast<double>(n)) break;
+    i += static_cast<uint64_t>(jump) + 1;
+    if (i >= n) break;
+    reservoir[rng.NextBounded(count)] = i;
+    w *= std::exp(std::log(rng.NextDoublePositive()) / count);
+  }
+  std::sort(reservoir.begin(), reservoir.end());
+  return reservoir;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,55 @@
+#ifndef STREAMLINK_SKETCH_RESERVOIR_H_
+#define STREAMLINK_SKETCH_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace streamlink {
+
+/// Classic reservoir sampling (Algorithm R): a uniform sample of `capacity`
+/// items from a stream of unknown length, O(1) per item after the reservoir
+/// fills. Used by stream tooling (checkpoint pair sampling) and examples.
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(uint32_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    sample_.reserve(capacity);
+  }
+
+  uint32_t capacity() const { return capacity_; }
+  uint64_t items_seen() const { return items_seen_; }
+
+  /// Offers one stream item; it displaces a random reservoir slot with
+  /// probability capacity / items_seen.
+  void Offer(const T& item) {
+    ++items_seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(item);
+      return;
+    }
+    uint64_t j = rng_.NextBounded(items_seen_);
+    if (j < capacity_) sample_[j] = item;
+  }
+
+  /// The current sample (size = min(capacity, items_seen), arbitrary order).
+  const std::vector<T>& sample() const { return sample_; }
+
+ private:
+  uint32_t capacity_;
+  Rng rng_;
+  std::vector<T> sample_;
+  uint64_t items_seen_ = 0;
+};
+
+/// Draws a uniform sample of `count` positions from a virtual stream of
+/// length `n` using skip-based reservoir sampling (Vitter's Algorithm L) —
+/// O(count·log(n/count)) instead of O(n). Returns sorted positions.
+std::vector<uint64_t> ReservoirSampleIndices(uint64_t n, uint32_t count,
+                                             Rng& rng);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_RESERVOIR_H_

@@ -1,0 +1,69 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+SpaceSaving::SpaceSaving(uint32_t capacity) : capacity_(capacity) {
+  SL_CHECK(capacity > 0) << "space-saving needs capacity >= 1";
+}
+
+void SpaceSaving::Offer(uint64_t item, uint64_t count) {
+  total_count_ += count;
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    Cell& cell = it->second;
+    by_count_.erase(cell.index_it);
+    cell.count += count;
+    cell.index_it = by_count_.emplace(cell.count, item);
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    Cell cell;
+    cell.count = count;
+    cell.error = 0;
+    cell.index_it = by_count_.emplace(count, item);
+    counters_.emplace(item, cell);
+    return;
+  }
+  // Evict the minimum-count item and inherit its count as error.
+  auto min_it = by_count_.begin();
+  uint64_t evicted_item = min_it->second;
+  uint64_t min_count = min_it->first;
+  by_count_.erase(min_it);
+  counters_.erase(evicted_item);
+
+  Cell cell;
+  cell.count = min_count + count;
+  cell.error = min_count;
+  cell.index_it = by_count_.emplace(cell.count, item);
+  counters_.emplace(item, cell);
+}
+
+uint64_t SpaceSaving::Estimate(uint64_t item) const {
+  auto it = counters_.find(item);
+  return it == counters_.end() ? 0 : it->second.count;
+}
+
+bool SpaceSaving::IsGuaranteedHeavy(uint64_t item, uint64_t threshold) const {
+  auto it = counters_.find(item);
+  if (it == counters_.end()) return false;
+  return it->second.count - it->second.error >= threshold;
+}
+
+std::vector<SpaceSaving::Counter> SpaceSaving::TopK(uint32_t k) const {
+  std::vector<Counter> out;
+  out.reserve(counters_.size());
+  for (const auto& [item, cell] : counters_) {
+    out.push_back(Counter{item, cell.count, cell.error});
+  }
+  std::sort(out.begin(), out.end(), [](const Counter& a, const Counter& b) {
+    return a.count != b.count ? a.count > b.count : a.item < b.item;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace streamlink

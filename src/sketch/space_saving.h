@@ -1,0 +1,68 @@
+#ifndef STREAMLINK_SKETCH_SPACE_SAVING_H_
+#define STREAMLINK_SKETCH_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace streamlink {
+
+/// Space-Saving heavy-hitters sketch (Metwally, Agrawal, El Abbadi).
+///
+/// Tracks at most `capacity` counters; any item with true frequency above
+/// N/capacity is guaranteed to be present, and each reported count
+/// overestimates the true count by at most its recorded `error`. streamlink
+/// uses it to surface high-degree vertices in examples and the ablation
+/// experiments, and it rounds out the streaming-summary substrate.
+class SpaceSaving {
+ public:
+  struct Counter {
+    uint64_t item;
+    uint64_t count;  // upper bound on the true frequency
+    uint64_t error;  // count − error is a lower bound
+  };
+
+  explicit SpaceSaving(uint32_t capacity);
+
+  uint32_t capacity() const { return capacity_; }
+  uint64_t total_count() const { return total_count_; }
+  uint32_t num_tracked() const {
+    return static_cast<uint32_t>(counters_.size());
+  }
+
+  /// Processes one stream occurrence of `item`. O(log capacity).
+  void Offer(uint64_t item, uint64_t count = 1);
+
+  /// Estimated frequency (an upper bound). 0 if untracked.
+  uint64_t Estimate(uint64_t item) const;
+
+  /// True if `item`'s count is guaranteed (error == 0 or provably above
+  /// every evicted count).
+  bool IsGuaranteedHeavy(uint64_t item, uint64_t threshold) const;
+
+  /// All tracked counters sorted by count descending.
+  std::vector<Counter> TopK(uint32_t k) const;
+
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) +
+           counters_.size() * (sizeof(uint64_t) * 4 + sizeof(void*) * 4) +
+           by_count_.size() * (sizeof(uint64_t) * 2 + sizeof(void*) * 4);
+  }
+
+ private:
+  struct Cell {
+    uint64_t count;
+    uint64_t error;
+    std::multimap<uint64_t, uint64_t>::iterator index_it;
+  };
+
+  uint32_t capacity_;
+  uint64_t total_count_ = 0;
+  std::unordered_map<uint64_t, Cell> counters_;
+  std::multimap<uint64_t, uint64_t> by_count_;  // count -> item
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_SPACE_SAVING_H_

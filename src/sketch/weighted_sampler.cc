@@ -1,0 +1,118 @@
+#include "sketch/weighted_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+WeightedBottomKSampler::WeightedBottomKSampler(uint32_t k) : k_(k) {
+  SL_CHECK(k > 0) << "weighted bottom-k sampler needs k >= 1";
+  entries_.reserve(k);
+}
+
+bool WeightedBottomKSampler::Offer(uint64_t item, double exp_variate,
+                                   double weight) {
+  SL_DCHECK(weight > 0.0) << "weights must be positive";
+  SL_DCHECK(exp_variate > 0.0) << "exp variate must be positive";
+  const double rank = exp_variate / weight;
+
+  // Replace an existing entry for this item (weight refresh).
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].item == item) {
+      if (entries_[i].rank == rank && entries_[i].weight == weight) {
+        return false;
+      }
+      entries_.erase(entries_.begin() + i);
+      // Reinsert below with the fresh rank; it may now fall out of the
+      // bottom k only if the sampler is saturated by others — but we just
+      // freed a slot, so it always fits. Keep ordering invariant.
+      auto it = std::lower_bound(
+          entries_.begin(), entries_.end(), rank,
+          [](const Entry& e, double r) { return e.rank < r; });
+      entries_.insert(it, Entry{rank, item, weight});
+      return true;
+    }
+  }
+
+  if (entries_.size() == k_ && rank >= entries_.back().rank) return false;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), rank,
+      [](const Entry& e, double r) { return e.rank < r; });
+  entries_.insert(it, Entry{rank, item, weight});
+  if (entries_.size() > k_) entries_.pop_back();
+  return true;
+}
+
+double WeightedBottomKSampler::Threshold() const {
+  return IsSaturated() ? entries_.back().rank : kInfiniteRank;
+}
+
+double WeightedBottomKSampler::EstimateSubsetSum(
+    const std::function<double(uint64_t)>& current_weight) const {
+  if (entries_.empty()) return 0.0;
+  const double tau = Threshold();
+  if (tau == kInfiniteRank) {
+    // No sampling happened: the sample *is* the set.
+    double sum = 0.0;
+    for (const Entry& e : entries_) sum += current_weight(e.item);
+    return sum;
+  }
+  // Saturated: condition on τ = k-th smallest rank; the first k-1 entries
+  // are included iff rank < τ, with probability 1 − e^{−w·τ}.
+  double sum = 0.0;
+  for (size_t i = 0; i + 1 < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    double p = -std::expm1(-e.weight * tau);
+    if (p > 0.0) sum += current_weight(e.item) / p;
+  }
+  return sum;
+}
+
+double WeightedBottomKSampler::EstimateWeightedIntersection(
+    const WeightedBottomKSampler& a, const WeightedBottomKSampler& b,
+    const std::function<double(uint64_t)>& current_weight) {
+  if (a.IsEmpty() || b.IsEmpty()) return 0.0;
+  const double tau = std::min(a.Threshold(), b.Threshold());
+
+  double sum = 0.0;
+  // Intersect by item id. Sketches are tiny (k entries); sort copies of the
+  // item lists and merge.
+  std::vector<std::pair<uint64_t, const Entry*>> items_a, items_b;
+  items_a.reserve(a.size());
+  items_b.reserve(b.size());
+  for (const Entry& e : a.entries()) items_a.emplace_back(e.item, &e);
+  for (const Entry& e : b.entries()) items_b.emplace_back(e.item, &e);
+  std::sort(items_a.begin(), items_a.end());
+  std::sort(items_b.begin(), items_b.end());
+
+  size_t i = 0, j = 0;
+  while (i < items_a.size() && j < items_b.size()) {
+    if (items_a[i].first < items_b[j].first) {
+      ++i;
+    } else if (items_a[i].first > items_b[j].first) {
+      ++j;
+    } else {
+      const Entry& ea = *items_a[i].second;
+      const Entry& eb = *items_b[j].second;
+      // Use the larger of the two stored ranks: the item is in the
+      // coordinated intersection sample iff its rank is below τ in both.
+      double rank = std::max(ea.rank, eb.rank);
+      if (rank < tau || tau == kInfiniteRank) {
+        if (tau == kInfiniteRank) {
+          sum += current_weight(ea.item);
+        } else {
+          double w_stored = 0.5 * (ea.weight + eb.weight);
+          double p = -std::expm1(-w_stored * tau);
+          if (p > 0.0) sum += current_weight(ea.item) / p;
+        }
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+}  // namespace streamlink

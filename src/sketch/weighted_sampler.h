@@ -1,0 +1,89 @@
+#ifndef STREAMLINK_SKETCH_WEIGHTED_SAMPLER_H_
+#define STREAMLINK_SKETCH_WEIGHTED_SAMPLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace streamlink {
+
+/// Coordinated bottom-k weighted sampler (PPSWOR / "priority"-style with
+/// exponential ranks).
+///
+/// Each item x carries a weight w(x) > 0 and a hash-derived Exp(1) variate
+/// e(x); its rank is r(x) = e(x) / w(x) ~ Exp(w(x)). The sampler keeps the
+/// k items with smallest rank — a weighted sample without replacement in
+/// which heavy items are more likely to appear. Because e(x) comes from a
+/// *hash* of x (not fresh randomness), two samplers built over different
+/// sets are **coordinated**: the same item gets the same variate in both,
+/// which is what makes *intersection* estimation possible. This class is
+/// the substrate for the paper's "vertex-biased sampling" Adamic-Adar
+/// estimator (see core/vertex_biased_predictor.h).
+///
+/// Subset-sum estimation uses the standard bottom-k Horvitz-Thompson
+/// conditioning: with threshold τ = k-th smallest rank, item x is included
+/// with (conditional) probability P(r(x) < τ) = 1 − exp(−w(x)·τ).
+class WeightedBottomKSampler {
+ public:
+  struct Entry {
+    double rank;
+    uint64_t item;
+    double weight;  // weight at the time of the latest offer
+  };
+
+  /// Rank threshold value meaning "everything is included".
+  static constexpr double kInfiniteRank =
+      std::numeric_limits<double>::infinity();
+
+  explicit WeightedBottomKSampler(uint32_t k);
+
+  uint32_t k() const { return k_; }
+  uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
+  bool IsEmpty() const { return entries_.empty(); }
+  bool IsSaturated() const { return entries_.size() == k_; }
+
+  /// Offers item with exponential variate `exp_variate` (= −ln U(hash(x)))
+  /// and current weight. If the item is already present its entry is
+  /// *replaced* (rank recomputed from the new weight, keeping the sampler
+  /// consistent as weights evolve); otherwise it competes for a slot.
+  /// Returns true if the sampler changed. O(k).
+  bool Offer(uint64_t item, double exp_variate, double weight);
+
+  /// Entries sorted by rank ascending.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Inclusion threshold τ: the k-th smallest rank when saturated,
+  /// +infinity otherwise (every offered item was kept).
+  double Threshold() const;
+
+  /// Horvitz-Thompson estimate of Σ w_now(x) over the sampled set, where
+  /// `current_weight(item)` supplies up-to-date weights (they may have
+  /// drifted since the item was sampled). Uses the stored weight for the
+  /// inclusion probability (that is the weight sampling actually used) and
+  /// the current weight for the contribution.
+  double EstimateSubsetSum(
+      const std::function<double(uint64_t)>& current_weight) const;
+
+  /// Coordinated two-sampler estimate of Σ w_now(x) over items present in
+  /// *both* underlying sets. Requires both samplers to use the same hash
+  /// source for exp variates (coordination). Items in both samples with
+  /// rank below τ = min(τ_a, τ_b) contribute w_now(x) / (1 − e^{−w̄(x)·τ}),
+  /// with w̄ the mean of the two stored weights (they may differ slightly
+  /// if weights drifted between the two insertions).
+  static double EstimateWeightedIntersection(
+      const WeightedBottomKSampler& a, const WeightedBottomKSampler& b,
+      const std::function<double(uint64_t)>& current_weight);
+
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + entries_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  uint32_t k_;
+  std::vector<Entry> entries_;  // sorted by rank ascending, size <= k_
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_WEIGHTED_SAMPLER_H_

@@ -1,0 +1,43 @@
+#include "stream/rate_meter.h"
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+RateMeter::RateMeter(double window_seconds)
+    : window_seconds_(window_seconds) {
+  SL_CHECK(window_seconds > 0.0) << "window must be positive";
+}
+
+void RateMeter::Record(double now_seconds, uint64_t count) {
+  if (!has_samples_) {
+    first_time_ = now_seconds;
+    has_samples_ = true;
+  }
+  SL_DCHECK(now_seconds >= last_time_) << "time went backwards";
+  last_time_ = now_seconds;
+  total_events_ += count;
+  window_.push_back(Sample{now_seconds, count});
+  window_events_ += count;
+  while (!window_.empty() &&
+         window_.front().time < now_seconds - window_seconds_) {
+    window_events_ -= window_.front().count;
+    window_.pop_front();
+  }
+}
+
+double RateMeter::LifetimeRate() const {
+  if (!has_samples_) return 0.0;
+  double span = last_time_ - first_time_;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(total_events_) / span;
+}
+
+double RateMeter::WindowRate() const {
+  if (window_.size() < 2) return 0.0;
+  double span = window_.back().time - window_.front().time;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(window_events_) / span;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,47 @@
+#ifndef STREAMLINK_STREAM_RATE_METER_H_
+#define STREAMLINK_STREAM_RATE_METER_H_
+
+#include <cstdint>
+#include <deque>
+
+namespace streamlink {
+
+/// Tracks event throughput with both a lifetime average and a sliding
+/// window of recent samples, using an injectable clock so tests can drive
+/// it deterministically. The throughput experiments use it to report
+/// steady-state edges/sec (excluding warm-up).
+class RateMeter {
+ public:
+  /// `window_seconds`: span of the recent-rate window.
+  explicit RateMeter(double window_seconds = 1.0);
+
+  /// Records `count` events at time `now_seconds` (monotonic, caller
+  /// supplied; the stream driver passes a WallTimer reading).
+  void Record(double now_seconds, uint64_t count = 1);
+
+  uint64_t total_events() const { return total_events_; }
+
+  /// Events/sec since the first Record.
+  double LifetimeRate() const;
+
+  /// Events/sec over the trailing window ending at the last Record.
+  double WindowRate() const;
+
+ private:
+  struct Sample {
+    double time;
+    uint64_t count;
+  };
+
+  double window_seconds_;
+  std::deque<Sample> window_;
+  uint64_t window_events_ = 0;
+  uint64_t total_events_ = 0;
+  double first_time_ = 0.0;
+  double last_time_ = 0.0;
+  bool has_samples_ = false;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_STREAM_RATE_METER_H_

@@ -1,0 +1,35 @@
+#include "stream/sliding_window.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+SlidingWindowGraph::SlidingWindowGraph(uint64_t window_size)
+    : window_size_(window_size) {
+  SL_CHECK(window_size >= 1) << "window must hold at least one edge";
+}
+
+uint32_t SlidingWindowGraph::Add(const Edge& edge) {
+  if (edge.IsSelfLoop()) return 0;
+  Edge canonical = edge.Canonical();
+  if (!graph_.AddEdge(canonical)) {
+    // Duplicate: refresh its position so it expires later.
+    auto it = std::find(order_.begin(), order_.end(), canonical);
+    SL_DCHECK(it != order_.end()) << "graph/window desync";
+    order_.erase(it);
+    order_.push_back(canonical);
+    return 0;
+  }
+  order_.push_back(canonical);
+  if (order_.size() <= window_size_) return 0;
+  Edge oldest = order_.front();
+  order_.pop_front();
+  bool removed = graph_.RemoveEdge(oldest.u, oldest.v);
+  SL_DCHECK(removed) << "expired edge missing from graph";
+  (void)removed;
+  return 1;
+}
+
+}  // namespace streamlink

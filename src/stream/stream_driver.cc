@@ -1,0 +1,64 @@
+#include "stream/stream_driver.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+void StreamDriver::AddConsumer(EdgeConsumer* consumer) {
+  SL_CHECK(consumer != nullptr) << "null consumer";
+  consumers_.push_back(consumer);
+}
+
+void StreamDriver::SetCheckpoints(std::vector<double> fractions,
+                                  CheckpointFn callback) {
+  for (double f : fractions) {
+    SL_CHECK(f > 0.0 && f <= 1.0) << "checkpoint fraction " << f
+                                  << " out of (0, 1]";
+  }
+  std::sort(fractions.begin(), fractions.end());
+  checkpoint_fractions_ = std::move(fractions);
+  checkpoint_fn_ = std::move(callback);
+}
+
+uint64_t StreamDriver::Run(EdgeStream& stream) {
+  const uint64_t total = stream.SizeHint();
+  SL_CHECK(checkpoint_fractions_.empty() || total > 0 ||
+           (checkpoint_fractions_.size() == 1 &&
+            checkpoint_fractions_[0] == 1.0))
+      << "fractional checkpoints require a stream with a size hint";
+
+  // Precompute absolute checkpoint positions.
+  std::vector<uint64_t> positions;
+  positions.reserve(checkpoint_fractions_.size());
+  for (double f : checkpoint_fractions_) {
+    positions.push_back(
+        std::max<uint64_t>(1, static_cast<uint64_t>(f * total)));
+  }
+
+  uint64_t consumed = 0;
+  size_t next_checkpoint = 0;
+  Edge e;
+  while (stream.Next(&e)) {
+    for (EdgeConsumer* c : consumers_) c->OnEdge(e);
+    ++consumed;
+    while (next_checkpoint < positions.size() &&
+           consumed >= positions[next_checkpoint]) {
+      double fraction = total > 0
+                            ? static_cast<double>(consumed) / total
+                            : 1.0;
+      checkpoint_fn_(consumed, fraction);
+      ++next_checkpoint;
+    }
+  }
+  // Fire any remaining checkpoints (e.g. 1.0 on an unsized stream, or when
+  // rounding placed a checkpoint past the true end).
+  while (next_checkpoint < checkpoint_fractions_.size()) {
+    checkpoint_fn_(consumed, 1.0);
+    ++next_checkpoint;
+  }
+  return consumed;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,52 @@
+#ifndef STREAMLINK_STREAM_STREAM_DRIVER_H_
+#define STREAMLINK_STREAM_STREAM_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/types.h"
+#include "stream/edge_stream.h"
+
+namespace streamlink {
+
+/// Anything that ingests stream edges one at a time — the streaming link
+/// predictors in core/ implement this.
+class EdgeConsumer {
+ public:
+  virtual ~EdgeConsumer() = default;
+  virtual void OnEdge(const Edge& edge) = 0;
+};
+
+/// Drives an EdgeStream into one or more consumers, invoking a checkpoint
+/// callback at requested stream fractions (the hook the error-vs-progress
+/// experiment uses). All consumers see every edge in order.
+class StreamDriver {
+ public:
+  /// Callback invoked at a checkpoint: (edges consumed so far, fraction of
+  /// the stream consumed). Fractions require a stream with SizeHint.
+  using CheckpointFn = std::function<void(uint64_t, double)>;
+
+  StreamDriver() = default;
+
+  /// Registers a consumer; not owned, must outlive Run.
+  void AddConsumer(EdgeConsumer* consumer);
+
+  /// Requests a checkpoint after each fraction of the stream in
+  /// `fractions` (each in (0, 1]); requires the stream to have a size
+  /// hint. A final checkpoint at 1.0 fires at end-of-stream even without
+  /// a size hint.
+  void SetCheckpoints(std::vector<double> fractions, CheckpointFn callback);
+
+  /// Consumes the whole stream. Returns the number of edges processed.
+  uint64_t Run(EdgeStream& stream);
+
+ private:
+  std::vector<EdgeConsumer*> consumers_;
+  std::vector<double> checkpoint_fractions_;
+  CheckpointFn checkpoint_fn_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_STREAM_STREAM_DRIVER_H_

@@ -1,0 +1,62 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_.is_open()) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+CsvWriter::~CsvWriter() { Flush(); }
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  SL_CHECK(!header_written_) << "CSV header written twice";
+  SL_CHECK(rows_written_ == 0) << "CSV header after data rows";
+  header_written_ = true;
+  AppendRow(columns);
+  rows_written_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::AppendRow(const std::vector<std::string>& cells) {
+  if (!status_.ok()) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeField(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_written_;
+}
+
+void CsvWriter::AppendNumericRow(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  char buf[40];
+  for (double v : cells) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    text.emplace_back(buf);
+  }
+  AppendRow(text);
+}
+
+void CsvWriter::Flush() {
+  if (out_.is_open()) out_.flush();
+}
+
+}  // namespace streamlink

@@ -1,0 +1,54 @@
+#ifndef STREAMLINK_UTIL_CSV_WRITER_H_
+#define STREAMLINK_UTIL_CSV_WRITER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace streamlink {
+
+/// Writes rows of experiment results as RFC-4180-ish CSV. Used by the bench
+/// harness so every table/figure also lands on disk for plotting.
+///
+/// Values containing commas, quotes, or newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check `status()` before use.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  Status status() const { return status_; }
+
+  /// Writes the header row. Call at most once, before any AppendRow.
+  void WriteHeader(const std::vector<std::string>& columns);
+
+  /// Appends one data row. Row width should match the header's.
+  void AppendRow(const std::vector<std::string>& cells);
+
+  /// Convenience: builds string cells from doubles with %.6g formatting.
+  void AppendNumericRow(const std::vector<double>& cells);
+
+  /// Flushes buffered output to disk.
+  void Flush();
+
+  uint64_t rows_written() const { return rows_written_; }
+
+  /// Escapes a single CSV field (exposed for testing).
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  Status status_;
+  uint64_t rows_written_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_UTIL_CSV_WRITER_H_

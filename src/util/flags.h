@@ -1,0 +1,51 @@
+#ifndef STREAMLINK_UTIL_FLAGS_H_
+#define STREAMLINK_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace streamlink {
+
+/// Minimal command-line flag parser for the bench and example binaries.
+/// Accepts `--name=value` and `--name value`; bare `--flag` means "true".
+/// Positional arguments are collected separately.
+///
+///   FlagParser flags(argc, argv);
+///   int k = flags.GetInt("k", 64);
+///   std::string out = flags.GetString("out", "results.csv");
+///   SL_CHECK_OK(flags.CheckUnknown({"k", "out"}));
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+
+  /// Constructs from pre-split tokens (testing convenience).
+  explicit FlagParser(const std::vector<std::string>& args);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Returns InvalidArgument if any parsed flag is not in `known` — catches
+  /// typos like `--sketchsize`.
+  Status CheckUnknown(const std::vector<std::string>& known) const;
+
+ private:
+  void Parse(const std::vector<std::string>& args);
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_UTIL_FLAGS_H_

@@ -1,0 +1,55 @@
+#include "util/hashing.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+double HashToExp(uint64_t h) {
+  // -ln(U) with U in (0, 1] is Exp(1). HashToUnit never yields 0.
+  return -std::log(HashToUnit(h));
+}
+
+uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
+  uint64_t h = Mix64(seed ^ 0xcbf29ce484222325ULL);
+  for (unsigned char c : bytes) {
+    h = Mix64(h ^ c);
+  }
+  // Fold in the length so "a\0" and "a" differ.
+  return Mix64(h ^ bytes.size());
+}
+
+HashFamily::HashFamily(uint64_t master_seed, uint32_t size)
+    : master_seed_(master_seed) {
+  SL_CHECK(size > 0) << "HashFamily needs at least one function";
+  seeds_.reserve(size);
+  uint64_t s = master_seed;
+  for (uint32_t i = 0; i < size; ++i) {
+    s = Mix64(s + 0x9e3779b97f4a7c15ULL);
+    seeds_.push_back(s);
+  }
+}
+
+TabulationFamily::TabulationFamily(uint64_t master_seed, uint32_t size)
+    : master_seed_(master_seed) {
+  SL_CHECK(size > 0) << "TabulationFamily needs at least one function";
+  functions_.reserve(size);
+  uint64_t s = master_seed;
+  for (uint32_t i = 0; i < size; ++i) {
+    s = Mix64(s + 0x9e3779b97f4a7c15ULL);
+    functions_.emplace_back(s);
+  }
+}
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& table : tables_) {
+    for (auto& entry : table) {
+      s = Mix64(s + 0x9e3779b97f4a7c15ULL);
+      entry = s;
+    }
+  }
+}
+
+}  // namespace streamlink

@@ -1,0 +1,107 @@
+#ifndef STREAMLINK_UTIL_HASHING_H_
+#define STREAMLINK_UTIL_HASHING_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace streamlink {
+
+/// 64-bit finalizer from SplitMix64 / MurmurHash3 lineage. Bijective on
+/// uint64_t, passes avalanche tests; the workhorse mixer of the library.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seeded 64-bit hash of a 64-bit key. Distinct seeds give (empirically)
+/// independent hash functions; used to build the k-permutation MinHash
+/// family. Two mixing rounds decorrelate seed and key.
+inline uint64_t HashU64(uint64_t key, uint64_t seed) {
+  return Mix64(key ^ Mix64(seed ^ 0x8e2f9d4b6a3c5e71ULL));
+}
+
+/// Maps a 64-bit hash to the open-closed unit interval (0, 1].
+/// Never returns 0, so -log(x) and 1/x are always finite.
+inline double HashToUnit(uint64_t h) {
+  // 2^-64 * (h + 1): h = 2^64-1 maps to 1.0, h = 0 maps to 2^-64 > 0.
+  return (static_cast<double>(h >> 11) + 1.0) * (1.0 / 9007199254740992.0);
+}
+
+/// Converts a 64-bit hash into an Exp(1) variate via inversion. Used for
+/// exponential-rank (bottom-k / PPSWOR) weighted sampling.
+double HashToExp(uint64_t h);
+
+/// Seeded hash of a byte string (FNV-1a style with 64-bit mixing rounds).
+uint64_t HashBytes(std::string_view bytes, uint64_t seed);
+
+/// A family of k seeded hash functions over uint64_t keys, derived from a
+/// single master seed. `Hash(i, key)` is the i-th function. The family is
+/// what MinHash-style sketches consume.
+class HashFamily {
+ public:
+  /// Creates `size` hash functions derived from `master_seed`.
+  HashFamily(uint64_t master_seed, uint32_t size);
+
+  uint32_t size() const { return static_cast<uint32_t>(seeds_.size()); }
+  uint64_t master_seed() const { return master_seed_; }
+
+  /// The i-th hash of `key`. Precondition: i < size().
+  uint64_t Hash(uint32_t i, uint64_t key) const {
+    return HashU64(key, seeds_[i]);
+  }
+
+  /// Seed of the i-th function (stable across runs for the same master).
+  uint64_t seed(uint32_t i) const { return seeds_[i]; }
+
+ private:
+  uint64_t master_seed_;
+  std::vector<uint64_t> seeds_;
+};
+
+/// Simple tabulation hashing over 64-bit keys (8 tables of 256 entries).
+/// 3-independent, and known to give Chernoff-style concentration for
+/// min-wise estimation; offered as the theoretically safer alternative to
+/// the mixer-based family.
+class TabulationHash {
+ public:
+  explicit TabulationHash(uint64_t seed);
+
+  uint64_t operator()(uint64_t key) const {
+    uint64_t h = 0;
+    for (int b = 0; b < 8; ++b) {
+      h ^= tables_[b][static_cast<uint8_t>(key >> (8 * b))];
+    }
+    return h;
+  }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+/// A family of k independent *tabulation* hash functions — the
+/// theoretically safer drop-in for HashFamily (simple tabulation is
+/// 3-independent and gives Chernoff-style concentration for min-wise
+/// estimation; Pătraşcu & Thorup). Costs 16 KiB of tables per function,
+/// paid once per predictor. The A14 ablation bench measures whether the
+/// mixer family leaves accuracy on the table.
+class TabulationFamily {
+ public:
+  TabulationFamily(uint64_t master_seed, uint32_t size);
+
+  uint32_t size() const { return static_cast<uint32_t>(functions_.size()); }
+  uint64_t master_seed() const { return master_seed_; }
+
+  uint64_t Hash(uint32_t i, uint64_t key) const { return functions_[i](key); }
+
+ private:
+  uint64_t master_seed_;
+  std::vector<TabulationHash> functions_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_UTIL_HASHING_H_

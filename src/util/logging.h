@@ -1,0 +1,66 @@
+#ifndef STREAMLINK_UTIL_LOGGING_H_
+#define STREAMLINK_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace streamlink {
+
+enum class LogLevel { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+namespace internal_logging {
+
+/// Stream-style log sink. Collects the message and emits it (to stderr) on
+/// destruction; aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum level that is actually printed (kFatal always prints
+/// and aborts). Returns the previous threshold. Thread-compatible.
+LogLevel SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+}  // namespace streamlink
+
+/// Stream-style logging: SL_LOG(kWarning) << "degree " << d << " too big";
+#define SL_LOG(severity)                                         \
+  ::streamlink::internal_logging::LogMessage(                    \
+      ::streamlink::LogLevel::severity, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Enabled in all build modes;
+/// use for checking invariants whose violation would corrupt results.
+#define SL_CHECK(cond)                                             \
+  if (!(cond))                                                     \
+  SL_LOG(kFatal) << "Check failed: " #cond " "
+
+#define SL_CHECK_OK(status_expr)                                  \
+  if (auto _sl_st = (status_expr); !_sl_st.ok())                  \
+  SL_LOG(kFatal) << "Status not OK: " << _sl_st.ToString() << " "
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SL_DCHECK(cond) \
+  if (false && !(cond)) SL_LOG(kFatal)
+#else
+#define SL_DCHECK(cond) SL_CHECK(cond)
+#endif
+
+#endif  // STREAMLINK_UTIL_LOGGING_H_

@@ -1,0 +1,137 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/hashing.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 expansion, the recommended seeding procedure for xoshiro.
+  uint64_t s = seed;
+  for (auto& word : state_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    word = Mix64(s);
+  }
+  // All-zero state is invalid for xoshiro; Mix64 of distinct inputs cannot
+  // produce four zeros, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  SL_DCHECK(bound > 0) << "NextBounded requires bound > 0";
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  SL_DCHECK(lo <= hi) << "NextInt requires lo <= hi";
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::NextDoublePositive() {
+  return (static_cast<double>(Next() >> 11) + 1.0) *
+         (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u = NextDoublePositive();
+  double v = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u));
+  double theta = 2.0 * M_PI * v;
+  spare_gaussian_ = r * std::sin(theta);
+  has_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextExp() { return -std::log(NextDoublePositive()); }
+
+uint64_t Rng::NextGeometric(double p) {
+  SL_DCHECK(p > 0.0 && p <= 1.0) << "NextGeometric requires p in (0,1]";
+  if (p >= 1.0) return 0;
+  double u = NextDoublePositive();
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n,
+                                                    uint64_t count) {
+  SL_CHECK(count <= n) << "cannot sample " << count << " distinct from " << n;
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  if (count * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an explicit index vector.
+    std::vector<uint64_t> idx(n);
+    for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t j = i + NextBounded(n - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  // Sparse case: Floyd's algorithm.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(count * 2);
+  for (uint64_t j = n - count; j < n; ++j) {
+    uint64_t t = NextBounded(j + 1);
+    if (!chosen.insert(t).second) {
+      chosen.insert(j);
+      out.push_back(j);
+    } else {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace streamlink

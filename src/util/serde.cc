@@ -1,0 +1,79 @@
+#include "util/serde.h"
+
+#include <bit>
+#include <cstring>
+
+namespace streamlink {
+
+static_assert(std::endian::native == std::endian::little,
+              "streamlink snapshots assume a little-endian host");
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary) {
+  if (!out_.is_open()) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  if (!status_.ok()) return;
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  if (!out_) status_ = Status::IoError("write failed");
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteDouble(double v) { WriteBytes(&v, sizeof(v)); }
+
+Status BinaryWriter::Finish() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_ && status_.ok()) status_ = Status::IoError("flush failed");
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_.is_open()) {
+    status_ = Status::IoError("cannot open for reading: " + path);
+  }
+}
+
+void BinaryReader::Fail(const std::string& message) {
+  if (status_.ok()) status_ = Status::IoError(message);
+}
+
+bool BinaryReader::ReadBytes(void* data, size_t size) {
+  if (!status_.ok()) {
+    std::memset(data, 0, size);
+    return false;
+  }
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (!in_) {
+    std::memset(data, 0, size);
+    Fail("unexpected end of snapshot");
+    return false;
+  }
+  return true;
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::ReadDouble() {
+  double v = 0;
+  ReadBytes(&v, sizeof(v));
+  return v;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,82 @@
+#ifndef STREAMLINK_UTIL_SERDE_H_
+#define STREAMLINK_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace streamlink {
+
+/// Little-endian binary writer for predictor snapshots. All writes go
+/// through fixed-width primitives so snapshots are portable across
+/// platforms (of the same endianness class; explicitly little-endian on
+/// disk).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  Status status() const { return status_; }
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteDouble(double v);
+  void WriteBytes(const void* data, size_t size);
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    if (!v.empty()) WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Flushes and reports the final status.
+  Status Finish();
+
+ private:
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Reader counterpart of BinaryWriter. All reads report corruption
+/// (truncation) through status(); values read after an error are zero.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  Status status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  double ReadDouble();
+  bool ReadBytes(void* data, size_t size);
+
+  template <typename T>
+  std::vector<T> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t size = ReadU64();
+    std::vector<T> v;
+    if (!ok()) return v;
+    // Guard against corrupted huge sizes: cap at 1 GiB of payload.
+    if (size * sizeof(T) > (1ULL << 30)) {
+      Fail("vector size implausible: " + std::to_string(size));
+      return v;
+    }
+    v.resize(size);
+    if (size > 0 && !ReadBytes(v.data(), size * sizeof(T))) v.clear();
+    return v;
+  }
+
+ private:
+  void Fail(const std::string& message);
+
+  std::ifstream in_;
+  Status status_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_UTIL_SERDE_H_

@@ -1,0 +1,46 @@
+#ifndef STREAMLINK_UTIL_TABLE_PRINTER_H_
+#define STREAMLINK_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace streamlink {
+
+/// Renders aligned, human-readable result tables on the console — the bench
+/// binaries print the paper's tables/figures as rows through this.
+///
+///   TablePrinter t({"k", "jaccard err", "cn err"});
+///   t.AddRow({"16", "0.081", "0.122"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Adds one row; short rows are padded with empty cells, long rows extend
+  /// the column set.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Numeric convenience with %.4g formatting.
+  void AddNumericRow(const std::vector<double>& cells);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a header rule and column padding.
+  void Print(std::ostream& os) const;
+
+  /// Returns the rendered table as a string.
+  std::string ToString() const;
+
+  /// Formats a double with %.4g (the table-wide numeric format).
+  static std::string FormatCell(double v);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_UTIL_TABLE_PRINTER_H_

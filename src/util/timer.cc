@@ -1,0 +1,52 @@
+#include "util/timer.h"
+
+#include <cstdio>
+
+namespace streamlink {
+
+void WallTimer::Start() {
+  lap_start_ = Clock::now();
+  running_ = true;
+}
+
+void WallTimer::Stop() {
+  if (!running_) return;
+  accumulated_ns_ +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           lap_start_)
+          .count();
+  running_ = false;
+}
+
+void WallTimer::Reset() {
+  accumulated_ns_ = 0;
+  running_ = false;
+}
+
+int64_t WallTimer::Nanos() const {
+  int64_t ns = accumulated_ns_;
+  if (running_) {
+    ns += std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               lap_start_)
+              .count();
+  }
+  return ns;
+}
+
+double WallTimer::Seconds() const { return static_cast<double>(Nanos()) * 1e-9; }
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,75 @@
+#ifndef STREAMLINK_UTIL_TIMER_H_
+#define STREAMLINK_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace streamlink {
+
+/// Monotonic wall-clock stopwatch with start/stop/resume semantics.
+class WallTimer {
+ public:
+  /// Constructs a stopped timer with zero accumulated time.
+  WallTimer() = default;
+
+  /// Starts (or restarts after Stop) the timer. Calling Start on a running
+  /// timer resets the current lap's origin but keeps accumulated time.
+  void Start();
+
+  /// Stops the timer, folding the current lap into the accumulated total.
+  void Stop();
+
+  /// Clears accumulated time and stops the timer.
+  void Reset();
+
+  bool running() const { return running_; }
+
+  /// Accumulated time; includes the in-flight lap if running.
+  double Seconds() const;
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+  int64_t Nanos() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point lap_start_{};
+  int64_t accumulated_ns_ = 0;
+  bool running_ = false;
+};
+
+/// Measures throughput: events per second over a timed region.
+///
+///   Stopwatch sw;
+///   ... process n items ...
+///   double eps = sw.Rate(n);
+class Stopwatch {
+ public:
+  /// Starts timing immediately.
+  Stopwatch() { timer_.Start(); }
+
+  /// Restarts from zero.
+  void Restart() {
+    timer_.Reset();
+    timer_.Start();
+  }
+
+  double ElapsedSeconds() const { return timer_.Seconds(); }
+
+  /// Events per second for `count` events in the elapsed window.
+  /// Returns 0 when no time has elapsed.
+  double Rate(uint64_t count) const {
+    double s = timer_.Seconds();
+    return s > 0 ? static_cast<double>(count) / s : 0.0;
+  }
+
+ private:
+  WallTimer timer_;
+};
+
+/// Formats a duration in seconds with an adaptive unit ("1.23 ms").
+std::string FormatDuration(double seconds);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_UTIL_TIMER_H_

@@ -1,0 +1,149 @@
+#include "sketch/bbit_minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+BBitMinHash SketchOf(const std::vector<uint64_t>& items, uint32_t k,
+                     uint32_t bits, const HashFamily& family) {
+  BBitMinHash s(k, bits);
+  for (uint64_t x : items) s.Update(x, family);
+  return s;
+}
+
+TEST(BBitMinHash, StartsEmpty) {
+  BBitMinHash s(16, 2);
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_EQ(s.num_hashes(), 16u);
+  EXPECT_EQ(s.bits(), 2u);
+}
+
+TEST(BBitMinHashDeathTest, BadParamsAbort) {
+  EXPECT_DEATH(BBitMinHash(0, 2), "at least one hash");
+  EXPECT_DEATH(BBitMinHash(16, 0), "bits");
+  EXPECT_DEATH(BBitMinHash(16, 9), "bits");
+}
+
+TEST(BBitMinHash, PayloadIsPacked) {
+  EXPECT_EQ(BBitMinHash(64, 1).PayloadBytes(), 8u);
+  EXPECT_EQ(BBitMinHash(64, 2).PayloadBytes(), 16u);
+  EXPECT_EQ(BBitMinHash(64, 8).PayloadBytes(), 64u);
+  EXPECT_EQ(BBitMinHash(10, 3).PayloadBytes(), 4u);  // 30 bits -> 4 bytes
+}
+
+TEST(BBitMinHash, SlotBitsAreLowBitsOfMinima) {
+  HashFamily family(1, 8);
+  std::vector<uint64_t> items = {5, 9, 13};
+  BBitMinHash s = SketchOf(items, 8, 4, family);
+  for (uint32_t i = 0; i < 8; ++i) {
+    uint64_t min_hash = ~0ULL;
+    for (uint64_t x : items) min_hash = std::min(min_hash, family.Hash(i, x));
+    EXPECT_EQ(s.SlotBits(i), min_hash & 0xf) << "slot " << i;
+  }
+}
+
+TEST(BBitMinHash, StraddlingByteBoundariesWorks) {
+  // 3-bit slots cross byte boundaries; verify every slot round-trips.
+  HashFamily family(2, 21);
+  BBitMinHash s = SketchOf({42}, 21, 3, family);
+  for (uint32_t i = 0; i < 21; ++i) {
+    EXPECT_EQ(s.SlotBits(i), family.Hash(i, 42) & 0x7) << "slot " << i;
+  }
+}
+
+TEST(BBitMinHash, IdenticalSetsEstimateOne) {
+  HashFamily family(3, 64);
+  BBitMinHash a = SketchOf({1, 2, 3}, 64, 2, family);
+  BBitMinHash b = SketchOf({3, 2, 1}, 64, 2, family);
+  EXPECT_DOUBLE_EQ(BBitMinHash::MatchFraction(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(BBitMinHash::EstimateJaccard(a, b), 1.0);
+}
+
+TEST(BBitMinHash, EmptySketchEstimatesZero) {
+  HashFamily family(4, 16);
+  BBitMinHash a(16, 2);
+  BBitMinHash b = SketchOf({1}, 16, 2, family);
+  EXPECT_DOUBLE_EQ(BBitMinHash::EstimateJaccard(a, b), 0.0);
+}
+
+TEST(BBitMinHashDeathTest, IncompatibleComparisonAborts) {
+  BBitMinHash a(16, 2), b(16, 4), c(32, 2);
+  EXPECT_DEATH(BBitMinHash::MatchFraction(a, b), "incompatible");
+  EXPECT_DEATH(BBitMinHash::MatchFraction(a, c), "incompatible");
+}
+
+TEST(BBitMinHash, DisjointSetsMatchAtCollisionRate) {
+  // For J = 0 the raw match fraction should concentrate near 2^-b, and the
+  // corrected estimate near 0.
+  HashFamily family(5, 4096);
+  Rng rng(1);
+  std::vector<uint64_t> av, bv;
+  for (int i = 0; i < 500; ++i) {
+    av.push_back(rng.Next());
+    bv.push_back(rng.Next());
+  }
+  for (uint32_t bits : {1u, 2u, 4u}) {
+    BBitMinHash a = SketchOf(av, 4096, bits, family);
+    BBitMinHash b = SketchOf(bv, 4096, bits, family);
+    double expected_collisions = std::ldexp(1.0, -static_cast<int>(bits));
+    EXPECT_NEAR(BBitMinHash::MatchFraction(a, b), expected_collisions,
+                4 * std::sqrt(expected_collisions / 4096))
+        << "b=" << bits;
+    EXPECT_NEAR(BBitMinHash::EstimateJaccard(a, b), 0.0, 0.05) << bits;
+  }
+}
+
+/// Property sweep: the bias-corrected estimator concentrates on the true
+/// Jaccard for every b.
+class BBitAccuracy : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BBitAccuracy, CorrectedEstimateIsAccurate) {
+  const uint32_t bits = GetParam();
+  const uint32_t k = 2048;
+  HashFamily family(6 + bits, k);
+  Rng rng(bits);
+  const int size = 600;
+  for (double overlap : {0.25, 0.75}) {
+    int shared = static_cast<int>(overlap * size);
+    std::vector<uint64_t> av, bv;
+    for (int i = 0; i < shared; ++i) {
+      uint64_t x = rng.Next();
+      av.push_back(x);
+      bv.push_back(x);
+    }
+    for (int i = shared; i < size; ++i) {
+      av.push_back(rng.Next());
+      bv.push_back(rng.Next());
+    }
+    BBitMinHash a = SketchOf(av, k, bits, family);
+    BBitMinHash b = SketchOf(bv, k, bits, family);
+    double truth = static_cast<double>(shared) / (2 * size - shared);
+    // Variance inflation ~ 1/(1-2^-b): 5-sigma envelope.
+    double c = std::ldexp(1.0, -static_cast<int>(bits));
+    double sigma = std::sqrt(1.0 / (k * (1 - c) * (1 - c)));
+    EXPECT_NEAR(BBitMinHash::EstimateJaccard(a, b), truth, 5 * sigma)
+        << "b=" << bits << " overlap=" << overlap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, BBitAccuracy,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(BBitMinHash, UpdateIsIdempotent) {
+  HashFamily family(7, 32);
+  BBitMinHash a = SketchOf({1, 2, 3}, 32, 4, family);
+  BBitMinHash b = SketchOf({1, 1, 2, 3, 2}, 32, 4, family);
+  for (uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.SlotBits(i), b.SlotBits(i));
+  }
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,77 @@
+#include "sketch/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(BloomFilter, BitsRoundedToWords) {
+  BloomFilter f(100, 3, 1);
+  EXPECT_EQ(f.num_bits() % 64, 0u);
+  EXPECT_GE(f.num_bits(), 100u);
+}
+
+TEST(BloomFilterDeathTest, BadParamsAbort) {
+  EXPECT_DEATH(BloomFilter(10, 3, 1), "64 bits");
+  EXPECT_DEATH(BloomFilter(128, 0, 1), "one hash");
+  EXPECT_DEATH(BloomFilter::FromExpectedItems(0, 0.01, 1), "positive");
+  EXPECT_DEATH(BloomFilter::FromExpectedItems(10, 1.5, 1), "fpp");
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter f = BloomFilter::FromExpectedItems(1000, 0.01, 2);
+  Rng rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) f.Add(k);
+  for (uint64_t k : keys) EXPECT_TRUE(f.MayContain(k));
+}
+
+TEST(BloomFilter, EmptyContainsNothing) {
+  BloomFilter f(1024, 4, 4);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(f.MayContain(rng.Next()));
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  const double target = 0.02;
+  BloomFilter f = BloomFilter::FromExpectedItems(5000, target, 6);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) f.Add(rng.Next());
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (f.MayContain(rng.Next())) ++false_positives;
+  }
+  double fpp = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(fpp, 3.0 * target);
+  EXPECT_NEAR(f.EstimatedFpp(), target, 2.0 * target);
+}
+
+TEST(BloomFilter, AddReportsNovelty) {
+  BloomFilter f(4096, 4, 8);
+  EXPECT_TRUE(f.Add(42));
+  EXPECT_FALSE(f.Add(42));  // second insert flips nothing
+}
+
+TEST(BloomFilter, TracksItemCount) {
+  BloomFilter f(1024, 3, 9);
+  f.Add(1);
+  f.Add(2);
+  f.Add(2);
+  EXPECT_EQ(f.items_added(), 3u);
+}
+
+TEST(BloomFilter, FromExpectedItemsPicksReasonableHashes) {
+  BloomFilter f = BloomFilter::FromExpectedItems(1000, 0.01, 10);
+  // Optimal k = m/n·ln2 ≈ 9.6/ln2... ≈ 6.6 → 6 or 7.
+  EXPECT_GE(f.num_hashes(), 5u);
+  EXPECT_LE(f.num_hashes(), 8u);
+}
+
+}  // namespace
+}  // namespace streamlink

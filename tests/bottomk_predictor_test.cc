@@ -1,0 +1,155 @@
+#include "core/bottomk_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_predictor.h"
+#include "eval/experiment.h"
+#include "gen/pair_sampler.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+EdgeList ReferenceStream() {
+  return {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 5}, {2, 3}};
+}
+
+TEST(BottomKPredictor, NameAndDefaults) {
+  BottomKPredictor p;
+  EXPECT_EQ(p.name(), "bottomk");
+  EXPECT_EQ(p.options().k, 64u);
+  EXPECT_TRUE(p.options().track_exact_degrees);
+}
+
+TEST(BottomKPredictor, SmallNeighborhoodsAreExact) {
+  // With k=64 and degrees << k, the sketch holds the full neighborhood and
+  // every estimate is exact.
+  BottomKPredictor p;
+  FeedStream(p, ReferenceStream());
+  OverlapEstimate e = p.EstimateOverlap(0, 1);
+  EXPECT_DOUBLE_EQ(e.jaccard, 0.5);
+  EXPECT_NEAR(e.intersection, 2.0, 1e-9);
+  EXPECT_NEAR(e.union_size, 4.0, 1e-9);
+  EXPECT_NEAR(e.adamic_adar, 2.0 / std::log(3.0), 1e-9);
+}
+
+TEST(BottomKPredictor, ExactDegrees) {
+  BottomKPredictor p;
+  FeedStream(p, ReferenceStream());
+  EXPECT_DOUBLE_EQ(p.Degree(0), 3.0);
+  EXPECT_DOUBLE_EQ(p.Degree(4), 1.0);
+  EXPECT_DOUBLE_EQ(p.Degree(42), 0.0);
+}
+
+TEST(BottomKPredictor, SketchDegreesModeIsSelfContained) {
+  BottomKPredictorOptions options;
+  options.track_exact_degrees = false;
+  options.k = 32;
+  BottomKPredictor p(options);
+  FeedStream(p, ReferenceStream());
+  // Unsaturated sketches give exact cardinalities even without counters.
+  EXPECT_DOUBLE_EQ(p.Degree(0), 3.0);
+  OverlapEstimate e = p.EstimateOverlap(0, 1);
+  EXPECT_DOUBLE_EQ(e.jaccard, 0.5);
+  EXPECT_NEAR(e.union_size, 4.0, 1e-9);
+}
+
+TEST(BottomKPredictor, SketchDegreesApproximateLargeNeighborhoods) {
+  BottomKPredictorOptions options;
+  options.track_exact_degrees = false;
+  options.k = 128;
+  BottomKPredictor p(options);
+  EdgeList edges;
+  const int degree = 5000;
+  for (int i = 0; i < degree; ++i) {
+    edges.push_back({0, static_cast<VertexId>(10 + i)});
+  }
+  FeedStream(p, edges);
+  EXPECT_NEAR(p.Degree(0), degree, 5.0 * degree / std::sqrt(128.0 - 2.0));
+}
+
+TEST(BottomKPredictor, UnseenVerticesEstimateZero) {
+  BottomKPredictor p;
+  FeedStream(p, ReferenceStream());
+  OverlapEstimate e = p.EstimateOverlap(70, 80);
+  EXPECT_DOUBLE_EQ(e.jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(e.adamic_adar, 0.0);
+}
+
+TEST(BottomKPredictorDeathTest, TinyKAborts) {
+  BottomKPredictorOptions options;
+  options.k = 1;
+  EXPECT_DEATH(BottomKPredictor p(options), "k >= 2");
+}
+
+TEST(BottomKPredictor, OrderIndependence) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"er", 0.02, 31});
+  BottomKPredictorOptions options;
+  options.k = 16;
+  BottomKPredictor forward(options), backward(options);
+  FeedStream(forward, g.edges);
+  EdgeList reversed(g.edges.rbegin(), g.edges.rend());
+  FeedStream(backward, reversed);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    EXPECT_DOUBLE_EQ(forward.EstimateOverlap(u, v).jaccard,
+                     backward.EstimateOverlap(u, v).jaccard);
+  }
+}
+
+TEST(BottomKPredictor, AccuracyImprovesWithK) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.05, 32});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(2);
+  auto pairs = SampleOverlappingPairs(csr, 400, rng);
+  double prev = 1e9;
+  for (uint32_t k : {8u, 64u, 512u}) {
+    PredictorConfig config;
+    config.kind = "bottomk";
+    config.sketch_size = k;
+    AccuracyReport report = MeasureAccuracy(g, config, pairs);
+    double err = report.jaccard.MeanAbsoluteError();
+    EXPECT_LT(err, prev * 1.05) << "k=" << k;
+    prev = err;
+  }
+  EXPECT_LT(prev, 0.06);
+}
+
+TEST(BottomKPredictor, CommonNeighborsReasonableOnWorkload) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ws", 0.05, 33});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(3);
+  auto pairs = SampleOverlappingPairs(csr, 300, rng);
+  PredictorConfig config;
+  config.kind = "bottomk";
+  config.sketch_size = 256;
+  AccuracyReport report = MeasureAccuracy(g, config, pairs);
+  EXPECT_LT(report.common_neighbors.MeanRelativeError(), 0.35);
+  EXPECT_LT(report.adamic_adar.MeanRelativeError(), 0.4);
+}
+
+TEST(BottomKPredictor, MemoryIsBoundedPerVertex) {
+  BottomKPredictorOptions options;
+  options.k = 32;
+  BottomKPredictor p(options);
+  EdgeList edges;
+  for (VertexId i = 0; i < 500; ++i) {
+    for (VertexId j = 1; j <= 30; ++j) {
+      edges.push_back({i, static_cast<VertexId>((i + j * 41) % 500)});
+    }
+  }
+  FeedStream(p, edges);
+  double per_vertex =
+      static_cast<double>(p.MemoryBytes()) / p.num_vertices();
+  // 32 entries * 16 bytes = 512 plus vector/object overheads.
+  EXPECT_LT(per_vertex, 1300.0);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,182 @@
+#include "sketch/bottomk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+constexpr uint64_t kSeed = 0xb0770;
+
+BottomKSketch SketchOf(const std::vector<uint64_t>& items, uint32_t k) {
+  BottomKSketch s(k);
+  for (uint64_t x : items) s.Update(HashU64(x, kSeed), x);
+  return s;
+}
+
+std::vector<uint64_t> RandomItems(int n, Rng& rng) {
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(rng.Next());
+  return out;
+}
+
+TEST(BottomKSketch, StartsEmpty) {
+  BottomKSketch s(4);
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_FALSE(s.IsSaturated());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.Threshold(), ~0ULL);
+  EXPECT_DOUBLE_EQ(s.EstimateCardinality(), 0.0);
+}
+
+TEST(BottomKSketchDeathTest, ZeroKAborts) {
+  EXPECT_DEATH(BottomKSketch(0), "k >= 1");
+}
+
+TEST(BottomKSketch, ExactWhileUnsaturated) {
+  BottomKSketch s = SketchOf({1, 2, 3}, 8);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.IsSaturated());
+  EXPECT_DOUBLE_EQ(s.EstimateCardinality(), 3.0);
+}
+
+TEST(BottomKSketch, DuplicatesAreIgnored) {
+  BottomKSketch s = SketchOf({5, 5, 5, 6, 6}, 8);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.EstimateCardinality(), 2.0);
+}
+
+TEST(BottomKSketch, KeepsOnlySmallestK) {
+  BottomKSketch s = SketchOf(
+      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, 4);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(s.IsSaturated());
+  // Entries are the 4 smallest hashes, sorted ascending.
+  for (uint32_t i = 1; i < 4; ++i) {
+    EXPECT_LT(s.entries()[i - 1].hash, s.entries()[i].hash);
+  }
+  EXPECT_EQ(s.Threshold(), s.entries().back().hash);
+}
+
+TEST(BottomKSketch, UpdateReturnsWhetherChanged) {
+  BottomKSketch s(2);
+  EXPECT_TRUE(s.Update(100, 1));
+  EXPECT_TRUE(s.Update(50, 2));
+  EXPECT_FALSE(s.Update(100, 1));   // duplicate hash
+  EXPECT_FALSE(s.Update(200, 3));   // above threshold when saturated
+  EXPECT_TRUE(s.Update(10, 4));     // below threshold
+}
+
+TEST(BottomKSketch, OrderIndependence) {
+  std::vector<uint64_t> items = {10, 20, 30, 40, 50, 60, 70};
+  BottomKSketch a = SketchOf(items, 4);
+  std::vector<uint64_t> reversed(items.rbegin(), items.rend());
+  BottomKSketch b = SketchOf(reversed, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i], b.entries()[i]);
+  }
+}
+
+TEST(BottomKSketch, CardinalityEstimateIsAccurate) {
+  Rng rng(77);
+  const uint32_t k = 256;
+  for (int n : {1000, 10000, 100000}) {
+    BottomKSketch s = SketchOf(RandomItems(n, rng), k);
+    double est = s.EstimateCardinality();
+    // Relative std error ≈ 1/sqrt(k-2) ≈ 6.3%; allow 5 sigma.
+    EXPECT_NEAR(est, n, 5.0 * n / std::sqrt(k - 2.0)) << "n=" << n;
+  }
+}
+
+TEST(BottomKSketch, MergeUnionEqualsSketchOfUnion) {
+  std::vector<uint64_t> av = {1, 2, 3, 4, 5, 6};
+  std::vector<uint64_t> bv = {4, 5, 6, 7, 8, 9};
+  BottomKSketch a = SketchOf(av, 4);
+  BottomKSketch b = SketchOf(bv, 4);
+  std::vector<uint64_t> uv = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  BottomKSketch expected = SketchOf(uv, 4);
+  a.MergeUnion(b);
+  ASSERT_EQ(a.size(), expected.size());
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i], expected.entries()[i]);
+  }
+}
+
+TEST(BottomKSketchDeathTest, MergeDifferentKAborts) {
+  BottomKSketch a(4), b(8);
+  EXPECT_DEATH(a.MergeUnion(b), "different k");
+}
+
+TEST(BottomKSketch, PairEstimateOnIdenticalSets) {
+  std::vector<uint64_t> items = {1, 2, 3, 4, 5};
+  BottomKSketch a = SketchOf(items, 16);
+  BottomKSketch b = SketchOf(items, 16);
+  auto est = BottomKSketch::EstimatePair(a, b);
+  EXPECT_DOUBLE_EQ(est.jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(est.union_cardinality, 5.0);
+  EXPECT_DOUBLE_EQ(est.intersection_cardinality, 5.0);
+}
+
+TEST(BottomKSketch, PairEstimateOnDisjointSmallSets) {
+  BottomKSketch a = SketchOf({1, 2, 3}, 16);
+  BottomKSketch b = SketchOf({4, 5, 6}, 16);
+  auto est = BottomKSketch::EstimatePair(a, b);
+  EXPECT_DOUBLE_EQ(est.jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(est.union_cardinality, 6.0);
+  EXPECT_DOUBLE_EQ(est.intersection_cardinality, 0.0);
+}
+
+TEST(BottomKSketch, PairEstimateEmptySketches) {
+  BottomKSketch a(4), b(4);
+  auto est = BottomKSketch::EstimatePair(a, b);
+  EXPECT_DOUBLE_EQ(est.jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(est.union_cardinality, 0.0);
+}
+
+/// Property sweep: pairwise Jaccard and union estimates concentrate with k.
+class BottomKAccuracy : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BottomKAccuracy, PairEstimatesConcentrate) {
+  const uint32_t k = GetParam();
+  Rng rng(k * 7 + 1);
+  const int size = 2000;
+  for (double overlap : {0.2, 0.8}) {
+    int shared = static_cast<int>(overlap * size);
+    std::vector<uint64_t> av, bv;
+    for (int i = 0; i < shared; ++i) {
+      uint64_t x = rng.Next();
+      av.push_back(x);
+      bv.push_back(x);
+    }
+    for (int i = shared; i < size; ++i) {
+      av.push_back(rng.Next());
+      bv.push_back(rng.Next());
+    }
+    BottomKSketch a = SketchOf(av, k);
+    BottomKSketch b = SketchOf(bv, k);
+    auto est = BottomKSketch::EstimatePair(a, b);
+
+    double true_union = 2.0 * size - shared;
+    double true_jaccard = shared / true_union;
+    double eps_j = 5.0 / std::sqrt(static_cast<double>(k));
+    EXPECT_NEAR(est.jaccard, true_jaccard, eps_j) << "k=" << k;
+    EXPECT_NEAR(est.union_cardinality, true_union,
+                5.0 * true_union / std::sqrt(k - 2.0))
+        << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SketchSizes, BottomKAccuracy,
+                         ::testing::Values(64u, 256u, 1024u));
+
+}  // namespace
+}  // namespace streamlink

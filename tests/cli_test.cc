@@ -1,0 +1,156 @@
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace streamlink {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    edges_path_ = dir_ + "/cli_test_edges.txt";
+    snapshot_path_ = dir_ + "/cli_test_snapshot.bin";
+  }
+  void TearDown() override {
+    std::remove(edges_path_.c_str());
+    std::remove(snapshot_path_.c_str());
+  }
+
+  Status Run(const std::vector<std::string>& args) {
+    out_.str("");
+    return RunCliCommand(args, out_);
+  }
+
+  std::string output() const { return out_.str(); }
+
+  std::string dir_, edges_path_, snapshot_path_;
+  std::ostringstream out_;
+};
+
+TEST_F(CliTest, MissingCommandFails) {
+  Status s = Run({});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("usage"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_FALSE(Run({"frobnicate"}).ok());
+}
+
+TEST_F(CliTest, GenerateWritesEdgeList) {
+  Status s = Run({"generate", "--workload=er", "--scale=0.02",
+                  "--out=" + edges_path_});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(output().find("wrote"), std::string::npos);
+  std::ifstream in(edges_path_);
+  EXPECT_TRUE(in.good());
+}
+
+TEST_F(CliTest, GenerateRequiresOut) {
+  EXPECT_FALSE(Run({"generate", "--workload=er"}).ok());
+}
+
+TEST_F(CliTest, GenerateRejectsUnknownWorkload) {
+  EXPECT_FALSE(
+      Run({"generate", "--workload=nope", "--out=" + edges_path_}).ok());
+}
+
+TEST_F(CliTest, GenerateRejectsTypoFlags) {
+  Status s = Run({"generate", "--wrkload=er", "--out=" + edges_path_});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("wrkload"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsPrintsMetrics) {
+  ASSERT_TRUE(Run({"generate", "--workload=ws", "--scale=0.02",
+                   "--out=" + edges_path_})
+                  .ok());
+  Status s = Run({"stats", "--input=" + edges_path_});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(output().find("vertices"), std::string::npos);
+  EXPECT_NE(output().find("clustering"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsMissingFileFails) {
+  EXPECT_FALSE(Run({"stats", "--input=/no/such/file"}).ok());
+}
+
+TEST_F(CliTest, BuildThenQueryRoundTrips) {
+  ASSERT_TRUE(Run({"generate", "--workload=ba", "--scale=0.02",
+                   "--out=" + edges_path_})
+                  .ok());
+  Status build = Run({"build", "--input=" + edges_path_, "--k=32",
+                      "--snapshot=" + snapshot_path_});
+  ASSERT_TRUE(build.ok()) << build.ToString();
+  EXPECT_NE(output().find("ingested"), std::string::npos);
+
+  Status query = Run({"query", "--snapshot=" + snapshot_path_,
+                      "--pairs=0:1,0:2,5:9"});
+  ASSERT_TRUE(query.ok()) << query.ToString();
+  EXPECT_NE(output().find("jaccard"), std::string::npos);
+  // Three data rows (plus header/rule).
+  EXPECT_NE(output().find("5"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryRejectsMalformedPairs) {
+  ASSERT_TRUE(Run({"generate", "--workload=ba", "--scale=0.02",
+                   "--out=" + edges_path_})
+                  .ok());
+  ASSERT_TRUE(Run({"build", "--input=" + edges_path_,
+                   "--snapshot=" + snapshot_path_})
+                  .ok());
+  EXPECT_FALSE(
+      Run({"query", "--snapshot=" + snapshot_path_, "--pairs=banana"}).ok());
+  EXPECT_FALSE(Run({"query", "--snapshot=" + snapshot_path_}).ok());
+}
+
+TEST_F(CliTest, TopKPrintsRecommendations) {
+  ASSERT_TRUE(Run({"generate", "--workload=ws", "--scale=0.02",
+                   "--out=" + edges_path_})
+                  .ok());
+  Status s = Run({"topk", "--input=" + edges_path_, "--vertex=5", "--top=3",
+                  "--measure=jaccard"});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(output().find("candidate"), std::string::npos);
+  EXPECT_NE(output().find("jaccard"), std::string::npos);
+}
+
+TEST_F(CliTest, TopKRejectsUnknownMeasureAndBadVertex) {
+  ASSERT_TRUE(Run({"generate", "--workload=ws", "--scale=0.02",
+                   "--out=" + edges_path_})
+                  .ok());
+  EXPECT_FALSE(Run({"topk", "--input=" + edges_path_, "--vertex=5",
+                    "--measure=nonsense"})
+                   .ok());
+  Status s = Run({"topk", "--input=" + edges_path_, "--vertex=99999999"});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+
+TEST_F(CliTest, ComparePrintsAllSketchKinds) {
+  ASSERT_TRUE(Run({"generate", "--workload=ws", "--scale=0.02",
+                   "--out=" + edges_path_})
+                  .ok());
+  Status s = Run({"compare", "--input=" + edges_path_, "--k=32",
+                  "--pairs=100"});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(output().find("minhash"), std::string::npos);
+  EXPECT_NE(output().find("bottomk"), std::string::npos);
+  EXPECT_NE(output().find("vertex_biased"), std::string::npos);
+  EXPECT_NE(output().find("oph"), std::string::npos);
+}
+
+TEST_F(CliTest, CompareRequiresInput) {
+  EXPECT_FALSE(Run({"compare"}).ok());
+}
+
+}  // namespace
+}  // namespace streamlink
+

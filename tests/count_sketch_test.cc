@@ -1,0 +1,130 @@
+#include "sketch/count_sketch.h"
+
+#include "sketch/countmin.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(CountSketch, Dimensions) {
+  CountSketch s(5, 128, 1);
+  EXPECT_EQ(s.depth(), 5u);
+  EXPECT_EQ(s.width(), 128u);
+}
+
+TEST(CountSketchDeathTest, BadDimensionsAbort) {
+  EXPECT_DEATH(CountSketch(5, 1, 1), "width");
+}
+
+TEST(CountSketch, EmptyEstimatesZero) {
+  CountSketch s(5, 64, 2);
+  EXPECT_EQ(s.Estimate(123), 0);
+}
+
+TEST(CountSketch, SingleKeyIsExact) {
+  CountSketch s(5, 64, 3);
+  s.Update(42, 10);
+  EXPECT_EQ(s.Estimate(42), 10);
+}
+
+TEST(CountSketch, SupportsDeletions) {
+  CountSketch s(5, 64, 4);
+  s.Update(7, 10);
+  s.Update(7, -4);
+  EXPECT_EQ(s.Estimate(7), 6);
+  s.Update(7, -6);
+  EXPECT_EQ(s.Estimate(7), 0);
+}
+
+TEST(CountSketch, ApproximatelyUnbiasedOnSkewedStream) {
+  CountSketch s(7, 256, 5);
+  std::map<uint64_t, int64_t> truth;
+  Rng rng(6);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t key = rng.NextBounded(1 + rng.NextBounded(500));
+    s.Update(key);
+    ++truth[key];
+  }
+  // Mean signed error over all keys should be near zero (unbiased), and
+  // heavy keys should be accurately recovered.
+  double signed_error_sum = 0.0;
+  int count = 0;
+  for (const auto& [key, freq] : truth) {
+    signed_error_sum += static_cast<double>(s.Estimate(key) - freq);
+    ++count;
+  }
+  EXPECT_LT(std::abs(signed_error_sum / count), 20.0);
+  // Heaviest key: estimate within 10%.
+  auto heaviest = std::max_element(
+      truth.begin(), truth.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  EXPECT_NEAR(static_cast<double>(s.Estimate(heaviest->first)),
+              static_cast<double>(heaviest->second),
+              0.1 * static_cast<double>(heaviest->second));
+}
+
+TEST(CountSketch, MergeEqualsCombinedStream) {
+  CountSketch a(5, 64, 7), b(5, 64, 7), combined(5, 64, 7);
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t key = rng.NextBounded(100);
+    a.Update(key);
+    combined.Update(key);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t key = rng.NextBounded(100);
+    b.Update(key);
+    combined.Update(key);
+  }
+  a.MergeFrom(b);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(a.Estimate(key), combined.Estimate(key)) << key;
+  }
+}
+
+TEST(CountSketchDeathTest, MergeIncompatibleAborts) {
+  CountSketch a(5, 64, 1), b(5, 64, 2), c(5, 128, 1);
+  EXPECT_DEATH(a.MergeFrom(b), "incompatible");
+  EXPECT_DEATH(a.MergeFrom(c), "incompatible");
+}
+
+TEST(CountSketch, TighterThanCountMinOnSkewedTail) {
+  // On a heavily skewed stream, the light keys' estimates from
+  // count-sketch (unbiased, L2-bounded) should have smaller absolute
+  // error on average than count-min's one-sided overestimates at equal
+  // space. This is the classic CS-vs-CM contrast.
+  const uint32_t depth = 5, width = 128;
+  CountSketch cs(depth, width, 9);
+  CountMinSketch cm(depth, width, 9);
+  std::map<uint64_t, int64_t> truth;
+  Rng rng(10);
+  for (int i = 0; i < 100000; ++i) {
+    // One huge key plus a long tail.
+    uint64_t key = rng.NextBernoulli(0.5) ? 0 : 1 + rng.NextBounded(2000);
+    cs.Update(key);
+    cm.Update(key);
+    ++truth[key];
+  }
+  double cs_error = 0.0, cm_error = 0.0;
+  int tail_keys = 0;
+  for (const auto& [key, freq] : truth) {
+    if (key == 0) continue;
+    cs_error += std::abs(static_cast<double>(cs.Estimate(key) - freq));
+    cm_error += std::abs(static_cast<double>(cm.Estimate(key)) -
+                         static_cast<double>(freq));
+    ++tail_keys;
+  }
+  // Tail keys have frequency ~25; the 50k-heavy key pollutes count-min's
+  // one-sided counters far more than count-sketch's signed median.
+  EXPECT_LT(cs_error / tail_keys, 0.5 * cm_error / tail_keys);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,119 @@
+#include "sketch/countmin.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(CountMin, DimensionsAsRequested) {
+  CountMinSketch s(4, 100, 1);
+  EXPECT_EQ(s.depth(), 4u);
+  EXPECT_EQ(s.width(), 100u);
+  EXPECT_EQ(s.total_count(), 0u);
+}
+
+TEST(CountMinDeathTest, BadDimensionsAbort) {
+  // depth=0 is caught by the HashFamily the sketch builds internally.
+  EXPECT_DEATH(CountMinSketch(0, 10, 1), "at least one");
+  EXPECT_DEATH(CountMinSketch(2, 1, 1), "width");
+}
+
+TEST(CountMin, UnseenKeyEstimatesZeroWhenEmpty) {
+  CountMinSketch s(4, 128, 2);
+  EXPECT_EQ(s.Estimate(12345), 0u);
+}
+
+TEST(CountMin, NeverUndercounts) {
+  CountMinSketch s(4, 64, 3);
+  std::map<uint64_t, uint64_t> truth;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t key = rng.NextBounded(500);
+    uint64_t count = 1 + rng.NextBounded(3);
+    s.Update(key, count);
+    truth[key] += count;
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(s.Estimate(key), count) << "key " << key;
+  }
+}
+
+TEST(CountMin, ConservativeNeverUndercounts) {
+  CountMinSketch s(4, 64, 4);
+  std::map<uint64_t, uint64_t> truth;
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t key = rng.NextBounded(500);
+    s.UpdateConservative(key);
+    truth[key] += 1;
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(s.Estimate(key), count) << "key " << key;
+  }
+}
+
+TEST(CountMin, ConservativeIsNoLooserThanStandard) {
+  CountMinSketch standard(4, 64, 7), conservative(4, 64, 7);
+  Rng rng(8);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 20000; ++i) keys.push_back(rng.NextBounded(1000));
+  for (uint64_t k : keys) {
+    standard.Update(k);
+    conservative.UpdateConservative(k);
+  }
+  uint64_t total_standard = 0, total_conservative = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    total_standard += standard.Estimate(k);
+    total_conservative += conservative.Estimate(k);
+  }
+  EXPECT_LE(total_conservative, total_standard);
+}
+
+TEST(CountMin, ErrorWithinEpsilonBound) {
+  // Point error ≤ ε·N with probability ≥ 1−δ; check on a skewed stream.
+  const double epsilon = 0.01, delta = 0.01;
+  CountMinSketch s = CountMinSketch::FromErrorBounds(epsilon, delta, 9);
+  Rng rng(10);
+  std::map<uint64_t, uint64_t> truth;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    // Zipf-ish: low keys much more frequent.
+    uint64_t key = rng.NextBounded(1 + rng.NextBounded(1000));
+    s.Update(key);
+    truth[key] += 1;
+  }
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (s.Estimate(key) > count + static_cast<uint64_t>(epsilon * n)) {
+      ++violations;
+    }
+  }
+  // Allow a fewδ-level violations.
+  EXPECT_LE(violations, static_cast<int>(truth.size() * 5 * delta) + 1);
+}
+
+TEST(CountMin, FromErrorBoundsSizes) {
+  CountMinSketch s = CountMinSketch::FromErrorBounds(0.01, 0.001, 11);
+  EXPECT_GE(s.width(), 271u);  // e/0.01 ≈ 271.8
+  EXPECT_GE(s.depth(), 7u);    // ln(1000) ≈ 6.9
+}
+
+TEST(CountMin, TotalCountTracksUpdates) {
+  CountMinSketch s(2, 16, 12);
+  s.Update(1, 5);
+  s.UpdateConservative(2, 3);
+  EXPECT_EQ(s.total_count(), 8u);
+}
+
+TEST(CountMin, MemoryScalesWithDimensions) {
+  CountMinSketch small(2, 16, 13), large(8, 1024, 13);
+  EXPECT_LT(small.MemoryBytes(), large.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace streamlink

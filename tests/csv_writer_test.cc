@@ -1,0 +1,82 @@
+#include "util/csv_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace streamlink {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/csv_writer_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_);
+    ASSERT_TRUE(w.status().ok());
+    w.WriteHeader({"k", "error"});
+    w.AppendRow({"16", "0.08"});
+    w.AppendRow({"32", "0.05"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(ReadFile(path_), "k,error\n16,0.08\n32,0.05\n");
+}
+
+TEST_F(CsvWriterTest, NumericRowsUseCompactFormat) {
+  {
+    CsvWriter w(path_);
+    w.WriteHeader({"a", "b"});
+    w.AppendNumericRow({1.5, 0.000123456});
+  }
+  EXPECT_EQ(ReadFile(path_), "a,b\n1.5,0.000123456\n");
+}
+
+TEST_F(CsvWriterTest, BadPathYieldsIoError) {
+  CsvWriter w("/nonexistent-dir-xyz/file.csv");
+  EXPECT_FALSE(w.status().ok());
+  EXPECT_EQ(w.status().code(), StatusCode::kIoError);
+  w.AppendRow({"ignored"});  // must not crash
+}
+
+TEST_F(CsvWriterTest, HeaderTwiceAborts) {
+  CsvWriter w(path_);
+  w.WriteHeader({"a"});
+  EXPECT_DEATH(w.WriteHeader({"b"}), "header written twice");
+}
+
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvWriter::EscapeField("hello"), "hello");
+  EXPECT_EQ(CsvWriter::EscapeField("3.14"), "3.14");
+  EXPECT_EQ(CsvWriter::EscapeField(""), "");
+}
+
+TEST(CsvEscape, CommasAreQuoted) {
+  EXPECT_EQ(CsvWriter::EscapeField("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuotesAreDoubled) {
+  EXPECT_EQ(CsvWriter::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlinesAreQuoted) {
+  EXPECT_EQ(CsvWriter::EscapeField("a\nb"), "\"a\nb\"");
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,105 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamlink {
+namespace {
+
+/// Reference digraph:
+///   0 -> 2, 0 -> 3, 1 -> 2, 1 -> 3, 1 -> 4, 2 -> 0
+/// N+(0) = {2,3}, N+(1) = {2,3,4}; N-(2) = {0,1}, N-(3) = {0,1}.
+DirectedAdjacencyGraph Reference() {
+  DirectedAdjacencyGraph g;
+  g.AddArc(0, 2);
+  g.AddArc(0, 3);
+  g.AddArc(1, 2);
+  g.AddArc(1, 3);
+  g.AddArc(1, 4);
+  g.AddArc(2, 0);
+  return g;
+}
+
+TEST(DirectedGraph, ArcsAreDirectional) {
+  DirectedAdjacencyGraph g = Reference();
+  EXPECT_TRUE(g.HasArc(0, 2));
+  EXPECT_TRUE(g.HasArc(2, 0));
+  EXPECT_FALSE(g.HasArc(3, 0));
+  EXPECT_FALSE(g.HasArc(2, 1));
+}
+
+TEST(DirectedGraph, RejectsSelfLoopsAndDuplicates) {
+  DirectedAdjacencyGraph g;
+  EXPECT_FALSE(g.AddArc(1, 1));
+  EXPECT_TRUE(g.AddArc(1, 2));
+  EXPECT_FALSE(g.AddArc(1, 2));
+  EXPECT_TRUE(g.AddArc(2, 1));  // reverse arc is distinct
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(DirectedGraph, DegreesSplitBySide) {
+  DirectedAdjacencyGraph g = Reference();
+  EXPECT_EQ(g.OutDegree(1), 3u);
+  EXPECT_EQ(g.InDegree(1), 0u);
+  EXPECT_EQ(g.OutDegree(2), 1u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.OutDegree(99), 0u);
+}
+
+TEST(DirectedGraph, SuccessorsAndPredecessors) {
+  DirectedAdjacencyGraph g = Reference();
+  EXPECT_EQ(g.Successors(1).count(4), 1u);
+  EXPECT_EQ(g.Predecessors(4).count(1), 1u);
+  EXPECT_EQ(g.Predecessors(1).size(), 0u);
+}
+
+TEST(DirectedGraphDeathTest, OutOfRangeAborts) {
+  DirectedAdjacencyGraph g(2);
+  EXPECT_DEATH(g.Successors(5), "out of range");
+  EXPECT_DEATH(g.Predecessors(5), "out of range");
+}
+
+TEST(DirectedGraph, OutOutOverlap) {
+  DirectedAdjacencyGraph g = Reference();
+  // N+(0) = {2,3}, N+(1) = {2,3,4}: ∩ = 2, ∪ = 3.
+  auto overlap =
+      g.ComputeOverlap(0, Direction::kOut, 1, Direction::kOut);
+  EXPECT_EQ(overlap.intersection, 2u);
+  EXPECT_EQ(overlap.union_size, 3u);
+  EXPECT_NEAR(overlap.jaccard, 2.0 / 3.0, 1e-12);
+  // AA weights: w=2 has total degree 3, w=3 has total degree 2.
+  EXPECT_NEAR(overlap.adamic_adar,
+              1.0 / std::log(3.0) + 1.0 / std::log(2.0), 1e-12);
+}
+
+TEST(DirectedGraph, InInOverlap) {
+  DirectedAdjacencyGraph g = Reference();
+  // N-(2) = {0,1}, N-(3) = {0,1}: identical.
+  auto overlap = g.ComputeOverlap(2, Direction::kIn, 3, Direction::kIn);
+  EXPECT_EQ(overlap.intersection, 2u);
+  EXPECT_DOUBLE_EQ(overlap.jaccard, 1.0);
+}
+
+TEST(DirectedGraph, MixedDirectionOverlap) {
+  DirectedAdjacencyGraph g = Reference();
+  // N+(0) = {2,3} vs N-(0) = {2}: ∩ = {2}.
+  auto overlap = g.ComputeOverlap(0, Direction::kOut, 0, Direction::kIn);
+  EXPECT_EQ(overlap.intersection, 1u);
+  EXPECT_EQ(overlap.union_size, 2u);
+}
+
+TEST(DirectedGraph, EmptySidesGiveZero) {
+  DirectedAdjacencyGraph g = Reference();
+  auto overlap = g.ComputeOverlap(4, Direction::kOut, 0, Direction::kOut);
+  EXPECT_EQ(overlap.intersection, 0u);
+  EXPECT_DOUBLE_EQ(overlap.jaccard, 0.0);
+}
+
+TEST(DirectedGraph, DirectionNames) {
+  EXPECT_STREQ(DirectionName(Direction::kOut), "out");
+  EXPECT_STREQ(DirectionName(Direction::kIn), "in");
+}
+
+}  // namespace
+}  // namespace streamlink

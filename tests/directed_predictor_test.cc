@@ -1,0 +1,120 @@
+#include "core/directed_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/workloads.h"
+#include "graph/digraph.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+EdgeList ReferenceArcs() {
+  // Same digraph as digraph_test: N+(0)={2,3}, N+(1)={2,3,4},
+  // N-(2)={0,1}, N-(3)={0,1}.
+  return {{0, 2}, {0, 3}, {1, 2}, {1, 3}, {1, 4}, {2, 0}};
+}
+
+void Feed(DirectedMinHashPredictor& p, const EdgeList& arcs) {
+  for (const Edge& e : arcs) p.OnEdge(e);
+}
+
+TEST(DirectedPredictor, TracksSidedDegrees) {
+  DirectedMinHashPredictor p;
+  Feed(p, ReferenceArcs());
+  EXPECT_EQ(p.arcs_processed(), 6u);
+  EXPECT_EQ(p.OutDegree(1), 3u);
+  EXPECT_EQ(p.InDegree(1), 0u);
+  EXPECT_EQ(p.InDegree(2), 2u);
+  EXPECT_EQ(p.OutDegree(2), 1u);
+}
+
+TEST(DirectedPredictor, SelfLoopsIgnored) {
+  DirectedMinHashPredictor p;
+  p.OnEdge(Edge(5, 5));
+  EXPECT_EQ(p.arcs_processed(), 0u);
+}
+
+TEST(DirectedPredictor, SmallNeighborhoodsConcentrate) {
+  // MinHash estimates are statistical even on tiny sets (each slot matches
+  // with probability J); with k=512 the estimate concentrates tightly.
+  DirectedMinHashPredictor p(DirectedPredictorOptions{512, 7});
+  Feed(p, ReferenceArcs());
+  auto est = p.Estimate(0, Direction::kOut, 1, Direction::kOut);
+  EXPECT_NEAR(est.jaccard, 2.0 / 3.0, 0.12);
+  EXPECT_NEAR(est.intersection, 2.0, 0.5);
+  EXPECT_NEAR(est.adamic_adar,
+              1.0 / std::log(3.0) + 1.0 / std::log(2.0), 0.8);
+}
+
+TEST(DirectedPredictor, InInIdenticalPredecessors) {
+  DirectedMinHashPredictor p;
+  Feed(p, ReferenceArcs());
+  auto est = p.Estimate(2, Direction::kIn, 3, Direction::kIn);
+  EXPECT_DOUBLE_EQ(est.jaccard, 1.0);
+  EXPECT_NEAR(est.intersection, 2.0, 1e-9);
+}
+
+TEST(DirectedPredictor, MixedDirections) {
+  DirectedMinHashPredictor p(DirectedPredictorOptions{512, 7});
+  Feed(p, ReferenceArcs());
+  // N+(0) = {2,3} vs N-(0) = {2}: true intersection 1, jaccard 1/2.
+  auto est = p.Estimate(0, Direction::kOut, 0, Direction::kIn);
+  EXPECT_NEAR(est.intersection, 1.0, 0.3);
+  EXPECT_NEAR(est.jaccard, 0.5, 0.12);
+}
+
+TEST(DirectedPredictor, DirectionMattersUnlikeUndirected) {
+  DirectedMinHashPredictor p;
+  Feed(p, {{0, 9}, {1, 9}, {9, 2}});
+  // 0 and 1 share successor 9...
+  EXPECT_GT(p.Estimate(0, Direction::kOut, 1, Direction::kOut).jaccard, 0.99);
+  // ...but share no predecessors.
+  EXPECT_DOUBLE_EQ(
+      p.Estimate(0, Direction::kIn, 1, Direction::kIn).jaccard, 0.0);
+}
+
+TEST(DirectedPredictor, UnseenVerticesZero) {
+  DirectedMinHashPredictor p;
+  Feed(p, ReferenceArcs());
+  auto est = p.Estimate(50, Direction::kOut, 60, Direction::kIn);
+  EXPECT_DOUBLE_EQ(est.jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(est.adamic_adar, 0.0);
+}
+
+TEST(DirectedPredictor, AgreesWithExactOnWorkloadAtLargeK) {
+  // Interpret a BA stream as directed (new vertex -> old vertex).
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.03, 121});
+  DirectedMinHashPredictor sketch(DirectedPredictorOptions{256, 3});
+  DirectedAdjacencyGraph exact;
+  for (const Edge& e : g.edges) {
+    sketch.OnEdge(e);
+    exact.AddArc(e.u, e.v);
+  }
+  Rng rng(1);
+  double total_error = 0.0;
+  int count = 0;
+  for (int i = 0; i < 300; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    if (u == v) continue;
+    auto truth = exact.ComputeOverlap(u, Direction::kIn, v, Direction::kIn);
+    auto est = sketch.Estimate(u, Direction::kIn, v, Direction::kIn);
+    total_error += std::abs(est.jaccard - truth.jaccard);
+    ++count;
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_LT(total_error / count, 0.03);
+}
+
+TEST(DirectedPredictor, MemoryCountsBothSides) {
+  DirectedMinHashPredictor p(DirectedPredictorOptions{32, 1});
+  Feed(p, ReferenceArcs());
+  EXPECT_GT(p.MemoryBytes(), 0u);
+  EXPECT_EQ(p.num_vertices(), 5u);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,112 @@
+#include "graph/edge_list_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace streamlink {
+namespace {
+
+TEST(ParseEdgeList, BasicWhitespaceSeparated) {
+  auto result = ParseEdgeList("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->edges.size(), 3u);
+  EXPECT_EQ(result->num_vertices, 3u);
+  EXPECT_EQ(result->edges[0], Edge(0, 1));
+}
+
+TEST(ParseEdgeList, SkipsCommentsAndBlankLines) {
+  auto result = ParseEdgeList("# header\n% another style\n\n  \n3 4\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edges.size(), 1u);
+}
+
+TEST(ParseEdgeList, TabsAndExtraSpaces) {
+  auto result = ParseEdgeList("  0\t7 \n\t8   9\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edges.size(), 2u);
+}
+
+TEST(ParseEdgeList, RemapsSparseIdsDensely) {
+  auto result = ParseEdgeList("1000000 2000000\n2000000 3000000\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_vertices, 3u);
+  EXPECT_EQ(result->edges[0], Edge(0, 1));
+  EXPECT_EQ(result->edges[1], Edge(1, 2));
+}
+
+TEST(ParseEdgeList, VerbatimIdsWithoutRemap) {
+  EdgeListReadOptions options;
+  options.remap_ids = false;
+  auto result = ParseEdgeList("10 20\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edges[0], Edge(10, 20));
+  EXPECT_EQ(result->num_vertices, 21u);
+}
+
+TEST(ParseEdgeList, VerbatimIdsTooLargeFail) {
+  EdgeListReadOptions options;
+  options.remap_ids = false;
+  auto result = ParseEdgeList("0 99999999999\n", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ParseEdgeList, SelfLoopsSkippedByDefault) {
+  auto result = ParseEdgeList("5 5\n1 2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edges.size(), 1u);
+}
+
+TEST(ParseEdgeList, SelfLoopsKeptWhenRequested) {
+  EdgeListReadOptions options;
+  options.skip_self_loops = false;
+  auto result = ParseEdgeList("5 5\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edges.size(), 1u);
+  EXPECT_TRUE(result->edges[0].IsSelfLoop());
+}
+
+TEST(ParseEdgeList, MaxEdgesTruncates) {
+  EdgeListReadOptions options;
+  options.max_edges = 2;
+  auto result = ParseEdgeList("0 1\n1 2\n2 3\n3 4\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edges.size(), 2u);
+}
+
+TEST(ParseEdgeList, MalformedLineReportsLineNumber) {
+  auto result = ParseEdgeList("0 1\nnot an edge\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseEdgeList, MissingSecondEndpointFails) {
+  auto result = ParseEdgeList("42\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ReadEdgeList, MissingFileIsIoError) {
+  auto result = ReadEdgeList("/nonexistent/file.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(EdgeListIo, WriteThenReadRoundTrips) {
+  std::string path = ::testing::TempDir() + "/edge_io_roundtrip.txt";
+  EdgeList edges = {{0, 1}, {1, 2}, {0, 3}};
+  ASSERT_TRUE(WriteEdgeList(path, edges).ok());
+  auto result = ReadEdgeList(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edges, edges);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteEdgeList("/nonexistent-dir-zzz/x.txt", {}).ok());
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,77 @@
+#include "core/error_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamlink {
+namespace {
+
+TEST(ErrorBounds, FailureProbabilityFormula) {
+  // k=128, eps=0.1: 2·exp(-2·128·0.01) ≈ 2·exp(-2.56) ≈ 0.154.
+  EXPECT_NEAR(MinHashJaccardFailureProbability(128, 0.1),
+              2.0 * std::exp(-2.56), 1e-12);
+}
+
+TEST(ErrorBounds, FailureProbabilityClampedToOne) {
+  EXPECT_DOUBLE_EQ(MinHashJaccardFailureProbability(1, 0.01), 1.0);
+}
+
+TEST(ErrorBounds, FailureProbabilityDecreasesInK) {
+  double prev = 1.1;
+  for (uint32_t k : {256u, 1024u, 4096u}) {
+    double p = MinHashJaccardFailureProbability(k, 0.05);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ErrorBounds, SketchSizeForMatchesInverse) {
+  const double eps = 0.05, delta = 0.01;
+  uint32_t k = MinHashSketchSizeFor(eps, delta);
+  // The bound holds at the returned k and fails just below it.
+  EXPECT_LE(MinHashJaccardFailureProbability(k, eps), delta + 1e-12);
+  if (k > 1) {
+    EXPECT_GT(MinHashJaccardFailureProbability(k - 1, eps), delta - 1e-9);
+  }
+}
+
+TEST(ErrorBounds, SketchSizeForKnownValue) {
+  // ln(2/0.05) / (2·0.1²) = ln(40)/0.02 ≈ 184.4 → 185.
+  EXPECT_EQ(MinHashSketchSizeFor(0.1, 0.05), 185u);
+}
+
+TEST(ErrorBounds, ErrorAtIsInverseOfSizeFor) {
+  const uint32_t k = 200;
+  const double delta = 0.05;
+  double eps = MinHashJaccardErrorAt(k, delta);
+  EXPECT_NEAR(MinHashJaccardFailureProbability(k, eps), delta, 1e-9);
+}
+
+TEST(ErrorBounds, BottomKRelativeError) {
+  EXPECT_NEAR(BottomKCardinalityRelativeStdError(102), 0.1, 1e-12);
+  EXPECT_GT(BottomKCardinalityRelativeStdError(16),
+            BottomKCardinalityRelativeStdError(256));
+}
+
+TEST(ErrorBoundsDeathTest, PreconditionsEnforced) {
+  EXPECT_DEATH(MinHashJaccardFailureProbability(10, 0.0), "positive");
+  EXPECT_DEATH(MinHashSketchSizeFor(0.0, 0.5), "epsilon");
+  EXPECT_DEATH(MinHashSketchSizeFor(0.5, 1.5), "delta");
+  EXPECT_DEATH(BottomKCardinalityRelativeStdError(2), "k >= 3");
+  EXPECT_DEATH(CommonNeighborErrorBound(0.1, 2.0, 10), "jaccard");
+}
+
+TEST(ErrorBounds, CommonNeighborBoundScalesWithDegrees) {
+  double small = CommonNeighborErrorBound(0.05, 0.2, 20);
+  double large = CommonNeighborErrorBound(0.05, 0.2, 2000);
+  EXPECT_NEAR(large / small, 100.0, 1e-9);
+}
+
+TEST(ErrorBounds, CommonNeighborBoundShrinksWithJaccard) {
+  EXPECT_GT(CommonNeighborErrorBound(0.05, 0.0, 100),
+            CommonNeighborErrorBound(0.05, 1.0, 100));
+}
+
+}  // namespace
+}  // namespace streamlink

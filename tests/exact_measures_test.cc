@@ -1,0 +1,145 @@
+#include "graph/exact_measures.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/workloads.h"
+#include "graph/adjacency_graph.h"
+#include "graph/csr_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+/// Reference graph used throughout:
+///   0-2, 0-3, 0-4, 1-2, 1-3, 1-5, 2-3
+/// N(0) = {2,3,4}, N(1) = {2,3,5}, N(0)∩N(1) = {2,3},
+/// d(2) = 3 (0,1,3), d(3) = 3 (0,1,2).
+AdjacencyGraph ReferenceGraph() {
+  AdjacencyGraph g;
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(0, 4);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(1, 5);
+  g.AddEdge(2, 3);
+  return g;
+}
+
+TEST(ExactMeasures, OverlapOnReferenceGraph) {
+  AdjacencyGraph g = ReferenceGraph();
+  PairOverlap o = ComputeOverlap(g, 0, 1);
+  EXPECT_EQ(o.degree_u, 3u);
+  EXPECT_EQ(o.degree_v, 3u);
+  EXPECT_EQ(o.intersection, 2u);
+  EXPECT_EQ(o.union_size, 4u);
+  EXPECT_DOUBLE_EQ(o.Jaccard(), 0.5);
+  EXPECT_NEAR(o.adamic_adar, 2.0 / std::log(3.0), 1e-12);
+  EXPECT_NEAR(o.resource_allocation, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ExactMeasures, IsolatedVertexHasZeroOverlap) {
+  AdjacencyGraph g = ReferenceGraph();
+  PairOverlap o = ComputeOverlap(g, 0, 99);
+  EXPECT_EQ(o.degree_v, 0u);
+  EXPECT_EQ(o.intersection, 0u);
+  EXPECT_EQ(o.union_size, 3u);
+  EXPECT_DOUBLE_EQ(o.Jaccard(), 0.0);
+}
+
+TEST(ExactMeasures, BothIsolatedIsAllZero) {
+  AdjacencyGraph g = ReferenceGraph();
+  PairOverlap o = ComputeOverlap(g, 50, 60);
+  EXPECT_EQ(o.union_size, 0u);
+  EXPECT_DOUBLE_EQ(o.Jaccard(), 0.0);
+}
+
+TEST(ExactMeasures, AdamicAdarWeightConvention) {
+  EXPECT_DOUBLE_EQ(AdamicAdarWeight(0), 0.0);
+  EXPECT_DOUBLE_EQ(AdamicAdarWeight(1), 0.0);
+  EXPECT_NEAR(AdamicAdarWeight(2), 1.0 / std::log(2.0), 1e-12);
+  EXPECT_NEAR(AdamicAdarWeight(100), 1.0 / std::log(100.0), 1e-12);
+}
+
+TEST(ExactMeasures, AllMeasureValuesOnReference) {
+  AdjacencyGraph g = ReferenceGraph();
+  // d(0)=3, d(1)=3, |∩|=2, |∪|=4.
+  EXPECT_DOUBLE_EQ(ExactScore(g, LinkMeasure::kCommonNeighbors, 0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(ExactScore(g, LinkMeasure::kJaccard, 0, 1), 0.5);
+  EXPECT_NEAR(ExactScore(g, LinkMeasure::kAdamicAdar, 0, 1),
+              2.0 / std::log(3.0), 1e-12);
+  EXPECT_NEAR(ExactScore(g, LinkMeasure::kResourceAllocation, 0, 1),
+              2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(
+      ExactScore(g, LinkMeasure::kPreferentialAttachment, 0, 1), 9.0);
+  EXPECT_NEAR(ExactScore(g, LinkMeasure::kSalton, 0, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ExactScore(g, LinkMeasure::kSorensen, 0, 1), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(ExactScore(g, LinkMeasure::kHubPromoted, 0, 1), 2.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(ExactScore(g, LinkMeasure::kHubDepressed, 0, 1), 2.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(ExactScore(g, LinkMeasure::kLeichtHolmeNewman, 0, 1), 2.0 / 9.0,
+              1e-12);
+}
+
+TEST(ExactMeasures, MeasureNamesAreStableAndDistinct) {
+  auto measures = AllLinkMeasures();
+  EXPECT_EQ(measures.size(), 10u);
+  std::set<std::string> names;
+  for (LinkMeasure m : measures) names.insert(LinkMeasureName(m));
+  EXPECT_EQ(names.size(), 10u);
+  EXPECT_STREQ(LinkMeasureName(LinkMeasure::kAdamicAdar), "adamic_adar");
+  EXPECT_STREQ(LinkMeasureName(LinkMeasure::kJaccard), "jaccard");
+}
+
+TEST(ExactMeasures, ZeroDegreeMeasuresAreZeroNotNan) {
+  AdjacencyGraph g;
+  g.AddEdge(0, 1);
+  for (LinkMeasure m : AllLinkMeasures()) {
+    double score = ExactScore(g, m, 5, 6);
+    EXPECT_EQ(score, 0.0) << LinkMeasureName(m);
+    EXPECT_FALSE(std::isnan(score)) << LinkMeasureName(m);
+  }
+}
+
+/// Property: adjacency-based and CSR-based overlap computation agree on
+/// random pairs of every standard workload (small scale).
+class OverlapAgreement : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OverlapAgreement, AdjacencyMatchesCsr) {
+  GeneratedGraph wl = MakeWorkload(WorkloadSpec{GetParam(), 0.02, 11});
+  AdjacencyGraph adj;
+  for (const Edge& e : wl.edges) adj.AddEdge(e);
+  CsrGraph csr = CsrGraph::FromEdges(wl.edges, wl.num_vertices);
+
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(wl.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(wl.num_vertices));
+    PairOverlap a = ComputeOverlap(adj, u, v);
+    PairOverlap c = ComputeOverlap(csr, u, v);
+    EXPECT_EQ(a.degree_u, c.degree_u);
+    EXPECT_EQ(a.degree_v, c.degree_v);
+    EXPECT_EQ(a.intersection, c.intersection);
+    EXPECT_EQ(a.union_size, c.union_size);
+    EXPECT_NEAR(a.adamic_adar, c.adamic_adar, 1e-9);
+    EXPECT_NEAR(a.resource_allocation, c.resource_allocation, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, OverlapAgreement,
+                         ::testing::Values("ba", "er", "ws", "rmat", "sbm",
+                                           "plconfig"));
+
+TEST(ExactMeasures, SymmetryHoldsForAllMeasures) {
+  AdjacencyGraph g = ReferenceGraph();
+  for (LinkMeasure m : AllLinkMeasures()) {
+    EXPECT_DOUBLE_EQ(ExactScore(g, m, 0, 1), ExactScore(g, m, 1, 0))
+        << LinkMeasureName(m);
+  }
+}
+
+}  // namespace
+}  // namespace streamlink

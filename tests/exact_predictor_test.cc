@@ -1,0 +1,102 @@
+#include "core/exact_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/experiment.h"
+#include "gen/workloads.h"
+#include "graph/exact_measures.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(ExactPredictor, NameIsExact) {
+  ExactPredictor p;
+  EXPECT_EQ(p.name(), "exact");
+}
+
+TEST(ExactPredictor, MatchesComputeOverlapEverywhere) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"sbm", 0.02, 51});
+  ExactPredictor p;
+  FeedStream(p, g.edges);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    PairOverlap truth = ComputeOverlap(p.graph(), u, v);
+    OverlapEstimate est = p.EstimateOverlap(u, v);
+    EXPECT_DOUBLE_EQ(est.degree_u, truth.degree_u);
+    EXPECT_DOUBLE_EQ(est.degree_v, truth.degree_v);
+    EXPECT_DOUBLE_EQ(est.intersection, truth.intersection);
+    EXPECT_DOUBLE_EQ(est.union_size, truth.union_size);
+    EXPECT_DOUBLE_EQ(est.jaccard, truth.Jaccard());
+    EXPECT_DOUBLE_EQ(est.adamic_adar, truth.adamic_adar);
+  }
+}
+
+TEST(ExactPredictor, DuplicateEdgesAreIdempotent) {
+  ExactPredictor p;
+  FeedStream(p, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(p.graph().num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(p.EstimateOverlap(0, 1).degree_u, 1.0);
+}
+
+TEST(ExactPredictor, MemoryGrowsWithDegreeUnlikeSketches) {
+  // The contrast the paper draws: exact state grows with average degree.
+  ExactPredictor sparse, dense;
+  EdgeList path, dense_edges;
+  for (VertexId i = 0; i + 1 < 500; ++i) path.push_back({i, i + 1});
+  for (VertexId i = 0; i < 500; ++i) {
+    for (VertexId j = 1; j <= 20; ++j) {
+      dense_edges.push_back({i, static_cast<VertexId>((i + j * 37) % 500)});
+    }
+  }
+  FeedStream(sparse, path);
+  FeedStream(dense, dense_edges);
+  double sparse_pv =
+      static_cast<double>(sparse.MemoryBytes()) / sparse.num_vertices();
+  double dense_pv =
+      static_cast<double>(dense.MemoryBytes()) / dense.num_vertices();
+  EXPECT_GT(dense_pv, 3.0 * sparse_pv);
+}
+
+TEST(MeasureFromEstimate, DerivedMeasuresFromEstimateFields) {
+  OverlapEstimate e;
+  e.degree_u = 4;
+  e.degree_v = 9;
+  e.intersection = 3;
+  e.union_size = 10;
+  e.jaccard = 0.3;
+  e.adamic_adar = 1.7;
+  e.resource_allocation = 0.6;
+  EXPECT_DOUBLE_EQ(MeasureFromEstimate(LinkMeasure::kCommonNeighbors, e), 3.0);
+  EXPECT_DOUBLE_EQ(MeasureFromEstimate(LinkMeasure::kJaccard, e), 0.3);
+  EXPECT_DOUBLE_EQ(MeasureFromEstimate(LinkMeasure::kAdamicAdar, e), 1.7);
+  EXPECT_DOUBLE_EQ(
+      MeasureFromEstimate(LinkMeasure::kResourceAllocation, e), 0.6);
+  EXPECT_DOUBLE_EQ(
+      MeasureFromEstimate(LinkMeasure::kPreferentialAttachment, e), 36.0);
+  EXPECT_DOUBLE_EQ(MeasureFromEstimate(LinkMeasure::kSalton, e), 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(MeasureFromEstimate(LinkMeasure::kSorensen, e),
+                   6.0 / 13.0);
+  EXPECT_DOUBLE_EQ(MeasureFromEstimate(LinkMeasure::kHubPromoted, e),
+                   3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(MeasureFromEstimate(LinkMeasure::kHubDepressed, e),
+                   3.0 / 9.0);
+  EXPECT_DOUBLE_EQ(MeasureFromEstimate(LinkMeasure::kLeichtHolmeNewman, e),
+                   3.0 / 36.0);
+}
+
+TEST(MeasureFromEstimate, ZeroDegreesYieldZeroNotNan) {
+  OverlapEstimate e;  // all zero
+  for (LinkMeasure m : AllLinkMeasures()) {
+    double v = MeasureFromEstimate(m, e);
+    EXPECT_EQ(v, 0.0) << LinkMeasureName(m);
+    EXPECT_FALSE(std::isnan(v)) << LinkMeasureName(m);
+  }
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,97 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace streamlink {
+namespace {
+
+TEST(FlagParser, ParsesEqualsForm) {
+  FlagParser f({"--k=32", "--out=res.csv"});
+  EXPECT_EQ(f.GetInt("k", 0), 32);
+  EXPECT_EQ(f.GetString("out", ""), "res.csv");
+}
+
+TEST(FlagParser, ParsesSpaceForm) {
+  FlagParser f({"--k", "64", "--name", "ba"});
+  EXPECT_EQ(f.GetInt("k", 0), 64);
+  EXPECT_EQ(f.GetString("name", ""), "ba");
+}
+
+TEST(FlagParser, BareFlagMeansTrue) {
+  FlagParser f({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.Has("verbose"));
+}
+
+TEST(FlagParser, BoolSpellings) {
+  FlagParser f({"--a=true", "--b=1", "--c=yes", "--d=on", "--e=false",
+                "--f=0", "--g=whatever"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_TRUE(f.GetBool("b", false));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_TRUE(f.GetBool("d", false));
+  EXPECT_FALSE(f.GetBool("e", true));
+  EXPECT_FALSE(f.GetBool("f", true));
+  EXPECT_FALSE(f.GetBool("g", true));
+}
+
+TEST(FlagParser, DefaultsWhenAbsent) {
+  FlagParser f(std::vector<std::string>{});
+  EXPECT_EQ(f.GetInt("k", 42), 42);
+  EXPECT_EQ(f.GetString("s", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(f.GetDouble("d", 2.5), 2.5);
+  EXPECT_TRUE(f.GetBool("b", true));
+  EXPECT_FALSE(f.Has("k"));
+}
+
+TEST(FlagParser, ParsesDoubles) {
+  FlagParser f({"--scale=0.25"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 1.0), 0.25);
+}
+
+TEST(FlagParser, NegativeIntegers) {
+  FlagParser f({"--offset=-7"});
+  EXPECT_EQ(f.GetInt("offset", 0), -7);
+}
+
+TEST(FlagParser, CollectsPositionals) {
+  FlagParser f({"input.txt", "--k=3", "more"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(FlagParser, SpaceFormDoesNotConsumeNextFlag) {
+  FlagParser f({"--a", "--b=2"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_EQ(f.GetInt("b", 0), 2);
+}
+
+TEST(FlagParser, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "--k=9"};
+  FlagParser f(2, argv);
+  EXPECT_EQ(f.GetInt("k", 0), 9);
+}
+
+TEST(FlagParser, CheckUnknownAcceptsKnown) {
+  FlagParser f({"--k=1", "--out=x"});
+  EXPECT_TRUE(f.CheckUnknown({"k", "out", "extra"}).ok());
+}
+
+TEST(FlagParser, CheckUnknownRejectsTypos) {
+  FlagParser f({"--sketchsize=64"});
+  Status s = f.CheckUnknown({"sketch_size"});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("sketchsize"), std::string::npos);
+}
+
+TEST(FlagParser, LastValueWinsOnRepeat) {
+  FlagParser f({"--k=1", "--k=2"});
+  EXPECT_EQ(f.GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace streamlink

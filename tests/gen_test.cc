@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <unordered_set>
+
+#include "gen/barabasi_albert.h"
+#include "gen/configuration_model.h"
+#include "gen/erdos_renyi.h"
+#include "gen/pair_sampler.h"
+#include "gen/rmat.h"
+#include "gen/sbm.h"
+#include "gen/stream_order.h"
+#include "gen/watts_strogatz.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "graph/exact_measures.h"
+#include "graph/graph_stats.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+/// Checks the universal contract: simple graph (no self-loops, no
+/// duplicate canonical edges), endpoints within num_vertices.
+void ExpectSimpleGraph(const GeneratedGraph& g) {
+  std::unordered_set<Edge, EdgeHash> seen;
+  for (const Edge& e : g.edges) {
+    EXPECT_FALSE(e.IsSelfLoop()) << g.name;
+    EXPECT_LT(e.u, g.num_vertices) << g.name;
+    EXPECT_LT(e.v, g.num_vertices) << g.name;
+    EXPECT_TRUE(seen.insert(e.Canonical()).second)
+        << g.name << " duplicate " << ToString(e);
+  }
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  Rng rng(1);
+  GeneratedGraph g = GenerateErdosRenyi({1000, 5000}, rng);
+  EXPECT_EQ(g.edges.size(), 5000u);
+  EXPECT_EQ(g.num_vertices, 1000u);
+  ExpectSimpleGraph(g);
+}
+
+TEST(ErdosRenyi, DeterministicGivenSeed) {
+  Rng a(9), b(9);
+  GeneratedGraph ga = GenerateErdosRenyi({100, 200}, a);
+  GeneratedGraph gb = GenerateErdosRenyi({100, 200}, b);
+  EXPECT_EQ(ga.edges, gb.edges);
+}
+
+TEST(ErdosRenyiDeathTest, TooManyEdgesAborts) {
+  Rng rng(2);
+  EXPECT_DEATH(GenerateErdosRenyi({10, 100}, rng), "pairs exist");
+}
+
+TEST(ErdosRenyi, CompleteGraphPossible) {
+  Rng rng(3);
+  GeneratedGraph g = GenerateErdosRenyi({20, 190}, rng);
+  EXPECT_EQ(g.edges.size(), 190u);
+}
+
+TEST(ErdosRenyiGnp, EdgeCountNearExpectation) {
+  Rng rng(4);
+  const VertexId n = 500;
+  const double p = 0.05;
+  GeneratedGraph g = GenerateErdosRenyiGnp(n, p, rng);
+  double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(g.edges.size(), expected, 5 * std::sqrt(expected));
+  ExpectSimpleGraph(g);
+}
+
+TEST(ErdosRenyiGnp, ZeroProbabilityIsEmpty) {
+  Rng rng(5);
+  EXPECT_TRUE(GenerateErdosRenyiGnp(100, 0.0, rng).edges.empty());
+}
+
+TEST(ErdosRenyiGnp, FullProbabilityIsComplete) {
+  Rng rng(6);
+  GeneratedGraph g = GenerateErdosRenyiGnp(30, 1.0, rng);
+  EXPECT_EQ(g.edges.size(), 30u * 29 / 2);
+  ExpectSimpleGraph(g);
+}
+
+TEST(BarabasiAlbert, SizesAndSimplicity) {
+  Rng rng(7);
+  GeneratedGraph g = GenerateBarabasiAlbert({2000, 5}, rng);
+  EXPECT_EQ(g.num_vertices, 2000u);
+  // seed clique C(6,2)=15 edges + (2000-6)*5.
+  EXPECT_EQ(g.edges.size(), 15u + 1994u * 5);
+  ExpectSimpleGraph(g);
+}
+
+TEST(BarabasiAlbert, ProducesSkewedDegrees) {
+  Rng rng(8);
+  GeneratedGraph g = GenerateBarabasiAlbert({5000, 4}, rng);
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  GraphStats stats = ComputeGraphStatsSampled(csr, 100, rng);
+  // Hubs should be far above the mean (power-law tail).
+  EXPECT_GT(stats.degree_skew, 5.0);
+}
+
+TEST(BarabasiAlbert, ArrivalOrderIsTemporal) {
+  Rng rng(9);
+  GeneratedGraph g = GenerateBarabasiAlbert({100, 2}, rng);
+  // Each new vertex's edges appear after all earlier vertices' edges.
+  VertexId max_new_vertex = 0;
+  for (const Edge& e : g.edges) {
+    VertexId newer = std::max(e.u, e.v);
+    EXPECT_GE(newer, std::min(max_new_vertex, newer));
+    max_new_vertex = std::max(max_new_vertex, newer);
+  }
+}
+
+TEST(WattsStrogatz, KeepsEdgeCountAndSimplicity) {
+  Rng rng(10);
+  GeneratedGraph g = GenerateWattsStrogatz({1000, 5, 0.1}, rng);
+  EXPECT_EQ(g.edges.size(), 5000u);
+  ExpectSimpleGraph(g);
+}
+
+TEST(WattsStrogatz, ZeroRewiringIsRingLattice) {
+  Rng rng(11);
+  GeneratedGraph g = GenerateWattsStrogatz({50, 2, 0.0}, rng);
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  for (VertexId u = 0; u < 50; ++u) {
+    EXPECT_EQ(csr.Degree(u), 4u) << "vertex " << u;
+    EXPECT_TRUE(csr.HasEdge(u, (u + 1) % 50));
+    EXPECT_TRUE(csr.HasEdge(u, (u + 2) % 50));
+  }
+}
+
+TEST(WattsStrogatz, LowRewiringKeepsHighClustering) {
+  Rng rng(12);
+  GeneratedGraph g = GenerateWattsStrogatz({2000, 5, 0.05}, rng);
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  GraphStats stats = ComputeGraphStats(csr);
+  // Ring lattice clustering ≈ 0.7 for k=5; light rewiring keeps it high.
+  EXPECT_GT(stats.global_clustering, 0.4);
+}
+
+TEST(Rmat, RespectsScaleAndSimplicity) {
+  Rng rng(13);
+  RmatParams params;
+  params.scale = 10;
+  params.num_edges = 5000;
+  GeneratedGraph g = GenerateRmat(params, rng);
+  EXPECT_EQ(g.num_vertices, 1024u);
+  EXPECT_EQ(g.edges.size(), 5000u);
+  ExpectSimpleGraph(g);
+}
+
+TEST(Rmat, SkewedQuadrantsGiveSkewedDegrees) {
+  Rng rng(14);
+  RmatParams params;
+  params.scale = 12;
+  params.num_edges = 30000;
+  GeneratedGraph g = GenerateRmat(params, rng);
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  uint32_t max_degree = 0;
+  uint64_t degree_sum = 0;
+  for (VertexId u = 0; u < csr.num_vertices(); ++u) {
+    max_degree = std::max(max_degree, csr.Degree(u));
+    degree_sum += csr.Degree(u);
+  }
+  double avg = static_cast<double>(degree_sum) / csr.num_vertices();
+  EXPECT_GT(max_degree, 10 * avg);
+}
+
+TEST(Sbm, BlockAssignmentBalancedAndSized) {
+  Rng rng(15);
+  SbmParams params;
+  params.num_vertices = 1000;
+  params.num_blocks = 10;
+  SbmGraph g = GenerateSbm(params, rng);
+  ASSERT_EQ(g.block_of.size(), 1000u);
+  std::vector<int> sizes(10, 0);
+  for (uint32_t b : g.block_of) {
+    ASSERT_LT(b, 10u);
+    ++sizes[b];
+  }
+  for (int s : sizes) EXPECT_EQ(s, 100);
+  ExpectSimpleGraph(g.graph);
+}
+
+TEST(Sbm, IntraBlockDenserThanInter) {
+  Rng rng(16);
+  SbmParams params;
+  params.num_vertices = 2000;
+  params.num_blocks = 4;
+  params.p_intra = 0.05;
+  params.p_inter = 0.001;
+  SbmGraph g = GenerateSbm(params, rng);
+  uint64_t intra = 0, inter = 0;
+  for (const Edge& e : g.graph.edges) {
+    (g.block_of[e.u] == g.block_of[e.v] ? intra : inter) += 1;
+  }
+  // Expected intra ≈ 4 * C(500,2) * 0.05 ≈ 24950; inter ≈ 6*500*500*0.001 = 1500.
+  EXPECT_GT(intra, inter * 5);
+}
+
+TEST(Sbm, EdgeCountsNearExpectation) {
+  Rng rng(17);
+  SbmParams params;
+  params.num_vertices = 1000;
+  params.num_blocks = 2;
+  params.p_intra = 0.02;
+  params.p_inter = 0.002;
+  SbmGraph g = GenerateSbm(params, rng);
+  double expected_intra = 2 * (500.0 * 499 / 2) * 0.02;
+  double expected_inter = 500.0 * 500 * 0.002;
+  double expected = expected_intra + expected_inter;
+  EXPECT_NEAR(g.graph.edges.size(), expected, 6 * std::sqrt(expected));
+}
+
+TEST(ConfigurationModel, ApproximatesDegreeSequence) {
+  Rng rng(18);
+  std::vector<uint32_t> degrees(500, 4);
+  GeneratedGraph g = GenerateConfigurationModel({degrees}, rng);
+  ExpectSimpleGraph(g);
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  uint64_t total = 0;
+  for (VertexId u = 0; u < 500; ++u) {
+    EXPECT_LE(csr.Degree(u), 4u);
+    total += csr.Degree(u);
+  }
+  // Erased configuration model loses only a small fraction of stubs.
+  EXPECT_GT(total, 500u * 4 * 9 / 10);
+}
+
+TEST(ConfigurationModelDeathTest, OddStubSumAborts) {
+  Rng rng(19);
+  std::vector<uint32_t> degrees = {1, 2};  // sum 3: unpairable
+  EXPECT_DEATH(GenerateConfigurationModel({degrees}, rng), "even");
+}
+
+TEST(PowerLawDegreeSequence, RespectsBoundsAndEvenSum) {
+  Rng rng(20);
+  auto degrees = PowerLawDegreeSequence(10000, 2.5, 2, 100, rng);
+  ASSERT_EQ(degrees.size(), 10000u);
+  uint64_t sum = 0;
+  for (uint32_t d : degrees) {
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 101u);  // +1 possible from even-sum fixup on degrees[0]
+    sum += d;
+  }
+  EXPECT_EQ(sum % 2, 0u);
+}
+
+TEST(StreamOrder, NamesAreStable) {
+  EXPECT_STREQ(StreamOrderName(StreamOrder::kGenerated), "generated");
+  EXPECT_STREQ(StreamOrderName(StreamOrder::kRandom), "random");
+  EXPECT_STREQ(StreamOrderName(StreamOrder::kSortedBySource),
+               "sorted_by_source");
+  EXPECT_STREQ(StreamOrderName(StreamOrder::kReversed), "reversed");
+}
+
+TEST(StreamOrder, ReorderingsPreserveMultiset) {
+  Rng rng(21);
+  EdgeList edges = {{0, 1}, {2, 3}, {1, 2}, {4, 0}};
+  for (StreamOrder order :
+       {StreamOrder::kGenerated, StreamOrder::kRandom,
+        StreamOrder::kSortedBySource, StreamOrder::kReversed}) {
+    EdgeList copy = edges;
+    ApplyStreamOrder(order, copy, rng);
+    EdgeList sorted_original = edges, sorted_copy = copy;
+    std::sort(sorted_original.begin(), sorted_original.end());
+    std::sort(sorted_copy.begin(), sorted_copy.end());
+    EXPECT_EQ(sorted_original, sorted_copy) << StreamOrderName(order);
+  }
+}
+
+TEST(StreamOrder, SortedAndReversedAreWhatTheySay) {
+  Rng rng(22);
+  EdgeList edges = {{3, 4}, {0, 1}, {2, 3}};
+  EdgeList sorted = edges;
+  ApplyStreamOrder(StreamOrder::kSortedBySource, sorted, rng);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EdgeList reversed = edges;
+  ApplyStreamOrder(StreamOrder::kReversed, reversed, rng);
+  EXPECT_EQ(reversed.front(), edges.back());
+}
+
+TEST(SplitPointFn, FractionOfLength) {
+  EdgeList edges(100);
+  EXPECT_EQ(SplitPoint(edges, 0.8), 80u);
+  EXPECT_EQ(SplitPoint(edges, 0.0), 0u);
+  EXPECT_EQ(SplitPoint(edges, 1.0), 100u);
+}
+
+TEST(PairSampler, UniformPairsDistinctValid) {
+  Rng rng(23);
+  auto pairs = SampleUniformPairs(100, 50, rng);
+  ASSERT_EQ(pairs.size(), 50u);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const QueryPair& p : pairs) {
+    EXPECT_NE(p.u, p.v);
+    EXPECT_LT(p.u, 100u);
+    EXPECT_LT(p.v, 100u);
+    EXPECT_TRUE(seen.insert({p.u, p.v}).second);
+  }
+}
+
+TEST(PairSamplerDeathTest, TooManyPairsAborts) {
+  Rng rng(24);
+  EXPECT_DEATH(SampleUniformPairs(3, 10, rng), "only");
+}
+
+TEST(PairSampler, OverlappingPairsShareANeighbor) {
+  Rng rng(25);
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.05, 3});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  auto pairs = SampleOverlappingPairs(csr, 200, rng);
+  ASSERT_EQ(pairs.size(), 200u);
+  for (const QueryPair& p : pairs) {
+    EXPECT_GE(csr.IntersectionSize(p.u, p.v), 1u)
+        << "(" << p.u << "," << p.v << ")";
+  }
+}
+
+TEST(PairSamplerDeathTest, OverlappingNeedsWedges) {
+  Rng rng(26);
+  CsrGraph g = CsrGraph::FromEdges({{0, 1}});  // single edge: no wedges
+  EXPECT_DEATH(SampleOverlappingPairs(g, 1, rng), "no wedges");
+}
+
+TEST(PairSampler, MixedPairsCombineBoth) {
+  Rng rng(27);
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.05, 4});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  auto pairs = SampleMixedPairs(csr, 100, 0.5, rng);
+  EXPECT_EQ(pairs.size(), 100u);
+}
+
+TEST(Workloads, AllStandardNamesGenerate) {
+  for (const std::string& name : StandardWorkloadNames()) {
+    GeneratedGraph g = MakeWorkload(WorkloadSpec{name, 0.02, 5});
+    EXPECT_GT(g.edges.size(), 100u) << name;
+    EXPECT_GT(g.num_vertices, 50u) << name;
+    ExpectSimpleGraph(g);
+  }
+}
+
+TEST(Workloads, DeterministicAcrossCalls) {
+  GeneratedGraph a = MakeWorkload(WorkloadSpec{"rmat", 0.02, 6});
+  GeneratedGraph b = MakeWorkload(WorkloadSpec{"rmat", 0.02, 6});
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Workloads, SeedChangesOutput) {
+  GeneratedGraph a = MakeWorkload(WorkloadSpec{"er", 0.02, 1});
+  GeneratedGraph b = MakeWorkload(WorkloadSpec{"er", 0.02, 2});
+  EXPECT_NE(a.edges, b.edges);
+}
+
+TEST(WorkloadsDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(MakeWorkload(WorkloadSpec{"nope", 1.0, 0}), "unknown workload");
+}
+
+TEST(Workloads, ScaleControlsSize) {
+  GeneratedGraph small = MakeWorkload(WorkloadSpec{"ba", 0.02, 7});
+  GeneratedGraph large = MakeWorkload(WorkloadSpec{"ba", 0.1, 7});
+  EXPECT_LT(small.num_vertices, large.num_vertices);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,121 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/configuration_model.h"
+#include "graph/csr_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+CsrGraph Triangle() { return CsrGraph::FromEdges({{0, 1}, {1, 2}, {0, 2}}); }
+
+CsrGraph CompleteGraph(VertexId n) {
+  EdgeList edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return CsrGraph::FromEdges(edges);
+}
+
+CsrGraph Path(VertexId n) {
+  EdgeList edges;
+  for (VertexId u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+  return CsrGraph::FromEdges(edges);
+}
+
+TEST(GraphStats, TriangleIsFullyClustered) {
+  GraphStats s = ComputeGraphStats(Triangle());
+  EXPECT_EQ(s.num_vertices, 3u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_EQ(s.num_triangles, 1u);
+  EXPECT_EQ(s.num_wedges, 3u);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 1.0);
+  EXPECT_DOUBLE_EQ(s.avg_local_clustering, 1.0);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+  EXPECT_EQ(s.max_degree, 2u);
+}
+
+TEST(GraphStats, CompleteGraphTriangleCount) {
+  // K6: C(6,3) = 20 triangles, clustering 1.
+  GraphStats s = ComputeGraphStats(CompleteGraph(6));
+  EXPECT_EQ(s.num_triangles, 20u);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 1.0);
+}
+
+TEST(GraphStats, PathHasNoTriangles) {
+  GraphStats s = ComputeGraphStats(Path(10));
+  EXPECT_EQ(s.num_triangles, 0u);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 0.0);
+  EXPECT_EQ(s.num_wedges, 8u);  // 8 interior vertices of degree 2
+}
+
+TEST(GraphStats, CountsIsolatedVertices) {
+  CsrGraph g = CsrGraph::FromEdges({{0, 1}}, 5);
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_isolated, 3u);
+}
+
+TEST(GraphStats, EmptyGraphIsAllZero) {
+  CsrGraph g = CsrGraph::FromEdges({});
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 0.0);
+}
+
+TEST(GraphStats, SampledClusteringApproximatesExact) {
+  // Watts-Strogatz-like ring lattice has known-high clustering; compare
+  // sampled vs exact on a complete graph (clustering exactly 1).
+  CsrGraph g = CompleteGraph(30);
+  Rng rng(4);
+  GraphStats exact = ComputeGraphStats(g);
+  GraphStats sampled = ComputeGraphStatsSampled(g, 2000, rng);
+  EXPECT_NEAR(sampled.global_clustering, exact.global_clustering, 0.02);
+  EXPECT_EQ(sampled.num_vertices, exact.num_vertices);
+  EXPECT_EQ(sampled.num_wedges, exact.num_wedges);
+}
+
+TEST(GraphStats, SampledClusteringOnMixedGraph) {
+  // Triangle plus a long path: global clustering = 3 / (3 + path wedges).
+  EdgeList edges = {{0, 1}, {1, 2}, {0, 2}};
+  for (VertexId u = 10; u < 60; ++u) edges.emplace_back(u, u + 1);
+  CsrGraph g = CsrGraph::FromEdges(edges);
+  GraphStats exact = ComputeGraphStats(g);
+  Rng rng(5);
+  GraphStats sampled = ComputeGraphStatsSampled(g, 20000, rng);
+  EXPECT_NEAR(sampled.global_clustering, exact.global_clustering, 0.02);
+}
+
+TEST(DegreeHistogram, CountsPerDegree) {
+  CsrGraph g = CsrGraph::FromEdges({{0, 1}, {0, 2}, {0, 3}}, 5);
+  auto hist = DegreeHistogram(g);
+  ASSERT_EQ(hist.size(), 4u);  // max degree 3
+  EXPECT_EQ(hist[0], 1u);      // vertex 4
+  EXPECT_EQ(hist[1], 3u);      // vertices 1,2,3
+  EXPECT_EQ(hist[2], 0u);
+  EXPECT_EQ(hist[3], 1u);      // vertex 0
+}
+
+TEST(PowerLawFit, RecoversExponentOfSyntheticSequence) {
+  Rng rng(6);
+  auto degrees = PowerLawDegreeSequence(200000, 2.5, 2, 1000, rng);
+  std::vector<uint64_t> hist;
+  for (uint32_t d : degrees) {
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  double alpha = FitPowerLawExponent(hist, 2);
+  EXPECT_NEAR(alpha, 2.5, 0.15);
+}
+
+TEST(PowerLawFit, TooFewSamplesReturnsZero) {
+  std::vector<uint64_t> hist = {0, 0, 3};
+  EXPECT_DOUBLE_EQ(FitPowerLawExponent(hist, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/adjacency_graph.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace streamlink {
+namespace {
+
+TEST(EdgeType, CanonicalOrdersEndpoints) {
+  EXPECT_EQ(Edge(3, 1).Canonical(), Edge(1, 3));
+  EXPECT_EQ(Edge(1, 3).Canonical(), Edge(1, 3));
+  EXPECT_EQ(Edge(2, 2).Canonical(), Edge(2, 2));
+}
+
+TEST(EdgeType, SelfLoopDetection) {
+  EXPECT_TRUE(Edge(4, 4).IsSelfLoop());
+  EXPECT_FALSE(Edge(4, 5).IsSelfLoop());
+}
+
+TEST(EdgeType, OrderingIsLexicographic) {
+  EXPECT_LT(Edge(1, 2), Edge(1, 3));
+  EXPECT_LT(Edge(1, 9), Edge(2, 0));
+  EXPECT_FALSE(Edge(2, 2) < Edge(2, 2));
+}
+
+TEST(EdgeType, ToStringFormatsPair) {
+  EXPECT_EQ(ToString(Edge(3, 7)), "(3,7)");
+}
+
+TEST(EdgeType, HashDistinguishesOrder) {
+  EdgeHash h;
+  EXPECT_NE(h(Edge(1, 2)), h(Edge(2, 1)));
+  EXPECT_EQ(h(Edge(1, 2)), h(Edge(1, 2)));
+}
+
+TEST(AdjacencyGraph, StartsEmpty) {
+  AdjacencyGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.Degree(5), 0u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(AdjacencyGraph, AddEdgeGrowsVertexSet) {
+  AdjacencyGraph g;
+  EXPECT_TRUE(g.AddEdge(2, 5));
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(2, 5));
+  EXPECT_TRUE(g.HasEdge(5, 2));
+}
+
+TEST(AdjacencyGraph, RejectsSelfLoopsAndDuplicates) {
+  AdjacencyGraph g;
+  EXPECT_FALSE(g.AddEdge(3, 3));
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_FALSE(g.AddEdge(1, 2));
+  EXPECT_FALSE(g.AddEdge(2, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(AdjacencyGraph, DegreesCountNeighbors) {
+  AdjacencyGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Degree(9), 0u);
+}
+
+TEST(AdjacencyGraph, RemoveEdge) {
+  AdjacencyGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  EXPECT_TRUE(g.RemoveEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.RemoveEdge(1, 2));
+  EXPECT_FALSE(g.RemoveEdge(7, 9));
+}
+
+TEST(AdjacencyGraph, NeighborsAreSymmetric) {
+  AdjacencyGraph g;
+  g.AddEdge(4, 7);
+  EXPECT_EQ(g.Neighbors(4).count(7), 1u);
+  EXPECT_EQ(g.Neighbors(7).count(4), 1u);
+}
+
+TEST(AdjacencyGraphDeathTest, NeighborsOutOfRangeAborts) {
+  AdjacencyGraph g(3);
+  EXPECT_DEATH(g.Neighbors(5), "out of range");
+}
+
+TEST(AdjacencyGraph, SortedEdgesCanonicalAndSorted) {
+  AdjacencyGraph g;
+  g.AddEdge(5, 2);
+  g.AddEdge(1, 0);
+  g.AddEdge(3, 1);
+  EdgeList edges = g.SortedEdges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], Edge(0, 1));
+  EXPECT_EQ(edges[1], Edge(1, 3));
+  EXPECT_EQ(edges[2], Edge(2, 5));
+}
+
+TEST(AdjacencyGraph, EnsureVerticesGrowsOnly) {
+  AdjacencyGraph g(5);
+  g.EnsureVertices(3);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  g.EnsureVertices(10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+}
+
+TEST(AdjacencyGraph, MemoryGrowsWithEdges) {
+  AdjacencyGraph small, large;
+  small.AddEdge(0, 1);
+  for (VertexId u = 0; u < 100; ++u) {
+    for (VertexId v = u + 1; v < 100; v += 7) large.AddEdge(u, v);
+  }
+  EXPECT_LT(small.MemoryBytes(), large.MemoryBytes());
+}
+
+TEST(CsrGraph, FromEdgesBasics) {
+  CsrGraph g = CsrGraph::FromEdges({{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(CsrGraph, DropsDuplicatesAndSelfLoops) {
+  CsrGraph g = CsrGraph::FromEdges({{0, 1}, {1, 0}, {0, 1}, {2, 2}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_vertices(), 3u);  // vertex 2 exists but is isolated
+  EXPECT_EQ(g.Degree(2), 0u);
+}
+
+TEST(CsrGraph, HonorsExplicitVertexCount) {
+  CsrGraph g = CsrGraph::FromEdges({{0, 1}}, 10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.Degree(9), 0u);
+}
+
+TEST(CsrGraph, NeighborsAreSorted) {
+  CsrGraph g = CsrGraph::FromEdges({{0, 5}, {0, 2}, {0, 9}, {0, 1}});
+  auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(CsrGraph, IntersectionSize) {
+  // 0 and 1 share neighbors {2, 3}.
+  CsrGraph g =
+      CsrGraph::FromEdges({{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 5}});
+  EXPECT_EQ(g.IntersectionSize(0, 1), 2u);
+  EXPECT_EQ(g.IntersectionSize(4, 5), 0u);
+  EXPECT_EQ(g.IntersectionSize(0, 0), 3u);
+}
+
+TEST(CsrGraph, FromAdjacencyMatches) {
+  AdjacencyGraph a;
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  a.AddEdge(3, 1);
+  CsrGraph g = CsrGraph::FromAdjacency(a);
+  EXPECT_EQ(g.num_vertices(), a.num_vertices());
+  EXPECT_EQ(g.num_edges(), a.num_edges());
+  for (VertexId u = 0; u < 4; ++u) {
+    EXPECT_EQ(g.Degree(u), a.Degree(u)) << "vertex " << u;
+  }
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  CsrGraph g = CsrGraph::FromEdges({});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(CsrGraph, MemoryAccountsArrays) {
+  CsrGraph g = CsrGraph::FromEdges({{0, 1}, {1, 2}});
+  EXPECT_GE(g.MemoryBytes(), 4 * sizeof(VertexId) + 4 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace streamlink

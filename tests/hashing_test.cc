@@ -1,0 +1,190 @@
+#include "util/hashing.h"
+
+#include "sketch/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace streamlink {
+namespace {
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(12345), Mix64(12346));
+}
+
+TEST(Mix64, HasNoObviousCollisionsOnSequentialInputs) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  for (uint64_t bit = 0; bit < 64; bit += 7) {
+    uint64_t a = Mix64(0x123456789abcdefULL);
+    uint64_t b = Mix64(0x123456789abcdefULL ^ (1ULL << bit));
+    int flipped = __builtin_popcountll(a ^ b);
+    EXPECT_GT(flipped, 16) << "bit " << bit;
+    EXPECT_LT(flipped, 48) << "bit " << bit;
+  }
+}
+
+TEST(HashU64, SeedsGiveDifferentFunctions) {
+  EXPECT_NE(HashU64(42, 1), HashU64(42, 2));
+  EXPECT_EQ(HashU64(42, 1), HashU64(42, 1));
+}
+
+TEST(HashU64, DifferentKeysHashDifferently) {
+  std::set<uint64_t> outputs;
+  for (uint64_t key = 0; key < 5000; ++key) outputs.insert(HashU64(key, 7));
+  EXPECT_EQ(outputs.size(), 5000u);
+}
+
+TEST(HashToUnit, StaysInOpenClosedUnitInterval) {
+  EXPECT_GT(HashToUnit(0), 0.0);
+  EXPECT_LE(HashToUnit(~0ULL), 1.0);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    double u = HashToUnit(Mix64(i));
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(HashToUnit, IsApproximatelyUniform) {
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += HashToUnit(Mix64(i));
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(HashToExp, ProducesPositiveValuesWithUnitMean) {
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double e = HashToExp(Mix64(i));
+    ASSERT_GT(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(HashBytes, DistinguishesContentAndLength) {
+  EXPECT_NE(HashBytes("abc", 0), HashBytes("abd", 0));
+  EXPECT_NE(HashBytes("a", 0), HashBytes(std::string("a\0", 2), 0));
+  EXPECT_NE(HashBytes("abc", 0), HashBytes("abc", 1));
+  EXPECT_EQ(HashBytes("abc", 9), HashBytes("abc", 9));
+}
+
+TEST(HashBytes, EmptyStringIsValid) {
+  EXPECT_EQ(HashBytes("", 3), HashBytes("", 3));
+  EXPECT_NE(HashBytes("", 3), HashBytes("", 4));
+}
+
+TEST(HashFamily, SizesAndDeterminism) {
+  HashFamily f(99, 16);
+  EXPECT_EQ(f.size(), 16u);
+  EXPECT_EQ(f.master_seed(), 99u);
+  HashFamily g(99, 16);
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(f.Hash(i, 123), g.Hash(i, 123));
+    EXPECT_EQ(f.seed(i), g.seed(i));
+  }
+}
+
+TEST(HashFamily, FunctionsAreDistinct) {
+  HashFamily f(7, 32);
+  std::set<uint64_t> hashes;
+  for (uint32_t i = 0; i < 32; ++i) hashes.insert(f.Hash(i, 555));
+  EXPECT_EQ(hashes.size(), 32u);
+}
+
+TEST(HashFamily, DifferentMastersDiffer) {
+  HashFamily f(1, 4), g(2, 4);
+  EXPECT_NE(f.Hash(0, 10), g.Hash(0, 10));
+}
+
+TEST(HashFamilyDeathTest, ZeroSizeAborts) {
+  EXPECT_DEATH(HashFamily(1, 0), "at least one");
+}
+
+TEST(HashFamily, MinWiseUniformity) {
+  // Over a fixed set, the arg-min under independent hash functions should
+  // be close to uniform across elements.
+  const uint32_t set_size = 10;
+  const uint32_t num_functions = 5000;
+  HashFamily family(31337, num_functions);
+  std::vector<int> argmin_counts(set_size, 0);
+  for (uint32_t i = 0; i < num_functions; ++i) {
+    uint64_t best = ~0ULL;
+    uint32_t arg = 0;
+    for (uint32_t x = 0; x < set_size; ++x) {
+      uint64_t h = family.Hash(i, x);
+      if (h < best) {
+        best = h;
+        arg = x;
+      }
+    }
+    ++argmin_counts[arg];
+  }
+  double expected = static_cast<double>(num_functions) / set_size;
+  for (uint32_t x = 0; x < set_size; ++x) {
+    EXPECT_NEAR(argmin_counts[x], expected, 5 * std::sqrt(expected))
+        << "element " << x;
+  }
+}
+
+TEST(TabulationHash, DeterministicAndSeeded) {
+  TabulationHash h1(5), h2(5), h3(6);
+  EXPECT_EQ(h1(42), h2(42));
+  EXPECT_NE(h1(42), h3(42));
+}
+
+TEST(TabulationHash, NoCollisionsOnSmallRange) {
+  TabulationHash h(11);
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(h(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(TabulationHash, CoversHighBits) {
+  TabulationHash h(13);
+  uint64_t or_all = 0;
+  for (uint64_t i = 0; i < 1000; ++i) or_all |= h(i);
+  // All 8 byte-lanes of the output should be exercised.
+  for (int byte = 0; byte < 8; ++byte) {
+    EXPECT_NE((or_all >> (8 * byte)) & 0xff, 0u) << "byte " << byte;
+  }
+}
+
+TEST(TabulationFamily, DeterministicAndDistinct) {
+  TabulationFamily f(9, 8), g(9, 8), h(10, 8);
+  EXPECT_EQ(f.size(), 8u);
+  EXPECT_EQ(f.Hash(3, 42), g.Hash(3, 42));
+  EXPECT_NE(f.Hash(3, 42), h.Hash(3, 42));
+  std::set<uint64_t> hashes;
+  for (uint32_t i = 0; i < 8; ++i) hashes.insert(f.Hash(i, 777));
+  EXPECT_EQ(hashes.size(), 8u);
+}
+
+TEST(TabulationFamilyDeathTest, ZeroSizeAborts) {
+  EXPECT_DEATH(TabulationFamily(1, 0), "at least one");
+}
+
+TEST(TabulationFamily, MinWiseEstimationWorksInSketch) {
+  // TabulationFamily is a drop-in for HashFamily in MinHashSketch.
+  TabulationFamily family(13, 256);
+  MinHashSketch a(256), b(256);
+  for (uint64_t i = 0; i < 100; ++i) {
+    a.Update(i, family);
+    b.Update(i + 50, family);  // |∩| = 50, |∪| = 150 → J = 1/3
+  }
+  EXPECT_NEAR(MinHashSketch::EstimateJaccard(a, b), 1.0 / 3.0, 0.12);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,90 @@
+#include "sketch/hyperloglog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(HyperLogLog, RegisterCountMatchesPrecision) {
+  HyperLogLog h(10);
+  EXPECT_EQ(h.num_registers(), 1024u);
+  EXPECT_EQ(h.precision(), 10u);
+}
+
+TEST(HyperLogLogDeathTest, PrecisionOutOfRangeAborts) {
+  EXPECT_DEATH(HyperLogLog(3), "precision");
+  EXPECT_DEATH(HyperLogLog(19), "precision");
+}
+
+TEST(HyperLogLog, EmptyEstimatesZero) {
+  HyperLogLog h(8);
+  EXPECT_NEAR(h.Estimate(), 0.0, 1e-9);
+}
+
+TEST(HyperLogLog, UpdateIsIdempotent) {
+  HyperLogLog a(8), b(8);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (uint64_t i = 0; i < 100; ++i) a.Update(Mix64(i));
+  }
+  for (uint64_t i = 0; i < 100; ++i) b.Update(Mix64(i));
+  EXPECT_EQ(a.registers(), b.registers());
+}
+
+TEST(HyperLogLog, SmallCountsUseLinearCounting) {
+  HyperLogLog h(12);
+  for (uint64_t i = 0; i < 50; ++i) h.Update(Mix64(i));
+  EXPECT_NEAR(h.Estimate(), 50.0, 3.0);
+}
+
+TEST(HyperLogLog, LargeCountsWithinStandardError) {
+  Rng rng(42);
+  for (uint32_t precision : {8u, 12u, 14u}) {
+    HyperLogLog h(precision);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) h.Update(rng.Next());
+    double rel_err = std::abs(h.Estimate() - n) / n;
+    EXPECT_LT(rel_err, 5.0 * h.StandardError()) << "p=" << precision;
+  }
+}
+
+TEST(HyperLogLog, StandardErrorFormula) {
+  HyperLogLog h(10);
+  EXPECT_NEAR(h.StandardError(), 1.04 / 32.0, 1e-9);
+}
+
+TEST(HyperLogLog, MergeEqualsUnionSketch) {
+  HyperLogLog a(10), b(10), expected(10);
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t x = rng.Next();
+    a.Update(x);
+    expected.Update(x);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t x = rng.Next();
+    b.Update(x);
+    expected.Update(x);
+  }
+  a.MergeUnion(b);
+  EXPECT_EQ(a.registers(), expected.registers());
+}
+
+TEST(HyperLogLogDeathTest, MergeDifferentPrecisionAborts) {
+  HyperLogLog a(8), b(10);
+  EXPECT_DEATH(a.MergeUnion(b), "different precision");
+}
+
+TEST(HyperLogLog, MemoryMatchesRegisters) {
+  HyperLogLog h(12);
+  EXPECT_GE(h.MemoryBytes(), 4096u);
+  EXPECT_LT(h.MemoryBytes(), 4096u + 256u);
+}
+
+}  // namespace
+}  // namespace streamlink

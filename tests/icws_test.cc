@@ -1,0 +1,196 @@
+#include "sketch/icws.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+constexpr uint64_t kSeed = 0x1c55;
+
+using WeightedSet = std::map<uint64_t, double>;
+
+IcwsSketch SketchOf(const WeightedSet& set, uint32_t k) {
+  IcwsSketch s(k, kSeed);
+  for (const auto& [item, weight] : set) s.Update(item, weight);
+  return s;
+}
+
+double ExactGeneralizedJaccard(const WeightedSet& a, const WeightedSet& b) {
+  double min_sum = 0.0, max_sum = 0.0;
+  WeightedSet all = a;
+  for (const auto& [item, weight] : b) {
+    all[item] = std::max(all[item], weight);
+  }
+  for (const auto& [item, w_max] : all) {
+    auto ia = a.find(item);
+    auto ib = b.find(item);
+    double wa = ia == a.end() ? 0.0 : ia->second;
+    double wb = ib == b.end() ? 0.0 : ib->second;
+    min_sum += std::min(wa, wb);
+    max_sum += std::max(wa, wb);
+  }
+  return max_sum > 0 ? min_sum / max_sum : 0.0;
+}
+
+TEST(IcwsSketch, StartsEmpty) {
+  IcwsSketch s(8, kSeed);
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_EQ(s.num_slots(), 8u);
+}
+
+TEST(IcwsSketchDeathTest, PreconditionsEnforced) {
+  EXPECT_DEATH(IcwsSketch(0, kSeed), "at least one slot");
+  IcwsSketch s(4, kSeed);
+  EXPECT_DEATH(s.Update(1, 0.0), "positive");
+  EXPECT_DEATH(s.Update(1, -2.0), "positive");
+}
+
+TEST(IcwsSketch, IdenticalWeightedSetsMatchPerfectly) {
+  WeightedSet set = {{1, 0.5}, {2, 3.0}, {3, 10.0}};
+  IcwsSketch a = SketchOf(set, 64);
+  IcwsSketch b = SketchOf(set, 64);
+  EXPECT_DOUBLE_EQ(IcwsSketch::EstimateGeneralizedJaccard(a, b), 1.0);
+}
+
+TEST(IcwsSketch, UpdateIsIdempotentAndOrderIndependent) {
+  WeightedSet set = {{1, 2.0}, {2, 5.0}, {3, 0.25}};
+  IcwsSketch a = SketchOf(set, 32);
+  IcwsSketch b(32, kSeed);
+  b.Update(3, 0.25);
+  b.Update(1, 2.0);
+  b.Update(2, 5.0);
+  b.Update(1, 2.0);  // duplicate
+  for (uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.slot(i).item, b.slot(i).item);
+    EXPECT_EQ(a.slot(i).t, b.slot(i).t);
+    EXPECT_DOUBLE_EQ(a.slot(i).a, b.slot(i).a);
+  }
+}
+
+TEST(IcwsSketch, DisjointSetsRarelyMatch) {
+  WeightedSet a_set, b_set;
+  for (uint64_t i = 0; i < 50; ++i) {
+    a_set[i] = 1.0 + i * 0.1;
+    b_set[1000 + i] = 1.0 + i * 0.1;
+  }
+  IcwsSketch a = SketchOf(a_set, 128);
+  IcwsSketch b = SketchOf(b_set, 128);
+  EXPECT_LT(IcwsSketch::EstimateGeneralizedJaccard(a, b), 0.03);
+}
+
+TEST(IcwsSketch, ConsistencyGrowingAWeightOnlyLowersItsValue) {
+  // Ioffe's consistency: raising one element's weight can only make that
+  // element win more slots; other elements' slot values are untouched.
+  WeightedSet base = {{1, 1.0}, {2, 1.0}, {3, 1.0}};
+  IcwsSketch before = SketchOf(base, 64);
+  WeightedSet grown = base;
+  grown[2] = 50.0;
+  IcwsSketch after = SketchOf(grown, 64);
+  for (uint32_t i = 0; i < 64; ++i) {
+    if (after.slot(i).item != 2) {
+      // Slot not won by the grown element: must be identical to before.
+      EXPECT_EQ(after.slot(i).item, before.slot(i).item) << "slot " << i;
+      EXPECT_DOUBLE_EQ(after.slot(i).a, before.slot(i).a) << "slot " << i;
+    } else {
+      // Won by 2: value can only have decreased (or slot was already 2's).
+      EXPECT_LE(after.slot(i).a, before.slot(i).a + 1e-15) << "slot " << i;
+    }
+  }
+}
+
+TEST(IcwsSketch, ScaleInvarianceOfJaccardEstimates) {
+  // J_w(c·A, c·B) = J_w(A, B): estimates from scaled sets should be very
+  // close (levels t shift but matches are preserved in distribution; with
+  // shared hashes the estimator remains unbiased — check both are near
+  // the exact value).
+  Rng rng(1);
+  WeightedSet a_set, b_set;
+  for (uint64_t i = 0; i < 100; ++i) {
+    double w = 0.5 + rng.NextDouble() * 4.0;
+    a_set[i] = w;
+    if (i % 2 == 0) b_set[i] = w * (0.5 + rng.NextDouble());
+  }
+  for (uint64_t i = 200; i < 250; ++i) b_set[i] = 1.0 + rng.NextDouble();
+
+  double truth = ExactGeneralizedJaccard(a_set, b_set);
+  const uint32_t k = 1024;
+  IcwsSketch a = SketchOf(a_set, k);
+  IcwsSketch b = SketchOf(b_set, k);
+  double est = IcwsSketch::EstimateGeneralizedJaccard(a, b);
+  EXPECT_NEAR(est, truth, 4.0 / std::sqrt(static_cast<double>(k)));
+
+  WeightedSet a_scaled, b_scaled;
+  for (const auto& [i, w] : a_set) a_scaled[i] = w * 7.3;
+  for (const auto& [i, w] : b_set) b_scaled[i] = w * 7.3;
+  double truth_scaled = ExactGeneralizedJaccard(a_scaled, b_scaled);
+  EXPECT_NEAR(truth_scaled, truth, 1e-12);
+  IcwsSketch as = SketchOf(a_scaled, k);
+  IcwsSketch bs = SketchOf(b_scaled, k);
+  EXPECT_NEAR(IcwsSketch::EstimateGeneralizedJaccard(as, bs), truth,
+              4.0 / std::sqrt(static_cast<double>(k)));
+}
+
+/// Property: the matched-slot fraction concentrates on the exact
+/// generalized Jaccard across overlap levels and weight distributions.
+class IcwsAccuracy : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(IcwsAccuracy, EstimateConcentratesOnExactValue) {
+  const uint32_t k = GetParam();
+  Rng rng(k);
+  for (double shared_fraction : {0.2, 0.7}) {
+    WeightedSet a_set, b_set;
+    const int size = 300;
+    int shared = static_cast<int>(shared_fraction * size);
+    for (int i = 0; i < shared; ++i) {
+      double w = std::exp(rng.NextGaussian());  // lognormal weights
+      a_set[i] = w;
+      b_set[i] = w * (0.5 + rng.NextDouble());
+    }
+    for (int i = shared; i < size; ++i) {
+      a_set[i] = std::exp(rng.NextGaussian());
+      b_set[10000 + i] = std::exp(rng.NextGaussian());
+    }
+    double truth = ExactGeneralizedJaccard(a_set, b_set);
+    IcwsSketch a = SketchOf(a_set, k);
+    IcwsSketch b = SketchOf(b_set, k);
+    double est = IcwsSketch::EstimateGeneralizedJaccard(a, b);
+    double envelope = std::sqrt(std::log(2.0 / 1e-4) / (2.0 * k));
+    EXPECT_NEAR(est, truth, envelope)
+        << "k=" << k << " shared=" << shared_fraction;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotCounts, IcwsAccuracy,
+                         ::testing::Values(64u, 256u, 1024u));
+
+TEST(IcwsSketch, MergeUnionOfDisjointSets) {
+  WeightedSet a_set = {{1, 2.0}, {2, 3.0}};
+  WeightedSet b_set = {{10, 1.0}, {11, 4.0}};
+  IcwsSketch a = SketchOf(a_set, 32);
+  IcwsSketch b = SketchOf(b_set, 32);
+  WeightedSet union_set = a_set;
+  union_set.insert(b_set.begin(), b_set.end());
+  IcwsSketch expected = SketchOf(union_set, 32);
+  a.MergeUnion(b);
+  for (uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.slot(i).item, expected.slot(i).item);
+    EXPECT_DOUBLE_EQ(a.slot(i).a, expected.slot(i).a);
+  }
+}
+
+TEST(IcwsSketchDeathTest, IncompatibleOperationsAbort) {
+  IcwsSketch a(8, 1), b(8, 2), c(16, 1);
+  a.Update(1, 1.0);
+  b.Update(1, 1.0);
+  EXPECT_DEATH(IcwsSketch::CountMatches(a, b, nullptr), "incompatible");
+  EXPECT_DEATH(a.MergeUnion(c), "incompatible");
+}
+
+}  // namespace
+}  // namespace streamlink

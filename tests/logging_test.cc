@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace streamlink {
+namespace {
+
+TEST(Logging, ThresholdRoundTrips) {
+  LogLevel old_level = SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  SetLogThreshold(old_level);
+  EXPECT_EQ(GetLogThreshold(), old_level);
+}
+
+TEST(Logging, InfoBelowThresholdDoesNotCrash) {
+  LogLevel old_level = SetLogThreshold(LogLevel::kError);
+  SL_LOG(kInfo) << "suppressed message " << 42;
+  SL_LOG(kWarning) << "also suppressed";
+  SetLogThreshold(old_level);
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(SL_LOG(kFatal) << "boom", "boom");
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(SL_CHECK(1 == 2) << "math broke", "Check failed: 1 == 2");
+}
+
+TEST(Logging, CheckPassIsSilent) {
+  SL_CHECK(true) << "never shown";
+  SL_CHECK(2 + 2 == 4);
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(SL_CHECK_OK(Status::NotFound("gone")), "NotFound: gone");
+}
+
+TEST(Logging, CheckOkPassesOnOk) { SL_CHECK_OK(Status::Ok()); }
+
+TEST(Logging, DcheckPassIsSilent) { SL_DCHECK(true); }
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, DcheckFailsInDebug) {
+  EXPECT_DEATH(SL_DCHECK(false) << "debug only", "Check failed");
+}
+#endif
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,129 @@
+// Mergeability: predictors built over disjoint stream partitions, merged,
+// must equal one predictor that saw the whole stream — the property that
+// makes the sketches usable for parallel and distributed ingestion.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/minhash_predictor.h"
+#include "eval/experiment.h"
+#include "gen/workloads.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(Merge, TwoWayPartitionEqualsSinglePass) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.03, 111});
+  MinHashPredictorOptions options{64, 3};
+
+  MinHashPredictor single(options);
+  FeedStream(single, g.edges);
+
+  MinHashPredictor left(options), right(options);
+  size_t half = g.edges.size() / 2;
+  FeedStream(left, EdgeList(g.edges.begin(), g.edges.begin() + half));
+  FeedStream(right, EdgeList(g.edges.begin() + half, g.edges.end()));
+  left.MergeFrom(right);
+
+  EXPECT_EQ(left.edges_processed(), single.edges_processed());
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    OverlapEstimate merged = left.EstimateOverlap(u, v);
+    OverlapEstimate reference = single.EstimateOverlap(u, v);
+    EXPECT_DOUBLE_EQ(merged.jaccard, reference.jaccard);
+    EXPECT_DOUBLE_EQ(merged.intersection, reference.intersection);
+    EXPECT_DOUBLE_EQ(merged.adamic_adar, reference.adamic_adar);
+    EXPECT_DOUBLE_EQ(merged.degree_u, reference.degree_u);
+  }
+}
+
+TEST(Merge, ManyWayMergeIsAssociative) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"er", 0.03, 112});
+  MinHashPredictorOptions options{32, 7};
+
+  MinHashPredictor single(options);
+  FeedStream(single, g.edges);
+
+  const int parts = 5;
+  std::vector<MinHashPredictor> shards;
+  for (int p = 0; p < parts; ++p) shards.emplace_back(options);
+  for (size_t i = 0; i < g.edges.size(); ++i) {
+    shards[i % parts].OnEdge(g.edges[i]);
+  }
+  // Fold in arbitrary order.
+  shards[0].MergeFrom(shards[3]);
+  shards[1].MergeFrom(shards[4]);
+  shards[0].MergeFrom(shards[1]);
+  shards[0].MergeFrom(shards[2]);
+
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    EXPECT_DOUBLE_EQ(shards[0].EstimateOverlap(u, v).jaccard,
+                     single.EstimateOverlap(u, v).jaccard);
+  }
+}
+
+TEST(Merge, EmptyPeerIsIdentity) {
+  MinHashPredictorOptions options{16, 5};
+  MinHashPredictor a(options), empty(options);
+  FeedStream(a, {{0, 1}, {1, 2}});
+  OverlapEstimate before = a.EstimateOverlap(0, 2);
+  a.MergeFrom(empty);
+  OverlapEstimate after = a.EstimateOverlap(0, 2);
+  EXPECT_DOUBLE_EQ(before.jaccard, after.jaccard);
+  EXPECT_EQ(a.edges_processed(), 2u);
+}
+
+TEST(MergeDeathTest, IncompatibleOptionsAbort) {
+  MinHashPredictor a(MinHashPredictorOptions{16, 5});
+  MinHashPredictor b(MinHashPredictorOptions{32, 5});
+  MinHashPredictor c(MinHashPredictorOptions{16, 6});
+  EXPECT_DEATH(a.MergeFrom(b), "different options");
+  EXPECT_DEATH(a.MergeFrom(c), "different options");
+}
+
+TEST(Merge, ParallelIngestMatchesSequential) {
+  // The real use: shards ingest concurrently on threads, then merge.
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ws", 0.03, 113});
+  MinHashPredictorOptions options{32, 9};
+
+  MinHashPredictor single(options);
+  FeedStream(single, g.edges);
+
+  const int num_threads = 4;
+  std::vector<MinHashPredictor> shards;
+  for (int t = 0; t < num_threads; ++t) shards.emplace_back(options);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t i = t; i < g.edges.size(); i += num_threads) {
+          shards[t].OnEdge(g.edges[i]);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  for (int t = 1; t < num_threads; ++t) shards[0].MergeFrom(shards[t]);
+
+  EXPECT_EQ(shards[0].edges_processed(), single.edges_processed());
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    EXPECT_DOUBLE_EQ(shards[0].EstimateOverlap(u, v).jaccard,
+                     single.EstimateOverlap(u, v).jaccard);
+    EXPECT_DOUBLE_EQ(shards[0].EstimateOverlap(u, v).adamic_adar,
+                     single.EstimateOverlap(u, v).adamic_adar);
+  }
+}
+
+}  // namespace
+}  // namespace streamlink

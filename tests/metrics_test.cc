@@ -1,0 +1,99 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamlink {
+namespace {
+
+TEST(Auc, PerfectRankingIsOne) {
+  std::vector<LabeledScore> ex = {
+      {0.9, true}, {0.8, true}, {0.2, false}, {0.1, false}};
+  EXPECT_DOUBLE_EQ(ComputeAuc(ex), 1.0);
+}
+
+TEST(Auc, InvertedRankingIsZero) {
+  std::vector<LabeledScore> ex = {
+      {0.9, false}, {0.8, false}, {0.2, true}, {0.1, true}};
+  EXPECT_DOUBLE_EQ(ComputeAuc(ex), 0.0);
+}
+
+TEST(Auc, AllTiedIsHalf) {
+  std::vector<LabeledScore> ex = {
+      {0.5, true}, {0.5, false}, {0.5, true}, {0.5, false}};
+  EXPECT_DOUBLE_EQ(ComputeAuc(ex), 0.5);
+}
+
+TEST(Auc, SingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({{0.4, true}, {0.6, true}}), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeAuc({{0.4, false}}), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeAuc({}), 0.5);
+}
+
+TEST(Auc, HandComputedMixedCase) {
+  // Scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8 vs 0.6) win, (0.8 vs 0.2) win, (0.4 vs 0.6) loss,
+  // (0.4 vs 0.2) win → 3/4.
+  std::vector<LabeledScore> ex = {
+      {0.8, true}, {0.4, true}, {0.6, false}, {0.2, false}};
+  EXPECT_DOUBLE_EQ(ComputeAuc(ex), 0.75);
+}
+
+TEST(Auc, MidrankTieHandling) {
+  // pos 0.5, neg 0.5 → that comparison counts 1/2.
+  std::vector<LabeledScore> ex = {{0.5, true}, {0.5, false}, {0.1, false}};
+  // Pairs: (0.5 pos vs 0.5 neg) = 0.5; (0.5 pos vs 0.1 neg) = 1 → 1.5/2.
+  EXPECT_DOUBLE_EQ(ComputeAuc(ex), 0.75);
+}
+
+TEST(PrecisionAtK, CountsHitsInTopK) {
+  std::vector<LabeledScore> ex = {
+      {0.9, true}, {0.8, false}, {0.7, true}, {0.1, false}};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ex, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ex, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ex, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ex, 4), 0.5);
+}
+
+TEST(PrecisionAtK, KBeyondSizeClamps) {
+  std::vector<LabeledScore> ex = {{0.9, true}};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ex, 100), 1.0);
+}
+
+TEST(PrecisionAtK, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({{0.5, true}}, 0), 0.0);
+}
+
+TEST(RecallAtK, FractionOfPositivesRetrieved) {
+  std::vector<LabeledScore> ex = {
+      {0.9, true}, {0.8, false}, {0.7, true}, {0.1, true}};
+  EXPECT_DOUBLE_EQ(RecallAtK(ex, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ex, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ex, 4), 1.0);
+}
+
+TEST(RecallAtK, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(RecallAtK({{0.5, false}}, 1), 0.0);
+}
+
+TEST(AveragePrecisionFn, PerfectRankingIsOne) {
+  std::vector<LabeledScore> ex = {
+      {0.9, true}, {0.8, true}, {0.2, false}};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ex), 1.0);
+}
+
+TEST(AveragePrecisionFn, HandComputed) {
+  // Ranked: pos, neg, pos → AP = (1/1 + 2/3) / 2 = 5/6.
+  std::vector<LabeledScore> ex = {
+      {0.9, true}, {0.8, false}, {0.7, true}};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ex), 5.0 / 6.0);
+}
+
+TEST(AveragePrecisionFn, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({{0.3, false}}), 0.0);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,234 @@
+#include "core/minhash_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_predictor.h"
+#include "eval/experiment.h"
+#include "gen/pair_sampler.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+/// Small reference stream: star around 0..1 with shared neighbors.
+/// N(0) = {2,3,4}, N(1) = {2,3,5} (see exact_measures_test).
+EdgeList ReferenceStream() {
+  return {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 5}, {2, 3}};
+}
+
+TEST(MinHashPredictor, NameAndDefaults) {
+  MinHashPredictor p;
+  EXPECT_EQ(p.name(), "minhash");
+  EXPECT_EQ(p.options().num_hashes, 64u);
+  EXPECT_EQ(p.edges_processed(), 0u);
+  EXPECT_EQ(p.num_vertices(), 0u);
+}
+
+TEST(MinHashPredictor, TracksDegreesExactly) {
+  MinHashPredictor p;
+  FeedStream(p, ReferenceStream());
+  EXPECT_EQ(p.Degree(0), 3u);
+  EXPECT_EQ(p.Degree(1), 3u);
+  EXPECT_EQ(p.Degree(2), 3u);
+  EXPECT_EQ(p.Degree(4), 1u);
+  EXPECT_EQ(p.Degree(99), 0u);
+  EXPECT_EQ(p.edges_processed(), 7u);
+}
+
+TEST(MinHashPredictor, SelfLoopsIgnored) {
+  MinHashPredictor p;
+  p.OnEdge(Edge(3, 3));
+  EXPECT_EQ(p.edges_processed(), 0u);
+  EXPECT_EQ(p.Degree(3), 0u);
+}
+
+TEST(MinHashPredictor, UnseenVerticesEstimateZero) {
+  MinHashPredictor p;
+  FeedStream(p, ReferenceStream());
+  OverlapEstimate e = p.EstimateOverlap(50, 60);
+  EXPECT_DOUBLE_EQ(e.jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(e.intersection, 0.0);
+  EXPECT_DOUBLE_EQ(e.adamic_adar, 0.0);
+}
+
+TEST(MinHashPredictor, OneSidedIsolationEstimatesZeroOverlap) {
+  MinHashPredictor p;
+  FeedStream(p, ReferenceStream());
+  OverlapEstimate e = p.EstimateOverlap(0, 77);
+  EXPECT_DOUBLE_EQ(e.jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(e.degree_u, 3.0);
+  EXPECT_DOUBLE_EQ(e.degree_v, 0.0);
+  EXPECT_DOUBLE_EQ(e.union_size, 3.0);
+}
+
+TEST(MinHashPredictor, IdenticalNeighborhoodsHaveJaccardOne) {
+  // 0 and 1 both connect to exactly {10, 11, 12}.
+  MinHashPredictor p;
+  FeedStream(p, {{0, 10}, {0, 11}, {0, 12}, {1, 10}, {1, 11}, {1, 12}});
+  OverlapEstimate e = p.EstimateOverlap(0, 1);
+  EXPECT_DOUBLE_EQ(e.jaccard, 1.0);
+  EXPECT_NEAR(e.intersection, 3.0, 1e-9);
+  EXPECT_NEAR(e.union_size, 3.0, 1e-9);
+}
+
+TEST(MinHashPredictor, DisjointNeighborhoodsNearZero) {
+  MinHashPredictor p(MinHashPredictorOptions{256, 1});
+  EdgeList edges;
+  for (VertexId i = 0; i < 50; ++i) {
+    edges.push_back({0, 100 + i});
+    edges.push_back({1, 200 + i});
+  }
+  FeedStream(p, edges);
+  EXPECT_LT(p.EstimateOverlap(0, 1).jaccard, 0.05);
+}
+
+TEST(MinHashPredictor, ScoreDelegatesToMeasure) {
+  MinHashPredictor p;
+  FeedStream(p, ReferenceStream());
+  OverlapEstimate e = p.EstimateOverlap(0, 1);
+  EXPECT_DOUBLE_EQ(p.Score(LinkMeasure::kJaccard, 0, 1), e.jaccard);
+  EXPECT_DOUBLE_EQ(p.Score(LinkMeasure::kCommonNeighbors, 0, 1),
+                   e.intersection);
+  EXPECT_DOUBLE_EQ(p.Score(LinkMeasure::kAdamicAdar, 0, 1), e.adamic_adar);
+  EXPECT_DOUBLE_EQ(p.Score(LinkMeasure::kPreferentialAttachment, 0, 1), 9.0);
+}
+
+TEST(MinHashPredictor, DeterministicForSeed) {
+  MinHashPredictorOptions options{32, 77};
+  MinHashPredictor a(options), b(options);
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.02, 9});
+  FeedStream(a, g.edges);
+  FeedStream(b, g.edges);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    OverlapEstimate ea = a.EstimateOverlap(u, v);
+    OverlapEstimate eb = b.EstimateOverlap(u, v);
+    EXPECT_DOUBLE_EQ(ea.jaccard, eb.jaccard);
+    EXPECT_DOUBLE_EQ(ea.adamic_adar, eb.adamic_adar);
+  }
+}
+
+TEST(MinHashPredictor, StreamOrderDoesNotChangeJaccard) {
+  // MinHash slots are order-independent; Jaccard/CN estimates must match
+  // across arrival orders (degrees are order-independent too).
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"er", 0.02, 10});
+  MinHashPredictorOptions options{32, 5};
+  MinHashPredictor forward(options), backward(options);
+  FeedStream(forward, g.edges);
+  EdgeList reversed(g.edges.rbegin(), g.edges.rend());
+  FeedStream(backward, reversed);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    EXPECT_DOUBLE_EQ(forward.EstimateOverlap(u, v).jaccard,
+                     backward.EstimateOverlap(u, v).jaccard);
+    EXPECT_DOUBLE_EQ(forward.EstimateOverlap(u, v).intersection,
+                     backward.EstimateOverlap(u, v).intersection);
+  }
+}
+
+TEST(MinHashPredictor, MemoryIsConstantPerVertex) {
+  // The headline space claim: bytes per vertex must not grow with degree.
+  MinHashPredictorOptions options{64, 3};
+  MinHashPredictor sparse(options), dense(options);
+  // sparse: 1000 vertices in a path. dense: 1000 vertices, ~20x the edges.
+  EdgeList path, dense_edges;
+  for (VertexId i = 0; i + 1 < 1000; ++i) path.push_back({i, i + 1});
+  for (VertexId i = 0; i < 1000; ++i) {
+    for (VertexId j = 1; j <= 20; ++j) {
+      dense_edges.push_back({i, static_cast<VertexId>((i + j * 37) % 1000)});
+    }
+  }
+  FeedStream(sparse, path);
+  FeedStream(dense, dense_edges);
+  double sparse_per_vertex =
+      static_cast<double>(sparse.MemoryBytes()) / sparse.num_vertices();
+  double dense_per_vertex =
+      static_cast<double>(dense.MemoryBytes()) / dense.num_vertices();
+  EXPECT_NEAR(dense_per_vertex, sparse_per_vertex, sparse_per_vertex * 0.1);
+}
+
+/// Property sweep over sketch sizes: empirical Jaccard error on a real
+/// workload respects the Hoeffding envelope, and larger k is more accurate
+/// on aggregate.
+class MinHashPredictorAccuracy : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MinHashPredictorAccuracy, JaccardWithinEnvelopeOnWorkload) {
+  const uint32_t k = GetParam();
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.05, 21});
+  MinHashPredictor p(MinHashPredictorOptions{k, 99});
+  ExactPredictor exact;
+  FeedStream(p, g.edges);
+  FeedStream(exact, g.edges);
+
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(4);
+  auto pairs = SampleOverlappingPairs(csr, 300, rng);
+  double eps = std::sqrt(std::log(2.0 / 1e-4) / (2.0 * k));  // 99.99% env.
+  int violations = 0;
+  for (const QueryPair& qp : pairs) {
+    double truth = exact.EstimateOverlap(qp.u, qp.v).jaccard;
+    double est = p.EstimateOverlap(qp.u, qp.v).jaccard;
+    if (std::abs(est - truth) > eps) ++violations;
+  }
+  // 300 pairs at 1e-4 failure each: essentially zero expected; allow 2.
+  EXPECT_LE(violations, 2) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(SketchSizes, MinHashPredictorAccuracy,
+                         ::testing::Values(16u, 64u, 256u));
+
+TEST(MinHashPredictor, ErrorShrinksWithK) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.05, 22});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(5);
+  auto pairs = SampleOverlappingPairs(csr, 400, rng);
+
+  double prev_error = 1e9;
+  for (uint32_t k : {8u, 64u, 512u}) {
+    PredictorConfig config;
+    config.kind = "minhash";
+    config.sketch_size = k;
+    AccuracyReport report = MeasureAccuracy(g, config, pairs);
+    double err = report.jaccard.MeanAbsoluteError();
+    EXPECT_LT(err, prev_error * 1.05) << "k=" << k;
+    prev_error = err;
+  }
+  EXPECT_LT(prev_error, 0.05);  // k=512 should be quite accurate
+}
+
+TEST(MinHashPredictor, CommonNeighborEstimateTracksTruth) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ws", 0.05, 23});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(6);
+  auto pairs = SampleOverlappingPairs(csr, 300, rng);
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.sketch_size = 256;
+  AccuracyReport report = MeasureAccuracy(g, config, pairs);
+  EXPECT_LT(report.common_neighbors.MeanRelativeError(), 0.35);
+  // Mean signed error near zero => no gross bias.
+  EXPECT_LT(std::abs(report.common_neighbors.MeanSignedError()), 1.0);
+}
+
+TEST(MinHashPredictor, AdamicAdarEstimateTracksTruth) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ws", 0.05, 24});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(7);
+  auto pairs = SampleOverlappingPairs(csr, 300, rng);
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.sketch_size = 256;
+  AccuracyReport report = MeasureAccuracy(g, config, pairs);
+  EXPECT_LT(report.adamic_adar.MeanRelativeError(), 0.4);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,182 @@
+#include "sketch/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+MinHashSketch SketchOf(const std::vector<uint64_t>& items,
+                       const HashFamily& family) {
+  MinHashSketch s(family.size());
+  for (uint64_t x : items) s.Update(x, family);
+  return s;
+}
+
+double ExactJaccard(const std::set<uint64_t>& a, const std::set<uint64_t>& b) {
+  size_t inter = 0;
+  for (uint64_t x : a) inter += b.count(x);
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+TEST(MinHashSketch, StartsEmpty) {
+  MinHashSketch s(8);
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_EQ(s.num_slots(), 8u);
+}
+
+TEST(MinHashSketch, NonEmptyAfterUpdate) {
+  HashFamily family(1, 8);
+  MinHashSketch s(8);
+  s.Update(42, family);
+  EXPECT_FALSE(s.IsEmpty());
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(s.slot(i).item, 42u);
+    EXPECT_EQ(s.slot(i).hash, family.Hash(i, 42));
+  }
+}
+
+TEST(MinHashSketch, UpdateIsIdempotent) {
+  HashFamily family(2, 16);
+  MinHashSketch a = SketchOf({1, 2, 3}, family);
+  MinHashSketch b = SketchOf({1, 2, 3, 2, 1, 3, 3}, family);
+  for (uint32_t i = 0; i < 16; ++i) EXPECT_EQ(a.slot(i), b.slot(i));
+}
+
+TEST(MinHashSketch, UpdateIsOrderIndependent) {
+  HashFamily family(3, 16);
+  MinHashSketch a = SketchOf({1, 2, 3, 4, 5}, family);
+  MinHashSketch b = SketchOf({5, 3, 1, 4, 2}, family);
+  for (uint32_t i = 0; i < 16; ++i) EXPECT_EQ(a.slot(i), b.slot(i));
+}
+
+TEST(MinHashSketch, SlotsHoldSetMinima) {
+  HashFamily family(4, 4);
+  std::vector<uint64_t> items = {10, 20, 30, 40, 50};
+  MinHashSketch s = SketchOf(items, family);
+  for (uint32_t i = 0; i < 4; ++i) {
+    uint64_t expected_min = ~0ULL;
+    uint64_t expected_arg = 0;
+    for (uint64_t x : items) {
+      uint64_t h = family.Hash(i, x);
+      if (h < expected_min) {
+        expected_min = h;
+        expected_arg = x;
+      }
+    }
+    EXPECT_EQ(s.slot(i).hash, expected_min);
+    EXPECT_EQ(s.slot(i).item, expected_arg);
+  }
+}
+
+TEST(MinHashSketch, IdenticalSetsMatchPerfectly) {
+  HashFamily family(5, 32);
+  MinHashSketch a = SketchOf({7, 8, 9}, family);
+  MinHashSketch b = SketchOf({9, 7, 8}, family);
+  EXPECT_EQ(MinHashSketch::CountMatches(a, b), 32u);
+  EXPECT_DOUBLE_EQ(MinHashSketch::EstimateJaccard(a, b), 1.0);
+}
+
+TEST(MinHashSketch, DisjointSetsRarelyMatch) {
+  HashFamily family(6, 64);
+  MinHashSketch a = SketchOf({1, 2, 3, 4, 5}, family);
+  MinHashSketch b = SketchOf({100, 200, 300, 400, 500}, family);
+  // True Jaccard is 0; estimator is unbiased, matches only via hash ties.
+  EXPECT_LE(MinHashSketch::EstimateJaccard(a, b), 0.05);
+}
+
+TEST(MinHashSketch, EmptySketchEstimatesZero) {
+  HashFamily family(7, 8);
+  MinHashSketch a(8);
+  MinHashSketch b = SketchOf({1}, family);
+  EXPECT_DOUBLE_EQ(MinHashSketch::EstimateJaccard(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(MinHashSketch::EstimateJaccard(a, a), 0.0);
+}
+
+TEST(MinHashSketch, EmptySlotsDoNotCountAsMatches) {
+  MinHashSketch a(8), b(8);
+  EXPECT_EQ(MinHashSketch::CountMatches(a, b), 0u);
+}
+
+TEST(MinHashSketch, MergeUnionEqualsSketchOfUnion) {
+  HashFamily family(8, 32);
+  MinHashSketch a = SketchOf({1, 2, 3}, family);
+  MinHashSketch b = SketchOf({3, 4, 5}, family);
+  MinHashSketch expected = SketchOf({1, 2, 3, 4, 5}, family);
+  a.MergeUnion(b);
+  for (uint32_t i = 0; i < 32; ++i) EXPECT_EQ(a.slot(i), expected.slot(i));
+}
+
+TEST(MinHashSketch, MergeWithEmptyIsIdentity) {
+  HashFamily family(9, 16);
+  MinHashSketch a = SketchOf({1, 2}, family);
+  MinHashSketch before = a;
+  MinHashSketch empty(16);
+  a.MergeUnion(empty);
+  for (uint32_t i = 0; i < 16; ++i) EXPECT_EQ(a.slot(i), before.slot(i));
+}
+
+TEST(MinHashSketchDeathTest, MismatchedWidthsAbort) {
+  MinHashSketch a(8), b(16);
+  EXPECT_DEATH(MinHashSketch::CountMatches(a, b), "different widths");
+  EXPECT_DEATH(a.MergeUnion(b), "different widths");
+}
+
+TEST(MinHashSketch, MemoryScalesWithSlots) {
+  MinHashSketch small(8), large(256);
+  EXPECT_LT(small.MemoryBytes(), large.MemoryBytes());
+  EXPECT_GE(large.MemoryBytes(), 256 * sizeof(MinHashSketch::Slot));
+}
+
+/// Property sweep: the Jaccard estimator concentrates as k grows, staying
+/// within the Hoeffding envelope (with slack) across overlap levels.
+class MinHashAccuracy : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MinHashAccuracy, EstimateWithinHoeffdingEnvelope) {
+  const uint32_t k = GetParam();
+  HashFamily family(0xfeedULL + k, k);
+  Rng rng(k);
+
+  for (double overlap : {0.1, 0.5, 0.9}) {
+    // Build two sets of size 200 with |A ∩ B| = overlap-controlled.
+    const int size = 200;
+    int shared = static_cast<int>(overlap * size);
+    std::set<uint64_t> sa, sb;
+    std::vector<uint64_t> av, bv;
+    for (int i = 0; i < shared; ++i) {
+      uint64_t x = rng.Next();
+      sa.insert(x);
+      sb.insert(x);
+      av.push_back(x);
+      bv.push_back(x);
+    }
+    for (int i = shared; i < size; ++i) {
+      uint64_t x = rng.Next(), y = rng.Next();
+      sa.insert(x);
+      sb.insert(y);
+      av.push_back(x);
+      bv.push_back(y);
+    }
+    MinHashSketch a = SketchOf(av, family);
+    MinHashSketch b = SketchOf(bv, family);
+    double truth = ExactJaccard(sa, sb);
+    double est = MinHashSketch::EstimateJaccard(a, b);
+    // 99.99% envelope: eps = sqrt(ln(2/1e-4) / (2k)).
+    double eps = std::sqrt(std::log(2.0 / 1e-4) / (2.0 * k));
+    EXPECT_NEAR(est, truth, eps) << "k=" << k << " overlap=" << overlap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SketchSizes, MinHashAccuracy,
+                         ::testing::Values(16u, 64u, 256u, 1024u));
+
+}  // namespace
+}  // namespace streamlink

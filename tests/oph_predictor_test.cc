@@ -1,0 +1,123 @@
+#include "core/oph_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_predictor.h"
+#include "eval/experiment.h"
+#include "gen/pair_sampler.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(OphPredictor, NameAndDefaults) {
+  OphPredictor p;
+  EXPECT_EQ(p.name(), "oph");
+  EXPECT_EQ(p.options().num_bins, 64u);
+}
+
+TEST(OphPredictor, IdenticalNeighborhoodsReachJaccardOne) {
+  OphPredictor p;
+  FeedStream(p, {{0, 10}, {0, 11}, {0, 12}, {1, 10}, {1, 11}, {1, 12}});
+  OverlapEstimate e = p.EstimateOverlap(0, 1);
+  EXPECT_DOUBLE_EQ(e.jaccard, 1.0);
+  EXPECT_NEAR(e.intersection, 3.0, 1e-9);
+}
+
+TEST(OphPredictor, UnseenVerticesEstimateZero) {
+  OphPredictor p;
+  FeedStream(p, {{0, 1}});
+  OverlapEstimate e = p.EstimateOverlap(5, 6);
+  EXPECT_DOUBLE_EQ(e.jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(e.adamic_adar, 0.0);
+}
+
+TEST(OphPredictor, DegreesExact) {
+  OphPredictor p;
+  FeedStream(p, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(p.Degree(0), 3u);
+  EXPECT_EQ(p.Degree(3), 1u);
+}
+
+TEST(OphPredictor, FactoryBuildsIt) {
+  PredictorConfig config;
+  config.kind = "oph";
+  config.sketch_size = 32;
+  auto p = MakePredictor(config);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->name(), "oph");
+}
+
+TEST(OphPredictor, AccuracyOnWorkloadComparableToMinHash) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.05, 91});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(1);
+  auto pairs = SampleOverlappingPairs(csr, 300, rng);
+
+  PredictorConfig oph;
+  oph.kind = "oph";
+  oph.sketch_size = 128;
+  AccuracyReport oph_report = MeasureAccuracy(g, oph, pairs);
+
+  PredictorConfig minhash;
+  minhash.kind = "minhash";
+  minhash.sketch_size = 128;
+  AccuracyReport mh_report = MeasureAccuracy(g, minhash, pairs);
+
+  // OPH should be in the same accuracy class (within 2x of k-perm error,
+  // plus an absolute floor for the near-zero regime).
+  EXPECT_LT(oph_report.jaccard.MeanAbsoluteError(),
+            2.0 * mh_report.jaccard.MeanAbsoluteError() + 0.02);
+}
+
+TEST(OphPredictor, ErrorShrinksWithBins) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ws", 0.05, 92});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(2);
+  auto pairs = SampleOverlappingPairs(csr, 300, rng);
+  double prev = 1e9;
+  for (uint32_t k : {16u, 128u, 512u}) {
+    PredictorConfig config;
+    config.kind = "oph";
+    config.sketch_size = k;
+    AccuracyReport report = MeasureAccuracy(g, config, pairs);
+    double err = report.jaccard.MeanAbsoluteError();
+    EXPECT_LT(err, prev * 1.1) << "k=" << k;
+    prev = err;
+  }
+  EXPECT_LT(prev, 0.06);
+}
+
+TEST(OphPredictor, MemoryMatchesMinHashAtEqualK) {
+  OphPredictor oph(OphPredictorOptions{64, 1});
+  EdgeList edges;
+  for (VertexId i = 0; i < 1000; ++i) {
+    edges.push_back({i, static_cast<VertexId>((i + 7) % 1000)});
+  }
+  FeedStream(oph, edges);
+  double per_vertex =
+      static_cast<double>(oph.MemoryBytes()) / oph.num_vertices();
+  EXPECT_LT(per_vertex, 1500.0);  // 64 bins * 16 bytes + overheads
+}
+
+TEST(OphPredictor, StreamOrderIndependent) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"er", 0.02, 93});
+  OphPredictor forward, backward;
+  FeedStream(forward, g.edges);
+  EdgeList reversed(g.edges.rbegin(), g.edges.rend());
+  FeedStream(backward, reversed);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    EXPECT_DOUBLE_EQ(forward.EstimateOverlap(u, v).jaccard,
+                     backward.EstimateOverlap(u, v).jaccard);
+  }
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,169 @@
+#include "sketch/oph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+constexpr uint64_t kSeed = 0x09c4;
+
+OphSketch SketchOf(const std::vector<uint64_t>& items, uint32_t bins) {
+  OphSketch s(bins, kSeed);
+  for (uint64_t x : items) s.Update(x);
+  return s;
+}
+
+TEST(OphSketch, StartsEmpty) {
+  OphSketch s(16, kSeed);
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_EQ(s.num_bins(), 16u);
+  EXPECT_EQ(s.non_empty_bins(), 0u);
+}
+
+TEST(OphSketchDeathTest, TooFewBinsAborts) {
+  EXPECT_DEATH(OphSketch(1, kSeed), "at least 2 bins");
+}
+
+TEST(OphSketch, UpdateIsIdempotentAndOrderIndependent) {
+  OphSketch a = SketchOf({1, 2, 3, 4, 5}, 16);
+  OphSketch b = SketchOf({5, 4, 3, 2, 1, 1, 2}, 16);
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.bin(i).rank, b.bin(i).rank);
+    EXPECT_EQ(a.bin(i).item, b.bin(i).item);
+  }
+}
+
+TEST(OphSketch, NonEmptyCountGrowsToSaturation) {
+  OphSketch s(8, kSeed);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) s.Update(rng.Next());
+  EXPECT_EQ(s.non_empty_bins(), 8u);
+}
+
+TEST(OphSketch, IdenticalSetsMatchPerfectly) {
+  OphSketch a = SketchOf({10, 20, 30}, 32);
+  OphSketch b = SketchOf({30, 10, 20}, 32);
+  EXPECT_DOUBLE_EQ(OphSketch::EstimateJaccard(a, b), 1.0);
+}
+
+TEST(OphSketch, EmptyEstimatesZero) {
+  OphSketch a(8, kSeed);
+  OphSketch b = SketchOf({1}, 8);
+  EXPECT_DOUBLE_EQ(OphSketch::EstimateJaccard(a, b), 0.0);
+}
+
+TEST(OphSketch, DensifiedFillsEveryBinFromDonors) {
+  OphSketch s = SketchOf({1, 2, 3}, 32);  // most bins empty
+  auto densified = s.Densified();
+  std::set<uint64_t> source_items = {1, 2, 3};
+  for (const auto& bin : densified) {
+    EXPECT_NE(bin.rank, ~0ULL);
+    EXPECT_EQ(source_items.count(bin.item), 1u);
+  }
+}
+
+TEST(OphSketch, DensificationIsConsistentAcrossEqualSets) {
+  // Two sketches of the same set must densify identically, otherwise
+  // sparse sets could not reach Jaccard 1 with themselves.
+  OphSketch a = SketchOf({100, 200}, 64);
+  OphSketch b = SketchOf({200, 100}, 64);
+  auto da = a.Densified();
+  auto db = b.Densified();
+  for (uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(da[i].rank, db[i].rank) << "bin " << i;
+  }
+}
+
+TEST(OphSketch, MergeUnionEqualsSketchOfUnion) {
+  OphSketch a = SketchOf({1, 2, 3, 4}, 16);
+  OphSketch b = SketchOf({3, 4, 5, 6}, 16);
+  OphSketch expected = SketchOf({1, 2, 3, 4, 5, 6}, 16);
+  a.MergeUnion(b);
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.bin(i).rank, expected.bin(i).rank);
+  }
+  EXPECT_EQ(a.non_empty_bins(), expected.non_empty_bins());
+}
+
+TEST(OphSketchDeathTest, IncompatibleComparisonsAbort) {
+  OphSketch a(8, 1), b(8, 2), c(16, 1);
+  a.Update(1);
+  b.Update(1);
+  EXPECT_DEATH(OphSketch::CountMatches(a, b, nullptr), "incompatible");
+  EXPECT_DEATH(a.MergeUnion(c), "incompatible");
+}
+
+TEST(OphSketch, DisjointLargeSetsEstimateNearZero) {
+  Rng rng(2);
+  std::vector<uint64_t> av, bv;
+  for (int i = 0; i < 2000; ++i) {
+    av.push_back(rng.Next());
+    bv.push_back(rng.Next());
+  }
+  OphSketch a = SketchOf(av, 128);
+  OphSketch b = SketchOf(bv, 128);
+  EXPECT_LT(OphSketch::EstimateJaccard(a, b), 0.05);
+}
+
+/// Property: OPH estimation concentrates like MinHash once the sets are a
+/// few times larger than the bin count.
+class OphAccuracy : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(OphAccuracy, EstimatesWithinEnvelopeOnLargeSets) {
+  const uint32_t bins = GetParam();
+  Rng rng(bins);
+  const int size = 4000;
+  for (double overlap : {0.2, 0.6, 0.9}) {
+    int shared = static_cast<int>(overlap * size);
+    std::vector<uint64_t> av, bv;
+    for (int i = 0; i < shared; ++i) {
+      uint64_t x = rng.Next();
+      av.push_back(x);
+      bv.push_back(x);
+    }
+    for (int i = shared; i < size; ++i) {
+      av.push_back(rng.Next());
+      bv.push_back(rng.Next());
+    }
+    OphSketch a = SketchOf(av, bins);
+    OphSketch b = SketchOf(bv, bins);
+    double truth = static_cast<double>(shared) / (2 * size - shared);
+    double est = OphSketch::EstimateJaccard(a, b);
+    // OPH bins are slightly correlated; use a 6-sigma binomial envelope.
+    double sigma = std::sqrt(truth * (1 - truth) / bins) + 1e-3;
+    EXPECT_NEAR(est, truth, 6 * sigma) << "bins=" << bins;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, OphAccuracy,
+                         ::testing::Values(64u, 256u, 1024u));
+
+TEST(OphSketch, MatchedItemsComeFromIntersection) {
+  Rng rng(3);
+  std::vector<uint64_t> shared, av, bv;
+  for (int i = 0; i < 100; ++i) shared.push_back(rng.Next());
+  av = shared;
+  bv = shared;
+  for (int i = 0; i < 100; ++i) {
+    av.push_back(rng.Next());
+    bv.push_back(rng.Next());
+  }
+  OphSketch a = SketchOf(av, 64);
+  OphSketch b = SketchOf(bv, 64);
+  std::set<uint64_t> shared_set(shared.begin(), shared.end());
+  std::vector<uint64_t> items;
+  OphSketch::CountMatches(a, b, &items);
+  ASSERT_FALSE(items.empty());
+  for (uint64_t item : items) {
+    EXPECT_EQ(shared_set.count(item), 1u) << item;
+  }
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,80 @@
+#include "core/predictor_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace streamlink {
+namespace {
+
+TEST(PredictorFactory, BuildsEveryKind) {
+  for (const std::string& kind : PredictorKinds()) {
+    PredictorConfig config;
+    config.kind = kind;
+    auto p = MakePredictor(config);
+    ASSERT_TRUE(p.ok()) << kind << ": " << p.status().ToString();
+    EXPECT_EQ((*p)->name(), kind);
+  }
+}
+
+TEST(PredictorFactory, UnknownKindIsInvalidArgument) {
+  PredictorConfig config;
+  config.kind = "magic";
+  auto p = MakePredictor(config);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PredictorFactory, TinySketchSizeRejected) {
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.sketch_size = 1;
+  EXPECT_FALSE(MakePredictor(config).ok());
+}
+
+TEST(PredictorFactory, ExactIgnoresSketchSize) {
+  PredictorConfig config;
+  config.kind = "exact";
+  config.sketch_size = 0;
+  EXPECT_TRUE(MakePredictor(config).ok());
+}
+
+TEST(PredictorFactory, VertexBiasedSplitsBudget) {
+  PredictorConfig config;
+  config.kind = "vertex_biased";
+  config.sketch_size = 64;
+  auto p = MakePredictor(config);
+  ASSERT_TRUE(p.ok());
+  // Budget split: both halves present, predictor functional.
+  FeedStream(**p, {{0, 1}, {1, 2}});
+  EXPECT_EQ((*p)->edges_processed(), 2u);
+}
+
+TEST(PredictorFactory, BottomKSketchDegreesFlag) {
+  PredictorConfig config;
+  config.kind = "bottomk";
+  config.sketch_degrees = true;
+  auto p = MakePredictor(config);
+  ASSERT_TRUE(p.ok());
+  FeedStream(**p, {{0, 1}});
+  EXPECT_DOUBLE_EQ((*p)->EstimateOverlap(0, 1).degree_u, 1.0);
+}
+
+TEST(PredictorFactory, AllSketchKindsAgreeOnTinyExactCase) {
+  // On a graph far below every sketch's capacity all predictors are exact.
+  EdgeList edges = {{0, 2}, {0, 3}, {1, 2}, {1, 3}};
+  for (const std::string& kind : PredictorKinds()) {
+    PredictorConfig config;
+    config.kind = kind;
+    config.sketch_size = 64;
+    auto p = MakePredictor(config);
+    ASSERT_TRUE(p.ok());
+    FeedStream(**p, edges);
+    OverlapEstimate e = (*p)->EstimateOverlap(0, 1);
+    EXPECT_DOUBLE_EQ(e.jaccard, 1.0) << kind;
+    EXPECT_NEAR(e.intersection, 2.0, 1e-9) << kind;
+  }
+}
+
+}  // namespace
+}  // namespace streamlink

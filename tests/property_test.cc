@@ -1,0 +1,198 @@
+// Cross-cutting property tests: invariants that must hold for EVERY
+// predictor kind on randomized inputs across seeds, plus statistical
+// calibration of the analytic error bounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error_bounds.h"
+#include "core/exact_predictor.h"
+#include "core/predictor_factory.h"
+#include "eval/experiment.h"
+#include "gen/pair_sampler.h"
+#include "gen/stream_order.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_list_io.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+/// (seed, predictor kind) sweep.
+class PredictorInvariants
+    : public ::testing::TestWithParam<std::tuple<uint64_t, std::string>> {};
+
+TEST_P(PredictorInvariants, EstimatesAreWellFormedAndSymmetric) {
+  const auto& [seed, kind] = GetParam();
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"rmat", 0.03, seed});
+  auto predictor = MakePredictor(
+      {.kind = kind, .sketch_size = 32, .seed = seed * 13 + 1});
+  ASSERT_TRUE(predictor.ok());
+  FeedStream(**predictor, g.edges);
+
+  Rng rng(seed);
+  for (int i = 0; i < 100; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    OverlapEstimate e = (*predictor)->EstimateOverlap(u, v);
+    OverlapEstimate r = (*predictor)->EstimateOverlap(v, u);
+
+    // Well-formedness.
+    EXPECT_GE(e.jaccard, 0.0);
+    EXPECT_LE(e.jaccard, 1.0);
+    EXPECT_GE(e.intersection, 0.0);
+    EXPECT_GE(e.union_size, 0.0);
+    EXPECT_GE(e.adamic_adar, 0.0);
+    EXPECT_GE(e.resource_allocation, 0.0);
+    EXPECT_FALSE(std::isnan(e.jaccard));
+    EXPECT_FALSE(std::isnan(e.adamic_adar));
+    // Intersection cannot exceed union.
+    EXPECT_LE(e.intersection, e.union_size + 1e-9);
+
+    // Symmetry (undirected measures).
+    EXPECT_DOUBLE_EQ(e.jaccard, r.jaccard);
+    EXPECT_DOUBLE_EQ(e.intersection, r.intersection);
+    EXPECT_DOUBLE_EQ(e.adamic_adar, r.adamic_adar);
+    EXPECT_DOUBLE_EQ(e.degree_u, r.degree_v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndKinds, PredictorInvariants,
+    ::testing::Combine(::testing::Values(1ull, 7ull, 23ull),
+                       ::testing::Values("minhash", "bottomk",
+                                         "vertex_biased", "oph",
+                                         "windowed_minhash", "exact")));
+
+/// Self-similarity: a vertex compared with itself has Jaccard 1 (once it
+/// has any neighbor), for every sketch kind.
+class SelfSimilarity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SelfSimilarity, SelfJaccardIsOne) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"er", 0.02, 5});
+  auto predictor = MakePredictor({.kind = GetParam(), .sketch_size = 16});
+  ASSERT_TRUE(predictor.ok());
+  FeedStream(**predictor, g.edges);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    OverlapEstimate e = (*predictor)->EstimateOverlap(u, u);
+    if (e.degree_u > 0) {
+      EXPECT_DOUBLE_EQ(e.jaccard, 1.0) << GetParam() << " vertex " << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SelfSimilarity,
+                         ::testing::Values("minhash", "bottomk", "oph",
+                                           "exact"));
+
+/// Statistical calibration: the Hoeffding bound from error_bounds.h must
+/// hold empirically — at least 1−δ of query pairs fall within ε(k, δ) of
+/// the exact Jaccard.
+TEST(Calibration, HoeffdingCoverageHoldsEmpirically) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.05, 31});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(2);
+  auto pairs = SampleOverlappingPairs(csr, 800, rng);
+
+  ExactPredictor exact;
+  FeedStream(exact, g.edges);
+
+  for (uint32_t k : {32u, 128u}) {
+    auto sketch = MakePredictor({.kind = "minhash", .sketch_size = k});
+    ASSERT_TRUE(sketch.ok());
+    FeedStream(**sketch, g.edges);
+
+    const double delta = 0.05;
+    const double epsilon = MinHashJaccardErrorAt(k, delta);
+    int covered = 0;
+    for (const QueryPair& p : pairs) {
+      double truth = exact.EstimateOverlap(p.u, p.v).jaccard;
+      double est = (*sketch)->EstimateOverlap(p.u, p.v).jaccard;
+      if (std::abs(est - truth) <= epsilon) ++covered;
+    }
+    double coverage = static_cast<double>(covered) / pairs.size();
+    // Hoeffding is conservative: real coverage should comfortably exceed
+    // the nominal 1 − δ.
+    EXPECT_GE(coverage, 1.0 - delta) << "k=" << k;
+  }
+}
+
+/// The required-sketch-size calculator delivers the accuracy it promises.
+TEST(Calibration, SketchSizeForDeliversTargetError) {
+  const double epsilon = 0.08, delta = 0.05;
+  const uint32_t k = MinHashSketchSizeFor(epsilon, delta);
+
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ws", 0.04, 33});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(3);
+  auto pairs = SampleOverlappingPairs(csr, 500, rng);
+
+  ExactPredictor exact;
+  FeedStream(exact, g.edges);
+  auto sketch = MakePredictor({.kind = "minhash", .sketch_size = k});
+  ASSERT_TRUE(sketch.ok());
+  FeedStream(**sketch, g.edges);
+
+  int violations = 0;
+  for (const QueryPair& p : pairs) {
+    double truth = exact.EstimateOverlap(p.u, p.v).jaccard;
+    double est = (*sketch)->EstimateOverlap(p.u, p.v).jaccard;
+    if (std::abs(est - truth) > epsilon) ++violations;
+  }
+  EXPECT_LE(violations, static_cast<int>(pairs.size() * delta));
+}
+
+/// Stream-order robustness: for order-sensitive machinery (vertex-biased
+/// weights, windowed buckets), different arrival orders must still give
+/// comparable aggregate accuracy (not identical estimates).
+TEST(Property, AccuracyIsOrderRobust) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"sbm", 0.04, 35});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(4);
+  auto pairs = SampleOverlappingPairs(csr, 300, rng);
+
+  double errors[2];
+  int index = 0;
+  for (StreamOrder order : {StreamOrder::kGenerated, StreamOrder::kRandom}) {
+    EdgeList edges = g.edges;
+    Rng order_rng(11);
+    ApplyStreamOrder(order, edges, order_rng);
+    GeneratedGraph variant{g.name, edges, g.num_vertices};
+    AccuracyReport report = MeasureAccuracy(
+        variant, {.kind = "vertex_biased", .sketch_size = 128}, pairs);
+    errors[index++] = report.adamic_adar.MeanRelativeError();
+  }
+  EXPECT_LT(errors[0], 0.6);
+  EXPECT_LT(errors[1], 0.6);
+  EXPECT_NEAR(errors[0], errors[1], 0.25);
+}
+
+/// Fuzz-ish robustness: random bytes fed to the edge-list parser must
+/// produce a Status, never a crash, and never a bogus success with
+/// malformed numeric lines.
+TEST(Property, EdgeListParserSurvivesGarbage) {
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    int length = static_cast<int>(rng.NextBounded(120));
+    for (int i = 0; i < length; ++i) {
+      text += static_cast<char>(rng.NextBounded(96) + 32);
+      if (rng.NextBernoulli(0.1)) text += '\n';
+    }
+    auto result = ParseEdgeList(text);
+    if (result.ok()) {
+      // Whatever parsed must be structurally sound.
+      for (const Edge& e : result->edges) {
+        EXPECT_LT(e.u, result->num_vertices);
+        EXPECT_LT(e.v, result->num_vertices);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamlink

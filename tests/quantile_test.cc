@@ -1,0 +1,121 @@
+#include "sketch/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(QuantileSketch, StartsEmpty) {
+  QuantileSketch s(0.01);
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(QuantileSketchDeathTest, PreconditionsEnforced) {
+  EXPECT_DEATH(QuantileSketch(0.0), "epsilon");
+  EXPECT_DEATH(QuantileSketch(0.6), "epsilon");
+  QuantileSketch s(0.1);
+  EXPECT_DEATH(s.Quantile(0.5), "empty");
+  s.Insert(1.0);
+  EXPECT_DEATH(s.Quantile(1.5), "quantile");
+}
+
+TEST(QuantileSketch, SingleValue) {
+  QuantileSketch s(0.1);
+  s.Insert(42.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 42.0);
+}
+
+TEST(QuantileSketch, ExactOnTinyStreams) {
+  QuantileSketch s(0.05);
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.Insert(v);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_NEAR(s.Median(), 3.0, 1.0);
+}
+
+TEST(QuantileSketch, RankErrorWithinEpsilonOnUniform) {
+  const double epsilon = 0.02;
+  QuantileSketch s(epsilon);
+  Rng rng(1);
+  const int n = 50000;
+  std::vector<double> values;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextDouble();
+    values.push_back(v);
+    s.Insert(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double estimate = s.Quantile(q);
+    // True rank of the returned value.
+    auto it = std::lower_bound(values.begin(), values.end(), estimate);
+    double rank = static_cast<double>(it - values.begin()) / n;
+    EXPECT_NEAR(rank, q, 3 * epsilon) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, RankErrorOnSkewedInput) {
+  const double epsilon = 0.02;
+  QuantileSketch s(epsilon);
+  Rng rng(2);
+  const int n = 30000;
+  std::vector<double> values;
+  for (int i = 0; i < n; ++i) {
+    double v = std::exp(4.0 * rng.NextDouble());  // heavy right tail
+    values.push_back(v);
+    s.Insert(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    double estimate = s.Quantile(q);
+    auto it = std::lower_bound(values.begin(), values.end(), estimate);
+    double rank = static_cast<double>(it - values.begin()) / n;
+    EXPECT_NEAR(rank, q, 3 * epsilon) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, SortedAndReversedInsertionOrders) {
+  for (bool reversed : {false, true}) {
+    QuantileSketch s(0.05);
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+      s.Insert(static_cast<double>(reversed ? n - i : i));
+    }
+    EXPECT_NEAR(s.Median(), n / 2.0, 3 * 0.05 * n) << reversed;
+    EXPECT_NEAR(s.Quantile(0.9), 0.9 * n, 3 * 0.05 * n) << reversed;
+  }
+}
+
+TEST(QuantileSketch, SpaceStaysSublinear) {
+  QuantileSketch s(0.01);
+  Rng rng(3);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) s.Insert(rng.NextDouble());
+  // GK bound: O((1/eps) * log(eps*n)) ≈ a few thousand; definitely far
+  // below n.
+  EXPECT_LT(s.NumTuples(), static_cast<size_t>(n / 10));
+  EXPECT_EQ(s.count(), static_cast<uint64_t>(n));
+}
+
+TEST(QuantileSketch, DuplicateValuesHandled) {
+  QuantileSketch s(0.05);
+  for (int i = 0; i < 1000; ++i) s.Insert(7.0);
+  for (int i = 0; i < 1000; ++i) s.Insert(9.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  double median = s.Median();
+  EXPECT_TRUE(median == 7.0 || median == 9.0);
+}
+
+}  // namespace
+}  // namespace streamlink

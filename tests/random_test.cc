@@ -1,0 +1,199 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace streamlink {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c;
+  }
+  Rng d(8);
+  EXPECT_NE(Rng(7).Next(), d.Next());
+}
+
+TEST(Rng, NextBoundedStaysInRange) {
+  Rng rng(1);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBoundedOneIsAlwaysZero) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Rng, NextBoundedIsRoughlyUniform) {
+  Rng rng(3);
+  const uint64_t bound = 10;
+  const int n = 100000;
+  std::vector<int> counts(bound, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(bound)];
+  double expected = static_cast<double>(n) / bound;
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected)) << "bucket " << b;
+  }
+}
+
+TEST(Rng, NextIntCoversInclusiveRange) {
+  Rng rng(4);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnit) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextDoublePositiveNeverZero) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.NextDoublePositive(), 0.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(9);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExpHasUnitMean) {
+  Rng rng(10);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextExp();
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  // E[failures before success] = (1-p)/p.
+  Rng rng(11);
+  const double p = 0.25;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextGeometric(p));
+  EXPECT_NEAR(sum / n, (1 - p) / p, 0.1);
+}
+
+TEST(Rng, GeometricWithPOneIsZero) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextGeometric(1.0), 0u);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleHandlesTrivialSizes) {
+  Rng rng(14);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(15);
+  for (uint64_t n : {10ULL, 1000ULL}) {
+    for (uint64_t count : std::vector<uint64_t>{0, 1, 5, n / 2, n}) {
+      auto sample = rng.SampleWithoutReplacement(n, count);
+      EXPECT_EQ(sample.size(), count);
+      std::set<uint64_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), count);
+      for (uint64_t s : sample) EXPECT_LT(s, n);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementCoversAllElements) {
+  Rng rng(16);
+  auto sample = rng.SampleWithoutReplacement(20, 20);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(RngDeathTest, SampleMoreThanPopulationAborts) {
+  Rng rng(17);
+  EXPECT_DEATH(rng.SampleWithoutReplacement(5, 6), "cannot sample");
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(18);
+  Rng b = a.Fork();
+  // Forked stream differs from parent's continuation.
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng rng(19);
+  uint64_t v = rng();
+  (void)v;
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,132 @@
+#include "eval/rank_correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(MidRanksFn, SimpleRanks) {
+  std::vector<double> v = {30, 10, 20};
+  std::vector<double> ranks = MidRanks(v);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(MidRanksFn, TiesShareMidrank) {
+  std::vector<double> v = {5, 5, 1};
+  std::vector<double> ranks = MidRanks(v);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 1.0);
+}
+
+TEST(KendallTauFn, PerfectAgreementIsOne) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(KendallTau(a, b), 1.0, 1e-12);
+}
+
+TEST(KendallTauFn, PerfectDisagreementIsMinusOne) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {50, 40, 30, 20, 10};
+  EXPECT_NEAR(KendallTau(a, b), -1.0, 1e-12);
+}
+
+TEST(KendallTauFn, HandComputedSmallCase) {
+  // a = (1,2,3), b = (1,3,2): pairs (1,2)+, (1,3)+, (2,3)-.
+  // tau = (2 - 1)/3 = 1/3.
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {1, 3, 2};
+  EXPECT_NEAR(KendallTau(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauFn, TauBWithTies) {
+  // a has a tie; tau-b applies tie correction.
+  std::vector<double> a = {1, 1, 2};
+  std::vector<double> b = {1, 2, 3};
+  // Comparable (non-tied-in-a) pairs: (a1,a3), (a2,a3) both concordant.
+  // tau-b = 2 / sqrt((3-1)(3-0)) = 2/sqrt(6).
+  EXPECT_NEAR(KendallTau(a, b), 2.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(KendallTauFn, AllTiedIsZero) {
+  std::vector<double> a = {7, 7, 7};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(KendallTau(a, b), 0.0);
+}
+
+TEST(KendallTauFn, IndependentVectorsNearZero) {
+  Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextDouble());
+  }
+  EXPECT_NEAR(KendallTau(a, b), 0.0, 0.05);
+}
+
+TEST(KendallTauFnDeathTest, PreconditionsEnforced) {
+  std::vector<double> a = {1, 2}, b = {1};
+  EXPECT_DEATH(KendallTau(a, b), "equal sizes");
+  std::vector<double> one = {1};
+  EXPECT_DEATH(KendallTau(one, one), "at least 2");
+}
+
+TEST(SpearmanRhoFn, PerfectMonotoneIsOne) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 8, 9, 100};  // monotone but nonlinear
+  EXPECT_NEAR(SpearmanRho(a, b), 1.0, 1e-12);
+}
+
+TEST(SpearmanRhoFn, ReversedIsMinusOne) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {4, 3, 2, 1};
+  EXPECT_NEAR(SpearmanRho(a, b), -1.0, 1e-12);
+}
+
+TEST(SpearmanRhoFn, ConstantVectorIsZero) {
+  std::vector<double> a = {5, 5, 5};
+  std::vector<double> b = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(SpearmanRho(a, b), 0.0);
+}
+
+TEST(SpearmanRhoFn, HandComputedWithTie) {
+  // a = (1, 2, 2): ranks (1, 2.5, 2.5); b = (1, 2, 3): ranks (1, 2, 3).
+  std::vector<double> a = {1, 2, 2};
+  std::vector<double> b = {1, 2, 3};
+  // cov of ranks: mean 2; a: (-1, .5, .5), b: (-1, 0, 1).
+  // cov = 1 + 0 + .5 = 1.5; var_a = 1.5, var_b = 2 → 1.5/sqrt(3) ≈ 0.866.
+  EXPECT_NEAR(SpearmanRho(a, b), 1.5 / std::sqrt(3.0), 1e-12);
+}
+
+TEST(SpearmanRhoFn, IndependentVectorsNearZero) {
+  Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextDouble());
+  }
+  EXPECT_NEAR(SpearmanRho(a, b), 0.0, 0.05);
+}
+
+TEST(RankCorrelation, KendallAndSpearmanAgreeInSign) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.NextDouble();
+    a.push_back(x);
+    b.push_back(x + 0.2 * rng.NextGaussian());  // positively related
+  }
+  EXPECT_GT(KendallTau(a, b), 0.3);
+  EXPECT_GT(SpearmanRho(a, b), 0.4);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,85 @@
+#include "eval/relative_error.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamlink {
+namespace {
+
+TEST(ErrorAccumulator, EmptyIsAllZero) {
+  ErrorAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.nonzero_count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.MeanRelativeError(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MedianRelativeError(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MeanAbsoluteError(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.RootMeanSquaredError(), 0.0);
+}
+
+TEST(ErrorAccumulator, SingleObservation) {
+  ErrorAccumulator acc;
+  acc.Add(10.0, 12.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.nonzero_count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.MeanRelativeError(), 0.2);
+  EXPECT_DOUBLE_EQ(acc.MeanAbsoluteError(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.RootMeanSquaredError(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.MeanSignedError(), 2.0);
+}
+
+TEST(ErrorAccumulator, ZeroTruthExcludedFromRelative) {
+  ErrorAccumulator acc;
+  acc.Add(0.0, 1.0);  // relative error undefined: counted only in absolute
+  acc.Add(2.0, 2.0);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_EQ(acc.nonzero_count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.MeanRelativeError(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MeanAbsoluteError(), 0.5);
+}
+
+TEST(ErrorAccumulator, SignedErrorCancels) {
+  ErrorAccumulator acc;
+  acc.Add(10.0, 12.0);
+  acc.Add(10.0, 8.0);
+  EXPECT_DOUBLE_EQ(acc.MeanSignedError(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MeanAbsoluteError(), 2.0);
+}
+
+TEST(ErrorAccumulator, QuantilesOfRelativeErrors) {
+  ErrorAccumulator acc;
+  // Relative errors: 0.1, 0.2, 0.3, 0.4, 0.5.
+  for (int i = 1; i <= 5; ++i) {
+    acc.Add(10.0, 10.0 + i);
+  }
+  EXPECT_DOUBLE_EQ(acc.MedianRelativeError(), 0.3);
+  EXPECT_DOUBLE_EQ(acc.RelativeErrorQuantile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(acc.MaxRelativeError(), 0.5);
+}
+
+TEST(ErrorAccumulator, QuantileAfterMoreAddsStaysSorted) {
+  ErrorAccumulator acc;
+  acc.Add(10, 15);  // 0.5
+  EXPECT_DOUBLE_EQ(acc.MaxRelativeError(), 0.5);
+  acc.Add(10, 19);  // 0.9 added after a sorted read
+  EXPECT_DOUBLE_EQ(acc.MaxRelativeError(), 0.9);
+  EXPECT_DOUBLE_EQ(acc.RelativeErrorQuantile(0.0), 0.5);
+}
+
+TEST(ErrorAccumulatorDeathTest, BadQuantileAborts) {
+  ErrorAccumulator acc;
+  acc.Add(1, 1);
+  EXPECT_DEATH(acc.RelativeErrorQuantile(1.5), "quantile");
+}
+
+TEST(ErrorAccumulator, RmseDominatesMae) {
+  ErrorAccumulator acc;
+  acc.Add(0.0, 1.0);
+  acc.Add(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(acc.MeanAbsoluteError(), 2.0);
+  EXPECT_NEAR(acc.RootMeanSquaredError(), std::sqrt(5.0), 1e-12);
+  EXPECT_GE(acc.RootMeanSquaredError(), acc.MeanAbsoluteError());
+}
+
+}  // namespace
+}  // namespace streamlink

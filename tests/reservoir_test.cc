@@ -1,0 +1,106 @@
+#include "sketch/reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(ReservoirSampler, KeepsEverythingBelowCapacity) {
+  ReservoirSampler<int> s(10, 1);
+  for (int i = 0; i < 5; ++i) s.Offer(i);
+  EXPECT_EQ(s.sample().size(), 5u);
+  EXPECT_EQ(s.items_seen(), 5u);
+}
+
+TEST(ReservoirSampler, CapsAtCapacity) {
+  ReservoirSampler<int> s(10, 2);
+  for (int i = 0; i < 1000; ++i) s.Offer(i);
+  EXPECT_EQ(s.sample().size(), 10u);
+  EXPECT_EQ(s.items_seen(), 1000u);
+}
+
+TEST(ReservoirSampler, SampleElementsComeFromStream) {
+  ReservoirSampler<int> s(16, 3);
+  for (int i = 0; i < 500; ++i) s.Offer(i);
+  for (int x : s.sample()) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 500);
+  }
+  std::set<int> unique(s.sample().begin(), s.sample().end());
+  EXPECT_EQ(unique.size(), s.sample().size());
+}
+
+TEST(ReservoirSampler, InclusionIsApproximatelyUniform) {
+  // Run many independent reservoirs; each item's inclusion frequency should
+  // approximate capacity/stream_length.
+  const int stream_length = 100;
+  const uint32_t capacity = 10;
+  const int trials = 4000;
+  std::vector<int> inclusion(stream_length, 0);
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler<int> s(capacity, 1000 + t);
+    for (int i = 0; i < stream_length; ++i) s.Offer(i);
+    for (int x : s.sample()) ++inclusion[x];
+  }
+  double expected = static_cast<double>(trials) * capacity / stream_length;
+  for (int i = 0; i < stream_length; ++i) {
+    EXPECT_NEAR(inclusion[i], expected, 6 * std::sqrt(expected))
+        << "item " << i;
+  }
+}
+
+TEST(ReservoirSampleIndices, SizeAndRange) {
+  Rng rng(5);
+  auto sample = ReservoirSampleIndices(10000, 100, rng);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (uint64_t idx : sample) EXPECT_LT(idx, 10000u);
+  // Output is sorted.
+  for (size_t i = 1; i < sample.size(); ++i) {
+    EXPECT_LT(sample[i - 1], sample[i]);
+  }
+}
+
+TEST(ReservoirSampleIndices, FullSampleIsIdentity) {
+  Rng rng(6);
+  auto sample = ReservoirSampleIndices(50, 50, rng);
+  ASSERT_EQ(sample.size(), 50u);
+  for (uint64_t i = 0; i < 50; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(ReservoirSampleIndices, ZeroCountIsEmpty) {
+  Rng rng(7);
+  EXPECT_TRUE(ReservoirSampleIndices(100, 0, rng).empty());
+}
+
+TEST(ReservoirSampleIndicesDeathTest, OversampleAborts) {
+  Rng rng(8);
+  EXPECT_DEATH(ReservoirSampleIndices(5, 6, rng), "cannot sample");
+}
+
+TEST(ReservoirSampleIndices, TailPositionsAreReachable) {
+  // Algorithm L must not systematically ignore the end of the stream.
+  Rng rng(9);
+  int tail_hits = 0;
+  for (int t = 0; t < 200; ++t) {
+    Rng local(t * 31 + 7);
+    auto sample = ReservoirSampleIndices(1000, 10, local);
+    for (uint64_t idx : sample) {
+      if (idx >= 900) ++tail_hits;
+    }
+  }
+  // Expected: 200 trials * 10 samples * 10% ≈ 200 hits.
+  EXPECT_GT(tail_hits, 100);
+  EXPECT_LT(tail_hits, 350);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,164 @@
+#include "util/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/minhash_predictor.h"
+#include "eval/experiment.h"
+#include "gen/workloads.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+class SerdeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/serde_test.bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(SerdeTest, PrimitivesRoundTrip) {
+  {
+    BinaryWriter w(path_);
+    ASSERT_TRUE(w.status().ok());
+    w.WriteU32(0xdeadbeef);
+    w.WriteU64(0x0123456789abcdefULL);
+    w.WriteDouble(3.14159);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 3.14159);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(SerdeTest, VectorsRoundTrip) {
+  std::vector<uint32_t> ints = {1, 2, 3, 4, 5};
+  std::vector<double> empty;
+  {
+    BinaryWriter w(path_);
+    w.WriteVector(ints);
+    w.WriteVector(empty);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path_);
+  EXPECT_EQ(r.ReadVector<uint32_t>(), ints);
+  EXPECT_TRUE(r.ReadVector<double>().empty());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(SerdeTest, TruncationIsDetected) {
+  {
+    BinaryWriter w(path_);
+    w.WriteU32(7);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path_);
+  r.ReadU32();
+  EXPECT_TRUE(r.ok());
+  r.ReadU64();  // past the end
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  // Subsequent reads stay failed and return zero.
+  EXPECT_EQ(r.ReadU32(), 0u);
+}
+
+TEST_F(SerdeTest, ImplausibleVectorSizeIsRejected) {
+  {
+    BinaryWriter w(path_);
+    w.WriteU64(~0ULL);  // absurd element count
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path_);
+  auto v = r.ReadVector<uint64_t>();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerdeErrors, MissingFile) {
+  BinaryReader r("/nonexistent/snapshot.bin");
+  EXPECT_FALSE(r.ok());
+  BinaryWriter w("/nonexistent-dir-abc/out.bin");
+  EXPECT_FALSE(w.status().ok());
+}
+
+class MinHashSnapshotTest : public SerdeTest {};
+
+TEST_F(MinHashSnapshotTest, SaveLoadPreservesEveryEstimate) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.03, 101});
+  MinHashPredictor original(MinHashPredictorOptions{64, 9});
+  FeedStream(original, g.edges);
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  auto loaded = MinHashPredictor::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->edges_processed(), original.edges_processed());
+  EXPECT_EQ(loaded->num_vertices(), original.num_vertices());
+
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    OverlapEstimate a = original.EstimateOverlap(u, v);
+    OverlapEstimate b = loaded->EstimateOverlap(u, v);
+    EXPECT_DOUBLE_EQ(a.jaccard, b.jaccard);
+    EXPECT_DOUBLE_EQ(a.intersection, b.intersection);
+    EXPECT_DOUBLE_EQ(a.adamic_adar, b.adamic_adar);
+  }
+}
+
+TEST_F(MinHashSnapshotTest, LoadedPredictorKeepsIngesting) {
+  MinHashPredictor original(MinHashPredictorOptions{32, 9});
+  FeedStream(original, {{0, 1}, {0, 2}});
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  auto loaded = MinHashPredictor::Load(path_);
+  ASSERT_TRUE(loaded.ok());
+  loaded->OnEdge(Edge(1, 2));
+
+  MinHashPredictor reference(MinHashPredictorOptions{32, 9});
+  FeedStream(reference, {{0, 1}, {0, 2}, {1, 2}});
+  OverlapEstimate a = loaded->EstimateOverlap(0, 1);
+  OverlapEstimate b = reference.EstimateOverlap(0, 1);
+  EXPECT_DOUBLE_EQ(a.jaccard, b.jaccard);
+  EXPECT_DOUBLE_EQ(a.intersection, b.intersection);
+}
+
+TEST_F(MinHashSnapshotTest, GarbageFileIsRejected) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not a snapshot at all";
+  }
+  auto loaded = MinHashPredictor::Load(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MinHashSnapshotTest, TruncatedSnapshotIsRejected) {
+  MinHashPredictor original(MinHashPredictorOptions{32, 9});
+  FeedStream(original, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  // Truncate the file to half its size.
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), contents.size() / 2);
+  }
+  auto loaded = MinHashPredictor::Load(path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,156 @@
+#include "core/similarity_join.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/exact_predictor.h"
+#include "eval/experiment.h"
+#include "gen/workloads.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(ChooseBandingFn, ImpliedThresholdNearTarget) {
+  for (uint32_t k : {32u, 64u, 128u, 256u}) {
+    for (double t : {0.3, 0.5, 0.8}) {
+      BandingPlan plan = ChooseBanding(k, t);
+      EXPECT_GE(plan.rows_per_band, 1u);
+      EXPECT_GE(plan.num_bands, 1u);
+      EXPECT_LE(plan.rows_per_band * plan.num_bands, k);
+      EXPECT_NEAR(plan.implied_threshold, t, 0.25)
+          << "k=" << k << " t=" << t;
+    }
+  }
+}
+
+TEST(ChooseBandingFnDeathTest, BadThresholdAborts) {
+  EXPECT_DEATH(ChooseBanding(64, 0.0), "threshold");
+  EXPECT_DEATH(ChooseBanding(64, 1.5), "threshold");
+}
+
+/// Builds a graph with `groups` clusters of `per_group` vertices, each
+/// cluster's members wired to the same distinct set of `anchors` anchor
+/// vertices: within-cluster Jaccard is 1, across clusters 0.
+EdgeList TwinClusters(uint32_t groups, uint32_t per_group, uint32_t anchors) {
+  EdgeList edges;
+  VertexId next_anchor = groups * per_group;
+  for (uint32_t g = 0; g < groups; ++g) {
+    for (uint32_t a = 0; a < anchors; ++a) {
+      VertexId anchor = next_anchor + g * anchors + a;
+      for (uint32_t m = 0; m < per_group; ++m) {
+        edges.push_back({g * per_group + m, anchor});
+      }
+    }
+  }
+  return edges;
+}
+
+TEST(SimilarityJoin, FindsAllIdenticalNeighborhoodPairs) {
+  // 4 clusters of 3 twins: 4 * C(3,2) = 12 true pairs with J = 1.
+  MinHashPredictor predictor(MinHashPredictorOptions{64, 11});
+  FeedStream(predictor, TwinClusters(4, 3, 5));
+
+  auto result = AllPairsSimilarVertices(
+      predictor, SimilarityJoinOptions{.threshold = 0.9});
+  // All 12 twin pairs found, nothing else at J >= 0.9 among member
+  // vertices (anchors of the same cluster also share identical
+  // neighborhoods — the cluster members — so they match too: C(5,2)*4).
+  std::set<std::pair<VertexId, VertexId>> found;
+  for (const ScoredPair& p : result) {
+    found.insert({p.pair.u, p.pair.v});
+    EXPECT_GE(p.score, 0.9);
+  }
+  for (uint32_t g = 0; g < 4; ++g) {
+    for (uint32_t i = 0; i < 3; ++i) {
+      for (uint32_t j = i + 1; j < 3; ++j) {
+        EXPECT_EQ(found.count({g * 3 + i, g * 3 + j}), 1u)
+            << "missing twin pair in group " << g;
+      }
+    }
+  }
+  // No cross-cluster member pairs.
+  for (const auto& [u, v] : found) {
+    if (u < 12 && v < 12) {
+      EXPECT_EQ(u / 3, v / 3) << "cross-cluster false positive";
+    }
+  }
+}
+
+TEST(SimilarityJoin, OutputSortedDescendingAndCanonical) {
+  MinHashPredictor predictor(MinHashPredictorOptions{64, 12});
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ws", 0.02, 161});
+  FeedStream(predictor, g.edges);
+  auto result = AllPairsSimilarVertices(
+      predictor, SimilarityJoinOptions{.threshold = 0.3});
+  for (size_t i = 0; i < result.size(); ++i) {
+    EXPECT_LT(result[i].pair.u, result[i].pair.v);
+    if (i > 0) {
+      EXPECT_LE(result[i].score, result[i - 1].score);
+    }
+  }
+  // No duplicates.
+  std::set<std::pair<VertexId, VertexId>> unique;
+  for (const ScoredPair& p : result) {
+    EXPECT_TRUE(unique.insert({p.pair.u, p.pair.v}).second);
+  }
+}
+
+TEST(SimilarityJoin, RecallAgainstBruteForceIsHigh) {
+  // Compare against brute-force estimated-Jaccard enumeration on a small
+  // clustered graph: banding should recover nearly all pairs whose
+  // estimate clears the threshold.
+  MinHashPredictor predictor(MinHashPredictorOptions{128, 13});
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ws", 0.015, 162});
+  FeedStream(predictor, g.edges);
+
+  const double threshold = 0.5;
+  std::set<std::pair<VertexId, VertexId>> brute;
+  for (VertexId u = 0; u < predictor.num_vertices(); ++u) {
+    const MinHashSketch* su = predictor.Sketch(u);
+    if (su == nullptr || su->IsEmpty()) continue;
+    for (VertexId v = u + 1; v < predictor.num_vertices(); ++v) {
+      const MinHashSketch* sv = predictor.Sketch(v);
+      if (sv == nullptr || sv->IsEmpty()) continue;
+      if (MinHashSketch::EstimateJaccard(*su, *sv) >= threshold) {
+        brute.insert({u, v});
+      }
+    }
+  }
+  auto result = AllPairsSimilarVertices(
+      predictor, SimilarityJoinOptions{.threshold = threshold});
+  std::set<std::pair<VertexId, VertexId>> lsh;
+  for (const ScoredPair& p : result) lsh.insert({p.pair.u, p.pair.v});
+
+  // LSH results are a subset of brute force (same verifier)...
+  for (const auto& pair : lsh) {
+    EXPECT_EQ(brute.count(pair), 1u);
+  }
+  // ...and recall is high (the S-curve passes most above-threshold pairs).
+  if (!brute.empty()) {
+    size_t hit = 0;
+    for (const auto& pair : brute) hit += lsh.count(pair);
+    double recall = static_cast<double>(hit) / brute.size();
+    EXPECT_GT(recall, 0.75) << "brute=" << brute.size();
+  }
+}
+
+TEST(SimilarityJoin, EmptyPredictorYieldsNothing) {
+  MinHashPredictor predictor;
+  EXPECT_TRUE(AllPairsSimilarVertices(predictor).empty());
+}
+
+TEST(SimilarityJoin, ExplicitRowsPerBandHonored) {
+  MinHashPredictor predictor(MinHashPredictorOptions{64, 14});
+  FeedStream(predictor, TwinClusters(2, 2, 4));
+  SimilarityJoinOptions options;
+  options.threshold = 0.9;
+  options.rows_per_band = 8;
+  auto result = AllPairsSimilarVertices(predictor, options);
+  EXPECT_FALSE(result.empty());
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,128 @@
+#include "sketch/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(SpaceSaving, ExactBelowCapacity) {
+  SpaceSaving s(10);
+  s.Offer(1);
+  s.Offer(1);
+  s.Offer(2);
+  EXPECT_EQ(s.Estimate(1), 2u);
+  EXPECT_EQ(s.Estimate(2), 1u);
+  EXPECT_EQ(s.Estimate(3), 0u);
+  EXPECT_EQ(s.total_count(), 3u);
+  EXPECT_EQ(s.num_tracked(), 2u);
+}
+
+TEST(SpaceSavingDeathTest, ZeroCapacityAborts) {
+  EXPECT_DEATH(SpaceSaving(0), "capacity");
+}
+
+TEST(SpaceSaving, NeverUndercountsTrackedItems) {
+  SpaceSaving s(20);
+  std::map<uint64_t, uint64_t> truth;
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    // Skewed stream over 200 keys.
+    uint64_t key = rng.NextBounded(1 + rng.NextBounded(200));
+    s.Offer(key);
+    ++truth[key];
+  }
+  for (const auto& counter : s.TopK(20)) {
+    EXPECT_GE(counter.count, truth[counter.item]) << "item " << counter.item;
+    EXPECT_GE(counter.count - counter.error, 0u);
+    EXPECT_LE(counter.count - counter.error, truth[counter.item]);
+  }
+}
+
+TEST(SpaceSaving, HeavyHittersAboveThresholdAreTracked) {
+  // Guarantee: any item with frequency > N/capacity is present.
+  SpaceSaving s(10);
+  const int n = 10000;
+  Rng rng(2);
+  std::map<uint64_t, uint64_t> truth;
+  for (int i = 0; i < n; ++i) {
+    uint64_t key;
+    if (rng.NextBernoulli(0.5)) {
+      key = rng.NextBounded(3);  // 3 heavy keys share half the stream
+    } else {
+      key = 100 + rng.NextBounded(5000);
+    }
+    s.Offer(key);
+    ++truth[key];
+  }
+  for (uint64_t key = 0; key < 3; ++key) {
+    ASSERT_GT(truth[key], static_cast<uint64_t>(n) / 10);
+    EXPECT_GT(s.Estimate(key), 0u) << "heavy key " << key << " lost";
+  }
+}
+
+TEST(SpaceSaving, TopKSortedDescending) {
+  SpaceSaving s(50);
+  for (uint64_t key = 0; key < 20; ++key) {
+    for (uint64_t rep = 0; rep <= key; ++rep) s.Offer(key);
+  }
+  auto top = s.TopK(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].count, top[i].count);
+  }
+  EXPECT_EQ(top[0].item, 19u);
+  EXPECT_EQ(top[0].count, 20u);
+  EXPECT_EQ(top[0].error, 0u);
+}
+
+TEST(SpaceSaving, TopKClampsToTracked) {
+  SpaceSaving s(10);
+  s.Offer(1);
+  s.Offer(2);
+  EXPECT_EQ(s.TopK(100).size(), 2u);
+}
+
+TEST(SpaceSaving, GuaranteedHeavyDetection) {
+  SpaceSaving s(4);
+  for (int i = 0; i < 100; ++i) s.Offer(7);
+  s.Offer(1);
+  s.Offer(2);
+  s.Offer(3);
+  EXPECT_TRUE(s.IsGuaranteedHeavy(7, 100));
+  EXPECT_FALSE(s.IsGuaranteedHeavy(1, 2));
+  EXPECT_FALSE(s.IsGuaranteedHeavy(999, 1));
+}
+
+TEST(SpaceSaving, EvictionInheritsMinCount) {
+  SpaceSaving s(2);
+  s.Offer(1);  // {1:1}
+  s.Offer(2);  // {1:1, 2:1}
+  s.Offer(3);  // evicts min (count 1) -> {*, 3: count 2, error 1}
+  EXPECT_EQ(s.Estimate(3), 2u);
+  auto top = s.TopK(2);
+  bool found = false;
+  for (const auto& c : top) {
+    if (c.item == 3) {
+      EXPECT_EQ(c.error, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpaceSaving, WeightedOffers) {
+  SpaceSaving s(8);
+  s.Offer(5, 10);
+  s.Offer(6, 3);
+  EXPECT_EQ(s.Estimate(5), 10u);
+  EXPECT_EQ(s.total_count(), 13u);
+}
+
+}  // namespace
+}  // namespace streamlink

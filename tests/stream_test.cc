@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "stream/edge_stream.h"
+#include "stream/rate_meter.h"
+#include "stream/sliding_window.h"
+#include "stream/stream_driver.h"
+
+namespace streamlink {
+namespace {
+
+/// Collects every edge it sees.
+class RecordingConsumer : public EdgeConsumer {
+ public:
+  void OnEdge(const Edge& edge) override { edges.push_back(edge); }
+  EdgeList edges;
+};
+
+TEST(VectorEdgeStream, YieldsAllEdgesInOrder) {
+  VectorEdgeStream s({{0, 1}, {1, 2}});
+  Edge e;
+  ASSERT_TRUE(s.Next(&e));
+  EXPECT_EQ(e, Edge(0, 1));
+  ASSERT_TRUE(s.Next(&e));
+  EXPECT_EQ(e, Edge(1, 2));
+  EXPECT_FALSE(s.Next(&e));
+  EXPECT_EQ(s.SizeHint(), 2u);
+}
+
+TEST(VectorEdgeStream, ResetRewinds) {
+  VectorEdgeStream s({{0, 1}});
+  Edge e;
+  ASSERT_TRUE(s.Next(&e));
+  EXPECT_FALSE(s.Next(&e));
+  s.Reset();
+  ASSERT_TRUE(s.Next(&e));
+  EXPECT_EQ(e, Edge(0, 1));
+}
+
+TEST(DedupEdgeStream, DropsDuplicatesAndSelfLoops) {
+  auto inner = std::make_unique<VectorEdgeStream>(
+      EdgeList{{0, 1}, {1, 0}, {2, 2}, {0, 1}, {1, 2}});
+  DedupEdgeStream s(std::move(inner));
+  EdgeList seen;
+  Edge e;
+  while (s.Next(&e)) seen.push_back(e);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], Edge(0, 1));
+  EXPECT_EQ(seen[1], Edge(1, 2));
+}
+
+TEST(DedupEdgeStream, ResetClearsSeenSet) {
+  auto inner =
+      std::make_unique<VectorEdgeStream>(EdgeList{{0, 1}, {0, 1}});
+  DedupEdgeStream s(std::move(inner));
+  Edge e;
+  int count = 0;
+  while (s.Next(&e)) ++count;
+  EXPECT_EQ(count, 1);
+  s.Reset();
+  count = 0;
+  while (s.Next(&e)) ++count;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PrefixEdgeStream, Truncates) {
+  auto inner = std::make_unique<VectorEdgeStream>(
+      EdgeList{{0, 1}, {1, 2}, {2, 3}});
+  PrefixEdgeStream s(std::move(inner), 2);
+  EXPECT_EQ(s.SizeHint(), 2u);
+  Edge e;
+  int count = 0;
+  while (s.Next(&e)) ++count;
+  EXPECT_EQ(count, 2);
+  s.Reset();
+  count = 0;
+  while (s.Next(&e)) ++count;
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PrefixEdgeStream, LimitBeyondLengthIsWholeStream) {
+  auto inner = std::make_unique<VectorEdgeStream>(EdgeList{{0, 1}});
+  PrefixEdgeStream s(std::move(inner), 100);
+  EXPECT_EQ(s.SizeHint(), 1u);
+}
+
+TEST(StreamDriver, FeedsAllConsumers) {
+  VectorEdgeStream stream({{0, 1}, {1, 2}, {2, 3}});
+  RecordingConsumer a, b;
+  StreamDriver driver;
+  driver.AddConsumer(&a);
+  driver.AddConsumer(&b);
+  EXPECT_EQ(driver.Run(stream), 3u);
+  EXPECT_EQ(a.edges.size(), 3u);
+  EXPECT_EQ(b.edges, a.edges);
+}
+
+TEST(StreamDriver, CheckpointsFireAtFractions) {
+  EdgeList edges;
+  for (VertexId i = 0; i < 100; ++i) edges.emplace_back(i, i + 1);
+  VectorEdgeStream stream(std::move(edges));
+  StreamDriver driver;
+  std::vector<uint64_t> positions;
+  driver.SetCheckpoints({0.25, 0.5, 1.0},
+                        [&](uint64_t consumed, double fraction) {
+                          positions.push_back(consumed);
+                          EXPECT_GT(fraction, 0.0);
+                          EXPECT_LE(fraction, 1.0);
+                        });
+  driver.Run(stream);
+  ASSERT_EQ(positions.size(), 3u);
+  EXPECT_EQ(positions[0], 25u);
+  EXPECT_EQ(positions[1], 50u);
+  EXPECT_EQ(positions[2], 100u);
+}
+
+TEST(StreamDriver, FinalCheckpointFiresOnShortStream) {
+  VectorEdgeStream stream({{0, 1}});
+  StreamDriver driver;
+  int fired = 0;
+  driver.SetCheckpoints({1.0}, [&](uint64_t, double) { ++fired; });
+  driver.Run(stream);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(StreamDriverDeathTest, BadFractionAborts) {
+  StreamDriver driver;
+  EXPECT_DEATH(driver.SetCheckpoints({1.5}, [](uint64_t, double) {}),
+               "out of");
+  EXPECT_DEATH(driver.SetCheckpoints({0.0}, [](uint64_t, double) {}),
+               "out of");
+}
+
+TEST(StreamDriverDeathTest, NullConsumerAborts) {
+  StreamDriver driver;
+  EXPECT_DEATH(driver.AddConsumer(nullptr), "null consumer");
+}
+
+TEST(RateMeter, LifetimeRate) {
+  RateMeter m(10.0);
+  m.Record(0.0, 100);
+  m.Record(1.0, 100);
+  m.Record(2.0, 100);
+  EXPECT_NEAR(m.LifetimeRate(), 150.0, 1e-9);  // 300 events over 2 seconds
+  EXPECT_EQ(m.total_events(), 300u);
+}
+
+TEST(RateMeter, WindowRateDropsOldSamples) {
+  RateMeter m(1.0);
+  m.Record(0.0, 1000);  // will fall out of the window
+  m.Record(10.0, 10);
+  m.Record(10.5, 10);
+  EXPECT_NEAR(m.WindowRate(), 20.0 / 0.5, 1e-9);
+}
+
+TEST(RateMeter, NoSamplesIsZero) {
+  RateMeter m(1.0);
+  EXPECT_DOUBLE_EQ(m.LifetimeRate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.WindowRate(), 0.0);
+}
+
+TEST(RateMeterDeathTest, NonPositiveWindowAborts) {
+  EXPECT_DEATH(RateMeter(0.0), "positive");
+}
+
+TEST(SlidingWindowGraph, KeepsMostRecentEdges) {
+  SlidingWindowGraph w(2);
+  w.Add(Edge(0, 1));
+  w.Add(Edge(1, 2));
+  EXPECT_EQ(w.current_edges(), 2u);
+  EXPECT_EQ(w.Add(Edge(2, 3)), 1u);  // expires (0,1)
+  EXPECT_FALSE(w.graph().HasEdge(0, 1));
+  EXPECT_TRUE(w.graph().HasEdge(1, 2));
+  EXPECT_TRUE(w.graph().HasEdge(2, 3));
+}
+
+TEST(SlidingWindowGraph, DuplicateRefreshesPosition) {
+  SlidingWindowGraph w(2);
+  w.Add(Edge(0, 1));
+  w.Add(Edge(1, 2));
+  EXPECT_EQ(w.Add(Edge(0, 1)), 0u);  // duplicate: refresh, no expiry
+  EXPECT_EQ(w.Add(Edge(2, 3)), 1u);  // now (1,2) is oldest and expires
+  EXPECT_TRUE(w.graph().HasEdge(0, 1));
+  EXPECT_FALSE(w.graph().HasEdge(1, 2));
+}
+
+TEST(SlidingWindowGraph, IgnoresSelfLoops) {
+  SlidingWindowGraph w(2);
+  EXPECT_EQ(w.Add(Edge(3, 3)), 0u);
+  EXPECT_EQ(w.current_edges(), 0u);
+}
+
+TEST(SlidingWindowGraph, WorksAsEdgeConsumer) {
+  SlidingWindowGraph w(100);
+  VectorEdgeStream stream({{0, 1}, {1, 2}});
+  StreamDriver driver;
+  driver.AddConsumer(&w);
+  driver.Run(stream);
+  EXPECT_EQ(w.current_edges(), 2u);
+}
+
+TEST(SlidingWindowGraphDeathTest, ZeroWindowAborts) {
+  EXPECT_DEATH(SlidingWindowGraph(0), "at least one");
+}
+
+}  // namespace
+}  // namespace streamlink

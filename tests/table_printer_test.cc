@@ -1,0 +1,56 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace streamlink {
+namespace {
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "12345"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TablePrinter, ExtendsForLongRows) {
+  TablePrinter t({"a"});
+  t.AddRow({"1", "2", "3"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(TablePrinter, NumericRowsFormatted) {
+  TablePrinter t({"x"});
+  t.AddNumericRow({0.123456789});
+  EXPECT_NE(t.ToString().find("0.1235"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatCellUsesFourSignificantDigits) {
+  EXPECT_EQ(TablePrinter::FormatCell(1234567.0), "1.235e+06");
+  EXPECT_EQ(TablePrinter::FormatCell(0.5), "0.5");
+}
+
+TEST(TablePrinter, EmptyTableStillRendersHeader) {
+  TablePrinter t({"col"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace streamlink

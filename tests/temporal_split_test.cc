@@ -1,0 +1,99 @@
+#include "eval/temporal_split.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gen/workloads.h"
+#include "graph/types.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(TemporalSplit, SplitsAtFraction) {
+  EdgeList stream;
+  for (VertexId i = 0; i < 100; ++i) stream.push_back({i, i + 1});
+  TrainTestSplit split = MakeTemporalSplit(stream, 0.8);
+  EXPECT_EQ(split.train.size(), 80u);
+}
+
+TEST(TemporalSplitDeathTest, DegenerateFractionsAbort) {
+  EdgeList stream = {{0, 1}};
+  EXPECT_DEATH(MakeTemporalSplit(stream, 0.0), "train_fraction");
+  EXPECT_DEATH(MakeTemporalSplit(stream, 1.0), "train_fraction");
+}
+
+TEST(TemporalSplit, TestPositivesArePredictable) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.05, 71});
+  TrainTestSplit split = MakeTemporalSplit(g.edges, 0.8);
+  ASSERT_GT(split.test_positives.size(), 0u);
+
+  std::unordered_set<Edge, EdgeHash> train_edges;
+  std::unordered_set<VertexId> train_vertices;
+  for (const Edge& e : split.train) {
+    train_edges.insert(e.Canonical());
+    train_vertices.insert(e.u);
+    train_vertices.insert(e.v);
+  }
+  std::unordered_set<Edge, EdgeHash> seen;
+  for (const Edge& e : split.test_positives) {
+    EXPECT_EQ(train_edges.count(e.Canonical()), 0u) << "already in train";
+    EXPECT_EQ(train_vertices.count(e.u), 1u) << "unknown endpoint";
+    EXPECT_EQ(train_vertices.count(e.v), 1u) << "unknown endpoint";
+    EXPECT_TRUE(seen.insert(e.Canonical()).second) << "duplicate positive";
+  }
+}
+
+TEST(TemporalSplit, RepeatedTrainEdgesInTestAreDropped) {
+  EdgeList stream = {{0, 1}, {1, 2}, {2, 3}, {3, 4},
+                     {0, 1},  // duplicate of a train edge, lands in test
+                     {1, 3}};
+  TrainTestSplit split = MakeTemporalSplit(stream, 0.67);  // train = first 4
+  ASSERT_EQ(split.train.size(), 4u);
+  for (const Edge& e : split.test_positives) {
+    EXPECT_FALSE(e.Canonical() == Edge(0, 1));
+  }
+}
+
+TEST(MakeLabeledPairsFn, ProducesPositivesAndNegatives) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.05, 72});
+  TrainTestSplit split = MakeTemporalSplit(g.edges, 0.8);
+  Rng rng(1);
+  LabeledPairs labeled = MakeLabeledPairs(split, 1.0, rng);
+  ASSERT_EQ(labeled.pairs.size(), labeled.labels.size());
+
+  size_t positives = 0, negatives = 0;
+  for (bool label : labeled.labels) label ? ++positives : ++negatives;
+  EXPECT_EQ(positives, split.test_positives.size());
+  EXPECT_NEAR(static_cast<double>(negatives), positives, positives * 0.05);
+}
+
+TEST(MakeLabeledPairsFn, NegativesAreTrueNonEdges) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"er", 0.05, 73});
+  TrainTestSplit split = MakeTemporalSplit(g.edges, 0.8);
+  Rng rng(2);
+  LabeledPairs labeled = MakeLabeledPairs(split, 2.0, rng);
+
+  std::unordered_set<Edge, EdgeHash> known;
+  for (const Edge& e : split.train) known.insert(e.Canonical());
+  for (const Edge& e : split.test_positives) known.insert(e.Canonical());
+
+  for (size_t i = 0; i < labeled.pairs.size(); ++i) {
+    if (labeled.labels[i]) continue;
+    Edge e = Edge(labeled.pairs[i].u, labeled.pairs[i].v).Canonical();
+    EXPECT_EQ(known.count(e), 0u) << "negative is actually an edge";
+  }
+}
+
+TEST(MakeLabeledPairsFn, NegativeRatioScales) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.05, 74});
+  TrainTestSplit split = MakeTemporalSplit(g.edges, 0.8);
+  Rng rng(3);
+  LabeledPairs one = MakeLabeledPairs(split, 1.0, rng);
+  LabeledPairs three = MakeLabeledPairs(split, 3.0, rng);
+  EXPECT_GT(three.pairs.size(), one.pairs.size());
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,95 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace streamlink {
+namespace {
+
+TEST(WallTimer, StartsStopped) {
+  WallTimer t;
+  EXPECT_FALSE(t.running());
+  EXPECT_EQ(t.Nanos(), 0);
+  EXPECT_EQ(t.Seconds(), 0.0);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.Stop();
+  EXPECT_GE(t.Millis(), 15.0);
+  EXPECT_LT(t.Millis(), 2000.0);
+}
+
+TEST(WallTimer, AccumulatesAcrossLaps) {
+  WallTimer t;
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.Stop();
+  double first = t.Millis();
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.Stop();
+  EXPECT_GT(t.Millis(), first);
+}
+
+TEST(WallTimer, ReadsWhileRunning) {
+  WallTimer t;
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(t.Nanos(), 0);
+  EXPECT_TRUE(t.running());
+  t.Stop();
+}
+
+TEST(WallTimer, ResetClearsState) {
+  WallTimer t;
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.Stop();
+  t.Reset();
+  EXPECT_EQ(t.Nanos(), 0);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(WallTimer, StopWhenStoppedIsNoOp) {
+  WallTimer t;
+  t.Stop();
+  EXPECT_EQ(t.Nanos(), 0);
+}
+
+TEST(WallTimer, UnitConversionsAgree) {
+  WallTimer t;
+  t.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.Stop();
+  EXPECT_NEAR(t.Millis(), t.Seconds() * 1e3, 1e-6);
+  EXPECT_NEAR(t.Micros(), t.Seconds() * 1e6, 1e-3);
+}
+
+TEST(Stopwatch, RateComputesEventsPerSecond) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double rate = sw.Rate(1000);
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LT(rate, 1000.0 / 0.015);
+}
+
+TEST(Stopwatch, RestartResets) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 0.015);
+}
+
+TEST(FormatDuration, PicksAdaptiveUnits) {
+  EXPECT_EQ(FormatDuration(2.5), "2.50 s");
+  EXPECT_EQ(FormatDuration(0.0025), "2.50 ms");
+  EXPECT_EQ(FormatDuration(2.5e-6), "2.50 us");
+  EXPECT_EQ(FormatDuration(250e-9), "250 ns");
+}
+
+}  // namespace
+}  // namespace streamlink

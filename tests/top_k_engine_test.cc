@@ -1,0 +1,218 @@
+#include "core/top_k_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/exact_predictor.h"
+#include "core/minhash_predictor.h"
+#include "eval/experiment.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+
+namespace streamlink {
+namespace {
+
+/// 0-1-2 triangle plus pendant vertices; (0,3) share neighbor 1... builds a
+/// graph where exact top-k by common neighbors is known.
+EdgeList LadderStream() {
+  return {{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 3}, {3, 4}};
+}
+
+TEST(TopKEngine, RanksByScoreDescending) {
+  ExactPredictor p;
+  FeedStream(p, LadderStream());
+  TopKEngine engine(p, LinkMeasure::kCommonNeighbors);
+  // Candidates: (0,3) share {1,2} → 2; (0,4) share {} via... N(0)={1,2},
+  // N(4)={3} → 0; (1,4) share {3} → 1.
+  std::vector<QueryPair> candidates = {{0, 3}, {0, 4}, {1, 4}};
+  auto top = engine.TopK(candidates, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].pair, (QueryPair{0, 3}));
+  EXPECT_DOUBLE_EQ(top[0].score, 2.0);
+  EXPECT_EQ(top[1].pair, (QueryPair{1, 4}));
+  EXPECT_DOUBLE_EQ(top[1].score, 1.0);
+  EXPECT_DOUBLE_EQ(top[2].score, 0.0);
+}
+
+TEST(TopKEngine, TruncatesToK) {
+  ExactPredictor p;
+  FeedStream(p, LadderStream());
+  TopKEngine engine(p, LinkMeasure::kCommonNeighbors);
+  std::vector<QueryPair> candidates = {{0, 3}, {0, 4}, {1, 4}};
+  EXPECT_EQ(engine.TopK(candidates, 2).size(), 2u);
+  EXPECT_EQ(engine.TopK(candidates, 0).size(), 0u);
+}
+
+TEST(TopKEngine, TieBreakIsDeterministic) {
+  ExactPredictor p;
+  FeedStream(p, {{0, 1}});
+  TopKEngine engine(p, LinkMeasure::kCommonNeighbors);
+  // All scores zero: ties broken lexicographically.
+  std::vector<QueryPair> candidates = {{5, 6}, {2, 3}, {2, 9}};
+  auto top = engine.TopK(candidates, 3);
+  EXPECT_EQ(top[0].pair, (QueryPair{2, 3}));
+  EXPECT_EQ(top[1].pair, (QueryPair{2, 9}));
+  EXPECT_EQ(top[2].pair, (QueryPair{5, 6}));
+}
+
+TEST(TopKEngine, TopKForVertexSkipsSelf) {
+  ExactPredictor p;
+  FeedStream(p, LadderStream());
+  TopKEngine engine(p, LinkMeasure::kCommonNeighbors);
+  auto top = engine.TopKForVertex(0, {0, 3, 4}, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].pair.v, 3u);
+}
+
+TEST(TwoHopCandidatesFn, FindsDistanceTwoNonEdges) {
+  CsrGraph g = CsrGraph::FromEdges(LadderStream());
+  // N(0) = {1, 2}; 2-hop: {3} (via 1 or 2). 0-4 is distance 3.
+  auto candidates = TwoHopCandidates(g, 0);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].u, 0u);
+  EXPECT_EQ(candidates[0].v, 3u);
+}
+
+TEST(TwoHopCandidatesFn, RespectsCap) {
+  GeneratedGraph wl = MakeWorkload(WorkloadSpec{"ba", 0.02, 61});
+  CsrGraph g = CsrGraph::FromEdges(wl.edges, wl.num_vertices);
+  auto capped = TwoHopCandidates(g, 0, 5);
+  EXPECT_LE(capped.size(), 5u);
+}
+
+TEST(TwoHopCandidatesFn, ExcludesExistingEdgesAndSelf) {
+  CsrGraph g = CsrGraph::FromEdges(LadderStream());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const QueryPair& p : TwoHopCandidates(g, u)) {
+      EXPECT_NE(p.u, p.v);
+      EXPECT_FALSE(g.HasEdge(p.u, p.v))
+          << "(" << p.u << "," << p.v << ")";
+    }
+  }
+}
+
+TEST(TwoHopCandidatesFnDeathTest, OutOfRangeAborts) {
+  CsrGraph g = CsrGraph::FromEdges({{0, 1}});
+  EXPECT_DEATH(TwoHopCandidates(g, 9), "out of range");
+}
+
+TEST(AllTwoHopCandidatesFn, EmitsEachPairOnce) {
+  CsrGraph g = CsrGraph::FromEdges(LadderStream());
+  auto all = AllTwoHopCandidates(g);
+  for (const QueryPair& p : all) EXPECT_LT(p.u, p.v);
+  std::vector<QueryPair> sorted = all;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const QueryPair& a, const QueryPair& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end(),
+                               [](const QueryPair& a, const QueryPair& b) {
+                                 return a == b;
+                               }),
+            sorted.end());
+}
+
+TEST(TopKEngine, SketchTopKOverlapsExactTopK) {
+  // End-task sanity: the sketch predictor's top-20 (by Jaccard) should
+  // substantially overlap the exact top-20 on a clustered graph.
+  GeneratedGraph wl = MakeWorkload(WorkloadSpec{"ws", 0.05, 62});
+  ExactPredictor exact;
+  MinHashPredictor sketch(MinHashPredictorOptions{256, 17});
+  FeedStream(exact, wl.edges);
+  FeedStream(sketch, wl.edges);
+
+  CsrGraph g = CsrGraph::FromEdges(wl.edges, wl.num_vertices);
+  std::vector<QueryPair> candidates;
+  for (VertexId u = 0; u < 200; ++u) {
+    auto c = TwoHopCandidates(g, u, 20);
+    candidates.insert(candidates.end(), c.begin(), c.end());
+  }
+  ASSERT_GT(candidates.size(), 100u);
+
+  TopKEngine exact_engine(exact, LinkMeasure::kJaccard);
+  TopKEngine sketch_engine(sketch, LinkMeasure::kJaccard);
+  auto exact_top = exact_engine.TopK(candidates, 20);
+  auto sketch_top = sketch_engine.TopK(candidates, 20);
+
+  int overlap = 0;
+  for (const auto& a : exact_top) {
+    for (const auto& b : sketch_top) {
+      if (a.pair == b.pair) ++overlap;
+    }
+  }
+  EXPECT_GE(overlap, 10) << "sketch top-20 diverged from exact top-20";
+}
+
+TEST(SketchTwoHop, UnseenVertexHasNoCandidates) {
+  MinHashPredictor p;
+  FeedStream(p, LadderStream());
+  EXPECT_TRUE(SketchTwoHopCandidates(p, 99).empty());
+}
+
+TEST(SketchTwoHop, FindsTwoHopWithoutAnySnapshot) {
+  // Small-degree graph: the sketches hold full neighborhoods, so the
+  // sketch-mined candidate set equals the exact 2-hop set.
+  MinHashPredictor p(MinHashPredictorOptions{64, 3});
+  FeedStream(p, LadderStream());
+  // N(0) = {1,2}; exact 2-hop candidates of 0: {3}.
+  auto candidates = SketchTwoHopCandidates(p, 0);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].v, 3u);
+}
+
+TEST(SketchTwoHop, ExcludesSelfAndSampledNeighbors) {
+  MinHashPredictor p(MinHashPredictorOptions{64, 3});
+  FeedStream(p, LadderStream());
+  for (VertexId u = 0; u < 5; ++u) {
+    for (const QueryPair& c : SketchTwoHopCandidates(p, u)) {
+      EXPECT_NE(c.v, u);
+    }
+  }
+}
+
+TEST(SketchTwoHop, RespectsCap) {
+  GeneratedGraph wl = MakeWorkload(WorkloadSpec{"ba", 0.03, 63});
+  MinHashPredictor p(MinHashPredictorOptions{64, 5});
+  FeedStream(p, wl.edges);
+  auto capped = SketchTwoHopCandidates(p, 0, 7);
+  EXPECT_LE(capped.size(), 7u);
+}
+
+TEST(SketchTwoHop, RecallOfTrueTwoHopGrowsWithK) {
+  // Sketch-mined candidates are a sample of the true 2-hop set; recall
+  // should be substantial at k=64 and grow with k on a moderate graph.
+  GeneratedGraph wl = MakeWorkload(WorkloadSpec{"ws", 0.03, 64});
+  CsrGraph csr = CsrGraph::FromEdges(wl.edges, wl.num_vertices);
+
+  double prev_recall = -1.0;
+  for (uint32_t k : {16u, 64u, 256u}) {
+    MinHashPredictor p(MinHashPredictorOptions{k, 7});
+    FeedStream(p, wl.edges);
+    double recall_sum = 0.0;
+    int measured = 0;
+    for (VertexId u = 0; u < 50; ++u) {
+      auto truth = TwoHopCandidates(csr, u);
+      if (truth.empty()) continue;
+      std::unordered_set<VertexId> mined;
+      for (const QueryPair& c : SketchTwoHopCandidates(p, u)) {
+        mined.insert(c.v);
+      }
+      int hit = 0;
+      for (const QueryPair& t : truth) hit += mined.count(t.v) > 0;
+      recall_sum += static_cast<double>(hit) / truth.size();
+      ++measured;
+    }
+    ASSERT_GT(measured, 0);
+    double recall = recall_sum / measured;
+    EXPECT_GT(recall, prev_recall - 0.02) << "k=" << k;
+    prev_recall = recall;
+    if (k == 256) {
+      EXPECT_GT(recall, 0.8);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamlink

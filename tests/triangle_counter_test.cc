@@ -1,0 +1,102 @@
+#include "core/triangle_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "graph/graph_stats.h"
+
+namespace streamlink {
+namespace {
+
+void Feed(StreamingTriangleCounter& counter, const EdgeList& edges) {
+  for (const Edge& e : edges) counter.OnEdge(e);
+}
+
+TEST(TriangleCounter, EmptyStreamIsZero) {
+  StreamingTriangleCounter counter;
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 0.0);
+  EXPECT_EQ(counter.edges_processed(), 0u);
+}
+
+TEST(TriangleCounter, SingleTriangleCountsOnce) {
+  StreamingTriangleCounter counter;
+  Feed(counter, {{0, 1}, {1, 2}, {0, 2}});
+  // At small degrees the sketch holds full neighborhoods: exact count.
+  EXPECT_NEAR(counter.Estimate(), 1.0, 1e-9);
+}
+
+TEST(TriangleCounter, TriangleFreeGraphStaysZero) {
+  StreamingTriangleCounter counter;
+  // A path: no triangles.
+  EdgeList path;
+  for (VertexId i = 0; i + 1 < 50; ++i) path.push_back({i, i + 1});
+  Feed(counter, path);
+  EXPECT_NEAR(counter.Estimate(), 0.0, 1e-9);
+}
+
+TEST(TriangleCounter, SelfLoopsIgnored) {
+  StreamingTriangleCounter counter;
+  counter.OnEdge(Edge(3, 3));
+  EXPECT_EQ(counter.edges_processed(), 0u);
+}
+
+TEST(TriangleCounter, CompleteGraphCountCloseToExact) {
+  // K6 has C(6,3) = 20 triangles. The per-edge CN estimate is statistical
+  // (the MinHash match fraction is, for non-identical neighborhoods), so
+  // expect tight-but-not-exact agreement at k=512.
+  TriangleCounterOptions options;
+  options.num_hashes = 512;
+  StreamingTriangleCounter counter(options);
+  EdgeList edges;
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) edges.push_back({u, v});
+  }
+  Feed(counter, edges);
+  EXPECT_NEAR(counter.Estimate(), 20.0, 1.5);
+}
+
+TEST(TriangleCounter, ArrivalOrderRobust) {
+  // Each triangle is counted at its last edge regardless of order; the
+  // statistical CN estimates differ slightly across orders but both must
+  // track the true count (2 triangles).
+  EdgeList edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {1, 3}};
+  StreamingTriangleCounter forward, backward;
+  Feed(forward, edges);
+  EdgeList reversed(edges.rbegin(), edges.rend());
+  Feed(backward, reversed);
+  EXPECT_NEAR(forward.Estimate(), 2.0, 0.5);
+  EXPECT_NEAR(backward.Estimate(), 2.0, 0.5);
+}
+
+/// Accuracy on real workloads against exact triangle counts.
+class TriangleAccuracy : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TriangleAccuracy, EstimateWithinTwentyPercent) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{GetParam(), 0.05, 151});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  GraphStats stats = ComputeGraphStats(csr);
+  if (stats.num_triangles < 100) GTEST_SKIP() << "too few triangles";
+
+  TriangleCounterOptions options;
+  options.num_hashes = 256;
+  StreamingTriangleCounter counter(options);
+  Feed(counter, g.edges);
+  double truth = static_cast<double>(stats.num_triangles);
+  EXPECT_NEAR(counter.Estimate(), truth, 0.2 * truth)
+      << GetParam() << ": truth=" << truth;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, TriangleAccuracy,
+                         ::testing::Values("ws", "sbm", "ba"));
+
+TEST(TriangleCounter, PredictorRemainsQueryable) {
+  StreamingTriangleCounter counter;
+  Feed(counter, {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  EXPECT_DOUBLE_EQ(counter.predictor().EstimateOverlap(0, 1).jaccard, 1.0);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,142 @@
+#include "core/vertex_biased_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_predictor.h"
+#include "core/minhash_predictor.h"
+#include "eval/experiment.h"
+#include "gen/pair_sampler.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+EdgeList ReferenceStream() {
+  return {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 5}, {2, 3}};
+}
+
+TEST(VertexBiasedPredictor, NameAndDefaults) {
+  VertexBiasedPredictor p;
+  EXPECT_EQ(p.name(), "vertex_biased");
+  EXPECT_EQ(p.options().num_hashes, 32u);
+  EXPECT_EQ(p.options().num_weighted_samples, 32u);
+}
+
+TEST(VertexBiasedPredictor, SamplingWeightIsPositiveAndDecreasing) {
+  double prev = 1e9;
+  for (uint32_t d : {0u, 1u, 2u, 10u, 1000u, 1000000u}) {
+    double w = VertexBiasedPredictor::SamplingWeight(d);
+    EXPECT_GT(w, 0.0);
+    EXPECT_LT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(VertexBiasedPredictor, ExactOnSmallNeighborhoods) {
+  // Unsaturated samplers hold full neighborhoods: AA is exact.
+  VertexBiasedPredictor p;
+  FeedStream(p, ReferenceStream());
+  OverlapEstimate e = p.EstimateOverlap(0, 1);
+  EXPECT_NEAR(e.adamic_adar, 2.0 / std::log(3.0), 1e-9);
+  EXPECT_NEAR(e.resource_allocation, 2.0 / 3.0, 1e-9);
+}
+
+TEST(VertexBiasedPredictor, JaccardFromMinHashPart) {
+  VertexBiasedPredictor p;
+  FeedStream(p, {{0, 10}, {0, 11}, {1, 10}, {1, 11}});
+  EXPECT_DOUBLE_EQ(p.EstimateOverlap(0, 1).jaccard, 1.0);
+}
+
+TEST(VertexBiasedPredictor, DegreesTracked) {
+  VertexBiasedPredictor p;
+  FeedStream(p, ReferenceStream());
+  EXPECT_EQ(p.Degree(0), 3u);
+  EXPECT_EQ(p.Degree(5), 1u);
+}
+
+TEST(VertexBiasedPredictor, UnseenVerticesZero) {
+  VertexBiasedPredictor p;
+  FeedStream(p, ReferenceStream());
+  OverlapEstimate e = p.EstimateOverlap(40, 50);
+  EXPECT_DOUBLE_EQ(e.adamic_adar, 0.0);
+  EXPECT_DOUBLE_EQ(e.jaccard, 0.0);
+}
+
+TEST(VertexBiasedPredictor, DeterministicForSeed) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"rmat", 0.02, 41});
+  VertexBiasedPredictorOptions options;
+  options.seed = 5;
+  VertexBiasedPredictor a(options), b(options);
+  FeedStream(a, g.edges);
+  FeedStream(b, g.edges);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    EXPECT_DOUBLE_EQ(a.EstimateOverlap(u, v).adamic_adar,
+                     b.EstimateOverlap(u, v).adamic_adar);
+  }
+}
+
+TEST(VertexBiasedPredictor, AdamicAdarReasonableOnSkewedWorkload) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"rmat", 0.05, 42});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(2);
+  auto pairs = SampleOverlappingPairs(csr, 300, rng);
+  PredictorConfig config;
+  config.kind = "vertex_biased";
+  config.sketch_size = 256;
+  AccuracyReport report = MeasureAccuracy(g, config, pairs);
+  EXPECT_LT(report.adamic_adar.MeanRelativeError(), 0.5);
+  EXPECT_LT(report.jaccard.MeanAbsoluteError(), 0.12);
+}
+
+TEST(VertexBiasedPredictor, MemoryBoundedPerVertex) {
+  VertexBiasedPredictorOptions options;
+  options.num_hashes = 16;
+  options.num_weighted_samples = 16;
+  VertexBiasedPredictor p(options);
+  EdgeList edges;
+  for (VertexId i = 0; i < 400; ++i) {
+    for (VertexId j = 1; j <= 25; ++j) {
+      edges.push_back({i, static_cast<VertexId>((i + j * 53) % 400)});
+    }
+  }
+  FeedStream(p, edges);
+  double per_vertex =
+      static_cast<double>(p.MemoryBytes()) / p.num_vertices();
+  // 16 minhash slots (16B) + 16 weighted entries (24B) + degree ≈ 700B.
+  EXPECT_LT(per_vertex, 1500.0);
+}
+
+TEST(VertexBiasedPredictor, BiasReducesAaErrorVsUniformAtEqualSpace) {
+  // The headline ablation (T8): on a skewed graph at matched space budget,
+  // the vertex-biased AA estimator should not do *worse* than the uniform
+  // (MinHash arg-min) AA estimator; typically it is meaningfully better on
+  // high-variance pairs. To keep the test robust we compare aggregate MRE
+  // with generous slack.
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"rmat", 0.08, 43});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(3);
+  auto pairs = SampleOverlappingPairs(csr, 500, rng);
+
+  PredictorConfig uniform;
+  uniform.kind = "minhash";
+  uniform.sketch_size = 64;
+  AccuracyReport uniform_report = MeasureAccuracy(g, uniform, pairs);
+
+  PredictorConfig biased;
+  biased.kind = "vertex_biased";
+  biased.sketch_size = 64;  // split 32/32 internally
+  AccuracyReport biased_report = MeasureAccuracy(g, biased, pairs);
+
+  EXPECT_LT(biased_report.adamic_adar.MeanRelativeError(),
+            uniform_report.adamic_adar.MeanRelativeError() * 1.5);
+}
+
+}  // namespace
+}  // namespace streamlink

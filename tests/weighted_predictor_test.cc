@@ -1,0 +1,172 @@
+#include "core/weighted_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/minhash_predictor.h"
+#include "gen/workloads.h"
+#include "graph/weighted_graph.h"
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+/// Deterministic weight for an edge: lognormal-ish from a hash.
+double EdgeWeight(const Edge& e, uint64_t seed) {
+  Edge c = e.Canonical();
+  uint64_t key = (static_cast<uint64_t>(c.u) << 32) | c.v;
+  return 0.25 + 4.0 * HashToUnit(HashU64(key, seed));
+}
+
+TEST(WeightedGraph, AccumulatesAndSymmetric) {
+  WeightedAdjacencyGraph g;
+  EXPECT_TRUE(g.AddEdge(0, 1, 2.0));
+  EXPECT_FALSE(g.AddEdge(1, 0, 3.0));  // same edge: accumulate
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g.Strength(0), 5.0);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(WeightedGraphDeathTest, NonPositiveWeightAborts) {
+  WeightedAdjacencyGraph g;
+  EXPECT_DEATH(g.AddEdge(0, 1, 0.0), "positive");
+}
+
+TEST(WeightedGraph, RejectsSelfLoops) {
+  WeightedAdjacencyGraph g;
+  EXPECT_FALSE(g.AddEdge(2, 2, 1.0));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(WeightedGraph, ExactOverlapHandComputed) {
+  // N(0) = {2: 1.0, 3: 4.0}; N(1) = {2: 3.0, 4: 2.0}.
+  WeightedAdjacencyGraph g;
+  g.AddEdge(0, 2, 1.0);
+  g.AddEdge(0, 3, 4.0);
+  g.AddEdge(1, 2, 3.0);
+  g.AddEdge(1, 4, 2.0);
+  WeightedOverlap o = g.ComputeOverlap(0, 1);
+  EXPECT_DOUBLE_EQ(o.strength_u, 5.0);
+  EXPECT_DOUBLE_EQ(o.strength_v, 5.0);
+  EXPECT_DOUBLE_EQ(o.min_sum, 1.0);           // min(1, 3) on shared nbr 2
+  EXPECT_DOUBLE_EQ(o.max_sum, 9.0);           // 3 + 4 + 2
+  EXPECT_DOUBLE_EQ(o.GeneralizedJaccard(), 1.0 / 9.0);
+}
+
+TEST(WeightedGraph, IsolatedVerticesZero) {
+  WeightedAdjacencyGraph g;
+  g.AddEdge(0, 1, 1.0);
+  WeightedOverlap o = g.ComputeOverlap(5, 6);
+  EXPECT_DOUBLE_EQ(o.GeneralizedJaccard(), 0.0);
+}
+
+TEST(WeightedPredictor, NameAndCounters) {
+  WeightedJaccardPredictor p;
+  EXPECT_EQ(p.name(), "weighted_icws");
+  p.OnWeightedEdge(0, 1, 2.5);
+  p.OnWeightedEdge(3, 3, 1.0);  // self-loop ignored
+  EXPECT_EQ(p.edges_processed(), 1u);
+  EXPECT_DOUBLE_EQ(p.Strength(0), 2.5);
+  EXPECT_DOUBLE_EQ(p.Strength(1), 2.5);
+}
+
+TEST(WeightedPredictor, IdenticalWeightedNeighborhoods) {
+  WeightedJaccardPredictor p;
+  p.OnWeightedEdge(0, 10, 2.0);
+  p.OnWeightedEdge(0, 11, 5.0);
+  p.OnWeightedEdge(1, 10, 2.0);
+  p.OnWeightedEdge(1, 11, 5.0);
+  auto est = p.Estimate(0, 1);
+  EXPECT_DOUBLE_EQ(est.generalized_jaccard, 1.0);
+  EXPECT_NEAR(est.min_sum, 7.0, 1e-9);
+  EXPECT_NEAR(est.max_sum, 7.0, 1e-9);
+}
+
+TEST(WeightedPredictor, UnseenVerticesZero) {
+  WeightedJaccardPredictor p;
+  p.OnWeightedEdge(0, 1, 1.0);
+  auto est = p.Estimate(7, 8);
+  EXPECT_DOUBLE_EQ(est.generalized_jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(est.min_sum, 0.0);
+}
+
+TEST(WeightedPredictor, TracksExactGeneralizedJaccardOnWorkload) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ws", 0.03, 131});
+  WeightedPredictorOptions options;
+  options.num_slots = 256;
+  WeightedJaccardPredictor sketch(options);
+  WeightedAdjacencyGraph exact;
+  for (const Edge& e : g.edges) {
+    double w = EdgeWeight(e, 5);
+    sketch.OnWeightedEdge(e.u, e.v, w);
+    exact.AddEdge(e.u, e.v, w);
+  }
+
+  Rng rng(1);
+  double jaccard_error = 0.0, min_sum_rel_error = 0.0;
+  int count = 0, min_count = 0;
+  for (int i = 0; i < 300; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    if (u == v) continue;
+    WeightedOverlap truth = exact.ComputeOverlap(u, v);
+    auto est = sketch.Estimate(u, v);
+    EXPECT_NEAR(est.strength_u, truth.strength_u, 1e-9);
+    jaccard_error +=
+        std::abs(est.generalized_jaccard - truth.GeneralizedJaccard());
+    ++count;
+    if (truth.min_sum > 0) {
+      min_sum_rel_error +=
+          std::abs(est.min_sum - truth.min_sum) / truth.min_sum;
+      ++min_count;
+    }
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_LT(jaccard_error / count, 0.03);
+  if (min_count > 0) {
+    EXPECT_LT(min_sum_rel_error / min_count, 0.6);
+  }
+}
+
+TEST(WeightedPredictor, UnitWeightsMatchUnweightedJaccard) {
+  // With all weights 1, generalized Jaccard equals set Jaccard; compare
+  // against the unweighted MinHash predictor's target on a small graph.
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"er", 0.02, 132});
+  WeightedPredictorOptions options;
+  options.num_slots = 512;
+  WeightedJaccardPredictor weighted(options);
+  WeightedAdjacencyGraph exact;
+  for (const Edge& e : g.edges) {
+    weighted.OnWeightedEdge(e.u, e.v, 1.0);
+    exact.AddEdge(e.u, e.v, 1.0);
+  }
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    if (u == v) continue;
+    double truth = exact.ComputeOverlap(u, v).GeneralizedJaccard();
+    EXPECT_NEAR(weighted.Estimate(u, v).generalized_jaccard, truth, 0.12);
+  }
+}
+
+TEST(WeightedPredictor, MemoryBoundedPerVertex) {
+  WeightedPredictorOptions options;
+  options.num_slots = 32;
+  WeightedJaccardPredictor p(options);
+  for (VertexId i = 0; i < 500; ++i) {
+    for (VertexId j = 1; j <= 20; ++j) {
+      p.OnWeightedEdge(i, (i + j * 37) % 500, 1.0 + j);
+    }
+  }
+  double per_vertex = static_cast<double>(p.MemoryBytes()) / p.num_vertices();
+  // 32 slots * 24 bytes + strength double + overheads.
+  EXPECT_LT(per_vertex, 1600.0);
+}
+
+}  // namespace
+}  // namespace streamlink

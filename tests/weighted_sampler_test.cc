@@ -1,0 +1,188 @@
+#include "sketch/weighted_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+constexpr uint64_t kExpSeed = 0xabcde;
+
+double ExpVariate(uint64_t item) { return HashToExp(HashU64(item, kExpSeed)); }
+
+TEST(WeightedSampler, StartsEmpty) {
+  WeightedBottomKSampler s(4);
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_FALSE(s.IsSaturated());
+  EXPECT_EQ(s.Threshold(), WeightedBottomKSampler::kInfiniteRank);
+}
+
+TEST(WeightedSamplerDeathTest, ZeroKAborts) {
+  EXPECT_DEATH(WeightedBottomKSampler(0), "k >= 1");
+}
+
+TEST(WeightedSampler, KeepsAllBelowCapacity) {
+  WeightedBottomKSampler s(8);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(s.Offer(i, ExpVariate(i), 1.0));
+  }
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(WeightedSampler, EntriesSortedByRank) {
+  WeightedBottomKSampler s(16);
+  for (uint64_t i = 1; i <= 16; ++i) s.Offer(i, ExpVariate(i), 1.0);
+  for (uint32_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s.entries()[i - 1].rank, s.entries()[i].rank);
+  }
+}
+
+TEST(WeightedSampler, EvictsLargestRankWhenSaturated) {
+  WeightedBottomKSampler s(3);
+  for (uint64_t i = 1; i <= 10; ++i) s.Offer(i, ExpVariate(i), 1.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.IsSaturated());
+  double tau = s.Threshold();
+  EXPECT_EQ(tau, s.entries().back().rank);
+  // Offering an item with rank above τ changes nothing.
+  EXPECT_FALSE(s.Offer(999, tau * 2.0, 1.0));
+}
+
+TEST(WeightedSampler, ReOfferReplacesEntryWithFreshWeight) {
+  WeightedBottomKSampler s(4);
+  s.Offer(7, 2.0, 1.0);  // rank 2.0
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.entries()[0].rank, 2.0);
+  s.Offer(7, 2.0, 4.0);  // weight grew: rank 0.5
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.entries()[0].rank, 0.5);
+  EXPECT_DOUBLE_EQ(s.entries()[0].weight, 4.0);
+  // Identical re-offer is a no-op.
+  EXPECT_FALSE(s.Offer(7, 2.0, 4.0));
+}
+
+TEST(WeightedSampler, HigherWeightMeansMoreInclusion) {
+  // One heavy item among many light ones: the heavy item should be present
+  // in almost every saturated sampler.
+  int heavy_present = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    WeightedBottomKSampler s(5);
+    uint64_t exp_seed = 1000 + t;
+    for (uint64_t i = 1; i <= 50; ++i) {
+      double e = HashToExp(HashU64(i, exp_seed));
+      double w = (i == 1) ? 50.0 : 1.0;
+      s.Offer(i, e, w);
+    }
+    for (const auto& entry : s.entries()) {
+      if (entry.item == 1) ++heavy_present;
+    }
+  }
+  EXPECT_GT(heavy_present, trials * 8 / 10);
+}
+
+TEST(WeightedSampler, SubsetSumExactWhenUnsaturated) {
+  WeightedBottomKSampler s(16);
+  double truth = 0.0;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    double w = 1.0 / (1.0 + static_cast<double>(i));
+    s.Offer(i, ExpVariate(i), w);
+    truth += w;
+  }
+  auto weight = [](uint64_t item) {
+    return 1.0 / (1.0 + static_cast<double>(item));
+  };
+  EXPECT_NEAR(s.EstimateSubsetSum(weight), truth, 1e-12);
+}
+
+TEST(WeightedSampler, SubsetSumIsApproximatelyUnbiased) {
+  // Estimate Σ w(i) for i in [1, 200] from k=32 samples, averaged over
+  // many independent hash seeds.
+  const uint64_t n = 200;
+  auto weight = [](uint64_t item) {
+    return 1.0 / std::log(static_cast<double>(item) + 10.0);
+  };
+  double truth = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) truth += weight(i);
+
+  const int trials = 400;
+  double sum_estimates = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    WeightedBottomKSampler s(32);
+    uint64_t seed = 555 + t;
+    for (uint64_t i = 1; i <= n; ++i) {
+      s.Offer(i, HashToExp(HashU64(i, seed)), weight(i));
+    }
+    sum_estimates += s.EstimateSubsetSum(weight);
+  }
+  double mean = sum_estimates / trials;
+  EXPECT_NEAR(mean, truth, 0.1 * truth);
+}
+
+TEST(WeightedSampler, IntersectionEmptyWhenNoCommonItems) {
+  WeightedBottomKSampler a(8), b(8);
+  for (uint64_t i = 1; i <= 5; ++i) a.Offer(i, ExpVariate(i), 1.0);
+  for (uint64_t i = 100; i <= 105; ++i) b.Offer(i, ExpVariate(i), 1.0);
+  auto weight = [](uint64_t) { return 1.0; };
+  EXPECT_DOUBLE_EQ(
+      WeightedBottomKSampler::EstimateWeightedIntersection(a, b, weight), 0.0);
+}
+
+TEST(WeightedSampler, IntersectionExactWhenBothUnsaturated) {
+  WeightedBottomKSampler a(32), b(32);
+  // A = {1..10}, B = {6..15}; intersection {6..10}.
+  for (uint64_t i = 1; i <= 10; ++i) a.Offer(i, ExpVariate(i), 1.0);
+  for (uint64_t i = 6; i <= 15; ++i) b.Offer(i, ExpVariate(i), 1.0);
+  auto weight = [](uint64_t) { return 1.0; };
+  EXPECT_NEAR(
+      WeightedBottomKSampler::EstimateWeightedIntersection(a, b, weight), 5.0,
+      1e-12);
+}
+
+TEST(WeightedSampler, IntersectionApproximatelyUnbiasedWhenSaturated) {
+  // |A| = |B| = 300 with 100 shared items; estimate Σ_{shared} w with k=64.
+  auto weight = [](uint64_t item) {
+    return 1.0 / std::log(static_cast<double>(item % 37) + 3.0);
+  };
+  double truth = 0.0;
+  for (uint64_t i = 1; i <= 100; ++i) truth += weight(i);
+
+  const int trials = 300;
+  double sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    uint64_t seed = 777 + t;
+    WeightedBottomKSampler a(64), b(64);
+    for (uint64_t i = 1; i <= 100; ++i) {  // shared
+      double e = HashToExp(HashU64(i, seed));
+      a.Offer(i, e, weight(i));
+      b.Offer(i, e, weight(i));
+    }
+    for (uint64_t i = 1000; i < 1200; ++i) {
+      a.Offer(i, HashToExp(HashU64(i, seed)), weight(i));
+    }
+    for (uint64_t i = 2000; i < 2200; ++i) {
+      b.Offer(i, HashToExp(HashU64(i, seed)), weight(i));
+    }
+    sum += WeightedBottomKSampler::EstimateWeightedIntersection(a, b, weight);
+  }
+  double mean = sum / trials;
+  EXPECT_NEAR(mean, truth, 0.15 * truth);
+}
+
+TEST(WeightedSampler, MemoryScalesWithK) {
+  WeightedBottomKSampler small(4), large(256);
+  for (uint64_t i = 1; i <= 300; ++i) {
+    small.Offer(i, ExpVariate(i), 1.0);
+    large.Offer(i, ExpVariate(i), 1.0);
+  }
+  EXPECT_LT(small.MemoryBytes(), large.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace streamlink

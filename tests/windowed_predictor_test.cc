@@ -1,0 +1,157 @@
+#include "core/windowed_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_predictor.h"
+#include "eval/experiment.h"
+#include "gen/sbm.h"
+#include "graph/exact_measures.h"
+#include "stream/sliding_window.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+WindowedPredictorOptions SmallWindow(uint64_t window, uint32_t buckets = 4,
+                                     uint32_t k = 64) {
+  WindowedPredictorOptions options;
+  options.num_hashes = k;
+  options.window_edges = window;
+  options.num_buckets = buckets;
+  return options;
+}
+
+TEST(WindowedPredictor, NameAndDefaults) {
+  WindowedMinHashPredictor p;
+  EXPECT_EQ(p.name(), "windowed_minhash");
+  EXPECT_EQ(p.options().num_buckets, 8u);
+}
+
+TEST(WindowedPredictorDeathTest, BadOptionsAbort) {
+  WindowedPredictorOptions options;
+  options.num_buckets = 1;
+  EXPECT_DEATH(WindowedMinHashPredictor p(options), "2 buckets");
+  options.num_buckets = 8;
+  options.window_edges = 4;
+  EXPECT_DEATH(WindowedMinHashPredictor q(options), "one edge per bucket");
+}
+
+TEST(WindowedPredictor, BucketWidthDerivedFromWindow) {
+  WindowedMinHashPredictor p(SmallWindow(100, 4));
+  EXPECT_EQ(p.bucket_width(), 25u);
+}
+
+TEST(WindowedPredictor, BehavesLikeMinHashWithinWindow) {
+  // Whole stream fits in the window: estimates match insert-only logic.
+  WindowedMinHashPredictor p(SmallWindow(1000, 4, 64));
+  FeedStream(p, {{0, 10}, {0, 11}, {1, 10}, {1, 11}});
+  OverlapEstimate e = p.EstimateOverlap(0, 1);
+  EXPECT_DOUBLE_EQ(e.jaccard, 1.0);
+  EXPECT_NEAR(e.intersection, 2.0, 1e-9);
+  EXPECT_EQ(p.WindowDegree(0), 2u);
+}
+
+TEST(WindowedPredictor, OldEdgesExpire) {
+  // Window = 8 edges in 4 buckets of 2. Fill the window with 0-1 overlap
+  // edges, then push 8 unrelated edges: the old neighborhoods must vanish.
+  WindowedMinHashPredictor p(SmallWindow(8, 4, 32));
+  FeedStream(p, {{0, 10}, {0, 11}, {1, 10}, {1, 11}});
+  EXPECT_DOUBLE_EQ(p.EstimateOverlap(0, 1).jaccard, 1.0);
+
+  for (VertexId i = 0; i < 10; ++i) {
+    p.OnEdge(Edge(100 + i, 200 + i));
+  }
+  OverlapEstimate e = p.EstimateOverlap(0, 1);
+  EXPECT_DOUBLE_EQ(e.jaccard, 0.0);
+  EXPECT_EQ(p.WindowDegree(0), 0u);
+  // The earliest fillers expired too; the most recent one is still live.
+  EXPECT_EQ(p.WindowDegree(100), 0u);
+  EXPECT_EQ(p.WindowDegree(109), 1u);
+}
+
+TEST(WindowedPredictor, PartialExpiryKeepsRecentBuckets) {
+  // Window 8 (4 buckets of 2): insert 4 overlap edges (epochs 0-1), then 4
+  // fillers (epochs 2-3) — original edges are still live (epoch 0 >
+  // current(3) - 4).
+  WindowedMinHashPredictor p(SmallWindow(8, 4, 32));
+  FeedStream(p, {{0, 10}, {0, 11}, {1, 10}, {1, 11}});
+  FeedStream(p, {{100, 200}, {101, 201}, {102, 202}, {103, 203}});
+  EXPECT_DOUBLE_EQ(p.EstimateOverlap(0, 1).jaccard, 1.0);
+  // Two more edges push current epoch to 4; epoch 0 and 1 expire, taking
+  // all four overlap edges with them.
+  FeedStream(p, {{104, 204}, {105, 205}});
+  FeedStream(p, {{106, 206}, {107, 207}});
+  EXPECT_DOUBLE_EQ(p.EstimateOverlap(0, 1).jaccard, 0.0);
+}
+
+TEST(WindowedPredictor, TracksExactSlidingWindowOnDriftingStream) {
+  // Community drift: phase 1 connects block A internally, phase 2 block B.
+  // After phase 2 fills the window, pair similarities must reflect phase 2
+  // only. Compare against the exact SlidingWindowGraph at the end.
+  const uint64_t window = 2000;
+  WindowedMinHashPredictor sketch(SmallWindow(window, 8, 128));
+  SlidingWindowGraph exact_window(window);
+
+  Rng rng(4);
+  SbmParams params;
+  params.num_vertices = 600;
+  params.num_blocks = 3;
+  params.p_intra = 0.05;
+  params.p_inter = 0.0;
+  EdgeList phase1 = GenerateSbm(params, rng).graph.edges;
+  SbmParams params2 = params;
+  Rng rng2 = rng.Fork();
+  EdgeList phase2 = GenerateSbm(params2, rng2).graph.edges;
+
+  for (const Edge& e : phase1) {
+    sketch.OnEdge(e);
+    exact_window.Add(e);
+  }
+  for (const Edge& e : phase2) {
+    sketch.OnEdge(e);
+    exact_window.Add(e);
+  }
+
+  // Compare a handful of pairs against the exact window graph.
+  Rng pair_rng(5);
+  double total_error = 0.0;
+  int count = 0;
+  for (int i = 0; i < 200; ++i) {
+    VertexId u = static_cast<VertexId>(pair_rng.NextBounded(600));
+    VertexId v = static_cast<VertexId>(pair_rng.NextBounded(600));
+    if (u == v) continue;
+    double truth =
+        ComputeOverlap(exact_window.graph(), u, v).Jaccard();
+    double est = sketch.EstimateOverlap(u, v).jaccard;
+    total_error += std::abs(est - truth);
+    ++count;
+  }
+  ASSERT_GT(count, 0);
+  // Bucket-granularity expiry and k=128 sampling both add error; the
+  // average must still be small.
+  EXPECT_LT(total_error / count, 0.12);
+}
+
+TEST(WindowedPredictor, FactoryBuildsWithWindowParams) {
+  PredictorConfig config;
+  config.kind = "windowed_minhash";
+  config.sketch_size = 32;
+  config.window_edges = 64;
+  config.window_buckets = 4;
+  auto p = MakePredictor(config);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->name(), "windowed_minhash");
+}
+
+TEST(WindowedPredictor, MemoryScalesWithBucketsTimesK) {
+  WindowedMinHashPredictor small(SmallWindow(1000, 4, 16));
+  WindowedMinHashPredictor large(SmallWindow(1000, 8, 64));
+  EdgeList edges;
+  for (VertexId i = 0; i < 200; ++i) edges.push_back({i, i + 1});
+  FeedStream(small, edges);
+  FeedStream(large, edges);
+  EXPECT_LT(small.MemoryBytes(), large.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,0 +1,21 @@
+// The streamlink command-line tool: generate synthetic graph streams,
+// inspect edge-list files, build/persist predictor snapshots, and answer
+// link-prediction queries — see CliUsage() or run with no arguments.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  streamlink::Status status = streamlink::RunCliCommand(args, std::cout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
