@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a14_hash_quality.dir/bench_a14_hash_quality.cc.o"
+  "CMakeFiles/bench_a14_hash_quality.dir/bench_a14_hash_quality.cc.o.d"
+  "bench_a14_hash_quality"
+  "bench_a14_hash_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a14_hash_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_oph.dir/bench_f10_oph.cc.o"
+  "CMakeFiles/bench_f10_oph.dir/bench_f10_oph.cc.o.d"
+  "bench_f10_oph"
+  "bench_f10_oph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_oph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f12_bbit.cc" "bench/CMakeFiles/bench_f12_bbit.dir/bench_f12_bbit.cc.o" "gcc" "bench/CMakeFiles/bench_f12_bbit.dir/bench_f12_bbit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamlink_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_bbit.dir/bench_f12_bbit.cc.o"
+  "CMakeFiles/bench_f12_bbit.dir/bench_f12_bbit.cc.o.d"
+  "bench_f12_bbit"
+  "bench_f12_bbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_bbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f13_weighted.dir/bench_f13_weighted.cc.o"
+  "CMakeFiles/bench_f13_weighted.dir/bench_f13_weighted.cc.o.d"
+  "bench_f13_weighted"
+  "bench_f13_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f13_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f15_simjoin.dir/bench_f15_simjoin.cc.o"
+  "CMakeFiles/bench_f15_simjoin.dir/bench_f15_simjoin.cc.o.d"
+  "bench_f15_simjoin"
+  "bench_f15_simjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f15_simjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

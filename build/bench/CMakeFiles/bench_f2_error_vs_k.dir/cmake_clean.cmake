@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_error_vs_k.dir/bench_f2_error_vs_k.cc.o"
+  "CMakeFiles/bench_f2_error_vs_k.dir/bench_f2_error_vs_k.cc.o.d"
+  "bench_f2_error_vs_k"
+  "bench_f2_error_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_error_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_error_vs_stream.dir/bench_f3_error_vs_stream.cc.o"
+  "CMakeFiles/bench_f3_error_vs_stream.dir/bench_f3_error_vs_stream.cc.o.d"
+  "bench_f3_error_vs_stream"
+  "bench_f3_error_vs_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_error_vs_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

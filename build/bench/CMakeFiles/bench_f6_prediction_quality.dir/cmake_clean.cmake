@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_prediction_quality.dir/bench_f6_prediction_quality.cc.o"
+  "CMakeFiles/bench_f6_prediction_quality.dir/bench_f6_prediction_quality.cc.o.d"
+  "bench_f6_prediction_quality"
+  "bench_f6_prediction_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_prediction_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t8_ablation_biased.dir/bench_t8_ablation_biased.cc.o"
+  "CMakeFiles/bench_t8_ablation_biased.dir/bench_t8_ablation_biased.cc.o.d"
+  "bench_t8_ablation_biased"
+  "bench_t8_ablation_biased.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_ablation_biased.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_evolution.dir/citation_evolution.cpp.o"
+  "CMakeFiles/citation_evolution.dir/citation_evolution.cpp.o.d"
+  "citation_evolution"
+  "citation_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_ingest.dir/parallel_ingest.cpp.o"
+  "CMakeFiles/parallel_ingest.dir/parallel_ingest.cpp.o.d"
+  "parallel_ingest"
+  "parallel_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/role_mining.dir/role_mining.cpp.o"
+  "CMakeFiles/role_mining.dir/role_mining.cpp.o.d"
+  "role_mining"
+  "role_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/role_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

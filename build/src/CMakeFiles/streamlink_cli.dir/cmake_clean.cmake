@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlink_cli.dir/cli/commands.cc.o"
+  "CMakeFiles/streamlink_cli.dir/cli/commands.cc.o.d"
+  "libstreamlink_cli.a"
+  "libstreamlink_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlink_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bottomk_predictor.cc" "src/CMakeFiles/streamlink_core.dir/core/bottomk_predictor.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/bottomk_predictor.cc.o.d"
+  "/root/repo/src/core/directed_predictor.cc" "src/CMakeFiles/streamlink_core.dir/core/directed_predictor.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/directed_predictor.cc.o.d"
+  "/root/repo/src/core/error_bounds.cc" "src/CMakeFiles/streamlink_core.dir/core/error_bounds.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/error_bounds.cc.o.d"
+  "/root/repo/src/core/exact_predictor.cc" "src/CMakeFiles/streamlink_core.dir/core/exact_predictor.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/exact_predictor.cc.o.d"
+  "/root/repo/src/core/link_predictor.cc" "src/CMakeFiles/streamlink_core.dir/core/link_predictor.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/link_predictor.cc.o.d"
+  "/root/repo/src/core/minhash_predictor.cc" "src/CMakeFiles/streamlink_core.dir/core/minhash_predictor.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/minhash_predictor.cc.o.d"
+  "/root/repo/src/core/oph_predictor.cc" "src/CMakeFiles/streamlink_core.dir/core/oph_predictor.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/oph_predictor.cc.o.d"
+  "/root/repo/src/core/predictor_factory.cc" "src/CMakeFiles/streamlink_core.dir/core/predictor_factory.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/predictor_factory.cc.o.d"
+  "/root/repo/src/core/similarity_join.cc" "src/CMakeFiles/streamlink_core.dir/core/similarity_join.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/similarity_join.cc.o.d"
+  "/root/repo/src/core/sketch_store.cc" "src/CMakeFiles/streamlink_core.dir/core/sketch_store.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/sketch_store.cc.o.d"
+  "/root/repo/src/core/top_k_engine.cc" "src/CMakeFiles/streamlink_core.dir/core/top_k_engine.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/top_k_engine.cc.o.d"
+  "/root/repo/src/core/triangle_counter.cc" "src/CMakeFiles/streamlink_core.dir/core/triangle_counter.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/triangle_counter.cc.o.d"
+  "/root/repo/src/core/vertex_biased_predictor.cc" "src/CMakeFiles/streamlink_core.dir/core/vertex_biased_predictor.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/vertex_biased_predictor.cc.o.d"
+  "/root/repo/src/core/weighted_predictor.cc" "src/CMakeFiles/streamlink_core.dir/core/weighted_predictor.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/weighted_predictor.cc.o.d"
+  "/root/repo/src/core/windowed_predictor.cc" "src/CMakeFiles/streamlink_core.dir/core/windowed_predictor.cc.o" "gcc" "src/CMakeFiles/streamlink_core.dir/core/windowed_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamlink_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlink_core.dir/core/bottomk_predictor.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/bottomk_predictor.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/directed_predictor.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/directed_predictor.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/error_bounds.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/error_bounds.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/exact_predictor.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/exact_predictor.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/link_predictor.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/link_predictor.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/minhash_predictor.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/minhash_predictor.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/oph_predictor.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/oph_predictor.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/predictor_factory.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/predictor_factory.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/similarity_join.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/similarity_join.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/sketch_store.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/sketch_store.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/top_k_engine.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/top_k_engine.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/triangle_counter.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/triangle_counter.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/vertex_biased_predictor.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/vertex_biased_predictor.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/weighted_predictor.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/weighted_predictor.cc.o.d"
+  "CMakeFiles/streamlink_core.dir/core/windowed_predictor.cc.o"
+  "CMakeFiles/streamlink_core.dir/core/windowed_predictor.cc.o.d"
+  "libstreamlink_core.a"
+  "libstreamlink_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlink_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

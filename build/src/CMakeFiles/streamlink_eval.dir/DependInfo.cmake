@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/streamlink_eval.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/streamlink_eval.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/streamlink_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/streamlink_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/rank_correlation.cc" "src/CMakeFiles/streamlink_eval.dir/eval/rank_correlation.cc.o" "gcc" "src/CMakeFiles/streamlink_eval.dir/eval/rank_correlation.cc.o.d"
+  "/root/repo/src/eval/relative_error.cc" "src/CMakeFiles/streamlink_eval.dir/eval/relative_error.cc.o" "gcc" "src/CMakeFiles/streamlink_eval.dir/eval/relative_error.cc.o.d"
+  "/root/repo/src/eval/temporal_split.cc" "src/CMakeFiles/streamlink_eval.dir/eval/temporal_split.cc.o" "gcc" "src/CMakeFiles/streamlink_eval.dir/eval/temporal_split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamlink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

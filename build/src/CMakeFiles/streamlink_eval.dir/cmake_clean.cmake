@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlink_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/streamlink_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/streamlink_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/streamlink_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/streamlink_eval.dir/eval/rank_correlation.cc.o"
+  "CMakeFiles/streamlink_eval.dir/eval/rank_correlation.cc.o.d"
+  "CMakeFiles/streamlink_eval.dir/eval/relative_error.cc.o"
+  "CMakeFiles/streamlink_eval.dir/eval/relative_error.cc.o.d"
+  "CMakeFiles/streamlink_eval.dir/eval/temporal_split.cc.o"
+  "CMakeFiles/streamlink_eval.dir/eval/temporal_split.cc.o.d"
+  "libstreamlink_eval.a"
+  "libstreamlink_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlink_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

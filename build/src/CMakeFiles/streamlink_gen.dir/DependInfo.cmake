@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/barabasi_albert.cc" "src/CMakeFiles/streamlink_gen.dir/gen/barabasi_albert.cc.o" "gcc" "src/CMakeFiles/streamlink_gen.dir/gen/barabasi_albert.cc.o.d"
+  "/root/repo/src/gen/configuration_model.cc" "src/CMakeFiles/streamlink_gen.dir/gen/configuration_model.cc.o" "gcc" "src/CMakeFiles/streamlink_gen.dir/gen/configuration_model.cc.o.d"
+  "/root/repo/src/gen/drifting.cc" "src/CMakeFiles/streamlink_gen.dir/gen/drifting.cc.o" "gcc" "src/CMakeFiles/streamlink_gen.dir/gen/drifting.cc.o.d"
+  "/root/repo/src/gen/erdos_renyi.cc" "src/CMakeFiles/streamlink_gen.dir/gen/erdos_renyi.cc.o" "gcc" "src/CMakeFiles/streamlink_gen.dir/gen/erdos_renyi.cc.o.d"
+  "/root/repo/src/gen/pair_sampler.cc" "src/CMakeFiles/streamlink_gen.dir/gen/pair_sampler.cc.o" "gcc" "src/CMakeFiles/streamlink_gen.dir/gen/pair_sampler.cc.o.d"
+  "/root/repo/src/gen/rmat.cc" "src/CMakeFiles/streamlink_gen.dir/gen/rmat.cc.o" "gcc" "src/CMakeFiles/streamlink_gen.dir/gen/rmat.cc.o.d"
+  "/root/repo/src/gen/sbm.cc" "src/CMakeFiles/streamlink_gen.dir/gen/sbm.cc.o" "gcc" "src/CMakeFiles/streamlink_gen.dir/gen/sbm.cc.o.d"
+  "/root/repo/src/gen/stream_order.cc" "src/CMakeFiles/streamlink_gen.dir/gen/stream_order.cc.o" "gcc" "src/CMakeFiles/streamlink_gen.dir/gen/stream_order.cc.o.d"
+  "/root/repo/src/gen/watts_strogatz.cc" "src/CMakeFiles/streamlink_gen.dir/gen/watts_strogatz.cc.o" "gcc" "src/CMakeFiles/streamlink_gen.dir/gen/watts_strogatz.cc.o.d"
+  "/root/repo/src/gen/workloads.cc" "src/CMakeFiles/streamlink_gen.dir/gen/workloads.cc.o" "gcc" "src/CMakeFiles/streamlink_gen.dir/gen/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamlink_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlink_gen.dir/gen/barabasi_albert.cc.o"
+  "CMakeFiles/streamlink_gen.dir/gen/barabasi_albert.cc.o.d"
+  "CMakeFiles/streamlink_gen.dir/gen/configuration_model.cc.o"
+  "CMakeFiles/streamlink_gen.dir/gen/configuration_model.cc.o.d"
+  "CMakeFiles/streamlink_gen.dir/gen/drifting.cc.o"
+  "CMakeFiles/streamlink_gen.dir/gen/drifting.cc.o.d"
+  "CMakeFiles/streamlink_gen.dir/gen/erdos_renyi.cc.o"
+  "CMakeFiles/streamlink_gen.dir/gen/erdos_renyi.cc.o.d"
+  "CMakeFiles/streamlink_gen.dir/gen/pair_sampler.cc.o"
+  "CMakeFiles/streamlink_gen.dir/gen/pair_sampler.cc.o.d"
+  "CMakeFiles/streamlink_gen.dir/gen/rmat.cc.o"
+  "CMakeFiles/streamlink_gen.dir/gen/rmat.cc.o.d"
+  "CMakeFiles/streamlink_gen.dir/gen/sbm.cc.o"
+  "CMakeFiles/streamlink_gen.dir/gen/sbm.cc.o.d"
+  "CMakeFiles/streamlink_gen.dir/gen/stream_order.cc.o"
+  "CMakeFiles/streamlink_gen.dir/gen/stream_order.cc.o.d"
+  "CMakeFiles/streamlink_gen.dir/gen/watts_strogatz.cc.o"
+  "CMakeFiles/streamlink_gen.dir/gen/watts_strogatz.cc.o.d"
+  "CMakeFiles/streamlink_gen.dir/gen/workloads.cc.o"
+  "CMakeFiles/streamlink_gen.dir/gen/workloads.cc.o.d"
+  "libstreamlink_gen.a"
+  "libstreamlink_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlink_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

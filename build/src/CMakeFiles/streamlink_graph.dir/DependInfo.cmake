@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adjacency_graph.cc" "src/CMakeFiles/streamlink_graph.dir/graph/adjacency_graph.cc.o" "gcc" "src/CMakeFiles/streamlink_graph.dir/graph/adjacency_graph.cc.o.d"
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/streamlink_graph.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/streamlink_graph.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/streamlink_graph.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/streamlink_graph.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/edge_list_io.cc" "src/CMakeFiles/streamlink_graph.dir/graph/edge_list_io.cc.o" "gcc" "src/CMakeFiles/streamlink_graph.dir/graph/edge_list_io.cc.o.d"
+  "/root/repo/src/graph/exact_measures.cc" "src/CMakeFiles/streamlink_graph.dir/graph/exact_measures.cc.o" "gcc" "src/CMakeFiles/streamlink_graph.dir/graph/exact_measures.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/streamlink_graph.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/streamlink_graph.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/types.cc" "src/CMakeFiles/streamlink_graph.dir/graph/types.cc.o" "gcc" "src/CMakeFiles/streamlink_graph.dir/graph/types.cc.o.d"
+  "/root/repo/src/graph/weighted_graph.cc" "src/CMakeFiles/streamlink_graph.dir/graph/weighted_graph.cc.o" "gcc" "src/CMakeFiles/streamlink_graph.dir/graph/weighted_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamlink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

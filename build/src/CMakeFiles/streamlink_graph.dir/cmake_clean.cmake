@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlink_graph.dir/graph/adjacency_graph.cc.o"
+  "CMakeFiles/streamlink_graph.dir/graph/adjacency_graph.cc.o.d"
+  "CMakeFiles/streamlink_graph.dir/graph/csr_graph.cc.o"
+  "CMakeFiles/streamlink_graph.dir/graph/csr_graph.cc.o.d"
+  "CMakeFiles/streamlink_graph.dir/graph/digraph.cc.o"
+  "CMakeFiles/streamlink_graph.dir/graph/digraph.cc.o.d"
+  "CMakeFiles/streamlink_graph.dir/graph/edge_list_io.cc.o"
+  "CMakeFiles/streamlink_graph.dir/graph/edge_list_io.cc.o.d"
+  "CMakeFiles/streamlink_graph.dir/graph/exact_measures.cc.o"
+  "CMakeFiles/streamlink_graph.dir/graph/exact_measures.cc.o.d"
+  "CMakeFiles/streamlink_graph.dir/graph/graph_stats.cc.o"
+  "CMakeFiles/streamlink_graph.dir/graph/graph_stats.cc.o.d"
+  "CMakeFiles/streamlink_graph.dir/graph/types.cc.o"
+  "CMakeFiles/streamlink_graph.dir/graph/types.cc.o.d"
+  "CMakeFiles/streamlink_graph.dir/graph/weighted_graph.cc.o"
+  "CMakeFiles/streamlink_graph.dir/graph/weighted_graph.cc.o.d"
+  "libstreamlink_graph.a"
+  "libstreamlink_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlink_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

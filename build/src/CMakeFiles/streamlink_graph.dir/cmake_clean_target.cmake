@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstreamlink_graph.a"
+)

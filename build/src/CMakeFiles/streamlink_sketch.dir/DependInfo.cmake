@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/bbit_minhash.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/bbit_minhash.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/bbit_minhash.cc.o.d"
+  "/root/repo/src/sketch/bloom.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/bloom.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/bloom.cc.o.d"
+  "/root/repo/src/sketch/bottomk.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/bottomk.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/bottomk.cc.o.d"
+  "/root/repo/src/sketch/count_sketch.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/count_sketch.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/count_sketch.cc.o.d"
+  "/root/repo/src/sketch/countmin.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/countmin.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/countmin.cc.o.d"
+  "/root/repo/src/sketch/hyperloglog.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/hyperloglog.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/hyperloglog.cc.o.d"
+  "/root/repo/src/sketch/icws.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/icws.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/icws.cc.o.d"
+  "/root/repo/src/sketch/minhash.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/minhash.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/minhash.cc.o.d"
+  "/root/repo/src/sketch/oph.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/oph.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/oph.cc.o.d"
+  "/root/repo/src/sketch/quantile.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/quantile.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/quantile.cc.o.d"
+  "/root/repo/src/sketch/reservoir.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/reservoir.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/reservoir.cc.o.d"
+  "/root/repo/src/sketch/space_saving.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/space_saving.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/space_saving.cc.o.d"
+  "/root/repo/src/sketch/weighted_sampler.cc" "src/CMakeFiles/streamlink_sketch.dir/sketch/weighted_sampler.cc.o" "gcc" "src/CMakeFiles/streamlink_sketch.dir/sketch/weighted_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamlink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlink_sketch.dir/sketch/bbit_minhash.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/bbit_minhash.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/bloom.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/bloom.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/bottomk.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/bottomk.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/count_sketch.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/count_sketch.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/countmin.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/countmin.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/hyperloglog.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/hyperloglog.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/icws.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/icws.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/minhash.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/minhash.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/oph.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/oph.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/quantile.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/quantile.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/reservoir.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/reservoir.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/space_saving.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/space_saving.cc.o.d"
+  "CMakeFiles/streamlink_sketch.dir/sketch/weighted_sampler.cc.o"
+  "CMakeFiles/streamlink_sketch.dir/sketch/weighted_sampler.cc.o.d"
+  "libstreamlink_sketch.a"
+  "libstreamlink_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlink_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

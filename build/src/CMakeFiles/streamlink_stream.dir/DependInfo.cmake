@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/edge_stream.cc" "src/CMakeFiles/streamlink_stream.dir/stream/edge_stream.cc.o" "gcc" "src/CMakeFiles/streamlink_stream.dir/stream/edge_stream.cc.o.d"
+  "/root/repo/src/stream/rate_meter.cc" "src/CMakeFiles/streamlink_stream.dir/stream/rate_meter.cc.o" "gcc" "src/CMakeFiles/streamlink_stream.dir/stream/rate_meter.cc.o.d"
+  "/root/repo/src/stream/sliding_window.cc" "src/CMakeFiles/streamlink_stream.dir/stream/sliding_window.cc.o" "gcc" "src/CMakeFiles/streamlink_stream.dir/stream/sliding_window.cc.o.d"
+  "/root/repo/src/stream/stream_driver.cc" "src/CMakeFiles/streamlink_stream.dir/stream/stream_driver.cc.o" "gcc" "src/CMakeFiles/streamlink_stream.dir/stream/stream_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamlink_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/streamlink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

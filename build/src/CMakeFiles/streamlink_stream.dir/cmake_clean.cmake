@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlink_stream.dir/stream/edge_stream.cc.o"
+  "CMakeFiles/streamlink_stream.dir/stream/edge_stream.cc.o.d"
+  "CMakeFiles/streamlink_stream.dir/stream/rate_meter.cc.o"
+  "CMakeFiles/streamlink_stream.dir/stream/rate_meter.cc.o.d"
+  "CMakeFiles/streamlink_stream.dir/stream/sliding_window.cc.o"
+  "CMakeFiles/streamlink_stream.dir/stream/sliding_window.cc.o.d"
+  "CMakeFiles/streamlink_stream.dir/stream/stream_driver.cc.o"
+  "CMakeFiles/streamlink_stream.dir/stream/stream_driver.cc.o.d"
+  "libstreamlink_stream.a"
+  "libstreamlink_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlink_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

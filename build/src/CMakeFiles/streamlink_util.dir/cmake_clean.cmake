@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlink_util.dir/util/csv_writer.cc.o"
+  "CMakeFiles/streamlink_util.dir/util/csv_writer.cc.o.d"
+  "CMakeFiles/streamlink_util.dir/util/flags.cc.o"
+  "CMakeFiles/streamlink_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/streamlink_util.dir/util/hashing.cc.o"
+  "CMakeFiles/streamlink_util.dir/util/hashing.cc.o.d"
+  "CMakeFiles/streamlink_util.dir/util/logging.cc.o"
+  "CMakeFiles/streamlink_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/streamlink_util.dir/util/random.cc.o"
+  "CMakeFiles/streamlink_util.dir/util/random.cc.o.d"
+  "CMakeFiles/streamlink_util.dir/util/serde.cc.o"
+  "CMakeFiles/streamlink_util.dir/util/serde.cc.o.d"
+  "CMakeFiles/streamlink_util.dir/util/status.cc.o"
+  "CMakeFiles/streamlink_util.dir/util/status.cc.o.d"
+  "CMakeFiles/streamlink_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/streamlink_util.dir/util/table_printer.cc.o.d"
+  "CMakeFiles/streamlink_util.dir/util/timer.cc.o"
+  "CMakeFiles/streamlink_util.dir/util/timer.cc.o.d"
+  "libstreamlink_util.a"
+  "libstreamlink_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlink_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbit_minhash_test.dir/bbit_minhash_test.cc.o"
+  "CMakeFiles/bbit_minhash_test.dir/bbit_minhash_test.cc.o.d"
+  "bbit_minhash_test"
+  "bbit_minhash_test.pdb"
+  "bbit_minhash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbit_minhash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

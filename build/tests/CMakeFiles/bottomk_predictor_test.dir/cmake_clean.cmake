@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottomk_predictor_test.dir/bottomk_predictor_test.cc.o"
+  "CMakeFiles/bottomk_predictor_test.dir/bottomk_predictor_test.cc.o.d"
+  "bottomk_predictor_test"
+  "bottomk_predictor_test.pdb"
+  "bottomk_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottomk_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

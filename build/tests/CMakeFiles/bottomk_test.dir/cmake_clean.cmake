@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottomk_test.dir/bottomk_test.cc.o"
+  "CMakeFiles/bottomk_test.dir/bottomk_test.cc.o.d"
+  "bottomk_test"
+  "bottomk_test.pdb"
+  "bottomk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottomk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

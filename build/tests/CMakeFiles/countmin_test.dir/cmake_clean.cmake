@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/countmin_test.dir/countmin_test.cc.o"
+  "CMakeFiles/countmin_test.dir/countmin_test.cc.o.d"
+  "countmin_test"
+  "countmin_test.pdb"
+  "countmin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/countmin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directed_predictor_test.dir/directed_predictor_test.cc.o"
+  "CMakeFiles/directed_predictor_test.dir/directed_predictor_test.cc.o.d"
+  "directed_predictor_test"
+  "directed_predictor_test.pdb"
+  "directed_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directed_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

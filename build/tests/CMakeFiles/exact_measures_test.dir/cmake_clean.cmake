@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_measures_test.dir/exact_measures_test.cc.o"
+  "CMakeFiles/exact_measures_test.dir/exact_measures_test.cc.o.d"
+  "exact_measures_test"
+  "exact_measures_test.pdb"
+  "exact_measures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_measures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_io_test.dir/extension_io_test.cc.o"
+  "CMakeFiles/extension_io_test.dir/extension_io_test.cc.o.d"
+  "extension_io_test"
+  "extension_io_test.pdb"
+  "extension_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

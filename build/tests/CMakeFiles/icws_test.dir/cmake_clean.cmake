@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icws_test.dir/icws_test.cc.o"
+  "CMakeFiles/icws_test.dir/icws_test.cc.o.d"
+  "icws_test"
+  "icws_test.pdb"
+  "icws_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oph_test.dir/oph_test.cc.o"
+  "CMakeFiles/oph_test.dir/oph_test.cc.o.d"
+  "oph_test"
+  "oph_test.pdb"
+  "oph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

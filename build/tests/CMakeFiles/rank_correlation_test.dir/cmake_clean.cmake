@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_correlation_test.dir/rank_correlation_test.cc.o"
+  "CMakeFiles/rank_correlation_test.dir/rank_correlation_test.cc.o.d"
+  "rank_correlation_test"
+  "rank_correlation_test.pdb"
+  "rank_correlation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_correlation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relative_error_test.dir/relative_error_test.cc.o"
+  "CMakeFiles/relative_error_test.dir/relative_error_test.cc.o.d"
+  "relative_error_test"
+  "relative_error_test.pdb"
+  "relative_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relative_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_join_test.dir/similarity_join_test.cc.o"
+  "CMakeFiles/similarity_join_test.dir/similarity_join_test.cc.o.d"
+  "similarity_join_test"
+  "similarity_join_test.pdb"
+  "similarity_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_split_test.dir/temporal_split_test.cc.o"
+  "CMakeFiles/temporal_split_test.dir/temporal_split_test.cc.o.d"
+  "temporal_split_test"
+  "temporal_split_test.pdb"
+  "temporal_split_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

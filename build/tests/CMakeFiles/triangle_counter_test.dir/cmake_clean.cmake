@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_counter_test.dir/triangle_counter_test.cc.o"
+  "CMakeFiles/triangle_counter_test.dir/triangle_counter_test.cc.o.d"
+  "triangle_counter_test"
+  "triangle_counter_test.pdb"
+  "triangle_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_biased_predictor_test.dir/vertex_biased_predictor_test.cc.o"
+  "CMakeFiles/vertex_biased_predictor_test.dir/vertex_biased_predictor_test.cc.o.d"
+  "vertex_biased_predictor_test"
+  "vertex_biased_predictor_test.pdb"
+  "vertex_biased_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_biased_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

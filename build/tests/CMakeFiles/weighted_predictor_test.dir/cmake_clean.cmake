@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_predictor_test.dir/weighted_predictor_test.cc.o"
+  "CMakeFiles/weighted_predictor_test.dir/weighted_predictor_test.cc.o.d"
+  "weighted_predictor_test"
+  "weighted_predictor_test.pdb"
+  "weighted_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_sampler_test.dir/weighted_sampler_test.cc.o"
+  "CMakeFiles/weighted_sampler_test.dir/weighted_sampler_test.cc.o.d"
+  "weighted_sampler_test"
+  "weighted_sampler_test.pdb"
+  "weighted_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

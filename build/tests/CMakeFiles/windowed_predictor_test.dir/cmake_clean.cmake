@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windowed_predictor_test.dir/windowed_predictor_test.cc.o"
+  "CMakeFiles/windowed_predictor_test.dir/windowed_predictor_test.cc.o.d"
+  "windowed_predictor_test"
+  "windowed_predictor_test.pdb"
+  "windowed_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windowed_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

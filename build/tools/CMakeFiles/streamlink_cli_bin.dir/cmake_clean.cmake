@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamlink_cli_bin.dir/streamlink_cli.cc.o"
+  "CMakeFiles/streamlink_cli_bin.dir/streamlink_cli.cc.o.d"
+  "streamlink_cli"
+  "streamlink_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamlink_cli_bin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
