@@ -7,6 +7,7 @@
 // when --out is given, also writes them as CSV for plotting.
 
 #include <cstdio>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>

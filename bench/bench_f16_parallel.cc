@@ -1,0 +1,94 @@
+// F16: ingestion throughput vs thread count for the parallel sharded
+// engine. Builds the same RMAT stream with 1/2/4/8 ingestion workers and
+// reports edges/sec plus speedup over the 1-thread engine build; a final
+// column confirms the sharded result stayed bit-identical to a sequential
+// build on sampled queries. Speedup columns only mean anything when the
+// machine has that many hardware threads — the binary prints the count.
+
+#include <thread>
+
+#include "bench_common.h"
+#include "core/link_predictor.h"
+#include "gen/workloads.h"
+#include "stream/edge_stream.h"
+#include "stream/parallel_ingest.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+/// Fraction of `pairs` sampled queries on which the two predictors give
+/// bit-identical estimates (1.0 = lossless).
+double IdenticalFraction(const LinkPredictor& a, const LinkPredictor& b,
+                         VertexId num_vertices, uint32_t pairs,
+                         uint64_t seed) {
+  Rng rng(seed);
+  uint32_t identical = 0;
+  for (uint32_t i = 0; i < pairs; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    OverlapEstimate ea = a.EstimateOverlap(u, v);
+    OverlapEstimate eb = b.EstimateOverlap(u, v);
+    identical += (ea.jaccard == eb.jaccard &&
+                  ea.intersection == eb.intersection &&
+                  ea.adamic_adar == eb.adamic_adar &&
+                  ea.resource_allocation == eb.resource_allocation);
+  }
+  return static_cast<double>(identical) / pairs;
+}
+
+void Run(const BenchConfig& config) {
+  Banner("F16", "parallel sharded ingestion: throughput vs threads");
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+
+  GeneratedGraph g =
+      MakeWorkload(WorkloadSpec{"rmat", config.scale, config.seed});
+  std::printf("stream: %zu edges, %u vertices\n\n", g.edges.size(),
+              g.num_vertices);
+
+  PredictorConfig predictor_config;
+  predictor_config.kind = "minhash";
+  predictor_config.sketch_size = 256;
+  predictor_config.seed = config.seed;
+
+  // Sequential reference for the equivalence column.
+  predictor_config.threads = 1;
+  ParallelIngestEngine reference_engine(predictor_config);
+  VectorEdgeStream reference_stream(g.edges);
+  auto reference = reference_engine.Build(reference_stream);
+  SL_CHECK_OK(reference.status());
+
+  ResultTable table(
+      {"threads", "seconds", "edges_per_sec", "speedup", "identical"});
+  double baseline_seconds = 0;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    predictor_config.threads = threads;
+    ParallelIngestEngine engine(predictor_config);
+    VectorEdgeStream stream(g.edges);
+    Stopwatch timer;
+    auto built = engine.Build(stream);
+    double seconds = timer.ElapsedSeconds();
+    SL_CHECK_OK(built.status());
+    if (threads == 1) baseline_seconds = seconds;
+    double identical = IdenticalFraction(
+        **reference, **built, g.num_vertices, config.pairs, config.seed);
+    table.AddRow({std::to_string(threads), ResultTable::Cell(seconds),
+                  ResultTable::Cell(g.edges.size() / seconds),
+                  ResultTable::Cell(baseline_seconds / seconds),
+                  ResultTable::Cell(identical)});
+    SL_CHECK(identical == 1.0)
+        << threads << "-thread build diverged from sequential";
+  }
+  table.Emit(config);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  streamlink::bench::Run(
+      streamlink::bench::BenchConfig::FromFlags(argc, argv, 1.0, 1000));
+  return 0;
+}

@@ -1,21 +1,22 @@
-// Parallel ingestion through sketch mergeability.
+// Parallel sharded ingestion with ParallelIngestEngine.
 //
 // MinHash sketches form a commutative idempotent monoid under slot-wise
-// minimum, and degree counters add — so predictors built over disjoint
-// stream partitions can be MERGED into one that is bit-identical to a
-// single-pass build. This example shards a stream across worker threads,
-// merges the shards, verifies equivalence against a sequential build, and
-// reports the speedup. The same property is what makes the sketches
-// shippable between machines in a distributed pipeline.
+// minimum, and degree counters add — so a stream can be vertex-sharded
+// across worker threads (shard t owns vertices with u % threads == t) and
+// the result stays bit-identical to a single-pass sequential build. The
+// engine routes each edge's two half-edges to the endpoint owners through
+// bounded queues; the returned ShardedPredictor answers queries by routing
+// to the owning shards, so there is no merge step at all.
 //
 // Run:  ./examples/parallel_ingest [--threads 4] [--scale 2.0]
 
 #include <cstdio>
 #include <thread>
-#include <vector>
 
-#include "core/minhash_predictor.h"
+#include "core/predictor_factory.h"
 #include "gen/workloads.h"
+#include "stream/edge_stream.h"
+#include "stream/parallel_ingest.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -32,44 +33,33 @@ int main(int argc, char** argv) {
 
   GeneratedGraph g = MakeWorkload(WorkloadSpec{"rmat", scale, 7});
   std::printf("stream: %zu edges\n\n", g.edges.size());
-  MinHashPredictorOptions options{256, 99};
+
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.sketch_size = 256;
+  config.seed = 99;
 
   // Sequential reference.
   Stopwatch sequential_timer;
-  MinHashPredictor sequential(options);
-  for (const Edge& e : g.edges) sequential.OnEdge(e);
+  config.threads = 1;
+  ParallelIngestEngine sequential_engine(config);
+  VectorEdgeStream sequential_stream(g.edges);
+  auto sequential = sequential_engine.Build(sequential_stream);
+  SL_CHECK_OK(sequential.status());
   double sequential_seconds = sequential_timer.ElapsedSeconds();
   std::printf("sequential build: %s\n",
               FormatDuration(sequential_seconds).c_str());
 
-  // Sharded build: VERTEX partitioning. Shard t owns vertices with
-  // u % num_threads == t, and applies only the half-edges of its vertices
-  // (ObserveNeighbor). Every vertex's sketch lives in exactly one shard,
-  // so total memory matches the sequential build and the final merge is a
-  // disjoint union.
+  // Sharded build through the engine: the calling thread routes half-edges
+  // to per-shard queues; one worker per shard applies them. Every vertex's
+  // sketch lives in exactly one shard, so total memory matches the
+  // sequential build.
   Stopwatch parallel_timer;
-  std::vector<MinHashPredictor> shards;
-  shards.reserve(num_threads);
-  for (int t = 0; t < num_threads; ++t) shards.emplace_back(options);
-  {
-    std::vector<std::thread> workers;
-    for (int t = 0; t < num_threads; ++t) {
-      workers.emplace_back([&, t] {
-        const uint32_t mod = static_cast<uint32_t>(num_threads);
-        for (const Edge& e : g.edges) {
-          if (e.IsSelfLoop()) continue;
-          if (e.u % mod == static_cast<uint32_t>(t)) {
-            shards[t].ObserveNeighbor(e.u, e.v);
-          }
-          if (e.v % mod == static_cast<uint32_t>(t)) {
-            shards[t].ObserveNeighbor(e.v, e.u);
-          }
-        }
-      });
-    }
-    for (auto& w : workers) w.join();
-  }
-  for (int t = 1; t < num_threads; ++t) shards[0].MergeFrom(shards[t]);
+  config.threads = static_cast<uint32_t>(num_threads);
+  ParallelIngestEngine parallel_engine(config);
+  VectorEdgeStream parallel_stream(g.edges);
+  auto sharded = parallel_engine.Build(parallel_stream);
+  SL_CHECK_OK(sharded.status());
   double parallel_seconds = parallel_timer.ElapsedSeconds();
   unsigned hardware = std::thread::hardware_concurrency();
   std::printf("%d-thread build:  %s  (%.2fx on %u hardware thread%s)\n",
@@ -79,25 +69,29 @@ int main(int argc, char** argv) {
   if (hardware < static_cast<unsigned>(num_threads)) {
     std::printf(
         "  (speedup requires >= %d cores; this machine has %u — the run\n"
-        "   still demonstrates that sharded ingestion merges losslessly)\n",
+        "   still demonstrates that sharded ingestion is lossless)\n",
         num_threads, hardware);
   }
-  std::printf("\n");
+  std::printf("ingested %llu edges; %s processed %llu\n\n",
+              static_cast<unsigned long long>(parallel_engine.edges_ingested()),
+              (*sharded)->name().c_str(),
+              static_cast<unsigned long long>((*sharded)->edges_processed()));
 
-  // Verify bit-equality of estimates on random pairs.
+  // Verify bit-equality of estimates on random pairs — queries route to
+  // the two owning shards and must match the sequential build exactly.
   Rng rng(1);
   int checked = 0, identical = 0;
   for (int i = 0; i < 1000; ++i) {
     VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
     VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
-    OverlapEstimate a = sequential.EstimateOverlap(u, v);
-    OverlapEstimate b = shards[0].EstimateOverlap(u, v);
+    OverlapEstimate a = (*sequential)->EstimateOverlap(u, v);
+    OverlapEstimate b = (*sharded)->EstimateOverlap(u, v);
     ++checked;
     identical += (a.jaccard == b.jaccard && a.intersection == b.intersection &&
                   a.adamic_adar == b.adamic_adar);
   }
-  std::printf("merged == sequential on %d/%d sampled queries\n", identical,
+  std::printf("sharded == sequential on %d/%d sampled queries\n", identical,
               checked);
-  SL_CHECK(identical == checked) << "merge diverged from sequential build";
+  SL_CHECK(identical == checked) << "sharded build diverged from sequential";
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "core/exact_predictor.h"
 #include "core/minhash_predictor.h"
 #include "core/predictor_factory.h"
+#include "core/sharded_predictor.h"
 #include "core/top_k_engine.h"
 #include "eval/experiment.h"
 #include "gen/pair_sampler.h"
@@ -12,7 +13,10 @@
 #include "graph/csr_graph.h"
 #include "graph/edge_list_io.h"
 #include "graph/graph_stats.h"
+#include "stream/edge_stream.h"
+#include "stream/parallel_ingest.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/random.h"
 #include "util/table_printer.h"
 
@@ -48,6 +52,16 @@ Result<LinkMeasure> ParseMeasure(const std::string& name) {
     if (name == LinkMeasureName(m)) return m;
   }
   return Status::InvalidArgument("unknown measure: " + name);
+}
+
+/// Builds a predictor from the edges with `config.threads` ingestion
+/// workers (sequentially when threads == 1). Queries against the result
+/// are bit-identical either way.
+Result<std::unique_ptr<LinkPredictor>> BuildPredictor(
+    const PredictorConfig& config, const EdgeList& edges) {
+  ParallelIngestEngine engine(config);
+  VectorEdgeStream stream(edges);
+  return engine.Build(stream);
 }
 
 Status CmdGenerate(const FlagParser& flags, std::ostream& out) {
@@ -96,7 +110,8 @@ Status CmdStats(const FlagParser& flags, std::ostream& out) {
 }
 
 Status CmdBuild(const FlagParser& flags, std::ostream& out) {
-  if (auto st = flags.CheckUnknown({"input", "k", "seed", "snapshot"});
+  if (auto st =
+          flags.CheckUnknown({"input", "k", "seed", "snapshot", "threads"});
       !st.ok()) {
     return st;
   }
@@ -111,13 +126,38 @@ Status CmdBuild(const FlagParser& flags, std::ostream& out) {
   MinHashPredictorOptions options;
   options.num_hashes = static_cast<uint32_t>(flags.GetInt("k", 64));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const uint32_t threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 1));
+
   MinHashPredictor predictor(options);
-  FeedStream(predictor, file->edges);
+  if (threads <= 1) {
+    if (threads == 0) return Status::InvalidArgument("--threads must be >= 1");
+    FeedStream(predictor, file->edges);
+  } else {
+    PredictorConfig config;
+    config.kind = "minhash";
+    config.sketch_size = options.num_hashes;
+    config.seed = options.seed;
+    config.threads = threads;
+    auto built = BuildPredictor(config, file->edges);
+    if (!built.ok()) return built.status();
+    // The snapshot format stores a single predictor, so fold the vertex
+    // shards back together (lossless: slot-wise minima + degree sums over
+    // disjoint vertex sets) before saving.
+    auto* sharded = dynamic_cast<ShardedPredictor*>(built->get());
+    SL_CHECK(sharded != nullptr);
+    for (uint32_t t = 0; t < sharded->num_shards(); ++t) {
+      predictor.MergeFrom(
+          dynamic_cast<const MinHashPredictor&>(sharded->shard(t)));
+    }
+    predictor.AddProcessedEdges(sharded->edges_processed());
+  }
   if (auto st = predictor.Save(snapshot); !st.ok()) return st;
   out << "ingested " << predictor.edges_processed() << " edges over "
-      << predictor.num_vertices() << " vertices; snapshot ("
-      << predictor.MemoryBytes() / 1024 << " KiB of state) saved to "
-      << snapshot << "\n";
+      << predictor.num_vertices() << " vertices";
+  if (threads > 1) out << " (" << threads << " ingest threads)";
+  out << "; snapshot (" << predictor.MemoryBytes() / 1024
+      << " KiB of state) saved to " << snapshot << "\n";
   return Status::Ok();
 }
 
@@ -147,7 +187,7 @@ Status CmdQuery(const FlagParser& flags, std::ostream& out) {
 
 Status CmdTopK(const FlagParser& flags, std::ostream& out) {
   if (auto st = flags.CheckUnknown(
-          {"input", "vertex", "top", "k", "seed", "measure"});
+          {"input", "vertex", "top", "k", "seed", "measure", "threads"});
       !st.ok()) {
     return st;
   }
@@ -163,15 +203,17 @@ Status CmdTopK(const FlagParser& flags, std::ostream& out) {
     return Status::OutOfRange("--vertex " + std::to_string(vertex) +
                               " not in graph");
   }
-  MinHashPredictorOptions options;
-  options.num_hashes = static_cast<uint32_t>(flags.GetInt("k", 128));
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  MinHashPredictor predictor(options);
-  FeedStream(predictor, file->edges);
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.sketch_size = static_cast<uint32_t>(flags.GetInt("k", 128));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
+  auto predictor = BuildPredictor(config, file->edges);
+  if (!predictor.ok()) return predictor.status();
 
   CsrGraph snapshot = CsrGraph::FromEdges(file->edges, file->num_vertices);
   auto candidates = TwoHopCandidates(snapshot, vertex);
-  TopKEngine engine(predictor, *measure);
+  TopKEngine engine(**predictor, *measure);
   auto top =
       engine.TopK(candidates, static_cast<uint32_t>(flags.GetInt("top", 10)));
 
@@ -186,7 +228,7 @@ Status CmdTopK(const FlagParser& flags, std::ostream& out) {
 }
 
 Status CmdCompare(const FlagParser& flags, std::ostream& out) {
-  if (auto st = flags.CheckUnknown({"input", "k", "pairs", "seed"});
+  if (auto st = flags.CheckUnknown({"input", "k", "pairs", "seed", "threads"});
       !st.ok()) {
     return st;
   }
@@ -204,6 +246,10 @@ Status CmdCompare(const FlagParser& flags, std::ostream& out) {
   auto pairs = SampleOverlappingPairs(
       csr, static_cast<uint32_t>(flags.GetInt("pairs", 500)), rng);
 
+  const uint32_t threads =
+      static_cast<uint32_t>(flags.GetInt("threads", 1));
+  if (threads == 0) return Status::InvalidArgument("--threads must be >= 1");
+
   TablePrinter table({"predictor", "k", "jaccard_mae", "cn_mre", "aa_mre",
                       "mbytes"});
   for (const std::string& kind : PredictorKinds()) {
@@ -212,10 +258,12 @@ Status CmdCompare(const FlagParser& flags, std::ostream& out) {
     config.kind = kind;
     config.sketch_size = static_cast<uint32_t>(flags.GetInt("k", 128));
     config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-    auto predictor = MakePredictor(config);
+    // Kinds that depend on global stream state cannot shard; build them
+    // sequentially so the comparison still covers every predictor.
+    config.threads = KindSupportsSharding(kind) ? threads : 1;
+    auto predictor = BuildPredictor(config, graph.edges);
     if (!predictor.ok()) return predictor.status();
     ExactPredictor exact;
-    FeedStream(**predictor, graph.edges);
     FeedStream(exact, graph.edges);
     AccuracyReport report = MeasureAccuracyAgainst(**predictor, exact, pairs);
     table.AddRow(
@@ -238,11 +286,13 @@ std::string CliUsage() {
       "  generate  --workload ba|er|ws|rmat|sbm|plconfig [--scale S] "
       "[--seed N] --out FILE\n"
       "  stats     --input FILE\n"
-      "  build     --input FILE [--k N] [--seed N] --snapshot FILE\n"
+      "  build     --input FILE [--k N] [--seed N] [--threads N] "
+      "--snapshot FILE\n"
       "  query     --snapshot FILE --pairs u:v[,u:v...]\n"
       "  topk      --input FILE --vertex U [--top N] [--k N] "
-      "[--measure NAME]\n"
-      "  compare   --input FILE [--k N] [--pairs N] [--seed N]\n";
+      "[--measure NAME] [--threads N]\n"
+      "  compare   --input FILE [--k N] [--pairs N] [--seed N] "
+      "[--threads N]\n";
 }
 
 Status RunCliCommand(const std::vector<std::string>& args,

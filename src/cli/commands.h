@@ -18,12 +18,17 @@ namespace streamlink {
 ///             Writes a synthetic graph stream as an edge-list file.
 ///   stats     --input FILE
 ///             Prints graph statistics of an edge-list file.
-///   build     --input FILE [--k N] [--seed N] --snapshot FILE
+///   build     --input FILE [--k N] [--seed N] [--threads N] --snapshot FILE
 ///             Streams the file into a MinHash predictor, saves a snapshot.
 ///   query     --snapshot FILE --pairs "u:v,u:v,..." [--measure NAME]
 ///             Loads a snapshot and scores the pairs.
 ///   topk      --input FILE --vertex U [--top N] [--k N] [--measure NAME]
+///             [--threads N]
 ///             Builds from the file and prints U's best predicted links.
+///
+/// Commands that ingest a stream accept --threads N (default 1): N > 1
+/// vertex-shards ingestion across N worker threads via
+/// ParallelIngestEngine, with results bit-identical to a sequential build.
 Status RunCliCommand(const std::vector<std::string>& args, std::ostream& out);
 
 /// The usage text printed for unknown/missing commands.

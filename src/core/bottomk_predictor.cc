@@ -23,6 +23,11 @@ void BottomKPredictor::ProcessEdge(const Edge& edge) {
   }
 }
 
+void BottomKPredictor::ObserveNeighbor(VertexId u, VertexId neighbor) {
+  store_.Mutable(u).Update(HashU64(neighbor, options_.seed), neighbor);
+  if (options_.track_exact_degrees) degrees_.Increment(u);
+}
+
 double BottomKPredictor::Degree(VertexId u) const {
   if (options_.track_exact_degrees) return degrees_.Degree(u);
   const BottomKSketch* s = store_.Get(u);
@@ -31,12 +36,30 @@ double BottomKPredictor::Degree(VertexId u) const {
 
 OverlapEstimate BottomKPredictor::EstimateOverlap(VertexId u,
                                                   VertexId v) const {
+  // Same code path as a cross-shard query (see MinHashPredictor): Degree()
+  // already resolves the exact-vs-KMV mode, so it doubles as the local leg
+  // of the routed degree oracle.
+  return EstimateOverlapSharded(
+      u, *this, v, [this](VertexId w) -> double { return Degree(w); });
+}
+
+OverlapEstimate BottomKPredictor::EstimateOverlapSharded(
+    VertexId u, const LinkPredictor& v_home, VertexId v,
+    const DegreeFn& degree_of) const {
+  const auto* peer = dynamic_cast<const BottomKPredictor*>(&v_home);
+  SL_CHECK(peer != nullptr) << "cross-shard query between predictor kinds: "
+                            << name() << " vs " << v_home.name();
+  SL_CHECK(options_.k == peer->options_.k &&
+           options_.seed == peer->options_.seed &&
+           options_.track_exact_degrees == peer->options_.track_exact_degrees)
+      << "cross-shard query between differently-configured predictors";
+
   OverlapEstimate est;
-  est.degree_u = Degree(u);
-  est.degree_v = Degree(v);
+  est.degree_u = degree_of(u);
+  est.degree_v = degree_of(v);
 
   const BottomKSketch* su = store_.Get(u);
-  const BottomKSketch* sv = store_.Get(v);
+  const BottomKSketch* sv = peer->store_.Get(v);
   if (su == nullptr || sv == nullptr || su->IsEmpty() || sv->IsEmpty()) {
     est.union_size = est.degree_u + est.degree_v;
     return est;
@@ -55,7 +78,7 @@ OverlapEstimate BottomKPredictor::EstimateOverlap(VertexId u,
   }
 
   // Adamic-Adar / RA: matched entries of the merged bottom-k are uniform
-  // intersection samples; weight them by current degree.
+  // intersection samples; weight them by current degree, wherever it lives.
   uint32_t matched = 0;
   double aa_weight_sum = 0.0;
   double ra_weight_sum = 0.0;
@@ -71,13 +94,7 @@ OverlapEstimate BottomKPredictor::EstimateOverlap(VertexId u,
     } else {
       if (ea[i].hash <= tau) {
         ++matched;
-        double dw = options_.track_exact_degrees
-                        ? degrees_.Degree(static_cast<VertexId>(ea[i].item))
-                        : [&] {
-                            const BottomKSketch* sw = store_.Get(
-                                static_cast<VertexId>(ea[i].item));
-                            return sw ? sw->EstimateCardinality() : 0.0;
-                          }();
+        double dw = degree_of(static_cast<VertexId>(ea[i].item));
         uint32_t dw_int = static_cast<uint32_t>(dw + 0.5);
         aa_weight_sum += AdamicAdarWeight(dw_int);
         if (dw > 0) ra_weight_sum += 1.0 / dw;

@@ -47,6 +47,17 @@ class BottomKPredictor : public LinkPredictor {
 
   const BottomKSketch* Sketch(VertexId u) const { return store_.Get(u); }
 
+  // Vertex-sharded operation (LinkPredictor capability): bottom-k sets
+  // union and degree counters add per endpoint, in both degree modes —
+  // with sketched degrees, a vertex's KMV estimate lives entirely in its
+  // owning shard's sketch.
+  bool SupportsSharding() const override { return true; }
+  void ObserveNeighbor(VertexId u, VertexId neighbor) override;
+  double OwnedDegree(VertexId u) const override { return Degree(u); }
+  OverlapEstimate EstimateOverlapSharded(
+      VertexId u, const LinkPredictor& v_home, VertexId v,
+      const DegreeFn& degree_of) const override;
+
   /// Disjoint-partition merge (see MinHashPredictor::MergeFrom): sketches
   /// take bottom-k unions, exact degree counters add. Aborts on differing
   /// options.

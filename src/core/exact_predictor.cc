@@ -1,19 +1,57 @@
 #include "core/exact_predictor.h"
 
 #include "graph/exact_measures.h"
+#include "util/logging.h"
 
 namespace streamlink {
 
 OverlapEstimate ExactPredictor::EstimateOverlap(VertexId u, VertexId v) const {
-  PairOverlap exact = ComputeOverlap(graph_, u, v);
+  // Same code path as a cross-shard query (see MinHashPredictor); the
+  // body mirrors ComputeOverlap exactly, so exact scores are unchanged.
+  return EstimateOverlapSharded(
+      u, *this, v,
+      [this](VertexId w) -> double { return graph_.Degree(w); });
+}
+
+OverlapEstimate ExactPredictor::EstimateOverlapSharded(
+    VertexId u, const LinkPredictor& v_home, VertexId v,
+    const DegreeFn& degree_of) const {
+  const auto* peer = dynamic_cast<const ExactPredictor*>(&v_home);
+  SL_CHECK(peer != nullptr) << "cross-shard query between predictor kinds: "
+                            << name() << " vs " << v_home.name();
+
   OverlapEstimate est;
-  est.degree_u = exact.degree_u;
-  est.degree_v = exact.degree_v;
-  est.intersection = exact.intersection;
-  est.union_size = exact.union_size;
-  est.jaccard = exact.Jaccard();
-  est.adamic_adar = exact.adamic_adar;
-  est.resource_allocation = exact.resource_allocation;
+  const uint32_t du = graph_.Degree(u);
+  const uint32_t dv = peer->graph_.Degree(v);
+  est.degree_u = du;
+  est.degree_v = dv;
+
+  uint32_t intersection = 0;
+  double adamic_adar = 0.0;
+  double resource_allocation = 0.0;
+  if (du > 0 && dv > 0) {
+    // As in ComputeOverlap: iterate the smaller set, probe the larger
+    // (ties keep u's side as the iterated set, preserving its fold order).
+    const auto& nu = graph_.Neighbors(u);
+    const auto& nv = peer->graph_.Neighbors(v);
+    const auto& small = du > dv ? nv : nu;
+    const auto& probe = du > dv ? nu : nv;
+    for (VertexId w : small) {
+      if (probe.count(w) == 0) continue;
+      ++intersection;
+      uint32_t dw = static_cast<uint32_t>(degree_of(w));
+      adamic_adar += AdamicAdarWeight(dw);
+      if (dw > 0) resource_allocation += 1.0 / dw;
+    }
+  }
+  const uint32_t union_size = du + dv - intersection;
+  est.intersection = intersection;
+  est.union_size = union_size;
+  est.jaccard = union_size == 0
+                    ? 0.0
+                    : static_cast<double>(intersection) / union_size;
+  est.adamic_adar = adamic_adar;
+  est.resource_allocation = resource_allocation;
   return est;
 }
 

@@ -24,6 +24,19 @@ class ExactPredictor : public LinkPredictor {
 
   const AdjacencyGraph& graph() const { return graph_; }
 
+  // Vertex-sharded operation (LinkPredictor capability): adjacency sets
+  // are per-vertex state, so half-edges route cleanly; cross-shard queries
+  // intersect the two owners' neighbor sets and fetch common-neighbor
+  // degrees through the routed oracle. Still exact, still bit-identical.
+  bool SupportsSharding() const override { return true; }
+  void ObserveNeighbor(VertexId u, VertexId neighbor) override {
+    graph_.AddArc(u, neighbor);
+  }
+  double OwnedDegree(VertexId u) const override { return graph_.Degree(u); }
+  OverlapEstimate EstimateOverlapSharded(
+      VertexId u, const LinkPredictor& v_home, VertexId v,
+      const DegreeFn& degree_of) const override;
+
  protected:
   void ProcessEdge(const Edge& edge) override { graph_.AddEdge(edge); }
 

@@ -44,4 +44,19 @@ double MeasureFromEstimate(LinkMeasure measure, const OverlapEstimate& e) {
   return 0.0;
 }
 
+void LinkPredictor::ObserveNeighbor(VertexId, VertexId) {
+  SL_LOG(kFatal) << name() << " does not support sharded ingestion";
+}
+
+double LinkPredictor::OwnedDegree(VertexId) const {
+  SL_LOG(kFatal) << name() << " does not support sharded ingestion";
+  return 0.0;
+}
+
+OverlapEstimate LinkPredictor::EstimateOverlapSharded(
+    VertexId, const LinkPredictor&, VertexId, const DegreeFn&) const {
+  SL_LOG(kFatal) << name() << " does not support sharded queries";
+  return {};
+}
+
 }  // namespace streamlink

@@ -2,6 +2,7 @@
 #define STREAMLINK_CORE_LINK_PREDICTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "graph/exact_measures.h"
@@ -26,6 +27,12 @@ struct OverlapEstimate {
 /// Derives any LinkMeasure score from an overlap estimate (the approximate
 /// analogue of MeasureFromOverlap).
 double MeasureFromEstimate(LinkMeasure measure, const OverlapEstimate& e);
+
+/// Routes a degree read to whatever owns the vertex's state. In a
+/// single predictor this is its own degree table; in a vertex-sharded
+/// build (ShardedPredictor) it dispatches to the owning shard. Exact
+/// counters return integral doubles; KMV-backed degrees are fractional.
+using DegreeFn = std::function<double(VertexId)>;
 
 /// A streaming link predictor: ingests a graph stream edge by edge and
 /// answers pairwise neighborhood-overlap queries at any point, online.
@@ -70,13 +77,63 @@ class LinkPredictor : public EdgeConsumer {
     ProcessEdge(edge);
   }
 
+  /// One virtual dispatch for the whole run (OnEdge itself is final, so
+  /// the per-edge calls below devirtualize) — the hot path StreamDriver
+  /// and ParallelIngestEngine deliver through.
+  void OnEdgeBatch(const Edge* edges, size_t count) final {
+    for (size_t i = 0; i < count; ++i) {
+      if (edges[i].IsSelfLoop()) continue;
+      ++edges_processed_;
+      ProcessEdge(edges[i]);
+    }
+  }
+
+  /// Folds `count` externally-accounted edges into edges_processed().
+  /// Used by disjoint-partition merges (MergeFrom) and by sharded builds,
+  /// whose half-edge updates (ObserveNeighbor) deliberately do not count
+  /// edges — two half-edges are one edge.
+  void AddProcessedEdges(uint64_t count) { edges_processed_ += count; }
+
+  // --- Vertex-sharded operation (see docs/parallel_ingest.md) ---
+  //
+  // A shardable predictor decomposes per *vertex*: every vertex's state
+  // (sketch + degree) is written only by half-edge updates of that vertex,
+  // and a pairwise estimate reads only the two endpoints' state plus
+  // routed degree lookups. ParallelIngestEngine partitions vertices across
+  // N same-configured predictors (shard t owns u with u % N == t) and
+  // ShardedPredictor routes queries to the two owning shards; results are
+  // bit-identical to a sequential build.
+
+  /// True if the predictor implements the half-edge / cross-shard hooks
+  /// below. Kinds whose updates depend on global stream state (windowed
+  /// bucket rotation, neighbor-degree-dependent sampling) return false.
+  virtual bool SupportsSharding() const { return false; }
+
+  /// Half-edge update for vertex-partitioned ingestion: records that
+  /// `neighbor` joined N(u), touching ONLY u's state. A full edge (u, v)
+  /// is two half-edges, routed to (possibly) different shards that each
+  /// own a disjoint slice of the vertex space, so total state equals a
+  /// single-predictor build. Does not advance edges_processed()
+  /// (half-edges are not edges). Fatal on unshardable kinds.
+  virtual void ObserveNeighbor(VertexId u, VertexId neighbor);
+
+  /// Current degree of a vertex this predictor owns — the per-shard leg of
+  /// a routed DegreeFn. Fatal on unshardable kinds.
+  virtual double OwnedDegree(VertexId u) const;
+
+  /// Pairwise estimate across shards: `this` owns u's state, `v_home`
+  /// (same kind, same options; may be `*this`) owns v's, and `degree_of`
+  /// routes any vertex's degree to its owner. Single-predictor
+  /// EstimateOverlap delegates here with itself as v_home, so sequential
+  /// and sharded queries run the same code and agree bit for bit. Fatal on
+  /// unshardable kinds and cross-kind or cross-option pairs.
+  virtual OverlapEstimate EstimateOverlapSharded(
+      VertexId u, const LinkPredictor& v_home, VertexId v,
+      const DegreeFn& degree_of) const;
+
  protected:
   /// Implementations ingest one non-self-loop edge here.
   virtual void ProcessEdge(const Edge& edge) = 0;
-
-  /// For mergeable predictors: folds a merged-in peer's edge count into
-  /// this predictor's.
-  void AddProcessedEdges(uint64_t count) { edges_processed_ += count; }
 
  private:
   uint64_t edges_processed_ = 0;

@@ -22,13 +22,30 @@ void MinHashPredictor::ProcessEdge(const Edge& edge) {
 
 OverlapEstimate MinHashPredictor::EstimateOverlap(VertexId u,
                                                   VertexId v) const {
+  // Same code path as a cross-shard query, with ourselves as v's home and
+  // local degree lookups — sharded builds agree with this bit for bit.
+  return EstimateOverlapSharded(
+      u, *this, v,
+      [this](VertexId w) -> double { return degrees_.Degree(w); });
+}
+
+OverlapEstimate MinHashPredictor::EstimateOverlapSharded(
+    VertexId u, const LinkPredictor& v_home, VertexId v,
+    const DegreeFn& degree_of) const {
+  const auto* peer = dynamic_cast<const MinHashPredictor*>(&v_home);
+  SL_CHECK(peer != nullptr) << "cross-shard query between predictor kinds: "
+                            << name() << " vs " << v_home.name();
+  SL_CHECK(options_.num_hashes == peer->options_.num_hashes &&
+           options_.seed == peer->options_.seed)
+      << "cross-shard query between differently-configured predictors";
+
   OverlapEstimate est;
-  est.degree_u = degrees_.Degree(u);
-  est.degree_v = degrees_.Degree(v);
+  est.degree_u = degree_of(u);
+  est.degree_v = degree_of(v);
   const double degree_sum = est.degree_u + est.degree_v;
 
   const MinHashSketch* su = store_.Get(u);
-  const MinHashSketch* sv = store_.Get(v);
+  const MinHashSketch* sv = peer->store_.Get(v);
   if (su == nullptr || sv == nullptr || su->IsEmpty() || sv->IsEmpty()) {
     // At least one endpoint is isolated: every overlap quantity is zero.
     est.union_size = degree_sum;
@@ -45,8 +62,9 @@ OverlapEstimate MinHashPredictor::EstimateOverlap(VertexId u,
     if (a.hash != b.hash || a.hash == ~0ULL) continue;
     ++matches;
     // Matching slot => the arg-min vertex is a uniform sample of the
-    // intersection. Weight it by its *current* degree.
-    uint32_t dw = degrees_.Degree(static_cast<VertexId>(a.item));
+    // intersection. Weight it by its *current* degree, wherever it lives.
+    uint32_t dw =
+        static_cast<uint32_t>(degree_of(static_cast<VertexId>(a.item)));
     aa_weight_sum += AdamicAdarWeight(dw);
     if (dw > 0) ra_weight_sum += 1.0 / dw;
   }

@@ -48,17 +48,20 @@ class MinHashPredictor : public LinkPredictor {
   /// (exposed for tests and the space-accuracy experiments).
   const MinHashSketch* Sketch(VertexId u) const { return store_.Get(u); }
 
-  /// Half-edge update for vertex-partitioned parallel/distributed
-  /// ingestion: records that `neighbor` joined N(u), touching ONLY u's
-  /// sketch and degree. A full edge (u, v) is two half-edges — routed to
-  /// (possibly) different shards that each own a disjoint slice of the
-  /// vertex space, so total sketch memory equals a single-node build and
-  /// MergeFrom recombines the shards losslessly. Does not advance
-  /// edges_processed() (half-edges are not edges).
-  void ObserveNeighbor(VertexId u, VertexId neighbor) {
+  // Vertex-sharded operation (LinkPredictor capability): MinHash slots
+  // take slot-wise minima and degree counters add, both per endpoint, so
+  // the predictor decomposes cleanly across vertex shards. ShardedPredictor
+  // queries are bit-identical to a sequential build; MergeFrom recombines
+  // shards losslessly for snapshotting/shipping.
+  bool SupportsSharding() const override { return true; }
+  void ObserveNeighbor(VertexId u, VertexId neighbor) override {
     store_.Mutable(u).Update(neighbor, family_);
     degrees_.Increment(u);
   }
+  double OwnedDegree(VertexId u) const override { return degrees_.Degree(u); }
+  OverlapEstimate EstimateOverlapSharded(
+      VertexId u, const LinkPredictor& v_home, VertexId v,
+      const DegreeFn& degree_of) const override;
 
   /// Folds in a peer predictor built over a *disjoint partition* of the
   /// same stream with identical options: sketches take slot-wise minima,

@@ -22,13 +22,29 @@ void OphPredictor::ProcessEdge(const Edge& edge) {
 }
 
 OverlapEstimate OphPredictor::EstimateOverlap(VertexId u, VertexId v) const {
+  // Same code path as a cross-shard query (see MinHashPredictor).
+  return EstimateOverlapSharded(
+      u, *this, v,
+      [this](VertexId w) -> double { return degrees_.Degree(w); });
+}
+
+OverlapEstimate OphPredictor::EstimateOverlapSharded(
+    VertexId u, const LinkPredictor& v_home, VertexId v,
+    const DegreeFn& degree_of) const {
+  const auto* peer = dynamic_cast<const OphPredictor*>(&v_home);
+  SL_CHECK(peer != nullptr) << "cross-shard query between predictor kinds: "
+                            << name() << " vs " << v_home.name();
+  SL_CHECK(options_.num_bins == peer->options_.num_bins &&
+           options_.seed == peer->options_.seed)
+      << "cross-shard query between differently-configured predictors";
+
   OverlapEstimate est;
-  est.degree_u = degrees_.Degree(u);
-  est.degree_v = degrees_.Degree(v);
+  est.degree_u = degree_of(u);
+  est.degree_v = degree_of(v);
   const double degree_sum = est.degree_u + est.degree_v;
 
   const OphSketch* su = store_.Get(u);
-  const OphSketch* sv = store_.Get(v);
+  const OphSketch* sv = peer->store_.Get(v);
   if (su == nullptr || sv == nullptr || su->IsEmpty() || sv->IsEmpty()) {
     est.union_size = degree_sum;
     return est;
@@ -44,7 +60,8 @@ OverlapEstimate OphPredictor::EstimateOverlap(VertexId u, VertexId v) const {
     double aa_weight_sum = 0.0;
     double ra_weight_sum = 0.0;
     for (uint64_t item : matched_items) {
-      uint32_t dw = degrees_.Degree(static_cast<VertexId>(item));
+      uint32_t dw =
+          static_cast<uint32_t>(degree_of(static_cast<VertexId>(item)));
       aa_weight_sum += AdamicAdarWeight(dw);
       if (dw > 0) ra_weight_sum += 1.0 / dw;
     }

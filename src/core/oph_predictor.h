@@ -40,6 +40,19 @@ class OphPredictor : public LinkPredictor {
   uint32_t Degree(VertexId u) const { return degrees_.Degree(u); }
   const OphSketch* Sketch(VertexId u) const { return store_.Get(u); }
 
+  // Vertex-sharded operation (LinkPredictor capability): bin updates and
+  // densification depend only on the owning vertex's inserts, so OPH
+  // decomposes across vertex shards like plain MinHash.
+  bool SupportsSharding() const override { return true; }
+  void ObserveNeighbor(VertexId u, VertexId neighbor) override {
+    store_.Mutable(u).Update(neighbor);
+    degrees_.Increment(u);
+  }
+  double OwnedDegree(VertexId u) const override { return degrees_.Degree(u); }
+  OverlapEstimate EstimateOverlapSharded(
+      VertexId u, const LinkPredictor& v_home, VertexId v,
+      const DegreeFn& degree_of) const override;
+
  protected:
   void ProcessEdge(const Edge& edge) override;
 

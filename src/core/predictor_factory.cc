@@ -4,6 +4,7 @@
 #include "core/exact_predictor.h"
 #include "core/minhash_predictor.h"
 #include "core/oph_predictor.h"
+#include "core/sharded_predictor.h"
 #include "core/vertex_biased_predictor.h"
 #include "core/windowed_predictor.h"
 
@@ -11,6 +12,14 @@ namespace streamlink {
 
 Result<std::unique_ptr<LinkPredictor>> MakePredictor(
     const PredictorConfig& config) {
+  if (config.threads == 0) {
+    return Status::InvalidArgument("threads must be >= 1, got 0");
+  }
+  if (config.threads > 1) {
+    auto sharded = ShardedPredictor::Make(config);
+    if (!sharded.ok()) return sharded.status();
+    return std::unique_ptr<LinkPredictor>(std::move(*sharded));
+  }
   if (config.kind != "exact" && config.sketch_size < 2) {
     return Status::InvalidArgument("sketch_size must be >= 2, got " +
                                    std::to_string(config.sketch_size));
@@ -60,6 +69,11 @@ Result<std::unique_ptr<LinkPredictor>> MakePredictor(
 std::vector<std::string> PredictorKinds() {
   return {"minhash", "bottomk", "vertex_biased", "oph", "windowed_minhash",
           "exact"};
+}
+
+bool KindSupportsSharding(const std::string& kind) {
+  return kind == "minhash" || kind == "bottomk" || kind == "oph" ||
+         kind == "exact";
 }
 
 }  // namespace streamlink

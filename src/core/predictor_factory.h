@@ -26,6 +26,10 @@ struct PredictorConfig {
   /// windowed_minhash only: count-based window length and bucket count.
   uint64_t window_edges = 100000;
   uint32_t window_buckets = 8;
+  /// Ingestion parallelism. 1 builds a plain sequential predictor; > 1
+  /// builds a vertex-sharded predictor with one shard per thread (only for
+  /// kinds where KindSupportsSharding). 0 is InvalidArgument.
+  uint32_t threads = 1;
 };
 
 /// Builds a predictor from the config; InvalidArgument on unknown kinds or
@@ -35,6 +39,12 @@ Result<std::unique_ptr<LinkPredictor>> MakePredictor(
 
 /// All predictor kind names MakePredictor accepts.
 std::vector<std::string> PredictorKinds();
+
+/// True if the kind can be built with threads > 1 (vertex-sharded state and
+/// bit-identical cross-shard queries). vertex_biased and windowed_minhash
+/// depend on global stream state (current neighbor degrees, global edge
+/// count) and cannot be sharded losslessly.
+bool KindSupportsSharding(const std::string& kind);
 
 }  // namespace streamlink
 

@@ -1,0 +1,63 @@
+#include "core/sharded_predictor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace streamlink {
+
+Result<std::unique_ptr<ShardedPredictor>> ShardedPredictor::Make(
+    const PredictorConfig& config) {
+  if (config.threads == 0) {
+    return Status::InvalidArgument("threads must be >= 1, got 0");
+  }
+  if (!KindSupportsSharding(config.kind)) {
+    return Status::InvalidArgument(
+        "predictor kind '" + config.kind +
+        "' does not support sharded ingestion (threads > 1)");
+  }
+  PredictorConfig shard_config = config;
+  shard_config.threads = 1;
+  std::vector<std::unique_ptr<LinkPredictor>> shards;
+  shards.reserve(config.threads);
+  for (uint32_t t = 0; t < config.threads; ++t) {
+    auto shard = MakePredictor(shard_config);
+    if (!shard.ok()) return shard.status();
+    SL_CHECK((*shard)->SupportsSharding())
+        << config.kind << " disagrees with KindSupportsSharding";
+    shards.push_back(std::move(*shard));
+  }
+  return std::unique_ptr<ShardedPredictor>(
+      new ShardedPredictor(config.kind, std::move(shards)));
+}
+
+void ShardedPredictor::ProcessEdge(const Edge& edge) {
+  shards_[OwnerOf(edge.u)]->ObserveNeighbor(edge.u, edge.v);
+  shards_[OwnerOf(edge.v)]->ObserveNeighbor(edge.v, edge.u);
+}
+
+OverlapEstimate ShardedPredictor::EstimateOverlap(VertexId u,
+                                                  VertexId v) const {
+  DegreeFn degree_of = [this](VertexId w) -> double {
+    return shards_[OwnerOf(w)]->OwnedDegree(w);
+  };
+  return shards_[OwnerOf(u)]->EstimateOverlapSharded(
+      u, *shards_[OwnerOf(v)], v, degree_of);
+}
+
+VertexId ShardedPredictor::num_vertices() const {
+  VertexId max_vertices = 0;
+  for (const auto& shard : shards_) {
+    max_vertices = std::max(max_vertices, shard->num_vertices());
+  }
+  return max_vertices;
+}
+
+uint64_t ShardedPredictor::MemoryBytes() const {
+  uint64_t bytes = sizeof(*this) +
+                   shards_.capacity() * sizeof(shards_[0]);
+  for (const auto& shard : shards_) bytes += shard->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace streamlink

@@ -1,0 +1,71 @@
+#ifndef STREAMLINK_CORE_SHARDED_PREDICTOR_H_
+#define STREAMLINK_CORE_SHARDED_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/link_predictor.h"
+#include "core/predictor_factory.h"
+#include "util/status.h"
+
+namespace streamlink {
+
+/// A vertex-partitioned link predictor: N same-configured shards of one
+/// underlying kind, where shard `u % N` owns all of vertex u's state.
+///
+/// Every edge (u, v) becomes two half-edges — (u owns v) and (v owns u) —
+/// applied via ObserveNeighbor to the owning shards, so per-vertex state
+/// is never split or duplicated and total memory matches a single
+/// predictor. Queries route to the two owning shards and resolve
+/// common-neighbor degrees through a routed DegreeFn; because each shard's
+/// EstimateOverlapSharded is the same code the sequential predictor runs,
+/// estimates are bit-identical to a sequential build of the same stream.
+/// No merge step exists or is needed.
+///
+/// Ingestion through the LinkPredictor interface (OnEdge/OnEdgeBatch)
+/// routes half-edges synchronously; ParallelIngestEngine ingests into the
+/// shards from worker threads instead, one thread per shard.
+///
+/// Thread safety: distinct shards may be written concurrently (the engine
+/// does); queries must not run concurrently with writes.
+class ShardedPredictor : public LinkPredictor {
+ public:
+  /// Builds `config.threads` shards of `config.kind` via MakePredictor.
+  /// InvalidArgument if the kind does not support sharding, if threads is
+  /// 0, or if the per-shard config is itself invalid.
+  static Result<std::unique_ptr<ShardedPredictor>> Make(
+      const PredictorConfig& config);
+
+  std::string name() const override { return "sharded:" + kind_; }
+  OverlapEstimate EstimateOverlap(VertexId u, VertexId v) const override;
+  VertexId num_vertices() const override;
+  uint64_t MemoryBytes() const override;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  /// The shard owning vertex u's state.
+  uint32_t OwnerOf(VertexId u) const { return u % num_shards(); }
+
+  LinkPredictor& shard(uint32_t i) { return *shards_[i]; }
+  const LinkPredictor& shard(uint32_t i) const { return *shards_[i]; }
+
+  /// The underlying predictor kind, e.g. "minhash".
+  const std::string& kind() const { return kind_; }
+
+ protected:
+  void ProcessEdge(const Edge& edge) override;
+
+ private:
+  ShardedPredictor(std::string kind,
+                   std::vector<std::unique_ptr<LinkPredictor>> shards)
+      : kind_(std::move(kind)), shards_(std::move(shards)) {}
+
+  std::string kind_;
+  std::vector<std::unique_ptr<LinkPredictor>> shards_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_CORE_SHARDED_PREDICTOR_H_

@@ -22,6 +22,12 @@ bool AdjacencyGraph::AddEdge(VertexId u, VertexId v) {
   return true;
 }
 
+bool AdjacencyGraph::AddArc(VertexId u, VertexId v) {
+  if (u == v) return false;
+  EnsureVertices(u + 1);
+  return adjacency_[u].insert(v).second;
+}
+
 bool AdjacencyGraph::RemoveEdge(VertexId u, VertexId v) {
   if (u >= adjacency_.size() || v >= adjacency_.size()) return false;
   if (adjacency_[u].erase(v) == 0) return false;

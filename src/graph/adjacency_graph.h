@@ -28,6 +28,13 @@ class AdjacencyGraph {
   bool AddEdge(VertexId u, VertexId v);
   bool AddEdge(const Edge& e) { return AddEdge(e.u, e.v); }
 
+  /// Inserts only the half-edge u→v: v joins N(u) and the vertex set grows
+  /// to include u, but N(v) is untouched. The building block of
+  /// vertex-sharded ingestion, where each shard applies just the halves of
+  /// edges it owns; num_edges() counts whole AddEdge insertions only.
+  /// Returns true if v was new in N(u); false for duplicates/self-loops.
+  bool AddArc(VertexId u, VertexId v);
+
   /// Removes undirected edge {u, v}. Returns true if it was present.
   bool RemoveEdge(VertexId u, VertexId v);
 

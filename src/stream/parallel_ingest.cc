@@ -1,0 +1,143 @@
+#include "stream/parallel_ingest.h"
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/sharded_predictor.h"
+#include "util/logging.h"
+
+namespace streamlink {
+
+BoundedBatchQueue::BoundedBatchQueue(size_t capacity)
+    : capacity_(capacity) {
+  SL_CHECK(capacity_ >= 1) << "queue capacity must be >= 1";
+}
+
+void BoundedBatchQueue::Push(EdgeList batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_push_.wait(lock, [this] { return batches_.size() < capacity_; });
+  SL_CHECK(!closed_) << "Push after Close";
+  batches_.push_back(std::move(batch));
+  can_pop_.notify_one();
+}
+
+bool BoundedBatchQueue::Pop(EdgeList* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_pop_.wait(lock, [this] { return !batches_.empty() || closed_; });
+  if (batches_.empty()) return false;
+  *batch = std::move(batches_.front());
+  batches_.pop_front();
+  can_push_.notify_one();
+  return true;
+}
+
+void BoundedBatchQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  can_pop_.notify_all();
+}
+
+ParallelIngestEngine::ParallelIngestEngine(PredictorConfig config,
+                                           ParallelIngestOptions options)
+    : config_(std::move(config)), options_(options) {
+  SL_CHECK(options_.batch_edges >= 1) << "batch_edges must be >= 1";
+  SL_CHECK(options_.max_inflight_batches >= 1)
+      << "max_inflight_batches must be >= 1";
+}
+
+Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
+    EdgeStream& stream) {
+  edges_ingested_ = 0;
+  if (config_.threads == 0) {
+    return Status::InvalidArgument("threads must be >= 1, got 0");
+  }
+
+  if (config_.threads == 1) {
+    auto predictor = MakePredictor(config_);
+    if (!predictor.ok()) return predictor.status();
+    EdgeList batch;
+    batch.reserve(options_.batch_edges);
+    Edge edge;
+    while (stream.Next(&edge)) {
+      ++edges_ingested_;
+      batch.push_back(edge);
+      if (batch.size() >= options_.batch_edges) {
+        (*predictor)->OnEdgeBatch(batch.data(), batch.size());
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) {
+      (*predictor)->OnEdgeBatch(batch.data(), batch.size());
+    }
+    return std::move(*predictor);
+  }
+
+  auto sharded_result = ShardedPredictor::Make(config_);
+  if (!sharded_result.ok()) return sharded_result.status();
+  std::unique_ptr<ShardedPredictor> sharded = std::move(*sharded_result);
+  const uint32_t num_shards = sharded->num_shards();
+
+  std::vector<std::unique_ptr<BoundedBatchQueue>> queues;
+  queues.reserve(num_shards);
+  for (uint32_t t = 0; t < num_shards; ++t) {
+    queues.push_back(
+        std::make_unique<BoundedBatchQueue>(options_.max_inflight_batches));
+  }
+
+  // Each worker owns exactly one shard: no two threads ever touch the same
+  // predictor state, so the shards need no internal locking.
+  std::vector<std::thread> workers;
+  workers.reserve(num_shards);
+  for (uint32_t t = 0; t < num_shards; ++t) {
+    workers.emplace_back([&sharded, &queues, t] {
+      LinkPredictor& shard = sharded->shard(t);
+      EdgeList batch;
+      while (queues[t]->Pop(&batch)) {
+        for (const Edge& half : batch) {
+          shard.ObserveNeighbor(half.u, half.v);
+        }
+      }
+    });
+  }
+
+  // Route each edge as two half-edges to the endpoint owners. A shard's
+  // half-edges stay in stream order, which (with commutative, idempotent
+  // sketch updates) makes the final per-vertex state identical to a
+  // sequential build.
+  std::vector<EdgeList> pending(num_shards);
+  for (auto& p : pending) p.reserve(options_.batch_edges);
+  uint64_t simple_edges = 0;
+  Edge edge;
+  while (stream.Next(&edge)) {
+    ++edges_ingested_;
+    if (edge.IsSelfLoop()) continue;
+    ++simple_edges;
+    const uint32_t owner_u = sharded->OwnerOf(edge.u);
+    const uint32_t owner_v = sharded->OwnerOf(edge.v);
+    pending[owner_u].push_back(edge);
+    if (pending[owner_u].size() >= options_.batch_edges) {
+      queues[owner_u]->Push(std::move(pending[owner_u]));
+      pending[owner_u] = EdgeList();
+      pending[owner_u].reserve(options_.batch_edges);
+    }
+    pending[owner_v].push_back(Edge(edge.v, edge.u));
+    if (pending[owner_v].size() >= options_.batch_edges) {
+      queues[owner_v]->Push(std::move(pending[owner_v]));
+      pending[owner_v] = EdgeList();
+      pending[owner_v].reserve(options_.batch_edges);
+    }
+  }
+  for (uint32_t t = 0; t < num_shards; ++t) {
+    if (!pending[t].empty()) queues[t]->Push(std::move(pending[t]));
+    queues[t]->Close();
+  }
+  for (auto& worker : workers) worker.join();
+
+  // ObserveNeighbor does not count edges (a full edge is two half-edges);
+  // account for the stream once, matching the sequential OnEdge tally.
+  sharded->AddProcessedEdges(simple_edges);
+  return std::unique_ptr<LinkPredictor>(std::move(sharded));
+}
+
+}  // namespace streamlink

@@ -1,0 +1,86 @@
+#ifndef STREAMLINK_STREAM_PARALLEL_INGEST_H_
+#define STREAMLINK_STREAM_PARALLEL_INGEST_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "core/predictor_factory.h"
+#include "graph/types.h"
+#include "stream/edge_stream.h"
+#include "util/status.h"
+
+namespace streamlink {
+
+/// Bounded single-producer / single-consumer queue of half-edge batches.
+/// Push blocks while `capacity` batches are in flight (backpressure on the
+/// router); Pop blocks until a batch arrives, returning false once the
+/// queue is closed and drained.
+class BoundedBatchQueue {
+ public:
+  explicit BoundedBatchQueue(size_t capacity);
+
+  /// Blocks until there is room, then enqueues. Must not be called after
+  /// Close.
+  void Push(EdgeList batch);
+
+  /// Blocks for the next batch. Returns false when the queue is closed and
+  /// every pushed batch has been popped.
+  bool Pop(EdgeList* batch);
+
+  /// Marks end-of-stream; wakes any blocked Pop.
+  void Close();
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<EdgeList> batches_;
+  bool closed_ = false;
+};
+
+/// Tuning knobs for ParallelIngestEngine.
+struct ParallelIngestOptions {
+  /// Half-edges per routed batch handed to a worker.
+  uint32_t batch_edges = 2048;
+  /// Batches buffered per worker queue before the router blocks.
+  uint32_t max_inflight_batches = 32;
+};
+
+/// Builds a predictor from an edge stream using `config.threads` ingestion
+/// workers. Each worker owns one vertex shard (shard t owns every vertex u
+/// with u % threads == t); the calling thread routes each stream edge
+/// (u, v) as two half-edges to the owners of u and v through bounded
+/// queues. Because sketch updates are commutative and idempotent and every
+/// vertex's half-edges reach its single owner in stream order, the result
+/// is bit-identical to a sequential build — the returned ShardedPredictor
+/// answers queries by routing to owners, with no merge step.
+///
+/// threads == 1 degenerates to an ordinary sequential build (no queues, no
+/// worker threads) and returns the plain underlying predictor.
+class ParallelIngestEngine {
+ public:
+  explicit ParallelIngestEngine(PredictorConfig config,
+                                ParallelIngestOptions options = {});
+
+  /// Consumes the whole stream and returns the built predictor.
+  /// InvalidArgument if the config is invalid or the kind cannot be
+  /// sharded at the requested thread count.
+  Result<std::unique_ptr<LinkPredictor>> Build(EdgeStream& stream);
+
+  /// Edges pulled from the stream by the last Build (including
+  /// self-loops, which are dropped during routing).
+  uint64_t edges_ingested() const { return edges_ingested_; }
+
+ private:
+  PredictorConfig config_;
+  ParallelIngestOptions options_;
+  uint64_t edges_ingested_ = 0;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_STREAM_PARALLEL_INGEST_H_

@@ -22,6 +22,11 @@ void StreamDriver::SetCheckpoints(std::vector<double> fractions,
   checkpoint_fn_ = std::move(callback);
 }
 
+void StreamDriver::SetBatchSize(size_t edges) {
+  SL_CHECK(edges >= 1) << "batch size must be >= 1";
+  batch_size_ = edges;
+}
+
 uint64_t StreamDriver::Run(EdgeStream& stream) {
   const uint64_t total = stream.SizeHint();
   SL_CHECK(checkpoint_fractions_.empty() || total > 0 ||
@@ -39,19 +44,37 @@ uint64_t StreamDriver::Run(EdgeStream& stream) {
 
   uint64_t consumed = 0;
   size_t next_checkpoint = 0;
+  std::vector<Edge> batch;
+  batch.reserve(batch_size_);
+  auto flush = [&] {
+    if (batch.empty()) return;
+    for (EdgeConsumer* c : consumers_) c->OnEdgeBatch(batch.data(),
+                                                      batch.size());
+    consumed += batch.size();
+    batch.clear();
+  };
+
   Edge e;
   while (stream.Next(&e)) {
-    for (EdgeConsumer* c : consumers_) c->OnEdge(e);
-    ++consumed;
-    while (next_checkpoint < positions.size() &&
-           consumed >= positions[next_checkpoint]) {
-      double fraction = total > 0
-                            ? static_cast<double>(consumed) / total
-                            : 1.0;
-      checkpoint_fn_(consumed, fraction);
-      ++next_checkpoint;
+    batch.push_back(e);
+    // Flush early when a checkpoint position lands inside the batch, so
+    // the callback observes exactly `positions[next_checkpoint]` edges.
+    const bool at_checkpoint =
+        next_checkpoint < positions.size() &&
+        consumed + batch.size() >= positions[next_checkpoint];
+    if (batch.size() >= batch_size_ || at_checkpoint) {
+      flush();
+      while (next_checkpoint < positions.size() &&
+             consumed >= positions[next_checkpoint]) {
+        double fraction = total > 0
+                              ? static_cast<double>(consumed) / total
+                              : 1.0;
+        checkpoint_fn_(consumed, fraction);
+        ++next_checkpoint;
+      }
     }
   }
+  flush();
   // Fire any remaining checkpoints (e.g. 1.0 on an unsized stream, or when
   // rounding placed a checkpoint past the true end).
   while (next_checkpoint < checkpoint_fractions_.size()) {

@@ -1,0 +1,253 @@
+#include "stream/parallel_ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/predictor_factory.h"
+#include "core/sharded_predictor.h"
+#include "eval/experiment.h"
+#include "stream/edge_stream.h"
+#include "stream/stream_driver.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+constexpr VertexId kNumVertices = 80;
+
+EdgeList MakeStream(uint64_t seed, size_t num_edges) {
+  Rng rng(seed);
+  EdgeList edges;
+  edges.reserve(num_edges);
+  for (size_t i = 0; i < num_edges; ++i) {
+    edges.emplace_back(static_cast<VertexId>(rng.NextBounded(kNumVertices)),
+                       static_cast<VertexId>(rng.NextBounded(kNumVertices)));
+  }
+  return edges;
+}
+
+void ExpectIdentical(const LinkPredictor& a, const LinkPredictor& b,
+                     VertexId max_vertex) {
+  for (VertexId u = 0; u < max_vertex; u += 2) {
+    for (VertexId v = 0; v < max_vertex; ++v) {
+      OverlapEstimate ea = a.EstimateOverlap(u, v);
+      OverlapEstimate eb = b.EstimateOverlap(u, v);
+      EXPECT_EQ(ea.jaccard, eb.jaccard) << "(" << u << "," << v << ")";
+      EXPECT_EQ(ea.intersection, eb.intersection)
+          << "(" << u << "," << v << ")";
+      EXPECT_EQ(ea.adamic_adar, eb.adamic_adar)
+          << "(" << u << "," << v << ")";
+      EXPECT_EQ(ea.resource_allocation, eb.resource_allocation)
+          << "(" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST(BoundedBatchQueue, DeliversBatchesInOrder) {
+  BoundedBatchQueue queue(4);
+  queue.Push({{0, 1}});
+  queue.Push({{1, 2}, {2, 3}});
+  queue.Close();
+  EdgeList batch;
+  ASSERT_TRUE(queue.Pop(&batch));
+  EXPECT_EQ(batch, EdgeList({{0, 1}}));
+  ASSERT_TRUE(queue.Pop(&batch));
+  EXPECT_EQ(batch, EdgeList({{1, 2}, {2, 3}}));
+  EXPECT_FALSE(queue.Pop(&batch));
+}
+
+TEST(BoundedBatchQueue, PopAfterCloseDrainsThenStops) {
+  BoundedBatchQueue queue(2);
+  queue.Push({{0, 1}});
+  queue.Close();
+  EdgeList batch;
+  EXPECT_TRUE(queue.Pop(&batch));
+  EXPECT_FALSE(queue.Pop(&batch));
+  EXPECT_FALSE(queue.Pop(&batch));  // stays closed
+}
+
+TEST(BoundedBatchQueue, BlocksProducerAtCapacity) {
+  BoundedBatchQueue queue(1);
+  queue.Push({{0, 1}});
+  std::atomic<bool> second_push_done{false};
+  std::thread producer([&] {
+    queue.Push({{1, 2}});  // must block until the consumer pops
+    second_push_done = true;
+  });
+  // Give the producer a moment to hit the capacity wall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_push_done.load());
+  EdgeList batch;
+  ASSERT_TRUE(queue.Pop(&batch));
+  EXPECT_EQ(batch, EdgeList({{0, 1}}));
+  producer.join();
+  EXPECT_TRUE(second_push_done.load());
+  queue.Close();
+  ASSERT_TRUE(queue.Pop(&batch));
+  EXPECT_EQ(batch, EdgeList({{1, 2}}));
+  EXPECT_FALSE(queue.Pop(&batch));
+}
+
+TEST(BoundedBatchQueue, ManyBatchesThroughTinyCapacity) {
+  BoundedBatchQueue queue(2);
+  constexpr int kBatches = 500;
+  std::thread producer([&] {
+    for (int i = 0; i < kBatches; ++i) {
+      queue.Push({Edge(static_cast<VertexId>(i),
+                       static_cast<VertexId>(i + 1))});
+    }
+    queue.Close();
+  });
+  EdgeList batch;
+  int received = 0;
+  while (queue.Pop(&batch)) {
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].u, static_cast<VertexId>(received));
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, kBatches);
+}
+
+TEST(ParallelIngestEngine, FourThreadsBitIdenticalToSequential) {
+  const EdgeList edges = MakeStream(/*seed=*/11, /*num_edges=*/800);
+  for (const char* kind : {"minhash", "bottomk", "oph", "exact"}) {
+    PredictorConfig config;
+    config.kind = kind;
+    config.sketch_size = 32;
+    config.seed = 13;
+
+    config.threads = 1;
+    ParallelIngestEngine sequential_engine(config);
+    VectorEdgeStream sequential_stream(edges);
+    auto sequential = sequential_engine.Build(sequential_stream);
+    ASSERT_TRUE(sequential.ok()) << kind;
+
+    config.threads = 4;
+    ParallelIngestEngine parallel_engine(config);
+    VectorEdgeStream parallel_stream(edges);
+    auto sharded = parallel_engine.Build(parallel_stream);
+    ASSERT_TRUE(sharded.ok()) << kind;
+
+    EXPECT_EQ(parallel_engine.edges_ingested(), edges.size()) << kind;
+    EXPECT_EQ((*sharded)->edges_processed(),
+              (*sequential)->edges_processed())
+        << kind;
+    EXPECT_EQ((*sharded)->num_vertices(), (*sequential)->num_vertices())
+        << kind;
+    ExpectIdentical(**sequential, **sharded, kNumVertices + 3);
+  }
+}
+
+TEST(ParallelIngestEngine, TinyBatchesAndQueuesStillLossless) {
+  // Stress the backpressure path: 1-edge batches through depth-1 queues.
+  const EdgeList edges = MakeStream(/*seed=*/17, /*num_edges=*/300);
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.sketch_size = 16;
+  config.threads = 3;
+  ParallelIngestOptions options;
+  options.batch_edges = 1;
+  options.max_inflight_batches = 1;
+  ParallelIngestEngine engine(config, options);
+  VectorEdgeStream stream(edges);
+  auto sharded = engine.Build(stream);
+  ASSERT_TRUE(sharded.ok());
+
+  config.threads = 1;
+  auto sequential = MakePredictor(config);
+  ASSERT_TRUE(sequential.ok());
+  FeedStream(**sequential, edges);
+  ExpectIdentical(**sequential, **sharded, kNumVertices);
+}
+
+TEST(ParallelIngestEngine, SingleThreadMatchesStreamDriverBuild) {
+  const EdgeList edges = MakeStream(/*seed=*/23, /*num_edges=*/400);
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.sketch_size = 32;
+  config.threads = 1;
+  ParallelIngestEngine engine(config);
+  VectorEdgeStream engine_stream(edges);
+  auto from_engine = engine.Build(engine_stream);
+  ASSERT_TRUE(from_engine.ok());
+  EXPECT_EQ(engine.edges_ingested(), edges.size());
+
+  auto from_driver = MakePredictor(config);
+  ASSERT_TRUE(from_driver.ok());
+  VectorEdgeStream driver_stream(edges);
+  StreamDriver driver;
+  driver.AddConsumer(from_driver->get());
+  driver.Run(driver_stream);
+
+  EXPECT_EQ((*from_engine)->edges_processed(),
+            (*from_driver)->edges_processed());
+  ExpectIdentical(**from_driver, **from_engine, kNumVertices);
+}
+
+TEST(ParallelIngestEngine, EmptyStream) {
+  PredictorConfig config;
+  config.kind = "exact";
+  config.threads = 4;
+  ParallelIngestEngine engine(config);
+  VectorEdgeStream stream(EdgeList{});
+  auto built = engine.Build(stream);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(engine.edges_ingested(), 0u);
+  EXPECT_EQ((*built)->edges_processed(), 0u);
+  EXPECT_EQ((*built)->num_vertices(), 0u);
+}
+
+TEST(ParallelIngestEngine, SelfLoopOnlyStream) {
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.threads = 2;
+  ParallelIngestEngine engine(config);
+  VectorEdgeStream stream(EdgeList{{4, 4}, {7, 7}, {4, 4}});
+  auto built = engine.Build(stream);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(engine.edges_ingested(), 3u);
+  EXPECT_EQ((*built)->edges_processed(), 0u);
+  OverlapEstimate e = (*built)->EstimateOverlap(4, 7);
+  EXPECT_EQ(e.jaccard, 0.0);
+}
+
+TEST(ParallelIngestEngine, RejectsZeroThreads) {
+  PredictorConfig config;
+  config.threads = 0;
+  ParallelIngestEngine engine(config);
+  VectorEdgeStream stream(EdgeList{{0, 1}});
+  auto built = engine.Build(stream);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelIngestEngine, RejectsUnshardableKindWhenParallel) {
+  PredictorConfig config;
+  config.kind = "vertex_biased";
+  config.threads = 4;
+  ParallelIngestEngine engine(config);
+  VectorEdgeStream stream(EdgeList{{0, 1}});
+  auto built = engine.Build(stream);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelIngestEngine, UnshardableKindWorksSequentially) {
+  PredictorConfig config;
+  config.kind = "vertex_biased";
+  config.threads = 1;
+  ParallelIngestEngine engine(config);
+  VectorEdgeStream stream(EdgeList{{0, 1}, {1, 2}});
+  auto built = engine.Build(stream);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ((*built)->edges_processed(), 2u);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -60,6 +60,43 @@ TEST(PredictorFactory, BottomKSketchDegreesFlag) {
   EXPECT_DOUBLE_EQ((*p)->EstimateOverlap(0, 1).degree_u, 1.0);
 }
 
+TEST(PredictorFactory, ZeroThreadsRejected) {
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.threads = 0;
+  auto p = MakePredictor(config);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PredictorFactory, MultiThreadBuildsShardedForSupportedKinds) {
+  for (const std::string& kind : PredictorKinds()) {
+    PredictorConfig config;
+    config.kind = kind;
+    config.threads = 2;
+    auto p = MakePredictor(config);
+    // threads > 1 must succeed exactly for the shardable kinds, and the
+    // result must advertise itself as sharded.
+    if (KindSupportsSharding(kind)) {
+      ASSERT_TRUE(p.ok()) << kind << ": " << p.status().ToString();
+      EXPECT_EQ((*p)->name(), "sharded:" + kind);
+    } else {
+      ASSERT_FALSE(p.ok()) << kind;
+      EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(PredictorFactory, KindSupportsShardingMatchesCapabilityFlag) {
+  for (const std::string& kind : PredictorKinds()) {
+    PredictorConfig config;
+    config.kind = kind;
+    auto p = MakePredictor(config);
+    ASSERT_TRUE(p.ok()) << kind;
+    EXPECT_EQ((*p)->SupportsSharding(), KindSupportsSharding(kind)) << kind;
+  }
+}
+
 TEST(PredictorFactory, AllSketchKindsAgreeOnTinyExactCase) {
   // On a graph far below every sketch's capacity all predictors are exact.
   EdgeList edges = {{0, 2}, {0, 3}, {1, 2}, {1, 3}};

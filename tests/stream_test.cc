@@ -86,6 +86,66 @@ TEST(PrefixEdgeStream, LimitBeyondLengthIsWholeStream) {
   EXPECT_EQ(s.SizeHint(), 1u);
 }
 
+/// Additionally records how edges were grouped into OnEdgeBatch calls.
+class BatchRecordingConsumer : public RecordingConsumer {
+ public:
+  void OnEdgeBatch(const Edge* batch, size_t count) override {
+    batch_sizes.push_back(count);
+    EdgeConsumer::OnEdgeBatch(batch, count);
+  }
+  std::vector<size_t> batch_sizes;
+};
+
+TEST(EdgeConsumer, DefaultOnEdgeBatchForwardsEdgeByEdge) {
+  RecordingConsumer c;
+  EdgeList edges = {{0, 1}, {1, 2}, {2, 3}};
+  c.OnEdgeBatch(edges.data(), edges.size());
+  EXPECT_EQ(c.edges, edges);
+}
+
+TEST(StreamDriver, DeliversInBatchesOfConfiguredSize) {
+  EdgeList edges;
+  for (VertexId i = 0; i < 10; ++i) edges.emplace_back(i, i + 1);
+  VectorEdgeStream stream(edges);
+  BatchRecordingConsumer c;
+  StreamDriver driver;
+  driver.AddConsumer(&c);
+  driver.SetBatchSize(4);
+  EXPECT_EQ(driver.Run(stream), 10u);
+  EXPECT_EQ(c.edges, edges);
+  EXPECT_EQ(c.batch_sizes, (std::vector<size_t>{4, 4, 2}));
+}
+
+TEST(StreamDriver, BatchesFlushAtCheckpointPositions) {
+  // 10 edges, batch size far larger: the 0.5 checkpoint must still observe
+  // exactly 5 consumed edges, with consumers flushed before the callback.
+  EdgeList edges;
+  for (VertexId i = 0; i < 10; ++i) edges.emplace_back(i, i + 1);
+  VectorEdgeStream stream(edges);
+  BatchRecordingConsumer c;
+  StreamDriver driver;
+  driver.AddConsumer(&c);
+  driver.SetBatchSize(1000);
+  std::vector<uint64_t> positions;
+  std::vector<size_t> delivered_at_checkpoint;
+  driver.SetCheckpoints({0.5, 1.0}, [&](uint64_t consumed, double) {
+    positions.push_back(consumed);
+    delivered_at_checkpoint.push_back(c.edges.size());
+  });
+  driver.Run(stream);
+  ASSERT_EQ(positions.size(), 2u);
+  EXPECT_EQ(positions[0], 5u);
+  EXPECT_EQ(delivered_at_checkpoint[0], 5u);
+  EXPECT_EQ(positions[1], 10u);
+  EXPECT_EQ(delivered_at_checkpoint[1], 10u);
+  EXPECT_EQ(c.edges, edges);
+}
+
+TEST(StreamDriverDeathTest, ZeroBatchSizeAborts) {
+  StreamDriver driver;
+  EXPECT_DEATH(driver.SetBatchSize(0), ">= 1");
+}
+
 TEST(StreamDriver, FeedsAllConsumers) {
   VectorEdgeStream stream({{0, 1}, {1, 2}, {2, 3}});
   RecordingConsumer a, b;
