@@ -29,26 +29,37 @@ namespace bench {
 
 /// Flags shared by all experiment binaries:
 ///   --scale   workload scale multiplier (1.0 = paper-size defaults)
-///   --seed    master seed
 ///   --pairs   number of query pairs per accuracy measurement
 ///   --out     CSV output path ("" = console only)
+/// plus the predictor flag set of PredictorConfigFromFlags (--seed,
+/// --threads, --sketch-degrees, ...). `predictor` carries those values;
+/// binaries that sweep kind/size start from it (so e.g. --threads or
+/// --sketch-degrees apply across the sweep) and override the swept knobs.
 struct BenchConfig {
   double scale = 1.0;
   uint64_t seed = 42;
   uint32_t pairs = 1000;
   std::string out;
+  PredictorConfig predictor;
 
   static BenchConfig FromFlags(int argc, char** argv,
                                double default_scale = 1.0,
                                uint32_t default_pairs = 1000) {
     FlagParser flags(argc, argv);
-    SL_CHECK_OK(flags.CheckUnknown({"scale", "seed", "pairs", "out"}));
+    std::vector<std::string> known = {"scale", "pairs", "out"};
+    for (const std::string& name : PredictorFlagNames()) {
+      known.push_back(name);
+    }
+    SL_CHECK_OK(flags.CheckUnknown(known));
     BenchConfig config;
     config.scale = flags.GetDouble("scale", default_scale);
-    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     config.pairs =
         static_cast<uint32_t>(flags.GetInt("pairs", default_pairs));
     config.out = flags.GetString("out", "");
+    PredictorConfig defaults;
+    defaults.seed = 42;
+    config.predictor = PredictorConfigFromFlags(flags, defaults);
+    config.seed = config.predictor.seed;
     return config;
   }
 };

@@ -37,10 +37,9 @@ int Run(const BenchConfig& config) {
     for (const std::string& kind :
          {std::string("minhash"), std::string("oph")}) {
       for (uint32_t k : {16u, 64u, 256u, 1024u}) {
-        PredictorConfig pc;
+        PredictorConfig pc = config.predictor;
         pc.kind = kind;
         pc.sketch_size = k;
-        pc.seed = config.seed;
         auto predictor = MustMakePredictor(pc);
         Stopwatch sw;
         FeedStream(*predictor, g.edges);

@@ -47,10 +47,9 @@ void Run(const BenchConfig& config) {
   std::printf("stream: %zu edges, %u vertices\n\n", g.edges.size(),
               g.num_vertices);
 
-  PredictorConfig predictor_config;
+  PredictorConfig predictor_config = config.predictor;
   predictor_config.kind = "minhash";
   predictor_config.sketch_size = 256;
-  predictor_config.seed = config.seed;
 
   // Sequential reference for the equivalence column.
   predictor_config.threads = 1;

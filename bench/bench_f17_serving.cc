@@ -1,0 +1,116 @@
+// F17: concurrent query serving on a live stream. For 1/2/4/8 reader
+// threads, ingests the same RMAT stream through ParallelIngestEngine with
+// a publish cadence feeding a QueryService while the readers issue batched
+// queries against the published snapshots; reports query throughput and
+// latency per reader count, plus how much the publish barrier slowed the
+// build relative to a no-publish baseline. Scaling columns only mean
+// anything when the machine has that many hardware threads — the binary
+// prints the count.
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "bench_common.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "serve/query_service.h"
+#include "stream/edge_stream.h"
+#include "stream/parallel_ingest.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  Banner("F17", "snapshot-isolated query serving during live ingest");
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+
+  GeneratedGraph g =
+      MakeWorkload(WorkloadSpec{"rmat", config.scale, config.seed});
+  std::printf("stream: %zu edges, %u vertices\n", g.edges.size(),
+              g.num_vertices);
+
+  PredictorConfig predictor_config = config.predictor;
+  predictor_config.sketch_size = 128;
+
+  // Query workload: batches of overlapping pairs scored on two measures.
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(config.seed + 17);
+  QueryRequest request;
+  request.pairs = SampleOverlappingPairs(
+      csr, std::min<uint32_t>(config.pairs, 64), rng);
+  SL_CHECK(!request.pairs.empty()) << "graph too small to sample pairs";
+  request.measures = {LinkMeasure::kJaccard, LinkMeasure::kAdamicAdar};
+
+  const uint64_t publish_every =
+      std::max<uint64_t>(1, g.edges.size() / 20);
+  std::printf("ingest threads: %u, publish every %llu edges\n\n",
+              predictor_config.threads,
+              static_cast<unsigned long long>(publish_every));
+
+  // No-publish baseline: the same build without the snapshot barrier.
+  double baseline_seconds;
+  {
+    ParallelIngestEngine engine(predictor_config);
+    VectorEdgeStream stream(g.edges);
+    Stopwatch timer;
+    SL_CHECK_OK(engine.Build(stream).status());
+    baseline_seconds = timer.ElapsedSeconds();
+  }
+
+  ResultTable table({"readers", "queries", "qps", "mean_us", "p50_us",
+                     "p99_us", "publishes", "ingest_seconds",
+                     "ingest_overhead"});
+  for (uint32_t readers : {1u, 2u, 4u, 8u}) {
+    QueryService service;
+    ParallelIngestOptions options;
+    options.publish_every_edges = publish_every;
+    options.on_publish = service.IngestPublisher();
+    ParallelIngestEngine engine(predictor_config, options);
+    VectorEdgeStream raw(g.edges);
+    auto tapped = service.WrapStream(raw);
+
+    std::atomic<bool> done{false};
+    std::vector<uint64_t> counts(readers, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(readers);
+    for (uint32_t r = 0; r < readers; ++r) {
+      threads.emplace_back([&, r] {
+        while (!done.load(std::memory_order_acquire)) {
+          if (service.Query(request).ok()) ++counts[r];
+        }
+      });
+    }
+    Stopwatch timer;
+    SL_CHECK_OK(engine.Build(*tapped).status());
+    const double seconds = timer.ElapsedSeconds();
+    done.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+
+    uint64_t queries = 0;
+    for (uint64_t c : counts) queries += c;
+    table.AddRow({std::to_string(readers), std::to_string(queries),
+                  ResultTable::Cell(seconds > 0 ? queries / seconds : 0.0),
+                  ResultTable::Cell(service.latency().MeanMicros()),
+                  ResultTable::Cell(service.latency().PercentileMicros(0.5)),
+                  ResultTable::Cell(service.latency().PercentileMicros(0.99)),
+                  std::to_string(service.publish_count()),
+                  ResultTable::Cell(seconds),
+                  ResultTable::Cell(baseline_seconds > 0
+                                        ? seconds / baseline_seconds
+                                        : 0.0)});
+  }
+  table.Emit(config);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  streamlink::bench::Run(
+      streamlink::bench::BenchConfig::FromFlags(argc, argv, 1.0, 64));
+  return 0;
+}

@@ -33,10 +33,9 @@ int Run(const BenchConfig& config) {
 
     for (const std::string& kind : predictors) {
       for (uint32_t k : sketch_sizes) {
-        PredictorConfig pc;
+        PredictorConfig pc = config.predictor;
         pc.kind = kind;
         pc.sketch_size = k;
-        pc.seed = config.seed;
         AccuracyReport report = MeasureAccuracy(g, pc, pairs);
         table.AddRow({workload, kind, std::to_string(k),
                       ResultTable::Cell(report.jaccard.MeanRelativeError()),

@@ -36,10 +36,9 @@ int Run(const BenchConfig& config) {
 
     for (const std::string& kind :
          {std::string("minhash"), std::string("bottomk")}) {
-      PredictorConfig pc;
+      PredictorConfig pc = config.predictor;
       pc.kind = kind;
       pc.sketch_size = k;
-      pc.seed = config.seed;
       auto predictor = MustMakePredictor(pc);
       ExactPredictor exact;
 

@@ -41,10 +41,9 @@ int Run(const BenchConfig& config) {
          {std::string("minhash"), std::string("bottomk"),
           std::string("vertex_biased")}) {
       for (uint32_t k : {16u, 64u, 256u}) {
-        PredictorConfig pc;
+        PredictorConfig pc = config.predictor;
         pc.kind = kind;
         pc.sketch_size = k;
-        pc.seed = config.seed;
         auto predictor = MustMakePredictor(pc);
         double rate = MeasureThroughput(*predictor, g.edges);
         table.AddRow({workload, kind, std::to_string(k),

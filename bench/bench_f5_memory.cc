@@ -36,10 +36,9 @@ int Run(const BenchConfig& config) {
     for (const Variant& v :
          {Variant{"exact", 0}, Variant{"minhash", 64},
           Variant{"bottomk", 64}, Variant{"vertex_biased", 64}}) {
-      PredictorConfig pc;
+      PredictorConfig pc = config.predictor;
       pc.kind = v.kind;
       pc.sketch_size = v.k == 0 ? 64 : v.k;  // ignored by exact
-      pc.seed = config.seed;
       auto predictor = MustMakePredictor(pc);
       FeedStream(*predictor, g.edges);
       double per_vertex = predictor->num_vertices() > 0

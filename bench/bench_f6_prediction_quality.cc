@@ -54,10 +54,9 @@ int Run(const BenchConfig& config) {
          {Variant{"exact", 0}, Variant{"minhash", 32},
           Variant{"minhash", 128}, Variant{"bottomk", 128},
           Variant{"vertex_biased", 128}}) {
-      PredictorConfig pc;
+      PredictorConfig pc = config.predictor;
       pc.kind = v.kind;
       pc.sketch_size = v.k == 0 ? 64 : v.k;
-      pc.seed = config.seed;
       auto predictor = MustMakePredictor(pc);
       FeedStream(*predictor, split.train);
 

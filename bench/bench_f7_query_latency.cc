@@ -39,10 +39,9 @@ int Run(const BenchConfig& config) {
          {Variant{"exact", 0}, Variant{"minhash", 16}, Variant{"minhash", 64},
           Variant{"minhash", 256}, Variant{"bottomk", 64},
           Variant{"vertex_biased", 64}}) {
-      PredictorConfig pc;
+      PredictorConfig pc = config.predictor;
       pc.kind = v.kind;
       pc.sketch_size = v.k == 0 ? 64 : v.k;
-      pc.seed = config.seed;
       auto predictor = MustMakePredictor(pc);
       FeedStream(*predictor, g.edges);
 

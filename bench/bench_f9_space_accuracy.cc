@@ -33,10 +33,9 @@ int Run(const BenchConfig& config) {
   for (const std::string& kind :
        {std::string("minhash"), std::string("bottomk")}) {
     for (uint32_t k : {8u, 16u, 32u, 64u, 128u, 256u}) {
-      PredictorConfig pc;
+      PredictorConfig pc = config.predictor;
       pc.kind = kind;
       pc.sketch_size = k;
-      pc.seed = config.seed;
       auto predictor = MustMakePredictor(pc);
       FeedStream(*predictor, g.edges);
       AccuracyReport report =

@@ -30,16 +30,14 @@ int Run(const BenchConfig& config) {
     auto pairs = SampleOverlappingPairs(csr, config.pairs, rng);
 
     for (uint32_t k : {32u, 64u, 128u, 256u}) {
-      PredictorConfig uniform;
+      PredictorConfig uniform = config.predictor;
       uniform.kind = "minhash";
       uniform.sketch_size = k;
-      uniform.seed = config.seed;
       AccuracyReport uniform_report = MeasureAccuracy(g, uniform, pairs);
 
-      PredictorConfig biased;
+      PredictorConfig biased = config.predictor;
       biased.kind = "vertex_biased";
       biased.sketch_size = k;
-      biased.seed = config.seed;
       AccuracyReport biased_report = MeasureAccuracy(g, biased, pairs);
 
       double u_mre = uniform_report.adamic_adar.MeanRelativeError();

@@ -1,6 +1,8 @@
 #include "cli/commands.h"
 
+#include <atomic>
 #include <ostream>
+#include <thread>
 
 #include "core/exact_predictor.h"
 #include "core/minhash_predictor.h"
@@ -13,12 +15,14 @@
 #include "graph/csr_graph.h"
 #include "graph/edge_list_io.h"
 #include "graph/graph_stats.h"
+#include "serve/query_service.h"
 #include "stream/edge_stream.h"
 #include "stream/parallel_ingest.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/table_printer.h"
+#include "util/timer.h"
 
 namespace streamlink {
 
@@ -62,6 +66,15 @@ Result<std::unique_ptr<LinkPredictor>> BuildPredictor(
   ParallelIngestEngine engine(config);
   VectorEdgeStream stream(edges);
   return engine.Build(stream);
+}
+
+/// The shared predictor flag names plus a command's own flags, for
+/// CheckUnknown.
+std::vector<std::string> WithPredictorFlags(
+    std::initializer_list<const char*> own) {
+  std::vector<std::string> names = PredictorFlagNames();
+  for (const char* name : own) names.emplace_back(name);
+  return names;
 }
 
 Status CmdGenerate(const FlagParser& flags, std::ostream& out) {
@@ -110,8 +123,7 @@ Status CmdStats(const FlagParser& flags, std::ostream& out) {
 }
 
 Status CmdBuild(const FlagParser& flags, std::ostream& out) {
-  if (auto st =
-          flags.CheckUnknown({"input", "k", "seed", "snapshot", "threads"});
+  if (auto st = flags.CheckUnknown(WithPredictorFlags({"input", "snapshot"}));
       !st.ok()) {
     return st;
   }
@@ -123,40 +135,32 @@ Status CmdBuild(const FlagParser& flags, std::ostream& out) {
   auto file = ReadEdgeList(input);
   if (!file.ok()) return file.status();
 
-  MinHashPredictorOptions options;
-  options.num_hashes = static_cast<uint32_t>(flags.GetInt("k", 64));
-  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  const uint32_t threads =
-      static_cast<uint32_t>(flags.GetInt("threads", 1));
-
-  MinHashPredictor predictor(options);
-  if (threads <= 1) {
-    if (threads == 0) return Status::InvalidArgument("--threads must be >= 1");
-    FeedStream(predictor, file->edges);
-  } else {
-    PredictorConfig config;
-    config.kind = "minhash";
-    config.sketch_size = options.num_hashes;
-    config.seed = options.seed;
-    config.threads = threads;
-    auto built = BuildPredictor(config, file->edges);
-    if (!built.ok()) return built.status();
-    // The snapshot format stores a single predictor, so fold the vertex
-    // shards back together (lossless: slot-wise minima + degree sums over
-    // disjoint vertex sets) before saving.
-    auto* sharded = dynamic_cast<ShardedPredictor*>(built->get());
-    SL_CHECK(sharded != nullptr);
-    for (uint32_t t = 0; t < sharded->num_shards(); ++t) {
-      predictor.MergeFrom(
-          dynamic_cast<const MinHashPredictor&>(sharded->shard(t)));
-    }
-    predictor.AddProcessedEdges(sharded->edges_processed());
+  PredictorConfig defaults;
+  defaults.sketch_size = 64;
+  defaults.seed = 42;
+  PredictorConfig config = PredictorConfigFromFlags(flags, defaults);
+  // The snapshot serde covers minhash only; other kinds are query-time
+  // predictors (see `compare` / `serve-bench`).
+  if (config.kind != "minhash") {
+    return Status::InvalidArgument(
+        "build snapshots support --kind minhash only, got " + config.kind);
   }
-  if (auto st = predictor.Save(snapshot); !st.ok()) return st;
-  out << "ingested " << predictor.edges_processed() << " edges over "
-      << predictor.num_vertices() << " vertices";
-  if (threads > 1) out << " (" << threads << " ingest threads)";
-  out << "; snapshot (" << predictor.MemoryBytes() / 1024
+  auto built = BuildPredictor(config, file->edges);
+  if (!built.ok()) return built.status();
+  std::unique_ptr<LinkPredictor> single = std::move(*built);
+  if (config.threads > 1) {
+    // The snapshot format stores a single predictor; ShardedPredictor::
+    // Clone folds the vertex shards back together losslessly.
+    single = single->Clone();
+    SL_CHECK(single != nullptr);
+  }
+  auto* predictor = dynamic_cast<MinHashPredictor*>(single.get());
+  SL_CHECK(predictor != nullptr);
+  if (auto st = predictor->Save(snapshot); !st.ok()) return st;
+  out << "ingested " << predictor->edges_processed() << " edges over "
+      << predictor->num_vertices() << " vertices";
+  if (config.threads > 1) out << " (" << config.threads << " ingest threads)";
+  out << "; snapshot (" << predictor->MemoryBytes() / 1024
       << " KiB of state) saved to " << snapshot << "\n";
   return Status::Ok();
 }
@@ -173,13 +177,26 @@ Status CmdQuery(const FlagParser& flags, std::ostream& out) {
   auto predictor = MinHashPredictor::Load(snapshot);
   if (!predictor.ok()) return predictor.status();
 
-  TablePrinter table({"u", "v", "jaccard", "common", "adamic_adar"});
+  // One overlap estimate per pair, scored on every column at once
+  // (LinkPredictor::Scores); --measure appends an extra column.
+  std::vector<LinkMeasure> measures = {LinkMeasure::kJaccard,
+                                       LinkMeasure::kCommonNeighbors,
+                                       LinkMeasure::kAdamicAdar};
+  std::vector<std::string> columns = {"u", "v", "jaccard", "common",
+                                      "adamic_adar"};
+  if (flags.Has("measure")) {
+    auto extra = ParseMeasure(flags.GetString("measure", ""));
+    if (!extra.ok()) return extra.status();
+    measures.push_back(*extra);
+    columns.emplace_back(LinkMeasureName(*extra));
+  }
+
+  TablePrinter table(columns);
   for (const QueryPair& p : *pairs) {
-    OverlapEstimate e = predictor->EstimateOverlap(p.u, p.v);
-    table.AddRow({std::to_string(p.u), std::to_string(p.v),
-                  TablePrinter::FormatCell(e.jaccard),
-                  TablePrinter::FormatCell(e.intersection),
-                  TablePrinter::FormatCell(e.adamic_adar)});
+    std::vector<double> scores = predictor->Scores(measures, p.u, p.v);
+    std::vector<std::string> row = {std::to_string(p.u), std::to_string(p.v)};
+    for (double score : scores) row.push_back(TablePrinter::FormatCell(score));
+    table.AddRow(std::move(row));
   }
   table.Print(out);
   return Status::Ok();
@@ -187,7 +204,7 @@ Status CmdQuery(const FlagParser& flags, std::ostream& out) {
 
 Status CmdTopK(const FlagParser& flags, std::ostream& out) {
   if (auto st = flags.CheckUnknown(
-          {"input", "vertex", "top", "k", "seed", "measure", "threads"});
+          WithPredictorFlags({"input", "vertex", "top", "measure"}));
       !st.ok()) {
     return st;
   }
@@ -203,34 +220,45 @@ Status CmdTopK(const FlagParser& flags, std::ostream& out) {
     return Status::OutOfRange("--vertex " + std::to_string(vertex) +
                               " not in graph");
   }
-  PredictorConfig config;
-  config.kind = "minhash";
-  config.sketch_size = static_cast<uint32_t>(flags.GetInt("k", 128));
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  config.threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
+  PredictorConfig defaults;
+  defaults.sketch_size = 128;
+  defaults.seed = 42;
+  PredictorConfig config = PredictorConfigFromFlags(flags, defaults);
   auto predictor = BuildPredictor(config, file->edges);
   if (!predictor.ok()) return predictor.status();
 
   CsrGraph snapshot = CsrGraph::FromEdges(file->edges, file->num_vertices);
   auto candidates = TwoHopCandidates(snapshot, vertex);
+  // Rank on the requested measure and report jaccard alongside it from the
+  // same single overlap estimate per candidate (TopKScored).
+  std::vector<LinkMeasure> measures = {*measure};
+  const bool with_jaccard = *measure != LinkMeasure::kJaccard;
+  if (with_jaccard) measures.push_back(LinkMeasure::kJaccard);
   TopKEngine engine(**predictor, *measure);
-  auto top =
-      engine.TopK(candidates, static_cast<uint32_t>(flags.GetInt("top", 10)));
+  auto top = engine.TopKScored(
+      candidates, measures, static_cast<uint32_t>(flags.GetInt("top", 10)));
 
-  TablePrinter table({"candidate", LinkMeasureName(*measure)});
-  for (const ScoredPair& s : top) {
+  std::vector<std::string> columns = {"candidate", LinkMeasureName(*measure)};
+  if (with_jaccard) columns.emplace_back("jaccard");
+  TablePrinter table(columns);
+  for (const MultiScoredPair& s : top) {
     VertexId other = s.pair.u == vertex ? s.pair.v : s.pair.u;
-    table.AddRow(
-        {std::to_string(other), TablePrinter::FormatCell(s.score)});
+    std::vector<std::string> row = {std::to_string(other)};
+    for (double score : s.scores) row.push_back(TablePrinter::FormatCell(score));
+    table.AddRow(std::move(row));
   }
   table.Print(out);
   return Status::Ok();
 }
 
 Status CmdCompare(const FlagParser& flags, std::ostream& out) {
-  if (auto st = flags.CheckUnknown({"input", "k", "pairs", "seed", "threads"});
+  if (auto st = flags.CheckUnknown(WithPredictorFlags({"input", "pairs"}));
       !st.ok()) {
     return st;
+  }
+  if (flags.Has("kind")) {
+    return Status::InvalidArgument(
+        "compare scores every predictor kind; --kind is not accepted");
   }
   std::string input = flags.GetString("input", "");
   if (input.empty()) return Status::InvalidArgument("--input is required");
@@ -242,25 +270,27 @@ Status CmdCompare(const FlagParser& flags, std::ostream& out) {
   graph.edges = file->edges;
   graph.num_vertices = file->num_vertices;
   CsrGraph csr = CsrGraph::FromEdges(graph.edges, graph.num_vertices);
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+
+  PredictorConfig defaults;
+  defaults.sketch_size = 128;
+  defaults.seed = 42;
+  const PredictorConfig base = PredictorConfigFromFlags(flags, defaults);
+  if (base.threads == 0) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  Rng rng(base.seed);
   auto pairs = SampleOverlappingPairs(
       csr, static_cast<uint32_t>(flags.GetInt("pairs", 500)), rng);
-
-  const uint32_t threads =
-      static_cast<uint32_t>(flags.GetInt("threads", 1));
-  if (threads == 0) return Status::InvalidArgument("--threads must be >= 1");
 
   TablePrinter table({"predictor", "k", "jaccard_mae", "cn_mre", "aa_mre",
                       "mbytes"});
   for (const std::string& kind : PredictorKinds()) {
     if (kind == "exact" || kind == "windowed_minhash") continue;
-    PredictorConfig config;
+    PredictorConfig config = base;
     config.kind = kind;
-    config.sketch_size = static_cast<uint32_t>(flags.GetInt("k", 128));
-    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     // Kinds that depend on global stream state cannot shard; build them
     // sequentially so the comparison still covers every predictor.
-    config.threads = KindSupportsSharding(kind) ? threads : 1;
+    if (!KindSupportsSharding(kind)) config.threads = 1;
     auto predictor = BuildPredictor(config, graph.edges);
     if (!predictor.ok()) return predictor.status();
     ExactPredictor exact;
@@ -273,6 +303,106 @@ Status CmdCompare(const FlagParser& flags, std::ostream& out) {
          TablePrinter::FormatCell(report.adamic_adar.MeanRelativeError()),
          TablePrinter::FormatCell((*predictor)->MemoryBytes() / 1e6)});
   }
+  table.Print(out);
+  return Status::Ok();
+}
+
+/// Ingests --input on the calling thread (via ParallelIngestEngine, so
+/// --threads N shards the build) while --readers query threads hammer a
+/// QueryService fed by the engine's publish hook. Reports query throughput
+/// and latency alongside the ingest rate — the CLI face of the serving
+/// subsystem (docs/serving.md); bench_f17_serving is the scaling study.
+Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
+  if (auto st = flags.CheckUnknown(WithPredictorFlags(
+          {"input", "readers", "pairs", "publish-edges", "publish-seconds"}));
+      !st.ok()) {
+    return st;
+  }
+  std::string input = flags.GetString("input", "");
+  if (input.empty()) return Status::InvalidArgument("--input is required");
+  auto file = ReadEdgeList(input);
+  if (!file.ok()) return file.status();
+
+  PredictorConfig defaults;
+  defaults.sketch_size = 64;
+  defaults.seed = 42;
+  const PredictorConfig config = PredictorConfigFromFlags(flags, defaults);
+  const uint32_t readers =
+      static_cast<uint32_t>(flags.GetInt("readers", 4));
+  if (readers == 0) return Status::InvalidArgument("--readers must be >= 1");
+
+  // Query workload: overlapping pairs sampled from the final graph,
+  // scored in fixed-size batches on two measures.
+  CsrGraph csr = CsrGraph::FromEdges(file->edges, file->num_vertices);
+  Rng rng(config.seed);
+  QueryRequest request;
+  request.pairs = SampleOverlappingPairs(
+      csr, static_cast<uint32_t>(flags.GetInt("pairs", 64)), rng);
+  if (request.pairs.empty()) {
+    return Status::InvalidArgument("graph too small to sample query pairs");
+  }
+  request.measures = {LinkMeasure::kJaccard, LinkMeasure::kAdamicAdar};
+
+  QueryService service;
+  ParallelIngestOptions options;
+  options.publish_every_edges =
+      static_cast<uint64_t>(flags.GetInt("publish-edges", 5000));
+  options.publish_every_seconds = flags.GetDouble("publish-seconds", 0.0);
+  if (options.publish_every_edges == 0 &&
+      options.publish_every_seconds <= 0) {
+    return Status::InvalidArgument(
+        "--publish-edges or --publish-seconds must be > 0");
+  }
+  options.on_publish = service.IngestPublisher();
+
+  std::atomic<bool> done{false};
+  std::vector<uint64_t> query_counts(readers, 0);
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(readers);
+  for (uint32_t r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      while (!done.load(std::memory_order_acquire)) {
+        auto result = service.Query(request);
+        // NotFound just means the first snapshot is not out yet.
+        if (result.ok()) ++query_counts[r];
+      }
+    });
+  }
+
+  ParallelIngestEngine engine(config, options);
+  VectorEdgeStream raw(file->edges);
+  std::unique_ptr<EdgeStream> tapped = service.WrapStream(raw);
+  Stopwatch ingest_clock;
+  auto built = engine.Build(*tapped);
+  const double ingest_seconds = ingest_clock.ElapsedSeconds();
+  done.store(true, std::memory_order_release);
+  for (auto& t : reader_threads) t.join();
+  if (!built.ok()) return built.status();
+
+  uint64_t queries = 0;
+  for (uint64_t c : query_counts) queries += c;
+  auto snap = service.snapshot();
+  SL_CHECK(snap != nullptr);
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"kind", config.kind});
+  table.AddRow({"ingest_threads", std::to_string(config.threads)});
+  table.AddRow({"edges", std::to_string(engine.edges_ingested())});
+  table.AddRow({"ingest_eps",
+                TablePrinter::FormatCell(ingest_seconds > 0
+                    ? engine.edges_ingested() / ingest_seconds : 0.0)});
+  table.AddRow({"publishes", std::to_string(service.publish_count())});
+  table.AddRow({"readers", std::to_string(readers)});
+  table.AddRow({"queries", std::to_string(queries)});
+  table.AddRow({"qps", TablePrinter::FormatCell(ingest_seconds > 0
+                    ? queries / ingest_seconds : 0.0)});
+  table.AddRow({"query_p50_us",
+                TablePrinter::FormatCell(service.latency().PercentileMicros(0.5))});
+  table.AddRow({"query_p99_us",
+                TablePrinter::FormatCell(service.latency().PercentileMicros(0.99))});
+  table.AddRow({"final_snapshot_edges", std::to_string(snap->stream_edges)});
+  table.AddRow({"final_staleness",
+                std::to_string(service.live_edges() - snap->stream_edges)});
   table.Print(out);
   return Status::Ok();
 }
@@ -292,7 +422,11 @@ std::string CliUsage() {
       "  topk      --input FILE --vertex U [--top N] [--k N] "
       "[--measure NAME] [--threads N]\n"
       "  compare   --input FILE [--k N] [--pairs N] [--seed N] "
-      "[--threads N]\n";
+      "[--threads N]\n"
+      "  serve-bench --input FILE [--readers N] [--pairs N] "
+      "[--publish-edges N] [--publish-seconds S] [predictor flags]\n"
+      "predictor flags (build/topk/serve-bench):\n" +
+      PredictorFlagsHelp();
 }
 
 Status RunCliCommand(const std::vector<std::string>& args,
@@ -308,6 +442,7 @@ Status RunCliCommand(const std::vector<std::string>& args,
   if (command == "query") return CmdQuery(flags, out);
   if (command == "topk") return CmdTopK(flags, out);
   if (command == "compare") return CmdCompare(flags, out);
+  if (command == "serve-bench") return CmdServeBench(flags, out);
   return Status::InvalidArgument("unknown command: " + command + "\n" +
                                  CliUsage());
 }

@@ -25,10 +25,19 @@ namespace streamlink {
 ///   topk      --input FILE --vertex U [--top N] [--k N] [--measure NAME]
 ///             [--threads N]
 ///             Builds from the file and prints U's best predicted links.
+///   compare   --input FILE [--k N] [--pairs N] [--seed N] [--threads N]
+///             Scores every sketch kind against exact ground truth.
+///   serve-bench --input FILE [--readers N] [--pairs N] [--publish-edges N]
+///             [--publish-seconds S]
+///             Ingests the file while N reader threads issue queries
+///             through a QueryService fed by the engine's publish hook;
+///             prints throughput, latency and staleness (docs/serving.md).
 ///
-/// Commands that ingest a stream accept --threads N (default 1): N > 1
-/// vertex-shards ingestion across N worker threads via
-/// ParallelIngestEngine, with results bit-identical to a sequential build.
+/// Commands that build a predictor share one flag set, mapped by
+/// PredictorConfigFromFlags (--kind, --k, --seed, --threads, ...); see
+/// PredictorFlagsHelp. --threads N > 1 vertex-shards ingestion across N
+/// worker threads via ParallelIngestEngine, with results bit-identical to
+/// a sequential build.
 Status RunCliCommand(const std::vector<std::string>& args, std::ostream& out);
 
 /// The usage text printed for unknown/missing commands.

@@ -63,6 +63,12 @@ class BottomKPredictor : public LinkPredictor {
   /// options.
   void MergeFrom(const BottomKPredictor& other);
 
+  /// Snapshot primitive: deep copy via the copy constructor (all state is
+  /// value-semantic, in both degree modes).
+  std::unique_ptr<LinkPredictor> Clone() const override {
+    return std::make_unique<BottomKPredictor>(*this);
+  }
+
   /// Binary snapshot of the full predictor state.
   Status Save(const std::string& path) const;
   static Result<BottomKPredictor> Load(const std::string& path);

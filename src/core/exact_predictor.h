@@ -37,6 +37,13 @@ class ExactPredictor : public LinkPredictor {
       VertexId u, const LinkPredictor& v_home, VertexId v,
       const DegreeFn& degree_of) const override;
 
+  /// Snapshot primitive: deep copy of the adjacency sets. O(E) time and
+  /// space — the cost of snapshotting the exact baseline, quantified by
+  /// bench F17.
+  std::unique_ptr<LinkPredictor> Clone() const override {
+    return std::make_unique<ExactPredictor>(*this);
+  }
+
  protected:
   void ProcessEdge(const Edge& edge) override { graph_.AddEdge(edge); }
 

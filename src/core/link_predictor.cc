@@ -44,6 +44,17 @@ double MeasureFromEstimate(LinkMeasure measure, const OverlapEstimate& e) {
   return 0.0;
 }
 
+std::vector<double> LinkPredictor::Scores(
+    std::span<const LinkMeasure> measures, VertexId u, VertexId v) const {
+  const OverlapEstimate estimate = EstimateOverlap(u, v);
+  std::vector<double> scores;
+  scores.reserve(measures.size());
+  for (LinkMeasure m : measures) {
+    scores.push_back(MeasureFromEstimate(m, estimate));
+  }
+  return scores;
+}
+
 void LinkPredictor::ObserveNeighbor(VertexId, VertexId) {
   SL_LOG(kFatal) << name() << " does not support sharded ingestion";
 }

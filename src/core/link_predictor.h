@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "graph/exact_measures.h"
 #include "graph/types.h"
@@ -61,6 +64,23 @@ class LinkPredictor : public EdgeConsumer {
   double Score(LinkMeasure measure, VertexId u, VertexId v) const {
     return MeasureFromEstimate(measure, EstimateOverlap(u, v));
   }
+
+  /// Many measures of one pair from a single overlap estimate. Score(m)
+  /// recomputes the full EstimateOverlap per call; batch callers (the
+  /// serving layer, multi-measure top-k) use this to pay for the estimate
+  /// once. The result is parallel to `measures`.
+  std::vector<double> Scores(std::span<const LinkMeasure> measures,
+                             VertexId u, VertexId v) const;
+
+  /// Deep-copies the predictor's full state into an independent instance —
+  /// the snapshot primitive the serving layer (QueryService) publishes
+  /// through. Clones answer queries bit-identically to the source at clone
+  /// time and never observe later ingestion. In-tree predictors override
+  /// this with their copy constructor (all state is value-semantic); the
+  /// base default returns nullptr, meaning "not snapshottable" — callers
+  /// must check. ShardedPredictor's override folds mergeable kinds into a
+  /// single compact predictor first (see its docs).
+  virtual std::unique_ptr<LinkPredictor> Clone() const { return nullptr; }
 
   /// Number of vertices with any state (max endpoint seen + 1).
   virtual VertexId num_vertices() const = 0;

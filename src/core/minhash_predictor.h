@@ -72,6 +72,12 @@ class MinHashPredictor : public LinkPredictor {
   /// degrees (sketches remain correct).
   void MergeFrom(const MinHashPredictor& other);
 
+  /// Snapshot primitive: all state (options, hash family, sketch store,
+  /// degrees) is value-semantic, so the copy constructor is a deep copy.
+  std::unique_ptr<LinkPredictor> Clone() const override {
+    return std::make_unique<MinHashPredictor>(*this);
+  }
+
   /// Writes a binary snapshot of the full predictor state.
   Status Save(const std::string& path) const;
 

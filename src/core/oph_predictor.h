@@ -53,6 +53,11 @@ class OphPredictor : public LinkPredictor {
       VertexId u, const LinkPredictor& v_home, VertexId v,
       const DegreeFn& degree_of) const override;
 
+  /// Snapshot primitive: deep copy via the copy constructor.
+  std::unique_ptr<LinkPredictor> Clone() const override {
+    return std::make_unique<OphPredictor>(*this);
+  }
+
  protected:
   void ProcessEdge(const Edge& edge) override;
 

@@ -1,5 +1,7 @@
 #include "core/predictor_factory.h"
 
+#include "util/flags.h"
+
 #include "core/bottomk_predictor.h"
 #include "core/exact_predictor.h"
 #include "core/minhash_predictor.h"
@@ -74,6 +76,42 @@ std::vector<std::string> PredictorKinds() {
 bool KindSupportsSharding(const std::string& kind) {
   return kind == "minhash" || kind == "bottomk" || kind == "oph" ||
          kind == "exact";
+}
+
+std::vector<std::string> PredictorFlagNames() {
+  return {"kind",           "k",            "seed",          "threads",
+          "sketch-degrees", "window-edges", "window-buckets"};
+}
+
+std::string PredictorFlagsHelp() {
+  return
+      "  --kind NAME          predictor kind (minhash|bottomk|vertex_biased|"
+      "oph|windowed_minhash|exact)\n"
+      "  --k N                sketch size (slots per vertex)\n"
+      "  --seed N             master hash seed\n"
+      "  --threads N          ingestion threads (vertex-sharded when > 1)\n"
+      "  --sketch-degrees     bottomk: KMV degree estimates\n"
+      "  --window-edges N     windowed_minhash: window length in edges\n"
+      "  --window-buckets N   windowed_minhash: buckets per window\n";
+}
+
+PredictorConfig PredictorConfigFromFlags(const FlagParser& flags,
+                                         const PredictorConfig& defaults) {
+  PredictorConfig config = defaults;
+  config.kind = flags.GetString("kind", defaults.kind);
+  config.sketch_size = static_cast<uint32_t>(
+      flags.GetInt("k", defaults.sketch_size));
+  config.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<int64_t>(defaults.seed)));
+  config.threads = static_cast<uint32_t>(
+      flags.GetInt("threads", defaults.threads));
+  config.sketch_degrees =
+      flags.GetBool("sketch-degrees", defaults.sketch_degrees);
+  config.window_edges = static_cast<uint64_t>(
+      flags.GetInt("window-edges", static_cast<int64_t>(defaults.window_edges)));
+  config.window_buckets = static_cast<uint32_t>(
+      flags.GetInt("window-buckets", defaults.window_buckets));
+  return config;
 }
 
 }  // namespace streamlink

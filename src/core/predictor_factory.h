@@ -10,6 +10,8 @@
 
 namespace streamlink {
 
+class FlagParser;
+
 /// Unified construction knobs for all predictor kinds (bench binaries map
 /// flags straight onto this).
 struct PredictorConfig {
@@ -45,6 +47,33 @@ std::vector<std::string> PredictorKinds();
 /// depend on global stream state (current neighbor degrees, global edge
 /// count) and cannot be sharded losslessly.
 bool KindSupportsSharding(const std::string& kind);
+
+// --- Shared command-line mapping ---
+//
+// Every binary that lets the user pick a predictor (the CLI subcommands,
+// the bench harness) consumes the SAME flag set through the two helpers
+// below, so a new PredictorConfig knob lands in exactly one place:
+//
+//   --kind NAME          predictor kind (see PredictorKinds)
+//   --k N                sketch size (slots per vertex)
+//   --seed N             master hash seed
+//   --threads N          ingestion parallelism (vertex-sharded when > 1)
+//   --sketch-degrees     bottomk: KMV degree estimates, no exact counters
+//   --window-edges N     windowed_minhash: count-based window length
+//   --window-buckets N   windowed_minhash: buckets per window
+
+/// The flag names PredictorConfigFromFlags consumes — append these to a
+/// FlagParser::CheckUnknown allowlist.
+std::vector<std::string> PredictorFlagNames();
+
+/// One line per predictor flag, for usage/help text.
+std::string PredictorFlagsHelp();
+
+/// Maps the shared predictor flags onto a PredictorConfig. Flags that are
+/// absent keep the value from `defaults` (so each binary chooses its own
+/// default kind/size/seed without re-mapping every knob).
+PredictorConfig PredictorConfigFromFlags(const FlagParser& flags,
+                                         const PredictorConfig& defaults = {});
 
 }  // namespace streamlink
 

@@ -2,9 +2,48 @@
 
 #include <algorithm>
 
+#include "core/bottomk_predictor.h"
+#include "core/minhash_predictor.h"
 #include "util/logging.h"
 
 namespace streamlink {
+
+namespace {
+
+/// Folds all shards of `sharded` into one predictor of type PredictorT.
+/// Shards partition the vertex set, so MergeFrom is lossless here even for
+/// state (like exact degree counters) that double-counts on overlapping
+/// partitions.
+template <typename PredictorT>
+std::unique_ptr<LinkPredictor> FoldShards(const ShardedPredictor& sharded) {
+  const auto& first =
+      dynamic_cast<const PredictorT&>(sharded.shard(0));
+  auto folded = std::make_unique<PredictorT>(first.options());
+  for (uint32_t t = 0; t < sharded.num_shards(); ++t) {
+    folded->MergeFrom(dynamic_cast<const PredictorT&>(sharded.shard(t)));
+  }
+  folded->AddProcessedEdges(sharded.edges_processed());
+  return folded;
+}
+
+}  // namespace
+
+std::unique_ptr<LinkPredictor> ShardedPredictor::Clone() const {
+  if (kind_ == "minhash") return FoldShards<MinHashPredictor>(*this);
+  if (kind_ == "bottomk") return FoldShards<BottomKPredictor>(*this);
+  // No lossless fold for this kind: clone every shard and keep routing.
+  std::vector<std::unique_ptr<LinkPredictor>> clones;
+  clones.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    auto clone = shard->Clone();
+    if (clone == nullptr) return nullptr;
+    clones.push_back(std::move(clone));
+  }
+  auto copy = std::unique_ptr<ShardedPredictor>(
+      new ShardedPredictor(kind_, std::move(clones)));
+  copy->AddProcessedEdges(edges_processed());
+  return copy;
+}
 
 Result<std::unique_ptr<ShardedPredictor>> ShardedPredictor::Make(
     const PredictorConfig& config) {

@@ -54,6 +54,14 @@ class ShardedPredictor : public LinkPredictor {
   /// The underlying predictor kind, e.g. "minhash".
   const std::string& kind() const { return kind_; }
 
+  /// Snapshot primitive. Kinds with a lossless disjoint-partition merge
+  /// (minhash, bottomk) are *folded* into one compact single predictor —
+  /// vertex shards own disjoint vertex sets, so the merge is exact and the
+  /// snapshot sheds the routing layer. Other kinds clone shard-wise into a
+  /// new ShardedPredictor. Either way the clone answers queries
+  /// bit-identically to this predictor at clone time.
+  std::unique_ptr<LinkPredictor> Clone() const override;
+
  protected:
   void ProcessEdge(const Edge& edge) override;
 

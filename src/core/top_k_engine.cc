@@ -40,6 +40,22 @@ std::vector<ScoredPair> TopKEngine::TopK(
   return SelectTopK(scored, k);
 }
 
+std::vector<MultiScoredPair> TopKEngine::TopKScored(
+    const std::vector<QueryPair>& candidates,
+    std::span<const LinkMeasure> measures, uint32_t k) const {
+  // Rank on the cheap ScoredPair representation first, then compute the
+  // full measure vectors only for the k winners — top-k candidate sets are
+  // usually much larger than k.
+  std::vector<ScoredPair> ranked = TopK(candidates, k);
+  std::vector<MultiScoredPair> out;
+  out.reserve(ranked.size());
+  for (const ScoredPair& s : ranked) {
+    out.push_back(MultiScoredPair{
+        s.pair, predictor_.Scores(measures, s.pair.u, s.pair.v)});
+  }
+  return out;
+}
+
 std::vector<ScoredPair> TopKEngine::TopKForVertex(
     VertexId u, const std::vector<VertexId>& partners, uint32_t k) const {
   std::vector<ScoredPair> scored;

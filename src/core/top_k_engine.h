@@ -2,6 +2,7 @@
 #define STREAMLINK_CORE_TOP_K_ENGINE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/link_predictor.h"
@@ -15,6 +16,13 @@ namespace streamlink {
 struct ScoredPair {
   QueryPair pair;
   double score;
+};
+
+/// A candidate scored on several measures at once; `scores` is parallel to
+/// the measure list passed to TopKEngine::TopKScored.
+struct MultiScoredPair {
+  QueryPair pair;
+  std::vector<double> scores;
 };
 
 /// Ranks candidate pairs by a predictor's estimated measure and returns
@@ -38,6 +46,15 @@ class TopKEngine {
   std::vector<ScoredPair> TopKForVertex(VertexId u,
                                         const std::vector<VertexId>& partners,
                                         uint32_t k) const;
+
+  /// Multi-measure variant: ranks by the engine's measure (ties as in
+  /// TopK) but additionally reports each of `measures` per returned pair,
+  /// paying for ONE overlap estimate per candidate (the single-estimate
+  /// contract of LinkPredictor::Scores). The serving layer's top-k query
+  /// path runs on this.
+  std::vector<MultiScoredPair> TopKScored(
+      const std::vector<QueryPair>& candidates,
+      std::span<const LinkMeasure> measures, uint32_t k) const;
 
  private:
   const LinkPredictor& predictor_;

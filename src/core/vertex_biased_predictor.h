@@ -58,6 +58,13 @@ class VertexBiasedPredictor : public LinkPredictor {
   /// 1/ln(d) closely for d >= 2.
   static double SamplingWeight(uint32_t degree);
 
+  /// Snapshot primitive: deep copy via the copy constructor. Unshardable
+  /// (degree-dependent sampling weights) but perfectly snapshottable — the
+  /// weights are stored per entry.
+  std::unique_ptr<LinkPredictor> Clone() const override {
+    return std::make_unique<VertexBiasedPredictor>(*this);
+  }
+
  protected:
   void ProcessEdge(const Edge& edge) override;
 

@@ -60,6 +60,13 @@ class WindowedMinHashPredictor : public LinkPredictor {
   /// Approximate degree of u within the current window.
   uint32_t WindowDegree(VertexId u) const;
 
+  /// Snapshot primitive: deep copy via the copy constructor. The window
+  /// position is part of the copied state (edges_processed), so the clone's
+  /// live-bucket set is frozen at clone time.
+  std::unique_ptr<LinkPredictor> Clone() const override {
+    return std::make_unique<WindowedMinHashPredictor>(*this);
+  }
+
  protected:
   void ProcessEdge(const Edge& edge) override;
 

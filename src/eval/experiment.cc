@@ -15,12 +15,17 @@ AccuracyReport MeasureAccuracyAgainst(const LinkPredictor& predictor,
   AccuracyReport report;
   report.predictor = predictor.name();
   report.query_pairs = pairs.size();
+  // One overlap estimate per pair per predictor, scored on all three
+  // reported measures at once (LinkPredictor::Scores).
+  static constexpr LinkMeasure kMeasures[] = {LinkMeasure::kJaccard,
+                                              LinkMeasure::kCommonNeighbors,
+                                              LinkMeasure::kAdamicAdar};
   for (const QueryPair& p : pairs) {
-    OverlapEstimate truth = exact.EstimateOverlap(p.u, p.v);
-    OverlapEstimate est = predictor.EstimateOverlap(p.u, p.v);
-    report.jaccard.Add(truth.jaccard, est.jaccard);
-    report.common_neighbors.Add(truth.intersection, est.intersection);
-    report.adamic_adar.Add(truth.adamic_adar, est.adamic_adar);
+    std::vector<double> truth = exact.Scores(kMeasures, p.u, p.v);
+    std::vector<double> est = predictor.Scores(kMeasures, p.u, p.v);
+    report.jaccard.Add(truth[0], est[0]);
+    report.common_neighbors.Add(truth[1], est[1]);
+    report.adamic_adar.Add(truth[2], est[2]);
   }
   return report;
 }

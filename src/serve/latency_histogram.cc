@@ -1,0 +1,48 @@
+#include "serve/latency_histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace streamlink {
+
+void LatencyHistogram::Record(double seconds) {
+  const uint64_t ns =
+      seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e9);
+  size_t bucket = ns == 0 ? 0 : static_cast<size_t>(std::bit_width(ns)) - 1;
+  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanMicros() const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n) / 1e3;
+}
+
+double LatencyHistogram::PercentileMicros(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Upper bound of bucket i: 2^(i+1) ns.
+      return std::ldexp(1.0, static_cast<int>(i) + 1) / 1e3;
+    }
+  }
+  return std::ldexp(1.0, static_cast<int>(kNumBuckets)) / 1e3;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace streamlink

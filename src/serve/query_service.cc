@@ -1,0 +1,159 @@
+#include "serve/query_service.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace streamlink {
+
+namespace {
+
+/// EdgeStream decorator that reports every pulled edge to a QueryService
+/// (see QueryService::WrapStream). Single-threaded like any EdgeStream;
+/// the service-side store is a relaxed atomic so readers may poll it.
+class TappedEdgeStream : public EdgeStream {
+ public:
+  TappedEdgeStream(EdgeStream& inner, QueryService& service)
+      : inner_(inner), service_(service) {}
+
+  bool Next(Edge* edge) override {
+    if (!inner_.Next(edge)) return false;
+    service_.NoteLiveEdges(++pulled_);
+    return true;
+  }
+
+  void Reset() override {
+    inner_.Reset();
+    pulled_ = 0;
+    service_.NoteLiveEdges(0);
+  }
+
+  uint64_t SizeHint() const override { return inner_.SizeHint(); }
+
+ private:
+  EdgeStream& inner_;
+  QueryService& service_;
+  uint64_t pulled_ = 0;
+};
+
+}  // namespace
+
+Status QueryService::Publish(const LinkPredictor& live,
+                             uint64_t stream_edges) {
+  std::unique_ptr<LinkPredictor> clone = live.Clone();
+  if (clone == nullptr) {
+    return Status::FailedPrecondition("predictor kind '" + live.name() +
+                                      "' does not support Clone()");
+  }
+  auto snapshot = std::make_shared<ServeSnapshot>();
+  snapshot->edges_processed = clone->edges_processed();
+  snapshot->predictor = std::shared_ptr<const LinkPredictor>(std::move(clone));
+  snapshot->stream_edges = stream_edges;
+  snapshot->version = publish_count_.load(std::memory_order_relaxed) + 1;
+  // The live frontier can only be at or past the publish point.
+  if (stream_edges > live_edges_.load(std::memory_order_relaxed)) {
+    live_edges_.store(stream_edges, std::memory_order_relaxed);
+  }
+  publish_count_.store(snapshot->version, std::memory_order_relaxed);
+  // Release: a reader that acquires this pointer sees the fully built
+  // clone and metadata.
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
+  return Status::Ok();
+}
+
+StreamDriver::CheckpointFn QueryService::CheckpointPublisher(
+    const LinkPredictor& live) {
+  return [this, &live](uint64_t edges, double /*fraction*/) {
+    Status status = Publish(live, edges);
+    SL_CHECK(status.ok()) << "checkpoint publish failed: "
+                          << status.ToString();
+  };
+}
+
+IngestPublishFn QueryService::IngestPublisher() {
+  return [this](const LinkPredictor& live, uint64_t stream_edges) {
+    Status status = Publish(live, stream_edges);
+    SL_CHECK(status.ok()) << "ingest publish failed: " << status.ToString();
+  };
+}
+
+std::unique_ptr<EdgeStream> QueryService::WrapStream(EdgeStream& stream) {
+  return std::make_unique<TappedEdgeStream>(stream, *this);
+}
+
+Result<QueryResult> QueryService::Query(const QueryRequest& request) const {
+  WallTimer timer;
+  timer.Start();
+  std::shared_ptr<const ServeSnapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  if (snap == nullptr) {
+    return Status::NotFound("no snapshot published yet");
+  }
+  if (request.top_k > 0 && request.measures.empty()) {
+    return Status::InvalidArgument(
+        "top_k queries need at least one measure (measures[0] ranks)");
+  }
+
+  QueryResult result;
+  if (request.top_k > 0) {
+    TopKEngine engine(*snap->predictor, request.measures[0]);
+    std::vector<MultiScoredPair> winners =
+        engine.TopKScored(request.pairs, request.measures, request.top_k);
+    result.pairs.reserve(winners.size());
+    for (auto& w : winners) {
+      PairResult pr;
+      pr.pair = w.pair;
+      pr.scores = std::move(w.scores);
+      result.pairs.push_back(std::move(pr));
+    }
+  } else {
+    result.pairs.reserve(request.pairs.size());
+    for (const QueryPair& pair : request.pairs) {
+      PairResult pr;
+      pr.pair = pair;
+      pr.estimate = snap->predictor->EstimateOverlap(pair.u, pair.v);
+      pr.scores.reserve(request.measures.size());
+      for (LinkMeasure m : request.measures) {
+        pr.scores.push_back(MeasureFromEstimate(m, pr.estimate));
+      }
+      result.pairs.push_back(std::move(pr));
+    }
+  }
+
+  result.meta.snapshot_version = snap->version;
+  result.meta.snapshot_edges = snap->stream_edges;
+  result.meta.live_edges = live_edges_.load(std::memory_order_relaxed);
+  // A racing publish can briefly leave live behind this snapshot; clamp so
+  // staleness never underflows.
+  result.meta.staleness_edges =
+      result.meta.live_edges > result.meta.snapshot_edges
+          ? result.meta.live_edges - result.meta.snapshot_edges
+          : 0;
+  const double seconds = timer.Seconds();
+  result.meta.latency_us = seconds * 1e6;
+  latency_.Record(seconds);
+  return result;
+}
+
+}  // namespace streamlink
+
+#if defined(__SANITIZE_THREAD__)
+// libstdc++-12's std::atomic<std::shared_ptr<T>> (_Sp_atomic) guards its
+// plain _M_ptr member with a spin lock bit inside an atomic word. lock()
+// acquires via CAS, but load() releases with a *relaxed* fetch_sub, so there
+// is no release edge from a reader's unlock to the next writer's lock and
+// TSAN flags the _M_ptr read/write pair as unsynchronized. The lock bit does
+// mutually exclude them; the report is a library-internal false positive
+// (both stacks sit entirely inside shared_ptr_atomic.h, which the pattern
+// below matches — races in streamlink code remain visible).
+//
+// The hook lives in this TU, not a separate file, because sanitized test
+// binaries link streamlink as static archives: a TU defining only this
+// weakly-referenced hook would never be pulled out of the archive, while any
+// binary that can trip the false positive necessarily links query_service.o
+// (the only user of std::atomic<std::shared_ptr>).
+extern "C" const char* __tsan_default_suppressions() {
+  return "race:bits/shared_ptr_atomic.h\n";
+}
+#endif  // __SANITIZE_THREAD__

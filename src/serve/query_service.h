@@ -1,0 +1,162 @@
+#ifndef STREAMLINK_SERVE_QUERY_SERVICE_H_
+#define STREAMLINK_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/link_predictor.h"
+#include "core/top_k_engine.h"
+#include "gen/pair_sampler.h"
+#include "serve/latency_histogram.h"
+#include "stream/edge_stream.h"
+#include "stream/parallel_ingest.h"
+#include "stream/stream_driver.h"
+#include "util/status.h"
+
+namespace streamlink {
+
+/// An immutable published checkpoint of a live predictor. Readers hold the
+/// whole struct through one shared_ptr, so the predictor and its metadata
+/// can never be observed torn.
+struct ServeSnapshot {
+  /// Deep clone of the live predictor at publish time (LinkPredictor::
+  /// Clone). Never mutated after publish.
+  std::shared_ptr<const LinkPredictor> predictor;
+  /// Stream position at publish: edges pulled from the source stream
+  /// (self-loops included — this is a cursor, not a simple-edge count).
+  /// Replaying the first `stream_edges` stream edges sequentially
+  /// reproduces this snapshot's answers bit for bit.
+  uint64_t stream_edges = 0;
+  /// The clone's own simple-edge tally (excludes self-loops).
+  uint64_t edges_processed = 0;
+  /// Monotonically increasing publish counter, starting at 1.
+  uint64_t version = 0;
+};
+
+/// A batched query: score `pairs` on `measures` against the current
+/// snapshot. With `top_k` > 0 the pairs are treated as candidates and only
+/// the best `top_k` (ranked by `measures[0]`, which must exist) come back.
+struct QueryRequest {
+  std::vector<QueryPair> pairs;
+  std::vector<LinkMeasure> measures;
+  uint32_t top_k = 0;
+};
+
+/// One scored pair of a QueryResult; `scores` is parallel to the request's
+/// `measures`. `estimate` is filled for non-top-k queries (top-k responses
+/// carry scores only — candidates' estimates are transient).
+struct PairResult {
+  QueryPair pair;
+  OverlapEstimate estimate;
+  std::vector<double> scores;
+};
+
+/// Consistency metadata attached to every result: which checkpoint
+/// answered, and how far the live stream had advanced past it.
+struct QueryMeta {
+  uint64_t snapshot_version = 0;
+  uint64_t snapshot_edges = 0;   // stream position of the snapshot
+  uint64_t live_edges = 0;       // stream position at query time
+  uint64_t staleness_edges = 0;  // live_edges - snapshot_edges
+  double latency_us = 0.0;       // this query's evaluation time
+};
+
+struct QueryResult {
+  std::vector<PairResult> pairs;
+  QueryMeta meta;
+};
+
+/// Serves link-prediction queries from any number of reader threads while
+/// the underlying predictor is still ingesting its stream.
+///
+/// Consistency model (docs/serving.md): the ingest thread periodically
+/// *publishes* — deep-clones the live predictor (LinkPredictor::Clone)
+/// and swaps the clone into an atomic shared_ptr. Readers load the
+/// pointer, never block, never observe a torn state, and every answer is
+/// bit-identical to a quiescent predictor built from the stream prefix
+/// the snapshot's `stream_edges` names. Staleness (how many stream edges
+/// the snapshot trails the live ingest by) is reported on every result.
+///
+/// Wiring:
+///  * sequential live predictor driven by StreamDriver — register
+///    CheckpointPublisher(live) as the checkpoint callback;
+///  * threaded build via ParallelIngestEngine — set
+///    ParallelIngestOptions::on_publish = IngestPublisher() together with
+///    a publish cadence (the engine quiesces its workers around the call);
+///  * anything else — call Publish(live, position) from whichever thread
+///    owns the live predictor, whenever it is quiescent.
+///
+/// Thread safety: Publish and NoteLiveEdges are writer-side (one ingest
+/// thread at a time); snapshot/Query/TopK/stats are safe from any number
+/// of concurrent threads.
+class QueryService {
+ public:
+  QueryService() = default;
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // --- Writer (ingest) side ---
+
+  /// Clones `live` and publishes the clone as the new snapshot.
+  /// `stream_edges` is the live stream position the clone corresponds to.
+  /// FailedPrecondition if the predictor does not support Clone().
+  Status Publish(const LinkPredictor& live, uint64_t stream_edges);
+
+  /// Advances the live stream position without publishing (keeps reader
+  /// staleness metadata fresh between snapshots). Normally fed by
+  /// WrapStream; cheap enough to call per edge.
+  void NoteLiveEdges(uint64_t stream_edges) {
+    live_edges_.store(stream_edges, std::memory_order_relaxed);
+  }
+
+  /// A StreamDriver checkpoint callback that publishes `live` at every
+  /// checkpoint. `live` must outlive the returned callback and be written
+  /// only by the thread running the driver (checkpoints fire inline, so
+  /// the predictor is quiescent during the publish). Fatal if a publish
+  /// fails — pick a Clone()-capable predictor kind up front.
+  StreamDriver::CheckpointFn CheckpointPublisher(const LinkPredictor& live);
+
+  /// The ParallelIngestOptions::on_publish hook: publishes every quiesced
+  /// predictor the engine hands out. Fatal on publish failure.
+  IngestPublishFn IngestPublisher();
+
+  /// Decorates `stream` so every pulled edge advances this service's live
+  /// position — staleness metadata then tracks the true ingest frontier,
+  /// not just the last publish. `stream` and this service must outlive the
+  /// returned stream.
+  std::unique_ptr<EdgeStream> WrapStream(EdgeStream& stream);
+
+  // --- Reader side (any thread, lock-free) ---
+
+  /// The current snapshot, or nullptr before the first publish. Holding
+  /// the returned shared_ptr pins the snapshot; dropping it releases the
+  /// clone once no other reader uses it.
+  std::shared_ptr<const ServeSnapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Evaluates `request` against the current snapshot. NotFound before
+  /// the first publish; InvalidArgument for top_k without measures. Each
+  /// call records its latency in latency().
+  Result<QueryResult> Query(const QueryRequest& request) const;
+
+  uint64_t live_edges() const {
+    return live_edges_.load(std::memory_order_relaxed);
+  }
+  uint64_t publish_count() const {
+    return publish_count_.load(std::memory_order_relaxed);
+  }
+  const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  std::atomic<std::shared_ptr<const ServeSnapshot>> snapshot_{};
+  std::atomic<uint64_t> live_edges_{0};
+  std::atomic<uint64_t> publish_count_{0};
+  mutable LatencyHistogram latency_;
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SERVE_QUERY_SERVICE_H_

@@ -6,8 +6,47 @@
 
 #include "core/sharded_predictor.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace streamlink {
+
+namespace {
+
+/// Tracks how many batches each worker has fully applied, so the router
+/// can wait for a global quiescent point (all pushed batches applied, no
+/// worker mid-write). The mutex also publishes the workers' shard state to
+/// the router: MarkApplied happens-after the batch's writes, WaitQuiesced
+/// happens-before the router reads the shards.
+class QuiescePoint {
+ public:
+  explicit QuiescePoint(uint32_t num_shards) : applied_(num_shards, 0) {}
+
+  void MarkApplied(uint32_t shard) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++applied_[shard];
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until every shard has applied `pushed[shard]` batches.
+  void WaitQuiesced(const std::vector<uint64_t>& pushed) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      for (size_t t = 0; t < pushed.size(); ++t) {
+        if (applied_[t] < pushed[t]) return false;
+      }
+      return true;
+    });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<uint64_t> applied_;
+};
+
+}  // namespace
 
 BoundedBatchQueue::BoundedBatchQueue(size_t capacity)
     : capacity_(capacity) {
@@ -40,11 +79,58 @@ void BoundedBatchQueue::Close() {
 
 ParallelIngestEngine::ParallelIngestEngine(PredictorConfig config,
                                            ParallelIngestOptions options)
-    : config_(std::move(config)), options_(options) {
+    : config_(std::move(config)), options_(std::move(options)) {
   SL_CHECK(options_.batch_edges >= 1) << "batch_edges must be >= 1";
   SL_CHECK(options_.max_inflight_batches >= 1)
       << "max_inflight_batches must be >= 1";
+  const bool cadence_set = options_.publish_every_edges > 0 ||
+                           options_.publish_every_seconds > 0;
+  SL_CHECK(!cadence_set || options_.on_publish)
+      << "publish cadence set but no on_publish callback";
 }
+
+namespace {
+
+/// Decides when the next live publish is due. The time cadence is checked
+/// at most once per 1024 edges to keep clock reads off the per-edge path.
+class PublishCadence {
+ public:
+  explicit PublishCadence(const ParallelIngestOptions& options)
+      : every_edges_(options.publish_every_edges),
+        every_seconds_(options.publish_every_seconds),
+        enabled_(options.publish_every_edges > 0 ||
+                 options.publish_every_seconds > 0) {
+    if (every_seconds_ > 0) timer_.Start();
+  }
+
+  bool enabled() const { return enabled_; }
+
+  bool Due(uint64_t edges_now) const {
+    if (!enabled_) return false;
+    if (every_edges_ > 0 && edges_now - last_edges_ >= every_edges_) {
+      return true;
+    }
+    return every_seconds_ > 0 && (edges_now & 1023) == 0 &&
+           timer_.Seconds() >= every_seconds_;
+  }
+
+  void Published(uint64_t edges_now) {
+    last_edges_ = edges_now;
+    if (every_seconds_ > 0) {
+      timer_.Reset();
+      timer_.Start();
+    }
+  }
+
+ private:
+  const uint64_t every_edges_;
+  const double every_seconds_;
+  const bool enabled_;
+  uint64_t last_edges_ = 0;
+  WallTimer timer_;
+};
+
+}  // namespace
 
 Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
     EdgeStream& stream) {
@@ -52,6 +138,8 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
   if (config_.threads == 0) {
     return Status::InvalidArgument("threads must be >= 1, got 0");
   }
+
+  PublishCadence cadence(options_);
 
   if (config_.threads == 1) {
     auto predictor = MakePredictor(config_);
@@ -66,10 +154,19 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
         (*predictor)->OnEdgeBatch(batch.data(), batch.size());
         batch.clear();
       }
+      if (cadence.Due(edges_ingested_)) {
+        if (!batch.empty()) {
+          (*predictor)->OnEdgeBatch(batch.data(), batch.size());
+          batch.clear();
+        }
+        options_.on_publish(**predictor, edges_ingested_);
+        cadence.Published(edges_ingested_);
+      }
     }
     if (!batch.empty()) {
       (*predictor)->OnEdgeBatch(batch.data(), batch.size());
     }
+    if (cadence.enabled()) options_.on_publish(**predictor, edges_ingested_);
     return std::move(*predictor);
   }
 
@@ -86,17 +183,20 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
   }
 
   // Each worker owns exactly one shard: no two threads ever touch the same
-  // predictor state, so the shards need no internal locking.
+  // predictor state, so the shards need no internal locking. MarkApplied
+  // publishes each applied batch to the router's quiesce waits.
+  QuiescePoint quiesce(num_shards);
   std::vector<std::thread> workers;
   workers.reserve(num_shards);
   for (uint32_t t = 0; t < num_shards; ++t) {
-    workers.emplace_back([&sharded, &queues, t] {
+    workers.emplace_back([&sharded, &queues, &quiesce, t] {
       LinkPredictor& shard = sharded->shard(t);
       EdgeList batch;
       while (queues[t]->Pop(&batch)) {
         for (const Edge& half : batch) {
           shard.ObserveNeighbor(half.u, half.v);
         }
+        quiesce.MarkApplied(t);
       }
     });
   }
@@ -107,25 +207,46 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
   // sequential build.
   std::vector<EdgeList> pending(num_shards);
   for (auto& p : pending) p.reserve(options_.batch_edges);
+  std::vector<uint64_t> pushed(num_shards, 0);
   uint64_t simple_edges = 0;
+  uint64_t accounted_edges = 0;
+
+  auto push = [&](uint32_t owner) {
+    queues[owner]->Push(std::move(pending[owner]));
+    ++pushed[owner];
+    pending[owner] = EdgeList();
+    pending[owner].reserve(options_.batch_edges);
+  };
+
+  // A publish barrier: flush every partial batch, wait until the workers
+  // have applied everything pushed so far (they then block in Pop), bring
+  // the edge tally up to date, and hand the quiescent predictor out. Cost
+  // is one drain of the in-flight window, amortized over the cadence.
+  auto publish_quiesced = [&] {
+    for (uint32_t t = 0; t < num_shards; ++t) {
+      if (!pending[t].empty()) push(t);
+    }
+    quiesce.WaitQuiesced(pushed);
+    sharded->AddProcessedEdges(simple_edges - accounted_edges);
+    accounted_edges = simple_edges;
+    options_.on_publish(*sharded, edges_ingested_);
+  };
+
   Edge edge;
   while (stream.Next(&edge)) {
     ++edges_ingested_;
-    if (edge.IsSelfLoop()) continue;
-    ++simple_edges;
-    const uint32_t owner_u = sharded->OwnerOf(edge.u);
-    const uint32_t owner_v = sharded->OwnerOf(edge.v);
-    pending[owner_u].push_back(edge);
-    if (pending[owner_u].size() >= options_.batch_edges) {
-      queues[owner_u]->Push(std::move(pending[owner_u]));
-      pending[owner_u] = EdgeList();
-      pending[owner_u].reserve(options_.batch_edges);
+    if (!edge.IsSelfLoop()) {
+      ++simple_edges;
+      const uint32_t owner_u = sharded->OwnerOf(edge.u);
+      const uint32_t owner_v = sharded->OwnerOf(edge.v);
+      pending[owner_u].push_back(edge);
+      if (pending[owner_u].size() >= options_.batch_edges) push(owner_u);
+      pending[owner_v].push_back(Edge(edge.v, edge.u));
+      if (pending[owner_v].size() >= options_.batch_edges) push(owner_v);
     }
-    pending[owner_v].push_back(Edge(edge.v, edge.u));
-    if (pending[owner_v].size() >= options_.batch_edges) {
-      queues[owner_v]->Push(std::move(pending[owner_v]));
-      pending[owner_v] = EdgeList();
-      pending[owner_v].reserve(options_.batch_edges);
+    if (cadence.Due(edges_ingested_)) {
+      publish_quiesced();
+      cadence.Published(edges_ingested_);
     }
   }
   for (uint32_t t = 0; t < num_shards; ++t) {
@@ -136,7 +257,8 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
 
   // ObserveNeighbor does not count edges (a full edge is two half-edges);
   // account for the stream once, matching the sequential OnEdge tally.
-  sharded->AddProcessedEdges(simple_edges);
+  sharded->AddProcessedEdges(simple_edges - accounted_edges);
+  if (cadence.enabled()) options_.on_publish(*sharded, edges_ingested_);
   return std::unique_ptr<LinkPredictor>(std::move(sharded));
 }
 

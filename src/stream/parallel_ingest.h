@@ -42,12 +42,31 @@ class BoundedBatchQueue {
   bool closed_ = false;
 };
 
+/// Callback invoked at a live-publish point: the predictor under
+/// construction (fully quiesced — no worker is writing while the callback
+/// runs) and the number of stream edges consumed so far. The serving layer
+/// (QueryService::IngestPublisher) snapshots through this.
+using IngestPublishFn =
+    std::function<void(const LinkPredictor&, uint64_t stream_edges)>;
+
 /// Tuning knobs for ParallelIngestEngine.
 struct ParallelIngestOptions {
   /// Half-edges per routed batch handed to a worker.
   uint32_t batch_edges = 2048;
   /// Batches buffered per worker queue before the router blocks.
   uint32_t max_inflight_batches = 32;
+  /// Live-publish cadence in stream edges (0 = disabled): after every
+  /// `publish_every_edges` edges pulled from the stream, the engine drains
+  /// and pauses the shard workers (a barrier, amortized over the cadence),
+  /// invokes `on_publish`, then resumes routing. Also fires once at
+  /// end-of-stream so the final snapshot is complete.
+  uint64_t publish_every_edges = 0;
+  /// Time-based cadence in seconds (0 = disabled); checked at batch
+  /// granularity and composable with the edge-count cadence (either
+  /// trigger publishes and resets both).
+  double publish_every_seconds = 0.0;
+  /// Required when either cadence is set.
+  IngestPublishFn on_publish;
 };
 
 /// Builds a predictor from an edge stream using `config.threads` ingestion
@@ -61,6 +80,11 @@ struct ParallelIngestOptions {
 ///
 /// threads == 1 degenerates to an ordinary sequential build (no queues, no
 /// worker threads) and returns the plain underlying predictor.
+///
+/// With a publish cadence configured (see ParallelIngestOptions), the
+/// engine periodically quiesces the workers and hands the live predictor
+/// to `on_publish` — the hook QueryService uses to serve consistent
+/// snapshots while the build is still running (docs/serving.md).
 class ParallelIngestEngine {
  public:
   explicit ParallelIngestEngine(PredictorConfig config,

@@ -151,6 +151,38 @@ TEST_F(CliTest, CompareRequiresInput) {
   EXPECT_FALSE(Run({"compare"}).ok());
 }
 
+TEST_F(CliTest, BuildRejectsNonMinhashKind) {
+  ASSERT_TRUE(Run({"generate", "--workload=ba", "--scale=0.02",
+                   "--out=" + edges_path_})
+                  .ok());
+  Status s = Run({"build", "--input=" + edges_path_, "--kind=bottomk",
+                  "--snapshot=" + snapshot_path_});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("minhash"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeBenchReportsThroughputAndStaleness) {
+  ASSERT_TRUE(Run({"generate", "--workload=ba", "--scale=0.05",
+                   "--out=" + edges_path_})
+                  .ok());
+  Status s = Run({"serve-bench", "--input=" + edges_path_, "--readers=2",
+                  "--publish-edges=500", "--threads=2", "--k=16"});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(output().find("qps"), std::string::npos);
+  EXPECT_NE(output().find("publishes"), std::string::npos);
+  EXPECT_NE(output().find("final_staleness"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeBenchRequiresInputAndCadence) {
+  EXPECT_FALSE(Run({"serve-bench"}).ok());
+  ASSERT_TRUE(Run({"generate", "--workload=ba", "--scale=0.02",
+                   "--out=" + edges_path_})
+                  .ok());
+  EXPECT_FALSE(Run({"serve-bench", "--input=" + edges_path_,
+                    "--publish-edges=0"})
+                   .ok());
+}
+
 }  // namespace
 }  // namespace streamlink
 
