@@ -1,13 +1,12 @@
 #include "cli/commands.h"
 
 #include <atomic>
+#include <optional>
 #include <ostream>
 #include <thread>
 
 #include "core/exact_predictor.h"
-#include "core/minhash_predictor.h"
 #include "core/predictor_factory.h"
-#include "core/sharded_predictor.h"
 #include "core/top_k_engine.h"
 #include "eval/experiment.h"
 #include "gen/pair_sampler.h"
@@ -15,6 +14,7 @@
 #include "graph/csr_graph.h"
 #include "graph/edge_list_io.h"
 #include "graph/graph_stats.h"
+#include "persist/checkpoint.h"
 #include "serve/query_service.h"
 #include "stream/edge_stream.h"
 #include "stream/parallel_ingest.h"
@@ -122,8 +122,41 @@ Status CmdStats(const FlagParser& flags, std::ostream& out) {
   return Status::Ok();
 }
 
+/// Maps the shared --checkpoint-dir/--checkpoint-keep flags onto an opened
+/// CheckpointManager, or nullopt when no directory was requested.
+Result<std::optional<CheckpointManager>> OpenCheckpointFlags(
+    const FlagParser& flags) {
+  std::string dir = flags.GetString("checkpoint-dir", "");
+  if (dir.empty()) {
+    if (flags.Has("checkpoint-every") || flags.Has("checkpoint-keep")) {
+      return Status::InvalidArgument(
+          "--checkpoint-every/--checkpoint-keep need --checkpoint-dir");
+    }
+    return std::optional<CheckpointManager>();
+  }
+  CheckpointOptions options;
+  options.dir = dir;
+  options.keep = static_cast<uint32_t>(flags.GetInt("checkpoint-keep", 3));
+  auto manager = CheckpointManager::Open(options);
+  if (!manager.ok()) return manager.status();
+  return std::optional<CheckpointManager>(std::move(manager).value());
+}
+
+/// Folds a sharded build into one compact predictor where the kind merges
+/// losslessly; other kinds stay as routed shard containers (both forms
+/// snapshot through the same virtual Save).
+std::unique_ptr<LinkPredictor> FoldForSnapshot(
+    std::unique_ptr<LinkPredictor> predictor) {
+  if (predictor->name().rfind("sharded:", 0) != 0) return predictor;
+  auto folded = predictor->Clone();
+  SL_CHECK(folded != nullptr);
+  return folded;
+}
+
 Status CmdBuild(const FlagParser& flags, std::ostream& out) {
-  if (auto st = flags.CheckUnknown(WithPredictorFlags({"input", "snapshot"}));
+  if (auto st = flags.CheckUnknown(WithPredictorFlags(
+          {"input", "snapshot", "checkpoint-dir", "checkpoint-every",
+           "checkpoint-keep"}));
       !st.ok()) {
     return st;
   }
@@ -139,29 +172,100 @@ Status CmdBuild(const FlagParser& flags, std::ostream& out) {
   defaults.sketch_size = 64;
   defaults.seed = 42;
   PredictorConfig config = PredictorConfigFromFlags(flags, defaults);
-  // The snapshot serde covers minhash only; other kinds are query-time
-  // predictors (see `compare` / `serve-bench`).
-  if (config.kind != "minhash") {
-    return Status::InvalidArgument(
-        "build snapshots support --kind minhash only, got " + config.kind);
+
+  auto manager = OpenCheckpointFlags(flags);
+  if (!manager.ok()) return manager.status();
+  ParallelIngestOptions options;
+  if (manager->has_value()) {
+    options.publish_every_edges =
+        static_cast<uint64_t>(flags.GetInt("checkpoint-every", 10000));
+    if (options.publish_every_edges == 0) {
+      return Status::InvalidArgument("--checkpoint-every must be > 0");
+    }
+    options.on_publish = (*manager)->IngestPublisher();
   }
-  auto built = BuildPredictor(config, file->edges);
+
+  ParallelIngestEngine engine(config, options);
+  VectorEdgeStream stream(file->edges);
+  auto built = engine.Build(stream);
   if (!built.ok()) return built.status();
-  std::unique_ptr<LinkPredictor> single = std::move(*built);
-  if (config.threads > 1) {
-    // The snapshot format stores a single predictor; ShardedPredictor::
-    // Clone folds the vertex shards back together losslessly.
-    single = single->Clone();
-    SL_CHECK(single != nullptr);
-  }
-  auto* predictor = dynamic_cast<MinHashPredictor*>(single.get());
-  SL_CHECK(predictor != nullptr);
+  std::unique_ptr<LinkPredictor> predictor =
+      FoldForSnapshot(std::move(*built));
   if (auto st = predictor->Save(snapshot); !st.ok()) return st;
   out << "ingested " << predictor->edges_processed() << " edges over "
       << predictor->num_vertices() << " vertices";
   if (config.threads > 1) out << " (" << config.threads << " ingest threads)";
+  if (manager->has_value()) {
+    out << "; " << (*manager)->entries().size() << " checkpoints in "
+        << (*manager)->options().dir;
+  }
   out << "; snapshot (" << predictor->MemoryBytes() / 1024
       << " KiB of state) saved to " << snapshot << "\n";
+  return Status::Ok();
+}
+
+/// Continues an interrupted `build --checkpoint-dir` run: restores the
+/// newest valid checkpoint, skips the stream edges it already consumed
+/// (SkipEdgeStream), ingests the remainder sequentially, and writes the
+/// final snapshot — byte-identical to what the uninterrupted build would
+/// have saved.
+Status CmdResume(const FlagParser& flags, std::ostream& out) {
+  if (auto st = flags.CheckUnknown({"input", "snapshot", "checkpoint-dir",
+                                    "checkpoint-every", "checkpoint-keep"});
+      !st.ok()) {
+    return st;
+  }
+  std::string input = flags.GetString("input", "");
+  std::string snapshot = flags.GetString("snapshot", "");
+  if (input.empty() || snapshot.empty()) {
+    return Status::InvalidArgument("--input and --snapshot are required");
+  }
+  if (flags.GetString("checkpoint-dir", "").empty()) {
+    return Status::InvalidArgument("--checkpoint-dir is required");
+  }
+  auto manager = OpenCheckpointFlags(flags);
+  if (!manager.ok()) return manager.status();
+  auto restored = (*manager)->RestoreLatest();
+  if (!restored.ok()) return restored.status();
+
+  auto file = ReadEdgeList(input);
+  if (!file.ok()) return file.status();
+  const uint64_t start = restored->entry.stream_edges;
+  if (start > file->edges.size()) {
+    return Status::InvalidArgument(
+        "checkpoint is ahead of --input: cursor " + std::to_string(start) +
+        ", stream has " + std::to_string(file->edges.size()) + " edges");
+  }
+
+  std::unique_ptr<LinkPredictor> predictor = std::move(restored->predictor);
+  SkipEdgeStream stream(std::make_unique<VectorEdgeStream>(file->edges),
+                        start);
+  // Keep the interrupted run's checkpoint grid: next checkpoint at the
+  // next multiple of the cadence, not `start + every`.
+  const uint64_t every =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-every", 0));
+  uint64_t cursor = start;
+  uint64_t next = every > 0 ? (cursor / every + 1) * every : 0;
+  Edge edge;
+  while (stream.Next(&edge)) {
+    predictor->OnEdge(edge);
+    ++cursor;
+    if (every > 0 && cursor == next) {
+      if (auto st = (*manager)->Write(*predictor, cursor); !st.ok()) return st;
+      next += every;
+    }
+  }
+  if (every > 0) {
+    // Final checkpoint at end-of-stream (Write dedupes an exact repeat).
+    if (auto st = (*manager)->Write(*predictor, cursor); !st.ok()) return st;
+  }
+
+  predictor = FoldForSnapshot(std::move(predictor));
+  if (auto st = predictor->Save(snapshot); !st.ok()) return st;
+  out << "resumed " << predictor->name() << " from checkpoint at stream edge "
+      << start << " (" << restored->path << "); ingested " << (cursor - start)
+      << " more edges to " << cursor << "; snapshot saved to " << snapshot
+      << "\n";
   return Status::Ok();
 }
 
@@ -174,7 +278,9 @@ Status CmdQuery(const FlagParser& flags, std::ostream& out) {
   if (snapshot.empty()) return Status::InvalidArgument("--snapshot required");
   auto pairs = ParsePairs(flags.GetString("pairs", ""));
   if (!pairs.ok()) return pairs.status();
-  auto predictor = MinHashPredictor::Load(snapshot);
+  // Universal loader: the envelope's kind tag picks the decoder, so any
+  // `build --kind ...` snapshot (including sharded containers) queries.
+  auto predictor = LoadPredictorSnapshot(snapshot);
   if (!predictor.ok()) return predictor.status();
 
   // One overlap estimate per pair, scored on every column at once
@@ -193,7 +299,7 @@ Status CmdQuery(const FlagParser& flags, std::ostream& out) {
 
   TablePrinter table(columns);
   for (const QueryPair& p : *pairs) {
-    std::vector<double> scores = predictor->Scores(measures, p.u, p.v);
+    std::vector<double> scores = (*predictor)->Scores(measures, p.u, p.v);
     std::vector<std::string> row = {std::to_string(p.u), std::to_string(p.v)};
     for (double score : scores) row.push_back(TablePrinter::FormatCell(score));
     table.AddRow(std::move(row));
@@ -314,7 +420,8 @@ Status CmdCompare(const FlagParser& flags, std::ostream& out) {
 /// subsystem (docs/serving.md); bench_f17_serving is the scaling study.
 Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
   if (auto st = flags.CheckUnknown(WithPredictorFlags(
-          {"input", "readers", "pairs", "publish-edges", "publish-seconds"}));
+          {"input", "readers", "pairs", "publish-edges", "publish-seconds",
+           "checkpoint-dir"}));
       !st.ok()) {
     return st;
   }
@@ -355,6 +462,25 @@ Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
   }
   options.on_publish = service.IngestPublisher();
 
+  // With --checkpoint-dir, readers get answers from the newest durable
+  // checkpoint before the build's first publish (warm start). An empty or
+  // fully corrupt directory is not an error — the service just starts
+  // cold, as without the flag.
+  uint64_t warm_edges = 0;
+  std::string ckpt_dir = flags.GetString("checkpoint-dir", "");
+  if (!ckpt_dir.empty()) {
+    CheckpointOptions ckpt_options;
+    ckpt_options.dir = ckpt_dir;
+    auto manager = CheckpointManager::Open(ckpt_options);
+    if (!manager.ok()) return manager.status();
+    auto warm = WarmStartFromCheckpoints(*manager, service);
+    if (warm.ok()) {
+      warm_edges = *warm;
+    } else if (warm.status().code() != StatusCode::kNotFound) {
+      return warm.status();
+    }
+  }
+
   std::atomic<bool> done{false};
   std::vector<uint64_t> query_counts(readers, 0);
   std::vector<std::thread> reader_threads;
@@ -392,6 +518,7 @@ Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
                 TablePrinter::FormatCell(ingest_seconds > 0
                     ? engine.edges_ingested() / ingest_seconds : 0.0)});
   table.AddRow({"publishes", std::to_string(service.publish_count())});
+  table.AddRow({"warm_start_edges", std::to_string(warm_edges)});
   table.AddRow({"readers", std::to_string(readers)});
   table.AddRow({"queries", std::to_string(queries)});
   table.AddRow({"qps", TablePrinter::FormatCell(ingest_seconds > 0
@@ -418,13 +545,18 @@ std::string CliUsage() {
       "  stats     --input FILE\n"
       "  build     --input FILE [--k N] [--seed N] [--threads N] "
       "--snapshot FILE\n"
+      "            [--checkpoint-dir DIR [--checkpoint-every N] "
+      "[--checkpoint-keep N]]\n"
+      "  resume    --input FILE --checkpoint-dir DIR --snapshot FILE\n"
+      "            [--checkpoint-every N] [--checkpoint-keep N]\n"
       "  query     --snapshot FILE --pairs u:v[,u:v...]\n"
       "  topk      --input FILE --vertex U [--top N] [--k N] "
       "[--measure NAME] [--threads N]\n"
       "  compare   --input FILE [--k N] [--pairs N] [--seed N] "
       "[--threads N]\n"
       "  serve-bench --input FILE [--readers N] [--pairs N] "
-      "[--publish-edges N] [--publish-seconds S] [predictor flags]\n"
+      "[--publish-edges N] [--publish-seconds S] [--checkpoint-dir DIR] "
+      "[predictor flags]\n"
       "predictor flags (build/topk/serve-bench):\n" +
       PredictorFlagsHelp();
 }
@@ -439,6 +571,7 @@ Status RunCliCommand(const std::vector<std::string>& args,
   if (command == "generate") return CmdGenerate(flags, out);
   if (command == "stats") return CmdStats(flags, out);
   if (command == "build") return CmdBuild(flags, out);
+  if (command == "resume") return CmdResume(flags, out);
   if (command == "query") return CmdQuery(flags, out);
   if (command == "topk") return CmdTopK(flags, out);
   if (command == "compare") return CmdCompare(flags, out);

@@ -130,15 +130,11 @@ void BottomKPredictor::MergeFrom(const BottomKPredictor& other) {
 }
 
 namespace {
-constexpr uint32_t kBottomKSnapshotMagic = 0x534c424b;  // "SLBK"
-constexpr uint32_t kBottomKSnapshotVersion = 1;
+constexpr uint32_t kBottomKPayloadVersion = 1;
 }  // namespace
 
-Status BottomKPredictor::Save(const std::string& path) const {
-  BinaryWriter writer(path);
-  if (!writer.status().ok()) return writer.status();
-  writer.WriteU32(kBottomKSnapshotMagic);
-  writer.WriteU32(kBottomKSnapshotVersion);
+Status BottomKPredictor::SaveTo(BinaryWriter& writer) const {
+  WriteSnapshotHeader(writer, name(), kBottomKPayloadVersion);
   writer.WriteU32(options_.k);
   writer.WriteU64(options_.seed);
   writer.WriteU32(options_.track_exact_degrees ? 1 : 0);
@@ -148,19 +144,14 @@ Status BottomKPredictor::Save(const std::string& path) const {
   for (VertexId u = 0; u < store_.num_vertices(); ++u) {
     writer.WriteVector(store_.Get(u)->entries());
   }
-  return writer.Finish();
+  return writer.status();
 }
 
-Result<BottomKPredictor> BottomKPredictor::Load(const std::string& path) {
-  BinaryReader reader(path);
-  if (!reader.ok()) return reader.status();
-  if (reader.ReadU32() != kBottomKSnapshotMagic) {
-    return Status::InvalidArgument("not a bottomk snapshot: " + path);
-  }
-  if (uint32_t version = reader.ReadU32();
-      version != kBottomKSnapshotVersion) {
-    return Status::InvalidArgument("unsupported snapshot version " +
-                                   std::to_string(version));
+Result<BottomKPredictor> BottomKPredictor::LoadFrom(BinaryReader& reader,
+                                                    uint32_t payload_version) {
+  if (payload_version != kBottomKPayloadVersion) {
+    return Status::InvalidArgument("unsupported bottomk payload version " +
+                                   std::to_string(payload_version));
   }
   BottomKPredictorOptions options;
   options.k = reader.ReadU32();
@@ -172,11 +163,26 @@ Result<BottomKPredictor> BottomKPredictor::Load(const std::string& path) {
     return Status::InvalidArgument("corrupt snapshot: bad k");
   }
 
-  BottomKPredictor predictor(options);
-  predictor.degrees_.SetRaw(reader.ReadVector<uint32_t>());
+  auto degrees = reader.ReadVector<uint32_t>();
   uint64_t num_vertices = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  // With exact degrees, the counter table and sketch store grow in
+  // lockstep; with KMV degrees, no counters are kept at all. Either way a
+  // mismatched length is corruption, not a loadable state.
+  const size_t expected_degrees =
+      options.track_exact_degrees ? num_vertices : 0;
+  if (degrees.size() != expected_degrees) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: degree table covers " +
+        std::to_string(degrees.size()) + " vertices, expected " +
+        std::to_string(expected_degrees));
+  }
+
+  BottomKPredictor predictor(options);
+  predictor.degrees_.SetRaw(std::move(degrees));
   for (uint64_t u = 0; u < num_vertices && reader.ok(); ++u) {
     auto entries = reader.ReadVector<BottomKSketch::Entry>();
+    if (!reader.ok()) break;
     if (entries.size() > options.k) {
       return Status::InvalidArgument("corrupt snapshot: oversized sketch");
     }
@@ -186,6 +192,23 @@ Result<BottomKPredictor> BottomKPredictor::Load(const std::string& path) {
   }
   if (!reader.ok()) return reader.status();
   predictor.AddProcessedEdges(edges);
+  return predictor;
+}
+
+Result<BottomKPredictor> BottomKPredictor::Load(const std::string& path) {
+  if (Status st = PreflightSnapshotFile(path); !st.ok()) return st;
+  BinaryReader reader(path);
+  if (!reader.ok()) return reader.status();
+  Result<SnapshotHeader> header = ReadSnapshotHeader(reader);
+  if (!header.ok()) return header.status();
+  if (header->kind != "bottomk") {
+    return Status::InvalidArgument("snapshot holds a '" + header->kind +
+                                   "' predictor, expected bottomk: " + path);
+  }
+  Result<BottomKPredictor> predictor =
+      LoadFrom(reader, header->payload_version);
+  if (!predictor.ok()) return predictor.status();
+  if (Status st = reader.VerifyChecksumFooter(); !st.ok()) return st;
   return predictor;
 }
 

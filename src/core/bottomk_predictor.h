@@ -69,8 +69,18 @@ class BottomKPredictor : public LinkPredictor {
     return std::make_unique<BottomKPredictor>(*this);
   }
 
-  /// Binary snapshot of the full predictor state.
-  Status Save(const std::string& path) const;
+  /// Streams the full predictor state under the universal snapshot
+  /// envelope (kind "bottomk"); whole-file writes go through the inherited
+  /// crash-safe Save(path).
+  Status SaveTo(BinaryWriter& writer) const override;
+
+  /// Payload decoder for an already-consumed envelope header; validates
+  /// sketch sizes and the degree-table length against the vertex count.
+  static Result<BottomKPredictor> LoadFrom(BinaryReader& reader,
+                                           uint32_t payload_version);
+
+  /// Restores a predictor from a Save(path) snapshot file, verifying the
+  /// envelope and the whole-file checksum.
   static Result<BottomKPredictor> Load(const std::string& path);
 
  protected:

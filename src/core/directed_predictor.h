@@ -9,8 +9,12 @@
 #include "sketch/minhash.h"
 #include "stream/stream_driver.h"
 #include "util/hashing.h"
+#include "util/status.h"
 
 namespace streamlink {
+
+class BinaryReader;
+class BinaryWriter;
 
 /// Options for DirectedMinHashPredictor.
 struct DirectedPredictorOptions {
@@ -68,6 +72,16 @@ class DirectedMinHashPredictor : public EdgeConsumer {
                             Direction dv) const;
 
   uint64_t MemoryBytes() const;
+
+  // Snapshot I/O (kind "directed_minhash"). Not a LinkPredictor, so these
+  // are plain members mirroring the virtual Save/SaveTo contract. The two
+  // sides are serialized independently (their vertex sets differ: an arc
+  // u->v grows only u's out side and v's in side).
+  Status SaveTo(BinaryWriter& writer) const;
+  Status Save(const std::string& path) const;
+  static Result<DirectedMinHashPredictor> LoadFrom(BinaryReader& reader,
+                                                   uint32_t payload_version);
+  static Result<DirectedMinHashPredictor> Load(const std::string& path);
 
  private:
   const SketchStore<MinHashSketch>& SideStore(Direction direction) const {

@@ -1,7 +1,10 @@
 #include "core/exact_predictor.h"
 
+#include <algorithm>
+
 #include "graph/exact_measures.h"
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace streamlink {
 
@@ -53,6 +56,58 @@ OverlapEstimate ExactPredictor::EstimateOverlapSharded(
   est.adamic_adar = adamic_adar;
   est.resource_allocation = resource_allocation;
   return est;
+}
+
+namespace {
+constexpr uint32_t kExactPayloadVersion = 1;
+}  // namespace
+
+Status ExactPredictor::SaveTo(BinaryWriter& writer) const {
+  WriteSnapshotHeader(writer, name(), kExactPayloadVersion);
+  writer.WriteU64(edges_processed());
+  writer.WriteU64(graph_.num_edges());
+  writer.WriteU64(graph_.num_vertices());
+  std::vector<VertexId> neighbors;
+  for (VertexId u = 0; u < graph_.num_vertices(); ++u) {
+    neighbors.assign(graph_.Neighbors(u).begin(), graph_.Neighbors(u).end());
+    // Hash-set iteration order is nondeterministic across processes;
+    // sorting makes equal graphs serialize byte-identically.
+    std::sort(neighbors.begin(), neighbors.end());
+    writer.WriteVector(neighbors);
+  }
+  return writer.status();
+}
+
+Result<ExactPredictor> ExactPredictor::LoadFrom(BinaryReader& reader,
+                                                uint32_t payload_version) {
+  if (payload_version != kExactPayloadVersion) {
+    return Status::InvalidArgument("unsupported exact payload version " +
+                                   std::to_string(payload_version));
+  }
+  uint64_t edges = reader.ReadU64();
+  uint64_t num_edges = reader.ReadU64();
+  uint64_t num_vertices = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+
+  ExactPredictor predictor;
+  predictor.graph_.EnsureVertices(static_cast<VertexId>(num_vertices));
+  for (uint64_t u = 0; u < num_vertices && reader.ok(); ++u) {
+    auto neighbors = reader.ReadVector<VertexId>();
+    if (!reader.ok()) break;
+    for (VertexId v : neighbors) {
+      if (v >= num_vertices) {
+        return Status::InvalidArgument(
+            "corrupt snapshot: neighbor id " + std::to_string(v) +
+            " beyond vertex count " + std::to_string(num_vertices));
+      }
+      predictor.graph_.AddArc(static_cast<VertexId>(u), v);
+    }
+  }
+  if (!reader.ok()) return reader.status();
+  // AddArc deliberately does not count whole edges; restore the counter.
+  predictor.graph_.SetNumEdges(num_edges);
+  predictor.AddProcessedEdges(edges);
+  return predictor;
 }
 
 }  // namespace streamlink

@@ -5,6 +5,7 @@
 
 #include "core/link_predictor.h"
 #include "graph/adjacency_graph.h"
+#include "util/status.h"
 
 namespace streamlink {
 
@@ -43,6 +44,15 @@ class ExactPredictor : public LinkPredictor {
   std::unique_ptr<LinkPredictor> Clone() const override {
     return std::make_unique<ExactPredictor>(*this);
   }
+
+  /// Universal snapshot envelope, kind "exact". Neighbor sets are written
+  /// sorted (hash-set iteration order is nondeterministic), so repeated
+  /// saves of equal graphs are byte-identical. O(E log d) time.
+  Status SaveTo(BinaryWriter& writer) const override;
+
+  /// Payload decoder for an already-consumed envelope header.
+  static Result<ExactPredictor> LoadFrom(BinaryReader& reader,
+                                         uint32_t payload_version);
 
  protected:
   void ProcessEdge(const Edge& edge) override { graph_.AddEdge(edge); }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace streamlink {
 
@@ -53,6 +54,15 @@ std::vector<double> LinkPredictor::Scores(
     scores.push_back(MeasureFromEstimate(m, estimate));
   }
   return scores;
+}
+
+Status LinkPredictor::SaveTo(BinaryWriter&) const {
+  return Status::FailedPrecondition(name() + " does not support snapshots");
+}
+
+Status LinkPredictor::Save(const std::string& path) const {
+  return WriteFileAtomic(
+      path, [this](BinaryWriter& writer) { return SaveTo(writer); });
 }
 
 void LinkPredictor::ObserveNeighbor(VertexId, VertexId) {

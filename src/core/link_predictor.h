@@ -11,8 +11,12 @@
 #include "graph/exact_measures.h"
 #include "graph/types.h"
 #include "stream/stream_driver.h"
+#include "util/status.h"
 
 namespace streamlink {
+
+class BinaryReader;
+class BinaryWriter;
 
 /// The estimated overlap structure of a vertex pair — the approximate
 /// counterpart of PairOverlap. All fields are real-valued estimates; the
@@ -81,6 +85,22 @@ class LinkPredictor : public EdgeConsumer {
   /// must check. ShardedPredictor's override folds mergeable kinds into a
   /// single compact predictor first (see its docs).
   virtual std::unique_ptr<LinkPredictor> Clone() const { return nullptr; }
+
+  /// Serializes the predictor's full state into `writer` as a tagged
+  /// snapshot envelope (kind string + payload version, see util/serde.h)
+  /// followed by the kind-specific payload. Container kinds
+  /// (ShardedPredictor) nest one complete envelope per shard. The base
+  /// default returns FailedPrecondition, meaning "not snapshottable" —
+  /// every in-tree kind overrides it. Restore through
+  /// LoadPredictorSnapshot / LoadPredictorFrom (core/predictor_factory.h).
+  virtual Status SaveTo(BinaryWriter& writer) const;
+
+  /// Writes a crash-safe snapshot file: SaveTo routed through
+  /// WriteFileAtomic (temp file + fsync + atomic rename) with a
+  /// whole-file checksum footer, so a crash mid-write can never leave a
+  /// torn snapshot at `path`. The default covers every kind with SaveTo;
+  /// virtual so out-of-tree predictors can substitute their own storage.
+  virtual Status Save(const std::string& path) const;
 
   /// Number of vertices with any state (max endpoint seen + 1).
   virtual VertexId num_vertices() const = 0;

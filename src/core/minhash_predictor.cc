@@ -97,16 +97,11 @@ void MinHashPredictor::MergeFrom(const MinHashPredictor& other) {
 }
 
 namespace {
-// Snapshot format magic/version for MinHashPredictor::Save.
-constexpr uint32_t kMinHashSnapshotMagic = 0x534c4d48;  // "SLMH"
-constexpr uint32_t kMinHashSnapshotVersion = 1;
+constexpr uint32_t kMinHashPayloadVersion = 1;
 }  // namespace
 
-Status MinHashPredictor::Save(const std::string& path) const {
-  BinaryWriter writer(path);
-  if (!writer.status().ok()) return writer.status();
-  writer.WriteU32(kMinHashSnapshotMagic);
-  writer.WriteU32(kMinHashSnapshotVersion);
+Status MinHashPredictor::SaveTo(BinaryWriter& writer) const {
+  WriteSnapshotHeader(writer, name(), kMinHashPayloadVersion);
   writer.WriteU32(options_.num_hashes);
   writer.WriteU64(options_.seed);
   writer.WriteU64(edges_processed());
@@ -115,19 +110,14 @@ Status MinHashPredictor::Save(const std::string& path) const {
   for (VertexId u = 0; u < store_.num_vertices(); ++u) {
     writer.WriteVector(store_.Get(u)->slots());
   }
-  return writer.Finish();
+  return writer.status();
 }
 
-Result<MinHashPredictor> MinHashPredictor::Load(const std::string& path) {
-  BinaryReader reader(path);
-  if (!reader.ok()) return reader.status();
-  if (reader.ReadU32() != kMinHashSnapshotMagic) {
-    return Status::InvalidArgument("not a minhash snapshot: " + path);
-  }
-  uint32_t version = reader.ReadU32();
-  if (version != kMinHashSnapshotVersion) {
-    return Status::InvalidArgument("unsupported snapshot version " +
-                                   std::to_string(version));
+Result<MinHashPredictor> MinHashPredictor::LoadFrom(BinaryReader& reader,
+                                                    uint32_t payload_version) {
+  if (payload_version != kMinHashPayloadVersion) {
+    return Status::InvalidArgument("unsupported minhash payload version " +
+                                   std::to_string(payload_version));
   }
   MinHashPredictorOptions options;
   options.num_hashes = reader.ReadU32();
@@ -138,11 +128,25 @@ Result<MinHashPredictor> MinHashPredictor::Load(const std::string& path) {
     return Status::InvalidArgument("corrupt snapshot: zero sketch width");
   }
 
-  MinHashPredictor predictor(options);
-  predictor.degrees_.SetRaw(reader.ReadVector<uint32_t>());
+  auto degrees = reader.ReadVector<uint32_t>();
   uint64_t num_vertices = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  // Degrees and sketches grow in lockstep (both endpoints of every edge
+  // touch both tables), so a length mismatch can only mean corruption —
+  // e.g. a truncated-then-padded file whose sizes are self-consistent but
+  // cross-inconsistent.
+  if (degrees.size() != num_vertices) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: degree table covers " +
+        std::to_string(degrees.size()) + " vertices, sketch store " +
+        std::to_string(num_vertices));
+  }
+
+  MinHashPredictor predictor(options);
+  predictor.degrees_.SetRaw(std::move(degrees));
   for (uint64_t u = 0; u < num_vertices && reader.ok(); ++u) {
     auto slots = reader.ReadVector<MinHashSketch::Slot>();
+    if (!reader.ok()) break;
     if (slots.size() != options.num_hashes) {
       return Status::InvalidArgument("corrupt snapshot: bad sketch width");
     }
@@ -151,6 +155,23 @@ Result<MinHashPredictor> MinHashPredictor::Load(const std::string& path) {
   }
   if (!reader.ok()) return reader.status();
   predictor.AddProcessedEdges(edges);
+  return predictor;
+}
+
+Result<MinHashPredictor> MinHashPredictor::Load(const std::string& path) {
+  if (Status st = PreflightSnapshotFile(path); !st.ok()) return st;
+  BinaryReader reader(path);
+  if (!reader.ok()) return reader.status();
+  Result<SnapshotHeader> header = ReadSnapshotHeader(reader);
+  if (!header.ok()) return header.status();
+  if (header->kind != "minhash") {
+    return Status::InvalidArgument("snapshot holds a '" + header->kind +
+                                   "' predictor, expected minhash: " + path);
+  }
+  Result<MinHashPredictor> predictor =
+      LoadFrom(reader, header->payload_version);
+  if (!predictor.ok()) return predictor.status();
+  if (Status st = reader.VerifyChecksumFooter(); !st.ok()) return st;
   return predictor;
 }
 

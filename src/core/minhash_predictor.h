@@ -78,10 +78,21 @@ class MinHashPredictor : public LinkPredictor {
     return std::make_unique<MinHashPredictor>(*this);
   }
 
-  /// Writes a binary snapshot of the full predictor state.
-  Status Save(const std::string& path) const;
+  /// Streams the full predictor state under the universal snapshot
+  /// envelope (kind "minhash"). Whole-file writes go through the inherited
+  /// Save(path), which wraps this in WriteFileAtomic + checksum footer.
+  Status SaveTo(BinaryWriter& writer) const override;
 
-  /// Restores a predictor from Save output.
+  /// Payload decoder: reads the kind-specific payload that follows an
+  /// already-consumed envelope header. Validates structural invariants
+  /// (sketch widths, degree-table length vs vertex count) and returns
+  /// InvalidArgument on any inconsistency instead of constructing a
+  /// corrupt predictor.
+  static Result<MinHashPredictor> LoadFrom(BinaryReader& reader,
+                                           uint32_t payload_version);
+
+  /// Restores a predictor from a Save(path) snapshot file, verifying the
+  /// envelope and the whole-file checksum.
   static Result<MinHashPredictor> Load(const std::string& path);
 
  protected:

@@ -4,6 +4,7 @@
 
 #include "graph/exact_measures.h"
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace streamlink {
 
@@ -75,6 +76,68 @@ OverlapEstimate OphPredictor::EstimateOverlapSharded(
 
 uint64_t OphPredictor::MemoryBytes() const {
   return store_.MemoryBytes() + degrees_.MemoryBytes();
+}
+
+namespace {
+constexpr uint32_t kOphPayloadVersion = 1;
+}  // namespace
+
+Status OphPredictor::SaveTo(BinaryWriter& writer) const {
+  WriteSnapshotHeader(writer, name(), kOphPayloadVersion);
+  writer.WriteU32(options_.num_bins);
+  writer.WriteU64(options_.seed);
+  writer.WriteU64(edges_processed());
+  writer.WriteVector(degrees_.raw());
+  writer.WriteU64(store_.num_vertices());
+  for (VertexId u = 0; u < store_.num_vertices(); ++u) {
+    writer.WriteVector(store_.Get(u)->bins());
+  }
+  return writer.status();
+}
+
+Result<OphPredictor> OphPredictor::LoadFrom(BinaryReader& reader,
+                                            uint32_t payload_version) {
+  if (payload_version != kOphPayloadVersion) {
+    return Status::InvalidArgument("unsupported oph payload version " +
+                                   std::to_string(payload_version));
+  }
+  OphPredictorOptions options;
+  options.num_bins = reader.ReadU32();
+  options.seed = reader.ReadU64();
+  uint64_t edges = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  // Validate before constructing: the predictor/sketch constructors treat
+  // bad bin counts as programmer error (fatal), but here they mean a
+  // corrupt file, which must surface as a Status.
+  if (options.num_bins < 2) {
+    return Status::InvalidArgument("corrupt snapshot: bad bin count " +
+                                   std::to_string(options.num_bins));
+  }
+
+  auto degrees = reader.ReadVector<uint32_t>();
+  uint64_t num_vertices = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (degrees.size() != num_vertices) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: degree table covers " +
+        std::to_string(degrees.size()) + " vertices, sketch store " +
+        std::to_string(num_vertices));
+  }
+
+  OphPredictor predictor(options);
+  predictor.degrees_.SetRaw(std::move(degrees));
+  for (uint64_t u = 0; u < num_vertices && reader.ok(); ++u) {
+    auto bins = reader.ReadVector<OphSketch::Bin>();
+    if (!reader.ok()) break;
+    if (bins.size() != options.num_bins) {
+      return Status::InvalidArgument("corrupt snapshot: bad sketch width");
+    }
+    predictor.store_.Mutable(static_cast<VertexId>(u)) =
+        OphSketch::FromBins(options.seed, std::move(bins));
+  }
+  if (!reader.ok()) return reader.status();
+  predictor.AddProcessedEdges(edges);
+  return predictor;
 }
 
 }  // namespace streamlink

@@ -6,6 +6,7 @@
 #include "core/link_predictor.h"
 #include "core/sketch_store.h"
 #include "sketch/oph.h"
+#include "util/status.h"
 
 namespace streamlink {
 
@@ -57,6 +58,14 @@ class OphPredictor : public LinkPredictor {
   std::unique_ptr<LinkPredictor> Clone() const override {
     return std::make_unique<OphPredictor>(*this);
   }
+
+  /// Universal snapshot envelope, kind "oph"; whole-file writes go through
+  /// the inherited crash-safe Save(path).
+  Status SaveTo(BinaryWriter& writer) const override;
+
+  /// Payload decoder for an already-consumed envelope header.
+  static Result<OphPredictor> LoadFrom(BinaryReader& reader,
+                                       uint32_t payload_version);
 
  protected:
   void ProcessEdge(const Edge& edge) override;

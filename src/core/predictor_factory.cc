@@ -9,6 +9,7 @@
 #include "core/sharded_predictor.h"
 #include "core/vertex_biased_predictor.h"
 #include "core/windowed_predictor.h"
+#include "util/serde.h"
 
 namespace streamlink {
 
@@ -76,6 +77,61 @@ std::vector<std::string> PredictorKinds() {
 bool KindSupportsSharding(const std::string& kind) {
   return kind == "minhash" || kind == "bottomk" || kind == "oph" ||
          kind == "exact";
+}
+
+namespace {
+
+/// Lifts a Result<ConcreteT> into a Result<unique_ptr<LinkPredictor>>.
+template <typename PredictorT>
+Result<std::unique_ptr<LinkPredictor>> Lift(Result<PredictorT> result) {
+  if (!result.ok()) return result.status();
+  return std::unique_ptr<LinkPredictor>(
+      new PredictorT(std::move(result).value()));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LinkPredictor>> LoadPredictorFrom(
+    BinaryReader& reader) {
+  Result<SnapshotHeader> header = ReadSnapshotHeader(reader);
+  if (!header.ok()) return header.status();
+  const std::string& kind = header->kind;
+  const uint32_t version = header->payload_version;
+  if (kind == "minhash") return Lift(MinHashPredictor::LoadFrom(reader, version));
+  if (kind == "bottomk") return Lift(BottomKPredictor::LoadFrom(reader, version));
+  if (kind == "oph") return Lift(OphPredictor::LoadFrom(reader, version));
+  if (kind == "exact") return Lift(ExactPredictor::LoadFrom(reader, version));
+  if (kind == "vertex_biased") {
+    return Lift(VertexBiasedPredictor::LoadFrom(reader, version));
+  }
+  if (kind == "windowed_minhash") {
+    return Lift(WindowedMinHashPredictor::LoadFrom(reader, version));
+  }
+  if (kind == "sharded") {
+    auto sharded = ShardedPredictor::LoadFrom(reader, version);
+    if (!sharded.ok()) return sharded.status();
+    return std::unique_ptr<LinkPredictor>(std::move(*sharded));
+  }
+  if (kind == "weighted_icws" || kind == "directed_minhash") {
+    return Status::InvalidArgument(
+        "snapshot holds a '" + kind +
+        "' predictor, which is not a LinkPredictor — load it with " +
+        (kind == "weighted_icws" ? "WeightedJaccardPredictor::Load"
+                                 : "DirectedMinHashPredictor::Load"));
+  }
+  return Status::InvalidArgument("snapshot holds unknown predictor kind '" +
+                                 kind + "'");
+}
+
+Result<std::unique_ptr<LinkPredictor>> LoadPredictorSnapshot(
+    const std::string& path) {
+  if (Status st = PreflightSnapshotFile(path); !st.ok()) return st;
+  BinaryReader reader(path);
+  if (!reader.ok()) return reader.status();
+  auto predictor = LoadPredictorFrom(reader);
+  if (!predictor.ok()) return predictor.status();
+  if (Status st = reader.VerifyChecksumFooter(); !st.ok()) return st;
+  return predictor;
 }
 
 std::vector<std::string> PredictorFlagNames() {

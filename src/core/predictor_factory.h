@@ -10,6 +10,7 @@
 
 namespace streamlink {
 
+class BinaryReader;
 class FlagParser;
 
 /// Unified construction knobs for all predictor kinds (bench binaries map
@@ -47,6 +48,25 @@ std::vector<std::string> PredictorKinds();
 /// depend on global stream state (current neighbor degrees, global edge
 /// count) and cannot be sharded losslessly.
 bool KindSupportsSharding(const std::string& kind);
+
+// --- Universal snapshot loading ---
+//
+// The restore side of LinkPredictor::SaveTo/Save: every snapshot opens
+// with the universal envelope (util/serde.h), whose kind string selects
+// the payload decoder here. Sibling kinds that are not LinkPredictors
+// (weighted_icws, directed_minhash) have their own static Load and are
+// rejected with a pointer to it.
+
+/// Decodes one complete snapshot envelope (header + payload) from the
+/// reader — the in-stream form used for nested shard envelopes. Does NOT
+/// verify a file checksum; use LoadPredictorSnapshot for whole files.
+Result<std::unique_ptr<LinkPredictor>> LoadPredictorFrom(BinaryReader& reader);
+
+/// Restores a predictor of any kind from a Save(path) snapshot file,
+/// verifying the envelope and the whole-file checksum. InvalidArgument for
+/// foreign or corrupt content, IoError for truncation/unreadable files.
+Result<std::unique_ptr<LinkPredictor>> LoadPredictorSnapshot(
+    const std::string& path);
 
 // --- Shared command-line mapping ---
 //

@@ -5,6 +5,7 @@
 #include "core/bottomk_predictor.h"
 #include "core/minhash_predictor.h"
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace streamlink {
 
@@ -97,6 +98,63 @@ uint64_t ShardedPredictor::MemoryBytes() const {
                    shards_.capacity() * sizeof(shards_[0]);
   for (const auto& shard : shards_) bytes += shard->MemoryBytes();
   return bytes;
+}
+
+namespace {
+constexpr uint32_t kShardedPayloadVersion = 1;
+}  // namespace
+
+Status ShardedPredictor::SaveTo(BinaryWriter& writer) const {
+  WriteSnapshotHeader(writer, "sharded", kShardedPayloadVersion);
+  writer.WriteString(kind_);
+  writer.WriteU64(edges_processed());
+  writer.WriteU32(num_shards());
+  for (const auto& shard : shards_) {
+    if (Status st = shard->SaveTo(writer); !st.ok()) return st;
+  }
+  return writer.status();
+}
+
+Result<std::unique_ptr<ShardedPredictor>> ShardedPredictor::LoadFrom(
+    BinaryReader& reader, uint32_t payload_version) {
+  if (payload_version != kShardedPayloadVersion) {
+    return Status::InvalidArgument("unsupported sharded payload version " +
+                                   std::to_string(payload_version));
+  }
+  std::string kind = reader.ReadString();
+  uint64_t edges = reader.ReadU64();
+  uint32_t num_shards = reader.ReadU32();
+  if (!reader.ok()) return reader.status();
+  // A sharded container only ever wraps shardable leaf kinds; anything
+  // else (including a nested "sharded") is corruption, and rejecting it
+  // here also bounds the LoadPredictorFrom recursion to one level.
+  if (!KindSupportsSharding(kind)) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: unshardable shard kind '" + kind + "'");
+  }
+  if (num_shards == 0) {
+    return Status::InvalidArgument("corrupt snapshot: zero shards");
+  }
+
+  std::vector<std::unique_ptr<LinkPredictor>> shards;
+  shards.reserve(num_shards);
+  for (uint32_t t = 0; t < num_shards; ++t) {
+    auto shard = LoadPredictorFrom(reader);
+    if (!shard.ok()) return shard.status();
+    if ((*shard)->name() != kind) {
+      return Status::InvalidArgument("corrupt snapshot: shard " +
+                                     std::to_string(t) + " holds '" +
+                                     (*shard)->name() + "', expected '" +
+                                     kind + "'");
+    }
+    shards.push_back(std::move(*shard));
+  }
+  auto predictor = std::unique_ptr<ShardedPredictor>(
+      new ShardedPredictor(std::move(kind), std::move(shards)));
+  // Shards count nothing (they ingest half-edges); the container holds the
+  // stream's edge count.
+  predictor->AddProcessedEdges(edges);
+  return predictor;
 }
 
 }  // namespace streamlink

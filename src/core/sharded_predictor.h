@@ -62,6 +62,18 @@ class ShardedPredictor : public LinkPredictor {
   /// bit-identically to this predictor at clone time.
   std::unique_ptr<LinkPredictor> Clone() const override;
 
+  /// Universal snapshot envelope, kind "sharded": the underlying kind,
+  /// the container's edge count, and one complete nested envelope per
+  /// shard. The shard partition (vertex u -> shard u % N) is positional,
+  /// so restoring the shards in order reproduces the routing exactly.
+  Status SaveTo(BinaryWriter& writer) const override;
+
+  /// Payload decoder for an already-consumed envelope header. Each nested
+  /// shard envelope is decoded through LoadPredictorFrom and checked
+  /// against the container's kind tag.
+  static Result<std::unique_ptr<ShardedPredictor>> LoadFrom(
+      BinaryReader& reader, uint32_t payload_version);
+
  protected:
   void ProcessEdge(const Edge& edge) override;
 

@@ -5,6 +5,7 @@
 
 #include "graph/exact_measures.h"
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace streamlink {
 
@@ -90,6 +91,83 @@ OverlapEstimate VertexBiasedPredictor::EstimateOverlap(VertexId u,
 uint64_t VertexBiasedPredictor::MemoryBytes() const {
   return minhash_store_.MemoryBytes() + weighted_store_.MemoryBytes() +
          degrees_.MemoryBytes();
+}
+
+namespace {
+constexpr uint32_t kVertexBiasedPayloadVersion = 1;
+}  // namespace
+
+Status VertexBiasedPredictor::SaveTo(BinaryWriter& writer) const {
+  WriteSnapshotHeader(writer, name(), kVertexBiasedPayloadVersion);
+  writer.WriteU32(options_.num_hashes);
+  writer.WriteU32(options_.num_weighted_samples);
+  writer.WriteU64(options_.seed);
+  writer.WriteU64(edges_processed());
+  writer.WriteVector(degrees_.raw());
+  writer.WriteU64(minhash_store_.num_vertices());
+  for (VertexId u = 0; u < minhash_store_.num_vertices(); ++u) {
+    writer.WriteVector(minhash_store_.Get(u)->slots());
+    writer.WriteVector(weighted_store_.Get(u)->entries());
+  }
+  return writer.status();
+}
+
+Result<VertexBiasedPredictor> VertexBiasedPredictor::LoadFrom(
+    BinaryReader& reader, uint32_t payload_version) {
+  if (payload_version != kVertexBiasedPayloadVersion) {
+    return Status::InvalidArgument(
+        "unsupported vertex_biased payload version " +
+        std::to_string(payload_version));
+  }
+  VertexBiasedPredictorOptions options;
+  options.num_hashes = reader.ReadU32();
+  options.num_weighted_samples = reader.ReadU32();
+  options.seed = reader.ReadU64();
+  uint64_t edges = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (options.num_hashes < 1 || options.num_weighted_samples < 1) {
+    return Status::InvalidArgument("corrupt snapshot: bad sketch sizes");
+  }
+
+  auto degrees = reader.ReadVector<uint32_t>();
+  uint64_t num_vertices = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  // All three per-vertex structures (minhash, sampler, degrees) grow in
+  // lockstep — both endpoints of every edge touch each of them.
+  if (degrees.size() != num_vertices) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: degree table covers " +
+        std::to_string(degrees.size()) + " vertices, sketch store " +
+        std::to_string(num_vertices));
+  }
+
+  VertexBiasedPredictor predictor(options);
+  predictor.degrees_.SetRaw(std::move(degrees));
+  for (uint64_t u = 0; u < num_vertices && reader.ok(); ++u) {
+    auto slots = reader.ReadVector<MinHashSketch::Slot>();
+    auto entries = reader.ReadVector<WeightedBottomKSampler::Entry>();
+    if (!reader.ok()) break;
+    if (slots.size() != options.num_hashes) {
+      return Status::InvalidArgument("corrupt snapshot: bad sketch width");
+    }
+    if (entries.size() > options.num_weighted_samples) {
+      return Status::InvalidArgument("corrupt snapshot: oversized sampler");
+    }
+    for (size_t i = 1; i < entries.size(); ++i) {
+      if (entries[i].rank < entries[i - 1].rank) {
+        return Status::InvalidArgument(
+            "corrupt snapshot: sampler ranks out of order");
+      }
+    }
+    predictor.minhash_store_.Mutable(static_cast<VertexId>(u)) =
+        MinHashSketch::FromSlots(std::move(slots));
+    predictor.weighted_store_.Mutable(static_cast<VertexId>(u)) =
+        WeightedBottomKSampler::FromEntries(options.num_weighted_samples,
+                                            std::move(entries));
+  }
+  if (!reader.ok()) return reader.status();
+  predictor.AddProcessedEdges(edges);
+  return predictor;
 }
 
 }  // namespace streamlink

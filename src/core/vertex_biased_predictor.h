@@ -8,6 +8,7 @@
 #include "sketch/minhash.h"
 #include "sketch/weighted_sampler.h"
 #include "util/hashing.h"
+#include "util/status.h"
 
 namespace streamlink {
 
@@ -64,6 +65,15 @@ class VertexBiasedPredictor : public LinkPredictor {
   std::unique_ptr<LinkPredictor> Clone() const override {
     return std::make_unique<VertexBiasedPredictor>(*this);
   }
+
+  /// Universal snapshot envelope, kind "vertex_biased". The exp-variate
+  /// seed is derived from the options seed, so only options are stored.
+  Status SaveTo(BinaryWriter& writer) const override;
+
+  /// Payload decoder for an already-consumed envelope header; validates
+  /// sampler entries (sorted ranks, size <= k) before reconstructing.
+  static Result<VertexBiasedPredictor> LoadFrom(BinaryReader& reader,
+                                                uint32_t payload_version);
 
  protected:
   void ProcessEdge(const Edge& edge) override;

@@ -1,6 +1,7 @@
 #include "core/weighted_predictor.h"
 
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace streamlink {
 
@@ -47,6 +48,91 @@ WeightedJaccardPredictor::WeightedEstimate WeightedJaccardPredictor::Estimate(
 uint64_t WeightedJaccardPredictor::MemoryBytes() const {
   return store_.MemoryBytes() + sizeof(*this) +
          strength_.capacity() * sizeof(double);
+}
+
+namespace {
+constexpr uint32_t kWeightedPayloadVersion = 1;
+}  // namespace
+
+Status WeightedJaccardPredictor::SaveTo(BinaryWriter& writer) const {
+  WriteSnapshotHeader(writer, name(), kWeightedPayloadVersion);
+  writer.WriteU32(options_.num_slots);
+  writer.WriteU64(options_.seed);
+  writer.WriteU64(edges_processed_);
+  writer.WriteVector(strength_);
+  writer.WriteU64(store_.num_vertices());
+  for (VertexId u = 0; u < store_.num_vertices(); ++u) {
+    writer.WriteVector(store_.Get(u)->slots());
+  }
+  return writer.status();
+}
+
+Status WeightedJaccardPredictor::Save(const std::string& path) const {
+  return WriteFileAtomic(
+      path, [this](BinaryWriter& writer) { return SaveTo(writer); });
+}
+
+Result<WeightedJaccardPredictor> WeightedJaccardPredictor::LoadFrom(
+    BinaryReader& reader, uint32_t payload_version) {
+  if (payload_version != kWeightedPayloadVersion) {
+    return Status::InvalidArgument(
+        "unsupported weighted_icws payload version " +
+        std::to_string(payload_version));
+  }
+  WeightedPredictorOptions options;
+  options.num_slots = reader.ReadU32();
+  options.seed = reader.ReadU64();
+  uint64_t edges = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (options.num_slots < 1) {
+    return Status::InvalidArgument("corrupt snapshot: zero sketch width");
+  }
+
+  auto strength = reader.ReadVector<double>();
+  uint64_t num_vertices = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  // Strengths and sketches grow in lockstep (both endpoints of every
+  // weighted edge touch both).
+  if (strength.size() != num_vertices) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: strength table covers " +
+        std::to_string(strength.size()) + " vertices, sketch store " +
+        std::to_string(num_vertices));
+  }
+
+  WeightedJaccardPredictor predictor(options);
+  predictor.strength_ = std::move(strength);
+  for (uint64_t u = 0; u < num_vertices && reader.ok(); ++u) {
+    auto slots = reader.ReadVector<IcwsSketch::Slot>();
+    if (!reader.ok()) break;
+    if (slots.size() != options.num_slots) {
+      return Status::InvalidArgument("corrupt snapshot: bad sketch width");
+    }
+    predictor.store_.Mutable(static_cast<VertexId>(u)) =
+        IcwsSketch::FromSlots(options.seed, std::move(slots));
+  }
+  if (!reader.ok()) return reader.status();
+  predictor.edges_processed_ = edges;
+  return predictor;
+}
+
+Result<WeightedJaccardPredictor> WeightedJaccardPredictor::Load(
+    const std::string& path) {
+  if (Status st = PreflightSnapshotFile(path); !st.ok()) return st;
+  BinaryReader reader(path);
+  if (!reader.ok()) return reader.status();
+  Result<SnapshotHeader> header = ReadSnapshotHeader(reader);
+  if (!header.ok()) return header.status();
+  if (header->kind != "weighted_icws") {
+    return Status::InvalidArgument(
+        "snapshot holds a '" + header->kind +
+        "' predictor, expected weighted_icws: " + path);
+  }
+  Result<WeightedJaccardPredictor> predictor =
+      LoadFrom(reader, header->payload_version);
+  if (!predictor.ok()) return predictor.status();
+  if (Status st = reader.VerifyChecksumFooter(); !st.ok()) return st;
+  return predictor;
 }
 
 }  // namespace streamlink

@@ -7,8 +7,12 @@
 #include "core/sketch_store.h"
 #include "graph/weighted_graph.h"
 #include "sketch/icws.h"
+#include "util/status.h"
 
 namespace streamlink {
+
+class BinaryReader;
+class BinaryWriter;
 
 /// Options for WeightedJaccardPredictor.
 struct WeightedPredictorOptions {
@@ -66,6 +70,16 @@ class WeightedJaccardPredictor {
   const IcwsSketch* Sketch(VertexId u) const { return store_.Get(u); }
 
   uint64_t MemoryBytes() const;
+
+  // Snapshot I/O (kind "weighted_icws"). Not a LinkPredictor, so these are
+  // plain members mirroring the virtual Save/SaveTo contract: SaveTo
+  // streams the envelope + payload, Save wraps it in WriteFileAtomic with
+  // a checksum footer, Load verifies both.
+  Status SaveTo(BinaryWriter& writer) const;
+  Status Save(const std::string& path) const;
+  static Result<WeightedJaccardPredictor> LoadFrom(BinaryReader& reader,
+                                                   uint32_t payload_version);
+  static Result<WeightedJaccardPredictor> Load(const std::string& path);
 
  private:
   WeightedPredictorOptions options_;

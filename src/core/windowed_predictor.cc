@@ -4,6 +4,7 @@
 
 #include "graph/exact_measures.h"
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace streamlink {
 
@@ -112,6 +113,82 @@ uint64_t WindowedMinHashPredictor::MemoryBytes() const {
     }
   }
   return bytes;
+}
+
+namespace {
+constexpr uint32_t kWindowedPayloadVersion = 1;
+}  // namespace
+
+Status WindowedMinHashPredictor::SaveTo(BinaryWriter& writer) const {
+  WriteSnapshotHeader(writer, name(), kWindowedPayloadVersion);
+  writer.WriteU32(options_.num_hashes);
+  writer.WriteU64(options_.window_edges);
+  writer.WriteU32(options_.num_buckets);
+  writer.WriteU64(options_.seed);
+  writer.WriteU64(edges_processed());
+  writer.WriteU64(vertices_.size());
+  for (const VertexState& state : vertices_) {
+    // Buckets are allocated lazily on first touch: either none or all.
+    writer.WriteU64(state.buckets.size());
+    for (const Bucket& bucket : state.buckets) {
+      writer.WriteU64(bucket.epoch);
+      writer.WriteU32(bucket.degree);
+      writer.WriteVector(bucket.sketch.slots());
+    }
+  }
+  return writer.status();
+}
+
+Result<WindowedMinHashPredictor> WindowedMinHashPredictor::LoadFrom(
+    BinaryReader& reader, uint32_t payload_version) {
+  if (payload_version != kWindowedPayloadVersion) {
+    return Status::InvalidArgument(
+        "unsupported windowed_minhash payload version " +
+        std::to_string(payload_version));
+  }
+  WindowedPredictorOptions options;
+  options.num_hashes = reader.ReadU32();
+  options.window_edges = reader.ReadU64();
+  options.num_buckets = reader.ReadU32();
+  options.seed = reader.ReadU64();
+  uint64_t edges = reader.ReadU64();
+  uint64_t num_vertices = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  // The constructor treats these as programmer errors (fatal); from a file
+  // they mean corruption, so validate first and return a Status.
+  if (options.num_hashes < 1 || options.num_buckets < 2 ||
+      options.window_edges < options.num_buckets) {
+    return Status::InvalidArgument("corrupt snapshot: bad window options");
+  }
+
+  WindowedMinHashPredictor predictor(options);
+  predictor.vertices_.resize(num_vertices);
+  for (uint64_t u = 0; u < num_vertices && reader.ok(); ++u) {
+    uint64_t bucket_count = reader.ReadU64();
+    if (!reader.ok()) break;
+    if (bucket_count == 0) continue;  // vertex never touched
+    if (bucket_count != options.num_buckets) {
+      return Status::InvalidArgument("corrupt snapshot: bad bucket count " +
+                                     std::to_string(bucket_count));
+    }
+    VertexState& state = predictor.vertices_[u];
+    state.buckets.reserve(options.num_buckets);
+    for (uint32_t b = 0; b < options.num_buckets && reader.ok(); ++b) {
+      Bucket bucket(options.num_hashes);
+      bucket.epoch = reader.ReadU64();
+      bucket.degree = reader.ReadU32();
+      auto slots = reader.ReadVector<MinHashSketch::Slot>();
+      if (!reader.ok()) break;
+      if (slots.size() != options.num_hashes) {
+        return Status::InvalidArgument("corrupt snapshot: bad sketch width");
+      }
+      bucket.sketch = MinHashSketch::FromSlots(std::move(slots));
+      state.buckets.push_back(std::move(bucket));
+    }
+  }
+  if (!reader.ok()) return reader.status();
+  predictor.AddProcessedEdges(edges);
+  return predictor;
 }
 
 }  // namespace streamlink

@@ -7,6 +7,7 @@
 #include "core/link_predictor.h"
 #include "sketch/minhash.h"
 #include "util/hashing.h"
+#include "util/status.h"
 
 namespace streamlink {
 
@@ -66,6 +67,15 @@ class WindowedMinHashPredictor : public LinkPredictor {
   std::unique_ptr<LinkPredictor> Clone() const override {
     return std::make_unique<WindowedMinHashPredictor>(*this);
   }
+
+  /// Universal snapshot envelope, kind "windowed_minhash". Bucket epochs
+  /// are saved verbatim, so a restored predictor's window position (which
+  /// buckets are live) matches the original exactly.
+  Status SaveTo(BinaryWriter& writer) const override;
+
+  /// Payload decoder for an already-consumed envelope header.
+  static Result<WindowedMinHashPredictor> LoadFrom(BinaryReader& reader,
+                                                   uint32_t payload_version);
 
  protected:
   void ProcessEdge(const Edge& edge) override;

@@ -45,6 +45,10 @@ class AdjacencyGraph {
   }
   uint64_t num_edges() const { return num_edges_; }
 
+  /// Restores the whole-edge counter after a rebuild through AddArc
+  /// (which deliberately does not count edges). Snapshot restore only.
+  void SetNumEdges(uint64_t num_edges) { num_edges_ = num_edges; }
+
   /// Degree (= neighborhood size; the graph is simple). 0 for ids beyond
   /// the current vertex set.
   uint32_t Degree(VertexId u) const;

@@ -12,6 +12,19 @@ IcwsSketch::IcwsSketch(uint32_t num_slots, uint64_t seed)
   SL_CHECK(num_slots >= 1) << "ICWS needs at least one slot";
 }
 
+IcwsSketch IcwsSketch::FromSlots(uint64_t seed, std::vector<Slot> slots) {
+  IcwsSketch sketch(static_cast<uint32_t>(slots.size()), seed);
+  sketch.slots_ = std::move(slots);
+  sketch.has_items_ = false;
+  for (const Slot& slot : sketch.slots_) {
+    if (slot.a != Slot::kEmpty) {
+      sketch.has_items_ = true;
+      break;
+    }
+  }
+  return sketch;
+}
+
 namespace {
 
 /// Uniform(0,1] variate for (slot, item, which) under `seed`.

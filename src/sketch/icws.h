@@ -56,6 +56,14 @@ class IcwsSketch {
 
   const Slot& slot(uint32_t i) const { return slots_[i]; }
 
+  /// Raw slot vector, for serialization.
+  const std::vector<Slot>& slots() const { return slots_; }
+
+  /// Rebuilds a sketch from serialized slots (snapshot restore); the
+  /// has-items flag is recomputed. Preconditions (callers validate before
+  /// constructing): slots.size() >= 1.
+  static IcwsSketch FromSlots(uint64_t seed, std::vector<Slot> slots);
+
   /// Slot-wise "min by a" merge: the sketch of the weighted union
   /// (element-wise max of weights) when the sets are disjoint or agree on
   /// shared weights.

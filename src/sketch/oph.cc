@@ -37,6 +37,16 @@ void OphSketch::MergeUnion(const OphSketch& other) {
   }
 }
 
+OphSketch OphSketch::FromBins(uint64_t seed, std::vector<Bin> bins) {
+  OphSketch sketch(static_cast<uint32_t>(bins.size()), seed);
+  sketch.bins_ = std::move(bins);
+  sketch.non_empty_ = 0;
+  for (const Bin& bin : sketch.bins_) {
+    if (bin.rank != ~0ULL) ++sketch.non_empty_;
+  }
+  return sketch;
+}
+
 std::vector<OphSketch::Bin> OphSketch::Densified() const {
   std::vector<Bin> out = bins_;
   if (non_empty_ == 0 || non_empty_ == bins_.size()) return out;

@@ -48,6 +48,14 @@ class OphSketch {
 
   const Bin& bin(uint32_t i) const { return bins_[i]; }
 
+  /// Raw bin vector, for serialization.
+  const std::vector<Bin>& bins() const { return bins_; }
+
+  /// Rebuilds a sketch from serialized bins (snapshot restore); the
+  /// non-empty counter is recomputed. Preconditions (callers validate
+  /// before constructing): bins.size() >= 2.
+  static OphSketch FromBins(uint64_t seed, std::vector<Bin> bins);
+
   /// The sketch vector after densification: every entry holds the rank and
   /// arg-min of some non-empty bin (its own, or the bin its probe sequence
   /// found). An entirely empty sketch densifies to all-empty bins.

@@ -12,6 +12,13 @@ WeightedBottomKSampler::WeightedBottomKSampler(uint32_t k) : k_(k) {
   entries_.reserve(k);
 }
 
+WeightedBottomKSampler WeightedBottomKSampler::FromEntries(
+    uint32_t k, std::vector<Entry> entries) {
+  WeightedBottomKSampler sampler(k);
+  sampler.entries_ = std::move(entries);
+  return sampler;
+}
+
 bool WeightedBottomKSampler::Offer(uint64_t item, double exp_variate,
                                    double weight) {
   SL_DCHECK(weight > 0.0) << "weights must be positive";

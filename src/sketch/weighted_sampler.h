@@ -53,6 +53,12 @@ class WeightedBottomKSampler {
   /// Entries sorted by rank ascending.
   const std::vector<Entry>& entries() const { return entries_; }
 
+  /// Rebuilds a sampler from serialized entries (snapshot restore).
+  /// Preconditions (callers validate before constructing): k >= 1,
+  /// entries sorted by rank ascending, entries.size() <= k.
+  static WeightedBottomKSampler FromEntries(uint32_t k,
+                                            std::vector<Entry> entries);
+
   /// Inclusion threshold τ: the k-th smallest rank when saturated,
   /// +infinity otherwise (every offered item was kept).
   double Threshold() const;

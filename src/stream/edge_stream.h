@@ -76,6 +76,24 @@ class PrefixEdgeStream : public EdgeStream {
   uint64_t produced_ = 0;
 };
 
+/// Decorator that discards the first `skip` edges of the inner stream and
+/// yields the rest — the resume primitive: a checkpoint records how many
+/// stream edges the predictor consumed, and re-ingestion continues from
+/// the edge after them.
+class SkipEdgeStream : public EdgeStream {
+ public:
+  SkipEdgeStream(std::unique_ptr<EdgeStream> inner, uint64_t skip);
+
+  bool Next(Edge* edge) override;
+  void Reset() override;
+  uint64_t SizeHint() const override;
+
+ private:
+  std::unique_ptr<EdgeStream> inner_;
+  uint64_t skip_;
+  uint64_t skipped_ = 0;  // edges discarded since the last Reset
+};
+
 }  // namespace streamlink
 
 #endif  // STREAMLINK_STREAM_EDGE_STREAM_H_

@@ -1,7 +1,12 @@
 #include "util/serde.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
+#include <cstdio>
 #include <cstring>
+#include <iterator>
 
 namespace streamlink {
 
@@ -18,12 +23,26 @@ BinaryWriter::BinaryWriter(const std::string& path)
 void BinaryWriter::WriteBytes(const void* data, size_t size) {
   if (!status_.ok()) return;
   out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
-  if (!out_) status_ = Status::IoError("write failed");
+  if (!out_) {
+    status_ = Status::IoError("write failed");
+    return;
+  }
+  checksum_ = Fnv1aUpdate(checksum_, data, size);
 }
 
 void BinaryWriter::WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
 void BinaryWriter::WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
 void BinaryWriter::WriteDouble(double v) { WriteBytes(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  if (!s.empty()) WriteBytes(s.data(), s.size());
+}
+
+void BinaryWriter::WriteChecksumFooter() {
+  const uint64_t digest = checksum_;  // capture before the footer write
+  WriteU64(digest);
+}
 
 Status BinaryWriter::Finish() {
   if (out_.is_open()) {
@@ -55,6 +74,7 @@ bool BinaryReader::ReadBytes(void* data, size_t size) {
     Fail("unexpected end of snapshot");
     return false;
   }
+  checksum_ = Fnv1aUpdate(checksum_, data, size);
   return true;
 }
 
@@ -74,6 +94,156 @@ double BinaryReader::ReadDouble() {
   double v = 0;
   ReadBytes(&v, sizeof(v));
   return v;
+}
+
+std::string BinaryReader::ReadString() {
+  uint64_t size = ReadU64();
+  if (!ok()) return {};
+  if (size > (1ULL << 20)) {
+    Fail("string size implausible: " + std::to_string(size));
+    return {};
+  }
+  std::string s(size, '\0');
+  if (size > 0 && !ReadBytes(s.data(), size)) return {};
+  return s;
+}
+
+bool BinaryReader::AtEnd() {
+  if (!in_.is_open()) return true;
+  return in_.peek() == std::ifstream::traits_type::eof();
+}
+
+Status BinaryReader::VerifyChecksumFooter() {
+  if (!status_.ok()) return status_;
+  const uint64_t expected = checksum_;  // digest of everything before footer
+  const uint64_t stored = ReadU64();
+  if (!status_.ok()) return status_;
+  if (stored != expected) {
+    Fail("snapshot checksum mismatch (corrupt or torn file)");
+    return status_;
+  }
+  if (!AtEnd()) {
+    Fail("trailing bytes after snapshot checksum");
+    return status_;
+  }
+  return Status::Ok();
+}
+
+void WriteSnapshotHeader(BinaryWriter& writer, const std::string& kind,
+                         uint32_t payload_version) {
+  writer.WriteU32(kSnapshotMagic);
+  writer.WriteU32(kSnapshotEnvelopeVersion);
+  writer.WriteString(kind);
+  writer.WriteU32(payload_version);
+}
+
+Result<SnapshotHeader> ReadSnapshotHeader(BinaryReader& reader) {
+  if (!reader.ok()) return reader.status();
+  uint32_t magic = reader.ReadU32();
+  if (!reader.ok()) return reader.status();
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("not a streamlink snapshot (bad magic)");
+  }
+  uint32_t envelope = reader.ReadU32();
+  if (!reader.ok()) return reader.status();
+  if (envelope != kSnapshotEnvelopeVersion) {
+    return Status::InvalidArgument("unsupported snapshot envelope version " +
+                                   std::to_string(envelope));
+  }
+  SnapshotHeader header;
+  header.kind = reader.ReadString();
+  header.payload_version = reader.ReadU32();
+  if (!reader.ok()) return reader.status();
+  if (header.kind.empty()) {
+    return Status::InvalidArgument("snapshot has an empty kind tag");
+  }
+  return header;
+}
+
+Status PreflightSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  if (bytes.size() < sizeof(uint32_t)) {
+    return Status::InvalidArgument("not a streamlink snapshot (too short): " +
+                                   path);
+  }
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("not a streamlink snapshot (bad magic): " +
+                                   path);
+  }
+  if (bytes.size() < sizeof(uint32_t) + sizeof(uint64_t)) {
+    return Status::IoError("snapshot truncated before checksum footer: " +
+                           path);
+  }
+  uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(stored),
+              sizeof(stored));
+  const uint64_t digest =
+      Fnv1aUpdate(kFnv1aOffset, bytes.data(), bytes.size() - sizeof(stored));
+  if (digest != stored) {
+    return Status::IoError(
+        "snapshot checksum mismatch (corrupt or torn file): " + path);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// fsync(2) on a path; used for the temp file's data and the parent
+/// directory entry after rename. Directory fsync failures are tolerated
+/// (some filesystems refuse), data fsync failures are not.
+Status FsyncPath(const std::string& path, bool required) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return required ? Status::IoError("cannot reopen for fsync: " + path)
+                    : Status::Ok();
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && required) {
+    return Status::IoError("fsync failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<Status(BinaryWriter&)>& fill) {
+  const std::string tmp = path + ".tmp";
+  {
+    BinaryWriter writer(tmp);
+    if (!writer.status().ok()) return writer.status();
+    if (Status st = fill(writer); !st.ok()) {
+      std::remove(tmp.c_str());
+      return st;
+    }
+    writer.WriteChecksumFooter();
+    if (Status st = writer.Finish(); !st.ok()) {
+      std::remove(tmp.c_str());
+      return st;
+    }
+  }  // stream closed here; bytes are in the page cache
+  if (Status st = FsyncPath(tmp, /*required=*/true); !st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  // Persist the directory entry so the rename itself survives a crash.
+  size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  return FsyncPath(dir, /*required=*/false);
 }
 
 }  // namespace streamlink

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -10,10 +11,25 @@
 
 namespace streamlink {
 
+/// FNV-1a running checksum over a byte stream — the whole-file integrity
+/// check of predictor snapshots. Cheap enough to fold into every write and
+/// read; any single flipped bit changes the digest.
+inline constexpr uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+inline uint64_t Fnv1aUpdate(uint64_t state, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state = (state ^ bytes[i]) * kFnv1aPrime;
+  }
+  return state;
+}
+
 /// Little-endian binary writer for predictor snapshots. All writes go
 /// through fixed-width primitives so snapshots are portable across
 /// platforms (of the same endianness class; explicitly little-endian on
-/// disk).
+/// disk). Every byte written folds into a running FNV-1a checksum; see
+/// WriteChecksumFooter.
 class BinaryWriter {
  public:
   explicit BinaryWriter(const std::string& path);
@@ -25,6 +41,9 @@ class BinaryWriter {
   void WriteDouble(double v);
   void WriteBytes(const void* data, size_t size);
 
+  /// Length-prefixed UTF-8/raw string (u64 length + bytes).
+  void WriteString(const std::string& s);
+
   template <typename T>
   void WriteVector(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -32,12 +51,22 @@ class BinaryWriter {
     if (!v.empty()) WriteBytes(v.data(), v.size() * sizeof(T));
   }
 
+  /// FNV-1a digest of everything written so far.
+  uint64_t checksum() const { return checksum_; }
+
+  /// Appends the running checksum as a trailing u64. Readers verify with
+  /// BinaryReader::VerifyChecksumFooter; after the footer, any byte flip
+  /// anywhere in the file is detected (no silent corruption). Must be the
+  /// last write.
+  void WriteChecksumFooter();
+
   /// Flushes and reports the final status.
   Status Finish();
 
  private:
   std::ofstream out_;
   Status status_;
+  uint64_t checksum_ = kFnv1aOffset;
 };
 
 /// Reader counterpart of BinaryWriter. All reads report corruption
@@ -54,14 +83,19 @@ class BinaryReader {
   double ReadDouble();
   bool ReadBytes(void* data, size_t size);
 
+  /// Counterpart of WriteString; rejects implausible (> 1 MiB) lengths.
+  std::string ReadString();
+
   template <typename T>
   std::vector<T> ReadVector() {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t size = ReadU64();
     std::vector<T> v;
     if (!ok()) return v;
-    // Guard against corrupted huge sizes: cap at 1 GiB of payload.
-    if (size * sizeof(T) > (1ULL << 30)) {
+    // Guard against corrupted huge sizes: cap at 1 GiB of payload. The
+    // division form cannot overflow (size * sizeof(T) wraps for corrupted
+    // counts near 2^64 and would slip past a product-form guard).
+    if (size > (1ULL << 30) / sizeof(T)) {
       Fail("vector size implausible: " + std::to_string(size));
       return v;
     }
@@ -70,12 +104,70 @@ class BinaryReader {
     return v;
   }
 
+  /// FNV-1a digest of everything read so far.
+  uint64_t checksum() const { return checksum_; }
+
+  /// True when the underlying file has no bytes left.
+  bool AtEnd();
+
+  /// Reads the trailing checksum footer and compares it against the
+  /// running digest of everything read before it, then requires the file
+  /// to end. IoError on mismatch, truncation, or trailing garbage.
+  Status VerifyChecksumFooter();
+
  private:
   void Fail(const std::string& message);
 
   std::ifstream in_;
   Status status_;
+  uint64_t checksum_ = kFnv1aOffset;
 };
+
+// --- Snapshot envelope ---
+//
+// Every predictor snapshot starts with one universal header:
+//
+//   u32 magic "SLSN"  |  u32 envelope version  |  string kind  |  u32
+//   payload version
+//
+// followed by the kind-specific payload and (for whole files) the
+// checksum footer. The kind string is what LoadPredictorFrom dispatches
+// on; container kinds (ShardedPredictor) nest complete envelopes per
+// shard inside their payload.
+
+inline constexpr uint32_t kSnapshotMagic = 0x534c534e;  // "SLSN"
+inline constexpr uint32_t kSnapshotEnvelopeVersion = 1;
+
+struct SnapshotHeader {
+  std::string kind;
+  uint32_t payload_version = 0;
+};
+
+/// Writes the universal envelope header.
+void WriteSnapshotHeader(BinaryWriter& writer, const std::string& kind,
+                         uint32_t payload_version);
+
+/// Reads and validates the envelope header. InvalidArgument for wrong
+/// magic or unsupported envelope version; IoError for truncation.
+Result<SnapshotHeader> ReadSnapshotHeader(BinaryReader& reader);
+
+/// Whole-file integrity preflight for snapshot loads: checks the magic
+/// prefix and the trailing checksum footer in one pass WITHOUT parsing —
+/// so a corrupt length field can never trigger a huge allocation before
+/// the corruption is noticed. InvalidArgument when the file does not
+/// start with the snapshot magic; IoError when it is truncated or the
+/// footer does not match. Loaders call this before parsing.
+Status PreflightSnapshotFile(const std::string& path);
+
+/// Crash-safe whole-file write: `fill` streams the content into a writer
+/// positioned at a temporary sibling of `path`; on success a checksum
+/// footer is appended, the temporary is flushed and fsynced, atomically
+/// renamed over `path`, and the directory entry is fsynced. A crash at
+/// any point leaves either the old file or the new file at `path`, never
+/// a torn mix; on any error the temporary is removed and `path` is
+/// untouched.
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<Status(BinaryWriter&)>& fill);
 
 }  // namespace streamlink
 

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 
@@ -151,14 +153,85 @@ TEST_F(CliTest, CompareRequiresInput) {
   EXPECT_FALSE(Run({"compare"}).ok());
 }
 
-TEST_F(CliTest, BuildRejectsNonMinhashKind) {
+TEST_F(CliTest, BuildAndQueryCoverEveryPredictorKind) {
   ASSERT_TRUE(Run({"generate", "--workload=ba", "--scale=0.02",
                    "--out=" + edges_path_})
                   .ok());
-  Status s = Run({"build", "--input=" + edges_path_, "--kind=bottomk",
-                  "--snapshot=" + snapshot_path_});
-  EXPECT_FALSE(s.ok());
-  EXPECT_NE(s.message().find("minhash"), std::string::npos);
+  for (const char* kind : {"bottomk", "oph", "exact", "vertex_biased"}) {
+    Status build = Run({"build", "--input=" + edges_path_,
+                        std::string("--kind=") + kind,
+                        "--snapshot=" + snapshot_path_});
+    ASSERT_TRUE(build.ok()) << kind << ": " << build.ToString();
+    Status query =
+        Run({"query", "--snapshot=" + snapshot_path_, "--pairs=0:1,1:2"});
+    ASSERT_TRUE(query.ok()) << kind << ": " << query.ToString();
+    EXPECT_NE(output().find("jaccard"), std::string::npos);
+  }
+}
+
+TEST_F(CliTest, BuildCheckpointFlagsRequireDir) {
+  ASSERT_TRUE(Run({"generate", "--workload=ba", "--scale=0.02",
+                   "--out=" + edges_path_})
+                  .ok());
+  EXPECT_FALSE(Run({"build", "--input=" + edges_path_,
+                    "--snapshot=" + snapshot_path_, "--checkpoint-every=100"})
+                   .ok());
+}
+
+TEST_F(CliTest, InterruptedBuildResumesToIdenticalSnapshot) {
+  const std::string ckpt_dir = dir_ + "/cli_test_ckpt";
+  const std::string partial_edges = dir_ + "/cli_test_partial.txt";
+  const std::string full_snapshot = dir_ + "/cli_test_full.snap";
+  std::filesystem::remove_all(ckpt_dir);
+
+  ASSERT_TRUE(Run({"generate", "--workload=ba", "--scale=0.03",
+                   "--out=" + edges_path_})
+                  .ok());
+  // The uninterrupted run.
+  ASSERT_TRUE(Run({"build", "--input=" + edges_path_, "--k=16", "--seed=9",
+                   "--snapshot=" + full_snapshot})
+                  .ok());
+
+  // Simulated kill: the interrupted run only ever saw the first half of
+  // the stream (a prefix of the file), checkpointing as it went.
+  {
+    std::ifstream in(edges_path_);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    std::ofstream out(partial_edges);
+    for (size_t i = 0; i < lines.size() / 2; ++i) out << lines[i] << "\n";
+  }
+  Status interrupted =
+      Run({"build", "--input=" + partial_edges, "--k=16", "--seed=9",
+           "--snapshot=" + snapshot_path_, "--checkpoint-dir=" + ckpt_dir,
+           "--checkpoint-every=50"});
+  ASSERT_TRUE(interrupted.ok()) << interrupted.ToString();
+  EXPECT_NE(output().find("checkpoints"), std::string::npos);
+
+  // Resume against the full stream; the result must be byte-identical to
+  // the uninterrupted build's snapshot.
+  Status resumed =
+      Run({"resume", "--input=" + edges_path_, "--checkpoint-dir=" + ckpt_dir,
+           "--snapshot=" + snapshot_path_});
+  ASSERT_TRUE(resumed.ok()) << resumed.ToString();
+  EXPECT_NE(output().find("resumed"), std::string::npos);
+
+  auto read_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(read_bytes(full_snapshot), read_bytes(snapshot_path_));
+
+  std::filesystem::remove_all(ckpt_dir);
+  std::remove(partial_edges.c_str());
+  std::remove(full_snapshot.c_str());
+}
+
+TEST_F(CliTest, ResumeRequiresCheckpointDir) {
+  EXPECT_FALSE(Run({"resume", "--input=" + edges_path_,
+                    "--snapshot=" + snapshot_path_})
+                   .ok());
 }
 
 TEST_F(CliTest, ServeBenchReportsThroughputAndStaleness) {

@@ -1,0 +1,371 @@
+// Snapshot persistence across every predictor kind: Save -> Load -> Save
+// byte identity, estimate preservation, and a corruption harness that
+// truncates at every prefix length and flips every byte — a damaged
+// snapshot must always come back as a clean error Status, never a crash
+// and never a silent success.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/directed_predictor.h"
+#include "core/minhash_predictor.h"
+#include "core/predictor_factory.h"
+#include "core/sharded_predictor.h"
+#include "core/weighted_predictor.h"
+#include "eval/experiment.h"
+#include "gen/workloads.h"
+#include "util/random.h"
+#include "util/serde.h"
+
+namespace streamlink {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void ExpectSameEstimates(const LinkPredictor& a, const LinkPredictor& b,
+                         VertexId num_vertices) {
+  Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    OverlapEstimate ea = a.EstimateOverlap(u, v);
+    OverlapEstimate eb = b.EstimateOverlap(u, v);
+    EXPECT_DOUBLE_EQ(ea.degree_u, eb.degree_u);
+    EXPECT_DOUBLE_EQ(ea.degree_v, eb.degree_v);
+    EXPECT_DOUBLE_EQ(ea.intersection, eb.intersection);
+    EXPECT_DOUBLE_EQ(ea.union_size, eb.union_size);
+    EXPECT_DOUBLE_EQ(ea.jaccard, eb.jaccard);
+    EXPECT_DOUBLE_EQ(ea.adamic_adar, eb.adamic_adar);
+    EXPECT_DOUBLE_EQ(ea.resource_allocation, eb.resource_allocation);
+  }
+}
+
+struct KindCase {
+  std::string label;
+  PredictorConfig config;
+};
+
+std::vector<KindCase> AllKindCases() {
+  std::vector<KindCase> cases;
+  auto add = [&cases](std::string label, std::string kind,
+                      auto... tweak) {
+    KindCase c;
+    c.label = std::move(label);
+    c.config.kind = std::move(kind);
+    c.config.sketch_size = 16;
+    c.config.seed = 7;
+    (tweak(c.config), ...);
+    cases.push_back(std::move(c));
+  };
+  add("minhash", "minhash");
+  add("bottomk_exact_degrees", "bottomk");
+  add("bottomk_kmv_degrees", "bottomk",
+      [](PredictorConfig& c) { c.sketch_degrees = true; });
+  add("oph", "oph");
+  add("exact", "exact");
+  add("vertex_biased", "vertex_biased");
+  add("windowed_minhash", "windowed_minhash", [](PredictorConfig& c) {
+    c.window_edges = 80;
+    c.window_buckets = 4;
+  });
+  add("sharded_minhash", "minhash",
+      [](PredictorConfig& c) { c.threads = 3; });
+  add("sharded_bottomk", "bottomk",
+      [](PredictorConfig& c) { c.threads = 3; });
+  return cases;
+}
+
+class PersistenceKindTest : public ::testing::TestWithParam<KindCase> {
+ protected:
+  void SetUp() override {
+    path_a_ = ::testing::TempDir() + "/persist_a.snap";
+    path_b_ = ::testing::TempDir() + "/persist_b.snap";
+  }
+  void TearDown() override {
+    std::remove(path_a_.c_str());
+    std::remove(path_b_.c_str());
+  }
+
+  /// Builds the parameterized kind and ingests a small workload.
+  /// Sharded cases ingest through the synchronous routing path.
+  std::unique_ptr<LinkPredictor> BuildIngested() {
+    const PredictorConfig& config = GetParam().config;
+    Result<std::unique_ptr<LinkPredictor>> built =
+        config.threads > 1
+            ? Result<std::unique_ptr<LinkPredictor>>(
+                  [&]() -> Result<std::unique_ptr<LinkPredictor>> {
+                    auto sharded = ShardedPredictor::Make(config);
+                    if (!sharded.ok()) return sharded.status();
+                    return std::unique_ptr<LinkPredictor>(
+                        std::move(*sharded));
+                  }())
+            : MakePredictor(config);
+    SL_CHECK(built.ok()) << built.status().ToString();
+    GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.03, 101});
+    num_vertices_ = g.num_vertices;
+    FeedStream(**built, g.edges);
+    return std::move(*built);
+  }
+
+  std::string path_a_, path_b_;
+  VertexId num_vertices_ = 0;
+};
+
+TEST_P(PersistenceKindTest, SaveLoadSaveIsByteIdentical) {
+  auto original = BuildIngested();
+  ASSERT_TRUE(original->Save(path_a_).ok());
+
+  auto loaded = LoadPredictorSnapshot(path_a_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->name(), original->name());
+  EXPECT_EQ((*loaded)->edges_processed(), original->edges_processed());
+  EXPECT_EQ((*loaded)->num_vertices(), original->num_vertices());
+  ExpectSameEstimates(*original, **loaded, num_vertices_);
+
+  ASSERT_TRUE((*loaded)->Save(path_b_).ok());
+  std::string a = ReadFileBytes(path_a_);
+  std::string b = ReadFileBytes(path_b_);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "second-generation snapshot differs from the first";
+}
+
+TEST_P(PersistenceKindTest, LoadedPredictorKeepsIngesting) {
+  auto original = BuildIngested();
+  ASSERT_TRUE(original->Save(path_a_).ok());
+  auto loaded = LoadPredictorSnapshot(path_a_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Both sides ingest the same suffix; they must stay in lockstep.
+  EdgeList more = {{0, 5}, {1, 6}, {2, 7}, {3, 8}};
+  FeedStream(*original, more);
+  FeedStream(**loaded, more);
+  EXPECT_EQ((*loaded)->edges_processed(), original->edges_processed());
+  ExpectSameEstimates(*original, **loaded, num_vertices_);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, PersistenceKindTest, ::testing::ValuesIn(AllKindCases()),
+    [](const ::testing::TestParamInfo<KindCase>& info) {
+      return info.param.label;
+    });
+
+// --- Corruption harness ---
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/corrupt_src.snap";
+    mangled_ = ::testing::TempDir() + "/corrupt_mangled.snap";
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove(mangled_.c_str());
+  }
+
+  /// Every prefix truncation and every single-byte flip of `bytes` must
+  /// load as a clean error: never a crash, never a silent success.
+  void ExpectAllDamageDetected(const std::string& bytes) {
+    ASSERT_FALSE(bytes.empty());
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      WriteFileBytes(mangled_, bytes.substr(0, len));
+      auto loaded = LoadPredictorSnapshot(mangled_);
+      EXPECT_FALSE(loaded.ok()) << "truncation to " << len
+                                << " bytes loaded successfully";
+    }
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      std::string flipped = bytes;
+      flipped[i] = static_cast<char>(flipped[i] ^ 0xff);
+      WriteFileBytes(mangled_, flipped);
+      auto loaded = LoadPredictorSnapshot(mangled_);
+      EXPECT_FALSE(loaded.ok()) << "byte flip at offset " << i
+                                << " loaded successfully";
+    }
+  }
+
+  std::string path_, mangled_;
+};
+
+TEST_F(CorruptionTest, MinHashSnapshotDetectsAllDamage) {
+  MinHashPredictor predictor(MinHashPredictorOptions{4, 9});
+  FeedStream(predictor, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}});
+  ASSERT_TRUE(predictor.Save(path_).ok());
+  ExpectAllDamageDetected(ReadFileBytes(path_));
+}
+
+TEST_F(CorruptionTest, ShardedSnapshotDetectsAllDamage) {
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.sketch_size = 4;
+  config.seed = 9;
+  config.threads = 2;
+  auto sharded = ShardedPredictor::Make(config);
+  ASSERT_TRUE(sharded.ok());
+  FeedStream(**sharded, {{0, 1}, {0, 2}, {1, 2}, {2, 3}});
+  ASSERT_TRUE((*sharded)->Save(path_).ok());
+  ExpectAllDamageDetected(ReadFileBytes(path_));
+}
+
+TEST_F(CorruptionTest, WindowedSnapshotDetectsAllDamage) {
+  PredictorConfig config;
+  config.kind = "windowed_minhash";
+  config.sketch_size = 4;
+  config.seed = 9;
+  config.window_edges = 8;
+  config.window_buckets = 2;
+  auto predictor = MakePredictor(config);
+  ASSERT_TRUE(predictor.ok());
+  FeedStream(**predictor,
+             {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  ASSERT_TRUE((*predictor)->Save(path_).ok());
+  ExpectAllDamageDetected(ReadFileBytes(path_));
+}
+
+// --- Targeted invalid-content cases ---
+
+class InvalidSnapshotTest : public CorruptionTest {};
+
+TEST_F(InvalidSnapshotTest, UnknownKindIsRejected) {
+  {
+    Status st = WriteFileAtomic(path_, [](BinaryWriter& w) {
+      WriteSnapshotHeader(w, "alien", 1);
+      w.WriteU64(0);
+      return w.status();
+    });
+    ASSERT_TRUE(st.ok());
+  }
+  auto loaded = LoadPredictorSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("alien"), std::string::npos);
+}
+
+TEST_F(InvalidSnapshotTest, DegreeTableMismatchIsRejected) {
+  // A minhash payload claiming 3 degree entries over a 2-vertex store —
+  // the lockstep-invariant violation the loader must catch before it
+  // constructs anything.
+  {
+    Status st = WriteFileAtomic(path_, [](BinaryWriter& w) {
+      WriteSnapshotHeader(w, "minhash", 1);
+      w.WriteU32(4);                                  // num_hashes
+      w.WriteU64(9);                                  // seed
+      w.WriteU64(2);                                  // edges_processed
+      w.WriteVector(std::vector<uint32_t>{1, 2, 3});  // 3 degrees...
+      w.WriteU64(2);                                  // ...2 vertices
+      return w.status();
+    });
+    ASSERT_TRUE(st.ok());
+  }
+  auto loaded = LoadPredictorSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("degree table"),
+            std::string::npos);
+}
+
+TEST_F(InvalidSnapshotTest, SiblingKindsPointAtTheirOwnLoader) {
+  WeightedJaccardPredictor weighted(WeightedPredictorOptions{8, 9});
+  weighted.OnWeightedEdge(0, 1, 2.5);
+  ASSERT_TRUE(weighted.Save(path_).ok());
+  auto loaded = LoadPredictorSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("WeightedJaccardPredictor::Load"),
+            std::string::npos);
+}
+
+// --- Sibling kinds (not LinkPredictors): weighted and directed ---
+
+class SiblingPersistenceTest : public CorruptionTest {};
+
+TEST_F(SiblingPersistenceTest, WeightedRoundTripIsByteIdentical) {
+  WeightedJaccardPredictor original(WeightedPredictorOptions{16, 7});
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.02, 77});
+  for (size_t i = 0; i < g.edges.size(); ++i) {
+    original.OnWeightedEdge(g.edges[i].u, g.edges[i].v,
+                            1.0 + static_cast<double>(i % 7));
+  }
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  auto loaded = WeightedJaccardPredictor::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->edges_processed(), original.edges_processed());
+  EXPECT_EQ(loaded->num_vertices(), original.num_vertices());
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    auto ea = original.Estimate(u, v);
+    auto eb = loaded->Estimate(u, v);
+    EXPECT_DOUBLE_EQ(ea.generalized_jaccard, eb.generalized_jaccard);
+    EXPECT_DOUBLE_EQ(ea.min_sum, eb.min_sum);
+    EXPECT_DOUBLE_EQ(ea.strength_u, eb.strength_u);
+  }
+
+  ASSERT_TRUE(loaded->Save(mangled_).ok());
+  EXPECT_EQ(ReadFileBytes(path_), ReadFileBytes(mangled_));
+}
+
+TEST_F(SiblingPersistenceTest, DirectedRoundTripIsByteIdentical) {
+  DirectedMinHashPredictor original(DirectedPredictorOptions{16, 7});
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.02, 78});
+  for (const Edge& e : g.edges) original.OnEdge(e);
+  ASSERT_TRUE(original.Save(path_).ok());
+
+  auto loaded = DirectedMinHashPredictor::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->arcs_processed(), original.arcs_processed());
+  EXPECT_EQ(loaded->num_vertices(), original.num_vertices());
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
+    for (Direction du : {Direction::kOut, Direction::kIn}) {
+      for (Direction dv : {Direction::kOut, Direction::kIn}) {
+        auto ea = original.Estimate(u, du, v, dv);
+        auto eb = loaded->Estimate(u, du, v, dv);
+        EXPECT_DOUBLE_EQ(ea.jaccard, eb.jaccard);
+        EXPECT_DOUBLE_EQ(ea.intersection, eb.intersection);
+        EXPECT_DOUBLE_EQ(ea.adamic_adar, eb.adamic_adar);
+      }
+    }
+  }
+
+  ASSERT_TRUE(loaded->Save(mangled_).ok());
+  EXPECT_EQ(ReadFileBytes(path_), ReadFileBytes(mangled_));
+}
+
+TEST_F(SiblingPersistenceTest, WeightedTruncationAndFlipsAreDetected) {
+  WeightedJaccardPredictor predictor(WeightedPredictorOptions{4, 9});
+  predictor.OnWeightedEdge(0, 1, 1.5);
+  predictor.OnWeightedEdge(1, 2, 2.5);
+  ASSERT_TRUE(predictor.Save(path_).ok());
+  const std::string bytes = ReadFileBytes(path_);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteFileBytes(mangled_, bytes.substr(0, len));
+    EXPECT_FALSE(WeightedJaccardPredictor::Load(mangled_).ok());
+  }
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0xff);
+    WriteFileBytes(mangled_, flipped);
+    EXPECT_FALSE(WeightedJaccardPredictor::Load(mangled_).ok());
+  }
+}
+
+}  // namespace
+}  // namespace streamlink

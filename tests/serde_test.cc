@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -81,6 +83,112 @@ TEST_F(SerdeTest, ImplausibleVectorSizeIsRejected) {
   auto v = r.ReadVector<uint64_t>();
   EXPECT_TRUE(v.empty());
   EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SerdeTest, StringsRoundTrip) {
+  {
+    BinaryWriter w(path_);
+    w.WriteString("minhash");
+    w.WriteString("");
+    w.WriteString(std::string("\0binary\xff", 8));
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path_);
+  EXPECT_EQ(r.ReadString(), "minhash");
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_EQ(r.ReadString(), std::string("\0binary\xff", 8));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(SerdeTest, OverflowingVectorSizeIsRejected) {
+  // Regression: 0x2000000000000001 * sizeof(uint64_t) wraps to 8, so a
+  // product-form guard (size * sizeof(T) > cap) would accept it and
+  // resize() would abort. The division-form guard must reject it cleanly.
+  {
+    BinaryWriter w(path_);
+    w.WriteU64(0x2000000000000001ULL);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  BinaryReader r(path_);
+  auto v = r.ReadVector<uint64_t>();
+  EXPECT_TRUE(v.empty());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_NE(r.status().message().find("implausible"), std::string::npos);
+}
+
+TEST_F(SerdeTest, ChecksumFooterDetectsEveryByteFlip) {
+  {
+    BinaryWriter w(path_);
+    w.WriteU32(7);
+    w.WriteVector(std::vector<uint64_t>{1, 2, 3});
+    w.WriteChecksumFooter();
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  auto verify = [this]() {
+    BinaryReader r(path_);
+    r.ReadU32();
+    r.ReadVector<uint64_t>();
+    return r.VerifyChecksumFooter();
+  };
+  ASSERT_TRUE(verify().ok());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0xff);
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+    }
+    EXPECT_FALSE(verify().ok()) << "flip at offset " << i << " undetected";
+  }
+}
+
+TEST_F(SerdeTest, ChecksumFooterRejectsTrailingGarbage) {
+  {
+    BinaryWriter w(path_);
+    w.WriteU32(7);
+    w.WriteChecksumFooter();
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  BinaryReader r(path_);
+  r.ReadU32();
+  EXPECT_FALSE(r.VerifyChecksumFooter().ok());
+}
+
+TEST_F(SerdeTest, WriteFileAtomicCommitsAndCleansUp) {
+  ASSERT_TRUE(WriteFileAtomic(path_, [](BinaryWriter& w) {
+                w.WriteU32(42);
+                return w.status();
+              }).ok());
+  EXPECT_FALSE(std::ifstream(path_ + ".tmp").good()) << "temp file leaked";
+  BinaryReader r(path_);
+  EXPECT_EQ(r.ReadU32(), 42u);
+  ASSERT_TRUE(r.VerifyChecksumFooter().ok());  // footer appended for us
+}
+
+TEST_F(SerdeTest, WriteFileAtomicFailureLeavesOldFileIntact) {
+  ASSERT_TRUE(WriteFileAtomic(path_, [](BinaryWriter& w) {
+                w.WriteU32(1);
+                return w.status();
+              }).ok());
+  Status st = WriteFileAtomic(path_, [](BinaryWriter& w) {
+    w.WriteU32(2);
+    return Status::Internal("fill failed midway");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(std::ifstream(path_ + ".tmp").good()) << "temp file leaked";
+  BinaryReader r(path_);
+  EXPECT_EQ(r.ReadU32(), 1u) << "failed rewrite clobbered the old file";
+  EXPECT_TRUE(r.VerifyChecksumFooter().ok());
 }
 
 TEST(SerdeErrors, MissingFile) {
