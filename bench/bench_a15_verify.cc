@@ -1,0 +1,61 @@
+// A15: differential-oracle report — every predictor kind's empirical
+// error against its analytic tolerance on one seeded stream. Not a
+// paper figure; the auditing companion to the `verify` ctest lane
+// (docs/verification.md), sized so a failure here reproduces exactly
+// in CI. Flags: --scale --pairs --sketch-size --seed --threads --out.
+
+#include "bench_common.h"
+#include "verify/differential.h"
+
+namespace streamlink {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig config =
+      BenchConfig::FromFlags(argc, argv, /*default_scale=*/1.0,
+                             /*default_pairs=*/1000);
+  Banner("A15", "differential oracle: empirical error vs analytic bounds");
+
+  DifferentialOracleOptions options;
+  // The oracle's own defaults are CI-sized; the bench scales them up so
+  // the statistics are tighter (scale 1.0 ≈ 20x the CI stream).
+  options.scale = 0.05 * config.scale;
+  options.query_pairs = config.pairs;
+  options.sketch_size = config.predictor.sketch_size;
+  options.seed = config.seed;
+  options.threads = config.predictor.threads;
+
+  auto report = RunDifferentialOracle(options);
+  SL_CHECK(report.ok()) << report.status().ToString();
+  std::printf("stream: %llu edges, %u vertices\n",
+              static_cast<unsigned long long>(report->stream_edges),
+              report->num_vertices);
+
+  ResultTable table({"kind", "slots", "epsilon", "queries", "jac_viol",
+                     "cn_viol", "allowed", "max_err", "mean_err", "pass"});
+  for (const DifferentialKindReport& kr : report->kinds) {
+    table.AddRow({kr.kind, std::to_string(kr.jaccard_slots),
+                  ResultTable::Cell(kr.epsilon), std::to_string(kr.queries),
+                  std::to_string(kr.jaccard_violations),
+                  std::to_string(kr.common_neighbor_violations),
+                  std::to_string(kr.allowed_violations),
+                  ResultTable::Cell(kr.max_jaccard_error),
+                  ResultTable::Cell(kr.mean_jaccard_error),
+                  kr.passed ? "yes" : "NO"});
+  }
+  table.Emit(config);
+  if (!report->all_passed) {
+    std::printf("%s\n", FormatReport(*report).c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamlink
+
+int main(int argc, char** argv) {
+  return streamlink::bench::Main(argc, argv);
+}

@@ -1,0 +1,12 @@
+// libFuzzer driver for the edge-list text parser. Build with
+// -DSTREAMLINK_FUZZ=ON (clang), then:
+//   ./build/fuzz/fuzz_edge_parser fuzz/corpus/edge_parser
+
+#include <cstddef>
+#include <cstdint>
+
+#include "verify/fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return streamlink::FuzzEdgeListParser(data, size);
+}

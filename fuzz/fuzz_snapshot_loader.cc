@@ -1,0 +1,12 @@
+// libFuzzer driver for the predictor-snapshot loader. Build with
+// -DSTREAMLINK_FUZZ=ON (clang), then:
+//   ./build/fuzz/fuzz_snapshot_loader fuzz/corpus/snapshot_loader
+
+#include <cstddef>
+#include <cstdint>
+
+#include "verify/fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return streamlink::FuzzSnapshotLoader(data, size);
+}

@@ -30,6 +30,22 @@ double BottomKCardinalityRelativeStdError(uint32_t k) {
   return 1.0 / std::sqrt(static_cast<double>(k) - 2.0);
 }
 
+uint64_t AllowedToleranceViolations(uint64_t queries, double per_query_delta,
+                                    double overall_delta) {
+  SL_CHECK(per_query_delta > 0.0 && per_query_delta < 1.0)
+      << "per_query_delta must be in (0,1)";
+  SL_CHECK(overall_delta > 0.0 && overall_delta < 1.0)
+      << "overall_delta must be in (0,1)";
+  const double q = static_cast<double>(queries);
+  const double mean = q * per_query_delta;
+  const double t = std::log(1.0 / overall_delta);
+  const double variance = q * per_query_delta * (1.0 - per_query_delta);
+  double ceiling =
+      std::ceil(mean + std::sqrt(2.0 * variance * t) + (2.0 / 3.0) * t);
+  if (ceiling > q) return queries;
+  return static_cast<uint64_t>(ceiling);
+}
+
 double CommonNeighborErrorBound(double epsilon, double jaccard,
                                 double degree_sum) {
   SL_CHECK(epsilon >= 0.0) << "epsilon must be non-negative";

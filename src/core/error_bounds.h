@@ -26,6 +26,20 @@ double MinHashJaccardErrorAt(uint32_t k, double delta);
 /// ≈ 1/sqrt(k − 2).
 double BottomKCardinalityRelativeStdError(uint32_t k);
 
+/// Bernstein/Chernoff upper tail for differential testing: each of
+/// `queries` independent checks violates its per-query tolerance with
+/// probability at most `per_query_delta`, so the violation count V is
+/// stochastically dominated by Binomial(queries, per_query_delta). Returns
+/// the smallest ceiling t with P(V > t) <= overall_delta under Bernstein's
+/// inequality:
+///   t = ⌈Q·δ + sqrt(2·Q·δ·(1−δ)·ln(1/Δ)) + (2/3)·ln(1/Δ)⌉, capped at Q.
+/// A run whose violation count exceeds this is statistically inconsistent
+/// with the per-query guarantee at confidence 1−Δ — the assertion the
+/// verify subsystem's differential oracle makes instead of pointwise
+/// equality (src/verify/differential.h).
+uint64_t AllowedToleranceViolations(uint64_t queries, double per_query_delta,
+                                    double overall_delta);
+
 /// First-order error propagation for the common-neighbor estimator
 /// ĈN = Ĵ/(1+Ĵ)·(d_u+d_v) with exact degrees: an additive Jaccard error
 /// of ε yields |ĈN − CN| ≤ ε·(d_u+d_v)/(1+J)² (derivative of x/(1+x) is

@@ -11,8 +11,21 @@ namespace streamlink {
 /// from a 64-bit seed; every source of randomness in the library flows
 /// through an explicitly seeded Rng so experiments reproduce bit-for-bit.
 ///
+/// Seeding contract: a 64-bit seed fully determines the output stream —
+/// the same seed yields the identical sequence on every platform,
+/// compiler, and build mode, for Next() and for every derived draw
+/// (NextBounded consumes via Lemire rejection, doubles via the 53-bit
+/// conversion, Fork() via one Next()). Nothing here depends on
+/// std::hash, <random> distributions, or any other
+/// implementation-defined source, so recorded experiment seeds replay
+/// bit-for-bit anywhere. Golden values in tests/random_test.cc pin this
+/// contract; changing the seeding expansion or the generator breaks
+/// every recorded seed and must be treated as a format break.
+///
 /// Satisfies the UniformRandomBitGenerator concept, so it also plugs into
-/// <random> distributions when needed.
+/// <random> distributions when needed — but doing so leaves the contract:
+/// std:: distribution output is implementation-defined and may differ
+/// across standard libraries.
 class Rng {
  public:
   using result_type = uint64_t;

@@ -1,0 +1,169 @@
+#include "verify/differential.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/error_bounds.h"
+#include "core/exact_predictor.h"
+#include "eval/experiment.h"
+#include "gen/pair_sampler.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "util/hashing.h"
+
+namespace streamlink {
+
+namespace {
+
+/// Slots backing the Jaccard estimate of one kind at a given sketch size.
+/// vertex_biased splits its budget: only the MinHash half estimates
+/// Jaccard (the weighted half serves Adamic-Adar variance reduction).
+uint32_t JaccardSlots(const std::string& kind, uint32_t sketch_size) {
+  if (kind == "vertex_biased") return sketch_size / 2;
+  return sketch_size;
+}
+
+bool IsFiniteNonNegative(double v) { return std::isfinite(v) && v >= 0.0; }
+
+/// Structural sanity of one estimate — holds for every estimator on every
+/// input, independent of randomness.
+bool EstimateIsWellFormed(const OverlapEstimate& e) {
+  return IsFiniteNonNegative(e.degree_u) && IsFiniteNonNegative(e.degree_v) &&
+         IsFiniteNonNegative(e.intersection) &&
+         IsFiniteNonNegative(e.union_size) &&
+         IsFiniteNonNegative(e.adamic_adar) &&
+         IsFiniteNonNegative(e.resource_allocation) &&
+         std::isfinite(e.jaccard) && e.jaccard >= 0.0 && e.jaccard <= 1.0;
+}
+
+}  // namespace
+
+Result<DifferentialReport> RunDifferentialOracle(
+    const DifferentialOracleOptions& options) {
+  if (options.sketch_size < 4) {
+    return Status::InvalidArgument("oracle needs sketch_size >= 4");
+  }
+  if (options.query_pairs == 0) {
+    return Status::InvalidArgument("oracle needs query_pairs >= 1");
+  }
+
+  // One shared graph, stream order, and query set for every kind: the
+  // whole point is that all predictors answer the *same* queries on the
+  // *same* stream as the exact oracle.
+  GeneratedGraph graph =
+      MakeWorkload(WorkloadSpec{options.workload, options.scale, options.seed});
+  Rng order_rng(Mix64(options.seed ^ 0x0cac1e));
+  ApplyStreamOrder(options.order, graph.edges, order_rng);
+
+  ExactPredictor exact;
+  FeedStream(exact, graph.edges);
+
+  CsrGraph csr = CsrGraph::FromEdges(graph.edges, graph.num_vertices);
+  Rng pair_rng(Mix64(options.seed ^ 0x9a125));
+  std::vector<QueryPair> pairs = SampleMixedPairs(
+      csr, options.query_pairs, options.overlap_fraction, pair_rng);
+
+  std::vector<std::string> kinds =
+      options.kinds.empty() ? PredictorKinds() : options.kinds;
+
+  DifferentialReport report;
+  report.stream_edges = graph.edges.size();
+  report.num_vertices = graph.num_vertices;
+  report.all_passed = true;
+
+  for (const std::string& kind : kinds) {
+    PredictorConfig config;
+    config.kind = kind;
+    config.sketch_size = options.sketch_size;
+    config.seed = options.seed;
+    if (options.threads > 1 && KindSupportsSharding(kind)) {
+      config.threads = options.threads;
+    }
+    // The tolerance compares against the *whole-stream* exact measures, so
+    // the windowed kind must keep every edge live: window >= stream.
+    config.window_edges = graph.edges.size() + 1;
+
+    auto predictor = MakePredictor(config);
+    if (!predictor.ok()) return predictor.status();
+    FeedStream(**predictor, graph.edges);
+
+    DifferentialKindReport kr;
+    kr.kind = kind;
+    kr.queries = pairs.size();
+    const bool is_exact = kind == "exact";
+    kr.jaccard_slots = is_exact ? 0 : JaccardSlots(kind, options.sketch_size);
+    kr.epsilon = is_exact ? 0.0
+                          : options.epsilon_slack *
+                                MinHashJaccardErrorAt(kr.jaccard_slots,
+                                                      options.per_query_delta);
+    kr.allowed_violations =
+        is_exact ? 0
+                 : AllowedToleranceViolations(pairs.size(),
+                                             options.per_query_delta,
+                                             options.overall_delta);
+
+    double error_sum = 0.0;
+    for (const QueryPair& p : pairs) {
+      OverlapEstimate truth = exact.EstimateOverlap(p.u, p.v);
+      OverlapEstimate est = (*predictor)->EstimateOverlap(p.u, p.v);
+      if (!EstimateIsWellFormed(est)) {
+        ++kr.malformed_estimates;
+        continue;
+      }
+      double jaccard_error = std::abs(est.jaccard - truth.jaccard);
+      error_sum += jaccard_error;
+      kr.max_jaccard_error = std::max(kr.max_jaccard_error, jaccard_error);
+      if (jaccard_error > kr.epsilon) ++kr.jaccard_violations;
+      // Propagated common-neighbor bound, evaluated at the conservative
+      // end of the Jaccard interval (the derivative of x/(1+x) peaks at
+      // the interval's low end).
+      double cn_bound = CommonNeighborErrorBound(
+          kr.epsilon, std::max(0.0, truth.jaccard - kr.epsilon),
+          truth.degree_u + truth.degree_v);
+      if (std::abs(est.intersection - truth.intersection) > cn_bound) {
+        ++kr.common_neighbor_violations;
+      }
+    }
+    kr.mean_jaccard_error =
+        pairs.empty() ? 0.0 : error_sum / static_cast<double>(pairs.size());
+
+    kr.passed = kr.malformed_estimates == 0 &&
+                kr.jaccard_violations <= kr.allowed_violations &&
+                kr.common_neighbor_violations <= kr.allowed_violations;
+    if (!kr.passed) {
+      std::ostringstream detail;
+      detail << kind << ": ";
+      if (kr.malformed_estimates > 0) {
+        detail << kr.malformed_estimates << " malformed estimates; ";
+      }
+      detail << kr.jaccard_violations << " jaccard + "
+             << kr.common_neighbor_violations
+             << " common-neighbor violations of eps=" << kr.epsilon
+             << " exceed the allowance of " << kr.allowed_violations << " over "
+             << kr.queries << " queries";
+      kr.detail = detail.str();
+      report.all_passed = false;
+    }
+    report.kinds.push_back(std::move(kr));
+  }
+  return report;
+}
+
+std::string FormatReport(const DifferentialReport& report) {
+  std::ostringstream out;
+  out << "differential oracle: " << report.stream_edges << " edges, "
+      << report.num_vertices << " vertices\n";
+  for (const DifferentialKindReport& kr : report.kinds) {
+    out << "  " << (kr.passed ? "PASS" : "FAIL") << " " << kr.kind << " eps="
+        << kr.epsilon << " violations=" << kr.jaccard_violations << "/"
+        << kr.common_neighbor_violations << " (allowed "
+        << kr.allowed_violations << " of " << kr.queries
+        << ") max|dJ|=" << kr.max_jaccard_error
+        << " mean|dJ|=" << kr.mean_jaccard_error;
+    if (!kr.detail.empty()) out << " — " << kr.detail;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace streamlink

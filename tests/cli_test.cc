@@ -1,6 +1,7 @@
 #include "cli/commands.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -16,8 +17,11 @@ class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
     dir_ = ::testing::TempDir();
-    edges_path_ = dir_ + "/cli_test_edges.txt";
-    snapshot_path_ = dir_ + "/cli_test_snapshot.bin";
+    // Pid-qualified: each gtest case runs as its own ctest process, and
+    // parallel workers share one temp dir.
+    std::string prefix = dir_ + "/cli_test_" + std::to_string(::getpid());
+    edges_path_ = prefix + "_edges.txt";
+    snapshot_path_ = prefix + "_snapshot.bin";
   }
   void TearDown() override {
     std::remove(edges_path_.c_str());

@@ -1,6 +1,7 @@
 #include "util/csv_writer.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -20,7 +21,10 @@ std::string ReadFile(const std::string& path) {
 class CsvWriterTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/csv_writer_test.csv";
+    // Pid-qualified: each gtest case runs as its own ctest process, and
+    // parallel workers share one temp dir.
+    path_ = ::testing::TempDir() + "/csv_writer_test_" +
+            std::to_string(::getpid()) + ".csv";
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;

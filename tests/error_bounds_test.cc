@@ -62,6 +62,47 @@ TEST(ErrorBoundsDeathTest, PreconditionsEnforced) {
   EXPECT_DEATH(CommonNeighborErrorBound(0.1, 2.0, 10), "jaccard");
 }
 
+TEST(ErrorBounds, AllowedViolationsCoversTheMeanPlusSlack) {
+  // The ceiling must sit above the binomial mean Q·δ but far below Q.
+  const uint64_t q = 1000;
+  const double delta = 0.05;
+  uint64_t allowed = AllowedToleranceViolations(q, delta, 1e-9);
+  EXPECT_GT(allowed, static_cast<uint64_t>(q * delta));
+  EXPECT_LT(allowed, q / 4);
+}
+
+TEST(ErrorBounds, AllowedViolationsMonotoneInConfidence) {
+  // Demanding higher overall confidence (smaller Δ) can only raise the
+  // ceiling; a laxer per-query δ can only raise it too.
+  const uint64_t q = 500;
+  EXPECT_GE(AllowedToleranceViolations(q, 0.05, 1e-12),
+            AllowedToleranceViolations(q, 0.05, 1e-3));
+  EXPECT_GE(AllowedToleranceViolations(q, 0.10, 1e-6),
+            AllowedToleranceViolations(q, 0.01, 1e-6));
+}
+
+TEST(ErrorBounds, AllowedViolationsNeverExceedsQueryCount) {
+  // Zero queries allow zero violations; when the Bernstein slack alone
+  // exceeds tiny Q, the ceiling caps at Q (every query may violate).
+  EXPECT_EQ(AllowedToleranceViolations(0, 0.05, 1e-9), 0u);
+  EXPECT_EQ(AllowedToleranceViolations(3, 0.5, 1e-12), 3u);
+  EXPECT_EQ(AllowedToleranceViolations(1, 0.99, 0.5), 1u);
+}
+
+TEST(ErrorBoundsDeathTest, AllowedViolationsRejectsDegenerateDeltas) {
+  EXPECT_DEATH(AllowedToleranceViolations(100, 0.0, 1e-9),
+               "per_query_delta");
+  EXPECT_DEATH(AllowedToleranceViolations(100, 1.0, 1e-9),
+               "per_query_delta");
+  EXPECT_DEATH(AllowedToleranceViolations(100, 0.05, 0.0), "overall_delta");
+}
+
+TEST(ErrorBounds, AllowedViolationsMatchesBernsteinFormula) {
+  // Q=256, δ=0.05, Δ=1e-9: t = ln(1e9) ≈ 20.723;
+  // 12.8 + sqrt(2·256·0.05·0.95·20.723) + (2/3)·20.723 ≈ 49.07 → 50.
+  EXPECT_EQ(AllowedToleranceViolations(256, 0.05, 1e-9), 50u);
+}
+
 TEST(ErrorBounds, CommonNeighborBoundScalesWithDegrees) {
   double small = CommonNeighborErrorBound(0.05, 0.2, 20);
   double large = CommonNeighborErrorBound(0.05, 0.2, 2000);

@@ -1,0 +1,109 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_predictor.h"
+#include "gen/workloads.h"
+#include "graph/csr_graph.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace {
+
+TEST(FeedStreamTest, DeliversEveryEdgeInOrder) {
+  ExactPredictor exact;
+  EdgeList edges = {{0, 1}, {1, 2}, {0, 2}, {2, 2}, {0, 1}};
+  FeedStream(exact, edges);
+  // Duplicates count as processed; self-loops are dropped before the
+  // counter (LinkPredictor::OnEdge), so 4 of the 5 arrivals register.
+  EXPECT_EQ(exact.edges_processed(), 4u);
+  // Triangle 0-1-2: N(0)={1,2}, N(1)={0,2} => |∩|=1, |∪|=3.
+  OverlapEstimate est = exact.EstimateOverlap(0, 1);
+  EXPECT_DOUBLE_EQ(est.jaccard, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(est.intersection, 1.0);
+}
+
+TEST(MeasureAccuracyAgainstTest, ExactVsExactIsZeroError) {
+  ExactPredictor a;
+  ExactPredictor b;
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.02, 5});
+  FeedStream(a, g.edges);
+  FeedStream(b, g.edges);
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(42);
+  std::vector<QueryPair> pairs = SampleOverlappingPairs(csr, 64, rng);
+  AccuracyReport report = MeasureAccuracyAgainst(a, b, pairs);
+  EXPECT_EQ(report.query_pairs, pairs.size());
+  EXPECT_EQ(report.jaccard.count(), pairs.size());
+  EXPECT_EQ(report.jaccard.MaxRelativeError(), 0.0);
+  EXPECT_EQ(report.common_neighbors.MeanAbsoluteError(), 0.0);
+  EXPECT_EQ(report.adamic_adar.MeanAbsoluteError(), 0.0);
+  EXPECT_EQ(report.jaccard.MeanSignedError(), 0.0);
+}
+
+TEST(MeasureAccuracyTest, PopulatesReportAndStaysAccurate) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.03, 9});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(7);
+  std::vector<QueryPair> pairs = SampleOverlappingPairs(csr, 128, rng);
+
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.sketch_size = 128;
+  config.seed = 3;
+  AccuracyReport report = MeasureAccuracy(g, config, pairs);
+
+  EXPECT_FALSE(report.predictor.empty());
+  EXPECT_EQ(report.sketch_size, config.sketch_size);
+  EXPECT_EQ(report.query_pairs, pairs.size());
+  EXPECT_EQ(report.jaccard.count(), pairs.size());
+  // Overlapping pairs have nonzero truth, so relative error is defined
+  // for every query; at k=128 it must stay clearly sub-trivial.
+  EXPECT_EQ(report.jaccard.nonzero_count(), pairs.size());
+  EXPECT_LT(report.jaccard.MeanRelativeError(), 0.5);
+  EXPECT_LT(report.common_neighbors.MeanRelativeError(), 1.0);
+  EXPECT_TRUE(std::isfinite(report.adamic_adar.MeanAbsoluteError()));
+}
+
+TEST(MeasureAccuracyTest, LargerSketchesReduceJaccardError) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.03, 9});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(7);
+  std::vector<QueryPair> pairs = SampleOverlappingPairs(csr, 192, rng);
+
+  PredictorConfig small;
+  small.kind = "minhash";
+  small.sketch_size = 16;
+  small.seed = 3;
+  PredictorConfig large = small;
+  large.sketch_size = 256;
+  AccuracyReport small_report = MeasureAccuracy(g, small, pairs);
+  AccuracyReport large_report = MeasureAccuracy(g, large, pairs);
+  EXPECT_LT(large_report.jaccard.MeanRelativeError(),
+            small_report.jaccard.MeanRelativeError());
+}
+
+TEST(MeasureAccuracyTest, IsDeterministic) {
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"er", 0.02, 11});
+  CsrGraph csr = CsrGraph::FromEdges(g.edges, g.num_vertices);
+  Rng rng(19);
+  std::vector<QueryPair> pairs = SampleMixedPairs(csr, 64, 0.7, rng);
+
+  PredictorConfig config;
+  config.kind = "bottomk";
+  config.sketch_size = 32;
+  config.seed = 5;
+  AccuracyReport first = MeasureAccuracy(g, config, pairs);
+  AccuracyReport second = MeasureAccuracy(g, config, pairs);
+  EXPECT_EQ(first.jaccard.MeanRelativeError(),
+            second.jaccard.MeanRelativeError());
+  EXPECT_EQ(first.common_neighbors.MeanAbsoluteError(),
+            second.common_neighbors.MeanAbsoluteError());
+  EXPECT_EQ(first.adamic_adar.MeanSignedError(),
+            second.adamic_adar.MeanSignedError());
+}
+
+}  // namespace
+}  // namespace streamlink

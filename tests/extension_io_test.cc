@@ -3,9 +3,11 @@
 // generator.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "core/bottomk_predictor.h"
 #include "eval/experiment.h"
@@ -82,7 +84,10 @@ TEST(WeightedEdgeListIo, WriteThenReadRoundTrips) {
 class BottomKSnapshotTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/bottomk_snapshot_test.bin";
+    // Pid-qualified: each gtest case runs as its own ctest process, and
+    // parallel workers share one temp dir.
+    path_ = ::testing::TempDir() + "/bottomk_snapshot_test_" +
+            std::to_string(::getpid()) + ".bin";
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;

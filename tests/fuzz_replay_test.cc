@@ -1,0 +1,157 @@
+// Corpus-replay fuzzing: drives the libFuzzer targets in
+// src/verify/fuzz_targets.h over (a) the checked-in corpus under
+// fuzz/corpus/ and (b) thousands of seeded deterministic mutations of
+// freshly-built valid inputs — so parser/loader regressions are caught by
+// plain ctest, no fuzzing toolchain required. The same targets run under
+// real libFuzzer via -DSTREAMLINK_FUZZ=ON (see fuzz/README.md).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/predictor_factory.h"
+#include "eval/experiment.h"
+#include "gen/workloads.h"
+#include "util/logging.h"
+#include "verify/fuzz_targets.h"
+#include "verify/invariants.h"
+
+#ifndef STREAMLINK_FUZZ_CORPUS_DIR
+#define STREAMLINK_FUZZ_CORPUS_DIR ""
+#endif
+
+namespace streamlink {
+namespace {
+
+const FuzzTarget& TargetNamed(const std::string& name) {
+  static const std::vector<FuzzTarget> targets = AllFuzzTargets();
+  for (const FuzzTarget& t : targets) {
+    if (t.name == name) return t;
+  }
+  SL_LOG(kFatal) << "no fuzz target named " << name;
+  __builtin_unreachable();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// A valid snapshot of every verification kind plus a sharded container —
+/// the seed inputs the mutation engine works from.
+std::vector<std::string> ValidSnapshotSeeds() {
+  std::vector<PredictorConfig> configs = VerificationKindConfigs();
+  PredictorConfig sharded;
+  sharded.kind = "minhash";
+  sharded.sketch_size = 8;
+  sharded.seed = 7;
+  sharded.threads = 2;
+  configs.push_back(sharded);
+
+  GeneratedGraph g = MakeWorkload(WorkloadSpec{"ba", 0.01, 151});
+  std::vector<std::string> seeds;
+  for (const PredictorConfig& config : configs) {
+    auto predictor = MakePredictor(config);
+    SL_CHECK(predictor.ok()) << predictor.status().ToString();
+    FeedStream(**predictor, g.edges);
+    // Pid-qualified so parallel ctest workers don't clobber each other.
+    std::string path = ::testing::TempDir() + "/fuzz_seed_" +
+                       std::to_string(::getpid()) + ".snap";
+    SL_CHECK_OK((*predictor)->Save(path));
+    seeds.push_back(ReadFileBytes(path));
+    std::remove(path.c_str());
+  }
+  return seeds;
+}
+
+std::vector<std::string> EdgeListSeeds() {
+  return {
+      "0 1\n1 2\n2 3\n",
+      "# comment\n% other comment\n10 20\n20 30\n",
+      "0 1 2.5\n1 2 0.25\n",
+      "4294967295 0\n",
+      "a b\n0 1\n",
+      "-3 7\n",
+      "0 1 -2.0\n",
+      "",
+  };
+}
+
+TEST(FuzzReplay, CheckedInCorpusReplaysClean) {
+  const std::string corpus_root = STREAMLINK_FUZZ_CORPUS_DIR;
+  ASSERT_FALSE(corpus_root.empty())
+      << "STREAMLINK_FUZZ_CORPUS_DIR not configured";
+  for (const FuzzTarget& target : AllFuzzTargets()) {
+    auto replayed = ReplayCorpusDir(corpus_root + "/" + target.name, target);
+    ASSERT_TRUE(replayed.ok())
+        << target.name << ": " << replayed.status().ToString();
+    // An empty corpus means the harness silently tests nothing.
+    EXPECT_GT(*replayed, 0u) << target.name;
+  }
+}
+
+TEST(FuzzReplay, SnapshotLoaderSurvivesSeededMutations) {
+  const FuzzTarget& target = TargetNamed("snapshot_loader");
+  uint64_t seed = 0xf022;
+  for (const std::string& snapshot : ValidSnapshotSeeds()) {
+    // The pristine input must also replay (and re-save) cleanly.
+    target.run(reinterpret_cast<const uint8_t*>(snapshot.data()),
+               snapshot.size());
+    MutateAndReplay(snapshot, /*iterations=*/150, seed++, target);
+  }
+}
+
+TEST(FuzzReplay, EdgeParserSurvivesSeededMutations) {
+  const FuzzTarget& target = TargetNamed("edge_parser");
+  uint64_t seed = 0xed6e;
+  for (const std::string& text : EdgeListSeeds()) {
+    target.run(reinterpret_cast<const uint8_t*>(text.data()), text.size());
+    MutateAndReplay(text, /*iterations=*/250, seed++, target);
+  }
+}
+
+TEST(FuzzReplay, TargetsRegisterStableCorpusNames) {
+  // Corpus directories are keyed by target name; renames orphan corpora.
+  std::vector<std::string> names;
+  for (const FuzzTarget& t : AllFuzzTargets()) names.push_back(t.name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"snapshot_loader", "edge_parser"}));
+}
+
+// Regenerates the checked-in seed corpus (run manually, then commit):
+//   STREAMLINK_WRITE_CORPUS=1 ./build/tests/fuzz_replay_test
+//     --gtest_filter='*WriteSeedCorpus*'
+TEST(FuzzReplay, WriteSeedCorpus) {
+  if (std::getenv("STREAMLINK_WRITE_CORPUS") == nullptr) {
+    GTEST_SKIP() << "set STREAMLINK_WRITE_CORPUS=1 to regenerate the corpus";
+  }
+  const std::string corpus_root = STREAMLINK_FUZZ_CORPUS_DIR;
+  ASSERT_FALSE(corpus_root.empty());
+  auto write = [](const std::string& dir, const std::string& name,
+                  const std::string& bytes) {
+    std::filesystem::create_directories(dir);
+    std::ofstream out(dir + "/" + name, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  std::vector<std::string> snapshots = ValidSnapshotSeeds();
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    write(corpus_root + "/snapshot_loader", "seed_" + std::to_string(i),
+          snapshots[i]);
+  }
+  std::vector<std::string> texts = EdgeListSeeds();
+  for (size_t i = 0; i < texts.size(); ++i) {
+    write(corpus_root + "/edge_parser", "seed_" + std::to_string(i),
+          texts[i]);
+  }
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -5,6 +5,7 @@
 // and never a silent success.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -93,8 +94,12 @@ std::vector<KindCase> AllKindCases() {
 class PersistenceKindTest : public ::testing::TestWithParam<KindCase> {
  protected:
   void SetUp() override {
-    path_a_ = ::testing::TempDir() + "/persist_a.snap";
-    path_b_ = ::testing::TempDir() + "/persist_b.snap";
+    // Pid-qualified: each gtest case runs as its own ctest process, and
+    // parallel workers share one temp dir.
+    std::string prefix =
+        ::testing::TempDir() + "/persist_" + std::to_string(::getpid());
+    path_a_ = prefix + "_a.snap";
+    path_b_ = prefix + "_b.snap";
   }
   void TearDown() override {
     std::remove(path_a_.c_str());
@@ -169,8 +174,10 @@ INSTANTIATE_TEST_SUITE_P(
 class CorruptionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/corrupt_src.snap";
-    mangled_ = ::testing::TempDir() + "/corrupt_mangled.snap";
+    std::string prefix =
+        ::testing::TempDir() + "/corrupt_" + std::to_string(::getpid());
+    path_ = prefix + "_src.snap";
+    mangled_ = prefix + "_mangled.snap";
   }
   void TearDown() override {
     std::remove(path_.c_str());

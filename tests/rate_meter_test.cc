@@ -1,0 +1,82 @@
+#include "stream/rate_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace streamlink {
+namespace {
+
+TEST(RateMeterTest, EmptyMeterReportsZero) {
+  RateMeter meter;
+  EXPECT_EQ(meter.total_events(), 0u);
+  EXPECT_EQ(meter.LifetimeRate(), 0.0);
+  EXPECT_EQ(meter.WindowRate(), 0.0);
+}
+
+TEST(RateMeterTest, SingleSampleHasNoRate) {
+  RateMeter meter;
+  meter.Record(1.0, 100);
+  EXPECT_EQ(meter.total_events(), 100u);
+  // A rate needs a time span; one instant has none.
+  EXPECT_EQ(meter.LifetimeRate(), 0.0);
+  EXPECT_EQ(meter.WindowRate(), 0.0);
+}
+
+TEST(RateMeterTest, LifetimeRateSpansFirstToLastSample) {
+  RateMeter meter;
+  meter.Record(0.0, 10);
+  meter.Record(1.0, 10);
+  meter.Record(2.0, 10);
+  EXPECT_EQ(meter.total_events(), 30u);
+  EXPECT_DOUBLE_EQ(meter.LifetimeRate(), 15.0);  // 30 events over 2s
+}
+
+TEST(RateMeterTest, WindowRateForgetsOldSamples) {
+  RateMeter meter(/*window_seconds=*/1.0);
+  // A slow start...
+  meter.Record(0.0, 1);
+  meter.Record(10.0, 100);
+  meter.Record(10.5, 100);
+  // ...must not drag down the recent rate: only samples within the last
+  // second of t=10.5 remain, 200 events over 0.5s.
+  EXPECT_DOUBLE_EQ(meter.WindowRate(), 400.0);
+  // The lifetime average still sees everything.
+  EXPECT_DOUBLE_EQ(meter.LifetimeRate(), 201.0 / 10.5);
+}
+
+TEST(RateMeterTest, WindowKeepsSamplesExactlyAtTheBoundary) {
+  RateMeter meter(/*window_seconds=*/2.0);
+  meter.Record(1.0, 10);
+  meter.Record(3.0, 30);  // front sample at now - window stays included
+  EXPECT_DOUBLE_EQ(meter.WindowRate(), 20.0);  // 40 events over 2s
+}
+
+TEST(RateMeterTest, SteadyStreamConvergesToTrueRate) {
+  RateMeter meter(/*window_seconds=*/1.0);
+  // 1000 events/sec in 10ms ticks.
+  for (int i = 0; i <= 500; ++i) {
+    meter.Record(i * 0.01, 10);
+  }
+  EXPECT_NEAR(meter.WindowRate(), 1000.0, 15.0);
+  EXPECT_NEAR(meter.LifetimeRate(), 1000.0, 15.0);
+}
+
+TEST(RateMeterTest, BurstsShowInWindowButAverageOut) {
+  RateMeter meter(/*window_seconds=*/1.0);
+  for (int i = 0; i < 10; ++i) meter.Record(i * 1.0, 10);
+  // A burst in the final second dominates the window rate.
+  meter.Record(9.25, 500);
+  meter.Record(9.5, 500);
+  EXPECT_GT(meter.WindowRate(), 500.0);
+  EXPECT_LT(meter.LifetimeRate(), 200.0);
+}
+
+TEST(RateMeterTest, DefaultCountIsOneEvent) {
+  RateMeter meter;
+  meter.Record(0.0);
+  meter.Record(2.0);
+  EXPECT_EQ(meter.total_events(), 2u);
+  EXPECT_DOUBLE_EQ(meter.LifetimeRate(), 1.0);
+}
+
+}  // namespace
+}  // namespace streamlink

@@ -1,6 +1,7 @@
 #include "util/serde.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -19,7 +20,10 @@ namespace {
 class SerdeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/serde_test.bin";
+    // Pid-qualified: each gtest case runs as its own ctest process, and
+    // parallel workers share one temp dir.
+    path_ = ::testing::TempDir() + "/serde_test_" +
+            std::to_string(::getpid()) + ".bin";
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;
