@@ -10,6 +10,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/link_predictor.h"
@@ -18,6 +19,7 @@
 #include "gen/pair_sampler.h"
 #include "gen/workloads.h"
 #include "graph/csr_graph.h"
+#include "obs/proc_stats.h"
 #include "util/csv_writer.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -26,6 +28,100 @@
 
 namespace streamlink {
 namespace bench {
+
+/// Machine-readable run report, written as `BENCH_<name>.json` in the
+/// working directory (tools/bench_diff.py compares two of them). Every
+/// binary gets one automatically: BenchConfig::FromFlags names it after
+/// the executable and ResultTable::Emit folds in each emitted table plus
+/// wall_seconds and peak_rss_kb; binaries add headline scalars (edges/sec,
+/// p50/p99, overhead) with AddMetric. Rewritten on every Write so a crash
+/// mid-run still leaves the last complete report.
+class BenchReport {
+ public:
+  static BenchReport& Get() {
+    static BenchReport* report = new BenchReport();
+    return *report;
+  }
+
+  void SetName(const std::string& name) { name_ = name; }
+  const std::string& name() const { return name_; }
+
+  /// Adds (or overwrites) a headline scalar, e.g. "ingest_eps" or
+  /// "query_p99_us". Keys ending in _eps/_qps/_per_sec/throughput are what
+  /// tools/bench_diff.py treats as higher-is-better.
+  void AddMetric(const std::string& key, double value) {
+    for (auto& [k, v] : metrics_) {
+      if (k == key) {
+        v = value;
+        return;
+      }
+    }
+    metrics_.emplace_back(key, value);
+  }
+
+  void AddTable(const std::vector<std::string>& columns,
+                const std::vector<std::vector<std::string>>& rows) {
+    tables_.push_back({columns, rows});
+  }
+
+  /// Writes BENCH_<name>.json; SL_CHECKs on I/O failure (bench binaries
+  /// treat unwritable output as a bug, like ResultTable's CSV path).
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    SL_CHECK(file != nullptr) << "cannot open " << path;
+    std::fprintf(file, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    std::fprintf(file, "  \"wall_seconds\": %.6f,\n",
+                 clock_.ElapsedSeconds());
+    std::fprintf(file, "  \"peak_rss_kb\": %llu,\n",
+                 static_cast<unsigned long long>(obs::PeakRssKb()));
+    std::fprintf(file, "  \"metrics\": {");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(file, "%s\n    \"%s\": %.17g", i > 0 ? "," : "",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    }
+    std::fprintf(file, "\n  },\n  \"tables\": [");
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      std::fprintf(file, "%s\n    {\"columns\": [", t > 0 ? "," : "");
+      WriteStrings(file, tables_[t].columns);
+      std::fprintf(file, "], \"rows\": [");
+      for (size_t r = 0; r < tables_[t].rows.size(); ++r) {
+        std::fprintf(file, "%s[", r > 0 ? ", " : "");
+        WriteStrings(file, tables_[t].rows[r]);
+        std::fprintf(file, "]");
+      }
+      std::fprintf(file, "]}");
+    }
+    std::fprintf(file, "\n  ]\n}\n");
+    SL_CHECK(std::fclose(file) == 0) << "failed writing " << path;
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Table {
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  BenchReport() = default;
+
+  static void WriteStrings(std::FILE* file,
+                           const std::vector<std::string>& values) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      std::fprintf(file, "%s\"", i > 0 ? ", " : "");
+      for (char c : values[i]) {
+        if (c == '"' || c == '\\') std::fputc('\\', file);
+        std::fputc(c, file);
+      }
+      std::fputc('"', file);
+    }
+  }
+
+  std::string name_ = "bench";
+  Stopwatch clock_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<Table> tables_;
+};
 
 /// Flags shared by all experiment binaries:
 ///   --scale   workload scale multiplier (1.0 = paper-size defaults)
@@ -45,6 +141,15 @@ struct BenchConfig {
   static BenchConfig FromFlags(int argc, char** argv,
                                double default_scale = 1.0,
                                uint32_t default_pairs = 1000) {
+    // Name the run report after the executable: ".../bench_f4_throughput"
+    // -> BENCH_f4_throughput.json.
+    if (argc > 0) {
+      std::string name = argv[0];
+      const size_t slash = name.find_last_of('/');
+      if (slash != std::string::npos) name = name.substr(slash + 1);
+      if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+      if (!name.empty()) BenchReport::Get().SetName(name);
+    }
     FlagParser flags(argc, argv);
     std::vector<std::string> known = {"scale", "pairs", "out"};
     for (const std::string& name : PredictorFlagNames()) {
@@ -92,6 +197,9 @@ class ResultTable {
       for (const auto& row : rows_) csv.AppendRow(row);
       std::printf("wrote %s\n", config.out.c_str());
     }
+    BenchReport& report = BenchReport::Get();
+    report.AddTable(columns_, rows_);
+    report.Write();
   }
 
  private:

@@ -10,6 +10,7 @@
 #include "bench_common.h"
 #include "core/link_predictor.h"
 #include "gen/workloads.h"
+#include "obs/metrics.h"
 #include "stream/edge_stream.h"
 #include "stream/parallel_ingest.h"
 #include "util/random.h"
@@ -78,8 +79,44 @@ void Run(const BenchConfig& config) {
                   ResultTable::Cell(identical)});
     SL_CHECK(identical == 1.0)
         << threads << "-thread build diverged from sequential";
+    if (threads == 4) {
+      BenchReport::Get().AddMetric("ingest_4t_eps", g.edges.size() / seconds);
+    }
   }
   table.Emit(config);
+
+  // Observability overhead: the same 4-thread build with the ingest.*
+  // instrumentation bound vs left null (null pointers are the compiled-out
+  // baseline — every metric update is skipped). Best of 3 per side to damp
+  // scheduler noise; the obs acceptance bar is < 2% throughput delta.
+  std::printf("\nmetrics overhead (4 threads, best of 3):\n");
+  predictor_config.threads = 4;
+  obs::MetricsRegistry registry;
+  double best_off = 0, best_on = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (bool wired : {false, true}) {
+      ParallelIngestOptions options;
+      options.metrics = wired ? &registry : nullptr;
+      ParallelIngestEngine engine(predictor_config, options);
+      VectorEdgeStream stream(g.edges);
+      Stopwatch timer;
+      SL_CHECK_OK(engine.Build(stream).status());
+      const double eps = g.edges.size() / timer.ElapsedSeconds();
+      double& best = wired ? best_on : best_off;
+      if (eps > best) best = eps;
+    }
+  }
+  const double overhead_pct = 100.0 * (best_off - best_on) / best_off;
+  std::printf("  metrics off: %s edges/sec\n",
+              ResultTable::Cell(best_off).c_str());
+  std::printf("  metrics on:  %s edges/sec\n",
+              ResultTable::Cell(best_on).c_str());
+  std::printf("  overhead:    %.2f%%\n", overhead_pct);
+  BenchReport& report = BenchReport::Get();
+  report.AddMetric("metrics_off_eps", best_off);
+  report.AddMetric("metrics_on_eps", best_on);
+  report.AddMetric("metrics_overhead_pct", overhead_pct);
+  report.Write();
 }
 
 }  // namespace

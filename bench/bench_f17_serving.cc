@@ -101,6 +101,13 @@ void Run(const BenchConfig& config) {
                   ResultTable::Cell(baseline_seconds > 0
                                         ? seconds / baseline_seconds
                                         : 0.0)});
+    // Headline scalars for BENCH json / bench_diff: the widest fan-out.
+    BenchReport& report = BenchReport::Get();
+    report.AddMetric("qps", seconds > 0 ? queries / seconds : 0.0);
+    report.AddMetric("query_p50_us",
+                     service.latency().PercentileMicros(0.5));
+    report.AddMetric("query_p99_us",
+                     service.latency().PercentileMicros(0.99));
   }
   table.Emit(config);
 }

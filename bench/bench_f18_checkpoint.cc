@@ -163,6 +163,9 @@ void Run(const BenchConfig& config) {
                        ResultTable::Cell(resume_seconds),
                        ResultTable::Cell(baseline_seconds),
                        identical ? "yes" : "NO"});
+  BenchReport& report = BenchReport::Get();
+  report.AddMetric("restore_seconds", restore_seconds);
+  report.AddMetric("resume_seconds", resume_seconds);
   BenchConfig no_csv = config;
   no_csv.out.clear();  // the CSV (if any) carries the sweep table
   resume_table.Emit(no_csv);

@@ -50,6 +50,10 @@ int Run(const BenchConfig& config) {
                       std::to_string(g.edges.size()),
                       ResultTable::Cell(rate),
                       ResultTable::Cell(predictor->MemoryBytes() / 1e6)});
+        // Headline for BENCH json / bench_diff: the canonical sweep point.
+        if (workload == "ba" && kind == "minhash" && k == 64) {
+          BenchReport::Get().AddMetric("minhash_k64_eps", rate);
+        }
       }
     }
   }

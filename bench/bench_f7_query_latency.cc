@@ -62,6 +62,10 @@ int Run(const BenchConfig& config) {
                     v.kind == "exact" ? "-" : std::to_string(v.k),
                     std::to_string(scored), ResultTable::Cell(rate),
                     ResultTable::Cell(rate > 0 ? 1e9 / rate : 0)});
+      // Headline for BENCH json / bench_diff: the canonical sweep point.
+      if (v.kind == "minhash" && v.k == 64) {
+        BenchReport::Get().AddMetric("minhash_k64_queries_per_sec", rate);
+      }
     }
   }
   table.Emit(config);

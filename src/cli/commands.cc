@@ -14,6 +14,10 @@
 #include "graph/csr_graph.h"
 #include "graph/edge_list_io.h"
 #include "graph/graph_stats.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stats_reporter.h"
+#include "obs/trace.h"
 #include "persist/checkpoint.h"
 #include "serve/query_service.h"
 #include "stream/edge_stream.h"
@@ -77,6 +81,94 @@ std::vector<std::string> WithPredictorFlags(
   return names;
 }
 
+/// Appends the shared observability flag names (--metrics-out,
+/// --metrics-every, --trace-out) for CheckUnknown.
+std::vector<std::string> WithObsFlags(std::vector<std::string> names) {
+  names.emplace_back("metrics-out");
+  names.emplace_back("metrics-every");
+  names.emplace_back("trace-out");
+  return names;
+}
+
+/// Per-command observability wiring for the shared --metrics-out,
+/// --metrics-every, and --trace-out flags: owns the command's
+/// MetricsRegistry, an optional periodic StatsReporter, and the process
+/// tracer's enablement. registry() is nullptr when --metrics-out is absent,
+/// so instrumented subsystems skip all metric work. Call Finish at the end
+/// of the command for the final dump and the Chrome trace; the destructor
+/// only cleans up (stops the reporter, disables the tracer).
+class ObsScope {
+ public:
+  ObsScope() = default;
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  ~ObsScope() {
+    if (reporter_ != nullptr) reporter_->Stop();
+    if (!trace_path_.empty()) obs::Tracer::Get().Disable();
+  }
+
+  Status Init(const FlagParser& flags) {
+    metrics_path_ = flags.GetString("metrics-out", "");
+    trace_path_ = flags.GetString("trace-out", "");
+    const double every = flags.GetDouble("metrics-every", 0.0);
+    if (metrics_path_.empty() && (flags.Has("metrics-every"))) {
+      return Status::InvalidArgument("--metrics-every needs --metrics-out");
+    }
+    if (every < 0) {
+      return Status::InvalidArgument("--metrics-every must be >= 0");
+    }
+    if (every > 0) {
+      obs::StatsReporterOptions options;
+      options.path = metrics_path_;
+      options.period_seconds = every;
+      reporter_ =
+          std::make_unique<obs::StatsReporter>(registry_, std::move(options));
+      if (auto st = reporter_->Start(); !st.ok()) return st;
+    }
+    if (!trace_path_.empty()) obs::Tracer::Get().Enable();
+    return Status::Ok();
+  }
+
+  /// The registry instrumented subsystems should bind to, or nullptr when
+  /// metrics were not requested.
+  obs::MetricsRegistry* registry() {
+    return metrics_path_.empty() ? nullptr : &registry_;
+  }
+
+  /// Final metrics dump (format by extension: .prom/.txt Prometheus text,
+  /// .csv appended rows, else JSON) and Chrome trace write-out.
+  Status Finish(std::ostream& out) {
+    if (reporter_ != nullptr) {
+      reporter_->Stop();
+      reporter_.reset();
+    }
+    if (!metrics_path_.empty()) {
+      obs::StatsReporterOptions options;
+      options.path = metrics_path_;
+      obs::StatsReporter final_dump(registry_, std::move(options));
+      if (auto st = final_dump.WriteOnce(); !st.ok()) return st;
+      out << "metrics written to " << metrics_path_ << "\n";
+    }
+    if (!trace_path_.empty()) {
+      obs::Tracer& tracer = obs::Tracer::Get();
+      if (auto st = tracer.WriteChromeTrace(trace_path_); !st.ok()) {
+        return st;
+      }
+      tracer.Disable();
+      out << "trace written to " << trace_path_
+          << " (open in chrome://tracing or Perfetto)\n";
+    }
+    return Status::Ok();
+  }
+
+ private:
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::StatsReporter> reporter_;
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
 Status CmdGenerate(const FlagParser& flags, std::ostream& out) {
   if (auto st = flags.CheckUnknown({"workload", "scale", "seed", "out"});
       !st.ok()) {
@@ -101,8 +193,53 @@ Status CmdGenerate(const FlagParser& flags, std::ostream& out) {
   return Status::Ok();
 }
 
+/// `stats --metrics FILE`: pretty-prints a JSON metrics dump written by
+/// --metrics-out (the human face of the exporter round-trip).
+Status CmdStatsMetrics(const std::string& path, std::ostream& out) {
+  auto snapshot = obs::ReadJsonDumpFile(path);
+  if (!snapshot.ok()) return snapshot.status();
+  if (!snapshot->counters.empty()) {
+    TablePrinter counters({"counter", "value"});
+    for (const obs::CounterSample& c : snapshot->counters) {
+      counters.AddRow({c.name, std::to_string(c.value)});
+    }
+    counters.Print(out);
+  }
+  if (!snapshot->gauges.empty()) {
+    TablePrinter gauges({"gauge", "value"});
+    for (const obs::GaugeSample& g : snapshot->gauges) {
+      gauges.AddRow({g.name, TablePrinter::FormatCell(g.value)});
+    }
+    gauges.Print(out);
+  }
+  if (!snapshot->histograms.empty()) {
+    TablePrinter histograms(
+        {"histogram", "count", "mean", "p50", "p99", "max"});
+    for (const obs::HistogramSample& h : snapshot->histograms) {
+      histograms.AddRow({h.name, std::to_string(h.count),
+                         TablePrinter::FormatCell(h.mean),
+                         TablePrinter::FormatCell(h.p50),
+                         TablePrinter::FormatCell(h.p99),
+                         TablePrinter::FormatCell(h.max)});
+    }
+    histograms.Print(out);
+  }
+  if (snapshot->counters.empty() && snapshot->gauges.empty() &&
+      snapshot->histograms.empty()) {
+    out << "no metrics in " << path << "\n";
+  }
+  return Status::Ok();
+}
+
 Status CmdStats(const FlagParser& flags, std::ostream& out) {
-  if (auto st = flags.CheckUnknown({"input"}); !st.ok()) return st;
+  if (auto st = flags.CheckUnknown({"input", "metrics"}); !st.ok()) return st;
+  if (flags.Has("metrics")) {
+    if (flags.Has("input")) {
+      return Status::InvalidArgument(
+          "--metrics and --input are mutually exclusive");
+    }
+    return CmdStatsMetrics(flags.GetString("metrics", ""), out);
+  }
   std::string path = flags.GetString("input", "");
   if (path.empty()) return Status::InvalidArgument("--input is required");
   auto file = ReadEdgeList(path);
@@ -154,9 +291,9 @@ std::unique_ptr<LinkPredictor> FoldForSnapshot(
 }
 
 Status CmdBuild(const FlagParser& flags, std::ostream& out) {
-  if (auto st = flags.CheckUnknown(WithPredictorFlags(
+  if (auto st = flags.CheckUnknown(WithObsFlags(WithPredictorFlags(
           {"input", "snapshot", "checkpoint-dir", "checkpoint-every",
-           "checkpoint-keep"}));
+           "checkpoint-keep"})));
       !st.ok()) {
     return st;
   }
@@ -165,6 +302,8 @@ Status CmdBuild(const FlagParser& flags, std::ostream& out) {
   if (input.empty() || snapshot.empty()) {
     return Status::InvalidArgument("--input and --snapshot are required");
   }
+  ObsScope obs;
+  if (auto st = obs.Init(flags); !st.ok()) return st;
   auto file = ReadEdgeList(input);
   if (!file.ok()) return file.status();
 
@@ -176,7 +315,9 @@ Status CmdBuild(const FlagParser& flags, std::ostream& out) {
   auto manager = OpenCheckpointFlags(flags);
   if (!manager.ok()) return manager.status();
   ParallelIngestOptions options;
+  options.metrics = obs.registry();
   if (manager->has_value()) {
+    (*manager)->BindMetrics(obs.registry());
     options.publish_every_edges =
         static_cast<uint64_t>(flags.GetInt("checkpoint-every", 10000));
     if (options.publish_every_edges == 0) {
@@ -201,7 +342,7 @@ Status CmdBuild(const FlagParser& flags, std::ostream& out) {
   }
   out << "; snapshot (" << predictor->MemoryBytes() / 1024
       << " KiB of state) saved to " << snapshot << "\n";
-  return Status::Ok();
+  return obs.Finish(out);
 }
 
 /// Continues an interrupted `build --checkpoint-dir` run: restores the
@@ -210,8 +351,9 @@ Status CmdBuild(const FlagParser& flags, std::ostream& out) {
 /// final snapshot — byte-identical to what the uninterrupted build would
 /// have saved.
 Status CmdResume(const FlagParser& flags, std::ostream& out) {
-  if (auto st = flags.CheckUnknown({"input", "snapshot", "checkpoint-dir",
-                                    "checkpoint-every", "checkpoint-keep"});
+  if (auto st = flags.CheckUnknown(WithObsFlags(
+          {"input", "snapshot", "checkpoint-dir", "checkpoint-every",
+           "checkpoint-keep"}));
       !st.ok()) {
     return st;
   }
@@ -223,8 +365,11 @@ Status CmdResume(const FlagParser& flags, std::ostream& out) {
   if (flags.GetString("checkpoint-dir", "").empty()) {
     return Status::InvalidArgument("--checkpoint-dir is required");
   }
+  ObsScope obs;
+  if (auto st = obs.Init(flags); !st.ok()) return st;
   auto manager = OpenCheckpointFlags(flags);
   if (!manager.ok()) return manager.status();
+  (*manager)->BindMetrics(obs.registry());
   auto restored = (*manager)->RestoreLatest();
   if (!restored.ok()) return restored.status();
 
@@ -238,6 +383,10 @@ Status CmdResume(const FlagParser& flags, std::ostream& out) {
   }
 
   std::unique_ptr<LinkPredictor> predictor = std::move(restored->predictor);
+  if (obs.registry() != nullptr) {
+    // Edges the restored checkpoint saved this run from re-ingesting.
+    obs.registry()->GetCounter("persist.resume_skipped_edges").Add(start);
+  }
   SkipEdgeStream stream(std::make_unique<VectorEdgeStream>(file->edges),
                         start);
   // Keep the interrupted run's checkpoint grid: next checkpoint at the
@@ -266,7 +415,7 @@ Status CmdResume(const FlagParser& flags, std::ostream& out) {
       << start << " (" << restored->path << "); ingested " << (cursor - start)
       << " more edges to " << cursor << "; snapshot saved to " << snapshot
       << "\n";
-  return Status::Ok();
+  return obs.Finish(out);
 }
 
 Status CmdQuery(const FlagParser& flags, std::ostream& out) {
@@ -419,9 +568,9 @@ Status CmdCompare(const FlagParser& flags, std::ostream& out) {
 /// and latency alongside the ingest rate — the CLI face of the serving
 /// subsystem (docs/serving.md); bench_f17_serving is the scaling study.
 Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
-  if (auto st = flags.CheckUnknown(WithPredictorFlags(
+  if (auto st = flags.CheckUnknown(WithObsFlags(WithPredictorFlags(
           {"input", "readers", "pairs", "publish-edges", "publish-seconds",
-           "checkpoint-dir"}));
+           "checkpoint-dir"})));
       !st.ok()) {
     return st;
   }
@@ -451,7 +600,14 @@ Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
   request.measures = {LinkMeasure::kJaccard, LinkMeasure::kAdamicAdar};
 
   QueryService service;
+  // Declared after the service on purpose: the registry's scrape-time
+  // gauges call back into the service, so the ObsScope (which stops the
+  // periodic scraper on destruction) must go away first.
+  ObsScope obs;
+  if (auto st = obs.Init(flags); !st.ok()) return st;
+  service.BindMetrics(obs.registry());
   ParallelIngestOptions options;
+  options.metrics = obs.registry();
   options.publish_every_edges =
       static_cast<uint64_t>(flags.GetInt("publish-edges", 5000));
   options.publish_every_seconds = flags.GetDouble("publish-seconds", 0.0);
@@ -473,6 +629,7 @@ Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
     ckpt_options.dir = ckpt_dir;
     auto manager = CheckpointManager::Open(ckpt_options);
     if (!manager.ok()) return manager.status();
+    manager->BindMetrics(obs.registry());
     auto warm = WarmStartFromCheckpoints(*manager, service);
     if (warm.ok()) {
       warm_edges = *warm;
@@ -531,7 +688,7 @@ Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
   table.AddRow({"final_staleness",
                 std::to_string(service.live_edges() - snap->stream_edges)});
   table.Print(out);
-  return Status::Ok();
+  return obs.Finish(out);
 }
 
 }  // namespace
@@ -542,13 +699,13 @@ std::string CliUsage() {
       "commands:\n"
       "  generate  --workload ba|er|ws|rmat|sbm|plconfig [--scale S] "
       "[--seed N] --out FILE\n"
-      "  stats     --input FILE\n"
+      "  stats     --input FILE | --metrics DUMP.json\n"
       "  build     --input FILE [--k N] [--seed N] [--threads N] "
       "--snapshot FILE\n"
       "            [--checkpoint-dir DIR [--checkpoint-every N] "
-      "[--checkpoint-keep N]]\n"
+      "[--checkpoint-keep N]] [obs flags]\n"
       "  resume    --input FILE --checkpoint-dir DIR --snapshot FILE\n"
-      "            [--checkpoint-every N] [--checkpoint-keep N]\n"
+      "            [--checkpoint-every N] [--checkpoint-keep N] [obs flags]\n"
       "  query     --snapshot FILE --pairs u:v[,u:v...]\n"
       "  topk      --input FILE --vertex U [--top N] [--k N] "
       "[--measure NAME] [--threads N]\n"
@@ -556,7 +713,13 @@ std::string CliUsage() {
       "[--threads N]\n"
       "  serve-bench --input FILE [--readers N] [--pairs N] "
       "[--publish-edges N] [--publish-seconds S] [--checkpoint-dir DIR] "
-      "[predictor flags]\n"
+      "[predictor flags] [obs flags]\n"
+      "obs flags (build/resume/serve-bench; docs/observability.md):\n"
+      "  --metrics-out FILE   final metrics dump (.prom/.txt Prometheus "
+      "text, .csv rows, else JSON)\n"
+      "  --metrics-every S    also rewrite FILE every S seconds while "
+      "running\n"
+      "  --trace-out FILE     Chrome trace_event JSON of the run's spans\n"
       "predictor flags (build/topk/serve-bench):\n" +
       PredictorFlagsHelp();
 }

@@ -16,8 +16,9 @@ namespace streamlink {
 /// Commands:
 ///   generate  --workload <name> [--scale S] [--seed N] --out FILE
 ///             Writes a synthetic graph stream as an edge-list file.
-///   stats     --input FILE
-///             Prints graph statistics of an edge-list file.
+///   stats     --input FILE | --metrics DUMP.json
+///             Prints graph statistics of an edge-list file, or
+///             pretty-prints a --metrics-out JSON dump.
 ///   build     --input FILE [--k N] [--seed N] [--threads N] --snapshot FILE
 ///             Streams the file into a MinHash predictor, saves a snapshot.
 ///   query     --snapshot FILE --pairs "u:v,u:v,..." [--measure NAME]
@@ -38,6 +39,13 @@ namespace streamlink {
 /// PredictorFlagsHelp. --threads N > 1 vertex-shards ingestion across N
 /// worker threads via ParallelIngestEngine, with results bit-identical to
 /// a sequential build.
+///
+/// build, resume, and serve-bench also take the observability flags
+/// (docs/observability.md): --metrics-out FILE writes a final metrics dump
+/// (format by extension: .prom/.txt Prometheus text, .csv appended rows,
+/// else JSON), --metrics-every S rewrites it periodically while the
+/// command runs, and --trace-out FILE captures the run's spans as Chrome
+/// trace_event JSON.
 Status RunCliCommand(const std::vector<std::string>& args, std::ostream& out);
 
 /// The usage text printed for unknown/missing commands.

@@ -1,0 +1,330 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace streamlink {
+namespace obs {
+
+namespace {
+
+/// Shortest round-trippable formatting for gauge/derived values; plain
+/// decimal for integral magnitudes so the common case stays readable.
+std::string FormatNumber(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "streamlink_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string ExportText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = PrometheusName(c.name);
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << c.value << "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = PrometheusName(g.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << FormatNumber(g.value) << "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = PrometheusName(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [le, in_bucket] : h.buckets) {
+      cumulative += in_bucket;
+      out << name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string ExportText(const MetricsRegistry& registry) {
+  return ExportText(registry.Snapshot());
+}
+
+std::string ExportJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": [";
+  bool first = true;
+  for (const CounterSample& c : snapshot.counters) {
+    out << (first ? "\n" : ",\n") << "    {\"name\": \"" << c.name
+        << "\", \"value\": " << c.value << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "],\n  \"gauges\": [";
+  first = true;
+  for (const GaugeSample& g : snapshot.gauges) {
+    out << (first ? "\n" : ",\n") << "    {\"name\": \"" << g.name
+        << "\", \"value\": " << FormatNumber(g.value) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "],\n  \"histograms\": [";
+  first = true;
+  for (const HistogramSample& h : snapshot.histograms) {
+    out << (first ? "\n" : ",\n") << "    {\"name\": \"" << h.name
+        << "\", \"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"mean\": " << FormatNumber(h.mean)
+        << ", \"p50\": " << FormatNumber(h.p50)
+        << ", \"p90\": " << FormatNumber(h.p90)
+        << ", \"p99\": " << FormatNumber(h.p99)
+        << ", \"max\": " << FormatNumber(h.max) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [le, in_bucket] : h.buckets) {
+      out << (first_bucket ? "" : ", ") << "{\"le\": " << le
+          << ", \"count\": " << in_bucket << "}";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  return ExportJson(registry.Snapshot());
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for the subset of JSON ExportJson
+/// emits (objects, arrays, strings without escapes beyond \" and \\,
+/// numbers). Not a general-purpose JSON library — just enough to read our
+/// own dumps back, with clean errors on anything else.
+class DumpParser {
+ public:
+  explicit DumpParser(const std::string& text) : text_(text) {}
+
+  Result<MetricsSnapshot> Parse() {
+    MetricsSnapshot snapshot;
+    SkipSpace();
+    if (!Consume('{')) return Err("expected top-level object");
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Consume('}')) break;
+      if (!first && !Consume(',')) return Err("expected ',' or '}'");
+      first = false;
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return Err("expected section name");
+      SkipSpace();
+      if (!Consume(':')) return Err("expected ':'");
+      Status st;
+      if (key == "counters") {
+        st = ParseSection([&](DumpParser& p) { return p.ParseCounter(&snapshot); });
+      } else if (key == "gauges") {
+        st = ParseSection([&](DumpParser& p) { return p.ParseGauge(&snapshot); });
+      } else if (key == "histograms") {
+        st = ParseSection(
+            [&](DumpParser& p) { return p.ParseHistogram(&snapshot); });
+      } else {
+        return Err("unknown section '" + key + "'");
+      }
+      if (!st.ok()) return st;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) return Err("trailing garbage");
+    return snapshot;
+  }
+
+ private:
+  template <typename EntryFn>
+  Status ParseSection(EntryFn entry) {
+    SkipSpace();
+    if (!Consume('[')) return Err("expected array").status();
+    while (true) {
+      SkipSpace();
+      if (Consume(']')) return Status::Ok();
+      if (Status st = entry(*this); !st.ok()) return st;
+      SkipSpace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Err("expected ',' or ']'").status();
+    }
+  }
+
+  Status ParseCounter(MetricsSnapshot* snapshot) {
+    CounterSample sample;
+    double value = 0;
+    Status st = ParseFlatObject([&](const std::string& key, DumpParser& p) {
+      if (key == "name") return p.ParseStringInto(&sample.name);
+      if (key == "value") return p.ParseNumberInto(&value);
+      return Err("unknown counter field '" + key + "'").status();
+    });
+    if (!st.ok()) return st;
+    sample.value = static_cast<uint64_t>(value);
+    snapshot->counters.push_back(std::move(sample));
+    return Status::Ok();
+  }
+
+  Status ParseGauge(MetricsSnapshot* snapshot) {
+    GaugeSample sample;
+    Status st = ParseFlatObject([&](const std::string& key, DumpParser& p) {
+      if (key == "name") return p.ParseStringInto(&sample.name);
+      if (key == "value") return p.ParseNumberInto(&sample.value);
+      return Err("unknown gauge field '" + key + "'").status();
+    });
+    if (!st.ok()) return st;
+    snapshot->gauges.push_back(std::move(sample));
+    return Status::Ok();
+  }
+
+  Status ParseHistogram(MetricsSnapshot* snapshot) {
+    HistogramSample sample;
+    double count = 0, sum = 0;
+    Status st = ParseFlatObject([&](const std::string& key, DumpParser& p) {
+      if (key == "name") return p.ParseStringInto(&sample.name);
+      if (key == "count") return p.ParseNumberInto(&count);
+      if (key == "sum") return p.ParseNumberInto(&sum);
+      if (key == "mean") return p.ParseNumberInto(&sample.mean);
+      if (key == "p50") return p.ParseNumberInto(&sample.p50);
+      if (key == "p90") return p.ParseNumberInto(&sample.p90);
+      if (key == "p99") return p.ParseNumberInto(&sample.p99);
+      if (key == "max") return p.ParseNumberInto(&sample.max);
+      if (key == "buckets") return p.ParseBuckets(&sample);
+      return Err("unknown histogram field '" + key + "'").status();
+    });
+    if (!st.ok()) return st;
+    sample.count = static_cast<uint64_t>(count);
+    sample.sum = static_cast<uint64_t>(sum);
+    snapshot->histograms.push_back(std::move(sample));
+    return Status::Ok();
+  }
+
+  Status ParseBuckets(HistogramSample* sample) {
+    return ParseSection([sample](DumpParser& p) {
+      double le = 0, in_bucket = 0;
+      Status st = p.ParseFlatObject([&](const std::string& key, DumpParser& q) {
+        if (key == "le") return q.ParseNumberInto(&le);
+        if (key == "count") return q.ParseNumberInto(&in_bucket);
+        return q.Err("unknown bucket field '" + key + "'").status();
+      });
+      if (!st.ok()) return st;
+      sample->buckets.emplace_back(static_cast<uint64_t>(le),
+                                   static_cast<uint64_t>(in_bucket));
+      return Status::Ok();
+    });
+  }
+
+  /// Parses `{"key": <scalar-or-array>, ...}` dispatching each field.
+  template <typename FieldFn>
+  Status ParseFlatObject(FieldFn field) {
+    SkipSpace();
+    if (!Consume('{')) return Err("expected object").status();
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Consume('}')) return Status::Ok();
+      if (!first && !Consume(',')) return Err("expected ',' or '}'").status();
+      first = false;
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return Err("expected field name").status();
+      SkipSpace();
+      if (!Consume(':')) return Err("expected ':'").status();
+      if (Status st = field(key, *this); !st.ok()) return st;
+    }
+  }
+
+  Status ParseStringInto(std::string* out) {
+    SkipSpace();
+    if (!ParseString(out)) return Err("expected string").status();
+    return Status::Ok();
+  }
+
+  Status ParseNumberInto(double* out) {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected number").status();
+    *out = std::strtod(text_.c_str() + start, nullptr);
+    return Status::Ok();
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\' && pos_ < text_.size()) {
+        c = text_[pos_++];
+        if (c == 'u') return false;  // never emitted by ExportJson
+      }
+      *out += c;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<MetricsSnapshot> Err(const std::string& message) const {
+    return Status::InvalidArgument("metrics dump parse error at byte " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<MetricsSnapshot> ParseJsonDump(const std::string& json) {
+  return DumpParser(json).Parse();
+}
+
+Result<MetricsSnapshot> ReadJsonDumpFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open metrics dump " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseJsonDump(buffer.str());
+}
+
+}  // namespace obs
+}  // namespace streamlink

@@ -1,0 +1,43 @@
+#ifndef STREAMLINK_OBS_EXPORT_H_
+#define STREAMLINK_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace streamlink {
+namespace obs {
+
+/// Formats a scrape in the Prometheus text exposition format (version
+/// 0.0.4): `# TYPE` comment per metric, names prefixed `streamlink_` with
+/// dots mapped to underscores, histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum`/`_count`.
+std::string ExportText(const MetricsSnapshot& snapshot);
+std::string ExportText(const MetricsRegistry& registry);
+
+/// Formats a scrape as a self-describing JSON document:
+///   {"counters":[{"name":...,"value":...}],
+///    "gauges":[...],
+///    "histograms":[{"name":...,"count":...,"sum":...,"mean":...,
+///                   "p50":...,"p90":...,"p99":...,"max":...,
+///                   "buckets":[{"le":...,"count":...}]}]}
+/// ParseJsonDump reads this format back (the CLI `stats --metrics` path).
+std::string ExportJson(const MetricsSnapshot& snapshot);
+std::string ExportJson(const MetricsRegistry& registry);
+
+/// Parses an ExportJson document back into a snapshot. Rejects anything
+/// that is not a metrics dump with InvalidArgument.
+Result<MetricsSnapshot> ParseJsonDump(const std::string& json);
+
+/// Reads `path` and parses it with ParseJsonDump.
+Result<MetricsSnapshot> ReadJsonDumpFile(const std::string& path);
+
+/// Maps a metric name onto the Prometheus charset: `ingest.edges_total`
+/// -> `streamlink_ingest_edges_total`.
+std::string PrometheusName(const std::string& name);
+
+}  // namespace obs
+}  // namespace streamlink
+
+#endif  // STREAMLINK_OBS_EXPORT_H_

@@ -1,0 +1,32 @@
+#include "obs/proc_stats.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace streamlink {
+namespace obs {
+
+namespace {
+
+/// Reads a "<Key>:   <value> kB" line from /proc/self/status.
+uint64_t StatusLineKb(const char* key) {
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0;
+  const std::string prefix = std::string(key) + ":";
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.compare(0, prefix.size(), prefix) != 0) continue;
+    return std::strtoull(line.c_str() + prefix.size(), nullptr, 10);
+  }
+  return 0;
+}
+
+}  // namespace
+
+uint64_t PeakRssKb() { return StatusLineKb("VmHWM"); }
+
+uint64_t CurrentRssKb() { return StatusLineKb("VmRSS"); }
+
+}  // namespace obs
+}  // namespace streamlink

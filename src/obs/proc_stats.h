@@ -1,0 +1,19 @@
+#ifndef STREAMLINK_OBS_PROC_STATS_H_
+#define STREAMLINK_OBS_PROC_STATS_H_
+
+#include <cstdint>
+
+namespace streamlink {
+namespace obs {
+
+/// Peak resident set size of this process in kilobytes (`VmHWM` from
+/// /proc/self/status). Returns 0 where procfs is unavailable.
+uint64_t PeakRssKb();
+
+/// Current resident set size in kilobytes (`VmRSS`). 0 when unavailable.
+uint64_t CurrentRssKb();
+
+}  // namespace obs
+}  // namespace streamlink
+
+#endif  // STREAMLINK_OBS_PROC_STATS_H_

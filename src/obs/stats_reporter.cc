@@ -1,0 +1,128 @@
+#include "obs/stats_reporter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "obs/export.h"
+#include "util/timer.h"
+
+namespace streamlink {
+namespace obs {
+
+namespace {
+
+StatsFormat ResolveFormat(const StatsReporterOptions& options) {
+  if (options.format != StatsFormat::kAuto) return options.format;
+  const std::string& path = options.path;
+  auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with(".csv")) return StatsFormat::kCsv;
+  if (ends_with(".prom") || ends_with(".txt")) return StatsFormat::kText;
+  return StatsFormat::kJson;
+}
+
+}  // namespace
+
+StatsReporter::StatsReporter(const MetricsRegistry& registry,
+                             StatsReporterOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      format_(ResolveFormat(options_)),
+      start_seconds_(MonotonicSeconds()) {}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+Status StatsReporter::Start() {
+  if (options_.path.empty()) {
+    return Status::InvalidArgument("stats reporter needs an output path");
+  }
+  if (options_.period_seconds <= 0.0) {
+    return Status::InvalidArgument("stats reporter period must be > 0");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition("stats reporter already started");
+  }
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_requested_) {
+      const auto period = std::chrono::duration<double>(
+          options_.period_seconds);
+      if (wake_.wait_for(lock, period, [this] { return stop_requested_; })) {
+        break;
+      }
+      // Snapshot outside the lock so Stop never waits on file I/O.
+      lock.unlock();
+      WriteOnce();
+      lock.lock();
+    }
+  });
+  return Status::Ok();
+}
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+Status StatsReporter::WriteOnce() {
+  return WriteSnapshot(registry_.Snapshot());
+}
+
+Status StatsReporter::WriteSnapshot(const MetricsSnapshot& snapshot) {
+  if (options_.path.empty()) {
+    return Status::InvalidArgument("stats reporter needs an output path");
+  }
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  if (format_ == StatsFormat::kCsv) {
+    std::ofstream file(options_.path, std::ios::app);
+    if (!file) return Status::IoError("cannot open " + options_.path);
+    if (!csv_header_written_ && file.tellp() == 0) {
+      file << "elapsed_seconds,metric,value\n";
+    }
+    csv_header_written_ = true;
+    const double t = MonotonicSeconds() - start_seconds_;
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%.3f", t);
+    for (const CounterSample& c : snapshot.counters) {
+      file << ts << ',' << c.name << ',' << c.value << '\n';
+    }
+    for (const GaugeSample& g : snapshot.gauges) {
+      file << ts << ',' << g.name << ',' << g.value << '\n';
+    }
+    for (const HistogramSample& h : snapshot.histograms) {
+      file << ts << ',' << h.name << ".count," << h.count << '\n';
+      file << ts << ',' << h.name << ".mean," << h.mean << '\n';
+      file << ts << ',' << h.name << ".p50," << h.p50 << '\n';
+      file << ts << ',' << h.name << ".p99," << h.p99 << '\n';
+    }
+    file.flush();
+    if (!file) return Status::IoError("failed writing " + options_.path);
+  } else {
+    std::ofstream file(options_.path, std::ios::trunc);
+    if (!file) return Status::IoError("cannot open " + options_.path);
+    file << (format_ == StatsFormat::kText ? ExportText(snapshot)
+                                           : ExportJson(snapshot));
+    file.flush();
+    if (!file) return Status::IoError("failed writing " + options_.path);
+  }
+  snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace streamlink

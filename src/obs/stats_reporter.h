@@ -1,0 +1,81 @@
+#ifndef STREAMLINK_OBS_STATS_REPORTER_H_
+#define STREAMLINK_OBS_STATS_REPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace streamlink {
+namespace obs {
+
+/// Output shape of a StatsReporter file. kAuto picks by extension:
+/// `.csv` -> kCsv, `.prom`/`.txt` -> kText, anything else -> kJson.
+enum class StatsFormat { kAuto, kJson, kText, kCsv };
+
+struct StatsReporterOptions {
+  /// Output file. JSON/text snapshots atomically replace the file each
+  /// period (a scrape endpoint on disk); CSV appends long-format rows
+  /// (elapsed_seconds, metric, value) so a whole run becomes one plottable
+  /// trajectory.
+  std::string path;
+  /// Snapshot cadence for Start(); WriteOnce ignores it.
+  double period_seconds = 1.0;
+  StatsFormat format = StatsFormat::kAuto;
+};
+
+/// Periodically snapshots a MetricsRegistry to a file during long runs —
+/// the flight recorder behind the CLI's `--metrics-every` flag. The
+/// registry must outlive the reporter; Start/Stop from one thread.
+class StatsReporter {
+ public:
+  StatsReporter(const MetricsRegistry& registry, StatsReporterOptions options);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  /// Spawns the reporting thread. InvalidArgument on a bad period/path;
+  /// FailedPrecondition when already started.
+  Status Start();
+
+  /// Stops and joins the reporting thread (idempotent). Does not write a
+  /// final snapshot — call WriteOnce for that.
+  void Stop();
+
+  /// Writes one snapshot now, from the calling thread.
+  Status WriteOnce();
+
+  uint64_t snapshots_written() const {
+    return snapshots_written_.load(std::memory_order_relaxed);
+  }
+
+  /// The format kAuto resolves to for this reporter's path.
+  StatsFormat resolved_format() const { return format_; }
+
+ private:
+  Status WriteSnapshot(const MetricsSnapshot& snapshot);
+
+  const MetricsRegistry& registry_;
+  StatsReporterOptions options_;
+  StatsFormat format_;
+  double start_seconds_ = 0.0;
+  std::mutex io_mu_;  // serializes WriteOnce from caller + reporter thread
+  bool csv_header_written_ = false;  // guarded by io_mu_
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  std::atomic<uint64_t> snapshots_written_{0};
+};
+
+}  // namespace obs
+}  // namespace streamlink
+
+#endif  // STREAMLINK_OBS_STATS_REPORTER_H_

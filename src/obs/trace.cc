@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace streamlink {
+namespace obs {
+
+namespace {
+
+/// Per-thread nesting depth of live ScopedSpans.
+thread_local uint32_t t_span_depth = 0;
+
+std::string EscapeJson(const char* text) {
+  std::string out;
+  for (const char* p = text; *p != '\0'; ++p) {
+    switch (*p) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(*p) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", *p);
+          out += buf;
+        } else {
+          out += *p;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t Tracer::NowNs() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(size_t ring_capacity) {
+  SL_CHECK(ring_capacity >= 1) << "ring capacity must be >= 1";
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    ring_capacity_ = ring_capacity;
+  }
+  NowNs();  // pin the epoch no later than the first enabled span
+  dropped_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+Tracer::ThreadRing* Tracer::RingForThisThread() {
+  // Shared ownership between this thread and the tracer keeps a ring's
+  // spans drainable after the thread exits. All ScopedSpans go through the
+  // Tracer::Get() singleton, so one TLS slot suffices.
+  thread_local std::shared_ptr<ThreadRing> ring_tls;
+  if (ring_tls == nullptr) {
+    auto ring = std::make_shared<ThreadRing>();
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    ring->tid = next_tid_++;
+    ring->capacity = ring_capacity_;
+    rings_.push_back(ring);
+    ring_tls = std::move(ring);
+  }
+  return ring_tls.get();
+}
+
+void Tracer::Record(const TraceSpan& span) {
+  ThreadRing* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  TraceSpan stamped = span;
+  stamped.tid = ring->tid;
+  if (ring->spans.size() < ring->capacity) {
+    ring->spans.push_back(stamped);
+  } else {
+    ring->spans[ring->next] = stamped;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring->next = (ring->next + 1) % ring->capacity;
+  ++ring->written;
+}
+
+std::vector<TraceSpan> Tracer::Drain() {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings = rings_;
+  }
+  std::vector<TraceSpan> spans;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    spans.insert(spans.end(), ring->spans.begin(), ring->spans.end());
+    ring->spans.clear();
+    ring->next = 0;
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return spans;
+}
+
+std::string Tracer::ToChromeJson(const std::vector<TraceSpan>& spans) {
+  std::string out = "[\n";
+  bool first = true;
+  char buf[256];
+  for (const TraceSpan& span : spans) {
+    if (!first) out += ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u}}",
+                  EscapeJson(span.name).c_str(), span.start_ns / 1e3,
+                  span.dur_ns / 1e3, span.tid, span.depth);
+    out += buf;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) {
+  std::vector<TraceSpan> spans = Drain();
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IoError("cannot open trace file " + path);
+  file << ToChromeJson(spans);
+  file.flush();
+  if (!file) return Status::IoError("failed writing trace file " + path);
+  return Status::Ok();
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  if (!Tracer::Get().enabled()) return;
+  active_ = true;
+  ++t_span_depth;
+  start_ns_ = Tracer::NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const uint64_t end_ns = Tracer::NowNs();
+  --t_span_depth;
+  TraceSpan span;
+  span.name = name_;
+  span.start_ns = start_ns_;
+  span.dur_ns = end_ns - start_ns_;
+  span.depth = t_span_depth;
+  Tracer::Get().Record(span);
+}
+
+}  // namespace obs
+}  // namespace streamlink

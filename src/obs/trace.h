@@ -1,0 +1,111 @@
+#ifndef STREAMLINK_OBS_TRACE_H_
+#define STREAMLINK_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace streamlink {
+namespace obs {
+
+/// One completed span: a named interval on one thread. Timestamps are
+/// nanoseconds since the process-wide monotonic epoch (first tracer use).
+struct TraceSpan {
+  const char* name = nullptr;  ///< must be a static string
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;    ///< small sequential per-thread id
+  uint32_t depth = 0;  ///< nesting level within the thread (0 = outermost)
+};
+
+/// Process-wide scoped-span tracer. Disabled it costs one relaxed atomic
+/// load per ScopedSpan; enabled, each completed span is appended to a
+/// bounded thread-local ring buffer (newest spans win when a thread
+/// overflows its ring) under a per-thread mutex that only the draining
+/// thread ever contends on. Drained spans serialize to the Chrome
+/// `trace_event` JSON array format — load the file at chrome://tracing or
+/// https://ui.perfetto.dev.
+class Tracer {
+ public:
+  /// Starts capturing. `ring_capacity` bounds the retained spans per
+  /// thread; older spans are overwritten once a thread's ring wraps.
+  void Enable(size_t ring_capacity = 8192);
+
+  /// Stops capturing. Already-recorded spans stay drainable.
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Removes and returns every retained span, ordered by start time.
+  std::vector<TraceSpan> Drain();
+
+  /// Total spans dropped to ring wrap-around since Enable.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Drains and writes Chrome trace_event JSON ("X" complete events, one
+  /// per span) to `path`.
+  Status WriteChromeTrace(const std::string& path);
+
+  /// Formats spans as a Chrome trace_event JSON array.
+  static std::string ToChromeJson(const std::vector<TraceSpan>& spans);
+
+  /// The process-wide tracer every ScopedSpan records into.
+  static Tracer& Get();
+
+  /// Nanoseconds since the process-wide monotonic epoch.
+  static uint64_t NowNs();
+
+ private:
+  friend class ScopedSpan;
+
+  /// Per-thread bounded span ring. Owned jointly by the writing thread
+  /// (via thread_local shared_ptr) and the tracer (so spans survive thread
+  /// exit until drained).
+  struct ThreadRing {
+    std::mutex mu;
+    std::vector<TraceSpan> spans;  // ring once size reaches capacity
+    size_t next = 0;               // ring write position
+    uint64_t written = 0;          // total spans ever recorded
+    uint32_t tid = 0;
+    size_t capacity = 0;
+  };
+
+  void Record(const TraceSpan& span);
+  ThreadRing* RingForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  std::mutex rings_mu_;
+  std::vector<std::shared_ptr<ThreadRing>> rings_;
+  size_t ring_capacity_ = 8192;
+  uint32_t next_tid_ = 0;
+};
+
+/// RAII span: records the interval from construction to destruction into
+/// Tracer::Get() when tracing is enabled. `name` must be a static string
+/// (spans store the pointer). Nesting is tracked per thread.
+///
+///   { obs::ScopedSpan span("ingest/publish"); Publish(); }
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace streamlink
+
+#endif  // STREAMLINK_OBS_TRACE_H_

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "core/predictor_factory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/query_service.h"
 #include "util/logging.h"
 #include "util/serde.h"
@@ -146,13 +148,32 @@ Status CheckpointManager::Write(const LinkPredictor& predictor,
     uint64_t newest = entries_.back().stream_edges;
     if (stream_edges == newest) return Status();  // end-of-stream re-publish
     if (stream_edges < newest) {
+      if (metrics_.checkpoint_failures != nullptr) {
+        metrics_.checkpoint_failures->Add(1);
+      }
       return Status::InvalidArgument(
           "checkpoint cursor moved backwards: " +
           std::to_string(stream_edges) + " after " + std::to_string(newest));
     }
   }
-  if (auto status = predictor.Save(PathFor(stream_edges)); !status.ok()) {
+  obs::ScopedSpan span("persist/checkpoint");
+  const std::string path = PathFor(stream_edges);
+  const uint64_t t0 =
+      metrics_.write_ns != nullptr ? obs::Tracer::NowNs() : 0;
+  if (auto status = predictor.Save(path); !status.ok()) {
+    if (metrics_.checkpoint_failures != nullptr) {
+      metrics_.checkpoint_failures->Add(1);
+    }
     return status;
+  }
+  if (metrics_.write_ns != nullptr) {
+    metrics_.write_ns->Record(obs::Tracer::NowNs() - t0);
+    metrics_.checkpoints->Add(1);
+    std::error_code size_ec;
+    const auto bytes = std::filesystem::file_size(path, size_ec);
+    if (!size_ec) {
+      metrics_.checkpoint_bytes->Set(static_cast<double>(bytes));
+    }
   }
   entries_.push_back(
       CheckpointEntry{stream_edges, predictor.edges_processed()});
@@ -184,6 +205,9 @@ Status CheckpointManager::WriteManifest() const {
 }
 
 Result<CheckpointManager::Restored> CheckpointManager::RestoreLatest() const {
+  obs::ScopedSpan span("persist/restore");
+  const uint64_t t0 =
+      metrics_.restore_ns != nullptr ? obs::Tracer::NowNs() : 0;
   for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
     const std::string path = PathFor(it->stream_edges);
     auto predictor = LoadPredictorSnapshot(path);
@@ -193,13 +217,34 @@ Result<CheckpointManager::Restored> CheckpointManager::RestoreLatest() const {
       restored.entry = *it;
       restored.entry.edges_processed = restored.predictor->edges_processed();
       restored.path = path;
+      if (metrics_.restore_ns != nullptr) {
+        metrics_.restore_ns->Record(obs::Tracer::NowNs() - t0);
+        metrics_.restores->Add(1);
+      }
       return restored;
+    }
+    if (metrics_.restore_failures != nullptr) {
+      metrics_.restore_failures->Add(1);
     }
     SL_LOG(kWarning) << "checkpoint " << path << " unusable ("
                      << predictor.status().ToString()
                      << "); trying an older one";
   }
   return Status::NotFound("no restorable checkpoint in " + options_.dir);
+}
+
+void CheckpointManager::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  metrics_.checkpoints = &registry->GetCounter("persist.checkpoints_total");
+  metrics_.checkpoint_failures =
+      &registry->GetCounter("persist.checkpoint_failures_total");
+  metrics_.restores = &registry->GetCounter("persist.restores_total");
+  metrics_.restore_failures =
+      &registry->GetCounter("persist.restore_failures_total");
+  metrics_.checkpoint_bytes =
+      &registry->GetGauge("persist.checkpoint_bytes");
+  metrics_.write_ns = &registry->GetHistogram("persist.checkpoint_write_ns");
+  metrics_.restore_ns = &registry->GetHistogram("persist.restore_ns");
 }
 
 IngestPublishFn CheckpointManager::IngestPublisher() {

@@ -15,6 +15,13 @@ namespace streamlink {
 
 class QueryService;
 
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Configuration for a checkpoint directory.
 struct CheckpointOptions {
   /// Directory the checkpoints live in; created if missing.
@@ -103,14 +110,34 @@ class CheckpointManager {
   /// driver checkpoint. `live` must outlive the returned callback.
   StreamDriver::CheckpointFn CheckpointPublisher(const LinkPredictor& live);
 
+  /// Registers and maintains the `persist.*` metric family
+  /// (docs/observability.md): checkpoint/restore counters and failure
+  /// counters, write/restore duration histograms, and a gauge with the
+  /// newest snapshot's byte size. The registry must outlive this manager;
+  /// nullptr (default) disables.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
   explicit CheckpointManager(CheckpointOptions options)
       : options_(std::move(options)) {}
 
   Status WriteManifest() const;
 
+  /// Instruments live in the bound registry; null until BindMetrics.
+  /// Mutable + raw pointers so the read-only RestoreLatest can record too.
+  struct PersistMetrics {
+    obs::Counter* checkpoints = nullptr;        // persist.checkpoints_total
+    obs::Counter* checkpoint_failures = nullptr;
+    obs::Counter* restores = nullptr;           // persist.restores_total
+    obs::Counter* restore_failures = nullptr;
+    obs::Gauge* checkpoint_bytes = nullptr;     // newest snapshot size
+    obs::Histogram* write_ns = nullptr;         // persist.checkpoint_write_ns
+    obs::Histogram* restore_ns = nullptr;       // persist.restore_ns
+  };
+
   CheckpointOptions options_;
   std::vector<CheckpointEntry> entries_;
+  PersistMetrics metrics_;
 };
 
 /// Warm-starts a query service from the newest valid checkpoint: restores

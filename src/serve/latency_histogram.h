@@ -1,48 +1,18 @@
 #ifndef STREAMLINK_SERVE_LATENCY_HISTOGRAM_H_
 #define STREAMLINK_SERVE_LATENCY_HISTOGRAM_H_
 
-#include <array>
-#include <atomic>
-#include <cstddef>
-#include <cstdint>
+// The serving layer's latency histogram is the obs subsystem's single
+// histogram implementation (log2 buckets, lock-free concurrent recording)
+// behind a seconds-based facade. This alias keeps the pre-obs spelling —
+// streamlink::LatencyHistogram — working; new code should reach for
+// obs::Histogram / obs::LatencyHistogram directly and register it in a
+// MetricsRegistry (docs/observability.md).
+
+#include "obs/metrics.h"
 
 namespace streamlink {
 
-/// Log2-bucketed latency histogram, safe for any number of concurrent
-/// recorders (the QueryService reader threads) with no locking — each
-/// sample is a few relaxed atomic increments. Bucket i counts samples
-/// whose latency in nanoseconds lies in [2^i, 2^(i+1)); percentile reads
-/// report the upper bound of the bucket holding the requested rank, so
-/// estimates are within 2x of truth — the right fidelity for a serving
-/// dashboard at per-sample cost independent of history length.
-class LatencyHistogram {
- public:
-  /// 2^47 ns ≈ 39 hours — effectively unbounded for query latencies.
-  static constexpr size_t kNumBuckets = 48;
-
-  LatencyHistogram() = default;
-  LatencyHistogram(const LatencyHistogram&) = delete;
-  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
-
-  /// Records one sample of `seconds` wall time.
-  void Record(double seconds);
-
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  double MeanMicros() const;
-
-  /// Approximate p-quantile in microseconds, p in (0, 1]. Returns 0 when
-  /// no samples were recorded. Concurrent Record calls may be partially
-  /// visible; the estimate is still within one bucket of a consistent cut.
-  double PercentileMicros(double p) const;
-
-  /// Clears all counters (not intended to race with Record).
-  void Reset();
-
- private:
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> total_ns_{0};
-};
+using LatencyHistogram = obs::LatencyHistogram;
 
 }  // namespace streamlink
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -55,11 +56,39 @@ Status QueryService::Publish(const LinkPredictor& live,
   if (stream_edges > live_edges_.load(std::memory_order_relaxed)) {
     live_edges_.store(stream_edges, std::memory_order_relaxed);
   }
-  publish_count_.store(snapshot->version, std::memory_order_relaxed);
+  const uint64_t version = snapshot->version;
+  publish_count_.store(version, std::memory_order_relaxed);
   // Release: a reader that acquires this pointer sees the fully built
   // clone and metadata.
   snapshot_.store(std::move(snapshot), std::memory_order_release);
+  last_publish_seconds_.store(MonotonicSeconds(), std::memory_order_relaxed);
+  if (metrics_.publishes != nullptr) metrics_.publishes->Add(1);
+  if (metrics_.version != nullptr) {
+    metrics_.version->Set(static_cast<double>(version));
+  }
   return Status::Ok();
+}
+
+void QueryService::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->RegisterHistogram("serve.query_latency_ns", &latency_);
+  metrics_.queries = &registry->GetCounter("serve.queries_total");
+  metrics_.query_errors = &registry->GetCounter("serve.query_errors_total");
+  metrics_.publishes = &registry->GetCounter("serve.publishes_total");
+  metrics_.staleness = &registry->GetGauge("serve.snapshot_staleness_edges");
+  metrics_.version = &registry->GetGauge("serve.snapshot_version");
+  metrics_.batch_pairs = &registry->GetHistogram("serve.query_batch_pairs");
+  metrics_.topk_fanout =
+      &registry->GetHistogram("serve.topk_fanout_candidates");
+  // Scrape-time gauges: cheap reads of this service's own atomics, so the
+  // exporter sees fresh values without any writer-side bookkeeping.
+  registry->RegisterGaugeFn("serve.live_edges", [this] {
+    return static_cast<double>(live_edges_.load(std::memory_order_relaxed));
+  });
+  registry->RegisterGaugeFn("serve.snapshot_age_seconds", [this] {
+    const double at = last_publish_seconds_.load(std::memory_order_relaxed);
+    return at < 0.0 ? 0.0 : MonotonicSeconds() - at;
+  });
 }
 
 StreamDriver::CheckpointFn QueryService::CheckpointPublisher(
@@ -83,14 +112,17 @@ std::unique_ptr<EdgeStream> QueryService::WrapStream(EdgeStream& stream) {
 }
 
 Result<QueryResult> QueryService::Query(const QueryRequest& request) const {
+  obs::ScopedSpan span("serve/query");
   WallTimer timer;
   timer.Start();
   std::shared_ptr<const ServeSnapshot> snap =
       snapshot_.load(std::memory_order_acquire);
   if (snap == nullptr) {
+    if (metrics_.query_errors != nullptr) metrics_.query_errors->Add(1);
     return Status::NotFound("no snapshot published yet");
   }
   if (request.top_k > 0 && request.measures.empty()) {
+    if (metrics_.query_errors != nullptr) metrics_.query_errors->Add(1);
     return Status::InvalidArgument(
         "top_k queries need at least one measure (measures[0] ranks)");
   }
@@ -133,6 +165,15 @@ Result<QueryResult> QueryService::Query(const QueryRequest& request) const {
   const double seconds = timer.Seconds();
   result.meta.latency_us = seconds * 1e6;
   latency_.Record(seconds);
+  if (metrics_.queries != nullptr) {
+    metrics_.queries->Add(1);
+    metrics_.staleness->Set(
+        static_cast<double>(result.meta.staleness_edges));
+    metrics_.batch_pairs->Record(request.pairs.size());
+    if (request.top_k > 0) {
+      metrics_.topk_fanout->Record(request.pairs.size());
+    }
+  }
   return result;
 }
 

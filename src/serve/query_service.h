@@ -9,6 +9,7 @@
 #include "core/link_predictor.h"
 #include "core/top_k_engine.h"
 #include "gen/pair_sampler.h"
+#include "obs/metrics.h"
 #include "serve/latency_histogram.h"
 #include "stream/edge_stream.h"
 #include "stream/parallel_ingest.h"
@@ -150,11 +151,38 @@ class QueryService {
   }
   const LatencyHistogram& latency() const { return latency_; }
 
+  // --- Observability ---
+
+  /// Registers this service's metrics in `registry` under the `serve.*`
+  /// names (docs/observability.md): the per-request latency histogram,
+  /// query/publish counters, batch-size and top-k fanout histograms, and
+  /// snapshot staleness/age/version gauges (age and live-edge gauges are
+  /// computed at scrape time). This service must outlive every scrape of
+  /// `registry`. Call before serving starts; nullptr detaches nothing —
+  /// metrics recording is a no-op until bound.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
+  /// Registry-resident instruments, null until BindMetrics. Updated on the
+  /// query/publish paths with relaxed atomics only.
+  struct ServeMetrics {
+    obs::Counter* queries = nullptr;         // serve.queries_total
+    obs::Counter* query_errors = nullptr;    // serve.query_errors_total
+    obs::Counter* publishes = nullptr;       // serve.publishes_total
+    obs::Gauge* staleness = nullptr;         // serve.snapshot_staleness_edges
+    obs::Gauge* version = nullptr;           // serve.snapshot_version
+    obs::Histogram* batch_pairs = nullptr;   // serve.query_batch_pairs
+    obs::Histogram* topk_fanout = nullptr;   // serve.topk_fanout_candidates
+  };
+
   std::atomic<std::shared_ptr<const ServeSnapshot>> snapshot_{};
   std::atomic<uint64_t> live_edges_{0};
   std::atomic<uint64_t> publish_count_{0};
   mutable LatencyHistogram latency_;
+  ServeMetrics metrics_;
+  /// Monotonic publish timestamp for the snapshot-age gauge; < 0 before
+  /// the first publish.
+  std::atomic<double> last_publish_seconds_{-1.0};
 };
 
 }  // namespace streamlink

@@ -5,12 +5,75 @@
 #include <vector>
 
 #include "core/sharded_predictor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stream/rate_meter.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace streamlink {
 
 namespace {
+
+/// Registry-resident instruments for one Build run; all pointers null when
+/// ParallelIngestOptions::metrics is unset, making every update a no-op
+/// branch. Updated only by the router thread except the per-shard counters,
+/// which each worker bumps once per applied batch (Counter is thread-safe).
+struct IngestMetrics {
+  obs::Counter* edges = nullptr;            // ingest.edges_total
+  obs::Counter* publishes = nullptr;        // ingest.publishes_total
+  obs::Gauge* live_edges = nullptr;         // ingest.live_edges
+  obs::Gauge* window_eps = nullptr;         // ingest.window_eps
+  obs::Histogram* batch_half_edges = nullptr;  // ingest.batch_half_edges
+  obs::Histogram* queue_wait_ns = nullptr;     // ingest.queue_wait_ns
+  obs::Histogram* publish_ns = nullptr;        // ingest.publish_ns
+  std::vector<obs::Counter*> shard_half_edges;
+
+  explicit IngestMetrics(obs::MetricsRegistry* registry,
+                         uint32_t num_shards) {
+    if (registry == nullptr) return;
+    edges = &registry->GetCounter("ingest.edges_total");
+    publishes = &registry->GetCounter("ingest.publishes_total");
+    live_edges = &registry->GetGauge("ingest.live_edges");
+    window_eps = &registry->GetGauge("ingest.window_eps");
+    batch_half_edges = &registry->GetHistogram("ingest.batch_half_edges");
+    queue_wait_ns = &registry->GetHistogram("ingest.queue_wait_ns");
+    publish_ns = &registry->GetHistogram("ingest.publish_ns");
+    shard_half_edges.reserve(num_shards);
+    for (uint32_t t = 0; t < num_shards; ++t) {
+      shard_half_edges.push_back(&registry->GetCounter(
+          "ingest.shard" + std::to_string(t) + ".half_edges_total"));
+    }
+  }
+
+  bool enabled() const { return edges != nullptr; }
+
+  /// Folds the stream frontier into the counter/gauges; called at batch
+  /// and publish boundaries, never per edge.
+  void NoteFrontier(uint64_t edges_now, uint64_t* last_noted,
+                    RateMeter* rate) {
+    if (!enabled() || edges_now == *last_noted) return;
+    edges->Add(edges_now - *last_noted);
+    rate->RecordNow(edges_now - *last_noted);
+    window_eps->Set(rate->WindowRate());
+    *last_noted = edges_now;
+    live_edges->Set(static_cast<double>(edges_now));
+  }
+
+  /// Times `on_publish` and counts it.
+  void TimedPublish(const IngestPublishFn& fn, const LinkPredictor& live,
+                    uint64_t stream_edges) {
+    obs::ScopedSpan span("ingest/publish");
+    if (!enabled()) {
+      fn(live, stream_edges);
+      return;
+    }
+    const uint64_t t0 = obs::Tracer::NowNs();
+    fn(live, stream_edges);
+    publish_ns->Record(obs::Tracer::NowNs() - t0);
+    publishes->Add(1);
+  }
+};
 
 /// Tracks how many batches each worker has fully applied, so the router
 /// can wait for a global quiescent point (all pushed batches applied, no
@@ -55,7 +118,16 @@ BoundedBatchQueue::BoundedBatchQueue(size_t capacity)
 
 void BoundedBatchQueue::Push(EdgeList batch) {
   std::unique_lock<std::mutex> lock(mu_);
-  can_push_.wait(lock, [this] { return batches_.size() < capacity_; });
+  if (batches_.size() >= capacity_) {
+    // Backpressure: only a full-on-entry Push reads the clock, so the
+    // uncontended fast path stays free of timing work.
+    const uint64_t t0 =
+        push_wait_ns_ != nullptr ? obs::Tracer::NowNs() : 0;
+    can_push_.wait(lock, [this] { return batches_.size() < capacity_; });
+    if (push_wait_ns_ != nullptr) {
+      push_wait_ns_->Record(obs::Tracer::NowNs() - t0);
+    }
+  }
   SL_CHECK(!closed_) << "Push after Close";
   batches_.push_back(std::move(batch));
   can_pop_.notify_one();
@@ -139,7 +211,11 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
     return Status::InvalidArgument("threads must be >= 1, got 0");
   }
 
+  obs::ScopedSpan build_span("ingest/build");
   PublishCadence cadence(options_);
+  IngestMetrics metrics(options_.metrics, config_.threads);
+  RateMeter rate(/*window_seconds=*/1.0);
+  uint64_t metric_edges = 0;  // stream frontier already folded into metrics
 
   if (config_.threads == 1) {
     auto predictor = MakePredictor(config_);
@@ -152,6 +228,10 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
       batch.push_back(edge);
       if (batch.size() >= options_.batch_edges) {
         (*predictor)->OnEdgeBatch(batch.data(), batch.size());
+        if (metrics.enabled()) {
+          metrics.batch_half_edges->Record(batch.size());
+          metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+        }
         batch.clear();
       }
       if (cadence.Due(edges_ingested_)) {
@@ -159,14 +239,20 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
           (*predictor)->OnEdgeBatch(batch.data(), batch.size());
           batch.clear();
         }
-        options_.on_publish(**predictor, edges_ingested_);
+        metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+        metrics.TimedPublish(options_.on_publish, **predictor,
+                             edges_ingested_);
         cadence.Published(edges_ingested_);
       }
     }
     if (!batch.empty()) {
       (*predictor)->OnEdgeBatch(batch.data(), batch.size());
     }
-    if (cadence.enabled()) options_.on_publish(**predictor, edges_ingested_);
+    metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+    if (cadence.enabled()) {
+      metrics.TimedPublish(options_.on_publish, **predictor,
+                           edges_ingested_);
+    }
     return std::move(*predictor);
   }
 
@@ -180,6 +266,9 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
   for (uint32_t t = 0; t < num_shards; ++t) {
     queues.push_back(
         std::make_unique<BoundedBatchQueue>(options_.max_inflight_batches));
+    if (metrics.enabled()) {
+      queues.back()->BindPushWaitHistogram(metrics.queue_wait_ns);
+    }
   }
 
   // Each worker owns exactly one shard: no two threads ever touch the same
@@ -189,13 +278,17 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
   std::vector<std::thread> workers;
   workers.reserve(num_shards);
   for (uint32_t t = 0; t < num_shards; ++t) {
-    workers.emplace_back([&sharded, &queues, &quiesce, t] {
+    obs::Counter* applied_counter =
+        metrics.enabled() ? metrics.shard_half_edges[t] : nullptr;
+    workers.emplace_back([&sharded, &queues, &quiesce, applied_counter, t] {
       LinkPredictor& shard = sharded->shard(t);
       EdgeList batch;
       while (queues[t]->Pop(&batch)) {
+        obs::ScopedSpan span("ingest/apply_batch");
         for (const Edge& half : batch) {
           shard.ObserveNeighbor(half.u, half.v);
         }
+        if (applied_counter != nullptr) applied_counter->Add(batch.size());
         quiesce.MarkApplied(t);
       }
     });
@@ -212,6 +305,10 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
   uint64_t accounted_edges = 0;
 
   auto push = [&](uint32_t owner) {
+    if (metrics.enabled()) {
+      metrics.batch_half_edges->Record(pending[owner].size());
+      metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+    }
     queues[owner]->Push(std::move(pending[owner]));
     ++pushed[owner];
     pending[owner] = EdgeList();
@@ -229,7 +326,8 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
     quiesce.WaitQuiesced(pushed);
     sharded->AddProcessedEdges(simple_edges - accounted_edges);
     accounted_edges = simple_edges;
-    options_.on_publish(*sharded, edges_ingested_);
+    metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+    metrics.TimedPublish(options_.on_publish, *sharded, edges_ingested_);
   };
 
   Edge edge;
@@ -258,7 +356,10 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
   // ObserveNeighbor does not count edges (a full edge is two half-edges);
   // account for the stream once, matching the sequential OnEdge tally.
   sharded->AddProcessedEdges(simple_edges - accounted_edges);
-  if (cadence.enabled()) options_.on_publish(*sharded, edges_ingested_);
+  metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+  if (cadence.enabled()) {
+    metrics.TimedPublish(options_.on_publish, *sharded, edges_ingested_);
+  }
   return std::unique_ptr<LinkPredictor>(std::move(sharded));
 }
 

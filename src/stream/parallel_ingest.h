@@ -14,6 +14,11 @@
 
 namespace streamlink {
 
+namespace obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Bounded single-producer / single-consumer queue of half-edge batches.
 /// Push blocks while `capacity` batches are in flight (backpressure on the
 /// router); Pop blocks until a batch arrives, returning false once the
@@ -33,6 +38,11 @@ class BoundedBatchQueue {
   /// Marks end-of-stream; wakes any blocked Pop.
   void Close();
 
+  /// Records producer backpressure into `hist` (nanoseconds blocked in
+  /// Push when the queue was full on entry — uncontended pushes record
+  /// nothing). `hist` must outlive the queue; nullptr disables.
+  void BindPushWaitHistogram(obs::Histogram* hist) { push_wait_ns_ = hist; }
+
  private:
   const size_t capacity_;
   std::mutex mu_;
@@ -40,6 +50,7 @@ class BoundedBatchQueue {
   std::condition_variable can_pop_;
   std::deque<EdgeList> batches_;
   bool closed_ = false;
+  obs::Histogram* push_wait_ns_ = nullptr;
 };
 
 /// Callback invoked at a live-publish point: the predictor under
@@ -67,6 +78,14 @@ struct ParallelIngestOptions {
   double publish_every_seconds = 0.0;
   /// Required when either cadence is set.
   IngestPublishFn on_publish;
+  /// When set, Build registers and maintains the `ingest.*` metric family
+  /// (docs/observability.md): edge/publish counters, live-frontier and
+  /// window-rate gauges, batch-size / queue-wait / publish-duration
+  /// histograms, and one `ingest.shard<t>.half_edges_total` counter per
+  /// worker. Updates happen at batch granularity, never per edge. The
+  /// registry must outlive Build; nullptr (default) disables all
+  /// instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Builds a predictor from an edge stream using `config.threads` ingestion

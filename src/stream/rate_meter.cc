@@ -1,6 +1,8 @@
 #include "stream/rate_meter.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace streamlink {
 
@@ -24,6 +26,11 @@ void RateMeter::Record(double now_seconds, uint64_t count) {
     window_events_ -= window_.front().count;
     window_.pop_front();
   }
+  if (gauge_ != nullptr) gauge_->Set(WindowRate());
+}
+
+void RateMeter::RecordNow(uint64_t count) {
+  Record(MonotonicSeconds(), count);
 }
 
 double RateMeter::LifetimeRate() const {

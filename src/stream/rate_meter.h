@@ -6,6 +6,10 @@
 
 namespace streamlink {
 
+namespace obs {
+class Gauge;
+}  // namespace obs
+
 /// Tracks event throughput with both a lifetime average and a sliding
 /// window of recent samples, using an injectable clock so tests can drive
 /// it deterministically. The throughput experiments use it to report
@@ -18,6 +22,16 @@ class RateMeter {
   /// Records `count` events at time `now_seconds` (monotonic, caller
   /// supplied; the stream driver passes a WallTimer reading).
   void Record(double now_seconds, uint64_t count = 1);
+
+  /// Records `count` events at the current monotonic time
+  /// (MonotonicSeconds — the process-wide steady-clock epoch), so rates
+  /// from different meters and the obs subsystem share one time base.
+  void RecordNow(uint64_t count = 1);
+
+  /// Mirrors WindowRate() into `gauge` after every Record/RecordNow, so a
+  /// MetricsRegistry scrape sees the live windowed rate without polling
+  /// this meter. `gauge` must outlive the meter; nullptr detaches.
+  void BindGauge(obs::Gauge* gauge) { gauge_ = gauge; }
 
   uint64_t total_events() const { return total_events_; }
 
@@ -40,6 +54,7 @@ class RateMeter {
   double first_time_ = 0.0;
   double last_time_ = 0.0;
   bool has_samples_ = false;
+  obs::Gauge* gauge_ = nullptr;
 };
 
 }  // namespace streamlink

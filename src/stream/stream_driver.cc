@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stream/rate_meter.h"
 #include "util/logging.h"
 
 namespace streamlink {
@@ -42,6 +45,23 @@ uint64_t StreamDriver::Run(EdgeStream& stream) {
         std::max<uint64_t>(1, static_cast<uint64_t>(f * total)));
   }
 
+  obs::ScopedSpan run_span("stream/run");
+
+  // stream.* instruments (null without BindMetrics); updated per flush and
+  // per checkpoint, never per edge.
+  obs::Counter* edges_total = nullptr;
+  obs::Counter* checkpoints_total = nullptr;
+  obs::Gauge* window_eps = nullptr;
+  obs::Histogram* checkpoint_ns = nullptr;
+  RateMeter rate(/*window_seconds=*/1.0);
+  if (metrics_ != nullptr) {
+    edges_total = &metrics_->GetCounter("stream.edges_total");
+    checkpoints_total = &metrics_->GetCounter("stream.checkpoints_total");
+    window_eps = &metrics_->GetGauge("stream.window_eps");
+    checkpoint_ns = &metrics_->GetHistogram("stream.checkpoint_ns");
+    rate.BindGauge(window_eps);
+  }
+
   uint64_t consumed = 0;
   size_t next_checkpoint = 0;
   std::vector<Edge> batch;
@@ -51,7 +71,21 @@ uint64_t StreamDriver::Run(EdgeStream& stream) {
     for (EdgeConsumer* c : consumers_) c->OnEdgeBatch(batch.data(),
                                                       batch.size());
     consumed += batch.size();
+    if (edges_total != nullptr) {
+      edges_total->Add(batch.size());
+      rate.RecordNow(batch.size());
+    }
     batch.clear();
+  };
+  auto checkpoint = [&](uint64_t edges, double fraction) {
+    obs::ScopedSpan span("stream/checkpoint");
+    const uint64_t t0 =
+        checkpoint_ns != nullptr ? obs::Tracer::NowNs() : 0;
+    checkpoint_fn_(edges, fraction);
+    if (checkpoint_ns != nullptr) {
+      checkpoint_ns->Record(obs::Tracer::NowNs() - t0);
+      checkpoints_total->Add(1);
+    }
   };
 
   Edge e;
@@ -69,7 +103,7 @@ uint64_t StreamDriver::Run(EdgeStream& stream) {
         double fraction = total > 0
                               ? static_cast<double>(consumed) / total
                               : 1.0;
-        checkpoint_fn_(consumed, fraction);
+        checkpoint(consumed, fraction);
         ++next_checkpoint;
       }
     }
@@ -78,7 +112,7 @@ uint64_t StreamDriver::Run(EdgeStream& stream) {
   // Fire any remaining checkpoints (e.g. 1.0 on an unsized stream, or when
   // rounding placed a checkpoint past the true end).
   while (next_checkpoint < checkpoint_fractions_.size()) {
-    checkpoint_fn_(consumed, 1.0);
+    checkpoint(consumed, 1.0);
     ++next_checkpoint;
   }
   return consumed;

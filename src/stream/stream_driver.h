@@ -11,6 +11,10 @@
 
 namespace streamlink {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Anything that ingests stream edges — the streaming link predictors in
 /// core/ implement this. Edges arrive either one at a time (OnEdge) or as
 /// contiguous runs (OnEdgeBatch); a batch is semantically identical to
@@ -62,11 +66,19 @@ class StreamDriver {
   /// Consumes the whole stream. Returns the number of edges processed.
   uint64_t Run(EdgeStream& stream);
 
+  /// Registers and maintains the `stream.*` metric family during Run
+  /// (docs/observability.md): edge/checkpoint counters, the windowed
+  /// edges/sec gauge, and a checkpoint-duration histogram. Updated at
+  /// flush granularity. The registry must outlive Run; nullptr (default)
+  /// disables.
+  void BindMetrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+
  private:
   std::vector<EdgeConsumer*> consumers_;
   std::vector<double> checkpoint_fractions_;
   CheckpointFn checkpoint_fn_;
   size_t batch_size_ = kDefaultBatchSize;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace streamlink

@@ -35,6 +35,13 @@ int64_t WallTimer::Nanos() const {
 
 double WallTimer::Seconds() const { return static_cast<double>(Nanos()) * 1e-9; }
 
+double MonotonicSeconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
 std::string FormatDuration(double seconds) {
   char buf[64];
   if (seconds >= 1.0) {

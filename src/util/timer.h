@@ -70,6 +70,10 @@ class Stopwatch {
 /// Formats a duration in seconds with an adaptive unit ("1.23 ms").
 std::string FormatDuration(double seconds);
 
+/// Seconds on the monotonic clock since a process-wide epoch (first call).
+/// The time base RateMeter::RecordNow and the obs subsystem share.
+double MonotonicSeconds();
+
 }  // namespace streamlink
 
 #endif  // STREAMLINK_UTIL_TIMER_H_

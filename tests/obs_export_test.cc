@@ -1,0 +1,144 @@
+// Exporter formats: the Prometheus text exposition (golden strings —
+// `# TYPE` comments, streamlink_ prefix, dot-to-underscore mapping,
+// cumulative le buckets) and the JSON dump, which must survive a
+// ParseJsonDump round trip bit-for-bit in every field the CLI's
+// `stats --metrics` table reads.
+
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace streamlink {
+namespace obs {
+namespace {
+
+MetricsRegistry& PopulatedRegistry() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    r->GetCounter("ingest.edges_total").Add(1234);
+    r->GetCounter("serve.queries_total").Add(7);
+    r->GetGauge("serve.snapshot_staleness_edges").Set(42.0);
+    r->GetGauge("stream.window_eps").Set(1.5);
+    Histogram& hist = r->GetHistogram("serve.query_latency_ns");
+    hist.Record(3);     // bucket le=4
+    hist.Record(3);     // bucket le=4
+    hist.Record(1000);  // bucket le=1024
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(ExportTextTest, PrometheusNameMapsDotsAndBadChars) {
+  EXPECT_EQ(PrometheusName("ingest.edges_total"),
+            "streamlink_ingest_edges_total");
+  EXPECT_EQ(PrometheusName("ingest.shard0.half_edges_total"),
+            "streamlink_ingest_shard0_half_edges_total");
+  EXPECT_EQ(PrometheusName("weird-name!"), "streamlink_weird_name_");
+}
+
+TEST(ExportTextTest, GoldenCounterAndGaugeLines) {
+  const std::string text = ExportText(PopulatedRegistry());
+  EXPECT_NE(text.find("# TYPE streamlink_ingest_edges_total counter\n"
+                      "streamlink_ingest_edges_total 1234\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE streamlink_serve_snapshot_staleness_edges "
+                      "gauge\n"
+                      "streamlink_serve_snapshot_staleness_edges 42\n"),
+            std::string::npos)
+      << text;
+  // Non-integral gauges keep their fraction.
+  EXPECT_NE(text.find("streamlink_stream_window_eps 1.5\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ExportTextTest, GoldenHistogramSeriesIsCumulative) {
+  const std::string text = ExportText(PopulatedRegistry());
+  const std::string expected =
+      "# TYPE streamlink_serve_query_latency_ns histogram\n"
+      "streamlink_serve_query_latency_ns_bucket{le=\"4\"} 2\n"
+      "streamlink_serve_query_latency_ns_bucket{le=\"1024\"} 3\n"
+      "streamlink_serve_query_latency_ns_bucket{le=\"+Inf\"} 3\n"
+      "streamlink_serve_query_latency_ns_sum 1006\n"
+      "streamlink_serve_query_latency_ns_count 3\n";
+  EXPECT_NE(text.find(expected), std::string::npos) << text;
+}
+
+TEST(ExportTextTest, SectionsAppearInCounterGaugeHistogramOrder) {
+  const std::string text = ExportText(PopulatedRegistry());
+  const size_t counter_at = text.find("streamlink_ingest_edges_total ");
+  const size_t gauge_at = text.find("streamlink_stream_window_eps ");
+  const size_t hist_at = text.find("streamlink_serve_query_latency_ns_sum ");
+  ASSERT_NE(counter_at, std::string::npos);
+  ASSERT_NE(gauge_at, std::string::npos);
+  ASSERT_NE(hist_at, std::string::npos);
+  EXPECT_LT(counter_at, gauge_at);
+  EXPECT_LT(gauge_at, hist_at);
+}
+
+TEST(ExportJsonTest, RoundTripsThroughParseJsonDump) {
+  MetricsSnapshot original = PopulatedRegistry().Snapshot();
+  auto parsed = ParseJsonDump(ExportJson(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  ASSERT_EQ(parsed->counters.size(), original.counters.size());
+  for (size_t i = 0; i < original.counters.size(); ++i) {
+    EXPECT_EQ(parsed->counters[i].name, original.counters[i].name);
+    EXPECT_EQ(parsed->counters[i].value, original.counters[i].value);
+  }
+  ASSERT_EQ(parsed->gauges.size(), original.gauges.size());
+  for (size_t i = 0; i < original.gauges.size(); ++i) {
+    EXPECT_EQ(parsed->gauges[i].name, original.gauges[i].name);
+    EXPECT_EQ(parsed->gauges[i].value, original.gauges[i].value);
+  }
+  ASSERT_EQ(parsed->histograms.size(), original.histograms.size());
+  for (size_t i = 0; i < original.histograms.size(); ++i) {
+    const HistogramSample& a = original.histograms[i];
+    const HistogramSample& b = parsed->histograms[i];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.count, a.count);
+    EXPECT_EQ(b.sum, a.sum);
+    EXPECT_EQ(b.mean, a.mean);
+    EXPECT_EQ(b.p50, a.p50);
+    EXPECT_EQ(b.p90, a.p90);
+    EXPECT_EQ(b.p99, a.p99);
+    EXPECT_EQ(b.max, a.max);
+    EXPECT_EQ(b.buckets, a.buckets);
+  }
+}
+
+TEST(ExportJsonTest, EmptyRegistryRoundTrips) {
+  MetricsRegistry registry;
+  auto parsed = ParseJsonDump(ExportJson(registry));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->counters.empty());
+  EXPECT_TRUE(parsed->gauges.empty());
+  EXPECT_TRUE(parsed->histograms.empty());
+}
+
+TEST(ParseJsonDumpTest, RejectsNonDumpInputs) {
+  EXPECT_FALSE(ParseJsonDump("").ok());
+  EXPECT_FALSE(ParseJsonDump("[]").ok());
+  EXPECT_FALSE(ParseJsonDump("{\"not_a_section\": []}").ok());
+  EXPECT_FALSE(ParseJsonDump("{\"counters\": [{\"name\": 3}]}").ok());
+  EXPECT_FALSE(ParseJsonDump("{\"counters\": []} trailing").ok());
+  // The errors carry the InvalidArgument code and a byte offset.
+  Status status = ParseJsonDump("[]").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("byte"), std::string::npos);
+}
+
+TEST(ReadJsonDumpFileTest, MissingFileIsIoError) {
+  auto result = ReadJsonDumpFile("/nonexistent/metrics.json");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace streamlink

@@ -1,0 +1,155 @@
+// StatsReporter: format resolution by extension, one-shot snapshots in
+// all three formats (JSON replaces, text replaces, CSV appends long-form
+// rows), the periodic reporting thread, and Stop idempotence. File
+// behavior is the contract the CLI's --metrics-out/--metrics-every flags
+// depend on.
+
+#include "obs/stats_reporter.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace streamlink {
+namespace obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+class StatsReporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/obs_reporter_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    registry_.GetCounter("test.events_total").Add(5);
+    registry_.GetGauge("test.depth").Set(2.5);
+    registry_.GetHistogram("test.ns").Record(100);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  MetricsRegistry registry_;
+};
+
+TEST_F(StatsReporterTest, FormatResolvesByExtension) {
+  auto resolved = [&](const std::string& name) {
+    StatsReporter reporter(registry_, StatsReporterOptions{dir_ + name});
+    return reporter.resolved_format();
+  };
+  EXPECT_EQ(resolved("/m.json"), StatsFormat::kJson);
+  EXPECT_EQ(resolved("/m.bin"), StatsFormat::kJson);  // unknown -> JSON
+  EXPECT_EQ(resolved("/m.prom"), StatsFormat::kText);
+  EXPECT_EQ(resolved("/m.txt"), StatsFormat::kText);
+  EXPECT_EQ(resolved("/m.csv"), StatsFormat::kCsv);
+}
+
+TEST_F(StatsReporterTest, WriteOnceJsonIsParseableAndReplaces) {
+  const std::string path = dir_ + "/metrics.json";
+  StatsReporter reporter(registry_, StatsReporterOptions{path});
+  ASSERT_TRUE(reporter.WriteOnce().ok());
+  registry_.GetCounter("test.events_total").Add(1);
+  ASSERT_TRUE(reporter.WriteOnce().ok());
+  EXPECT_EQ(reporter.snapshots_written(), 2u);
+
+  // The file holds exactly the latest snapshot, not an accumulation.
+  auto parsed = ReadJsonDumpFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->counters.size(), 1u);
+  EXPECT_EQ(parsed->counters[0].value, 6u);
+}
+
+TEST_F(StatsReporterTest, WriteOncePromIsPrometheusText) {
+  const std::string path = dir_ + "/metrics.prom";
+  StatsReporter reporter(registry_, StatsReporterOptions{path});
+  ASSERT_TRUE(reporter.WriteOnce().ok());
+  const std::string text = ReadFile(path);
+  EXPECT_NE(text.find("# TYPE streamlink_test_events_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("streamlink_test_events_total 5\n"), std::string::npos);
+}
+
+TEST_F(StatsReporterTest, CsvAppendsLongFormatRowsWithOneHeader) {
+  const std::string path = dir_ + "/metrics.csv";
+  StatsReporter reporter(registry_, StatsReporterOptions{path});
+  ASSERT_TRUE(reporter.WriteOnce().ok());
+  ASSERT_TRUE(reporter.WriteOnce().ok());
+  const std::string csv = ReadFile(path);
+
+  // One header even across appends.
+  EXPECT_EQ(csv.find("elapsed_seconds,metric,value\n"), 0u);
+  EXPECT_EQ(csv.find("elapsed_seconds", 1), std::string::npos);
+  // Each snapshot contributed a row per metric; histograms expand to
+  // count/mean/p50/p99 series.
+  size_t counter_rows = 0;
+  for (size_t at = csv.find(",test.events_total,"); at != std::string::npos;
+       at = csv.find(",test.events_total,", at + 1)) {
+    ++counter_rows;
+  }
+  EXPECT_EQ(counter_rows, 2u);
+  EXPECT_NE(csv.find(",test.ns.count,1"), std::string::npos) << csv;
+  EXPECT_NE(csv.find(",test.ns.p99,"), std::string::npos);
+}
+
+TEST_F(StatsReporterTest, StartValidatesOptions) {
+  StatsReporter no_path(registry_, StatsReporterOptions{""});
+  EXPECT_EQ(no_path.Start().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(no_path.WriteOnce().ok());
+
+  StatsReporterOptions bad_period{dir_ + "/m.json"};
+  bad_period.period_seconds = 0.0;
+  StatsReporter zero(registry_, bad_period);
+  EXPECT_EQ(zero.Start().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StatsReporterTest, PeriodicThreadWritesUntilStopped) {
+  StatsReporterOptions options{dir_ + "/periodic.json"};
+  options.period_seconds = 0.01;
+  StatsReporter reporter(registry_, options);
+  ASSERT_TRUE(reporter.Start().ok());
+  // Starting twice is a FailedPrecondition, not a second thread.
+  EXPECT_EQ(reporter.Start().code(), StatusCode::kFailedPrecondition);
+
+  while (reporter.snapshots_written() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  reporter.Stop();
+  const uint64_t at_stop = reporter.snapshots_written();
+  EXPECT_GE(at_stop, 3u);
+  // Stop is idempotent and the thread really stopped.
+  reporter.Stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(reporter.snapshots_written(), at_stop);
+
+  auto parsed = ReadJsonDumpFile(options.path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->counters.size(), 1u);
+  EXPECT_EQ(parsed->counters[0].name, "test.events_total");
+
+  // A stopped reporter can still be used for a final explicit snapshot.
+  EXPECT_TRUE(reporter.WriteOnce().ok());
+}
+
+TEST_F(StatsReporterTest, WriteFailsCleanlyOnBadPath) {
+  StatsReporter reporter(registry_,
+                         StatsReporterOptions{"/nonexistent/dir/m.json"});
+  EXPECT_EQ(reporter.WriteOnce().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace streamlink

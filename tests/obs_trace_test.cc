@@ -1,0 +1,163 @@
+// Scoped-span tracer: disabled spans cost nothing and record nothing,
+// enabled spans capture correct nesting depths and containment intervals,
+// the per-thread rings drop oldest-first on overflow, and the drained
+// spans serialize to loadable Chrome trace_event JSON.
+//
+// Tracer::Get() is process-wide state; every test enables it fresh and
+// drains/disables before finishing so tests stay order-independent.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace streamlink {
+namespace obs {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Drain();
+  }
+};
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(Tracer::Get().enabled());
+  { ScopedSpan span("test/ignored"); }
+  EXPECT_TRUE(Tracer::Get().Drain().empty());
+}
+
+TEST_F(TracerTest, NowNsIsMonotonic) {
+  const uint64_t a = Tracer::NowNs();
+  const uint64_t b = Tracer::NowNs();
+  EXPECT_LE(a, b);
+}
+
+TEST_F(TracerTest, NestedSpansRecordDepthAndContainment) {
+  Tracer::Get().Enable();
+  {
+    ScopedSpan outer("test/outer");
+    {
+      ScopedSpan inner("test/inner");
+    }
+    {
+      ScopedSpan sibling("test/sibling");
+    }
+  }
+  std::vector<TraceSpan> spans = Tracer::Get().Drain();
+  ASSERT_EQ(spans.size(), 3u);
+
+  auto find = [&](const std::string& name) -> const TraceSpan& {
+    auto it = std::find_if(spans.begin(), spans.end(), [&](const TraceSpan& s) {
+      return name == s.name;
+    });
+    SL_CHECK(it != spans.end()) << "missing span " << name;
+    return *it;
+  };
+  const TraceSpan& outer = find("test/outer");
+  const TraceSpan& inner = find("test/inner");
+  const TraceSpan& sibling = find("test/sibling");
+
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(sibling.depth, 1u);
+  EXPECT_EQ(outer.tid, inner.tid);
+
+  // Children start no earlier and end no later than the parent.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+  EXPECT_GE(sibling.start_ns, inner.start_ns + inner.dur_ns);
+
+  // Drain is ordered by start time and leaves the rings empty.
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_LE(spans[1].start_ns, spans[2].start_ns);
+  EXPECT_TRUE(Tracer::Get().Drain().empty());
+}
+
+TEST_F(TracerTest, SpansOpenedBeforeDisableAreDropped) {
+  Tracer::Get().Enable();
+  // A ScopedSpan checks the enabled flag at *construction*; one that was
+  // never armed records nothing even if tracing turns on mid-scope, and
+  // one armed before Disable records if still active at destruction.
+  { ScopedSpan span("test/armed"); }
+  Tracer::Get().Disable();
+  { ScopedSpan span("test/after_disable"); }
+  std::vector<TraceSpan> spans = Tracer::Get().Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "test/armed");
+}
+
+TEST_F(TracerTest, ThreadsGetDistinctIdsAndRingsDropOldest) {
+  Tracer::Get().Enable(/*ring_capacity=*/4);
+  const uint64_t dropped_before = Tracer::Get().dropped();
+  std::thread worker([] {
+    for (int i = 0; i < 10; ++i) {
+      ScopedSpan span("test/worker");
+    }
+  });
+  worker.join();
+  { ScopedSpan span("test/main"); }
+
+  std::vector<TraceSpan> spans = Tracer::Get().Drain();
+  // The worker's ring retained only its newest 4 of 10 spans.
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_EQ(Tracer::Get().dropped() - dropped_before, 6u);
+
+  uint32_t worker_tid = 0, main_tid = 0;
+  bool saw_worker = false, saw_main = false;
+  for (const TraceSpan& s : spans) {
+    if (std::string(s.name) == "test/worker") {
+      worker_tid = s.tid;
+      saw_worker = true;
+    } else {
+      main_tid = s.tid;
+      saw_main = true;
+    }
+  }
+  ASSERT_TRUE(saw_worker && saw_main);
+  EXPECT_NE(worker_tid, main_tid);
+}
+
+TEST_F(TracerTest, ChromeJsonHasCompleteEventsPerSpan) {
+  Tracer::Get().Enable();
+  {
+    ScopedSpan outer("test/json_outer");
+    ScopedSpan inner("test/json_inner");
+  }
+  std::vector<TraceSpan> spans = Tracer::Get().Drain();
+  const std::string json = Tracer::ToChromeJson(spans);
+
+  // One "X" (complete) event per span, with the trace_event required keys.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back() == '\n' ? json[json.size() - 2] : json.back(), ']');
+  size_t events = 0;
+  for (size_t at = json.find("\"ph\":\"X\""); at != std::string::npos;
+       at = json.find("\"ph\":\"X\"", at + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, spans.size());
+  EXPECT_NE(json.find("\"name\":\"test/json_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test/json_inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+}
+
+TEST_F(TracerTest, WriteChromeTraceRejectsBadPath) {
+  Tracer::Get().Enable();
+  { ScopedSpan span("test/unwritable"); }
+  EXPECT_FALSE(
+      Tracer::Get().WriteChromeTrace("/nonexistent/dir/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace streamlink

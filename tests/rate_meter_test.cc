@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "util/timer.h"
+
 namespace streamlink {
 namespace {
 
@@ -76,6 +79,53 @@ TEST(RateMeterTest, DefaultCountIsOneEvent) {
   meter.Record(2.0);
   EXPECT_EQ(meter.total_events(), 2u);
   EXPECT_DOUBLE_EQ(meter.LifetimeRate(), 1.0);
+}
+
+TEST(RateMeterTest, WindowRollsOverCompletely) {
+  RateMeter meter(/*window_seconds=*/1.0);
+  // A dense burst, then a long silence: after the window rolls past every
+  // burst sample, only the newest sample remains and the window rate
+  // collapses to zero (one instant has no span) rather than reporting the
+  // stale burst forever.
+  for (int i = 0; i < 10; ++i) meter.Record(i * 0.1, 100);
+  EXPECT_GT(meter.WindowRate(), 0.0);
+  meter.Record(100.0, 1);
+  EXPECT_EQ(meter.WindowRate(), 0.0);
+  EXPECT_EQ(meter.total_events(), 1001u);
+  // The next sample restarts the window from the survivor.
+  meter.Record(100.5, 49);
+  EXPECT_DOUBLE_EQ(meter.WindowRate(), 100.0);  // 50 events over 0.5s
+}
+
+TEST(RateMeterTest, RecordNowUsesTheMonotonicClock) {
+  RateMeter meter(/*window_seconds=*/60.0);
+  const double before = MonotonicSeconds();
+  meter.RecordNow(10);
+  meter.RecordNow();  // default count of one, same as Record
+  const double after = MonotonicSeconds();
+  EXPECT_EQ(meter.total_events(), 11u);
+  // Timestamps came from the same process-wide epoch the caller reads, so
+  // lifetime span is bounded by the bracketing reads (zero span -> rate 0).
+  if (meter.LifetimeRate() > 0.0) {
+    EXPECT_GE(meter.LifetimeRate(), 11.0 / (after - before + 1e-9));
+  }
+}
+
+TEST(RateMeterTest, BoundGaugeMirrorsWindowRate) {
+  obs::Gauge gauge;
+  RateMeter meter(/*window_seconds=*/1.0);
+  meter.BindGauge(&gauge);
+  meter.Record(0.0, 10);
+  EXPECT_DOUBLE_EQ(gauge.Value(), meter.WindowRate());
+  meter.Record(0.5, 10);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 40.0);  // 20 events over 0.5s, live
+  meter.Record(1.0, 20);
+  EXPECT_DOUBLE_EQ(gauge.Value(), meter.WindowRate());
+  // Detaching stops the mirror without disturbing the meter.
+  meter.BindGauge(nullptr);
+  meter.Record(1.25, 1000);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 40.0);
+  EXPECT_GT(meter.WindowRate(), 40.0);
 }
 
 }  // namespace

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json reports and flag throughput regressions.
+
+Every bench_* experiment binary writes a BENCH_<name>.json run report
+(see bench/bench_common.h: headline `metrics` scalars plus the emitted
+tables, wall_seconds, and peak_rss_kb). This tool diffs the headline
+metrics of two such reports — typically the same bench run on two
+commits — and exits non-zero when a throughput-like metric regressed by
+more than the threshold, so it can gate CI.
+
+Metric direction is inferred from the key name:
+  * higher-is-better: *_eps, *_qps, *per_sec, *throughput*
+  * lower-is-better:  *_seconds, *_us, *_ns, *_ms, *_pct, *overhead*
+  * anything else is reported but never flagged.
+
+Usage:
+  tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Exit codes: 0 ok, 1 regression past threshold, 2 usage/parse error.
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_SUFFIXES = ("_eps", "_qps", "_per_sec")
+HIGHER_SUBSTRINGS = ("throughput",)
+LOWER_SUFFIXES = ("_seconds", "_us", "_ns", "_ms", "_pct")
+LOWER_SUBSTRINGS = ("overhead",)
+
+
+def direction(key):
+    """'higher', 'lower', or None (informational only)."""
+    lower_key = key.lower()
+    if lower_key.endswith(HIGHER_SUFFIXES) or any(
+        s in lower_key for s in HIGHER_SUBSTRINGS
+    ):
+        return "higher"
+    if lower_key.endswith(LOWER_SUFFIXES) or any(
+        s in lower_key for s in LOWER_SUBSTRINGS
+    ):
+        return "lower"
+    return None
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if not isinstance(report.get("metrics"), dict):
+        sys.exit(f"error: {path} has no 'metrics' object "
+                 "(not a BENCH_*.json report?)")
+    return report
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json reports, flag regressions.")
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="regression threshold in percent (default: 10)")
+    args = parser.parse_args(argv)
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+    if base.get("bench") != cand.get("bench"):
+        print(f"warning: comparing different benches "
+              f"({base.get('bench')} vs {cand.get('bench')})")
+
+    regressions = []
+    keys = sorted(set(base["metrics"]) | set(cand["metrics"]))
+    width = max((len(k) for k in keys), default=0)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  "
+          f"{'delta':>8}  verdict")
+    for key in keys:
+        if key not in base["metrics"] or key not in cand["metrics"]:
+            missing = "baseline" if key not in base["metrics"] else "candidate"
+            print(f"{key:<{width}}  {'':>14}  {'':>14}  {'':>8}  "
+                  f"missing in {missing}")
+            continue
+        old, new = base["metrics"][key], cand["metrics"][key]
+        if old == 0:
+            delta_pct = 0.0 if new == 0 else float("inf")
+        else:
+            delta_pct = 100.0 * (new - old) / abs(old)
+        sense = direction(key)
+        if sense == "higher":
+            regressed = delta_pct < -args.threshold
+        elif sense == "lower":
+            regressed = delta_pct > args.threshold
+        else:
+            regressed = False
+        verdict = "REGRESSED" if regressed else ("ok" if sense else "info")
+        print(f"{key:<{width}}  {old:>14.6g}  {new:>14.6g}  "
+              f"{delta_pct:>+7.1f}%  {verdict}")
+        if regressed:
+            regressions.append(key)
+
+    # Peak RSS is reported alongside but held to a looser, fixed bar (2x)
+    # since allocator noise dominates small benches.
+    old_rss, new_rss = base.get("peak_rss_kb", 0), cand.get("peak_rss_kb", 0)
+    if old_rss and new_rss:
+        print(f"{'peak_rss_kb':<{width}}  {old_rss:>14}  {new_rss:>14}  "
+              f"{100.0 * (new_rss - old_rss) / old_rss:>+7.1f}%  info")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) past "
+              f"{args.threshold:.0f}%: {', '.join(regressions)}")
+        return 1
+    print("\nno regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
