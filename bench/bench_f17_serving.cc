@@ -53,10 +53,9 @@ void Run(const BenchConfig& config) {
   // No-publish baseline: the same build without the snapshot barrier.
   double baseline_seconds;
   {
-    ParallelIngestEngine engine(predictor_config);
     VectorEdgeStream stream(g.edges);
     Stopwatch timer;
-    SL_CHECK_OK(engine.Build(stream).status());
+    SL_CHECK_OK(IngestEngineBuilder(predictor_config).Ingest(stream).status());
     baseline_seconds = timer.ElapsedSeconds();
   }
 
@@ -65,10 +64,10 @@ void Run(const BenchConfig& config) {
                      "ingest_overhead"});
   for (uint32_t readers : {1u, 2u, 4u, 8u}) {
     QueryService service;
-    ParallelIngestOptions options;
-    options.publish_every_edges = publish_every;
-    options.on_publish = service.IngestPublisher();
-    ParallelIngestEngine engine(predictor_config, options);
+    ParallelIngestEngine engine = IngestEngineBuilder(predictor_config)
+                                      .PublishEveryEdges(publish_every)
+                                      .PublishTo(service)
+                                      .BuildEngine();
     VectorEdgeStream raw(g.edges);
     auto tapped = service.WrapStream(raw);
 

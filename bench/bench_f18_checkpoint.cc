@@ -58,10 +58,9 @@ void Run(const BenchConfig& config) {
   // No-checkpoint baseline build.
   double baseline_seconds;
   {
-    ParallelIngestEngine engine(predictor_config);
     VectorEdgeStream stream(g.edges);
     Stopwatch timer;
-    SL_CHECK_OK(engine.Build(stream).status());
+    SL_CHECK_OK(IngestEngineBuilder(predictor_config).Ingest(stream).status());
     baseline_seconds = timer.ElapsedSeconds();
   }
   std::printf("baseline build (no checkpoints): %.3fs\n\n", baseline_seconds);
@@ -77,10 +76,10 @@ void Run(const BenchConfig& config) {
         CheckpointManager::Open(CheckpointOptions{dir, /*keep=*/3});
     SL_CHECK(manager.ok()) << manager.status().ToString();
 
-    ParallelIngestOptions options;
-    options.publish_every_edges = cadence;
-    options.on_publish = manager->IngestPublisher();
-    ParallelIngestEngine engine(predictor_config, options);
+    ParallelIngestEngine engine = IngestEngineBuilder(predictor_config)
+                                      .PublishEveryEdges(cadence)
+                                      .PublishTo(*manager)
+                                      .BuildEngine();
     VectorEdgeStream stream(g.edges);
     Stopwatch timer;
     SL_CHECK_OK(engine.Build(stream).status());
@@ -110,9 +109,8 @@ void Run(const BenchConfig& config) {
 
   // Reference: uninterrupted build, saved through the same fold path.
   {
-    ParallelIngestEngine engine(predictor_config);
     VectorEdgeStream stream(g.edges);
-    auto built = engine.Build(stream);
+    auto built = IngestEngineBuilder(predictor_config).Ingest(stream);
     SL_CHECK_OK(built.status());
     std::unique_ptr<LinkPredictor> predictor = std::move(*built);
     if (auto folded = predictor->Clone()) predictor = std::move(folded);
@@ -124,11 +122,11 @@ void Run(const BenchConfig& config) {
     auto manager = CheckpointManager::Open(
         CheckpointOptions{resume_dir, /*keep=*/3});
     SL_CHECK(manager.ok());
-    ParallelIngestOptions options;
-    options.publish_every_edges =
-        std::max<uint64_t>(1, g.edges.size() / 10);
-    options.on_publish = manager->IngestPublisher();
-    ParallelIngestEngine engine(predictor_config, options);
+    ParallelIngestEngine engine =
+        IngestEngineBuilder(predictor_config)
+            .PublishEveryEdges(std::max<uint64_t>(1, g.edges.size() / 10))
+            .PublishTo(*manager)
+            .BuildEngine();
     PrefixEdgeStream prefix(std::make_unique<VectorEdgeStream>(g.edges),
                             killed_at);
     SL_CHECK_OK(engine.Build(prefix).status());

@@ -1,14 +1,21 @@
-// Parallel sharded ingestion with ParallelIngestEngine.
+// Parallel ingestion with IngestEngineBuilder.
 //
 // MinHash sketches form a commutative idempotent monoid under slot-wise
 // minimum, and degree counters add — so a stream can be vertex-sharded
 // across worker threads (shard t owns vertices with u % threads == t) and
 // the result stays bit-identical to a single-pass sequential build. The
 // engine routes each edge's two half-edges to the endpoint owners through
-// bounded queues; the returned ShardedPredictor answers queries by routing
-// to the owning shards, so there is no merge step at all.
+// bounded SPSC rings carrying large pre-hashed batches; the returned
+// ShardedPredictor answers queries by routing to the owning shards, so
+// there is no merge step at all.
+//
+// With --ingest-mode relaxed, each worker instead ingests an arbitrary
+// partition of whole edges into its own full replica, and the replicas
+// are merged once at end-of-stream — higher throughput, but only
+// oracle-bounded (not bit-identical) estimates are promised.
 //
 // Run:  ./examples/parallel_ingest [--threads 4] [--scale 2.0]
+//                                  [--ingest-mode ordered|relaxed]
 
 #include <cstdio>
 #include <thread>
@@ -26,7 +33,11 @@ using namespace streamlink;  // example code only; library code never does this 
 
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  SL_CHECK_OK(flags.CheckUnknown({"threads", "scale"}));
+  std::vector<std::string> known = {"threads", "scale"};
+  for (const std::string& name : IngestEngineBuilder::FlagNames()) {
+    known.push_back(name);
+  }
+  SL_CHECK_OK(flags.CheckUnknown(known));
   const int num_threads = static_cast<int>(flags.GetInt("threads", 4));
   const double scale = flags.GetDouble("scale", 2.0);
   SL_CHECK(num_threads >= 1) << "--threads must be >= 1";
@@ -42,56 +53,66 @@ int main(int argc, char** argv) {
   // Sequential reference.
   Stopwatch sequential_timer;
   config.threads = 1;
-  ParallelIngestEngine sequential_engine(config);
   VectorEdgeStream sequential_stream(g.edges);
-  auto sequential = sequential_engine.Build(sequential_stream);
+  auto sequential = IngestEngineBuilder(config).Ingest(sequential_stream);
   SL_CHECK_OK(sequential.status());
   double sequential_seconds = sequential_timer.ElapsedSeconds();
   std::printf("sequential build: %s\n",
               FormatDuration(sequential_seconds).c_str());
 
-  // Sharded build through the engine: the calling thread routes half-edges
-  // to per-shard queues; one worker per shard applies them. Every vertex's
-  // sketch lives in exactly one shard, so total memory matches the
-  // sequential build.
+  // Parallel build through the builder: --ingest-mode / --batch-edges /
+  // --ring-batches map straight onto it. In ordered mode the calling
+  // thread routes pre-hashed half-edge batches to per-shard rings; one
+  // worker per shard applies them. Every vertex's sketch lives in exactly
+  // one shard, so total memory matches the sequential build.
+  IngestEngineBuilder builder(config);
+  SL_CHECK_OK(builder.ApplyFlags(flags));
+  builder.Threads(static_cast<uint32_t>(num_threads));
+  const bool ordered =
+      builder.options().ordering == IngestOrdering::kOrdered;
   Stopwatch parallel_timer;
-  config.threads = static_cast<uint32_t>(num_threads);
-  ParallelIngestEngine parallel_engine(config);
   VectorEdgeStream parallel_stream(g.edges);
-  auto sharded = parallel_engine.Build(parallel_stream);
-  SL_CHECK_OK(sharded.status());
+  uint64_t edges_ingested = 0;
+  auto parallel = builder.Ingest(parallel_stream, &edges_ingested);
+  SL_CHECK_OK(parallel.status());
   double parallel_seconds = parallel_timer.ElapsedSeconds();
   unsigned hardware = std::thread::hardware_concurrency();
-  std::printf("%d-thread build:  %s  (%.2fx on %u hardware thread%s)\n",
-              num_threads, FormatDuration(parallel_seconds).c_str(),
+  std::printf("%d-thread %s build:  %s  (%.2fx on %u hardware thread%s)\n",
+              num_threads,
+              IngestOrderingName(builder.options().ordering).c_str(),
+              FormatDuration(parallel_seconds).c_str(),
               sequential_seconds / parallel_seconds, hardware,
               hardware == 1 ? "" : "s");
   if (hardware < static_cast<unsigned>(num_threads)) {
     std::printf(
         "  (speedup requires >= %d cores; this machine has %u — the run\n"
-        "   still demonstrates that sharded ingestion is lossless)\n",
+        "   still demonstrates the engine's equivalence contract)\n",
         num_threads, hardware);
   }
   std::printf("ingested %llu edges; %s processed %llu\n\n",
-              static_cast<unsigned long long>(parallel_engine.edges_ingested()),
-              (*sharded)->name().c_str(),
-              static_cast<unsigned long long>((*sharded)->edges_processed()));
+              static_cast<unsigned long long>(edges_ingested),
+              (*parallel)->name().c_str(),
+              static_cast<unsigned long long>((*parallel)->edges_processed()));
 
-  // Verify bit-equality of estimates on random pairs — queries route to
-  // the two owning shards and must match the sequential build exactly.
+  // Verify estimates on random pairs against the sequential build. Ordered
+  // mode must match bit-for-bit; relaxed mode's disjoint-partition merge
+  // is lossless for minhash in practice, but its contract only promises
+  // oracle-bounded estimates, so the example reports without asserting.
   Rng rng(1);
   int checked = 0, identical = 0;
   for (int i = 0; i < 1000; ++i) {
     VertexId u = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
     VertexId v = static_cast<VertexId>(rng.NextBounded(g.num_vertices));
     OverlapEstimate a = (*sequential)->EstimateOverlap(u, v);
-    OverlapEstimate b = (*sharded)->EstimateOverlap(u, v);
+    OverlapEstimate b = (*parallel)->EstimateOverlap(u, v);
     ++checked;
     identical += (a.jaccard == b.jaccard && a.intersection == b.intersection &&
                   a.adamic_adar == b.adamic_adar);
   }
-  std::printf("sharded == sequential on %d/%d sampled queries\n", identical,
+  std::printf("parallel == sequential on %d/%d sampled queries\n", identical,
               checked);
-  SL_CHECK(identical == checked) << "sharded build diverged from sequential";
+  if (ordered) {
+    SL_CHECK(identical == checked) << "ordered build diverged from sequential";
+  }
   return 0;
 }

@@ -63,20 +63,26 @@ Result<LinkMeasure> ParseMeasure(const std::string& name) {
 }
 
 /// Builds a predictor from the edges with `config.threads` ingestion
-/// workers (sequentially when threads == 1). Queries against the result
-/// are bit-identical either way.
+/// workers (sequentially when threads == 1), honoring the shared ingest
+/// flags (--ingest-mode, --batch-edges, --ring-batches). Ordered builds
+/// are bit-identical to sequential either way.
 Result<std::unique_ptr<LinkPredictor>> BuildPredictor(
-    const PredictorConfig& config, const EdgeList& edges) {
-  ParallelIngestEngine engine(config);
+    const FlagParser& flags, const PredictorConfig& config,
+    const EdgeList& edges) {
+  IngestEngineBuilder builder(config);
+  if (auto st = builder.ApplyFlags(flags); !st.ok()) return st;
   VectorEdgeStream stream(edges);
-  return engine.Build(stream);
+  return builder.Ingest(stream);
 }
 
-/// The shared predictor flag names plus a command's own flags, for
-/// CheckUnknown.
+/// The shared predictor + ingest flag names plus a command's own flags,
+/// for CheckUnknown.
 std::vector<std::string> WithPredictorFlags(
     std::initializer_list<const char*> own) {
   std::vector<std::string> names = PredictorFlagNames();
+  for (const std::string& name : IngestEngineBuilder::FlagNames()) {
+    names.push_back(name);
+  }
   for (const char* name : own) names.emplace_back(name);
   return names;
 }
@@ -314,21 +320,21 @@ Status CmdBuild(const FlagParser& flags, std::ostream& out) {
 
   auto manager = OpenCheckpointFlags(flags);
   if (!manager.ok()) return manager.status();
-  ParallelIngestOptions options;
-  options.metrics = obs.registry();
+  IngestEngineBuilder builder(config);
+  if (auto st = builder.ApplyFlags(flags); !st.ok()) return st;
+  builder.Metrics(obs.registry());
   if (manager->has_value()) {
     (*manager)->BindMetrics(obs.registry());
-    options.publish_every_edges =
+    const uint64_t every =
         static_cast<uint64_t>(flags.GetInt("checkpoint-every", 10000));
-    if (options.publish_every_edges == 0) {
+    if (every == 0) {
       return Status::InvalidArgument("--checkpoint-every must be > 0");
     }
-    options.on_publish = (*manager)->IngestPublisher();
+    builder.PublishEveryEdges(every).PublishTo(**manager);
   }
 
-  ParallelIngestEngine engine(config, options);
   VectorEdgeStream stream(file->edges);
-  auto built = engine.Build(stream);
+  auto built = builder.Ingest(stream);
   if (!built.ok()) return built.status();
   std::unique_ptr<LinkPredictor> predictor =
       FoldForSnapshot(std::move(*built));
@@ -479,7 +485,7 @@ Status CmdTopK(const FlagParser& flags, std::ostream& out) {
   defaults.sketch_size = 128;
   defaults.seed = 42;
   PredictorConfig config = PredictorConfigFromFlags(flags, defaults);
-  auto predictor = BuildPredictor(config, file->edges);
+  auto predictor = BuildPredictor(flags, config, file->edges);
   if (!predictor.ok()) return predictor.status();
 
   CsrGraph snapshot = CsrGraph::FromEdges(file->edges, file->num_vertices);
@@ -539,14 +545,22 @@ Status CmdCompare(const FlagParser& flags, std::ostream& out) {
 
   TablePrinter table({"predictor", "k", "jaccard_mae", "cn_mre", "aa_mre",
                       "mbytes"});
+  IngestEngineBuilder ingest_flags;
+  if (auto st = ingest_flags.ApplyFlags(flags); !st.ok()) return st;
+  const bool relaxed =
+      ingest_flags.options().ordering == IngestOrdering::kRelaxed;
   for (const std::string& kind : PredictorKinds()) {
     if (kind == "exact" || kind == "windowed_minhash") continue;
     PredictorConfig config = base;
     config.kind = kind;
-    // Kinds that depend on global stream state cannot shard; build them
-    // sequentially so the comparison still covers every predictor.
-    if (!KindSupportsSharding(kind)) config.threads = 1;
-    auto predictor = BuildPredictor(config, graph.edges);
+    // Kinds the requested mode cannot parallelize (no vertex sharding for
+    // ordered, no lossless replica merge for relaxed) build sequentially
+    // so the comparison still covers every predictor.
+    if (relaxed ? !KindSupportsReplicatedMerge(kind)
+                : !KindSupportsSharding(kind)) {
+      config.threads = 1;
+    }
+    auto predictor = BuildPredictor(flags, config, graph.edges);
     if (!predictor.ok()) return predictor.status();
     ExactPredictor exact;
     FeedStream(exact, graph.edges);
@@ -606,17 +620,18 @@ Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
   ObsScope obs;
   if (auto st = obs.Init(flags); !st.ok()) return st;
   service.BindMetrics(obs.registry());
-  ParallelIngestOptions options;
-  options.metrics = obs.registry();
-  options.publish_every_edges =
-      static_cast<uint64_t>(flags.GetInt("publish-edges", 5000));
-  options.publish_every_seconds = flags.GetDouble("publish-seconds", 0.0);
-  if (options.publish_every_edges == 0 &&
-      options.publish_every_seconds <= 0) {
+  IngestEngineBuilder builder(config);
+  if (auto st = builder.ApplyFlags(flags); !st.ok()) return st;
+  builder.Metrics(obs.registry())
+      .PublishEveryEdges(
+          static_cast<uint64_t>(flags.GetInt("publish-edges", 5000)))
+      .PublishEverySeconds(flags.GetDouble("publish-seconds", 0.0))
+      .PublishTo(service);
+  if (builder.options().publish_every_edges == 0 &&
+      builder.options().publish_every_seconds <= 0) {
     return Status::InvalidArgument(
         "--publish-edges or --publish-seconds must be > 0");
   }
-  options.on_publish = service.IngestPublisher();
 
   // With --checkpoint-dir, readers get answers from the newest durable
   // checkpoint before the build's first publish (warm start). An empty or
@@ -652,7 +667,7 @@ Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
     });
   }
 
-  ParallelIngestEngine engine(config, options);
+  ParallelIngestEngine engine = builder.BuildEngine();
   VectorEdgeStream raw(file->edges);
   std::unique_ptr<EdgeStream> tapped = service.WrapStream(raw);
   Stopwatch ingest_clock;
@@ -720,8 +735,11 @@ std::string CliUsage() {
       "  --metrics-every S    also rewrite FILE every S seconds while "
       "running\n"
       "  --trace-out FILE     Chrome trace_event JSON of the run's spans\n"
-      "predictor flags (build/topk/serve-bench):\n" +
-      PredictorFlagsHelp();
+      "predictor flags (build/topk/compare/serve-bench):\n" +
+      PredictorFlagsHelp() +
+      "ingest flags (build/topk/compare/serve-bench; "
+      "docs/parallel_ingest.md):\n" +
+      IngestEngineBuilder::FlagsHelp();
 }
 
 Status RunCliCommand(const std::vector<std::string>& args,

@@ -28,6 +28,43 @@ void BottomKPredictor::ObserveNeighbor(VertexId u, VertexId neighbor) {
   if (options_.track_exact_degrees) degrees_.Increment(u);
 }
 
+void BottomKPredictor::ObserveNeighborBatch(const EdgeBatch& batch) {
+  if (batch.has_hash_v()) {
+    // Producer pre-hashed every neighbor under our seed (NeighborHashSeed
+    // contract): the kernel is pure sketch insertion, zero hashing.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Edge& e = batch[i];
+      store_.Mutable(e.u).Update(batch.hash_v(i), e.v);
+      if (options_.track_exact_degrees) degrees_.Increment(e.u);
+    }
+    return;
+  }
+  const uint64_t mixed_seed = MixSeed(options_.seed);
+  for (const Edge& e : batch) {
+    store_.Mutable(e.u).Update(HashU64WithMixedSeed(e.v, mixed_seed), e.v);
+    if (options_.track_exact_degrees) degrees_.Increment(e.u);
+  }
+}
+
+void BottomKPredictor::ProcessBatch(const EdgeBatch& batch) {
+  AddProcessedEdges(batch.size());
+  const bool lanes = batch.has_hash_u() && batch.has_hash_v();
+  const uint64_t mixed_seed = MixSeed(options_.seed);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Edge& e = batch[i];
+    const uint64_t hu =
+        lanes ? batch.hash_u(i) : HashU64WithMixedSeed(e.u, mixed_seed);
+    const uint64_t hv =
+        lanes ? batch.hash_v(i) : HashU64WithMixedSeed(e.v, mixed_seed);
+    store_.Mutable(e.u).Update(hv, e.v);
+    store_.Mutable(e.v).Update(hu, e.u);
+    if (options_.track_exact_degrees) {
+      degrees_.Increment(e.u);
+      degrees_.Increment(e.v);
+    }
+  }
+}
+
 double BottomKPredictor::Degree(VertexId u) const {
   if (options_.track_exact_degrees) return degrees_.Degree(u);
   const BottomKSketch* s = store_.Get(u);

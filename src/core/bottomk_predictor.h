@@ -53,6 +53,16 @@ class BottomKPredictor : public LinkPredictor {
   // owning shard's sketch.
   bool SupportsSharding() const override { return true; }
   void ObserveNeighbor(VertexId u, VertexId neighbor) override;
+  /// Consumes the batch's hash_v lane when present — the producer already
+  /// computed HashU64(neighbor, seed) once, so the KMV kernel does zero
+  /// hashing here.
+  void ObserveNeighborBatch(const EdgeBatch& batch) override;
+  /// The single-hash kernel contract: producers pre-hash neighbors under
+  /// this seed into the EdgeBatch hash_v lane.
+  bool NeighborHashSeed(uint64_t* seed) const override {
+    *seed = options_.seed;
+    return true;
+  }
   double OwnedDegree(VertexId u) const override { return Degree(u); }
   OverlapEstimate EstimateOverlapSharded(
       VertexId u, const LinkPredictor& v_home, VertexId v,
@@ -85,6 +95,7 @@ class BottomKPredictor : public LinkPredictor {
 
  protected:
   void ProcessEdge(const Edge& edge) override;
+  void ProcessBatch(const EdgeBatch& batch) override;
 
  private:
   BottomKPredictorOptions options_;

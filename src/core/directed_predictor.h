@@ -53,6 +53,13 @@ class DirectedMinHashPredictor : public EdgeConsumer {
   /// dropped.
   void OnEdge(const Edge& edge) override;
 
+  /// Batched delivery (EdgeBatch API): arcs apply in order; lanes unused
+  /// (two per-side k-permutation families re-hash regardless).
+  using EdgeConsumer::OnEdgeBatch;
+  void OnEdgeBatch(const EdgeBatch& batch) override {
+    for (const Edge& e : batch) OnEdge(e);
+  }
+
   uint64_t arcs_processed() const { return arcs_processed_; }
   VertexId num_vertices() const;
   uint32_t OutDegree(VertexId u) const { return out_degrees_.Degree(u); }

@@ -33,6 +33,9 @@ class ExactPredictor : public LinkPredictor {
   void ObserveNeighbor(VertexId u, VertexId neighbor) override {
     graph_.AddArc(u, neighbor);
   }
+  void ObserveNeighborBatch(const EdgeBatch& batch) override {
+    for (const Edge& e : batch) graph_.AddArc(e.u, e.v);
+  }
   double OwnedDegree(VertexId u) const override { return graph_.Degree(u); }
   OverlapEstimate EstimateOverlapSharded(
       VertexId u, const LinkPredictor& v_home, VertexId v,

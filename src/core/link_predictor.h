@@ -117,15 +117,27 @@ class LinkPredictor : public EdgeConsumer {
     ProcessEdge(edge);
   }
 
-  /// One virtual dispatch for the whole run (OnEdge itself is final, so
-  /// the per-edge calls below devirtualize) — the hot path StreamDriver
-  /// and ParallelIngestEngine deliver through.
-  void OnEdgeBatch(const Edge* edges, size_t count) final {
-    for (size_t i = 0; i < count; ++i) {
-      if (edges[i].IsSelfLoop()) continue;
-      ++edges_processed_;
-      ProcessEdge(edges[i]);
+  /// Primary delivery path (StreamDriver and ParallelIngestEngine arrive
+  /// here): filters self-loops, accounts edges, and hands maximal
+  /// self-loop-free runs — hash lanes still aligned — to ProcessBatch in
+  /// one virtual dispatch per run.
+  void OnEdgeBatch(const EdgeBatch& batch) final {
+    size_t run_start = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].IsSelfLoop()) {
+        if (i > run_start) ProcessBatch(batch.Slice(run_start, i - run_start));
+        run_start = i + 1;
+      }
     }
+    if (batch.size() > run_start) {
+      ProcessBatch(batch.Slice(run_start, batch.size() - run_start));
+    }
+  }
+
+  /// Legacy raw signature: routed through the EdgeBatch path so both
+  /// spellings stay byte-equivalent.
+  void OnEdgeBatch(const Edge* edges, size_t count) final {
+    OnEdgeBatch(EdgeBatch(edges, count));
   }
 
   /// Folds `count` externally-accounted edges into edges_processed().
@@ -157,6 +169,25 @@ class LinkPredictor : public EdgeConsumer {
   /// (half-edges are not edges). Fatal on unshardable kinds.
   virtual void ObserveNeighbor(VertexId u, VertexId neighbor);
 
+  /// Batched half-edge updates: every element (u, v) of `batch` means "u
+  /// gained neighbor v" and every u must be owned by this predictor — the
+  /// unit a parallel-ingest shard worker applies per ring hand-off. When
+  /// the batch carries a hash_v lane it holds HashU64(v, NeighborHashSeed)
+  /// for each element, and kinds that announce a seed may consume it
+  /// instead of re-hashing. Default loops ObserveNeighbor; shardable kinds
+  /// override to hoist per-call overhead out of the loop. Fatal on
+  /// unshardable kinds.
+  virtual void ObserveNeighborBatch(const EdgeBatch& batch) {
+    for (const Edge& e : batch) ObserveNeighbor(e.u, e.v);
+  }
+
+  /// When the predictor's half-edge kernel consumes a single seeded
+  /// neighbor hash HashU64(neighbor, seed), returns true and writes that
+  /// seed — the producer then pre-computes the hash once per half-edge
+  /// into the batch's hash_v lane (the "pre-hashed EdgeBatch" contract).
+  /// Kinds that hash k times (minhash) or not at all return false.
+  virtual bool NeighborHashSeed(uint64_t* /*seed*/) const { return false; }
+
   /// Current degree of a vertex this predictor owns — the per-shard leg of
   /// a routed DegreeFn. Fatal on unshardable kinds.
   virtual double OwnedDegree(VertexId u) const;
@@ -174,6 +205,21 @@ class LinkPredictor : public EdgeConsumer {
  protected:
   /// Implementations ingest one non-self-loop edge here.
   virtual void ProcessEdge(const Edge& edge) = 0;
+
+  /// Batched ingest kernel: a self-loop-free run of whole edges, hash
+  /// lanes (when present) aligned. The kernel owns accounting so
+  /// edges_processed() keeps its OnEdge-path meaning mid-run (the windowed
+  /// kind reads it per edge for bucket rotation): the default increments
+  /// before each ProcessEdge exactly like OnEdge; overrides that never
+  /// read edges_processed() during the run bulk-account with
+  /// AddProcessedEdges(batch.size()) instead. Overriding ProcessEdge alone
+  /// stays correct.
+  virtual void ProcessBatch(const EdgeBatch& batch) {
+    for (const Edge& e : batch) {
+      ++edges_processed_;
+      ProcessEdge(e);
+    }
+  }
 
  private:
   uint64_t edges_processed_ = 0;

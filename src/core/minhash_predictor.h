@@ -58,6 +58,16 @@ class MinHashPredictor : public LinkPredictor {
     store_.Mutable(u).Update(neighbor, family_);
     degrees_.Increment(u);
   }
+  /// One virtual dispatch per ring hand-off instead of per half-edge; the
+  /// k-permutation kernel re-hashes regardless (no single pre-hash can
+  /// feed k slots), so no NeighborHashSeed — the speedup here comes from
+  /// HashFamily's cached seed mixing.
+  void ObserveNeighborBatch(const EdgeBatch& batch) override {
+    for (const Edge& e : batch) {
+      store_.Mutable(e.u).Update(e.v, family_);
+      degrees_.Increment(e.u);
+    }
+  }
   double OwnedDegree(VertexId u) const override { return degrees_.Degree(u); }
   OverlapEstimate EstimateOverlapSharded(
       VertexId u, const LinkPredictor& v_home, VertexId v,
@@ -97,6 +107,15 @@ class MinHashPredictor : public LinkPredictor {
 
  protected:
   void ProcessEdge(const Edge& edge) override;
+  void ProcessBatch(const EdgeBatch& batch) override {
+    AddProcessedEdges(batch.size());
+    for (const Edge& e : batch) {
+      store_.Mutable(e.u).Update(e.v, family_);
+      store_.Mutable(e.v).Update(e.u, family_);
+      degrees_.Increment(e.u);
+      degrees_.Increment(e.v);
+    }
+  }
 
  private:
   MinHashPredictorOptions options_;

@@ -49,6 +49,14 @@ class OphPredictor : public LinkPredictor {
     store_.Mutable(u).Update(neighbor);
     degrees_.Increment(u);
   }
+  /// One virtual dispatch per ring hand-off. OPH hashes internally with
+  /// its own bin scheme, so the batch's hash lane is unused.
+  void ObserveNeighborBatch(const EdgeBatch& batch) override {
+    for (const Edge& e : batch) {
+      store_.Mutable(e.u).Update(e.v);
+      degrees_.Increment(e.u);
+    }
+  }
   double OwnedDegree(VertexId u) const override { return degrees_.Degree(u); }
   OverlapEstimate EstimateOverlapSharded(
       VertexId u, const LinkPredictor& v_home, VertexId v,

@@ -37,6 +37,14 @@ class StreamingTriangleCounter : public EdgeConsumer {
   /// the sketches. O(k).
   void OnEdge(const Edge& edge) override;
 
+  /// Batched delivery (EdgeBatch API). The estimator is order-dependent
+  /// (each edge's ĈN is read pre-insert), so a batch is strictly the
+  /// amortized loop — no reordering, no lane use.
+  using EdgeConsumer::OnEdgeBatch;
+  void OnEdgeBatch(const EdgeBatch& batch) override {
+    for (const Edge& e : batch) OnEdge(e);
+  }
+
   /// Estimated number of triangles in the graph so far.
   double Estimate() const { return triangle_estimate_; }
 

@@ -1,0 +1,134 @@
+#ifndef STREAMLINK_STREAM_EDGE_BATCH_H_
+#define STREAMLINK_STREAM_EDGE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace streamlink {
+
+/// A non-owning view of a contiguous run of stream edges, optionally
+/// annotated with pre-computed per-endpoint vertex hashes — the unit of
+/// delivery for the batched ingestion API (EdgeConsumer::OnEdgeBatch) and
+/// the payload the parallel ingest engine hands across threads.
+///
+/// Lanes:
+///  * `edges` (always present): the run itself. For *whole-edge* batches
+///    each element is an undirected stream edge; for the engine's
+///    *half-edge* batches, element (u, v) means "u gained neighbor v" and
+///    u is always owned by the receiving shard.
+///  * `hash_u` / `hash_v` (optional, independently nullable): the seeded
+///    vertex hash `HashU64(edge.u, seed)` / `HashU64(edge.v, seed)` of each
+///    element, computed ONCE by the producer under the seed the consumer
+///    announced (LinkPredictor::NeighborHashSeed), so single-hash sketch
+///    kernels (bottom-k) never re-hash on the hot path. Half-edge batches
+///    carry only the `hash_v` (neighbor) lane.
+///
+/// The view is valid only for the duration of the OnEdgeBatch call it is
+/// passed to; consumers must copy anything they keep. A batch is
+/// semantically identical to delivering its edges through OnEdge in order
+/// (the hash lanes are a pure evaluation-strategy hint — they never change
+/// what state an update produces).
+class EdgeBatch {
+ public:
+  EdgeBatch() = default;
+  EdgeBatch(const Edge* edges, size_t count)
+      : edges_(edges), count_(count) {}
+  EdgeBatch(const Edge* edges, size_t count, const uint64_t* hash_u,
+            const uint64_t* hash_v)
+      : edges_(edges), count_(count), hash_u_(hash_u), hash_v_(hash_v) {}
+
+  /// Wraps one edge as a size-1 batch — what the cold-path OnEdge
+  /// convenience forwards through. The edge must outlive the view.
+  static EdgeBatch Single(const Edge& edge) { return EdgeBatch(&edge, 1); }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const Edge* data() const { return edges_; }
+  const Edge& operator[](size_t i) const { return edges_[i]; }
+  const Edge* begin() const { return edges_; }
+  const Edge* end() const { return edges_ + count_; }
+
+  bool has_hash_u() const { return hash_u_ != nullptr; }
+  bool has_hash_v() const { return hash_v_ != nullptr; }
+  /// Pre-computed HashU64(edge.u / edge.v, seed). Precondition:
+  /// has_hash_u() / has_hash_v().
+  uint64_t hash_u(size_t i) const { return hash_u_[i]; }
+  uint64_t hash_v(size_t i) const { return hash_v_[i]; }
+  const uint64_t* hash_u_lane() const { return hash_u_; }
+  const uint64_t* hash_v_lane() const { return hash_v_; }
+
+  /// Span-style sub-view of `count` edges starting at `offset`, lanes
+  /// included. Precondition: offset + count <= size().
+  EdgeBatch Slice(size_t offset, size_t count) const {
+    return EdgeBatch(edges_ + offset, count,
+                     hash_u_ != nullptr ? hash_u_ + offset : nullptr,
+                     hash_v_ != nullptr ? hash_v_ + offset : nullptr);
+  }
+  /// The first `count` edges (or all of them, if fewer).
+  EdgeBatch Prefix(size_t count) const {
+    return Slice(0, count < count_ ? count : count_);
+  }
+
+ private:
+  const Edge* edges_ = nullptr;
+  size_t count_ = 0;
+  const uint64_t* hash_u_ = nullptr;
+  const uint64_t* hash_v_ = nullptr;
+};
+
+/// Owning storage a producer fills and ships (by move) to a consumer, which
+/// reads it through View(). Appending with a hash on one element and
+/// without on another is a bug — lanes are all-or-nothing per buffer, and
+/// View() drops a lane whose length disagrees with the edge count.
+struct EdgeBatchBuffer {
+  EdgeList edges;
+  std::vector<uint64_t> hash_u;
+  std::vector<uint64_t> hash_v;
+
+  void Reserve(size_t n, bool with_hash_u, bool with_hash_v) {
+    edges.reserve(n);
+    if (with_hash_u) hash_u.reserve(n);
+    if (with_hash_v) hash_v.reserve(n);
+  }
+
+  void Clear() {
+    edges.clear();
+    hash_u.clear();
+    hash_v.clear();
+  }
+
+  size_t size() const { return edges.size(); }
+  bool empty() const { return edges.empty(); }
+
+  void Append(const Edge& e) { edges.push_back(e); }
+
+  /// Appends a half-edge (owner u, neighbor v) with the neighbor's
+  /// pre-computed hash.
+  void AppendHalfEdge(VertexId u, VertexId v, uint64_t neighbor_hash) {
+    edges.emplace_back(u, v);
+    hash_v.push_back(neighbor_hash);
+  }
+
+  /// Appends a whole edge with both endpoint hashes.
+  void AppendHashed(const Edge& e, uint64_t hu, uint64_t hv) {
+    edges.push_back(e);
+    hash_u.push_back(hu);
+    hash_v.push_back(hv);
+  }
+
+  EdgeBatch View() const {
+    return EdgeBatch(
+        edges.data(), edges.size(),
+        hash_u.size() == edges.size() && !edges.empty() ? hash_u.data()
+                                                        : nullptr,
+        hash_v.size() == edges.size() && !edges.empty() ? hash_v.data()
+                                                        : nullptr);
+  }
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_STREAM_EDGE_BATCH_H_

@@ -1,19 +1,91 @@
 #include "stream/parallel_ingest.h"
 
+#include <chrono>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/bottomk_predictor.h"
+#include "core/minhash_predictor.h"
 #include "core/sharded_predictor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stream/edge_batch.h"
 #include "stream/rate_meter.h"
+#include "stream/spsc_ring.h"
+#include "util/flags.h"
+#include "util/hashing.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace streamlink {
 
+std::string IngestOrderingName(IngestOrdering ordering) {
+  return ordering == IngestOrdering::kOrdered ? "ordered" : "relaxed";
+}
+
+Result<IngestOrdering> ParseIngestOrdering(const std::string& name) {
+  if (name == "ordered") return IngestOrdering::kOrdered;
+  if (name == "relaxed") return IngestOrdering::kRelaxed;
+  return Status::InvalidArgument("unknown ingest mode '" + name +
+                                 "' (want ordered|relaxed)");
+}
+
+bool KindSupportsReplicatedMerge(const std::string& kind) {
+  // The kinds whose MergeFrom folds disjoint stream partitions losslessly
+  // (CheckMergeAssociativity covers exactly these).
+  return kind == "minhash" || kind == "bottomk";
+}
+
+Status IngestEngineBuilder::ApplyFlags(const FlagParser& flags) {
+  if (flags.Has("ingest-mode")) {
+    auto mode = ParseIngestOrdering(flags.GetString("ingest-mode", "ordered"));
+    if (!mode.ok()) return mode.status();
+    options_.ordering = *mode;
+  }
+  options_.batch_edges = static_cast<uint32_t>(
+      flags.GetInt("batch-edges", options_.batch_edges));
+  options_.ring_batches = static_cast<uint32_t>(
+      flags.GetInt("ring-batches", options_.ring_batches));
+  return Status::Ok();
+}
+
+std::vector<std::string> IngestEngineBuilder::FlagNames() {
+  return {"ingest-mode", "batch-edges", "ring-batches"};
+}
+
+std::string IngestEngineBuilder::FlagsHelp() {
+  return
+      "  --ingest-mode M      ordered (bit-identical, default) | relaxed\n"
+      "                       (merge-folded replicas, throughput over\n"
+      "                       determinism; minhash/bottomk only)\n"
+      "  --batch-edges N      edges per parallel-ingest ring batch\n"
+      "  --ring-batches N     ring capacity in batches per worker\n";
+}
+
 namespace {
+
+/// Spin -> yield -> sleep wait loop for the lock-free hand-off paths
+/// (ring-full on the router, ring-empty on a worker, the epoch barrier).
+/// The sleep tier matters here more than on big iron: CI boxes run more
+/// workers than cores, and a pure spin would steal the cycles the ingest
+/// kernels need.
+class Backoff {
+ public:
+  void Pause() {
+    ++count_;
+    if (count_ < 16) return;  // brief pure spin
+    if (count_ < 1024) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  void Reset() { count_ = 0; }
+
+ private:
+  uint32_t count_ = 0;
+};
 
 /// Registry-resident instruments for one Build run; all pointers null when
 /// ParallelIngestOptions::metrics is unset, making every update a no-op
@@ -22,6 +94,7 @@ namespace {
 struct IngestMetrics {
   obs::Counter* edges = nullptr;            // ingest.edges_total
   obs::Counter* publishes = nullptr;        // ingest.publishes_total
+  obs::Counter* ring_full_stalls = nullptr; // ingest.ring_full_stalls
   obs::Gauge* live_edges = nullptr;         // ingest.live_edges
   obs::Gauge* window_eps = nullptr;         // ingest.window_eps
   obs::Histogram* batch_half_edges = nullptr;  // ingest.batch_half_edges
@@ -34,6 +107,7 @@ struct IngestMetrics {
     if (registry == nullptr) return;
     edges = &registry->GetCounter("ingest.edges_total");
     publishes = &registry->GetCounter("ingest.publishes_total");
+    ring_full_stalls = &registry->GetCounter("ingest.ring_full_stalls");
     live_edges = &registry->GetGauge("ingest.live_edges");
     window_eps = &registry->GetGauge("ingest.window_eps");
     batch_half_edges = &registry->GetHistogram("ingest.batch_half_edges");
@@ -75,93 +149,41 @@ struct IngestMetrics {
   }
 };
 
-/// Tracks how many batches each worker has fully applied, so the router
-/// can wait for a global quiescent point (all pushed batches applied, no
-/// worker mid-write). The mutex also publishes the workers' shard state to
-/// the router: MarkApplied happens-after the batch's writes, WaitQuiesced
-/// happens-before the router reads the shards.
-class QuiescePoint {
+/// Per-shard applied-batch counters, one cache line each — the epoch
+/// quiesce barrier. A worker's fetch_add(release) publishes that batch's
+/// sketch writes; the router's acquire loads in AwaitQuiesced make them
+/// visible before it touches the shards. Unlike the retired mutex+condvar
+/// QuiescePoint there is no notify on the per-batch hot path at all: a
+/// worker's cost per batch is one uncontended atomic increment, and only
+/// the router ever waits.
+class EpochBarrier {
  public:
-  explicit QuiescePoint(uint32_t num_shards) : applied_(num_shards, 0) {}
+  explicit EpochBarrier(uint32_t num_shards)
+      : cells_(new Cell[num_shards]) {}
 
   void MarkApplied(uint32_t shard) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++applied_[shard];
-    }
-    cv_.notify_all();
+    cells_[shard].applied.fetch_add(1, std::memory_order_release);
   }
 
-  /// Blocks until every shard has applied `pushed[shard]` batches.
-  void WaitQuiesced(const std::vector<uint64_t>& pushed) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      for (size_t t = 0; t < pushed.size(); ++t) {
-        if (applied_[t] < pushed[t]) return false;
-      }
-      return true;
-    });
+  uint64_t Applied(uint32_t shard) const {
+    return cells_[shard].applied.load(std::memory_order_acquire);
+  }
+
+  /// Blocks (spin/yield/sleep) until every shard's applied count reaches
+  /// the epoch target `pushed[shard]`.
+  void AwaitQuiesced(const std::vector<uint64_t>& pushed) {
+    for (uint32_t t = 0; t < pushed.size(); ++t) {
+      Backoff backoff;
+      while (Applied(t) < pushed[t]) backoff.Pause();
+    }
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<uint64_t> applied_;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> applied{0};
+  };
+  std::unique_ptr<Cell[]> cells_;
 };
-
-}  // namespace
-
-BoundedBatchQueue::BoundedBatchQueue(size_t capacity)
-    : capacity_(capacity) {
-  SL_CHECK(capacity_ >= 1) << "queue capacity must be >= 1";
-}
-
-void BoundedBatchQueue::Push(EdgeList batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (batches_.size() >= capacity_) {
-    // Backpressure: only a full-on-entry Push reads the clock, so the
-    // uncontended fast path stays free of timing work.
-    const uint64_t t0 =
-        push_wait_ns_ != nullptr ? obs::Tracer::NowNs() : 0;
-    can_push_.wait(lock, [this] { return batches_.size() < capacity_; });
-    if (push_wait_ns_ != nullptr) {
-      push_wait_ns_->Record(obs::Tracer::NowNs() - t0);
-    }
-  }
-  SL_CHECK(!closed_) << "Push after Close";
-  batches_.push_back(std::move(batch));
-  can_pop_.notify_one();
-}
-
-bool BoundedBatchQueue::Pop(EdgeList* batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  can_pop_.wait(lock, [this] { return !batches_.empty() || closed_; });
-  if (batches_.empty()) return false;
-  *batch = std::move(batches_.front());
-  batches_.pop_front();
-  can_push_.notify_one();
-  return true;
-}
-
-void BoundedBatchQueue::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
-  closed_ = true;
-  can_pop_.notify_all();
-}
-
-ParallelIngestEngine::ParallelIngestEngine(PredictorConfig config,
-                                           ParallelIngestOptions options)
-    : config_(std::move(config)), options_(std::move(options)) {
-  SL_CHECK(options_.batch_edges >= 1) << "batch_edges must be >= 1";
-  SL_CHECK(options_.max_inflight_batches >= 1)
-      << "max_inflight_batches must be >= 1";
-  const bool cadence_set = options_.publish_every_edges > 0 ||
-                           options_.publish_every_seconds > 0;
-  SL_CHECK(!cadence_set || options_.on_publish)
-      << "publish cadence set but no on_publish callback";
-}
-
-namespace {
 
 /// Decides when the next live publish is due. The time cadence is checked
 /// at most once per 1024 edges to keep clock reads off the per-edge path.
@@ -202,95 +224,210 @@ class PublishCadence {
   WallTimer timer_;
 };
 
+using BatchRing = SpscRing<EdgeBatchBuffer>;
+
+/// Drains `ring` into `shard` until the ring is closed and empty.
+/// Exactly one consumer per ring; MarkApplied publishes each batch to the
+/// router's epoch waits.
+void ShardWorker(BatchRing& ring, LinkPredictor& shard, EpochBarrier& epochs,
+                 uint32_t shard_index, obs::Counter* applied_counter) {
+  EdgeBatchBuffer batch;
+  Backoff backoff;
+  for (;;) {
+    if (ring.TryPop(&batch)) {
+      obs::ScopedSpan span("ingest/apply_batch");
+      shard.ObserveNeighborBatch(batch.View());
+      if (applied_counter != nullptr) applied_counter->Add(batch.size());
+      epochs.MarkApplied(shard_index);
+      backoff.Reset();
+      continue;
+    }
+    // Empty. closed() is read AFTER the failed pop: the producer's last
+    // push happens-before Close, so seeing closed here means one more
+    // drain pass observes everything.
+    if (ring.closed()) {
+      if (ring.TryPop(&batch)) {
+        shard.ObserveNeighborBatch(batch.View());
+        if (applied_counter != nullptr) applied_counter->Add(batch.size());
+        epochs.MarkApplied(shard_index);
+        continue;
+      }
+      return;
+    }
+    backoff.Pause();
+  }
+}
+
+/// Whole-edge replica worker for kRelaxed: no routing, no epochs — each
+/// replica is a full predictor ingesting its partition through the normal
+/// OnEdgeBatch path (which also does the edge accounting).
+void ReplicaWorker(BatchRing& ring, LinkPredictor& replica,
+                   obs::Counter* applied_counter) {
+  EdgeBatchBuffer batch;
+  Backoff backoff;
+  for (;;) {
+    if (ring.TryPop(&batch)) {
+      obs::ScopedSpan span("ingest/apply_batch");
+      replica.OnEdgeBatch(batch.View());
+      if (applied_counter != nullptr) applied_counter->Add(batch.size());
+      backoff.Reset();
+      continue;
+    }
+    if (ring.closed()) {
+      if (ring.TryPop(&batch)) {
+        replica.OnEdgeBatch(batch.View());
+        if (applied_counter != nullptr) applied_counter->Add(batch.size());
+        continue;
+      }
+      return;
+    }
+    backoff.Pause();
+  }
+}
+
+/// Folds edge-partitioned replicas (all the same concrete kind) into
+/// replicas[0] via the kind's lossless disjoint-partition MergeFrom
+/// (which also accumulates the edge tallies). Returns nullptr if the
+/// concrete type is not T (caller tries the next kind).
+template <typename T>
+std::unique_ptr<LinkPredictor> FoldReplicas(
+    std::vector<std::unique_ptr<LinkPredictor>>* replicas) {
+  T* base = dynamic_cast<T*>((*replicas)[0].get());
+  if (base == nullptr) return nullptr;
+  for (size_t i = 1; i < replicas->size(); ++i) {
+    T* peer = dynamic_cast<T*>((*replicas)[i].get());
+    SL_CHECK(peer != nullptr) << "mixed replica kinds";
+    base->MergeFrom(*peer);
+  }
+  return std::move((*replicas)[0]);
+}
+
 }  // namespace
+
+ParallelIngestEngine::ParallelIngestEngine(PredictorConfig config,
+                                           ParallelIngestOptions options)
+    : config_(std::move(config)), options_(std::move(options)) {}
+
+Status ParallelIngestEngine::Validate() const {
+  if (config_.threads == 0) {
+    return Status::InvalidArgument("threads must be >= 1, got 0");
+  }
+  if (options_.batch_edges < 1) {
+    return Status::InvalidArgument("batch_edges must be >= 1");
+  }
+  if (options_.ring_batches < 1) {
+    return Status::InvalidArgument("ring_batches must be >= 1");
+  }
+  const bool cadence_set = options_.publish_every_edges > 0 ||
+                           options_.publish_every_seconds > 0;
+  if (cadence_set && !options_.on_publish) {
+    return Status::InvalidArgument(
+        "publish cadence set but no on_publish callback");
+  }
+  if (config_.threads > 1 && options_.ordering == IngestOrdering::kRelaxed) {
+    if (cadence_set) {
+      return Status::InvalidArgument(
+          "relaxed ingest cannot live-publish: replicas only merge at "
+          "end-of-stream (use ordered mode with a publish cadence)");
+    }
+    if (!KindSupportsReplicatedMerge(config_.kind)) {
+      return Status::InvalidArgument(
+          "predictor kind '" + config_.kind +
+          "' has no lossless disjoint-partition merge; relaxed ingest "
+          "supports minhash and bottomk");
+    }
+  }
+  return Status::Ok();
+}
 
 Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
     EdgeStream& stream) {
   edges_ingested_ = 0;
-  if (config_.threads == 0) {
-    return Status::InvalidArgument("threads must be >= 1, got 0");
-  }
-
+  if (Status st = Validate(); !st.ok()) return st;
   obs::ScopedSpan build_span("ingest/build");
+  if (config_.threads == 1) return BuildSequential(stream);
+  if (options_.ordering == IngestOrdering::kRelaxed) {
+    return BuildRelaxed(stream);
+  }
+  return BuildOrdered(stream);
+}
+
+Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::BuildSequential(
+    EdgeStream& stream) {
   PublishCadence cadence(options_);
-  IngestMetrics metrics(options_.metrics, config_.threads);
+  IngestMetrics metrics(options_.metrics, /*num_shards=*/1);
   RateMeter rate(/*window_seconds=*/1.0);
   uint64_t metric_edges = 0;  // stream frontier already folded into metrics
 
-  if (config_.threads == 1) {
-    auto predictor = MakePredictor(config_);
-    if (!predictor.ok()) return predictor.status();
-    EdgeList batch;
-    batch.reserve(options_.batch_edges);
-    Edge edge;
-    while (stream.Next(&edge)) {
-      ++edges_ingested_;
-      batch.push_back(edge);
-      if (batch.size() >= options_.batch_edges) {
-        (*predictor)->OnEdgeBatch(batch.data(), batch.size());
-        if (metrics.enabled()) {
-          metrics.batch_half_edges->Record(batch.size());
-          metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
-        }
-        batch.clear();
-      }
-      if (cadence.Due(edges_ingested_)) {
-        if (!batch.empty()) {
-          (*predictor)->OnEdgeBatch(batch.data(), batch.size());
-          batch.clear();
-        }
-        metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
-        metrics.TimedPublish(options_.on_publish, **predictor,
-                             edges_ingested_);
-        cadence.Published(edges_ingested_);
-      }
+  auto predictor = MakePredictor(config_);
+  if (!predictor.ok()) return predictor.status();
+  EdgeList batch;
+  batch.reserve(options_.batch_edges);
+  auto deliver = [&] {
+    (*predictor)->OnEdgeBatch(EdgeBatch(batch.data(), batch.size()));
+    if (metrics.enabled()) {
+      metrics.batch_half_edges->Record(batch.size());
+      metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
     }
-    if (!batch.empty()) {
-      (*predictor)->OnEdgeBatch(batch.data(), batch.size());
-    }
-    metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
-    if (cadence.enabled()) {
+    batch.clear();
+  };
+  Edge edge;
+  while (stream.Next(&edge)) {
+    ++edges_ingested_;
+    batch.push_back(edge);
+    if (batch.size() >= options_.batch_edges) deliver();
+    if (cadence.Due(edges_ingested_)) {
+      if (!batch.empty()) deliver();
+      metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
       metrics.TimedPublish(options_.on_publish, **predictor,
                            edges_ingested_);
+      cadence.Published(edges_ingested_);
     }
-    return std::move(*predictor);
   }
+  if (!batch.empty()) deliver();
+  metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+  if (cadence.enabled()) {
+    metrics.TimedPublish(options_.on_publish, **predictor, edges_ingested_);
+  }
+  return std::move(*predictor);
+}
+
+Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::BuildOrdered(
+    EdgeStream& stream) {
+  PublishCadence cadence(options_);
+  IngestMetrics metrics(options_.metrics, config_.threads);
+  RateMeter rate(/*window_seconds=*/1.0);
+  uint64_t metric_edges = 0;
 
   auto sharded_result = ShardedPredictor::Make(config_);
   if (!sharded_result.ok()) return sharded_result.status();
   std::unique_ptr<ShardedPredictor> sharded = std::move(*sharded_result);
   const uint32_t num_shards = sharded->num_shards();
 
-  std::vector<std::unique_ptr<BoundedBatchQueue>> queues;
-  queues.reserve(num_shards);
+  // Pre-hash contract: if the kind's half-edge kernel consumes one seeded
+  // neighbor hash (bottomk), the router computes it once per half-edge
+  // into the batch's hash_v lane and the workers never hash.
+  uint64_t neighbor_seed = 0;
+  const bool pre_hash = sharded->shard(0).NeighborHashSeed(&neighbor_seed);
+  const uint64_t mixed_seed = pre_hash ? MixSeed(neighbor_seed) : 0;
+
+  std::vector<std::unique_ptr<BatchRing>> rings;
+  rings.reserve(num_shards);
   for (uint32_t t = 0; t < num_shards; ++t) {
-    queues.push_back(
-        std::make_unique<BoundedBatchQueue>(options_.max_inflight_batches));
-    if (metrics.enabled()) {
-      queues.back()->BindPushWaitHistogram(metrics.queue_wait_ns);
-    }
+    rings.push_back(std::make_unique<BatchRing>(options_.ring_batches));
   }
 
   // Each worker owns exactly one shard: no two threads ever touch the same
-  // predictor state, so the shards need no internal locking. MarkApplied
-  // publishes each applied batch to the router's quiesce waits.
-  QuiescePoint quiesce(num_shards);
+  // predictor state, so the shards need no internal locking. The epoch
+  // barrier publishes each applied batch to the router's quiesce waits.
+  EpochBarrier epochs(num_shards);
   std::vector<std::thread> workers;
   workers.reserve(num_shards);
   for (uint32_t t = 0; t < num_shards; ++t) {
     obs::Counter* applied_counter =
         metrics.enabled() ? metrics.shard_half_edges[t] : nullptr;
-    workers.emplace_back([&sharded, &queues, &quiesce, applied_counter, t] {
-      LinkPredictor& shard = sharded->shard(t);
-      EdgeList batch;
-      while (queues[t]->Pop(&batch)) {
-        obs::ScopedSpan span("ingest/apply_batch");
-        for (const Edge& half : batch) {
-          shard.ObserveNeighbor(half.u, half.v);
-        }
-        if (applied_counter != nullptr) applied_counter->Add(batch.size());
-        quiesce.MarkApplied(t);
-      }
+    workers.emplace_back([&sharded, &rings, &epochs, applied_counter, t] {
+      ShardWorker(*rings[t], sharded->shard(t), epochs, t, applied_counter);
     });
   }
 
@@ -298,32 +435,49 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
   // half-edges stay in stream order, which (with commutative, idempotent
   // sketch updates) makes the final per-vertex state identical to a
   // sequential build.
-  std::vector<EdgeList> pending(num_shards);
-  for (auto& p : pending) p.reserve(options_.batch_edges);
+  std::vector<EdgeBatchBuffer> pending(num_shards);
+  for (auto& p : pending) {
+    p.Reserve(options_.batch_edges, /*with_hash_u=*/false,
+              /*with_hash_v=*/pre_hash);
+  }
   std::vector<uint64_t> pushed(num_shards, 0);
   uint64_t simple_edges = 0;
   uint64_t accounted_edges = 0;
 
+  // Ships pending[owner] into the owner's ring. The wait histogram records
+  // once per batch (it used to record only contended pushes); the stall
+  // counter increments once per full-on-entry push.
   auto push = [&](uint32_t owner) {
     if (metrics.enabled()) {
       metrics.batch_half_edges->Record(pending[owner].size());
       metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
     }
-    queues[owner]->Push(std::move(pending[owner]));
+    const uint64_t t0 = metrics.enabled() ? obs::Tracer::NowNs() : 0;
+    if (!rings[owner]->TryPush(pending[owner])) {
+      if (metrics.enabled()) metrics.ring_full_stalls->Add(1);
+      Backoff backoff;
+      do {
+        backoff.Pause();
+      } while (!rings[owner]->TryPush(pending[owner]));
+    }
+    if (metrics.enabled()) {
+      metrics.queue_wait_ns->Record(obs::Tracer::NowNs() - t0);
+    }
     ++pushed[owner];
-    pending[owner] = EdgeList();
-    pending[owner].reserve(options_.batch_edges);
+    pending[owner].Clear();
+    pending[owner].Reserve(options_.batch_edges, false, pre_hash);
   };
 
-  // A publish barrier: flush every partial batch, wait until the workers
-  // have applied everything pushed so far (they then block in Pop), bring
-  // the edge tally up to date, and hand the quiescent predictor out. Cost
-  // is one drain of the in-flight window, amortized over the cadence.
+  // A publish barrier: flush every partial batch, await the epoch (all
+  // pushed batches applied; the workers then spin in empty-ring backoff,
+  // not under a lock), bring the edge tally up to date, and hand the
+  // quiescent predictor out. Cost is one drain of the in-flight window,
+  // amortized over the cadence.
   auto publish_quiesced = [&] {
     for (uint32_t t = 0; t < num_shards; ++t) {
       if (!pending[t].empty()) push(t);
     }
-    quiesce.WaitQuiesced(pushed);
+    epochs.AwaitQuiesced(pushed);
     sharded->AddProcessedEdges(simple_edges - accounted_edges);
     accounted_edges = simple_edges;
     metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
@@ -337,10 +491,21 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
       ++simple_edges;
       const uint32_t owner_u = sharded->OwnerOf(edge.u);
       const uint32_t owner_v = sharded->OwnerOf(edge.v);
-      pending[owner_u].push_back(edge);
-      if (pending[owner_u].size() >= options_.batch_edges) push(owner_u);
-      pending[owner_v].push_back(Edge(edge.v, edge.u));
-      if (pending[owner_v].size() >= options_.batch_edges) push(owner_v);
+      if (pre_hash) {
+        // Hash each endpoint once; each half-edge carries the OTHER
+        // endpoint's hash (its neighbor).
+        const uint64_t hash_u = HashU64WithMixedSeed(edge.u, mixed_seed);
+        const uint64_t hash_v = HashU64WithMixedSeed(edge.v, mixed_seed);
+        pending[owner_u].AppendHalfEdge(edge.u, edge.v, hash_v);
+        if (pending[owner_u].size() >= options_.batch_edges) push(owner_u);
+        pending[owner_v].AppendHalfEdge(edge.v, edge.u, hash_u);
+        if (pending[owner_v].size() >= options_.batch_edges) push(owner_v);
+      } else {
+        pending[owner_u].Append(edge);
+        if (pending[owner_u].size() >= options_.batch_edges) push(owner_u);
+        pending[owner_v].Append(Edge(edge.v, edge.u));
+        if (pending[owner_v].size() >= options_.batch_edges) push(owner_v);
+      }
     }
     if (cadence.Due(edges_ingested_)) {
       publish_quiesced();
@@ -348,8 +513,8 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
     }
   }
   for (uint32_t t = 0; t < num_shards; ++t) {
-    if (!pending[t].empty()) queues[t]->Push(std::move(pending[t]));
-    queues[t]->Close();
+    if (!pending[t].empty()) push(t);
+    rings[t]->Close();
   }
   for (auto& worker : workers) worker.join();
 
@@ -361,6 +526,106 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
     metrics.TimedPublish(options_.on_publish, *sharded, edges_ingested_);
   }
   return std::unique_ptr<LinkPredictor>(std::move(sharded));
+}
+
+Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::BuildRelaxed(
+    EdgeStream& stream) {
+  IngestMetrics metrics(options_.metrics, config_.threads);
+  RateMeter rate(/*window_seconds=*/1.0);
+  uint64_t metric_edges = 0;
+  const uint32_t num_workers = config_.threads;
+
+  // One full replica per worker, each fed an arbitrary slice of whole
+  // edges — no routing, no ownership, no inter-worker coupling. MergeFrom
+  // folds them at the end (lossless for these kinds: sketch updates are
+  // commutative/idempotent and exact degree counters add).
+  PredictorConfig replica_config = config_;
+  replica_config.threads = 1;
+  std::vector<std::unique_ptr<LinkPredictor>> replicas;
+  replicas.reserve(num_workers);
+  for (uint32_t t = 0; t < num_workers; ++t) {
+    auto replica = MakePredictor(replica_config);
+    if (!replica.ok()) return replica.status();
+    replicas.push_back(std::move(*replica));
+  }
+
+  uint64_t neighbor_seed = 0;
+  const bool pre_hash = replicas[0]->NeighborHashSeed(&neighbor_seed);
+  const uint64_t mixed_seed = pre_hash ? MixSeed(neighbor_seed) : 0;
+
+  std::vector<std::unique_ptr<BatchRing>> rings;
+  rings.reserve(num_workers);
+  for (uint32_t t = 0; t < num_workers; ++t) {
+    rings.push_back(std::make_unique<BatchRing>(options_.ring_batches));
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (uint32_t t = 0; t < num_workers; ++t) {
+    obs::Counter* applied_counter =
+        metrics.enabled() ? metrics.shard_half_edges[t] : nullptr;
+    workers.emplace_back([&replicas, &rings, applied_counter, t] {
+      ReplicaWorker(*rings[t], *replicas[t], applied_counter);
+    });
+  }
+
+  EdgeBatchBuffer pending;
+  pending.Reserve(options_.batch_edges, pre_hash, pre_hash);
+  uint32_t next_worker = 0;
+  auto push = [&] {
+    if (metrics.enabled()) {
+      metrics.batch_half_edges->Record(pending.size());
+      metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+    }
+    // Least-loaded-first would need shared occupancy reads; plain
+    // round-robin keeps the producer write-only and balances fine when
+    // batches are uniform work.
+    const uint32_t start = next_worker;
+    const uint64_t t0 = metrics.enabled() ? obs::Tracer::NowNs() : 0;
+    if (!rings[start]->TryPush(pending)) {
+      // Preferred ring is full: try the others once before backing off —
+      // in relaxed mode any worker can take any batch.
+      bool placed = false;
+      for (uint32_t step = 1; step < num_workers && !placed; ++step) {
+        placed = rings[(start + step) % num_workers]->TryPush(pending);
+      }
+      if (!placed) {
+        if (metrics.enabled()) metrics.ring_full_stalls->Add(1);
+        Backoff backoff;
+        do {
+          backoff.Pause();
+        } while (!rings[start]->TryPush(pending));
+      }
+    }
+    if (metrics.enabled()) {
+      metrics.queue_wait_ns->Record(obs::Tracer::NowNs() - t0);
+    }
+    next_worker = (start + 1) % num_workers;
+    pending.Clear();
+    pending.Reserve(options_.batch_edges, pre_hash, pre_hash);
+  };
+
+  Edge edge;
+  while (stream.Next(&edge)) {
+    ++edges_ingested_;
+    if (pre_hash) {
+      pending.AppendHashed(edge, HashU64WithMixedSeed(edge.u, mixed_seed),
+                           HashU64WithMixedSeed(edge.v, mixed_seed));
+    } else {
+      pending.Append(edge);
+    }
+    if (pending.size() >= options_.batch_edges) push();
+  }
+  if (!pending.empty()) push();
+  for (auto& ring : rings) ring->Close();
+  for (auto& worker : workers) worker.join();
+  metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+
+  std::unique_ptr<LinkPredictor> folded =
+      FoldReplicas<MinHashPredictor>(&replicas);
+  if (folded == nullptr) folded = FoldReplicas<BottomKPredictor>(&replicas);
+  SL_CHECK(folded != nullptr)
+      << "relaxed ingest: no fold for kind " << config_.kind;
+  return folded;
 }
 
 }  // namespace streamlink

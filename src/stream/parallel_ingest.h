@@ -1,11 +1,11 @@
 #ifndef STREAMLINK_STREAM_PARALLEL_INGEST_H_
 #define STREAMLINK_STREAM_PARALLEL_INGEST_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <memory>
-#include <mutex>
+#include <string>
+#include <vector>
 
 #include "core/predictor_factory.h"
 #include "graph/types.h"
@@ -14,44 +14,11 @@
 
 namespace streamlink {
 
+class FlagParser;
+
 namespace obs {
-class Histogram;
 class MetricsRegistry;
 }  // namespace obs
-
-/// Bounded single-producer / single-consumer queue of half-edge batches.
-/// Push blocks while `capacity` batches are in flight (backpressure on the
-/// router); Pop blocks until a batch arrives, returning false once the
-/// queue is closed and drained.
-class BoundedBatchQueue {
- public:
-  explicit BoundedBatchQueue(size_t capacity);
-
-  /// Blocks until there is room, then enqueues. Must not be called after
-  /// Close.
-  void Push(EdgeList batch);
-
-  /// Blocks for the next batch. Returns false when the queue is closed and
-  /// every pushed batch has been popped.
-  bool Pop(EdgeList* batch);
-
-  /// Marks end-of-stream; wakes any blocked Pop.
-  void Close();
-
-  /// Records producer backpressure into `hist` (nanoseconds blocked in
-  /// Push when the queue was full on entry — uncontended pushes record
-  /// nothing). `hist` must outlive the queue; nullptr disables.
-  void BindPushWaitHistogram(obs::Histogram* hist) { push_wait_ns_ = hist; }
-
- private:
-  const size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable can_push_;
-  std::condition_variable can_pop_;
-  std::deque<EdgeList> batches_;
-  bool closed_ = false;
-  obs::Histogram* push_wait_ns_ = nullptr;
-};
 
 /// Callback invoked at a live-publish point: the predictor under
 /// construction (fully quiesced — no worker is writing while the callback
@@ -60,68 +27,230 @@ class BoundedBatchQueue {
 using IngestPublishFn =
     std::function<void(const LinkPredictor&, uint64_t stream_edges)>;
 
-/// Tuning knobs for ParallelIngestEngine.
+/// How a multi-threaded build trades determinism for throughput.
+enum class IngestOrdering {
+  /// Vertex-sharded ingestion, bit-identical to a sequential build: every
+  /// vertex's half-edges reach its single owning shard in stream order.
+  /// The default, and the only mode that supports live publishing.
+  kOrdered,
+  /// Edge-partitioned replicas folded by a disjoint-partition merge at
+  /// end-of-stream. No bit-identity promise and no live publishing — the
+  /// contract is only that final estimates pass the differential oracle
+  /// (src/verify/) within its Hoeffding tolerances. Available for kinds
+  /// with a lossless MergeFrom (KindSupportsReplicatedMerge); costs up to
+  /// threads× the per-vertex state during the build. In exchange the hot
+  /// path has no routing, no per-vertex ownership, and no quiesce
+  /// coupling between workers.
+  kRelaxed,
+};
+
+/// "ordered" / "relaxed".
+std::string IngestOrderingName(IngestOrdering ordering);
+
+/// Parses an --ingest-mode value; InvalidArgument on anything else.
+Result<IngestOrdering> ParseIngestOrdering(const std::string& name);
+
+/// True for kinds whose MergeFrom folds disjoint stream partitions
+/// losslessly (minhash, bottomk) — the precondition of kRelaxed.
+bool KindSupportsReplicatedMerge(const std::string& kind);
+
+/// Tuning knobs for ParallelIngestEngine. Prefer IngestEngineBuilder over
+/// filling this struct by hand; invalid combinations surface as
+/// InvalidArgument from Build, never as crashes.
 struct ParallelIngestOptions {
-  /// Half-edges per routed batch handed to a worker.
-  uint32_t batch_edges = 2048;
-  /// Batches buffered per worker queue before the router blocks.
-  uint32_t max_inflight_batches = 32;
+  /// Edges per batch handed across a ring: half-edges per shard batch in
+  /// kOrdered, whole stream edges per replica batch in kRelaxed. Large
+  /// batches are the point of the design — hand-off cost, hash-lane
+  /// pre-computation, and the one virtual dispatch all amortize over it.
+  uint32_t batch_edges = 8192;
+  /// Ring capacity in batches per worker (rounded up to a power of two).
+  /// The router stalls — counted in ingest.ring_full_stalls — when a ring
+  /// is full.
+  uint32_t ring_batches = 64;
+  IngestOrdering ordering = IngestOrdering::kOrdered;
   /// Live-publish cadence in stream edges (0 = disabled): after every
-  /// `publish_every_edges` edges pulled from the stream, the engine drains
-  /// and pauses the shard workers (a barrier, amortized over the cadence),
-  /// invokes `on_publish`, then resumes routing. Also fires once at
-  /// end-of-stream so the final snapshot is complete.
+  /// `publish_every_edges` edges pulled from the stream, the engine
+  /// quiesces the shards (epoch barrier: waits until every shard's
+  /// applied-batch counter catches its pushed-batch counter), invokes
+  /// `on_publish`, then resumes routing. Also fires once at end-of-stream.
+  /// kOrdered only.
   uint64_t publish_every_edges = 0;
   /// Time-based cadence in seconds (0 = disabled); checked at batch
   /// granularity and composable with the edge-count cadence (either
-  /// trigger publishes and resets both).
+  /// trigger publishes and resets both). kOrdered only.
   double publish_every_seconds = 0.0;
   /// Required when either cadence is set.
   IngestPublishFn on_publish;
   /// When set, Build registers and maintains the `ingest.*` metric family
   /// (docs/observability.md): edge/publish counters, live-frontier and
-  /// window-rate gauges, batch-size / queue-wait / publish-duration
-  /// histograms, and one `ingest.shard<t>.half_edges_total` counter per
-  /// worker. Updates happen at batch granularity, never per edge. The
-  /// registry must outlive Build; nullptr (default) disables all
-  /// instrumentation.
+  /// window-rate gauges, batch-size / ring-wait / publish-duration
+  /// histograms, the ring_full_stalls counter, and one
+  /// `ingest.shard<t>.half_edges_total` counter per worker. Updates happen
+  /// at batch granularity, never per edge. The registry must outlive
+  /// Build; nullptr (default) disables all instrumentation.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Builds a predictor from an edge stream using `config.threads` ingestion
-/// workers. Each worker owns one vertex shard (shard t owns every vertex u
-/// with u % threads == t); the calling thread routes each stream edge
-/// (u, v) as two half-edges to the owners of u and v through bounded
-/// queues. Because sketch updates are commutative and idempotent and every
-/// vertex's half-edges reach its single owner in stream order, the result
-/// is bit-identical to a sequential build — the returned ShardedPredictor
-/// answers queries by routing to owners, with no merge step.
+/// workers.
 ///
-/// threads == 1 degenerates to an ordinary sequential build (no queues, no
+/// kOrdered (default): each worker owns one vertex shard (shard t owns
+/// every vertex u with u % threads == t); the calling thread routes each
+/// stream edge (u, v) as two half-edges to the owners of u and v through
+/// per-shard bounded SPSC rings (stream/spsc_ring.h) carrying large
+/// pre-hashed EdgeBatch payloads. Because sketch updates are commutative
+/// and idempotent and every vertex's half-edges reach its single owner in
+/// stream order, the result is bit-identical to a sequential build — the
+/// returned ShardedPredictor answers queries by routing to owners, with no
+/// merge step. When the kind consumes a single seeded neighbor hash
+/// (LinkPredictor::NeighborHashSeed — bottomk), the router pre-computes it
+/// once per half-edge into the batch's hash lane, so shard workers never
+/// re-hash.
+///
+/// kRelaxed: each worker owns a full replica and ingests an arbitrary
+/// partition of whole edges with no routing at all; replicas are folded by
+/// MergeFrom at end-of-stream. See IngestOrdering for the contract.
+///
+/// threads == 1 degenerates to an ordinary sequential build (no rings, no
 /// worker threads) and returns the plain underlying predictor.
 ///
-/// With a publish cadence configured (see ParallelIngestOptions), the
-/// engine periodically quiesces the workers and hands the live predictor
-/// to `on_publish` — the hook QueryService uses to serve consistent
-/// snapshots while the build is still running (docs/serving.md).
+/// With a publish cadence configured (kOrdered only), the engine
+/// periodically quiesces the workers and hands the live predictor to
+/// `on_publish` — the hook QueryService uses to serve consistent snapshots
+/// while the build is still running (docs/serving.md).
 class ParallelIngestEngine {
  public:
   explicit ParallelIngestEngine(PredictorConfig config,
                                 ParallelIngestOptions options = {});
 
   /// Consumes the whole stream and returns the built predictor.
-  /// InvalidArgument if the config is invalid or the kind cannot be
-  /// sharded at the requested thread count.
+  /// InvalidArgument if the config or options are invalid, the kind cannot
+  /// be sharded (kOrdered) or merged (kRelaxed) at the requested thread
+  /// count, or a publish cadence is combined with kRelaxed.
   Result<std::unique_ptr<LinkPredictor>> Build(EdgeStream& stream);
 
   /// Edges pulled from the stream by the last Build (including
   /// self-loops, which are dropped during routing).
   uint64_t edges_ingested() const { return edges_ingested_; }
 
+  const ParallelIngestOptions& options() const { return options_; }
+
  private:
+  Result<std::unique_ptr<LinkPredictor>> BuildSequential(EdgeStream& stream);
+  Result<std::unique_ptr<LinkPredictor>> BuildOrdered(EdgeStream& stream);
+  Result<std::unique_ptr<LinkPredictor>> BuildRelaxed(EdgeStream& stream);
+  Status Validate() const;
+
   PredictorConfig config_;
   ParallelIngestOptions options_;
   uint64_t edges_ingested_ = 0;
+};
+
+/// Fluent construction for parallel ingestion — the one place every knob
+/// of a build is wired, replacing positional-constructor + post-hoc-setter
+/// call sites:
+///
+///   auto built = IngestEngineBuilder(config)
+///                    .Threads(8)
+///                    .Ordering(IngestOrdering::kRelaxed)
+///                    .BatchEdges(16384)
+///                    .Metrics(&registry)
+///                    .Ingest(stream);
+///
+/// Checkpoint/serving wiring goes through PublishTo, which accepts any
+/// publish source exposing IngestPublisher() (CheckpointManager,
+/// QueryService) without this header depending on persist/ or serve/:
+///
+///   builder.PublishTo(*checkpoints).PublishEveryEdges(100000);
+///
+/// CLI/bench binaries map the shared ingest flags (--ingest-mode,
+/// --batch-edges, --ring-batches) with ApplyFlags, alongside
+/// PredictorConfigFromFlags for the predictor flags.
+class IngestEngineBuilder {
+ public:
+  IngestEngineBuilder() = default;
+  explicit IngestEngineBuilder(PredictorConfig config)
+      : config_(std::move(config)) {}
+
+  IngestEngineBuilder& Config(PredictorConfig config) {
+    config_ = std::move(config);
+    return *this;
+  }
+  IngestEngineBuilder& Threads(uint32_t threads) {
+    config_.threads = threads;
+    return *this;
+  }
+  IngestEngineBuilder& BatchEdges(uint32_t batch_edges) {
+    options_.batch_edges = batch_edges;
+    return *this;
+  }
+  IngestEngineBuilder& RingBatches(uint32_t ring_batches) {
+    options_.ring_batches = ring_batches;
+    return *this;
+  }
+  IngestEngineBuilder& Ordering(IngestOrdering ordering) {
+    options_.ordering = ordering;
+    return *this;
+  }
+  IngestEngineBuilder& Metrics(obs::MetricsRegistry* registry) {
+    options_.metrics = registry;
+    return *this;
+  }
+  IngestEngineBuilder& PublishEveryEdges(uint64_t edges) {
+    options_.publish_every_edges = edges;
+    return *this;
+  }
+  IngestEngineBuilder& PublishEverySeconds(double seconds) {
+    options_.publish_every_seconds = seconds;
+    return *this;
+  }
+  IngestEngineBuilder& OnPublish(IngestPublishFn fn) {
+    options_.on_publish = std::move(fn);
+    return *this;
+  }
+  /// Publishes through `source.IngestPublisher()` — works for any source
+  /// with that hook (CheckpointManager, QueryService) without a layering
+  /// edge from stream/ to persist/ or serve/.
+  template <typename Source>
+  IngestEngineBuilder& PublishTo(Source& source) {
+    return OnPublish(source.IngestPublisher());
+  }
+
+  /// Applies the shared ingest flags (absent flags keep current values):
+  ///   --ingest-mode M      ordered | relaxed
+  ///   --batch-edges N      edges per ring batch
+  ///   --ring-batches N     ring capacity in batches
+  /// InvalidArgument on an unknown mode name.
+  Status ApplyFlags(const FlagParser& flags);
+
+  /// The flag names ApplyFlags consumes — append to CheckUnknown
+  /// allowlists next to PredictorFlagNames().
+  static std::vector<std::string> FlagNames();
+  /// One line per ingest flag, for usage/help text.
+  static std::string FlagsHelp();
+
+  const PredictorConfig& config() const { return config_; }
+  const ParallelIngestOptions& options() const { return options_; }
+
+  /// Finalizes into an engine. Never fails by itself — option/config
+  /// validation surfaces from ParallelIngestEngine::Build.
+  ParallelIngestEngine BuildEngine() const {
+    return ParallelIngestEngine(config_, options_);
+  }
+
+  /// One-shot convenience: build the engine and consume the stream.
+  /// `edges_ingested`, when non-null, receives the stream-edge tally.
+  Result<std::unique_ptr<LinkPredictor>> Ingest(
+      EdgeStream& stream, uint64_t* edges_ingested = nullptr) const {
+    ParallelIngestEngine engine = BuildEngine();
+    auto built = engine.Build(stream);
+    if (edges_ingested != nullptr) *edges_ingested = engine.edges_ingested();
+    return built;
+  }
+
+ private:
+  PredictorConfig config_;
+  ParallelIngestOptions options_;
 };
 
 }  // namespace streamlink

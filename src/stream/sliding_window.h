@@ -24,6 +24,13 @@ class SlidingWindowGraph : public EdgeConsumer {
 
   void OnEdge(const Edge& edge) override { Add(edge); }
 
+  /// Batched delivery (EdgeBatch API): expiry order must match arrival
+  /// order, so the batch is the amortized loop.
+  using EdgeConsumer::OnEdgeBatch;
+  void OnEdgeBatch(const EdgeBatch& batch) override {
+    for (const Edge& e : batch) Add(e);
+  }
+
   /// Inserts an edge, expiring the oldest if the window overflows.
   /// Returns the number of edges expired (0 or 1; duplicates expire none).
   uint32_t Add(const Edge& edge);

@@ -1,0 +1,111 @@
+#ifndef STREAMLINK_STREAM_SPSC_RING_H_
+#define STREAMLINK_STREAM_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace streamlink {
+
+/// Bounded single-producer/single-consumer ring buffer — the lock-free
+/// hand-off lane between the parallel ingest router (one producer) and each
+/// shard worker (one consumer). Compared with the retired mutex+condvar
+/// BoundedBatchQueue, a push or pop is one relaxed index bump plus one
+/// release/acquire store — no lock, no syscall, no wakeup convoy when all
+/// shards drain at once.
+///
+/// Design notes (the classic Lamport ring with cached indices):
+///  * capacity is rounded up to a power of two so masking replaces modulo;
+///  * `head_` (consumer-owned) and `tail_` (producer-owned) live on
+///    separate cache lines to stop producer/consumer ping-ponging;
+///  * each side keeps a *cached* copy of the other side's index and only
+///    re-reads the shared atomic when the cache says full/empty, so the
+///    common case touches one shared line, not two.
+///
+/// TryPush/TryPop never block; callers layer their own backoff (the ingest
+/// engine spins-then-yields and counts stalls in ingest.ring_full_stalls).
+/// Close() lets the producer signal end-of-stream: after it, TryPop keeps
+/// draining and `closed() && empty-pop` means done.
+///
+/// Exactly one producer thread and one consumer thread, ever. T must be
+/// movable.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t min_capacity)
+      : capacity_(RoundUpPow2(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Producer side. Returns false (without consuming `value`) when full.
+  bool TryPush(T& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == capacity_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: no more pushes will follow. Idempotent.
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Consumer side. Returns false when empty (which, combined with
+  /// closed(), means end-of-stream — check closed() AFTER a failed pop to
+  /// avoid missing a final push that raced with Close()).
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (either side may race it forward); exact when
+  /// both threads are quiescent.
+  size_t size_approx() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  static constexpr size_t kCacheLine = 64;
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::vector<T> slots_;
+
+  // Consumer-owned line: head index + the consumer's cache of tail.
+  alignas(kCacheLine) std::atomic<size_t> head_{0};
+  size_t cached_tail_ = 0;
+
+  // Producer-owned line: tail index + the producer's cache of head.
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};
+  size_t cached_head_ = 0;
+
+  alignas(kCacheLine) std::atomic<bool> closed_{false};
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_STREAM_SPSC_RING_H_

@@ -68,8 +68,8 @@ uint64_t StreamDriver::Run(EdgeStream& stream) {
   batch.reserve(batch_size_);
   auto flush = [&] {
     if (batch.empty()) return;
-    for (EdgeConsumer* c : consumers_) c->OnEdgeBatch(batch.data(),
-                                                      batch.size());
+    const EdgeBatch view(batch.data(), batch.size());
+    for (EdgeConsumer* c : consumers_) c->OnEdgeBatch(view);
     consumed += batch.size();
     if (edges_total != nullptr) {
       edges_total->Add(batch.size());

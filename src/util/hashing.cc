@@ -24,10 +24,12 @@ HashFamily::HashFamily(uint64_t master_seed, uint32_t size)
     : master_seed_(master_seed) {
   SL_CHECK(size > 0) << "HashFamily needs at least one function";
   seeds_.reserve(size);
+  mixed_seeds_.reserve(size);
   uint64_t s = master_seed;
   for (uint32_t i = 0; i < size; ++i) {
     s = Mix64(s + 0x9e3779b97f4a7c15ULL);
     seeds_.push_back(s);
+    mixed_seeds_.push_back(MixSeed(s));
   }
 }
 

@@ -76,16 +76,22 @@ Result<DifferentialReport> RunDifferentialOracle(
     config.kind = kind;
     config.sketch_size = options.sketch_size;
     config.seed = options.seed;
-    if (options.threads > 1 && KindSupportsSharding(kind)) {
+    const bool parallelizable =
+        options.ordering == IngestOrdering::kRelaxed
+            ? KindSupportsReplicatedMerge(kind)
+            : KindSupportsSharding(kind);
+    if (options.threads > 1 && parallelizable) {
       config.threads = options.threads;
     }
     // The tolerance compares against the *whole-stream* exact measures, so
     // the windowed kind must keep every edge live: window >= stream.
     config.window_edges = graph.edges.size() + 1;
 
-    auto predictor = MakePredictor(config);
+    VectorEdgeStream stream(graph.edges);
+    auto predictor = IngestEngineBuilder(config)
+                         .Ordering(options.ordering)
+                         .Ingest(stream);
     if (!predictor.ok()) return predictor.status();
-    FeedStream(**predictor, graph.edges);
 
     DifferentialKindReport kr;
     kr.kind = kind;

@@ -7,6 +7,7 @@
 
 #include "core/predictor_factory.h"
 #include "gen/stream_order.h"
+#include "stream/parallel_ingest.h"
 #include "util/status.h"
 
 namespace streamlink {
@@ -61,6 +62,14 @@ struct DifferentialOracleOptions {
   /// Ingestion parallelism for kinds that support it (sharded builds must
   /// agree with sequential ones, so the tolerance is unchanged).
   uint32_t threads = 1;
+  /// Ordering mode of the parallel build when threads > 1. kOrdered
+  /// shards by vertex and stays bit-identical, so it inherits the
+  /// sequential tolerance for free. kRelaxed edge-partitions full
+  /// replicas and merges at end-of-stream — THIS oracle run is the bound
+  /// that mode's contract promises (estimates within the Hoeffding
+  /// tolerances above). Kinds the mode cannot parallelize build
+  /// sequentially, keeping the kind sweep complete either way.
+  IngestOrdering ordering = IngestOrdering::kOrdered;
 };
 
 /// Per-kind outcome of an oracle run.

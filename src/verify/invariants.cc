@@ -14,6 +14,7 @@
 #include "core/bottomk_predictor.h"
 #include "core/minhash_predictor.h"
 #include "eval/experiment.h"
+#include "stream/edge_batch.h"
 #include "stream/edge_stream.h"
 #include "stream/parallel_ingest.h"
 #include "util/hashing.h"
@@ -160,6 +161,105 @@ Status CheckShardCountInvariance(const InvariantContext& context) {
   return Status::Ok();
 }
 
+Status CheckOrderedIngestInvariance(const InvariantContext& context) {
+  if (!KindSupportsSharding(context.config.kind)) return Status::Ok();
+  auto sequential = BuildSequential(context);
+  if (!sequential.ok()) return sequential.status();
+
+  // Thread count × batch size × ring capacity are all free parameters of
+  // the ordered engine; none may change a single output bit. batch=1 with
+  // a capacity-1 ring maximizes hand-off and backpressure churn; the large
+  // batch exercises the one-big-batch path.
+  for (uint32_t threads : {2u, 3u}) {
+    for (uint32_t batch_edges : {1u, 7u, 4096u}) {
+      VectorEdgeStream stream(context.edges);
+      auto parallel = IngestEngineBuilder(context.config)
+                          .Threads(threads)
+                          .BatchEdges(batch_edges)
+                          .RingBatches(batch_edges == 1 ? 1 : 64)
+                          .Ingest(stream);
+      if (!parallel.ok()) return parallel.status();
+      if (Status st = CompareEstimates(
+              "ordered-ingest-invariance(threads=" + std::to_string(threads) +
+                  ", batch=" + std::to_string(batch_edges) + ")",
+              **sequential, **parallel, context);
+          !st.ok()) {
+        return st;
+      }
+    }
+  }
+
+  // Where the kind folds losslessly, the sharded build's folded clone
+  // must also snapshot byte-identically to the sequential build.
+  if (KindSupportsReplicatedMerge(context.config.kind)) {
+    VectorEdgeStream stream(context.edges);
+    auto parallel =
+        IngestEngineBuilder(context.config).Threads(3).Ingest(stream);
+    if (!parallel.ok()) return parallel.status();
+    std::unique_ptr<LinkPredictor> folded = (*parallel)->Clone();
+    if (folded == nullptr) {
+      return Status::Internal("ordered-ingest-invariance: " +
+                              context.config.kind + " sharded fold failed");
+    }
+    auto want = SnapshotBytes(**sequential, context, "ordered_seq");
+    auto got = SnapshotBytes(*folded, context, "ordered_fold");
+    for (auto* bytes : {&want, &got}) {
+      if (!bytes->ok()) return bytes->status();
+    }
+    if (*got != *want) {
+      return Status::Internal(
+          "ordered-ingest-invariance: " + context.config.kind +
+          " folded 3-thread snapshot differs from the sequential one");
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckRelaxedMergeEquivalence(const InvariantContext& context) {
+  // The relaxed contract is oracle-bounded estimates (see
+  // verify/differential.h ordering knob); for the kinds that allow the
+  // mode at all, the disjoint-partition fold is additionally
+  // value-lossless, which this invariant pins down exactly.
+  if (!KindSupportsReplicatedMerge(context.config.kind)) return Status::Ok();
+  auto sequential = BuildSequential(context);
+  if (!sequential.ok()) return sequential.status();
+  auto want = SnapshotBytes(**sequential, context, "relaxed_seq");
+  if (!want.ok()) return want.status();
+
+  for (uint32_t threads : {2u, 4u}) {
+    VectorEdgeStream stream(context.edges);
+    // A batch size below edges/threads guarantees every replica receives
+    // a non-empty partition, so the fold path (sketch union + edge-tally
+    // accumulation) is actually exercised.
+    auto relaxed = IngestEngineBuilder(context.config)
+                       .Threads(threads)
+                       .Ordering(IngestOrdering::kRelaxed)
+                       .BatchEdges(static_cast<uint32_t>(std::max(
+                           size_t{1}, context.edges.size() / (threads * 4))))
+                       .Ingest(stream);
+    if (!relaxed.ok()) return relaxed.status();
+    if (Status st = CompareEstimates(
+            "relaxed-merge-equivalence(threads=" + std::to_string(threads) +
+                ")",
+            **sequential, **relaxed, context);
+        !st.ok()) {
+      return st;
+    }
+    // Value-losslessness at full strength: the folded replicas serialize
+    // byte-identically to the sequential build (sketches AND metadata
+    // like the processed-edge tally).
+    auto got = SnapshotBytes(**relaxed, context, "relaxed_fold");
+    if (!got.ok()) return got.status();
+    if (*got != *want) {
+      return Status::Internal(
+          "relaxed-merge-equivalence: " + context.config.kind + " threads=" +
+          std::to_string(threads) +
+          " folded snapshot differs from sequential build");
+    }
+  }
+  return Status::Ok();
+}
+
 Status CheckBatchSizeInvariance(const InvariantContext& context) {
   auto single = BuildSequential(context);
   if (!single.ok()) return single.status();
@@ -173,7 +273,7 @@ Status CheckBatchSizeInvariance(const InvariantContext& context) {
     if (!batched.ok()) return batched.status();
     for (size_t i = 0; i < context.edges.size(); i += batch) {
       size_t count = std::min(batch, context.edges.size() - i);
-      (*batched)->OnEdgeBatch(context.edges.data() + i, count);
+      (*batched)->OnEdgeBatch(EdgeBatch(context.edges.data() + i, count));
     }
     auto bytes = SnapshotBytes(**batched, context, "batch");
     if (!bytes.ok()) return bytes.status();
@@ -380,6 +480,8 @@ Status CheckResumeEquivalence(const InvariantContext& context) {
 std::vector<Invariant> AllInvariants() {
   return {
       {"shard-count-invariance", CheckShardCountInvariance},
+      {"ordered-ingest-invariance", CheckOrderedIngestInvariance},
+      {"relaxed-merge-equivalence", CheckRelaxedMergeEquivalence},
       {"batch-size-invariance", CheckBatchSizeInvariance},
       {"clone-isolation", CheckCloneIsolation},
       {"merge-associativity", CheckMergeAssociativity},

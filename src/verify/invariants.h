@@ -71,6 +71,19 @@ Status RunAllInvariants(
 /// unshardable kinds.
 Status CheckShardCountInvariance(const InvariantContext& context);
 
+/// The ordered parallel engine's free parameters — thread count × batch
+/// size × ring capacity — never change a single output bit relative to a
+/// sequential build; where the kind folds losslessly, the folded sharded
+/// snapshot is also byte-identical. Skips unshardable kinds.
+Status CheckOrderedIngestInvariance(const InvariantContext& context);
+
+/// Relaxed (edge-partitioned replica) builds match the sequential build
+/// exactly for the kinds whose MergeFrom is value-lossless over disjoint
+/// partitions (the only kinds the mode admits). The contract-level bound
+/// on relaxed estimates is the differential oracle's ordering knob.
+/// Skips kinds without a replica merge.
+Status CheckRelaxedMergeEquivalence(const InvariantContext& context);
+
 /// Delivering the stream via OnEdge one at a time and via OnEdgeBatch at
 /// several batch sizes produces byte-identical snapshots.
 Status CheckBatchSizeInvariance(const InvariantContext& context);

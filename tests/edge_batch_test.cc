@@ -1,0 +1,163 @@
+#include "stream/edge_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stream/stream_driver.h"
+
+namespace streamlink {
+namespace {
+
+TEST(EdgeBatch, DefaultIsEmpty) {
+  EdgeBatch batch;
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_FALSE(batch.has_hash_u());
+  EXPECT_FALSE(batch.has_hash_v());
+}
+
+TEST(EdgeBatch, WrapsEdgeRun) {
+  const EdgeList edges = {{0, 1}, {1, 2}, {2, 3}};
+  EdgeBatch batch(edges.data(), edges.size());
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[1], Edge(1, 2));
+  size_t seen = 0;
+  for (const Edge& e : batch) {
+    EXPECT_EQ(e, edges[seen]);
+    ++seen;
+  }
+  EXPECT_EQ(seen, edges.size());
+}
+
+TEST(EdgeBatch, SingleWrapsOneEdge) {
+  const Edge e{5, 9};
+  EdgeBatch batch = EdgeBatch::Single(e);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], e);
+}
+
+TEST(EdgeBatch, SliceKeepsLanesAligned) {
+  const EdgeList edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  const std::vector<uint64_t> hu = {10, 11, 12, 13};
+  const std::vector<uint64_t> hv = {20, 21, 22, 23};
+  EdgeBatch batch(edges.data(), edges.size(), hu.data(), hv.data());
+  ASSERT_TRUE(batch.has_hash_u());
+  ASSERT_TRUE(batch.has_hash_v());
+
+  EdgeBatch slice = batch.Slice(1, 2);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0], Edge(1, 2));
+  EXPECT_EQ(slice.hash_u(0), 11u);
+  EXPECT_EQ(slice.hash_v(1), 22u);
+
+  EdgeBatch prefix = batch.Prefix(100);  // clamps to size
+  EXPECT_EQ(prefix.size(), 4u);
+  EXPECT_EQ(batch.Prefix(2).size(), 2u);
+}
+
+TEST(EdgeBatch, SliceWithoutLanesStaysLaneless) {
+  const EdgeList edges = {{0, 1}, {1, 2}};
+  EdgeBatch slice = EdgeBatch(edges.data(), edges.size()).Slice(1, 1);
+  EXPECT_FALSE(slice.has_hash_u());
+  EXPECT_FALSE(slice.has_hash_v());
+}
+
+TEST(EdgeBatchBuffer, HalfEdgeAppendFillsNeighborLane) {
+  EdgeBatchBuffer buffer;
+  buffer.Reserve(2, /*with_hash_u=*/false, /*with_hash_v=*/true);
+  buffer.AppendHalfEdge(3, 7, 111);
+  buffer.AppendHalfEdge(3, 9, 222);
+  EdgeBatch view = buffer.View();
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_FALSE(view.has_hash_u());
+  ASSERT_TRUE(view.has_hash_v());
+  EXPECT_EQ(view[0], Edge(3, 7));
+  EXPECT_EQ(view.hash_v(1), 222u);
+}
+
+TEST(EdgeBatchBuffer, HashedAppendFillsBothLanes) {
+  EdgeBatchBuffer buffer;
+  buffer.AppendHashed(Edge(1, 2), 10, 20);
+  EdgeBatch view = buffer.View();
+  ASSERT_TRUE(view.has_hash_u());
+  ASSERT_TRUE(view.has_hash_v());
+  EXPECT_EQ(view.hash_u(0), 10u);
+  EXPECT_EQ(view.hash_v(0), 20u);
+}
+
+TEST(EdgeBatchBuffer, ViewDropsShortLane) {
+  EdgeBatchBuffer buffer;
+  buffer.AppendHashed(Edge(1, 2), 10, 20);
+  buffer.Append(Edge(2, 3));  // no hashes — lanes now disagree with edges
+  EdgeBatch view = buffer.View();
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_FALSE(view.has_hash_u());
+  EXPECT_FALSE(view.has_hash_v());
+}
+
+TEST(EdgeBatchBuffer, ClearResetsAllLanes) {
+  EdgeBatchBuffer buffer;
+  buffer.AppendHashed(Edge(1, 2), 10, 20);
+  buffer.Clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_TRUE(buffer.View().empty());
+  buffer.Append(Edge(4, 5));
+  EXPECT_EQ(buffer.View().size(), 1u);
+}
+
+// The EdgeConsumer shim: implementing any ONE of the three entry points
+// must make all three deliver.
+
+struct CountsViaBatch : EdgeConsumer {
+  std::vector<Edge> seen;
+  void OnEdgeBatch(const EdgeBatch& batch) override {
+    for (const Edge& e : batch) seen.push_back(e);
+  }
+  using EdgeConsumer::OnEdgeBatch;
+};
+
+struct CountsViaRawBatch : EdgeConsumer {
+  std::vector<Edge> seen;
+  size_t calls = 0;
+  void OnEdgeBatch(const Edge* edges, size_t count) override {
+    ++calls;
+    seen.insert(seen.end(), edges, edges + count);
+  }
+  using EdgeConsumer::OnEdgeBatch;
+};
+
+struct CountsViaSingleEdge : EdgeConsumer {
+  std::vector<Edge> seen;
+  void OnEdge(const Edge& edge) override { seen.push_back(edge); }
+};
+
+TEST(EdgeConsumerShim, ViewOverrideReceivesEveryPath) {
+  const EdgeList edges = {{0, 1}, {1, 2}};
+  CountsViaBatch c;
+  c.OnEdge(edges[0]);                        // forwards as a size-1 view
+  c.OnEdgeBatch(edges.data(), edges.size()); // raw adapts to a view
+  c.OnEdgeBatch(EdgeBatch(edges.data(), 1)); // native
+  EXPECT_EQ(c.seen, (std::vector<Edge>{{0, 1}, {0, 1}, {1, 2}, {0, 1}}));
+}
+
+TEST(EdgeConsumerShim, RawOverrideReceivesEveryPath) {
+  const EdgeList edges = {{0, 1}, {1, 2}};
+  CountsViaRawBatch c;
+  c.OnEdge(edges[0]);                         // view default → raw, count 1
+  c.OnEdgeBatch(EdgeBatch(edges.data(), 2));  // view default → raw
+  EXPECT_EQ(c.calls, 2u);
+  EXPECT_EQ(c.seen, (std::vector<Edge>{{0, 1}, {0, 1}, {1, 2}}));
+}
+
+TEST(EdgeConsumerShim, OnEdgeOverrideReceivesEveryPath) {
+  const EdgeList edges = {{0, 1}, {1, 2}};
+  CountsViaSingleEdge c;
+  c.OnEdgeBatch(EdgeBatch(edges.data(), 2));  // view → raw → per-edge
+  c.OnEdgeBatch(edges.data(), 1);             // raw → per-edge
+  c.OnEdge(edges[1]);
+  EXPECT_EQ(c.seen, (std::vector<Edge>{{0, 1}, {1, 2}, {0, 1}, {1, 2}}));
+}
+
+}  // namespace
+}  // namespace streamlink

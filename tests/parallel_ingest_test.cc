@@ -2,10 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <chrono>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/predictor_factory.h"
@@ -13,6 +10,7 @@
 #include "eval/experiment.h"
 #include "stream/edge_stream.h"
 #include "stream/stream_driver.h"
+#include "util/flags.h"
 #include "util/random.h"
 
 namespace streamlink {
@@ -48,72 +46,6 @@ void ExpectIdentical(const LinkPredictor& a, const LinkPredictor& b,
   }
 }
 
-TEST(BoundedBatchQueue, DeliversBatchesInOrder) {
-  BoundedBatchQueue queue(4);
-  queue.Push({{0, 1}});
-  queue.Push({{1, 2}, {2, 3}});
-  queue.Close();
-  EdgeList batch;
-  ASSERT_TRUE(queue.Pop(&batch));
-  EXPECT_EQ(batch, EdgeList({{0, 1}}));
-  ASSERT_TRUE(queue.Pop(&batch));
-  EXPECT_EQ(batch, EdgeList({{1, 2}, {2, 3}}));
-  EXPECT_FALSE(queue.Pop(&batch));
-}
-
-TEST(BoundedBatchQueue, PopAfterCloseDrainsThenStops) {
-  BoundedBatchQueue queue(2);
-  queue.Push({{0, 1}});
-  queue.Close();
-  EdgeList batch;
-  EXPECT_TRUE(queue.Pop(&batch));
-  EXPECT_FALSE(queue.Pop(&batch));
-  EXPECT_FALSE(queue.Pop(&batch));  // stays closed
-}
-
-TEST(BoundedBatchQueue, BlocksProducerAtCapacity) {
-  BoundedBatchQueue queue(1);
-  queue.Push({{0, 1}});
-  std::atomic<bool> second_push_done{false};
-  std::thread producer([&] {
-    queue.Push({{1, 2}});  // must block until the consumer pops
-    second_push_done = true;
-  });
-  // Give the producer a moment to hit the capacity wall.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  EXPECT_FALSE(second_push_done.load());
-  EdgeList batch;
-  ASSERT_TRUE(queue.Pop(&batch));
-  EXPECT_EQ(batch, EdgeList({{0, 1}}));
-  producer.join();
-  EXPECT_TRUE(second_push_done.load());
-  queue.Close();
-  ASSERT_TRUE(queue.Pop(&batch));
-  EXPECT_EQ(batch, EdgeList({{1, 2}}));
-  EXPECT_FALSE(queue.Pop(&batch));
-}
-
-TEST(BoundedBatchQueue, ManyBatchesThroughTinyCapacity) {
-  BoundedBatchQueue queue(2);
-  constexpr int kBatches = 500;
-  std::thread producer([&] {
-    for (int i = 0; i < kBatches; ++i) {
-      queue.Push({Edge(static_cast<VertexId>(i),
-                       static_cast<VertexId>(i + 1))});
-    }
-    queue.Close();
-  });
-  EdgeList batch;
-  int received = 0;
-  while (queue.Pop(&batch)) {
-    ASSERT_EQ(batch.size(), 1u);
-    EXPECT_EQ(batch[0].u, static_cast<VertexId>(received));
-    ++received;
-  }
-  producer.join();
-  EXPECT_EQ(received, kBatches);
-}
-
 TEST(ParallelIngestEngine, FourThreadsBitIdenticalToSequential) {
   const EdgeList edges = MakeStream(/*seed=*/11, /*num_edges=*/800);
   for (const char* kind : {"minhash", "bottomk", "oph", "exact"}) {
@@ -123,18 +55,17 @@ TEST(ParallelIngestEngine, FourThreadsBitIdenticalToSequential) {
     config.seed = 13;
 
     config.threads = 1;
-    ParallelIngestEngine sequential_engine(config);
     VectorEdgeStream sequential_stream(edges);
-    auto sequential = sequential_engine.Build(sequential_stream);
+    auto sequential = IngestEngineBuilder(config).Ingest(sequential_stream);
     ASSERT_TRUE(sequential.ok()) << kind;
 
-    config.threads = 4;
-    ParallelIngestEngine parallel_engine(config);
     VectorEdgeStream parallel_stream(edges);
-    auto sharded = parallel_engine.Build(parallel_stream);
+    uint64_t ingested = 0;
+    auto sharded = IngestEngineBuilder(config).Threads(4).Ingest(
+        parallel_stream, &ingested);
     ASSERT_TRUE(sharded.ok()) << kind;
 
-    EXPECT_EQ(parallel_engine.edges_ingested(), edges.size()) << kind;
+    EXPECT_EQ(ingested, edges.size()) << kind;
     EXPECT_EQ((*sharded)->edges_processed(),
               (*sequential)->edges_processed())
         << kind;
@@ -144,19 +75,53 @@ TEST(ParallelIngestEngine, FourThreadsBitIdenticalToSequential) {
   }
 }
 
-TEST(ParallelIngestEngine, TinyBatchesAndQueuesStillLossless) {
-  // Stress the backpressure path: 1-edge batches through depth-1 queues.
+// The metamorphic cross product at the heart of the ordered contract:
+// thread count and batch size are free parameters that must never change a
+// single output bit. Small batch sizes force constant ring hand-off and
+// epoch churn; large ones exercise the one-big-batch path.
+TEST(ParallelIngestEngine, OrderedBitIdenticalAcrossThreadsAndBatchSizes) {
+  const EdgeList edges = MakeStream(/*seed=*/29, /*num_edges=*/600);
+  for (const char* kind : {"minhash", "bottomk"}) {
+    PredictorConfig config;
+    config.kind = kind;
+    config.sketch_size = 24;
+    config.seed = 5;
+    config.threads = 1;
+    VectorEdgeStream reference_stream(edges);
+    auto reference = IngestEngineBuilder(config).Ingest(reference_stream);
+    ASSERT_TRUE(reference.ok()) << kind;
+
+    for (uint32_t threads : {2u, 3u, 5u}) {
+      for (uint32_t batch_edges : {1u, 7u, 4096u}) {
+        VectorEdgeStream stream(edges);
+        auto built = IngestEngineBuilder(config)
+                         .Threads(threads)
+                         .BatchEdges(batch_edges)
+                         .Ingest(stream);
+        ASSERT_TRUE(built.ok())
+            << kind << " threads=" << threads << " batch=" << batch_edges;
+        EXPECT_EQ((*built)->edges_processed(),
+                  (*reference)->edges_processed())
+            << kind << " threads=" << threads << " batch=" << batch_edges;
+        ExpectIdentical(**reference, **built, kNumVertices);
+      }
+    }
+  }
+}
+
+TEST(ParallelIngestEngine, TinyBatchesAndRingsStillLossless) {
+  // Stress the backpressure path: 1-edge batches through capacity-1 rings
+  // (rounded up to 2 slots) keep the router stalling on full rings.
   const EdgeList edges = MakeStream(/*seed=*/17, /*num_edges=*/300);
   PredictorConfig config;
   config.kind = "minhash";
   config.sketch_size = 16;
-  config.threads = 3;
-  ParallelIngestOptions options;
-  options.batch_edges = 1;
-  options.max_inflight_batches = 1;
-  ParallelIngestEngine engine(config, options);
   VectorEdgeStream stream(edges);
-  auto sharded = engine.Build(stream);
+  auto sharded = IngestEngineBuilder(config)
+                     .Threads(3)
+                     .BatchEdges(1)
+                     .RingBatches(1)
+                     .Ingest(stream);
   ASSERT_TRUE(sharded.ok());
 
   config.threads = 1;
@@ -164,6 +129,68 @@ TEST(ParallelIngestEngine, TinyBatchesAndQueuesStillLossless) {
   ASSERT_TRUE(sequential.ok());
   FeedStream(**sequential, edges);
   ExpectIdentical(**sequential, **sharded, kNumVertices);
+}
+
+// Relaxed mode merges disjoint edge partitions at end-of-stream. For the
+// kinds that allow it (bottom-k set union, slot-wise minimum, additive
+// exact degrees) the fold is value-lossless, so this test can compare
+// exactly and stay deterministic — but the public contract only promises
+// estimates within the differential oracle's tolerances (see
+// verify/differential_test.cc for the contract-level check).
+TEST(ParallelIngestEngine, RelaxedMatchesSequentialForMergeableKinds) {
+  const EdgeList edges = MakeStream(/*seed=*/41, /*num_edges=*/700);
+  for (const char* kind : {"minhash", "bottomk"}) {
+    ASSERT_TRUE(KindSupportsReplicatedMerge(kind)) << kind;
+    PredictorConfig config;
+    config.kind = kind;
+    config.sketch_size = 32;
+    config.seed = 99;
+    config.threads = 1;
+    VectorEdgeStream sequential_stream(edges);
+    auto sequential = IngestEngineBuilder(config).Ingest(sequential_stream);
+    ASSERT_TRUE(sequential.ok()) << kind;
+
+    for (uint32_t threads : {2u, 4u}) {
+      VectorEdgeStream stream(edges);
+      uint64_t ingested = 0;
+      // Small batches so every replica actually receives a partition —
+      // at the default batch size this stream fits in one batch and the
+      // fold's tally accumulation would go untested.
+      auto relaxed = IngestEngineBuilder(config)
+                         .Threads(threads)
+                         .Ordering(IngestOrdering::kRelaxed)
+                         .BatchEdges(64)
+                         .Ingest(stream, &ingested);
+      ASSERT_TRUE(relaxed.ok()) << kind << " threads=" << threads;
+      EXPECT_EQ(ingested, edges.size());
+      EXPECT_EQ((*relaxed)->edges_processed(),
+                (*sequential)->edges_processed())
+          << kind << " threads=" << threads;
+      ExpectIdentical(**sequential, **relaxed, kNumVertices);
+    }
+  }
+}
+
+TEST(ParallelIngestEngine, RelaxedTinyBatchesAndRings) {
+  const EdgeList edges = MakeStream(/*seed=*/43, /*num_edges=*/250);
+  PredictorConfig config;
+  config.kind = "bottomk";
+  config.sketch_size = 16;
+  config.threads = 1;
+  VectorEdgeStream sequential_stream(edges);
+  auto sequential = IngestEngineBuilder(config).Ingest(sequential_stream);
+  ASSERT_TRUE(sequential.ok());
+
+  VectorEdgeStream stream(edges);
+  auto relaxed = IngestEngineBuilder(config)
+                     .Threads(3)
+                     .Ordering(IngestOrdering::kRelaxed)
+                     .BatchEdges(2)
+                     .RingBatches(1)
+                     .Ingest(stream);
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_EQ((*relaxed)->edges_processed(), (*sequential)->edges_processed());
+  ExpectIdentical(**sequential, **relaxed, kNumVertices);
 }
 
 TEST(ParallelIngestEngine, SingleThreadMatchesStreamDriverBuild) {
@@ -247,6 +274,82 @@ TEST(ParallelIngestEngine, UnshardableKindWorksSequentially) {
   auto built = engine.Build(stream);
   ASSERT_TRUE(built.ok());
   EXPECT_EQ((*built)->edges_processed(), 2u);
+}
+
+TEST(ParallelIngestEngine, RelaxedRejectsNonMergeableKindWhenParallel) {
+  PredictorConfig config;
+  config.kind = "oph";  // shards fine, but has no lossless replica merge
+  config.threads = 4;
+  VectorEdgeStream stream(EdgeList{{0, 1}});
+  auto built = IngestEngineBuilder(config)
+                   .Ordering(IngestOrdering::kRelaxed)
+                   .Ingest(stream);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelIngestEngine, RelaxedRejectsPublishCadence) {
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.threads = 4;
+  VectorEdgeStream stream(EdgeList{{0, 1}});
+  auto built = IngestEngineBuilder(config)
+                   .Ordering(IngestOrdering::kRelaxed)
+                   .PublishEveryEdges(10)
+                   .OnPublish([](const LinkPredictor&, uint64_t) {})
+                   .Ingest(stream);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelIngestEngine, RejectsCadenceWithoutCallback) {
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.threads = 2;
+  VectorEdgeStream stream(EdgeList{{0, 1}});
+  auto built =
+      IngestEngineBuilder(config).PublishEveryEdges(10).Ingest(stream);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IngestOrdering, NamesRoundTrip) {
+  for (IngestOrdering ordering :
+       {IngestOrdering::kOrdered, IngestOrdering::kRelaxed}) {
+    auto parsed = ParseIngestOrdering(IngestOrderingName(ordering));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, ordering);
+  }
+  EXPECT_FALSE(ParseIngestOrdering("chaotic").ok());
+}
+
+TEST(IngestEngineBuilder, ApplyFlagsMapsSharedIngestFlags) {
+  FlagParser flags(std::vector<std::string>{"--ingest-mode", "relaxed",
+                                            "--batch-edges", "123",
+                                            "--ring-batches", "9"});
+  IngestEngineBuilder builder;
+  ASSERT_TRUE(builder.ApplyFlags(flags).ok());
+  EXPECT_EQ(builder.options().ordering, IngestOrdering::kRelaxed);
+  EXPECT_EQ(builder.options().batch_edges, 123u);
+  EXPECT_EQ(builder.options().ring_batches, 9u);
+}
+
+TEST(IngestEngineBuilder, ApplyFlagsKeepsDefaultsWhenAbsent) {
+  FlagParser flags(std::vector<std::string>{});
+  IngestEngineBuilder builder;
+  const ParallelIngestOptions defaults;
+  ASSERT_TRUE(builder.ApplyFlags(flags).ok());
+  EXPECT_EQ(builder.options().ordering, defaults.ordering);
+  EXPECT_EQ(builder.options().batch_edges, defaults.batch_edges);
+  EXPECT_EQ(builder.options().ring_batches, defaults.ring_batches);
+}
+
+TEST(IngestEngineBuilder, ApplyFlagsRejectsUnknownMode) {
+  FlagParser flags(std::vector<std::string>{"--ingest-mode", "fast"});
+  IngestEngineBuilder builder;
+  Status st = builder.ApplyFlags(flags);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

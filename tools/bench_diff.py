@@ -13,6 +13,9 @@ Metric direction is inferred from the key name:
   * lower-is-better:  *_seconds, *_us, *_ns, *_ms, *_pct, *overhead*
   * anything else is reported but never flagged.
 
+*_pct metrics are compared in absolute percentage points (the threshold
+reads as points); everything else is compared relative to the baseline.
+
 Usage:
   tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
 
@@ -84,20 +87,30 @@ def main(argv):
                   f"missing in {missing}")
             continue
         old, new = base["metrics"][key], cand["metrics"][key]
-        if old == 0:
-            delta_pct = 0.0 if new == 0 else float("inf")
+        # Metrics that are themselves percentages (e.g. an overhead of
+        # 3.5%) sit near zero, where a relative delta explodes into noise
+        # (3.5% -> 7% reads as +100%). Compare those in absolute
+        # percentage points against the same threshold instead.
+        in_points = key.lower().endswith("_pct")
+        if in_points:
+            delta = new - old
+            delta_str = f"{delta:>+6.1f}pt"
         else:
-            delta_pct = 100.0 * (new - old) / abs(old)
+            if old == 0:
+                delta = 0.0 if new == 0 else float("inf")
+            else:
+                delta = 100.0 * (new - old) / abs(old)
+            delta_str = f"{delta:>+7.1f}%"
         sense = direction(key)
         if sense == "higher":
-            regressed = delta_pct < -args.threshold
+            regressed = delta < -args.threshold
         elif sense == "lower":
-            regressed = delta_pct > args.threshold
+            regressed = delta > args.threshold
         else:
             regressed = False
         verdict = "REGRESSED" if regressed else ("ok" if sense else "info")
         print(f"{key:<{width}}  {old:>14.6g}  {new:>14.6g}  "
-              f"{delta_pct:>+7.1f}%  {verdict}")
+              f"{delta_str:>8}  {verdict}")
         if regressed:
             regressions.append(key)
 
