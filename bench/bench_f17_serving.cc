@@ -42,7 +42,8 @@ void Run(const BenchConfig& config) {
   request.pairs = SampleOverlappingPairs(
       csr, std::min<uint32_t>(config.pairs, 64), rng);
   SL_CHECK(!request.pairs.empty()) << "graph too small to sample pairs";
-  request.measures = {LinkMeasure::kJaccard, LinkMeasure::kAdamicAdar};
+  // Measures come from the service's defaults (set via the builder below),
+  // exercising the request-completion path a transport client relies on.
 
   const uint64_t publish_every =
       std::max<uint64_t>(1, g.edges.size() / 20);
@@ -63,7 +64,12 @@ void Run(const BenchConfig& config) {
                      "p99_us", "publishes", "ingest_seconds",
                      "ingest_overhead"});
   for (uint32_t readers : {1u, 2u, 4u, 8u}) {
-    QueryService service;
+    auto built = QueryServiceBuilder()
+                     .DefaultMeasures(
+                         {LinkMeasure::kJaccard, LinkMeasure::kAdamicAdar})
+                     .Build();
+    SL_CHECK(built.ok()) << built.status().ToString();
+    QueryService& service = **built;
     ParallelIngestEngine engine = IngestEngineBuilder(predictor_config)
                                       .PublishEveryEdges(publish_every)
                                       .PublishTo(service)

@@ -1,0 +1,12 @@
+// libFuzzer driver for the network request-frame decoder. Build with
+// -DSTREAMLINK_FUZZ=ON (clang), then:
+//   ./build/fuzz/fuzz_net_frame fuzz/corpus/net_frame
+
+#include <cstddef>
+#include <cstdint>
+
+#include "verify/fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return streamlink::FuzzNetFrame(data, size);
+}

@@ -1,6 +1,7 @@
 #include "cli/commands.h"
 
 #include <atomic>
+#include <chrono>
 #include <optional>
 #include <ostream>
 #include <thread>
@@ -14,6 +15,8 @@
 #include "graph/csr_graph.h"
 #include "graph/edge_list_io.h"
 #include "graph/graph_stats.h"
+#include "net/load_gen.h"
+#include "net/server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/stats_reporter.h"
@@ -613,13 +616,36 @@ Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
   }
   request.measures = {LinkMeasure::kJaccard, LinkMeasure::kAdamicAdar};
 
-  QueryService service;
-  // Declared after the service on purpose: the registry's scrape-time
+  // Declared before the ObsScope on purpose: the registry's scrape-time
   // gauges call back into the service, so the ObsScope (which stops the
   // periodic scraper on destruction) must go away first.
+  std::unique_ptr<QueryService> service_holder;
   ObsScope obs;
   if (auto st = obs.Init(flags); !st.ok()) return st;
-  service.BindMetrics(obs.registry());
+
+  // With --checkpoint-dir, readers get answers from the newest durable
+  // checkpoint before the build's first publish (warm start). An empty or
+  // fully corrupt directory is not an error — the service just starts
+  // cold, as without the flag.
+  uint64_t warm_edges = 0;
+  std::optional<CheckpointManager> manager;
+  QueryServiceBuilder service_builder;
+  service_builder.Metrics(obs.registry());
+  std::string ckpt_dir = flags.GetString("checkpoint-dir", "");
+  if (!ckpt_dir.empty()) {
+    CheckpointOptions ckpt_options;
+    ckpt_options.dir = ckpt_dir;
+    auto opened = CheckpointManager::Open(ckpt_options);
+    if (!opened.ok()) return opened.status();
+    manager.emplace(std::move(*opened));
+    manager->BindMetrics(obs.registry());
+    service_builder.WarmStartFrom(*manager, &warm_edges);
+  }
+  auto built_service = service_builder.Build();
+  if (!built_service.ok()) return built_service.status();
+  service_holder = std::move(*built_service);
+  QueryService& service = *service_holder;
+
   IngestEngineBuilder builder(config);
   if (auto st = builder.ApplyFlags(flags); !st.ok()) return st;
   builder.Metrics(obs.registry())
@@ -631,26 +657,6 @@ Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
       builder.options().publish_every_seconds <= 0) {
     return Status::InvalidArgument(
         "--publish-edges or --publish-seconds must be > 0");
-  }
-
-  // With --checkpoint-dir, readers get answers from the newest durable
-  // checkpoint before the build's first publish (warm start). An empty or
-  // fully corrupt directory is not an error — the service just starts
-  // cold, as without the flag.
-  uint64_t warm_edges = 0;
-  std::string ckpt_dir = flags.GetString("checkpoint-dir", "");
-  if (!ckpt_dir.empty()) {
-    CheckpointOptions ckpt_options;
-    ckpt_options.dir = ckpt_dir;
-    auto manager = CheckpointManager::Open(ckpt_options);
-    if (!manager.ok()) return manager.status();
-    manager->BindMetrics(obs.registry());
-    auto warm = WarmStartFromCheckpoints(*manager, service);
-    if (warm.ok()) {
-      warm_edges = *warm;
-    } else if (warm.status().code() != StatusCode::kNotFound) {
-      return warm.status();
-    }
   }
 
   std::atomic<bool> done{false};
@@ -706,6 +712,123 @@ Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
   return obs.Finish(out);
 }
 
+Status CmdNetServe(const FlagParser& flags, std::ostream& out) {
+  if (auto st = flags.CheckUnknown(WithObsFlags(
+          {"snapshot", "host", "port", "workers", "queue",
+           "staleness-edges", "max-age", "retry-after-ms", "duration"}));
+      !st.ok()) {
+    return st;
+  }
+  const std::string snapshot = flags.GetString("snapshot", "");
+  if (snapshot.empty()) return Status::InvalidArgument("--snapshot is required");
+  auto predictor = LoadPredictorSnapshot(snapshot);
+  if (!predictor.ok()) return predictor.status();
+
+  std::unique_ptr<QueryService> service;  // outlives the ObsScope gauges
+  ObsScope obs;
+  if (auto st = obs.Init(flags); !st.ok()) return st;
+  auto built = QueryServiceBuilder()
+                   .Metrics(obs.registry())
+                   .InitialSnapshot(**predictor, (*predictor)->edges_processed())
+                   .Build();
+  if (!built.ok()) return built.status();
+  service = std::move(*built);
+
+  net::NetServerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 7433));
+  options.workers = static_cast<uint32_t>(flags.GetInt("workers", 2));
+  options.admission.queue_capacity =
+      static_cast<uint32_t>(flags.GetInt("queue", 64));
+  options.admission.max_staleness_edges =
+      static_cast<uint64_t>(flags.GetInt("staleness-edges", 0));
+  options.admission.max_snapshot_age_seconds = flags.GetDouble("max-age", 0.0);
+  options.admission.retry_after_ms =
+      static_cast<uint32_t>(flags.GetInt("retry-after-ms", 50));
+  options.metrics = obs.registry();
+
+  net::NetServer server;
+  if (auto st = server.Start(*service, options); !st.ok()) return st;
+  const double duration = flags.GetDouble("duration", 0.0);
+  out << "serving " << (*predictor)->name() << " snapshot ("
+      << (*predictor)->edges_processed() << " edges) on " << options.host
+      << ":" << server.port()
+      << (duration > 0 ? " for " + TablePrinter::FormatCell(duration) + "s"
+                       : " until interrupted")
+      << "\n"
+      << std::flush;
+  if (duration > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(duration));
+  } else {
+    // No signal plumbing on purpose: the process serves until killed.
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+  server.Stop();
+  return obs.Finish(out);
+}
+
+Status CmdNetLoad(const FlagParser& flags, std::ostream& out) {
+  if (auto st = flags.CheckUnknown(
+          {"host", "port", "connections", "qps", "duration", "shape",
+           "pairs", "top", "universe", "closed-loop", "seed"});
+      !st.ok()) {
+    return st;
+  }
+  net::LoadGenOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("--port is required (1-65535)");
+  }
+  options.port = static_cast<uint16_t>(port);
+  options.connections = static_cast<uint32_t>(flags.GetInt("connections", 4));
+  options.target_qps = flags.GetDouble("qps", 1000.0);
+  options.duration_seconds = flags.GetDouble("duration", 2.0);
+  options.pairs_per_request = static_cast<uint32_t>(flags.GetInt("pairs", 8));
+  options.top_k = static_cast<uint32_t>(flags.GetInt("top", 0));
+  options.node_universe =
+      static_cast<uint32_t>(flags.GetInt("universe", 4096));
+  options.closed_loop = flags.GetBool("closed-loop", false);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string shape = flags.GetString("shape", "steady");
+  if (shape == "steady") {
+    options.shape = net::LoadShape::kSteady;
+  } else if (shape == "diurnal") {
+    options.shape = net::LoadShape::kDiurnal;
+  } else if (shape == "bursty") {
+    options.shape = net::LoadShape::kBursty;
+  } else if (shape == "hotkey") {
+    options.shape = net::LoadShape::kHotKey;
+  } else {
+    return Status::InvalidArgument(
+        "--shape must be steady|diurnal|bursty|hotkey");
+  }
+
+  auto report = net::RunLoad(options);
+  if (!report.ok()) return report.status();
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"shape", net::LoadShapeName(options.shape)});
+  table.AddRow({"mode", options.closed_loop ? "closed-loop" : "open-loop"});
+  table.AddRow({"connections", std::to_string(options.connections)});
+  table.AddRow({"sent", std::to_string(report->sent)});
+  table.AddRow({"ok", std::to_string(report->ok)});
+  table.AddRow({"shed", std::to_string(report->shed)});
+  table.AddRow({"errors", std::to_string(report->errors)});
+  table.AddRow({"achieved_qps", TablePrinter::FormatCell(report->achieved_qps)});
+  table.AddRow({"shed_rate", TablePrinter::FormatCell(report->shed_rate)});
+  table.AddRow({"p50_us", TablePrinter::FormatCell(report->p50_us)});
+  table.AddRow({"p90_us", TablePrinter::FormatCell(report->p90_us)});
+  table.AddRow({"p99_us", TablePrinter::FormatCell(report->p99_us)});
+  table.AddRow({"p999_us", TablePrinter::FormatCell(report->p999_us)});
+  table.AddRow({"service_p50_us",
+                TablePrinter::FormatCell(report->service_p50_us)});
+  table.AddRow({"service_p99_us",
+                TablePrinter::FormatCell(report->service_p99_us)});
+  table.Print(out);
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::string CliUsage() {
@@ -729,6 +852,12 @@ std::string CliUsage() {
       "  serve-bench --input FILE [--readers N] [--pairs N] "
       "[--publish-edges N] [--publish-seconds S] [--checkpoint-dir DIR] "
       "[predictor flags] [obs flags]\n"
+      "  net-serve --snapshot FILE [--host A] [--port N] [--workers N] "
+      "[--queue N] [--staleness-edges N] [--max-age S] "
+      "[--retry-after-ms N] [--duration S] [obs flags]\n"
+      "  net-load  --port N [--host A] [--connections N] [--qps R] "
+      "[--duration S] [--shape steady|diurnal|bursty|hotkey] [--pairs N] "
+      "[--top N] [--universe N] [--closed-loop] [--seed N]\n"
       "obs flags (build/resume/serve-bench; docs/observability.md):\n"
       "  --metrics-out FILE   final metrics dump (.prom/.txt Prometheus "
       "text, .csv rows, else JSON)\n"
@@ -757,6 +886,8 @@ Status RunCliCommand(const std::vector<std::string>& args,
   if (command == "topk") return CmdTopK(flags, out);
   if (command == "compare") return CmdCompare(flags, out);
   if (command == "serve-bench") return CmdServeBench(flags, out);
+  if (command == "net-serve") return CmdNetServe(flags, out);
+  if (command == "net-load") return CmdNetLoad(flags, out);
   return Status::InvalidArgument("unknown command: " + command + "\n" +
                                  CliUsage());
 }

@@ -33,6 +33,12 @@ namespace streamlink {
 ///             Ingests the file while N reader threads issue queries
 ///             through a QueryService fed by the engine's publish hook;
 ///             prints throughput, latency and staleness (docs/serving.md).
+///   net-serve --snapshot FILE [--port N] [--queue N] [--staleness-edges N]
+///             Serves a snapshot over the binary network protocol with
+///             admission control (docs/net.md).
+///   net-load  --port N [--connections N] [--qps R] [--shape NAME]
+///             Open-loop load generator against a net-serve endpoint;
+///             prints p50/p99/p999 and shed rate (docs/net.md).
 ///
 /// Commands that build a predictor share one flag set, mapped by
 /// PredictorConfigFromFlags (--kind, --k, --seed, --threads, ...); see

@@ -1,0 +1,36 @@
+#include "net/admission.h"
+
+namespace streamlink {
+namespace net {
+
+AdmissionDecision Admit(const AdmissionPolicy& policy, uint32_t queue_depth,
+                        const ServeHealth& health) {
+  AdmissionDecision decision;
+  decision.retry_after_ms = policy.retry_after_ms;
+  // No snapshot at all is indistinguishable from "infinitely stale" to a
+  // client; tell it to come back rather than erroring every request.
+  if (!health.has_snapshot) {
+    decision.reason = NackReason::kStaleSnapshot;
+    return decision;
+  }
+  if (policy.max_staleness_edges > 0 &&
+      health.staleness_edges > policy.max_staleness_edges) {
+    decision.reason = NackReason::kStaleSnapshot;
+    return decision;
+  }
+  if (policy.max_snapshot_age_seconds > 0.0 &&
+      health.age_seconds > policy.max_snapshot_age_seconds) {
+    decision.reason = NackReason::kStaleSnapshot;
+    return decision;
+  }
+  if (queue_depth >= policy.queue_capacity) {
+    decision.reason = NackReason::kQueueFull;
+    return decision;
+  }
+  decision.admit = true;
+  decision.retry_after_ms = 0;
+  return decision;
+}
+
+}  // namespace net
+}  // namespace streamlink

@@ -1,0 +1,50 @@
+#ifndef STREAMLINK_NET_ADMISSION_H_
+#define STREAMLINK_NET_ADMISSION_H_
+
+#include <cstdint>
+
+#include "serve/query_codec.h"
+#include "serve/query_service.h"
+
+namespace streamlink {
+namespace net {
+
+// Admission control for the network front end (docs/net.md). The policy
+// is evaluated by the event-loop thread before a query frame is queued:
+// a request that would make the queue deeper than `queue_capacity`, or
+// that arrives while the published snapshot is outside the staleness
+// bounds, is NACKed immediately (cheap: no decode, no worker dispatch)
+// with a retry-after hint instead of being buffered. Shedding at the
+// door keeps the queue — and therefore admitted-request latency —
+// bounded no matter how far the offered load exceeds capacity.
+
+struct AdmissionPolicy {
+  /// Maximum queued-but-unserved queries across all connections. 0 never
+  /// admits anything (useful for drain/shutdown states in tests).
+  uint32_t queue_capacity = 64;
+  /// Shed when the snapshot trails the live frontier by more than this
+  /// many edges. 0 disables the staleness check.
+  uint64_t max_staleness_edges = 0;
+  /// Shed when the snapshot is older than this. <= 0 disables the check.
+  double max_snapshot_age_seconds = 0.0;
+  /// Hint clients receive in a NACK for how long to back off.
+  uint32_t retry_after_ms = 50;
+};
+
+struct AdmissionDecision {
+  bool admit = false;
+  /// Populated when admit is false.
+  NackReason reason = NackReason::kQueueFull;
+  uint32_t retry_after_ms = 0;
+};
+
+/// Pure decision function: policy x (current queue depth, serve health)
+/// -> admit or shed. Kept free of server state so tests can table-drive
+/// it and the loop thread can call it without locks.
+AdmissionDecision Admit(const AdmissionPolicy& policy, uint32_t queue_depth,
+                        const ServeHealth& health);
+
+}  // namespace net
+}  // namespace streamlink
+
+#endif  // STREAMLINK_NET_ADMISSION_H_

@@ -1,0 +1,156 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace streamlink {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+NetClient::~NetClient() { Close(); }
+
+Status NetClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return ErrnoStatus("socket");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    Close();
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  decoder_ = FrameDecoder();
+  return Status::Ok();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::SendAll(const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Status st = ErrnoStatus("send");
+    Close();
+    return st;
+  }
+  return Status::Ok();
+}
+
+Result<Frame> NetClient::ReadReply(uint64_t request_id) {
+  // The server may interleave replies to other ids ahead of ours when a
+  // NACK overtakes admitted work; with one request outstanding per
+  // client that cannot happen, but matching on id keeps the client
+  // honest about the protocol.
+  std::vector<Frame> frames;
+  for (;;) {
+    for (Frame& frame : frames) {
+      if (frame.request_id == request_id) return std::move(frame);
+    }
+    frames.clear();
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      return Status::IoError("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = ErrnoStatus("recv");
+      Close();
+      return st;
+    }
+    if (Status st = decoder_.Feed(buf, static_cast<size_t>(n), &frames);
+        !st.ok()) {
+      Close();
+      return st;
+    }
+  }
+}
+
+Result<CallOutcome> NetClient::Call(const QueryRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  Frame frame;
+  frame.type = FrameType::kQuery;
+  frame.request_id = next_request_id_++;
+  frame.payload = EncodeQueryRequest(request);
+  if (Status st = SendAll(EncodeFrame(frame)); !st.ok()) return st;
+  Result<Frame> reply = ReadReply(frame.request_id);
+  if (!reply.ok()) return reply.status();
+
+  CallOutcome outcome;
+  switch (reply->type) {
+    case FrameType::kResult: {
+      Result<QueryResult> result = DecodeQueryResult(reply->payload);
+      if (!result.ok()) {
+        Close();
+        return result.status();
+      }
+      outcome.result = std::move(*result);
+      return outcome;
+    }
+    case FrameType::kNack: {
+      Result<NackInfo> nack = DecodeNack(reply->payload);
+      if (!nack.ok()) {
+        Close();
+        return nack.status();
+      }
+      outcome.nacked = true;
+      outcome.nack = std::move(*nack);
+      return outcome;
+    }
+    default:
+      Close();
+      return Status::InvalidArgument("unexpected reply frame type");
+  }
+}
+
+Status NetClient::Ping() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  Frame frame;
+  frame.type = FrameType::kPing;
+  frame.request_id = next_request_id_++;
+  if (Status st = SendAll(EncodeFrame(frame)); !st.ok()) return st;
+  Result<Frame> reply = ReadReply(frame.request_id);
+  if (!reply.ok()) return reply.status();
+  if (reply->type != FrameType::kPong) {
+    Close();
+    return Status::InvalidArgument("expected pong");
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace streamlink

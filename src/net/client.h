@@ -1,0 +1,58 @@
+#ifndef STREAMLINK_NET_CLIENT_H_
+#define STREAMLINK_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+#include "serve/query_codec.h"
+#include "util/status.h"
+
+namespace streamlink {
+namespace net {
+
+/// What one Call came back with: either an answered query or a NACK
+/// (shed / rejected) carrying the server's retry hint.
+struct CallOutcome {
+  bool nacked = false;
+  QueryResult result;  // valid when !nacked
+  NackInfo nack;       // valid when nacked
+};
+
+// Minimal blocking client for the net front end: one connection, one
+// outstanding request at a time (the load generator multiplexes by
+// opening many). Single-threaded; not safe for concurrent use.
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Connects to a numeric IPv4 host:port.
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends the request and blocks for its response frame (result or
+  /// NACK). Any transport or protocol failure poisons the connection.
+  Result<CallOutcome> Call(const QueryRequest& request);
+
+  /// Round-trips a ping frame (liveness / warm-up).
+  Status Ping();
+
+ private:
+  Status SendAll(const std::string& bytes);
+  /// Reads until the frame answering `request_id` arrives.
+  Result<Frame> ReadReply(uint64_t request_id);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace streamlink
+
+#endif  // STREAMLINK_NET_CLIENT_H_

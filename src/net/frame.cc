@@ -1,0 +1,120 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/serde.h"
+
+namespace streamlink {
+namespace net {
+
+namespace {
+
+constexpr size_t kCheckedHeaderBytes = kFrameHeaderBytes - sizeof(uint32_t);
+
+void PutU16(char* dst, uint16_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+void PutU32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+void PutU64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+uint32_t GetU32(const char* src) {
+  uint32_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+uint64_t GetU64(const char* src) {
+  uint64_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+uint32_t HeaderCheck(const char* header) {
+  return static_cast<uint32_t>(
+      Fnv1aUpdate(kFnv1aOffset, header, kCheckedHeaderBytes));
+}
+
+bool ValidFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kQuery) &&
+         type <= static_cast<uint8_t>(FrameType::kPong);
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out(kFrameHeaderBytes, '\0');
+  PutU32(&out[0], kFrameMagic);
+  out[4] = static_cast<char>(kFrameVersion);
+  out[5] = static_cast<char>(frame.type);
+  PutU16(&out[6], 0);  // flags
+  PutU64(&out[8], frame.request_id);
+  PutU32(&out[16], static_cast<uint32_t>(frame.payload.size()));
+  PutU32(&out[20], HeaderCheck(out.data()));
+  out.append(frame.payload);
+  return out;
+}
+
+Status FrameDecoder::Feed(const void* data, size_t size,
+                          std::vector<Frame>* out) {
+  if (!status_.ok()) return status_;
+  buffer_.append(static_cast<const char*>(data), size);
+  for (;;) {
+    const size_t available = buffer_.size() - head_;
+    if (available < kFrameHeaderBytes) break;
+    const char* header = buffer_.data() + head_;
+    const uint32_t stated_check = GetU32(header + 20);
+    if (stated_check != HeaderCheck(header)) {
+      status_ = Status::InvalidArgument("frame header checksum mismatch");
+      return status_;
+    }
+    // Magic/version/type/flags errors after a passing check are real
+    // protocol disagreements, not line noise — report them distinctly.
+    if (GetU32(header) != kFrameMagic) {
+      status_ = Status::InvalidArgument("bad frame magic");
+      return status_;
+    }
+    if (static_cast<uint8_t>(header[4]) != kFrameVersion) {
+      status_ = Status::InvalidArgument(
+          "unsupported frame version " +
+          std::to_string(static_cast<unsigned>(header[4])));
+      return status_;
+    }
+    const uint8_t type = static_cast<uint8_t>(header[5]);
+    if (!ValidFrameType(type)) {
+      status_ = Status::InvalidArgument("unknown frame type " +
+                                        std::to_string(type));
+      return status_;
+    }
+    const uint32_t payload_bytes = GetU32(header + 16);
+    if (payload_bytes > options_.max_payload_bytes) {
+      status_ = Status::InvalidArgument(
+          "frame payload " + std::to_string(payload_bytes) +
+          " bytes exceeds limit " +
+          std::to_string(options_.max_payload_bytes));
+      return status_;
+    }
+    if (available < kFrameHeaderBytes + payload_bytes) break;
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.request_id = GetU64(header + 8);
+    frame.payload.assign(header + kFrameHeaderBytes, payload_bytes);
+    out->push_back(std::move(frame));
+    head_ += kFrameHeaderBytes + payload_bytes;
+  }
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection's buffer doesn't grow with total bytes ever received.
+  if (head_ > 0 && (head_ >= buffer_.size() || head_ > 64 * 1024)) {
+    buffer_.erase(0, head_);
+    head_ = 0;
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace streamlink

@@ -1,0 +1,89 @@
+#ifndef STREAMLINK_NET_FRAME_H_
+#define STREAMLINK_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace streamlink {
+namespace net {
+
+// The wire framing of the network serving front end (docs/net.md): a
+// fixed 24-byte little-endian header followed by an opaque payload. The
+// payload of query/result/nack frames is a self-checksummed query-codec
+// message (serve/query_codec.h); ping/pong frames carry none. Every
+// header byte is covered by a trailing header check word, so corruption
+// can never silently re-frame the stream — a bad header is a protocol
+// error and the connection drops.
+//
+//   u32 magic "SLNF" | u8 version | u8 type | u16 flags (0) |
+//   u64 request_id   | u32 payload_bytes | u32 header_check
+//
+// `header_check` is the low 32 bits of the FNV-1a digest of the preceding
+// 20 bytes. `request_id` is chosen by the client and echoed verbatim in
+// the response frame; responses on one connection may come back out of
+// order (a shed request is NACKed by the event loop while earlier
+// admitted ones are still at the workers), so clients match on it.
+
+inline constexpr uint32_t kFrameMagic = 0x534c4e46;  // "SLNF"
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+
+enum class FrameType : uint8_t {
+  kQuery = 1,   // payload: encoded QueryRequest
+  kResult = 2,  // payload: encoded QueryResult
+  kNack = 3,    // payload: encoded NackInfo (request shed or rejected)
+  kPing = 4,    // no payload; server answers kPong with the same id
+  kPong = 5,    // no payload
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Serializes header + payload. The result is what goes on the socket.
+std::string EncodeFrame(const Frame& frame);
+
+struct FrameDecoderOptions {
+  /// Frames advertising a larger payload are a protocol error (protects
+  /// the server from one connection ballooning its read buffer).
+  size_t max_payload_bytes = 1u << 20;
+};
+
+/// Incremental, allocation-bounded frame parser: feed it whatever the
+/// socket produced, get back every complete frame. Never throws, never
+/// over-reads, never crashes on arbitrary bytes (fuzzed — see
+/// FuzzNetFrame); any malformed header poisons the decoder and surfaces
+/// as InvalidArgument, after which the connection must be dropped (the
+/// stream cannot be re-synchronized).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(FrameDecoderOptions options = {})
+      : options_(options) {}
+
+  /// Appends `size` bytes and extracts every now-complete frame into
+  /// `out` (appended in stream order). Returns the decoder's status:
+  /// once failed, all further input is rejected.
+  Status Feed(const void* data, size_t size, std::vector<Frame>* out);
+
+  /// Bytes buffered awaiting a complete frame.
+  size_t buffered_bytes() const { return buffer_.size() - head_; }
+
+  Status status() const { return status_; }
+
+ private:
+  FrameDecoderOptions options_;
+  std::string buffer_;
+  size_t head_ = 0;  // consumed prefix of buffer_
+  Status status_;
+};
+
+}  // namespace net
+}  // namespace streamlink
+
+#endif  // STREAMLINK_NET_FRAME_H_

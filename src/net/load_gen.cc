@@ -1,0 +1,198 @@
+#include "net/load_gen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "net/client.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace streamlink {
+namespace net {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct ThreadStats {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  std::vector<double> latencies_us;  // from scheduled send time
+  std::vector<double> service_us;    // from actual send time
+};
+
+/// Offered rate (qps, per-thread) at relative time t.
+double RateAt(const LoadGenOptions& options, double per_thread_qps, double t) {
+  double rate = per_thread_qps;
+  switch (options.shape) {
+    case LoadShape::kSteady:
+    case LoadShape::kHotKey:
+      break;
+    case LoadShape::kDiurnal:
+      rate *= 1.0 + options.diurnal_swing *
+                        std::sin(2.0 * kPi * t / options.duration_seconds);
+      break;
+    case LoadShape::kBursty:
+      if (options.burst_every_seconds > 0.0 &&
+          std::fmod(t, options.burst_every_seconds) <
+              options.burst_length_seconds) {
+        rate *= options.burst_factor;
+      }
+      break;
+  }
+  return std::max(rate, 1e-3);
+}
+
+QueryRequest BuildRequest(const LoadGenOptions& options, Rng& rng) {
+  QueryRequest request;
+  request.top_k = options.top_k;
+  request.measures = options.measures;
+  request.pairs.reserve(options.pairs_per_request);
+  const bool hot = options.shape == LoadShape::kHotKey &&
+                   rng.NextBernoulli(options.hot_fraction);
+  const uint32_t universe =
+      hot ? std::max(options.hot_keys, 2u) : std::max(options.node_universe, 2u);
+  for (uint32_t i = 0; i < options.pairs_per_request; ++i) {
+    QueryPair pair;
+    pair.u = static_cast<uint32_t>(rng.NextBounded(universe));
+    pair.v = static_cast<uint32_t>(rng.NextBounded(universe));
+    if (pair.u == pair.v) pair.v = (pair.v + 1) % universe;
+    request.pairs.push_back(pair);
+  }
+  return request;
+}
+
+void SleepUntil(double deadline_seconds) {
+  const double now = MonotonicSeconds();
+  if (deadline_seconds <= now) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(deadline_seconds - now));
+}
+
+void RunConnection(const LoadGenOptions& options, NetClient& client,
+                   uint64_t thread_index, double start_seconds,
+                   ThreadStats& stats) {
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + thread_index);
+  const double per_thread_qps =
+      options.target_qps / std::max(options.connections, 1u);
+  double next_t = 0.0;  // scheduled send time, relative to start
+  for (;;) {
+    double scheduled;
+    if (options.closed_loop) {
+      scheduled = MonotonicSeconds();
+      if (scheduled - start_seconds >= options.duration_seconds) break;
+    } else {
+      if (next_t >= options.duration_seconds) break;
+      scheduled = start_seconds + next_t;
+      SleepUntil(scheduled);
+      next_t += 1.0 / RateAt(options, per_thread_qps, next_t);
+    }
+    QueryRequest request = BuildRequest(options, rng);
+    stats.sent++;
+    const double sent_at = MonotonicSeconds();
+    Result<CallOutcome> outcome = client.Call(request);
+    if (!outcome.ok()) {
+      stats.errors++;
+      return;  // connection is poisoned; this thread is done
+    }
+    if (outcome->nacked) {
+      stats.shed++;
+      continue;
+    }
+    stats.ok++;
+    const double done_at = MonotonicSeconds();
+    stats.latencies_us.push_back((done_at - scheduled) * 1e6);
+    stats.service_us.push_back((done_at - sent_at) * 1e6);
+  }
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1, static_cast<size_t>(q * sorted.size()));
+  return sorted[idx];
+}
+
+}  // namespace
+
+const char* LoadShapeName(LoadShape shape) {
+  switch (shape) {
+    case LoadShape::kSteady:
+      return "steady";
+    case LoadShape::kDiurnal:
+      return "diurnal";
+    case LoadShape::kBursty:
+      return "bursty";
+    case LoadShape::kHotKey:
+      return "hotkey";
+  }
+  return "unknown";
+}
+
+Result<LoadReport> RunLoad(const LoadGenOptions& options) {
+  const uint32_t connections = std::max(options.connections, 1u);
+  std::vector<std::unique_ptr<NetClient>> clients;
+  clients.reserve(connections);
+  for (uint32_t i = 0; i < connections; ++i) {
+    auto client = std::make_unique<NetClient>();
+    if (Status st = client->Connect(options.host, options.port); !st.ok()) {
+      return st;
+    }
+    clients.push_back(std::move(client));
+  }
+
+  std::vector<ThreadStats> stats(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const double start = MonotonicSeconds();
+  for (uint32_t i = 0; i < connections; ++i) {
+    threads.emplace_back([&options, &clients, &stats, start, i] {
+      RunConnection(options, *clients[i], i, start, stats[i]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall = MonotonicSeconds() - start;
+
+  LoadReport report;
+  std::vector<double> latencies;
+  std::vector<double> service;
+  for (ThreadStats& s : stats) {
+    report.sent += s.sent;
+    report.ok += s.ok;
+    report.shed += s.shed;
+    report.errors += s.errors;
+    latencies.insert(latencies.end(), s.latencies_us.begin(),
+                     s.latencies_us.end());
+    service.insert(service.end(), s.service_us.begin(), s.service_us.end());
+  }
+  report.wall_seconds = wall;
+  report.achieved_qps =
+      wall > 0.0 ? static_cast<double>(report.ok + report.shed) / wall : 0.0;
+  report.shed_rate =
+      report.sent > 0
+          ? static_cast<double>(report.shed) / static_cast<double>(report.sent)
+          : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_us = Percentile(latencies, 0.50);
+  report.p90_us = Percentile(latencies, 0.90);
+  report.p99_us = Percentile(latencies, 0.99);
+  report.p999_us = Percentile(latencies, 0.999);
+  report.max_us = latencies.empty() ? 0.0 : latencies.back();
+  double sum = 0.0;
+  for (double v : latencies) sum += v;
+  report.mean_us = latencies.empty() ? 0.0 : sum / latencies.size();
+  std::sort(service.begin(), service.end());
+  report.service_p50_us = Percentile(service, 0.50);
+  report.service_p99_us = Percentile(service, 0.99);
+  report.service_p999_us = Percentile(service, 0.999);
+  return report;
+}
+
+}  // namespace net
+}  // namespace streamlink

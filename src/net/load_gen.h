@@ -1,0 +1,97 @@
+#ifndef STREAMLINK_NET_LOAD_GEN_H_
+#define STREAMLINK_NET_LOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/exact_measures.h"
+#include "util/status.h"
+
+namespace streamlink {
+namespace net {
+
+// Multi-connection load generator for the net front end (docs/net.md).
+// The default mode is OPEN LOOP: each connection follows a precomputed
+// arrival schedule (next send time advances by 1/rate regardless of how
+// the server is doing), and every request's latency is measured from its
+// *scheduled* send time. When the server falls behind, waiting requests
+// keep accumulating schedule debt, so queueing delay shows up in the
+// percentiles instead of being silently absorbed — the coordinated-
+// omission mistake a closed loop makes. Closed-loop mode (one request in
+// flight per connection, fired back-to-back) is kept for comparison.
+
+enum class LoadShape {
+  kSteady,   // constant rate
+  kDiurnal,  // one sinusoidal cycle over the run: rate * (1 ± swing)
+  kBursty,   // steady baseline with burst_factor x windows
+  kHotKey,   // steady rate; hot_fraction of requests hit a small key set
+};
+
+const char* LoadShapeName(LoadShape shape);
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t connections = 4;
+  double duration_seconds = 2.0;
+  /// Aggregate target across all connections (open loop only).
+  double target_qps = 1000.0;
+  LoadShape shape = LoadShape::kSteady;
+  /// kDiurnal: rate swings between (1-swing) and (1+swing) of target.
+  double diurnal_swing = 0.5;
+  /// kBursty: every burst_every_seconds the rate multiplies by
+  /// burst_factor for burst_length_seconds.
+  double burst_factor = 4.0;
+  double burst_every_seconds = 1.0;
+  double burst_length_seconds = 0.25;
+  /// kHotKey: this fraction of requests draws pairs from a pool of
+  /// hot_keys nodes instead of the whole universe.
+  double hot_fraction = 0.9;
+  uint32_t hot_keys = 16;
+  /// Request composition.
+  uint32_t pairs_per_request = 8;
+  uint32_t top_k = 0;  // 0 = score every pair
+  std::vector<LinkMeasure> measures = {LinkMeasure::kJaccard};
+  uint32_t node_universe = 4096;
+  /// Closed loop: ignore the schedule, fire as fast as responses return.
+  bool closed_loop = false;
+  uint64_t seed = 42;
+};
+
+struct LoadReport {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;     // NACKed by admission control
+  uint64_t errors = 0;   // transport/protocol failures
+  double wall_seconds = 0.0;
+  double achieved_qps = 0.0;   // completed (ok + shed) per second
+  double shed_rate = 0.0;      // shed / sent
+  // Latency of OK responses, microseconds, measured from scheduled send
+  // time in open loop (actual send time in closed loop). Includes any
+  // schedule debt the client accumulated waiting for earlier responses —
+  // the honest, coordinated-omission-free user experience.
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+  double mean_us = 0.0;
+  // Same responses, measured from the actual send: time the *server*
+  // spent on admitted work (queue wait + service + transport). This is
+  // the number admission control bounds — under overload it stays near
+  // queue_capacity x service time while the scheduled-time percentiles
+  // above grow with the offered backlog.
+  double service_p50_us = 0.0;
+  double service_p99_us = 0.0;
+  double service_p999_us = 0.0;
+};
+
+/// Runs the configured load against a serving endpoint and blocks until
+/// the run completes. Fails if no connection could be established.
+Result<LoadReport> RunLoad(const LoadGenOptions& options);
+
+}  // namespace net
+}  // namespace streamlink
+
+#endif  // STREAMLINK_NET_LOAD_GEN_H_

@@ -1,0 +1,446 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace streamlink {
+namespace net {
+
+namespace {
+
+constexpr uint64_t kListenerTag = 1;
+constexpr uint64_t kWakeupTag = 2;
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start(const QueryService& service, NetServerOptions options) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("NetServer already started");
+  }
+  service_ = &service;
+  options_ = std::move(options);
+  if (options_.workers == 0) options_.workers = 1;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(listen_fd_);
+    return Status::InvalidArgument("not a numeric IPv4 address: " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = ErrnoStatus("bind " + options_.host + ":" +
+                            std::to_string(options_.port));
+    CloseFd(listen_fd_);
+    return st;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status st = ErrnoStatus("listen");
+    CloseFd(listen_fd_);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    Status st = ErrnoStatus("getsockname");
+    CloseFd(listen_fd_);
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wakeup_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wakeup_fd_ < 0) {
+    Status st = ErrnoStatus("epoll_create1/eventfd");
+    CloseFd(listen_fd_);
+    CloseFd(epoll_fd_);
+    CloseFd(wakeup_fd_);
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: accept backlog must not be missed
+  ev.data.u64 = kListenerTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeupTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev);
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    metrics_.connections = &reg.GetCounter("net.connections_total");
+    metrics_.frames_in = &reg.GetCounter("net.frames_in_total");
+    metrics_.frames_out = &reg.GetCounter("net.frames_out_total");
+    metrics_.admitted = &reg.GetCounter("net.requests_admitted_total");
+    metrics_.shed_queue_full =
+        &reg.GetCounter("net.requests_shed_queue_full_total");
+    metrics_.shed_stale = &reg.GetCounter("net.requests_shed_stale_total");
+    metrics_.bad_requests = &reg.GetCounter("net.bad_requests_total");
+    metrics_.protocol_errors = &reg.GetCounter("net.protocol_errors_total");
+    metrics_.active_connections = &reg.GetGauge("net.active_connections");
+    reg.RegisterHistogram("net.request_latency_ns", &request_latency_);
+    reg.RegisterGaugeFn("net.queue_depth", [this] {
+      return static_cast<double>(
+          queue_depth_.load(std::memory_order_relaxed));
+    });
+  }
+
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { LoopThread(); });
+  workers_.reserve(options_.workers);
+  for (uint32_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerThread(); });
+  }
+  return Status::Ok();
+}
+
+void NetServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  Wakeup();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_cv_.notify_all();
+  }
+  if (loop_.joinable()) loop_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  for (auto& [id, conn] : conns_) {
+    (void)id;
+    CloseFd(conn.fd);
+  }
+  conns_.clear();
+  work_.clear();
+  done_.clear();
+  queue_depth_.store(0, std::memory_order_relaxed);
+  CloseFd(listen_fd_);
+  CloseFd(epoll_fd_);
+  CloseFd(wakeup_fd_);
+  port_ = 0;
+}
+
+void NetServer::Wakeup() {
+  if (wakeup_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakeup_fd_, &one, sizeof(one));
+  }
+}
+
+void NetServer::LoopThread() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SL_LOG(kError) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        HandleAccept();
+        continue;
+      }
+      if (tag == kWakeupTag) {
+        uint64_t drained;
+        while (::read(wakeup_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end() || it->second.closed) continue;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(it->first, it->second);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(it->first, it->second);
+      // Readable handling may have closed the connection.
+      if (!it->second.closed && (events[i].events & EPOLLOUT)) {
+        HandleWritable(it->first, it->second);
+      }
+    }
+    // A wakeup can race with epoll_wait timing out; sweep completions
+    // every iteration so none ever strand.
+    DrainCompletions();
+    ReapDead();
+  }
+}
+
+void NetServer::HandleAccept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t conn_id = next_conn_id_++;
+    Conn& conn = conns_[conn_id];
+    conn.fd = fd;
+    conn.decoder = FrameDecoder({options_.max_payload_bytes});
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+    ev.data.u64 = conn_id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    if (metrics_.connections != nullptr) metrics_.connections->Add(1);
+    if (metrics_.active_connections != nullptr) {
+      metrics_.active_connections->Add(1.0);
+    }
+  }
+}
+
+void NetServer::HandleReadable(uint64_t conn_id, Conn& conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      std::vector<Frame> frames;
+      Status st = conn.decoder.Feed(buf, static_cast<size_t>(n), &frames);
+      for (Frame& frame : frames) {
+        if (metrics_.frames_in != nullptr) metrics_.frames_in->Add(1);
+        OnFrame(conn_id, conn, std::move(frame));
+        if (conn.closed) return;
+      }
+      if (!st.ok()) {
+        if (metrics_.protocol_errors != nullptr) {
+          metrics_.protocol_errors->Add(1);
+        }
+        CloseConn(conn_id, conn);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseConn(conn_id, conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConn(conn_id, conn);
+    return;
+  }
+}
+
+void NetServer::HandleWritable(uint64_t conn_id, Conn& conn) {
+  FlushConn(conn_id, conn);
+}
+
+void NetServer::OnFrame(uint64_t conn_id, Conn& conn, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kPing: {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      pong.request_id = frame.request_id;
+      QueueToConn(conn_id, conn, EncodeFrame(pong));
+      return;
+    }
+    case FrameType::kQuery: {
+      const AdmissionDecision decision =
+          Admit(options_.admission, queue_depth_.load(std::memory_order_relaxed),
+                service_->Health());
+      if (!decision.admit) {
+        if (decision.reason == NackReason::kQueueFull) {
+          if (metrics_.shed_queue_full != nullptr) {
+            metrics_.shed_queue_full->Add(1);
+          }
+        } else if (metrics_.shed_stale != nullptr) {
+          metrics_.shed_stale->Add(1);
+        }
+        NackInfo nack;
+        nack.reason = decision.reason;
+        nack.retry_after_ms = decision.retry_after_ms;
+        nack.message = NackReasonName(decision.reason);
+        Frame reply;
+        reply.type = FrameType::kNack;
+        reply.request_id = frame.request_id;
+        reply.payload = EncodeNack(nack);
+        QueueToConn(conn_id, conn, EncodeFrame(reply));
+        return;
+      }
+      if (metrics_.admitted != nullptr) metrics_.admitted->Add(1);
+      queue_depth_.fetch_add(1, std::memory_order_relaxed);
+      conn.in_flight++;
+      WorkItem item;
+      item.conn_id = conn_id;
+      item.request_id = frame.request_id;
+      item.payload = std::move(frame.payload);
+      item.admitted_at_seconds = MonotonicSeconds();
+      {
+        std::lock_guard<std::mutex> lock(work_mu_);
+        work_.push_back(std::move(item));
+      }
+      work_cv_.notify_one();
+      return;
+    }
+    default:
+      // Clients may only send queries and pings; anything else means the
+      // two sides disagree about the protocol.
+      if (metrics_.protocol_errors != nullptr) metrics_.protocol_errors->Add(1);
+      CloseConn(conn_id, conn);
+      return;
+  }
+}
+
+void NetServer::QueueToConn(uint64_t conn_id, Conn& conn, std::string bytes) {
+  if (conn.closed) return;
+  if (conn.outbox.size() - conn.sent + bytes.size() >
+      options_.max_outbox_bytes) {
+    // Slow reader: shedding it beats buffering its backlog forever.
+    CloseConn(conn_id, conn);
+    return;
+  }
+  conn.outbox.append(bytes);
+  if (metrics_.frames_out != nullptr) metrics_.frames_out->Add(1);
+  FlushConn(conn_id, conn);
+}
+
+void NetServer::FlushConn(uint64_t conn_id, Conn& conn) {
+  while (conn.sent < conn.outbox.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbox.data() + conn.sent,
+               conn.outbox.size() - conn.sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(conn_id, conn);
+    return;
+  }
+  conn.outbox.clear();
+  conn.sent = 0;
+}
+
+void NetServer::CloseConn(uint64_t conn_id, Conn& conn) {
+  if (conn.closed) return;
+  conn.closed = true;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  CloseFd(conn.fd);
+  if (metrics_.active_connections != nullptr) {
+    metrics_.active_connections->Add(-1.0);
+  }
+  // Erasure is deferred to ReapDead so references held by callers up the
+  // stack stay valid; a conn with work at the workers lingers until its
+  // last completion drains.
+  if (conn.in_flight == 0) dead_.push_back(conn_id);
+}
+
+void NetServer::DrainCompletions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    batch.swap(done_);
+  }
+  for (Completion& done : batch) {
+    auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) continue;
+    Conn& conn = it->second;
+    if (conn.in_flight > 0) conn.in_flight--;
+    if (conn.closed) {
+      if (conn.in_flight == 0) dead_.push_back(done.conn_id);
+      continue;
+    }
+    QueueToConn(done.conn_id, conn, std::move(done.bytes));
+  }
+}
+
+void NetServer::ReapDead() {
+  for (uint64_t conn_id : dead_) conns_.erase(conn_id);
+  dead_.clear();
+}
+
+void NetServer::WorkerThread() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] {
+        return !work_.empty() || !running_.load(std::memory_order_acquire);
+      });
+      if (!running_.load(std::memory_order_acquire)) return;
+      item = std::move(work_.front());
+      work_.pop_front();
+    }
+
+    Frame reply;
+    reply.request_id = item.request_id;
+    Result<QueryRequest> request = DecodeQueryRequest(item.payload);
+    if (!request.ok()) {
+      if (metrics_.bad_requests != nullptr) metrics_.bad_requests->Add(1);
+      NackInfo nack;
+      nack.reason = NackReason::kBadRequest;
+      nack.message = request.status().message();
+      reply.type = FrameType::kNack;
+      reply.payload = EncodeNack(nack);
+    } else {
+      Result<QueryResult> result = service_->Query(*request);
+      if (!result.ok()) {
+        if (metrics_.bad_requests != nullptr) metrics_.bad_requests->Add(1);
+        NackInfo nack;
+        nack.reason = result.status().code() == StatusCode::kNotFound
+                          ? NackReason::kStaleSnapshot
+                          : NackReason::kBadRequest;
+        nack.retry_after_ms = options_.admission.retry_after_ms;
+        nack.message = result.status().message();
+        reply.type = FrameType::kNack;
+        reply.payload = EncodeNack(nack);
+      } else {
+        reply.type = FrameType::kResult;
+        reply.payload = EncodeQueryResult(*result);
+      }
+    }
+
+    Completion done;
+    done.conn_id = item.conn_id;
+    done.bytes = EncodeFrame(reply);
+    request_latency_.Record(MonotonicSeconds() - item.admitted_at_seconds);
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_.push_back(std::move(done));
+    }
+    Wakeup();
+  }
+}
+
+}  // namespace net
+}  // namespace streamlink

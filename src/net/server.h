@@ -1,0 +1,162 @@
+#ifndef STREAMLINK_NET_SERVER_H_
+#define STREAMLINK_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/admission.h"
+#include "net/frame.h"
+#include "obs/metrics.h"
+#include "serve/query_service.h"
+#include "util/status.h"
+
+namespace streamlink {
+namespace net {
+
+// The network serving front end (docs/net.md): one epoll edge-triggered
+// event-loop thread owns the listener and every connection socket;
+// admitted query frames go through a bounded work queue to a small pool
+// of worker threads that decode, run QueryService::Query, and encode the
+// response. Workers never touch sockets — completions come back to the
+// loop thread over an eventfd, which is what keeps the whole server a
+// single-writer-per-socket design (and TSan-clean). Admission control
+// (net/admission.h) runs on the loop thread before anything is queued,
+// so overload is shed with a ~100-byte NACK instead of queue growth.
+
+struct NetServerOptions {
+  /// Listen address; only numeric IPv4 is supported. Port 0 picks an
+  /// ephemeral port (read it back from port() after Start).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t workers = 2;
+  AdmissionPolicy admission;
+  /// Frames advertising a larger payload are a protocol error.
+  size_t max_payload_bytes = 1u << 20;
+  /// A connection whose unsent responses exceed this is closed as a slow
+  /// reader — the server never buffers without bound on its side either.
+  size_t max_outbox_bytes = 8u << 20;
+  /// Optional registry for the net.* metric family (docs/observability.md).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class NetServer {
+ public:
+  NetServer() = default;
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and spins up the loop + worker threads. The service
+  /// must outlive the server. Fails if already started or the socket
+  /// can't be bound.
+  Status Start(const QueryService& service, NetServerOptions options);
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Queued-but-unserved requests are dropped (their clients see EOF).
+  /// Safe to call twice; called by the destructor.
+  void Stop();
+
+  /// The bound port (useful with options.port == 0). 0 before Start.
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameDecoder decoder;
+    /// Bytes queued to this socket; [sent_, size) is still unsent.
+    std::string outbox;
+    size_t sent = 0;
+    /// Queries handed to workers and not yet completed. A closed conn
+    /// with in-flight work lingers (fd == -1) until they drain so late
+    /// completions have somewhere to be dropped.
+    uint32_t in_flight = 0;
+    bool closed = false;
+  };
+
+  struct WorkItem {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    std::string payload;
+    double admitted_at_seconds = 0.0;
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string bytes;  // a fully encoded frame
+  };
+
+  void LoopThread();
+  void WorkerThread();
+  void HandleAccept();
+  void HandleReadable(uint64_t conn_id, Conn& conn);
+  void HandleWritable(uint64_t conn_id, Conn& conn);
+  void OnFrame(uint64_t conn_id, Conn& conn, Frame frame);
+  void QueueToConn(uint64_t conn_id, Conn& conn, std::string bytes);
+  void FlushConn(uint64_t conn_id, Conn& conn);
+  void CloseConn(uint64_t conn_id, Conn& conn);
+  void DrainCompletions();
+  void ReapDead();
+  void Wakeup();
+
+  const QueryService* service_ = nullptr;
+  NetServerOptions options_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::thread loop_;
+  std::vector<std::thread> workers_;
+
+  // Loop-thread-only state. dead_ holds conn ids whose map entries are
+  // reaped at the end of the current loop iteration (never mid-handler,
+  // so Conn references stay valid for the whole event).
+  std::unordered_map<uint64_t, Conn> conns_;
+  std::vector<uint64_t> dead_;
+  uint64_t next_conn_id_ = 3;  // 1 = listener tag, 2 = wakeup tag
+
+  // Work queue: loop thread pushes admitted requests, workers pop.
+  // queue_depth_ mirrors size() + in-service count so the admission
+  // check never takes the mutex.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<WorkItem> work_;
+  std::atomic<uint32_t> queue_depth_{0};
+
+  // Completion queue: workers push, loop thread drains on wakeup.
+  std::mutex done_mu_;
+  std::deque<Completion> done_;
+
+  struct Metrics {
+    obs::Counter* connections = nullptr;
+    obs::Counter* frames_in = nullptr;
+    obs::Counter* frames_out = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* shed_queue_full = nullptr;
+    obs::Counter* shed_stale = nullptr;
+    obs::Counter* bad_requests = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Gauge* active_connections = nullptr;
+  } metrics_;
+  /// Admission-to-response-encoded time of admitted requests, as
+  /// net.request_latency_ns when a registry is bound.
+  obs::LatencyHistogram request_latency_;
+};
+
+}  // namespace net
+}  // namespace streamlink
+
+#endif  // STREAMLINK_NET_SERVER_H_

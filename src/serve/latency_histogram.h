@@ -1,18 +1,24 @@
 #ifndef STREAMLINK_SERVE_LATENCY_HISTOGRAM_H_
 #define STREAMLINK_SERVE_LATENCY_HISTOGRAM_H_
 
-// The serving layer's latency histogram is the obs subsystem's single
-// histogram implementation (log2 buckets, lock-free concurrent recording)
-// behind a seconds-based facade. This alias keeps the pre-obs spelling —
-// streamlink::LatencyHistogram — working; new code should reach for
-// obs::Histogram / obs::LatencyHistogram directly and register it in a
-// MetricsRegistry (docs/observability.md).
+// DEPRECATED. The serving layer's latency histogram is the obs
+// subsystem's single histogram implementation (log2 buckets, lock-free
+// concurrent recording) behind a seconds-based facade. Nothing in the
+// tree constructs this alias anymore: latency tracking — including every
+// net.* histogram in src/net/ — goes through obs::Histogram instances
+// owned by (or registered in) a MetricsRegistry, so there is exactly one
+// histogram path (docs/observability.md). The alias remains for
+// out-of-tree callers of the pre-obs spelling and warns on use; it will
+// be removed once the net front end's API has settled.
 
 #include "obs/metrics.h"
 
 namespace streamlink {
 
-using LatencyHistogram = obs::LatencyHistogram;
+using LatencyHistogram
+    [[deprecated("construct obs::LatencyHistogram and register it in a "
+                 "MetricsRegistry instead (docs/observability.md)")]] =
+        obs::LatencyHistogram;
 
 }  // namespace streamlink
 

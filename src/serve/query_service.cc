@@ -111,6 +111,41 @@ std::unique_ptr<EdgeStream> QueryService::WrapStream(EdgeStream& stream) {
   return std::make_unique<TappedEdgeStream>(stream, *this);
 }
 
+ServeHealth QueryService::Health() const {
+  ServeHealth health;
+  std::shared_ptr<const ServeSnapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  if (snap == nullptr) return health;  // servable stays false
+  health.has_snapshot = true;
+  const uint64_t live = live_edges_.load(std::memory_order_relaxed);
+  health.staleness_edges =
+      live > snap->stream_edges ? live - snap->stream_edges : 0;
+  const double at = last_publish_seconds_.load(std::memory_order_relaxed);
+  health.age_seconds = at < 0.0 ? 0.0 : MonotonicSeconds() - at;
+  health.servable =
+      (options_.max_staleness_edges == 0 ||
+       health.staleness_edges <= options_.max_staleness_edges) &&
+      (options_.max_snapshot_age_seconds <= 0.0 ||
+       health.age_seconds <= options_.max_snapshot_age_seconds);
+  return health;
+}
+
+Result<std::unique_ptr<QueryService>> QueryServiceBuilder::Build() const {
+  auto service = std::make_unique<QueryService>(options_);
+  service->BindMetrics(metrics_);
+  if (warm_start_) {
+    if (Status st = warm_start_(*service); !st.ok()) return st;
+  }
+  if (initial_predictor_ != nullptr) {
+    if (Status st =
+            service->Publish(*initial_predictor_, initial_stream_edges_);
+        !st.ok()) {
+      return st;
+    }
+  }
+  return service;
+}
+
 Result<QueryResult> QueryService::Query(const QueryRequest& request) const {
   obs::ScopedSpan span("serve/query");
   WallTimer timer;
@@ -121,17 +156,24 @@ Result<QueryResult> QueryService::Query(const QueryRequest& request) const {
     if (metrics_.query_errors != nullptr) metrics_.query_errors->Add(1);
     return Status::NotFound("no snapshot published yet");
   }
-  if (request.top_k > 0 && request.measures.empty()) {
+  // Service-level defaults fill whatever the request left open.
+  const std::vector<LinkMeasure>& measures =
+      request.measures.empty() && !options_.default_measures.empty()
+          ? options_.default_measures
+          : request.measures;
+  const uint32_t top_k =
+      request.top_k == 0 ? options_.default_top_k : request.top_k;
+  if (top_k > 0 && measures.empty()) {
     if (metrics_.query_errors != nullptr) metrics_.query_errors->Add(1);
     return Status::InvalidArgument(
         "top_k queries need at least one measure (measures[0] ranks)");
   }
 
   QueryResult result;
-  if (request.top_k > 0) {
-    TopKEngine engine(*snap->predictor, request.measures[0]);
+  if (top_k > 0) {
+    TopKEngine engine(*snap->predictor, measures[0]);
     std::vector<MultiScoredPair> winners =
-        engine.TopKScored(request.pairs, request.measures, request.top_k);
+        engine.TopKScored(request.pairs, measures, top_k);
     result.pairs.reserve(winners.size());
     for (auto& w : winners) {
       PairResult pr;
@@ -145,8 +187,8 @@ Result<QueryResult> QueryService::Query(const QueryRequest& request) const {
       PairResult pr;
       pr.pair = pair;
       pr.estimate = snap->predictor->EstimateOverlap(pair.u, pair.v);
-      pr.scores.reserve(request.measures.size());
-      for (LinkMeasure m : request.measures) {
+      pr.scores.reserve(measures.size());
+      for (LinkMeasure m : measures) {
         pr.scores.push_back(MeasureFromEstimate(m, pr.estimate));
       }
       result.pairs.push_back(std::move(pr));
@@ -170,7 +212,7 @@ Result<QueryResult> QueryService::Query(const QueryRequest& request) const {
     metrics_.staleness->Set(
         static_cast<double>(result.meta.staleness_edges));
     metrics_.batch_pairs->Record(request.pairs.size());
-    if (request.top_k > 0) {
+    if (top_k > 0) {
       metrics_.topk_fanout->Record(request.pairs.size());
     }
   }

@@ -3,14 +3,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/link_predictor.h"
 #include "core/top_k_engine.h"
 #include "gen/pair_sampler.h"
 #include "obs/metrics.h"
-#include "serve/latency_histogram.h"
 #include "stream/edge_stream.h"
 #include "stream/parallel_ingest.h"
 #include "stream/stream_driver.h"
@@ -39,10 +40,40 @@ struct ServeSnapshot {
 /// A batched query: score `pairs` on `measures` against the current
 /// snapshot. With `top_k` > 0 the pairs are treated as candidates and only
 /// the best `top_k` (ranked by `measures[0]`, which must exist) come back.
+/// Empty `measures` / zero `top_k` fall back to the service's configured
+/// defaults (QueryServiceOptions) when those are set.
 struct QueryRequest {
   std::vector<QueryPair> pairs;
   std::vector<LinkMeasure> measures;
   uint32_t top_k = 0;
+};
+
+/// Construction-time policy of a QueryService. Prefer QueryServiceBuilder
+/// over filling this by hand.
+struct QueryServiceOptions {
+  /// Freshness bounds consulted by transports for admission control
+  /// (net::Admit, docs/net.md). Query() itself always answers — a stale
+  /// answer with honest staleness metadata beats no answer in-process —
+  /// but the bounds define when Health() reports the snapshot unservable.
+  /// 0 disables the respective bound.
+  uint64_t max_staleness_edges = 0;
+  double max_snapshot_age_seconds = 0.0;
+  /// Defaults filled into requests that leave the field empty/zero: the
+  /// measure list every query scores, and the top-k cut applied when a
+  /// request does not pick its own. Both off by default (empty / 0), so a
+  /// plain QueryService behaves exactly as before.
+  std::vector<LinkMeasure> default_measures;
+  uint32_t default_top_k = 0;
+};
+
+/// A transport's view of snapshot freshness, used for admission control
+/// and surfaced as gauges. `servable` folds the options' bounds: a
+/// snapshot exists and is within both the edge-staleness and age bounds.
+struct ServeHealth {
+  bool has_snapshot = false;
+  uint64_t staleness_edges = 0;
+  double age_seconds = 0.0;
+  bool servable = false;
 };
 
 /// One scored pair of a QueryResult; `scores` is parallel to the request's
@@ -95,6 +126,8 @@ struct QueryResult {
 class QueryService {
  public:
   QueryService() = default;
+  explicit QueryService(QueryServiceOptions options)
+      : options_(std::move(options)) {}
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
@@ -149,7 +182,14 @@ class QueryService {
   uint64_t publish_count() const {
     return publish_count_.load(std::memory_order_relaxed);
   }
-  const LatencyHistogram& latency() const { return latency_; }
+  const obs::LatencyHistogram& latency() const { return latency_; }
+
+  const QueryServiceOptions& options() const { return options_; }
+
+  /// Snapshot freshness against the configured bounds — the signal
+  /// transports (src/net/) feed into admission control. Cheap (a few
+  /// relaxed atomic reads); safe from any thread.
+  ServeHealth Health() const;
 
   // --- Observability ---
 
@@ -175,14 +215,115 @@ class QueryService {
     obs::Histogram* topk_fanout = nullptr;   // serve.topk_fanout_candidates
   };
 
+  QueryServiceOptions options_;
   std::atomic<std::shared_ptr<const ServeSnapshot>> snapshot_{};
   std::atomic<uint64_t> live_edges_{0};
   std::atomic<uint64_t> publish_count_{0};
-  mutable LatencyHistogram latency_;
+  mutable obs::LatencyHistogram latency_;
   ServeMetrics metrics_;
   /// Monotonic publish timestamp for the snapshot-age gauge; < 0 before
   /// the first publish.
   std::atomic<double> last_publish_seconds_{-1.0};
+};
+
+/// Fluent construction for the serving surface — the one place a service's
+/// policy, instrumentation, and initial snapshot are wired, mirroring
+/// IngestEngineBuilder on the ingest side:
+///
+///   auto service = QueryServiceBuilder()
+///                      .StalenessBoundEdges(100000)
+///                      .DefaultMeasures({LinkMeasure::kJaccard})
+///                      .Metrics(&registry)
+///                      .Build();
+///
+/// Build() returns the ready service (metrics bound, warm start applied,
+/// initial snapshot published); construction problems surface as a Status,
+/// never a half-wired service. Checkpoint warm starts go through the
+/// WarmStartFrom hook, which accepts any source exposing a
+/// WarmStartFromCheckpoints(source, service) overload (persist/
+/// CheckpointManager) without this header depending on persist/.
+class QueryServiceBuilder {
+ public:
+  QueryServiceBuilder() = default;
+
+  QueryServiceBuilder& Options(QueryServiceOptions options) {
+    options_ = std::move(options);
+    return *this;
+  }
+  /// Transports shed queries once the snapshot trails the live stream by
+  /// more than `edges` (0 = unbounded).
+  QueryServiceBuilder& StalenessBoundEdges(uint64_t edges) {
+    options_.max_staleness_edges = edges;
+    return *this;
+  }
+  /// Transports shed queries once the snapshot is older than `seconds`
+  /// (0 = unbounded).
+  QueryServiceBuilder& StalenessBoundSeconds(double seconds) {
+    options_.max_snapshot_age_seconds = seconds;
+    return *this;
+  }
+  /// Measures scored for requests that don't pick their own.
+  QueryServiceBuilder& DefaultMeasures(std::vector<LinkMeasure> measures) {
+    options_.default_measures = std::move(measures);
+    return *this;
+  }
+  /// Top-k cut applied to requests that don't pick their own (0 = none).
+  QueryServiceBuilder& DefaultTopK(uint32_t top_k) {
+    options_.default_top_k = top_k;
+    return *this;
+  }
+  /// Binds the serve.* metric family at Build (docs/observability.md).
+  /// The registry must outlive the built service; nullptr disables.
+  QueryServiceBuilder& Metrics(obs::MetricsRegistry* registry) {
+    metrics_ = registry;
+    return *this;
+  }
+  /// Publishes a clone of `predictor` as the service's first snapshot at
+  /// Build — the wiring for serving a finished build or a loaded snapshot
+  /// file. `stream_edges` is the stream position the predictor reflects.
+  /// The predictor only needs to outlive Build().
+  QueryServiceBuilder& InitialSnapshot(const LinkPredictor& predictor,
+                                       uint64_t stream_edges) {
+    initial_predictor_ = &predictor;
+    initial_stream_edges_ = stream_edges;
+    return *this;
+  }
+  /// Warm-starts the service from `source`'s newest durable checkpoint at
+  /// Build, before any live publish. Works for any source with a
+  /// WarmStartFromCheckpoints(source, service) -> Result<uint64_t>
+  /// overload (CheckpointManager). NotFound (no usable checkpoint) is a
+  /// cold start, not an error. `warm_edges`, when non-null, receives the
+  /// recovered stream position (0 on cold start).
+  template <typename Source>
+  QueryServiceBuilder& WarmStartFrom(Source& source,
+                                     uint64_t* warm_edges = nullptr) {
+    warm_start_ = [&source, warm_edges](QueryService& service) -> Status {
+      auto warm = WarmStartFromCheckpoints(source, service);
+      if (warm.ok()) {
+        if (warm_edges != nullptr) *warm_edges = *warm;
+        return Status::Ok();
+      }
+      if (warm.status().code() == StatusCode::kNotFound) {
+        if (warm_edges != nullptr) *warm_edges = 0;
+        return Status::Ok();
+      }
+      return warm.status();
+    };
+    return *this;
+  }
+
+  const QueryServiceOptions& options() const { return options_; }
+
+  /// Finalizes: constructs the service, binds metrics, runs the warm
+  /// start, publishes the initial snapshot.
+  Result<std::unique_ptr<QueryService>> Build() const;
+
+ private:
+  QueryServiceOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  const LinkPredictor* initial_predictor_ = nullptr;
+  uint64_t initial_stream_edges_ = 0;
+  std::function<Status(QueryService&)> warm_start_;
 };
 
 }  // namespace streamlink

@@ -14,16 +14,19 @@ static_assert(std::endian::native == std::endian::little,
               "streamlink snapshots assume a little-endian host");
 
 BinaryWriter::BinaryWriter(const std::string& path)
-    : out_(path, std::ios::binary) {
-  if (!out_.is_open()) {
+    : file_(path, std::ios::binary), out_(&file_) {
+  if (!file_.is_open()) {
     status_ = Status::IoError("cannot open for writing: " + path);
   }
 }
 
+BinaryWriter::BinaryWriter(std::ostream& out) : out_(&out) {}
+
 void BinaryWriter::WriteBytes(const void* data, size_t size) {
   if (!status_.ok()) return;
-  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
-  if (!out_) {
+  out_->write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  if (!*out_) {
     status_ = Status::IoError("write failed");
     return;
   }
@@ -45,19 +48,19 @@ void BinaryWriter::WriteChecksumFooter() {
 }
 
 Status BinaryWriter::Finish() {
-  if (out_.is_open()) {
-    out_.flush();
-    if (!out_ && status_.ok()) status_ = Status::IoError("flush failed");
-  }
+  out_->flush();
+  if (!*out_ && status_.ok()) status_ = Status::IoError("flush failed");
   return status_;
 }
 
 BinaryReader::BinaryReader(const std::string& path)
-    : in_(path, std::ios::binary) {
-  if (!in_.is_open()) {
+    : file_(path, std::ios::binary), in_(&file_) {
+  if (!file_.is_open()) {
     status_ = Status::IoError("cannot open for reading: " + path);
   }
 }
+
+BinaryReader::BinaryReader(std::istream& in) : in_(&in) {}
 
 void BinaryReader::Fail(const std::string& message) {
   if (status_.ok()) status_ = Status::IoError(message);
@@ -68,8 +71,8 @@ bool BinaryReader::ReadBytes(void* data, size_t size) {
     std::memset(data, 0, size);
     return false;
   }
-  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-  if (!in_) {
+  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (!*in_) {
     std::memset(data, 0, size);
     Fail("unexpected end of snapshot");
     return false;
@@ -109,8 +112,8 @@ std::string BinaryReader::ReadString() {
 }
 
 bool BinaryReader::AtEnd() {
-  if (!in_.is_open()) return true;
-  return in_.peek() == std::ifstream::traits_type::eof();
+  if (!status_.ok()) return true;
+  return in_->peek() == std::istream::traits_type::eof();
 }
 
 Status BinaryReader::VerifyChecksumFooter() {

@@ -25,14 +25,23 @@ inline uint64_t Fnv1aUpdate(uint64_t state, const void* data, size_t size) {
   return state;
 }
 
-/// Little-endian binary writer for predictor snapshots. All writes go
-/// through fixed-width primitives so snapshots are portable across
-/// platforms (of the same endianness class; explicitly little-endian on
-/// disk). Every byte written folds into a running FNV-1a checksum; see
-/// WriteChecksumFooter.
+/// Little-endian binary writer for predictor snapshots and wire messages.
+/// All writes go through fixed-width primitives so encodings are portable
+/// across platforms (of the same endianness class; explicitly
+/// little-endian on disk and on the wire). Every byte written folds into a
+/// running FNV-1a checksum; see WriteChecksumFooter.
+///
+/// Two sinks: the path constructor owns an ofstream (snapshot files), the
+/// ostream constructor writes into any externally owned stream — e.g. an
+/// ostringstream, which is how the in-memory query codec
+/// (serve/query_codec.h) reuses the exact same primitives and checksum
+/// discipline as the snapshot format.
 class BinaryWriter {
  public:
   explicit BinaryWriter(const std::string& path);
+
+  /// Writes into an externally owned stream (must outlive this writer).
+  explicit BinaryWriter(std::ostream& out);
 
   Status status() const { return status_; }
 
@@ -64,7 +73,8 @@ class BinaryWriter {
   Status Finish();
 
  private:
-  std::ofstream out_;
+  std::ofstream file_;             // engaged only by the path constructor
+  std::ostream* out_ = nullptr;    // the active sink (may alias file_)
   Status status_;
   uint64_t checksum_ = kFnv1aOffset;
 };
@@ -74,6 +84,9 @@ class BinaryWriter {
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
+
+  /// Reads from an externally owned stream (must outlive this reader).
+  explicit BinaryReader(std::istream& in);
 
   Status status() const { return status_; }
   bool ok() const { return status_.ok(); }
@@ -118,7 +131,8 @@ class BinaryReader {
  private:
   void Fail(const std::string& message);
 
-  std::ifstream in_;
+  std::ifstream file_;            // engaged only by the path constructor
+  std::istream* in_ = nullptr;    // the active source (may alias file_)
   Status status_;
   uint64_t checksum_ = kFnv1aOffset;
 };

@@ -8,9 +8,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
 
 #include "core/predictor_factory.h"
 #include "graph/edge_list_io.h"
+#include "net/frame.h"
+#include "serve/query_codec.h"
 #include "util/random.h"
 #include "util/serde.h"
 
@@ -101,10 +104,64 @@ int FuzzEdgeListParser(const uint8_t* data, size_t size) {
   return 0;
 }
 
+int FuzzNetFrame(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  net::FrameDecoderOptions options;
+  options.max_payload_bytes = 1u << 16;
+
+  // Decode the buffer whole and split in half; a streaming decoder must
+  // produce the identical frame sequence regardless of chunking.
+  std::vector<net::Frame> whole, split;
+  net::FrameDecoder a(options);
+  const Status sa = a.Feed(data, size, &whole);
+  net::FrameDecoder b(options);
+  const size_t half = size / 2;
+  Status sb = b.Feed(data, half, &split);
+  if (sb.ok()) sb = b.Feed(data + half, size - half, &split);
+  if (sa.ok() != sb.ok() || whole.size() != split.size()) {
+    std::fprintf(stderr, "frame decode depends on chunking\n");
+    abort();
+  }
+  for (size_t i = 0; i < whole.size(); ++i) {
+    if (whole[i].type != split[i].type ||
+        whole[i].request_id != split[i].request_id ||
+        whole[i].payload != split[i].payload) {
+      std::fprintf(stderr, "frame %zu differs between chunkings\n", i);
+      abort();
+    }
+  }
+
+  for (const net::Frame& frame : whole) {
+    // Accepted frames must re-encode/re-decode exactly (closure).
+    const std::string wire = net::EncodeFrame(frame);
+    net::FrameDecoder c(options);
+    std::vector<net::Frame> again;
+    if (!c.Feed(wire.data(), wire.size(), &again).ok() ||
+        again.size() != 1 || again[0].payload != frame.payload) {
+      std::fprintf(stderr, "re-encoded frame failed to round-trip\n");
+      abort();
+    }
+    // Frame payloads reach the codec exactly this untrusted; none of the
+    // decoders may crash on them.
+    (void)DecodeQueryRequest(frame.payload);
+    (void)DecodeQueryResult(frame.payload);
+    (void)DecodeNack(frame.payload);
+  }
+
+  // The raw input also hits the codec surface directly (a server-side
+  // worker sees arbitrary bytes only through these).
+  const std::string_view view(reinterpret_cast<const char*>(data), size);
+  (void)DecodeQueryRequest(view);
+  (void)DecodeQueryResult(view);
+  (void)DecodeNack(view);
+  return 0;
+}
+
 std::vector<FuzzTarget> AllFuzzTargets() {
   return {
       {"snapshot_loader", FuzzSnapshotLoader},
       {"edge_parser", FuzzEdgeListParser},
+      {"net_frame", FuzzNetFrame},
   };
 }
 

@@ -34,6 +34,14 @@ int FuzzSnapshotLoader(const uint8_t* data, size_t size);
 /// endpoints dense, edge count within bounds). Returns 0 always.
 int FuzzEdgeListParser(const uint8_t* data, size_t size);
 
+/// Network request-frame decoder target (the third untrusted surface:
+/// bytes from a socket). Feeds the input through net::FrameDecoder both
+/// whole and split — chunking must never change the decode — and pushes
+/// every decoded payload, plus the raw bytes, through the query-codec
+/// decoders. Invariant violations abort; corrupt input must always
+/// surface as a clean Status. Returns 0 always.
+int FuzzNetFrame(const uint8_t* data, size_t size);
+
 /// One named target, for drivers that iterate.
 struct FuzzTarget {
   std::string name;  // also the corpus subdirectory name

@@ -19,6 +19,8 @@
 #include "core/predictor_factory.h"
 #include "eval/experiment.h"
 #include "gen/workloads.h"
+#include "net/frame.h"
+#include "serve/query_codec.h"
 #include "util/logging.h"
 #include "verify/fuzz_targets.h"
 #include "verify/invariants.h"
@@ -118,12 +120,69 @@ TEST(FuzzReplay, EdgeParserSurvivesSeededMutations) {
   }
 }
 
+/// Valid wire frames (every type, plus payload/frame mismatches) — the
+/// seed inputs the net_frame mutation runs work from.
+std::vector<std::string> NetFrameSeeds() {
+  std::vector<std::string> seeds;
+  net::Frame frame;
+  frame.type = net::FrameType::kPing;
+  frame.request_id = 1;
+  seeds.push_back(net::EncodeFrame(frame));
+
+  QueryRequest request;
+  request.top_k = 3;
+  request.measures = {LinkMeasure::kJaccard};
+  request.pairs = {QueryPair{1, 2}, QueryPair{3, 4}};
+  frame.type = net::FrameType::kQuery;
+  frame.request_id = 2;
+  frame.payload = EncodeQueryRequest(request);
+  seeds.push_back(net::EncodeFrame(frame));
+
+  QueryResult result;
+  result.meta.snapshot_version = 1;
+  PairResult pr;
+  pr.pair = QueryPair{1, 2};
+  pr.scores = {0.5};
+  result.pairs.push_back(pr);
+  frame.type = net::FrameType::kResult;
+  frame.request_id = 3;
+  frame.payload = EncodeQueryResult(result);
+  seeds.push_back(net::EncodeFrame(frame));
+
+  NackInfo nack;
+  nack.reason = NackReason::kQueueFull;
+  nack.retry_after_ms = 50;
+  nack.message = "queue_full";
+  frame.type = net::FrameType::kNack;
+  frame.request_id = 4;
+  frame.payload = EncodeNack(nack);
+  seeds.push_back(net::EncodeFrame(frame));
+
+  // Two frames back to back (exercises the streaming path), and a query
+  // frame whose payload is a different message kind.
+  seeds.push_back(seeds[0] + seeds[1]);
+  frame.type = net::FrameType::kQuery;
+  frame.request_id = 5;
+  frame.payload = EncodeNack(nack);
+  seeds.push_back(net::EncodeFrame(frame));
+  return seeds;
+}
+
+TEST(FuzzReplay, NetFrameSurvivesSeededMutations) {
+  const FuzzTarget& target = TargetNamed("net_frame");
+  uint64_t seed = 0x4e37;
+  for (const std::string& wire : NetFrameSeeds()) {
+    target.run(reinterpret_cast<const uint8_t*>(wire.data()), wire.size());
+    MutateAndReplay(wire, /*iterations=*/250, seed++, target);
+  }
+}
+
 TEST(FuzzReplay, TargetsRegisterStableCorpusNames) {
   // Corpus directories are keyed by target name; renames orphan corpora.
   std::vector<std::string> names;
   for (const FuzzTarget& t : AllFuzzTargets()) names.push_back(t.name);
-  EXPECT_EQ(names,
-            (std::vector<std::string>{"snapshot_loader", "edge_parser"}));
+  EXPECT_EQ(names, (std::vector<std::string>{"snapshot_loader", "edge_parser",
+                                             "net_frame"}));
 }
 
 // Regenerates the checked-in seed corpus (run manually, then commit):
@@ -150,6 +209,11 @@ TEST(FuzzReplay, WriteSeedCorpus) {
   for (size_t i = 0; i < texts.size(); ++i) {
     write(corpus_root + "/edge_parser", "seed_" + std::to_string(i),
           texts[i]);
+  }
+  std::vector<std::string> frames = NetFrameSeeds();
+  for (size_t i = 0; i < frames.size(); ++i) {
+    write(corpus_root + "/net_frame", "seed_" + std::to_string(i),
+          frames[i]);
   }
 }
 

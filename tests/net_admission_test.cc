@@ -1,0 +1,148 @@
+#include "net/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/predictor_factory.h"
+#include "net/load_gen.h"
+#include "net/server.h"
+#include "serve/query_service.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace net {
+namespace {
+
+// --- Unit tests for the pure decision function. -------------------------
+
+ServeHealth FreshHealth() {
+  ServeHealth health;
+  health.has_snapshot = true;
+  health.staleness_edges = 0;
+  health.age_seconds = 0.0;
+  health.servable = true;
+  return health;
+}
+
+TEST(Admission, AdmitsWhenHealthyAndQueueHasRoom) {
+  AdmissionPolicy policy;
+  policy.queue_capacity = 4;
+  AdmissionDecision d = Admit(policy, /*queue_depth=*/3, FreshHealth());
+  EXPECT_TRUE(d.admit);
+  EXPECT_EQ(d.retry_after_ms, 0u);
+}
+
+TEST(Admission, ShedsOnFullQueue) {
+  AdmissionPolicy policy;
+  policy.queue_capacity = 4;
+  policy.retry_after_ms = 20;
+  AdmissionDecision d = Admit(policy, /*queue_depth=*/4, FreshHealth());
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(d.reason, NackReason::kQueueFull);
+  EXPECT_EQ(d.retry_after_ms, 20u);
+}
+
+TEST(Admission, ShedsWithoutSnapshot) {
+  AdmissionDecision d = Admit(AdmissionPolicy{}, 0, ServeHealth{});
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(d.reason, NackReason::kStaleSnapshot);
+}
+
+TEST(Admission, ShedsOnStalenessEdges) {
+  AdmissionPolicy policy;
+  policy.max_staleness_edges = 100;
+  ServeHealth health = FreshHealth();
+  health.staleness_edges = 101;
+  AdmissionDecision d = Admit(policy, 0, health);
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(d.reason, NackReason::kStaleSnapshot);
+  // At the bound is still fine.
+  health.staleness_edges = 100;
+  EXPECT_TRUE(Admit(policy, 0, health).admit);
+}
+
+TEST(Admission, ShedsOnSnapshotAge) {
+  AdmissionPolicy policy;
+  policy.max_snapshot_age_seconds = 1.0;
+  ServeHealth health = FreshHealth();
+  health.age_seconds = 2.0;
+  AdmissionDecision d = Admit(policy, 0, health);
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(d.reason, NackReason::kStaleSnapshot);
+}
+
+TEST(Admission, ZeroBoundsDisableStalenessChecks) {
+  ServeHealth health = FreshHealth();
+  health.staleness_edges = 1u << 30;
+  health.age_seconds = 1e6;
+  EXPECT_TRUE(Admit(AdmissionPolicy{}, 0, health).admit);
+}
+
+// --- End-to-end overload behaviour: under a queue-saturating burst the --
+// --- server sheds (shed count > 0) and admitted-request latency stays ---
+// --- bounded instead of growing with the backlog. -----------------------
+
+constexpr VertexId kVertices = 64;
+constexpr size_t kEdges = 500;
+
+std::unique_ptr<LinkPredictor> BuildPredictor() {
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.sketch_size = 32;
+  config.seed = 17;
+  auto predictor = MakePredictor(config);
+  SL_CHECK(predictor.ok());
+  Rng rng(7);
+  for (size_t i = 0; i < kEdges; ++i) {
+    Edge edge(static_cast<VertexId>(rng.NextBounded(kVertices)),
+              static_cast<VertexId>(rng.NextBounded(kVertices)));
+    (*predictor)->OnEdge(edge);
+  }
+  return std::move(*predictor);
+}
+
+TEST(AdmissionEndToEnd, OverloadShedsInsteadOfQueueing) {
+  auto predictor = BuildPredictor();
+  auto built =
+      QueryServiceBuilder().InitialSnapshot(*predictor, kEdges).Build();
+  ASSERT_TRUE(built.ok());
+  std::unique_ptr<QueryService> service = std::move(*built);
+
+  NetServerOptions options;
+  options.workers = 2;
+  options.admission.queue_capacity = 4;  // tiny on purpose
+  NetServer server;
+  ASSERT_TRUE(server.Start(*service, options).ok());
+
+  // Each blocking connection holds one request in flight, so saturating a
+  // queue of 4 takes more connections than capacity; 12 closed-loop
+  // clients firing back-to-back keep the queue pinned at its bound.
+  LoadGenOptions load;
+  load.port = server.port();
+  load.connections = 12;
+  load.duration_seconds = 1.0;
+  load.closed_loop = true;
+  load.pairs_per_request = 64;
+  load.node_universe = kVertices;
+  Result<LoadReport> report = RunLoad(load);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_GT(report->sent, 0u);
+  EXPECT_EQ(report->errors, 0u);
+  // The whole point of admission control: overload becomes NACKs.
+  EXPECT_GT(report->shed, 0u);
+  // And the queue bound keeps admitted-request latency finite: a request
+  // admitted last waits at most ~capacity service times. Allow a fat
+  // margin for CI noise; without shedding, 12 always-on clients against
+  // 2 workers would queue without bound and p99 would blow past this.
+  EXPECT_GT(report->ok, 0u);
+  EXPECT_LT(report->service_p99_us, 1e6);
+
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace streamlink

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/predictor_factory.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "serve/query_service.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace streamlink {
+namespace net {
+namespace {
+
+constexpr VertexId kVertices = 64;
+constexpr size_t kEdges = 800;
+
+std::unique_ptr<LinkPredictor> BuildPredictor() {
+  PredictorConfig config;
+  config.kind = "minhash";
+  config.sketch_size = 32;
+  config.seed = 11;
+  auto predictor = MakePredictor(config);
+  SL_CHECK(predictor.ok());
+  Rng rng(99);
+  for (size_t i = 0; i < kEdges; ++i) {
+    Edge edge(static_cast<VertexId>(rng.NextBounded(kVertices)),
+              static_cast<VertexId>(rng.NextBounded(kVertices)));
+    (*predictor)->OnEdge(edge);
+  }
+  return std::move(*predictor);
+}
+
+QueryRequest MakeRequest(uint64_t seed, uint32_t pairs) {
+  Rng rng(seed);
+  QueryRequest request;
+  request.measures = {LinkMeasure::kJaccard, LinkMeasure::kAdamicAdar};
+  for (uint32_t i = 0; i < pairs; ++i) {
+    QueryPair pair;
+    pair.u = static_cast<VertexId>(rng.NextBounded(kVertices));
+    pair.v = static_cast<VertexId>(rng.NextBounded(kVertices));
+    if (pair.u == pair.v) pair.v = (pair.v + 1) % kVertices;
+    request.pairs.push_back(pair);
+  }
+  return request;
+}
+
+struct Harness {
+  std::unique_ptr<LinkPredictor> predictor;
+  std::unique_ptr<QueryService> service;
+  obs::MetricsRegistry registry;
+  NetServer server;
+
+  explicit Harness(NetServerOptions options = {}) {
+    predictor = BuildPredictor();
+    auto built = QueryServiceBuilder()
+                     .InitialSnapshot(*predictor, kEdges)
+                     .Build();
+    SL_CHECK(built.ok());
+    service = std::move(*built);
+    options.metrics = &registry;
+    Status st = server.Start(*service, std::move(options));
+    SL_CHECK(st.ok()) << st.ToString();
+  }
+};
+
+TEST(NetLoopback, PingPong) {
+  Harness harness;
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server.port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(NetLoopback, NetworkedAnswersMatchInProcess) {
+  Harness harness;
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server.port()).ok());
+
+  const QueryRequest request = MakeRequest(/*seed=*/5, /*pairs=*/12);
+  Result<QueryResult> local = harness.service->Query(request);
+  ASSERT_TRUE(local.ok());
+
+  Result<CallOutcome> remote = client.Call(request);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ASSERT_FALSE(remote->nacked);
+  const QueryResult& got = remote->result;
+  EXPECT_EQ(got.meta.snapshot_version, local->meta.snapshot_version);
+  EXPECT_EQ(got.meta.snapshot_edges, local->meta.snapshot_edges);
+  ASSERT_EQ(got.pairs.size(), local->pairs.size());
+  for (size_t i = 0; i < got.pairs.size(); ++i) {
+    EXPECT_EQ(got.pairs[i].pair.u, local->pairs[i].pair.u);
+    EXPECT_EQ(got.pairs[i].pair.v, local->pairs[i].pair.v);
+    ASSERT_EQ(got.pairs[i].scores.size(), local->pairs[i].scores.size());
+    for (size_t s = 0; s < got.pairs[i].scores.size(); ++s) {
+      EXPECT_EQ(got.pairs[i].scores[s], local->pairs[i].scores[s]);
+    }
+  }
+}
+
+TEST(NetLoopback, ManySequentialCallsOnOneConnection) {
+  Harness harness;
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server.port()).ok());
+  for (uint64_t i = 0; i < 50; ++i) {
+    Result<CallOutcome> outcome = client.Call(MakeRequest(i, 4));
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_FALSE(outcome->nacked);
+    EXPECT_EQ(outcome->result.pairs.size(), 4u);
+  }
+}
+
+TEST(NetLoopback, ConcurrentClientsAllGetCorrectAnswers) {
+  Harness harness;
+  constexpr int kClients = 4;
+  constexpr int kCallsEach = 25;
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> ok(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&harness, &ok, c] {
+      NetClient client;
+      if (!client.Connect("127.0.0.1", harness.server.port()).ok()) return;
+      for (int i = 0; i < kCallsEach; ++i) {
+        Result<CallOutcome> outcome =
+            client.Call(MakeRequest(c * 1000 + i, 6));
+        if (outcome.ok() && !outcome->nacked &&
+            outcome->result.pairs.size() == 6) {
+          ok[c]++;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(ok[c], static_cast<uint64_t>(kCallsEach)) << "client " << c;
+  }
+  // Metrics saw the traffic.
+  obs::MetricsSnapshot snap = harness.registry.Snapshot();
+  auto counter = [&snap](const std::string& name) -> uint64_t {
+    for (const auto& sample : snap.counters) {
+      if (sample.name == name) return sample.value;
+    }
+    return 0;
+  };
+  EXPECT_GE(counter("net.requests_admitted_total"),
+            static_cast<uint64_t>(kClients * kCallsEach));
+  EXPECT_GE(counter("net.connections_total"),
+            static_cast<uint64_t>(kClients));
+}
+
+TEST(NetLoopback, MalformedBytesCloseTheConnection) {
+  Harness harness;
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  // A raw socket spewing garbage gets its connection dropped, while the
+  // well-behaved connection keeps working.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(harness.server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char junk[] = "this is definitely not a frame header!!!";
+  ASSERT_GT(::send(fd, junk, sizeof(junk), MSG_NOSIGNAL), 0);
+  char buf[16];
+  // The server answers garbage with a close: recv drains to EOF (0) or a
+  // reset, never a valid frame.
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  EXPECT_LE(n, 0);
+  ::close(fd);
+
+  Result<CallOutcome> outcome = client.Call(MakeRequest(1, 2));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->nacked);
+}
+
+TEST(NetLoopback, StaleServiceShedsWithRetryHint) {
+  NetServerOptions options;
+  options.admission.max_staleness_edges = 10;
+  options.admission.retry_after_ms = 33;
+  Harness harness(options);
+  // Drive the live frontier far past the published snapshot.
+  harness.service->NoteLiveEdges(kEdges + 1000);
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server.port()).ok());
+  Result<CallOutcome> outcome = client.Call(MakeRequest(3, 2));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->nacked);
+  EXPECT_EQ(outcome->nack.reason, NackReason::kStaleSnapshot);
+  EXPECT_EQ(outcome->nack.retry_after_ms, 33u);
+}
+
+TEST(NetLoopback, ServerStopsCleanlyWithClientsConnected) {
+  auto harness = std::make_unique<Harness>();
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness->server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+  harness->server.Stop();
+  // The next call sees EOF/reset, not a hang.
+  Result<CallOutcome> outcome = client.Call(MakeRequest(2, 2));
+  EXPECT_FALSE(outcome.ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace streamlink

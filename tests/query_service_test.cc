@@ -12,7 +12,6 @@
 #include "core/predictor_factory.h"
 #include "core/top_k_engine.h"
 #include "eval/experiment.h"
-#include "serve/latency_histogram.h"
 #include "stream/edge_stream.h"
 #include "stream/parallel_ingest.h"
 #include "stream/stream_driver.h"
@@ -389,7 +388,7 @@ TEST(QueryService, ShardedPublishFoldsMergeableKindsToSinglePredictor) {
 // --- Latency histogram ---------------------------------------------------
 
 TEST(LatencyHistogram, RecordsAndRanksSamples) {
-  LatencyHistogram histogram;
+  obs::LatencyHistogram histogram;
   EXPECT_EQ(histogram.count(), 0u);
   EXPECT_EQ(histogram.PercentileMicros(0.5), 0.0);
 
@@ -411,7 +410,7 @@ TEST(LatencyHistogram, RecordsAndRanksSamples) {
 }
 
 TEST(LatencyHistogram, ConcurrentRecordersLoseNothing) {
-  LatencyHistogram histogram;
+  obs::LatencyHistogram histogram;
   constexpr int kThreads = 4;
   constexpr int kPerThread = 2000;
   std::vector<std::thread> threads;
