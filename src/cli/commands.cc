@@ -814,6 +814,8 @@ Status CmdNetLoad(const FlagParser& flags, std::ostream& out) {
   table.AddRow({"sent", std::to_string(report->sent)});
   table.AddRow({"ok", std::to_string(report->ok)});
   table.AddRow({"shed", std::to_string(report->shed)});
+  table.AddRow({"retried", std::to_string(report->retried)});
+  table.AddRow({"dropped", std::to_string(report->dropped)});
   table.AddRow({"errors", std::to_string(report->errors)});
   table.AddRow({"achieved_qps", TablePrinter::FormatCell(report->achieved_qps)});
   table.AddRow({"shed_rate", TablePrinter::FormatCell(report->shed_rate)});

@@ -25,6 +25,11 @@ class ExactPredictor : public LinkPredictor {
 
   const AdjacencyGraph& graph() const { return graph_; }
 
+  // Turnstile capability: adjacency sets delete natively. Retracting an
+  // edge that is not present is a no-op (the graph stays simple), so the
+  // exact kind is the reference oracle for delete-heavy churn streams.
+  bool SupportsDeletions() const override { return true; }
+
   // Vertex-sharded operation (LinkPredictor capability): adjacency sets
   // are per-vertex state, so half-edges route cleanly; cross-shard queries
   // intersect the two owners' neighbor sets and fetch common-neighbor
@@ -35,6 +40,12 @@ class ExactPredictor : public LinkPredictor {
   }
   void ObserveNeighborBatch(const EdgeBatch& batch) override {
     for (const Edge& e : batch) graph_.AddArc(e.u, e.v);
+  }
+  void RetractNeighbor(VertexId u, VertexId neighbor) override {
+    graph_.RemoveArc(u, neighbor);
+  }
+  void RetractNeighborBatch(const EdgeBatch& batch) override {
+    for (const Edge& e : batch) graph_.RemoveArc(e.u, e.v);
   }
   double OwnedDegree(VertexId u) const override { return graph_.Degree(u); }
   OverlapEstimate EstimateOverlapSharded(
@@ -59,6 +70,7 @@ class ExactPredictor : public LinkPredictor {
 
  protected:
   void ProcessEdge(const Edge& edge) override { graph_.AddEdge(edge); }
+  void ProcessDelete(const Edge& edge) override { graph_.RemoveEdge(edge); }
 
  private:
   AdjacencyGraph graph_;

@@ -69,6 +69,16 @@ void LinkPredictor::ObserveNeighbor(VertexId, VertexId) {
   SL_LOG(kFatal) << name() << " does not support sharded ingestion";
 }
 
+void LinkPredictor::ProcessDelete(const Edge&) {
+  SL_LOG(kFatal) << name()
+                 << " does not support edge deletions (turnstile); wrap in "
+                    "a tombstone window or use a deletable kind";
+}
+
+void LinkPredictor::RetractNeighbor(VertexId, VertexId) {
+  SL_LOG(kFatal) << name() << " does not support sharded edge deletions";
+}
+
 double LinkPredictor::OwnedDegree(VertexId) const {
   SL_LOG(kFatal) << name() << " does not support sharded ingestion";
   return 0.0;

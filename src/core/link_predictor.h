@@ -105,8 +105,11 @@ class LinkPredictor : public EdgeConsumer {
   /// Number of vertices with any state (max endpoint seen + 1).
   virtual VertexId num_vertices() const = 0;
 
-  /// Edges ingested so far.
+  /// Edges ingested so far (inserts only; see deletes_processed()).
   uint64_t edges_processed() const { return edges_processed_; }
+
+  /// Edge deletions applied so far (turnstile kinds only).
+  uint64_t deletes_processed() const { return deletes_processed_; }
 
   /// Total heap footprint of the predictor's state in bytes.
   virtual uint64_t MemoryBytes() const = 0;
@@ -117,21 +120,61 @@ class LinkPredictor : public EdgeConsumer {
     ProcessEdge(edge);
   }
 
+  /// Retracts one previously inserted edge — the turnstile counterpart of
+  /// OnEdge. Filters self-loops, accounts the delete, and hands the edge to
+  /// ProcessDelete. Only kinds with SupportsDeletions() implement the
+  /// kernel; calling this on any other kind is fatal.
+  void DeleteEdge(const Edge& edge) {
+    if (edge.IsSelfLoop()) return;
+    ++deletes_processed_;
+    ProcessDelete(edge);
+  }
+
   /// Primary delivery path (StreamDriver and ParallelIngestEngine arrive
   /// here): filters self-loops, accounts edges, and hands maximal
-  /// self-loop-free runs — hash lanes still aligned — to ProcessBatch in
-  /// one virtual dispatch per run.
+  /// self-loop-free same-op runs — hash lanes still aligned — to
+  /// ProcessBatch / ProcessDeleteBatch in one virtual dispatch per run.
+  /// Batches without an op lane take the historical all-insert path.
   void OnEdgeBatch(const EdgeBatch& batch) final {
+    if (!batch.has_ops()) {
+      size_t run_start = 0;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].IsSelfLoop()) {
+          if (i > run_start) {
+            ProcessBatch(batch.Slice(run_start, i - run_start));
+          }
+          run_start = i + 1;
+        }
+      }
+      if (batch.size() > run_start) {
+        ProcessBatch(batch.Slice(run_start, batch.size() - run_start));
+      }
+      return;
+    }
     size_t run_start = 0;
+    EdgeOp run_op = EdgeOp::kInsert;
+    auto flush = [&](size_t end) {
+      if (end <= run_start) return;
+      EdgeBatch run = batch.Slice(run_start, end - run_start);
+      if (run_op == EdgeOp::kInsert) {
+        ProcessBatch(run);
+      } else {
+        ProcessDeleteBatch(run);
+      }
+    };
     for (size_t i = 0; i < batch.size(); ++i) {
       if (batch[i].IsSelfLoop()) {
-        if (i > run_start) ProcessBatch(batch.Slice(run_start, i - run_start));
+        flush(i);
         run_start = i + 1;
+        continue;
+      }
+      if (batch.op(i) != run_op) {
+        flush(i);
+        run_start = i;
+        run_op = batch.op(i);
       }
     }
-    if (batch.size() > run_start) {
-      ProcessBatch(batch.Slice(run_start, batch.size() - run_start));
-    }
+    flush(batch.size());
   }
 
   /// Legacy raw signature: routed through the EdgeBatch path so both
@@ -145,6 +188,18 @@ class LinkPredictor : public EdgeConsumer {
   /// whose half-edge updates (ObserveNeighbor) deliberately do not count
   /// edges — two half-edges are one edge.
   void AddProcessedEdges(uint64_t count) { edges_processed_ += count; }
+
+  /// The deletes_processed() analogue of AddProcessedEdges: folds `count`
+  /// externally-accounted deletions (merged replicas, sharded half-edge
+  /// retractions) into the counter.
+  void AddProcessedDeletes(uint64_t count) { deletes_processed_ += count; }
+
+  /// True if the kind can retract edges natively (turnstile model):
+  /// DeleteEdge / delete-tagged batches / RetractNeighbor are implemented
+  /// and insert∘delete of the same edge restores the prior state exactly.
+  /// Insert-only kinds return false; wrap them in TombstoneWindowPredictor
+  /// (core/tombstone_predictor.h) for bounded-lag delete support.
+  virtual bool SupportsDeletions() const { return false; }
 
   // --- Vertex-sharded operation (see docs/parallel_ingest.md) ---
   //
@@ -179,6 +234,49 @@ class LinkPredictor : public EdgeConsumer {
   /// unshardable kinds.
   virtual void ObserveNeighborBatch(const EdgeBatch& batch) {
     for (const Edge& e : batch) ObserveNeighbor(e.u, e.v);
+  }
+
+  /// Half-edge retraction: records that `neighbor` left N(u), touching
+  /// ONLY u's state — the delete-side mirror of ObserveNeighbor. Does not
+  /// advance deletes_processed(). Fatal on kinds without both sharding and
+  /// deletion support.
+  virtual void RetractNeighbor(VertexId u, VertexId neighbor);
+
+  /// Batched half-edge retractions; same contract as ObserveNeighborBatch
+  /// with delete semantics. Default loops RetractNeighbor.
+  virtual void RetractNeighborBatch(const EdgeBatch& batch) {
+    for (const Edge& e : batch) RetractNeighbor(e.u, e.v);
+  }
+
+  /// Applies a half-edge batch, dispatching each maximal same-op run to
+  /// ObserveNeighborBatch or RetractNeighborBatch. Batches without an op
+  /// lane go straight to ObserveNeighborBatch (zero turnstile overhead on
+  /// the insert-only hot path). Half-edge batches never contain self-loops,
+  /// so runs split on op alone.
+  void ApplyHalfEdges(const EdgeBatch& batch) {
+    if (!batch.has_ops()) {
+      ObserveNeighborBatch(batch);
+      return;
+    }
+    size_t run_start = 0;
+    EdgeOp run_op = batch.op(0);
+    auto flush = [&](size_t end) {
+      if (end <= run_start) return;
+      EdgeBatch run = batch.Slice(run_start, end - run_start);
+      if (run_op == EdgeOp::kInsert) {
+        ObserveNeighborBatch(run);
+      } else {
+        RetractNeighborBatch(run);
+      }
+    };
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.op(i) != run_op) {
+        flush(i);
+        run_start = i;
+        run_op = batch.op(i);
+      }
+    }
+    flush(batch.size());
   }
 
   /// When the predictor's half-edge kernel consumes a single seeded
@@ -221,8 +319,24 @@ class LinkPredictor : public EdgeConsumer {
     }
   }
 
+  /// Deletion kernel: retracts one non-self-loop edge. Only kinds with
+  /// SupportsDeletions() override; the base default is fatal.
+  virtual void ProcessDelete(const Edge& edge);
+
+  /// Batched deletion kernel: a self-loop-free run of whole-edge deletes.
+  /// Owns accounting exactly like ProcessBatch — the default increments
+  /// before each ProcessDelete; overrides that bulk-apply use
+  /// AddProcessedDeletes(batch.size()) instead.
+  virtual void ProcessDeleteBatch(const EdgeBatch& batch) {
+    for (const Edge& e : batch) {
+      ++deletes_processed_;
+      ProcessDelete(e);
+    }
+  }
+
  private:
   uint64_t edges_processed_ = 0;
+  uint64_t deletes_processed_ = 0;
 };
 
 }  // namespace streamlink

@@ -7,22 +7,20 @@
 #include "core/minhash_predictor.h"
 #include "core/oph_predictor.h"
 #include "core/sharded_predictor.h"
+#include "core/tcm_predictor.h"
+#include "core/tombstone_predictor.h"
 #include "core/vertex_biased_predictor.h"
 #include "core/windowed_predictor.h"
 #include "util/serde.h"
 
 namespace streamlink {
 
-Result<std::unique_ptr<LinkPredictor>> MakePredictor(
+namespace {
+
+/// The per-kind leg of MakePredictor: a plain sequential predictor with no
+/// sharding or tombstone wrapping (both layered on by the caller).
+Result<std::unique_ptr<LinkPredictor>> MakeSequentialKind(
     const PredictorConfig& config) {
-  if (config.threads == 0) {
-    return Status::InvalidArgument("threads must be >= 1, got 0");
-  }
-  if (config.threads > 1) {
-    auto sharded = ShardedPredictor::Make(config);
-    if (!sharded.ok()) return sharded.status();
-    return std::unique_ptr<LinkPredictor>(std::move(*sharded));
-  }
   if (config.kind != "exact" && config.sketch_size < 2) {
     return Status::InvalidArgument("sketch_size must be >= 2, got " +
                                    std::to_string(config.sketch_size));
@@ -63,20 +61,68 @@ Result<std::unique_ptr<LinkPredictor>> MakePredictor(
     return std::unique_ptr<LinkPredictor>(
         new WindowedMinHashPredictor(options));
   }
+  if (config.kind == "tcm") {
+    if (config.tcm_depth < 1) {
+      return Status::InvalidArgument("tcm_depth must be >= 1, got " +
+                                     std::to_string(config.tcm_depth));
+    }
+    TcmPredictorOptions options;
+    options.width = config.sketch_size;
+    options.depth = config.tcm_depth;
+    options.seed = config.seed;
+    return std::unique_ptr<LinkPredictor>(new TcmPredictor(options));
+  }
   if (config.kind == "exact") {
     return std::unique_ptr<LinkPredictor>(new ExactPredictor());
   }
   return Status::InvalidArgument("unknown predictor kind: " + config.kind);
 }
 
+}  // namespace
+
+Result<std::unique_ptr<LinkPredictor>> MakePredictor(
+    const PredictorConfig& config) {
+  if (config.threads == 0) {
+    return Status::InvalidArgument("threads must be >= 1, got 0");
+  }
+  if (config.tombstone_window > 0) {
+    if (KindSupportsDeletions(config.kind)) {
+      return Status::InvalidArgument(
+          config.kind + " deletes natively; drop tombstone_window");
+    }
+    if (config.threads > 1) {
+      return Status::InvalidArgument(
+          "tombstone window is sequential-only (the FIFO spans the whole "
+          "stream); use threads=1");
+    }
+    if (config.tombstone_window > UINT32_MAX) {
+      return Status::InvalidArgument("tombstone_window too large");
+    }
+    auto inner = MakeSequentialKind(config);
+    if (!inner.ok()) return inner.status();
+    return std::unique_ptr<LinkPredictor>(new TombstoneWindowPredictor(
+        std::move(*inner), static_cast<uint32_t>(config.tombstone_window)));
+  }
+  if (config.threads > 1) {
+    auto sharded = ShardedPredictor::Make(config);
+    if (!sharded.ok()) return sharded.status();
+    return std::unique_ptr<LinkPredictor>(std::move(*sharded));
+  }
+  return MakeSequentialKind(config);
+}
+
 std::vector<std::string> PredictorKinds() {
   return {"minhash", "bottomk", "vertex_biased", "oph", "windowed_minhash",
-          "exact"};
+          "tcm", "exact"};
 }
 
 bool KindSupportsSharding(const std::string& kind) {
   return kind == "minhash" || kind == "bottomk" || kind == "oph" ||
-         kind == "exact";
+         kind == "tcm" || kind == "exact";
+}
+
+bool KindSupportsDeletions(const std::string& kind) {
+  return kind == "tcm" || kind == "exact";
 }
 
 namespace {
@@ -101,6 +147,40 @@ Result<std::unique_ptr<LinkPredictor>> LoadPredictorFrom(
   if (kind == "bottomk") return Lift(BottomKPredictor::LoadFrom(reader, version));
   if (kind == "oph") return Lift(OphPredictor::LoadFrom(reader, version));
   if (kind == "exact") return Lift(ExactPredictor::LoadFrom(reader, version));
+  if (kind == "tcm") return Lift(TcmPredictor::LoadFrom(reader, version));
+  if (kind == "tombstone") {
+    if (version != 1) {
+      return Status::InvalidArgument("unsupported tombstone payload version " +
+                                     std::to_string(version));
+    }
+    const uint32_t window = reader.ReadU32();
+    const uint64_t unretractable = reader.ReadU64();
+    const uint64_t edges = reader.ReadU64();
+    const uint64_t deletes = reader.ReadU64();
+    auto pending = reader.ReadVector<Edge>();
+    if (!reader.ok()) return reader.status();
+    if (window == 0) {
+      return Status::InvalidArgument("corrupt snapshot: zero tombstone window");
+    }
+    if (pending.size() > window) {
+      return Status::InvalidArgument(
+          "corrupt snapshot: tombstone pending list exceeds its window");
+    }
+    auto inner = LoadPredictorFrom(reader);
+    if (!inner.ok()) return inner.status();
+    if ((*inner)->SupportsDeletions()) {
+      return Status::InvalidArgument(
+          "corrupt snapshot: tombstone window around deletable kind '" +
+          (*inner)->name() + "'");
+    }
+    auto wrapper = std::make_unique<TombstoneWindowPredictor>(
+        std::move(*inner), window);
+    wrapper->RestorePending(std::move(pending));
+    wrapper->SetUnretractableDeletes(unretractable);
+    wrapper->AddProcessedEdges(edges);
+    wrapper->AddProcessedDeletes(deletes);
+    return std::unique_ptr<LinkPredictor>(std::move(wrapper));
+  }
   if (kind == "vertex_biased") {
     return Lift(VertexBiasedPredictor::LoadFrom(reader, version));
   }
@@ -136,19 +216,23 @@ Result<std::unique_ptr<LinkPredictor>> LoadPredictorSnapshot(
 
 std::vector<std::string> PredictorFlagNames() {
   return {"kind",           "k",            "seed",          "threads",
-          "sketch-degrees", "window-edges", "window-buckets"};
+          "sketch-degrees", "window-edges", "window-buckets", "tcm-depth",
+          "tombstone-window"};
 }
 
 std::string PredictorFlagsHelp() {
   return
       "  --kind NAME          predictor kind (minhash|bottomk|vertex_biased|"
-      "oph|windowed_minhash|exact)\n"
+      "oph|windowed_minhash|tcm|exact)\n"
       "  --k N                sketch size (slots per vertex)\n"
       "  --seed N             master hash seed\n"
       "  --threads N          ingestion threads (vertex-sharded when > 1)\n"
       "  --sketch-degrees     bottomk: KMV degree estimates\n"
       "  --window-edges N     windowed_minhash: window length in edges\n"
-      "  --window-buckets N   windowed_minhash: buckets per window\n";
+      "  --window-buckets N   windowed_minhash: buckets per window\n"
+      "  --tcm-depth N        tcm: rows per count strip\n"
+      "  --tombstone-window N wrap a non-deletable kind for bounded-lag "
+      "deletes\n";
 }
 
 PredictorConfig PredictorConfigFromFlags(const FlagParser& flags,
@@ -167,6 +251,10 @@ PredictorConfig PredictorConfigFromFlags(const FlagParser& flags,
       flags.GetInt("window-edges", static_cast<int64_t>(defaults.window_edges)));
   config.window_buckets = static_cast<uint32_t>(
       flags.GetInt("window-buckets", defaults.window_buckets));
+  config.tcm_depth = static_cast<uint32_t>(
+      flags.GetInt("tcm-depth", defaults.tcm_depth));
+  config.tombstone_window = static_cast<uint64_t>(flags.GetInt(
+      "tombstone-window", static_cast<int64_t>(defaults.tombstone_window)));
   return config;
 }
 

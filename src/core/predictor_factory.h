@@ -17,7 +17,7 @@ class FlagParser;
 /// flags straight onto this).
 struct PredictorConfig {
   /// One of: "minhash", "bottomk", "vertex_biased", "oph",
-  /// "windowed_minhash", "exact".
+  /// "windowed_minhash", "tcm", "exact".
   std::string kind = "minhash";
   /// Sketch size (slots per vertex). For "vertex_biased" the budget is
   /// split evenly between the MinHash part and the weighted part; for
@@ -33,6 +33,13 @@ struct PredictorConfig {
   /// builds a vertex-sharded predictor with one shard per thread (only for
   /// kinds where KindSupportsSharding). 0 is InvalidArgument.
   uint32_t threads = 1;
+  /// tcm only: rows per count strip (the excess-overlap tail shrinks
+  /// geometrically in depth; width is sketch_size).
+  uint32_t tcm_depth = 3;
+  /// > 0 wraps a non-deletable kind in a TombstoneWindowPredictor of this
+  /// capacity, giving it bounded-lag delete support (sequential only).
+  /// InvalidArgument for natively-deletable kinds or threads > 1.
+  uint64_t tombstone_window = 0;
 };
 
 /// Builds a predictor from the config; InvalidArgument on unknown kinds or
@@ -48,6 +55,11 @@ std::vector<std::string> PredictorKinds();
 /// depend on global stream state (current neighbor degrees, global edge
 /// count) and cannot be sharded losslessly.
 bool KindSupportsSharding(const std::string& kind);
+
+/// True if the kind retracts edges natively (turnstile model): DeleteEdge
+/// and delete-tagged batches are exact inverse updates. Other kinds need a
+/// tombstone window (config.tombstone_window) for bounded-lag deletes.
+bool KindSupportsDeletions(const std::string& kind);
 
 // --- Universal snapshot loading ---
 //
@@ -81,6 +93,8 @@ Result<std::unique_ptr<LinkPredictor>> LoadPredictorSnapshot(
 //   --sketch-degrees     bottomk: KMV degree estimates, no exact counters
 //   --window-edges N     windowed_minhash: count-based window length
 //   --window-buckets N   windowed_minhash: buckets per window
+//   --tcm-depth N        tcm: rows per count strip
+//   --tombstone-window N wrap a non-deletable kind for bounded-lag deletes
 
 /// The flag names PredictorConfigFromFlags consumes — append these to a
 /// FlagParser::CheckUnknown allowlist.

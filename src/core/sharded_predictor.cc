@@ -4,6 +4,7 @@
 
 #include "core/bottomk_predictor.h"
 #include "core/minhash_predictor.h"
+#include "core/tcm_predictor.h"
 #include "util/logging.h"
 #include "util/serde.h"
 
@@ -24,6 +25,7 @@ std::unique_ptr<LinkPredictor> FoldShards(const ShardedPredictor& sharded) {
     folded->MergeFrom(dynamic_cast<const PredictorT&>(sharded.shard(t)));
   }
   folded->AddProcessedEdges(sharded.edges_processed());
+  folded->AddProcessedDeletes(sharded.deletes_processed());
   return folded;
 }
 
@@ -32,6 +34,7 @@ std::unique_ptr<LinkPredictor> FoldShards(const ShardedPredictor& sharded) {
 std::unique_ptr<LinkPredictor> ShardedPredictor::Clone() const {
   if (kind_ == "minhash") return FoldShards<MinHashPredictor>(*this);
   if (kind_ == "bottomk") return FoldShards<BottomKPredictor>(*this);
+  if (kind_ == "tcm") return FoldShards<TcmPredictor>(*this);
   // No lossless fold for this kind: clone every shard and keep routing.
   std::vector<std::unique_ptr<LinkPredictor>> clones;
   clones.reserve(shards_.size());
@@ -43,6 +46,7 @@ std::unique_ptr<LinkPredictor> ShardedPredictor::Clone() const {
   auto copy = std::unique_ptr<ShardedPredictor>(
       new ShardedPredictor(kind_, std::move(clones)));
   copy->AddProcessedEdges(edges_processed());
+  copy->AddProcessedDeletes(deletes_processed());
   return copy;
 }
 
@@ -76,6 +80,15 @@ void ShardedPredictor::ProcessEdge(const Edge& edge) {
   shards_[OwnerOf(edge.v)]->ObserveNeighbor(edge.v, edge.u);
 }
 
+bool ShardedPredictor::SupportsDeletions() const {
+  return KindSupportsDeletions(kind_);
+}
+
+void ShardedPredictor::ProcessDelete(const Edge& edge) {
+  shards_[OwnerOf(edge.u)]->RetractNeighbor(edge.u, edge.v);
+  shards_[OwnerOf(edge.v)]->RetractNeighbor(edge.v, edge.u);
+}
+
 OverlapEstimate ShardedPredictor::EstimateOverlap(VertexId u,
                                                   VertexId v) const {
   DegreeFn degree_of = [this](VertexId w) -> double {
@@ -101,13 +114,17 @@ uint64_t ShardedPredictor::MemoryBytes() const {
 }
 
 namespace {
-constexpr uint32_t kShardedPayloadVersion = 1;
+// v1: kind, edges, shard count, nested envelopes (pre-turnstile).
+// v2 adds the container's delete count after the edge count. v1 snapshots
+// are still accepted (their streams had no deletes).
+constexpr uint32_t kShardedPayloadVersion = 2;
 }  // namespace
 
 Status ShardedPredictor::SaveTo(BinaryWriter& writer) const {
   WriteSnapshotHeader(writer, "sharded", kShardedPayloadVersion);
   writer.WriteString(kind_);
   writer.WriteU64(edges_processed());
+  writer.WriteU64(deletes_processed());
   writer.WriteU32(num_shards());
   for (const auto& shard : shards_) {
     if (Status st = shard->SaveTo(writer); !st.ok()) return st;
@@ -117,12 +134,13 @@ Status ShardedPredictor::SaveTo(BinaryWriter& writer) const {
 
 Result<std::unique_ptr<ShardedPredictor>> ShardedPredictor::LoadFrom(
     BinaryReader& reader, uint32_t payload_version) {
-  if (payload_version != kShardedPayloadVersion) {
+  if (payload_version != 1 && payload_version != kShardedPayloadVersion) {
     return Status::InvalidArgument("unsupported sharded payload version " +
                                    std::to_string(payload_version));
   }
   std::string kind = reader.ReadString();
   uint64_t edges = reader.ReadU64();
+  uint64_t deletes = payload_version >= 2 ? reader.ReadU64() : 0;
   uint32_t num_shards = reader.ReadU32();
   if (!reader.ok()) return reader.status();
   // A sharded container only ever wraps shardable leaf kinds; anything
@@ -152,8 +170,9 @@ Result<std::unique_ptr<ShardedPredictor>> ShardedPredictor::LoadFrom(
   auto predictor = std::unique_ptr<ShardedPredictor>(
       new ShardedPredictor(std::move(kind), std::move(shards)));
   // Shards count nothing (they ingest half-edges); the container holds the
-  // stream's edge count.
+  // stream's edge and delete counts.
   predictor->AddProcessedEdges(edges);
+  predictor->AddProcessedDeletes(deletes);
   return predictor;
 }
 

@@ -54,6 +54,11 @@ class ShardedPredictor : public LinkPredictor {
   /// The underlying predictor kind, e.g. "minhash".
   const std::string& kind() const { return kind_; }
 
+  /// Turnstile capability is inherited from the underlying kind: a delete
+  /// becomes two half-edge retractions routed to the owning shards, the
+  /// exact mirror of insertion routing.
+  bool SupportsDeletions() const override;
+
   /// Snapshot primitive. Kinds with a lossless disjoint-partition merge
   /// (minhash, bottomk) are *folded* into one compact single predictor —
   /// vertex shards own disjoint vertex sets, so the merge is exact and the
@@ -76,6 +81,7 @@ class ShardedPredictor : public LinkPredictor {
 
  protected:
   void ProcessEdge(const Edge& edge) override;
+  void ProcessDelete(const Edge& edge) override;
 
  private:
   ShardedPredictor(std::string kind,

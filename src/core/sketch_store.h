@@ -25,12 +25,21 @@ class SketchStore {
   }
 
   /// Grows the store so `u` is valid; new vertices get factory() sketches.
-  /// push_back keeps the growth geometric — an explicit reserve(u + 1)
-  /// would pin capacity exactly and turn incremental vertex arrival (the
-  /// common case for temporal streams) into quadratic reallocation.
+  /// Growth is explicitly geometric: capacity at least doubles on every
+  /// reallocation, no matter how far ahead of the current size `u` lands.
+  /// A plain reserve(u + 1) per call would pin capacity exactly and turn
+  /// incremental vertex arrival (the common case for temporal streams)
+  /// into quadratic reallocation; a bare push_back loop leans on the
+  /// library's growth policy and still moves every element once per
+  /// reallocation step on a large forward jump.
   void EnsureVertex(VertexId u) {
     if (u < sketches_.size()) return;
-    while (sketches_.size() <= u) sketches_.push_back(factory_());
+    const size_t needed = static_cast<size_t>(u) + 1;
+    if (needed > sketches_.capacity()) {
+      const size_t doubled = sketches_.capacity() * 2;
+      sketches_.reserve(needed > doubled ? needed : doubled);
+    }
+    while (sketches_.size() < needed) sketches_.push_back(factory_());
   }
 
   SketchT& Mutable(VertexId u) {

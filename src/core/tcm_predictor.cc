@@ -1,0 +1,178 @@
+#include "core/tcm_predictor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/serde.h"
+
+namespace streamlink {
+
+TcmPredictor::TcmPredictor(const TcmPredictorOptions& options)
+    : options_(options),
+      family_(options.seed, options.depth),
+      store_([d = options.depth, w = options.width] {
+        return TcmSketch(d, w);
+      }) {
+  SL_CHECK(options.depth >= 1) << "tcm depth must be >= 1";
+  SL_CHECK(options.width >= 2) << "tcm width must be >= 2";
+}
+
+void TcmPredictor::GrowDegrees(VertexId u) {
+  const size_t needed = static_cast<size_t>(u) + 1;
+  if (needed > degrees_.capacity()) {
+    degrees_.reserve(std::max(needed, degrees_.capacity() * 2));
+  }
+  degrees_.resize(needed, 0);
+}
+
+OverlapEstimate TcmPredictor::EstimateOverlap(VertexId u, VertexId v) const {
+  return EstimateOverlapSharded(
+      u, *this, v,
+      [this](VertexId w) -> double { return static_cast<double>(Degree(w)); });
+}
+
+OverlapEstimate TcmPredictor::EstimateOverlapSharded(
+    VertexId u, const LinkPredictor& v_home, VertexId v,
+    const DegreeFn& degree_of) const {
+  const auto* peer = dynamic_cast<const TcmPredictor*>(&v_home);
+  SL_CHECK(peer != nullptr) << "cross-shard query between predictor kinds: "
+                            << name() << " vs " << v_home.name();
+  SL_CHECK(options_.width == peer->options_.width &&
+           options_.depth == peer->options_.depth &&
+           options_.seed == peer->options_.seed)
+      << "cross-shard query between differently-configured predictors";
+
+  OverlapEstimate est;
+  est.degree_u = degree_of(u);
+  est.degree_v = degree_of(v);
+  const double degree_sum = est.degree_u + est.degree_v;
+
+  const TcmSketch* su = store_.Get(u);
+  const TcmSketch* sv = peer->store_.Get(v);
+  if (su == nullptr || sv == nullptr) {
+    est.union_size = degree_sum;
+    return est;
+  }
+
+  // One-sided raw estimate, clamped into the feasible range
+  // [0, min(d(u), d(v))] — a common neighbor is a neighbor of both.
+  double intersection = static_cast<double>(su->IntersectionEstimate(*sv));
+  intersection = std::min(intersection, std::min(est.degree_u, est.degree_v));
+  est.intersection = intersection;
+  est.union_size = degree_sum - intersection;
+  est.jaccard = est.union_size > 0 ? intersection / est.union_size : 0.0;
+  // AA/RA need common-neighbor identities the count strips discard;
+  // reported as 0 by contract (docs/turnstile.md).
+  return est;
+}
+
+uint64_t TcmPredictor::MemoryBytes() const {
+  return store_.MemoryBytes() + sizeof(degrees_) +
+         degrees_.capacity() * sizeof(int64_t);
+}
+
+void TcmPredictor::MergeFrom(const TcmPredictor& other) {
+  SL_CHECK(options_.width == other.options_.width &&
+           options_.depth == other.options_.depth &&
+           options_.seed == other.options_.seed)
+      << "cannot merge predictors with different options";
+  store_.MergeFrom(other.store_,
+                   [](TcmSketch& mine, const TcmSketch& theirs) {
+                     mine.MergeFrom(theirs);
+                   });
+  if (!other.degrees_.empty()) {
+    if (other.degrees_.size() > degrees_.size()) {
+      GrowDegrees(static_cast<VertexId>(other.degrees_.size() - 1));
+    }
+    for (size_t u = 0; u < other.degrees_.size(); ++u) {
+      degrees_[u] += other.degrees_[u];
+    }
+  }
+  AddProcessedEdges(other.edges_processed());
+  AddProcessedDeletes(other.deletes_processed());
+}
+
+namespace {
+constexpr uint32_t kTcmPayloadVersion = 1;
+}  // namespace
+
+Status TcmPredictor::SaveTo(BinaryWriter& writer) const {
+  WriteSnapshotHeader(writer, name(), kTcmPayloadVersion);
+  writer.WriteU32(options_.width);
+  writer.WriteU32(options_.depth);
+  writer.WriteU64(options_.seed);
+  writer.WriteU64(edges_processed());
+  writer.WriteU64(deletes_processed());
+  writer.WriteVector(degrees_);
+  writer.WriteU64(store_.num_vertices());
+  for (VertexId u = 0; u < store_.num_vertices(); ++u) {
+    writer.WriteVector(store_.Get(u)->cells());
+  }
+  return writer.status();
+}
+
+Result<TcmPredictor> TcmPredictor::LoadFrom(BinaryReader& reader,
+                                            uint32_t payload_version) {
+  if (payload_version != kTcmPayloadVersion) {
+    return Status::InvalidArgument("unsupported tcm payload version " +
+                                   std::to_string(payload_version));
+  }
+  TcmPredictorOptions options;
+  options.width = reader.ReadU32();
+  options.depth = reader.ReadU32();
+  options.seed = reader.ReadU64();
+  uint64_t edges = reader.ReadU64();
+  uint64_t deletes = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (options.width < 2 || options.depth < 1) {
+    return Status::InvalidArgument("corrupt snapshot: bad tcm geometry");
+  }
+
+  auto degrees = reader.ReadVector<int64_t>();
+  uint64_t num_vertices = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  // Strips and degrees grow in lockstep (UpdateVertex touches both), so a
+  // length mismatch can only mean corruption.
+  if (degrees.size() != num_vertices) {
+    return Status::InvalidArgument(
+        "corrupt snapshot: degree table covers " +
+        std::to_string(degrees.size()) + " vertices, sketch store " +
+        std::to_string(num_vertices));
+  }
+
+  TcmPredictor predictor(options);
+  predictor.degrees_ = std::move(degrees);
+  const size_t cells_per_vertex =
+      static_cast<size_t>(options.depth) * options.width;
+  for (uint64_t u = 0; u < num_vertices && reader.ok(); ++u) {
+    auto cells = reader.ReadVector<int32_t>();
+    if (!reader.ok()) break;
+    if (cells.size() != cells_per_vertex) {
+      return Status::InvalidArgument("corrupt snapshot: bad tcm strip size");
+    }
+    predictor.store_.Mutable(static_cast<VertexId>(u)) =
+        TcmSketch::FromCells(options.depth, options.width, std::move(cells));
+  }
+  if (!reader.ok()) return reader.status();
+  predictor.AddProcessedEdges(edges);
+  predictor.AddProcessedDeletes(deletes);
+  return predictor;
+}
+
+Result<TcmPredictor> TcmPredictor::Load(const std::string& path) {
+  if (Status st = PreflightSnapshotFile(path); !st.ok()) return st;
+  BinaryReader reader(path);
+  if (!reader.ok()) return reader.status();
+  Result<SnapshotHeader> header = ReadSnapshotHeader(reader);
+  if (!header.ok()) return header.status();
+  if (header->kind != "tcm") {
+    return Status::InvalidArgument("snapshot holds a '" + header->kind +
+                                   "' predictor, expected tcm: " + path);
+  }
+  Result<TcmPredictor> predictor = LoadFrom(reader, header->payload_version);
+  if (!predictor.ok()) return predictor.status();
+  if (Status st = reader.VerifyChecksumFooter(); !st.ok()) return st;
+  return predictor;
+}
+
+}  // namespace streamlink

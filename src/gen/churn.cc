@@ -1,0 +1,93 @@
+#include "gen/churn.h"
+
+#include <unordered_map>
+
+#include "gen/workloads.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace streamlink {
+
+namespace {
+
+/// Canonical packed key for the live-edge index.
+uint64_t EdgeKey(const Edge& e) {
+  const Edge c = e.Canonical();
+  return (static_cast<uint64_t>(c.u) << 32) | c.v;
+}
+
+}  // namespace
+
+TurnstileWorkload MakeChurnFromEdges(const EdgeList& base_edges,
+                                     VertexId num_vertices,
+                                     double delete_fraction, uint64_t seed,
+                                     const std::string& name) {
+  SL_CHECK(delete_fraction >= 0.0 && delete_fraction < 0.5)
+      << "delete_fraction must be in [0, 0.5), got " << delete_fraction;
+  // Each live insert is followed by a Bernoulli(d) delete draw; the event
+  // mix then converges to d/(1+d) deletes, so invert for the target f.
+  const double delete_rate =
+      delete_fraction > 0.0 ? delete_fraction / (1.0 - delete_fraction) : 0.0;
+
+  TurnstileWorkload out;
+  out.name = name;
+  out.num_vertices = num_vertices;
+  out.events.reserve(base_edges.size() * 2);
+
+  // Live set: vector for O(1) uniform sampling, key index for O(1)
+  // membership and swap-remove.
+  EdgeList live;
+  std::unordered_map<uint64_t, size_t> index;
+  live.reserve(base_edges.size());
+  index.reserve(base_edges.size());
+  Rng rng(seed);
+
+  auto delete_random_live = [&] {
+    const size_t pick = static_cast<size_t>(rng.NextBounded(live.size()));
+    const Edge victim = live[pick];
+    out.events.emplace_back(victim, EdgeOp::kDelete);
+    ++out.deletes;
+    index.erase(EdgeKey(victim));
+    live[pick] = live.back();
+    live.pop_back();
+    if (pick < live.size()) index[EdgeKey(live[pick])] = pick;
+  };
+
+  for (const Edge& edge : base_edges) {
+    if (edge.IsSelfLoop()) {
+      // Pass through to exercise the ingest-side filter; never live, so
+      // never a delete target and absent from net_edges.
+      out.events.emplace_back(edge, EdgeOp::kInsert);
+      ++out.inserts;
+      continue;
+    }
+    const uint64_t key = EdgeKey(edge);
+    if (index.find(key) != index.end()) continue;  // duplicate of a live edge
+    out.events.emplace_back(edge, EdgeOp::kInsert);
+    ++out.inserts;
+    index.emplace(key, live.size());
+    live.push_back(edge);
+    if (!live.empty() && rng.NextBernoulli(delete_rate)) {
+      delete_random_live();
+    }
+  }
+
+  out.net_edges = std::move(live);
+  return out;
+}
+
+TurnstileWorkload MakeChurnWorkload(const ChurnSpec& spec) {
+  WorkloadSpec base_spec;
+  base_spec.name = spec.base_workload;
+  base_spec.scale = spec.scale;
+  base_spec.seed = spec.seed;
+  GeneratedGraph base = MakeWorkload(base_spec);
+  // Decouple the churn draws from the generator's: the same seed must not
+  // correlate edge structure with delete choices.
+  const uint64_t churn_seed = spec.seed ^ 0x9e3779b97f4a7c15ULL;
+  return MakeChurnFromEdges(base.edges, base.num_vertices,
+                            spec.delete_fraction, churn_seed,
+                            base.name + "_churn");
+}
+
+}  // namespace streamlink

@@ -1,0 +1,60 @@
+#ifndef STREAMLINK_GEN_CHURN_H_
+#define STREAMLINK_GEN_CHURN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/types.h"
+#include "stream/op_stream.h"
+
+namespace streamlink {
+
+/// Parameters for a delete-heavy turnstile workload derived from one of the
+/// standard insert-only workloads (gen/workloads.h).
+struct ChurnSpec {
+  /// Base workload name ("ba", "er", "ws", "rmat", "sbm", "plconfig").
+  std::string base_workload = "ba";
+  double scale = 1.0;
+  uint64_t seed = 0;
+  /// Target fraction of *events* that are deletes, in [0, 0.5). The
+  /// generator interleaves one delete draw after every insert, so the
+  /// realized fraction converges to the target on any non-trivial stream.
+  double delete_fraction = 0.35;
+};
+
+/// A turnstile event stream plus everything verification needs to check it:
+/// the surviving edge set (`net_edges`) is, by construction, exactly what an
+/// insert-only replay of `events` with deletes applied would leave live — so
+/// "replay events" and "insert net_edges" must agree on every estimate.
+struct TurnstileWorkload {
+  std::string name;
+  EdgeEventList events;
+  /// The live edge set after replaying all of `events`; deterministic but
+  /// in no meaningful order (deletes compact by swap-remove).
+  EdgeList net_edges;
+  VertexId num_vertices = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+};
+
+/// Core transform: threads deletes through an existing edge sequence.
+/// Walks `base_edges` in order, inserting each edge that is not already
+/// live (duplicates are skipped — count-based sketches like tcm are not
+/// duplicate-idempotent, so a duplicate insert could never be annihilated
+/// by a single delete) and, after each insert, deleting a uniformly random
+/// live edge with the probability that realizes `delete_fraction`. Deletes
+/// only ever target live edges; self-loops pass through as insert events
+/// (every predictor filters them) and are never tracked or deleted.
+/// Deterministic in (base_edges, seed).
+TurnstileWorkload MakeChurnFromEdges(const EdgeList& base_edges,
+                                     VertexId num_vertices,
+                                     double delete_fraction, uint64_t seed,
+                                     const std::string& name);
+
+/// Generates `spec.base_workload` via MakeWorkload, then churns it with
+/// MakeChurnFromEdges. The workload name is "<base>_churn".
+TurnstileWorkload MakeChurnWorkload(const ChurnSpec& spec);
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_GEN_CHURN_H_

@@ -28,6 +28,11 @@ bool AdjacencyGraph::AddArc(VertexId u, VertexId v) {
   return adjacency_[u].insert(v).second;
 }
 
+bool AdjacencyGraph::RemoveArc(VertexId u, VertexId v) {
+  if (u >= adjacency_.size()) return false;
+  return adjacency_[u].erase(v) > 0;
+}
+
 bool AdjacencyGraph::RemoveEdge(VertexId u, VertexId v) {
   if (u >= adjacency_.size() || v >= adjacency_.size()) return false;
   if (adjacency_[u].erase(v) == 0) return false;

@@ -37,6 +37,12 @@ class AdjacencyGraph {
 
   /// Removes undirected edge {u, v}. Returns true if it was present.
   bool RemoveEdge(VertexId u, VertexId v);
+  bool RemoveEdge(const Edge& e) { return RemoveEdge(e.u, e.v); }
+
+  /// Removes only the half-edge u→v: v leaves N(u), N(v) is untouched —
+  /// the retraction mirror of AddArc for vertex-sharded turnstile
+  /// ingestion. Does not touch num_edges(). Returns true if v was in N(u).
+  bool RemoveArc(VertexId u, VertexId v);
 
   bool HasEdge(VertexId u, VertexId v) const;
 

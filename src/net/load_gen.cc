@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "net/client.h"
+#include "util/percentile.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -22,6 +23,8 @@ struct ThreadStats {
   uint64_t sent = 0;
   uint64_t ok = 0;
   uint64_t shed = 0;
+  uint64_t retried = 0;
+  uint64_t dropped = 0;
   uint64_t errors = 0;
   std::vector<double> latencies_us;  // from scheduled send time
   std::vector<double> service_us;    // from actual send time
@@ -95,7 +98,7 @@ void RunConnection(const LoadGenOptions& options, NetClient& client,
     }
     QueryRequest request = BuildRequest(options, rng);
     stats.sent++;
-    const double sent_at = MonotonicSeconds();
+    double sent_at = MonotonicSeconds();
     Result<CallOutcome> outcome = client.Call(request);
     if (!outcome.ok()) {
       stats.errors++;
@@ -103,20 +106,36 @@ void RunConnection(const LoadGenOptions& options, NetClient& client,
     }
     if (outcome->nacked) {
       stats.shed++;
-      continue;
+      // Honor the NACK's backoff hint with exactly one retry; a zero hint
+      // means the server said "don't" (bad request). The backoff counts
+      // against this connection's schedule, so under sustained overload
+      // the debt still lands in the open-loop percentiles.
+      const uint32_t hint_ms = outcome->nack.retry_after_ms;
+      if (hint_ms == 0) {
+        stats.dropped++;
+        continue;
+      }
+      stats.retried++;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::min(hint_ms, 1000u)));
+      stats.sent++;
+      sent_at = MonotonicSeconds();
+      outcome = client.Call(request);
+      if (!outcome.ok()) {
+        stats.errors++;
+        return;
+      }
+      if (outcome->nacked) {
+        stats.shed++;
+        stats.dropped++;
+        continue;
+      }
     }
     stats.ok++;
     const double done_at = MonotonicSeconds();
     stats.latencies_us.push_back((done_at - scheduled) * 1e6);
     stats.service_us.push_back((done_at - sent_at) * 1e6);
   }
-}
-
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const size_t idx = std::min(
-      sorted.size() - 1, static_cast<size_t>(q * sorted.size()));
-  return sorted[idx];
 }
 
 }  // namespace
@@ -166,6 +185,8 @@ Result<LoadReport> RunLoad(const LoadGenOptions& options) {
     report.sent += s.sent;
     report.ok += s.ok;
     report.shed += s.shed;
+    report.retried += s.retried;
+    report.dropped += s.dropped;
     report.errors += s.errors;
     latencies.insert(latencies.end(), s.latencies_us.begin(),
                      s.latencies_us.end());
@@ -179,18 +200,18 @@ Result<LoadReport> RunLoad(const LoadGenOptions& options) {
           ? static_cast<double>(report.shed) / static_cast<double>(report.sent)
           : 0.0;
   std::sort(latencies.begin(), latencies.end());
-  report.p50_us = Percentile(latencies, 0.50);
-  report.p90_us = Percentile(latencies, 0.90);
-  report.p99_us = Percentile(latencies, 0.99);
-  report.p999_us = Percentile(latencies, 0.999);
+  report.p50_us = PercentileSorted(latencies, 0.50);
+  report.p90_us = PercentileSorted(latencies, 0.90);
+  report.p99_us = PercentileSorted(latencies, 0.99);
+  report.p999_us = PercentileSorted(latencies, 0.999);
   report.max_us = latencies.empty() ? 0.0 : latencies.back();
   double sum = 0.0;
   for (double v : latencies) sum += v;
   report.mean_us = latencies.empty() ? 0.0 : sum / latencies.size();
   std::sort(service.begin(), service.end());
-  report.service_p50_us = Percentile(service, 0.50);
-  report.service_p99_us = Percentile(service, 0.99);
-  report.service_p999_us = Percentile(service, 0.999);
+  report.service_p50_us = PercentileSorted(service, 0.50);
+  report.service_p99_us = PercentileSorted(service, 0.99);
+  report.service_p999_us = PercentileSorted(service, 0.999);
   return report;
 }
 

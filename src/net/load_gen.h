@@ -60,9 +60,16 @@ struct LoadGenOptions {
 };
 
 struct LoadReport {
-  uint64_t sent = 0;
+  uint64_t sent = 0;     // wire requests, retries included
   uint64_t ok = 0;
-  uint64_t shed = 0;     // NACKed by admission control
+  uint64_t shed = 0;     // NACK responses received (retries' NACKs too)
+  /// Requests retried once after a NACK's retry_after_ms hint. A retried
+  /// request that succeeds counts in `ok` with latency still measured from
+  /// its original schedule slot, backoff included.
+  uint64_t retried = 0;
+  /// Requests abandoned without an answer: NACKed again after the one
+  /// retry, or NACKed with a zero hint ("don't retry").
+  uint64_t dropped = 0;
   uint64_t errors = 0;   // transport/protocol failures
   double wall_seconds = 0.0;
   double achieved_qps = 0.0;   // completed (ok + shed) per second

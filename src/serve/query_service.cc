@@ -38,6 +38,32 @@ class TappedEdgeStream : public EdgeStream {
   uint64_t pulled_ = 0;
 };
 
+/// Turnstile twin of TappedEdgeStream: one live-position tick per event.
+class TappedOpStream : public OpStream {
+ public:
+  TappedOpStream(OpStream& inner, QueryService& service)
+      : inner_(inner), service_(service) {}
+
+  bool Next(EdgeEvent* event) override {
+    if (!inner_.Next(event)) return false;
+    service_.NoteLiveEdges(++pulled_);
+    return true;
+  }
+
+  void Reset() override {
+    inner_.Reset();
+    pulled_ = 0;
+    service_.NoteLiveEdges(0);
+  }
+
+  size_t SizeHint() const override { return inner_.SizeHint(); }
+
+ private:
+  OpStream& inner_;
+  QueryService& service_;
+  uint64_t pulled_ = 0;
+};
+
 }  // namespace
 
 Status QueryService::Publish(const LinkPredictor& live,
@@ -49,6 +75,7 @@ Status QueryService::Publish(const LinkPredictor& live,
   }
   auto snapshot = std::make_shared<ServeSnapshot>();
   snapshot->edges_processed = clone->edges_processed();
+  snapshot->deletes_processed = clone->deletes_processed();
   snapshot->predictor = std::shared_ptr<const LinkPredictor>(std::move(clone));
   snapshot->stream_edges = stream_edges;
   snapshot->version = publish_count_.load(std::memory_order_relaxed) + 1;
@@ -109,6 +136,10 @@ IngestPublishFn QueryService::IngestPublisher() {
 
 std::unique_ptr<EdgeStream> QueryService::WrapStream(EdgeStream& stream) {
   return std::make_unique<TappedEdgeStream>(stream, *this);
+}
+
+std::unique_ptr<OpStream> QueryService::WrapStream(OpStream& stream) {
+  return std::make_unique<TappedOpStream>(stream, *this);
 }
 
 ServeHealth QueryService::Health() const {

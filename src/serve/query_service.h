@@ -33,6 +33,10 @@ struct ServeSnapshot {
   uint64_t stream_edges = 0;
   /// The clone's own simple-edge tally (excludes self-loops).
   uint64_t edges_processed = 0;
+  /// The clone's delete tally (turnstile streams; 0 on insert-only ones).
+  /// For turnstile builds `stream_edges` is an *event* cursor, so deletes
+  /// advance it — and therefore count toward staleness — like inserts.
+  uint64_t deletes_processed = 0;
   /// Monotonically increasing publish counter, starting at 1.
   uint64_t version = 0;
 };
@@ -161,6 +165,10 @@ class QueryService {
   /// not just the last publish. `stream` and this service must outlive the
   /// returned stream.
   std::unique_ptr<EdgeStream> WrapStream(EdgeStream& stream);
+
+  /// Turnstile analogue: every pulled *event* (insert or delete) advances
+  /// the live position, so deletes age a snapshot exactly like inserts.
+  std::unique_ptr<OpStream> WrapStream(OpStream& stream);
 
   // --- Reader side (any thread, lock-free) ---
 

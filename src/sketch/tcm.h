@@ -1,0 +1,107 @@
+#ifndef STREAMLINK_SKETCH_TCM_H_
+#define STREAMLINK_SKETCH_TCM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hashing.h"
+
+namespace streamlink {
+
+/// TCM/GSS-style count-based neighborhood summary supporting the
+/// *turnstile* stream model (inserts and deletions).
+///
+/// Where the original TCM ("On Summarizing Graph Streams") hashes both
+/// endpoints into a shared d×w×w matrix, streamlink's vertex-sharded
+/// architecture wants per-vertex state, so each vertex carries a d×w strip:
+/// row r, column family.Hash(r, neighbor) % w accumulates a *signed* count
+/// of that neighbor's net multiplicity. Deleting an edge subtracts where
+/// inserting added, so insert∘delete annihilates bit-for-bit, updates
+/// commute (cells are sums), and disjoint-partition merges are cell-wise
+/// additions — the properties the metamorphic invariants pin down.
+///
+/// Cells are never clamped on write: a replica that sees a delete before
+/// the matching insert dips to −1 and heals to 0 at fold time. Estimates
+/// clamp at read instead. The intersection estimator
+///   min over rows r of  Σ_c max(0, min(u_cells[r][c], v_cells[r][c]))
+/// never undershoots |N(u) ∩ N(v)| on simple streams (every common
+/// neighbor lands in the same column of both strips; collisions only add),
+/// and the usual count-min argument bounds the excess: per row it is at
+/// most the colliding mass d(u)·d(v)/w in expectation, and taking the min
+/// over d independent rows drives the tail down geometrically.
+class TcmSketch {
+ public:
+  /// Creates an all-zero depth×width strip. Preconditions: depth >= 1,
+  /// width >= 2 (enforced by the predictor factory).
+  TcmSketch(uint32_t depth, uint32_t width)
+      : depth_(depth), width_(width),
+        cells_(static_cast<size_t>(depth) * width, 0) {}
+
+  /// Reconstructs a sketch from serialized cells (snapshot I/O).
+  /// Precondition: cells.size() == depth * width.
+  static TcmSketch FromCells(uint32_t depth, uint32_t width,
+                             std::vector<int32_t> cells) {
+    TcmSketch s(depth, width);
+    s.cells_ = std::move(cells);
+    return s;
+  }
+
+  uint32_t depth() const { return depth_; }
+  uint32_t width() const { return width_; }
+
+  /// Adds `delta` (±1 for edge insert/delete) to `key`'s cell in every
+  /// row. The family provides one hash function per row (family.size()
+  /// >= depth()); the same family must serve every update and the peer
+  /// sketch of any estimate.
+  void Update(uint64_t key, const HashFamily& family, int32_t delta) {
+    for (uint32_t r = 0; r < depth_; ++r) {
+      cells_[static_cast<size_t>(r) * width_ +
+             static_cast<uint32_t>(family.Hash(r, key) % width_)] += delta;
+    }
+  }
+
+  /// One-sided (never-undershooting) estimate of |A ∩ B| for the two
+  /// summarized neighbor sets. Preconditions: same depth/width/family.
+  int64_t IntersectionEstimate(const TcmSketch& other) const {
+    int64_t best = INT64_MAX;
+    for (uint32_t r = 0; r < depth_; ++r) {
+      const size_t base = static_cast<size_t>(r) * width_;
+      int64_t row_sum = 0;
+      for (uint32_t c = 0; c < width_; ++c) {
+        const int32_t a = cells_[base + c];
+        const int32_t b = other.cells_[base + c];
+        const int32_t m = a < b ? a : b;
+        if (m > 0) row_sum += m;
+      }
+      if (row_sum < best) best = row_sum;
+    }
+    return best == INT64_MAX ? 0 : best;
+  }
+
+  /// Folds a disjoint-partition peer in: cell-wise addition, the exact
+  /// state a single sketch over the concatenated stream would hold.
+  /// Precondition: equal depth and width.
+  void MergeFrom(const TcmSketch& other) {
+    for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  }
+
+  const std::vector<int32_t>& cells() const { return cells_; }
+
+  uint64_t MemoryBytes() const {
+    return sizeof(*this) + cells_.capacity() * sizeof(int32_t);
+  }
+
+  friend bool operator==(const TcmSketch& a, const TcmSketch& b) {
+    return a.depth_ == b.depth_ && a.width_ == b.width_ &&
+           a.cells_ == b.cells_;
+  }
+
+ private:
+  uint32_t depth_;
+  uint32_t width_;
+  std::vector<int32_t> cells_;  // row-major depth × width, signed net counts
+};
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_SKETCH_TCM_H_

@@ -9,6 +9,15 @@
 
 namespace streamlink {
 
+/// Turnstile op tag carried (optionally) alongside each batch element.
+/// kInsert adds the edge (or half-edge) to the stream; kDelete retracts a
+/// previously inserted one. A batch with no op lane is all-inserts — the
+/// pre-turnstile wire format, still the common case.
+enum class EdgeOp : uint8_t {
+  kInsert = 0,
+  kDelete = 1,
+};
+
 /// A non-owning view of a contiguous run of stream edges, optionally
 /// annotated with pre-computed per-endpoint vertex hashes — the unit of
 /// delivery for the batched ingestion API (EdgeConsumer::OnEdgeBatch) and
@@ -19,6 +28,9 @@ namespace streamlink {
 ///    each element is an undirected stream edge; for the engine's
 ///    *half-edge* batches, element (u, v) means "u gained neighbor v" and
 ///    u is always owned by the receiving shard.
+///  * `ops` (optional): the turnstile op of each element (EdgeOp). Absent
+///    means every element is an insert, so insert-only producers and
+///    consumers pay nothing for the lane's existence.
 ///  * `hash_u` / `hash_v` (optional, independently nullable): the seeded
 ///    vertex hash `HashU64(edge.u, seed)` / `HashU64(edge.v, seed)` of each
 ///    element, computed ONCE by the producer under the seed the consumer
@@ -39,6 +51,13 @@ class EdgeBatch {
   EdgeBatch(const Edge* edges, size_t count, const uint64_t* hash_u,
             const uint64_t* hash_v)
       : edges_(edges), count_(count), hash_u_(hash_u), hash_v_(hash_v) {}
+  EdgeBatch(const Edge* edges, size_t count, const uint64_t* hash_u,
+            const uint64_t* hash_v, const EdgeOp* ops)
+      : edges_(edges),
+        count_(count),
+        hash_u_(hash_u),
+        hash_v_(hash_v),
+        ops_(ops) {}
 
   /// Wraps one edge as a size-1 batch — what the cold-path OnEdge
   /// convenience forwards through. The edge must outlive the view.
@@ -60,12 +79,21 @@ class EdgeBatch {
   const uint64_t* hash_u_lane() const { return hash_u_; }
   const uint64_t* hash_v_lane() const { return hash_v_; }
 
+  bool has_ops() const { return ops_ != nullptr; }
+  /// Per-element turnstile op. Batches without an op lane are all-inserts,
+  /// so op(i) is total: it answers kInsert when the lane is absent.
+  EdgeOp op(size_t i) const {
+    return ops_ != nullptr ? ops_[i] : EdgeOp::kInsert;
+  }
+  const EdgeOp* ops_lane() const { return ops_; }
+
   /// Span-style sub-view of `count` edges starting at `offset`, lanes
   /// included. Precondition: offset + count <= size().
   EdgeBatch Slice(size_t offset, size_t count) const {
     return EdgeBatch(edges_ + offset, count,
                      hash_u_ != nullptr ? hash_u_ + offset : nullptr,
-                     hash_v_ != nullptr ? hash_v_ + offset : nullptr);
+                     hash_v_ != nullptr ? hash_v_ + offset : nullptr,
+                     ops_ != nullptr ? ops_ + offset : nullptr);
   }
   /// The first `count` edges (or all of them, if fewer).
   EdgeBatch Prefix(size_t count) const {
@@ -77,6 +105,7 @@ class EdgeBatch {
   size_t count_ = 0;
   const uint64_t* hash_u_ = nullptr;
   const uint64_t* hash_v_ = nullptr;
+  const EdgeOp* ops_ = nullptr;
 };
 
 /// Owning storage a producer fills and ships (by move) to a consumer, which
@@ -87,17 +116,21 @@ struct EdgeBatchBuffer {
   EdgeList edges;
   std::vector<uint64_t> hash_u;
   std::vector<uint64_t> hash_v;
+  std::vector<EdgeOp> ops;
 
-  void Reserve(size_t n, bool with_hash_u, bool with_hash_v) {
+  void Reserve(size_t n, bool with_hash_u, bool with_hash_v,
+               bool with_ops = false) {
     edges.reserve(n);
     if (with_hash_u) hash_u.reserve(n);
     if (with_hash_v) hash_v.reserve(n);
+    if (with_ops) ops.reserve(n);
   }
 
   void Clear() {
     edges.clear();
     hash_u.clear();
     hash_v.clear();
+    ops.clear();
   }
 
   size_t size() const { return edges.size(); }
@@ -105,11 +138,31 @@ struct EdgeBatchBuffer {
 
   void Append(const Edge& e) { edges.push_back(e); }
 
+  /// Appends a whole edge with an explicit turnstile op.
+  void AppendOp(const Edge& e, EdgeOp op) {
+    edges.push_back(e);
+    ops.push_back(op);
+  }
+
   /// Appends a half-edge (owner u, neighbor v) with the neighbor's
   /// pre-computed hash.
   void AppendHalfEdge(VertexId u, VertexId v, uint64_t neighbor_hash) {
     edges.emplace_back(u, v);
     hash_v.push_back(neighbor_hash);
+  }
+
+  /// Appends a half-edge with both an op and the neighbor's hash.
+  void AppendHalfEdgeOp(VertexId u, VertexId v, uint64_t neighbor_hash,
+                        EdgeOp op) {
+    edges.emplace_back(u, v);
+    hash_v.push_back(neighbor_hash);
+    ops.push_back(op);
+  }
+
+  /// Appends a half-edge with an op and no hash lane.
+  void AppendHalfEdgePlainOp(VertexId u, VertexId v, EdgeOp op) {
+    edges.emplace_back(u, v);
+    ops.push_back(op);
   }
 
   /// Appends a whole edge with both endpoint hashes.
@@ -125,7 +178,8 @@ struct EdgeBatchBuffer {
         hash_u.size() == edges.size() && !edges.empty() ? hash_u.data()
                                                         : nullptr,
         hash_v.size() == edges.size() && !edges.empty() ? hash_v.data()
-                                                        : nullptr);
+                                                        : nullptr,
+        ops.size() == edges.size() && !edges.empty() ? ops.data() : nullptr);
   }
 };
 

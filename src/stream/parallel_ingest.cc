@@ -8,6 +8,8 @@
 #include "core/bottomk_predictor.h"
 #include "core/minhash_predictor.h"
 #include "core/sharded_predictor.h"
+#include "core/tcm_predictor.h"
+#include "core/tombstone_predictor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stream/edge_batch.h"
@@ -33,8 +35,10 @@ Result<IngestOrdering> ParseIngestOrdering(const std::string& name) {
 
 bool KindSupportsReplicatedMerge(const std::string& kind) {
   // The kinds whose MergeFrom folds disjoint stream partitions losslessly
-  // (CheckMergeAssociativity covers exactly these).
-  return kind == "minhash" || kind == "bottomk";
+  // (CheckMergeAssociativity covers exactly these). tcm qualifies for
+  // turnstile streams too: cells and degrees are signed sums, so a replica
+  // that sees a delete before its insert dips negative and heals at fold.
+  return kind == "minhash" || kind == "bottomk" || kind == "tcm";
 }
 
 Status IngestEngineBuilder::ApplyFlags(const FlagParser& flags) {
@@ -58,7 +62,7 @@ std::string IngestEngineBuilder::FlagsHelp() {
   return
       "  --ingest-mode M      ordered (bit-identical, default) | relaxed\n"
       "                       (merge-folded replicas, throughput over\n"
-      "                       determinism; minhash/bottomk only)\n"
+      "                       determinism; minhash/bottomk/tcm only)\n"
       "  --batch-edges N      edges per parallel-ingest ring batch\n"
       "  --ring-batches N     ring capacity in batches per worker\n";
 }
@@ -228,7 +232,9 @@ using BatchRing = SpscRing<EdgeBatchBuffer>;
 
 /// Drains `ring` into `shard` until the ring is closed and empty.
 /// Exactly one consumer per ring; MarkApplied publishes each batch to the
-/// router's epoch waits.
+/// router's epoch waits. ApplyHalfEdges forwards op-less batches straight
+/// to ObserveNeighborBatch and splits op-tagged (turnstile) ones into
+/// observe/retract runs.
 void ShardWorker(BatchRing& ring, LinkPredictor& shard, EpochBarrier& epochs,
                  uint32_t shard_index, obs::Counter* applied_counter) {
   EdgeBatchBuffer batch;
@@ -236,7 +242,7 @@ void ShardWorker(BatchRing& ring, LinkPredictor& shard, EpochBarrier& epochs,
   for (;;) {
     if (ring.TryPop(&batch)) {
       obs::ScopedSpan span("ingest/apply_batch");
-      shard.ObserveNeighborBatch(batch.View());
+      shard.ApplyHalfEdges(batch.View());
       if (applied_counter != nullptr) applied_counter->Add(batch.size());
       epochs.MarkApplied(shard_index);
       backoff.Reset();
@@ -247,7 +253,7 @@ void ShardWorker(BatchRing& ring, LinkPredictor& shard, EpochBarrier& epochs,
     // drain pass observes everything.
     if (ring.closed()) {
       if (ring.TryPop(&batch)) {
-        shard.ObserveNeighborBatch(batch.View());
+        shard.ApplyHalfEdges(batch.View());
         if (applied_counter != nullptr) applied_counter->Add(batch.size());
         epochs.MarkApplied(shard_index);
         continue;
@@ -343,6 +349,7 @@ Status ParallelIngestEngine::Validate() const {
 Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
     EdgeStream& stream) {
   edges_ingested_ = 0;
+  deletes_ingested_ = 0;
   if (Status st = Validate(); !st.ok()) return st;
   obs::ScopedSpan build_span("ingest/build");
   if (config_.threads == 1) return BuildSequential(stream);
@@ -385,6 +392,9 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::BuildSequential(
     }
   }
   if (!batch.empty()) deliver();
+  if (auto* tomb = dynamic_cast<TombstoneWindowPredictor*>(predictor->get())) {
+    tomb->Flush();  // drain the deferred-insert lag before final queries
+  }
   metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
   if (cadence.enabled()) {
     metrics.TimedPublish(options_.on_publish, **predictor, edges_ingested_);
@@ -623,8 +633,307 @@ Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::BuildRelaxed(
   std::unique_ptr<LinkPredictor> folded =
       FoldReplicas<MinHashPredictor>(&replicas);
   if (folded == nullptr) folded = FoldReplicas<BottomKPredictor>(&replicas);
+  if (folded == nullptr) folded = FoldReplicas<TcmPredictor>(&replicas);
   SL_CHECK(folded != nullptr)
       << "relaxed ingest: no fold for kind " << config_.kind;
+  return folded;
+}
+
+Status ParallelIngestEngine::ValidateTurnstile() const {
+  if (KindSupportsDeletions(config_.kind)) return Status::Ok();
+  if (config_.threads == 1 && config_.tombstone_window > 0) {
+    return Status::Ok();
+  }
+  return Status::InvalidArgument(
+      "predictor kind '" + config_.kind +
+      "' cannot ingest deletions; use a deletable kind "
+      "(KindSupportsDeletions) or a sequential tombstone window");
+}
+
+Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::Build(
+    OpStream& stream) {
+  edges_ingested_ = 0;
+  deletes_ingested_ = 0;
+  if (Status st = Validate(); !st.ok()) return st;
+  if (Status st = ValidateTurnstile(); !st.ok()) return st;
+  obs::ScopedSpan build_span("ingest/build");
+  if (config_.threads == 1) return BuildSequentialOps(stream);
+  if (options_.ordering == IngestOrdering::kRelaxed) {
+    return BuildRelaxedOps(stream);
+  }
+  return BuildOrderedOps(stream);
+}
+
+Result<std::unique_ptr<LinkPredictor>>
+ParallelIngestEngine::BuildSequentialOps(OpStream& stream) {
+  PublishCadence cadence(options_);
+  IngestMetrics metrics(options_.metrics, /*num_shards=*/1);
+  RateMeter rate(/*window_seconds=*/1.0);
+  uint64_t metric_edges = 0;
+
+  auto predictor = MakePredictor(config_);
+  if (!predictor.ok()) return predictor.status();
+  EdgeBatchBuffer batch;
+  batch.Reserve(options_.batch_edges, /*with_hash_u=*/false,
+                /*with_hash_v=*/false, /*with_ops=*/true);
+  auto deliver = [&] {
+    (*predictor)->OnEdgeBatch(batch.View());
+    if (metrics.enabled()) {
+      metrics.batch_half_edges->Record(batch.size());
+      metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+    }
+    batch.Clear();
+    batch.Reserve(options_.batch_edges, false, false, true);
+  };
+  EdgeEvent event;
+  while (stream.Next(&event)) {
+    // The cursor counts *events* — deletes are staleness too.
+    ++edges_ingested_;
+    if (event.op == EdgeOp::kDelete) ++deletes_ingested_;
+    batch.AppendOp(event.edge, event.op);
+    if (batch.size() >= options_.batch_edges) deliver();
+    if (cadence.Due(edges_ingested_)) {
+      if (!batch.empty()) deliver();
+      metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+      metrics.TimedPublish(options_.on_publish, **predictor,
+                           edges_ingested_);
+      cadence.Published(edges_ingested_);
+    }
+  }
+  if (!batch.empty()) deliver();
+  if (auto* tomb = dynamic_cast<TombstoneWindowPredictor*>(predictor->get())) {
+    tomb->Flush();
+  }
+  metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+  if (cadence.enabled()) {
+    metrics.TimedPublish(options_.on_publish, **predictor, edges_ingested_);
+  }
+  return std::move(*predictor);
+}
+
+Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::BuildOrderedOps(
+    OpStream& stream) {
+  PublishCadence cadence(options_);
+  IngestMetrics metrics(options_.metrics, config_.threads);
+  RateMeter rate(/*window_seconds=*/1.0);
+  uint64_t metric_edges = 0;
+
+  auto sharded_result = ShardedPredictor::Make(config_);
+  if (!sharded_result.ok()) return sharded_result.status();
+  std::unique_ptr<ShardedPredictor> sharded = std::move(*sharded_result);
+  const uint32_t num_shards = sharded->num_shards();
+
+  uint64_t neighbor_seed = 0;
+  const bool pre_hash = sharded->shard(0).NeighborHashSeed(&neighbor_seed);
+  const uint64_t mixed_seed = pre_hash ? MixSeed(neighbor_seed) : 0;
+
+  std::vector<std::unique_ptr<BatchRing>> rings;
+  rings.reserve(num_shards);
+  for (uint32_t t = 0; t < num_shards; ++t) {
+    rings.push_back(std::make_unique<BatchRing>(options_.ring_batches));
+  }
+
+  EpochBarrier epochs(num_shards);
+  std::vector<std::thread> workers;
+  workers.reserve(num_shards);
+  for (uint32_t t = 0; t < num_shards; ++t) {
+    obs::Counter* applied_counter =
+        metrics.enabled() ? metrics.shard_half_edges[t] : nullptr;
+    workers.emplace_back([&sharded, &rings, &epochs, applied_counter, t] {
+      ShardWorker(*rings[t], sharded->shard(t), epochs, t, applied_counter);
+    });
+  }
+
+  // Same routing invariant as the insert-only build, now with an op lane:
+  // every vertex's half-edge *events* (observe and retract alike) reach
+  // its single owning shard in stream order, so the result is
+  // bit-identical to a sequential replay of the event stream.
+  std::vector<EdgeBatchBuffer> pending(num_shards);
+  for (auto& p : pending) {
+    p.Reserve(options_.batch_edges, /*with_hash_u=*/false,
+              /*with_hash_v=*/pre_hash, /*with_ops=*/true);
+  }
+  std::vector<uint64_t> pushed(num_shards, 0);
+  uint64_t simple_edges = 0;     // non-self-loop insert events
+  uint64_t simple_deletes = 0;   // non-self-loop delete events
+  uint64_t accounted_edges = 0;
+  uint64_t accounted_deletes = 0;
+
+  auto push = [&](uint32_t owner) {
+    if (metrics.enabled()) {
+      metrics.batch_half_edges->Record(pending[owner].size());
+      metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+    }
+    const uint64_t t0 = metrics.enabled() ? obs::Tracer::NowNs() : 0;
+    if (!rings[owner]->TryPush(pending[owner])) {
+      if (metrics.enabled()) metrics.ring_full_stalls->Add(1);
+      Backoff backoff;
+      do {
+        backoff.Pause();
+      } while (!rings[owner]->TryPush(pending[owner]));
+    }
+    if (metrics.enabled()) {
+      metrics.queue_wait_ns->Record(obs::Tracer::NowNs() - t0);
+    }
+    ++pushed[owner];
+    pending[owner].Clear();
+    pending[owner].Reserve(options_.batch_edges, false, pre_hash, true);
+  };
+
+  // Half-edge kernels (Observe/RetractNeighbor) count nothing; the
+  // container owns the stream's edge and delete tallies, settled at every
+  // quiesce point so published snapshots carry consistent counters.
+  auto settle_counts = [&] {
+    sharded->AddProcessedEdges(simple_edges - accounted_edges);
+    sharded->AddProcessedDeletes(simple_deletes - accounted_deletes);
+    accounted_edges = simple_edges;
+    accounted_deletes = simple_deletes;
+  };
+  auto publish_quiesced = [&] {
+    for (uint32_t t = 0; t < num_shards; ++t) {
+      if (!pending[t].empty()) push(t);
+    }
+    epochs.AwaitQuiesced(pushed);
+    settle_counts();
+    metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+    metrics.TimedPublish(options_.on_publish, *sharded, edges_ingested_);
+  };
+
+  EdgeEvent event;
+  while (stream.Next(&event)) {
+    ++edges_ingested_;
+    if (event.op == EdgeOp::kDelete) ++deletes_ingested_;
+    const Edge& edge = event.edge;
+    if (!edge.IsSelfLoop()) {
+      if (event.op == EdgeOp::kDelete) {
+        ++simple_deletes;
+      } else {
+        ++simple_edges;
+      }
+      const uint32_t owner_u = sharded->OwnerOf(edge.u);
+      const uint32_t owner_v = sharded->OwnerOf(edge.v);
+      if (pre_hash) {
+        const uint64_t hash_u = HashU64WithMixedSeed(edge.u, mixed_seed);
+        const uint64_t hash_v = HashU64WithMixedSeed(edge.v, mixed_seed);
+        pending[owner_u].AppendHalfEdgeOp(edge.u, edge.v, hash_v, event.op);
+        if (pending[owner_u].size() >= options_.batch_edges) push(owner_u);
+        pending[owner_v].AppendHalfEdgeOp(edge.v, edge.u, hash_u, event.op);
+        if (pending[owner_v].size() >= options_.batch_edges) push(owner_v);
+      } else {
+        pending[owner_u].AppendHalfEdgePlainOp(edge.u, edge.v, event.op);
+        if (pending[owner_u].size() >= options_.batch_edges) push(owner_u);
+        pending[owner_v].AppendHalfEdgePlainOp(edge.v, edge.u, event.op);
+        if (pending[owner_v].size() >= options_.batch_edges) push(owner_v);
+      }
+    }
+    if (cadence.Due(edges_ingested_)) {
+      publish_quiesced();
+      cadence.Published(edges_ingested_);
+    }
+  }
+  for (uint32_t t = 0; t < num_shards; ++t) {
+    if (!pending[t].empty()) push(t);
+    rings[t]->Close();
+  }
+  for (auto& worker : workers) worker.join();
+
+  settle_counts();
+  metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+  if (cadence.enabled()) {
+    metrics.TimedPublish(options_.on_publish, *sharded, edges_ingested_);
+  }
+  return std::unique_ptr<LinkPredictor>(std::move(sharded));
+}
+
+Result<std::unique_ptr<LinkPredictor>> ParallelIngestEngine::BuildRelaxedOps(
+    OpStream& stream) {
+  IngestMetrics metrics(options_.metrics, config_.threads);
+  RateMeter rate(/*window_seconds=*/1.0);
+  uint64_t metric_edges = 0;
+  const uint32_t num_workers = config_.threads;
+
+  // Whole-event replicas. The fold is lossless for turnstile streams only
+  // when the kind's state is a signed sum (tcm): a replica that receives a
+  // delete before another replica's matching insert simply dips negative
+  // and heals when MergeFrom adds the partitions back together.
+  PredictorConfig replica_config = config_;
+  replica_config.threads = 1;
+  std::vector<std::unique_ptr<LinkPredictor>> replicas;
+  replicas.reserve(num_workers);
+  for (uint32_t t = 0; t < num_workers; ++t) {
+    auto replica = MakePredictor(replica_config);
+    if (!replica.ok()) return replica.status();
+    if (!(*replica)->SupportsDeletions()) {
+      return Status::InvalidArgument(
+          "relaxed turnstile ingest requires a natively deletable kind; '" +
+          config_.kind + "' is not");
+    }
+    replicas.push_back(std::move(*replica));
+  }
+
+  std::vector<std::unique_ptr<BatchRing>> rings;
+  rings.reserve(num_workers);
+  for (uint32_t t = 0; t < num_workers; ++t) {
+    rings.push_back(std::make_unique<BatchRing>(options_.ring_batches));
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (uint32_t t = 0; t < num_workers; ++t) {
+    obs::Counter* applied_counter =
+        metrics.enabled() ? metrics.shard_half_edges[t] : nullptr;
+    workers.emplace_back([&replicas, &rings, applied_counter, t] {
+      ReplicaWorker(*rings[t], *replicas[t], applied_counter);
+    });
+  }
+
+  // No pre-hash lane: the deletable kinds don't announce a neighbor seed.
+  EdgeBatchBuffer pending;
+  pending.Reserve(options_.batch_edges, /*with_hash_u=*/false,
+                  /*with_hash_v=*/false, /*with_ops=*/true);
+  uint32_t next_worker = 0;
+  auto push = [&] {
+    if (metrics.enabled()) {
+      metrics.batch_half_edges->Record(pending.size());
+      metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+    }
+    const uint32_t start = next_worker;
+    const uint64_t t0 = metrics.enabled() ? obs::Tracer::NowNs() : 0;
+    if (!rings[start]->TryPush(pending)) {
+      bool placed = false;
+      for (uint32_t step = 1; step < num_workers && !placed; ++step) {
+        placed = rings[(start + step) % num_workers]->TryPush(pending);
+      }
+      if (!placed) {
+        if (metrics.enabled()) metrics.ring_full_stalls->Add(1);
+        Backoff backoff;
+        do {
+          backoff.Pause();
+        } while (!rings[start]->TryPush(pending));
+      }
+    }
+    if (metrics.enabled()) {
+      metrics.queue_wait_ns->Record(obs::Tracer::NowNs() - t0);
+    }
+    next_worker = (start + 1) % num_workers;
+    pending.Clear();
+    pending.Reserve(options_.batch_edges, false, false, true);
+  };
+
+  EdgeEvent event;
+  while (stream.Next(&event)) {
+    ++edges_ingested_;
+    if (event.op == EdgeOp::kDelete) ++deletes_ingested_;
+    pending.AppendOp(event.edge, event.op);
+    if (pending.size() >= options_.batch_edges) push();
+  }
+  if (!pending.empty()) push();
+  for (auto& ring : rings) ring->Close();
+  for (auto& worker : workers) worker.join();
+  metrics.NoteFrontier(edges_ingested_, &metric_edges, &rate);
+
+  std::unique_ptr<LinkPredictor> folded = FoldReplicas<TcmPredictor>(&replicas);
+  SL_CHECK(folded != nullptr)
+      << "relaxed turnstile ingest: no fold for kind " << config_.kind;
   return folded;
 }
 

@@ -10,6 +10,7 @@
 #include "core/predictor_factory.h"
 #include "graph/types.h"
 #include "stream/edge_stream.h"
+#include "stream/op_stream.h"
 #include "util/status.h"
 
 namespace streamlink {
@@ -22,8 +23,11 @@ class MetricsRegistry;
 
 /// Callback invoked at a live-publish point: the predictor under
 /// construction (fully quiesced — no worker is writing while the callback
-/// runs) and the number of stream edges consumed so far. The serving layer
-/// (QueryService::IngestPublisher) snapshots through this.
+/// runs) and the number of stream edges consumed so far. For turnstile
+/// builds (Build(OpStream&)) the cursor counts *events* — inserts and
+/// deletes alike — so serving-side staleness accounting charges deletes
+/// too. The serving layer (QueryService::IngestPublisher) snapshots
+/// through this.
 using IngestPublishFn =
     std::function<void(const LinkPredictor&, uint64_t stream_edges)>;
 
@@ -129,9 +133,24 @@ class ParallelIngestEngine {
   /// count, or a publish cadence is combined with kRelaxed.
   Result<std::unique_ptr<LinkPredictor>> Build(EdgeStream& stream);
 
+  /// Turnstile build: consumes a stream of insert/delete events through
+  /// the same machinery — sequential, ordered (op-tagged half-edge batches
+  /// routed to vertex owners; bit-identical to a sequential replay), or
+  /// relaxed (whole-event replicas folded at end-of-stream; tcm only,
+  /// since the fold must be lossless for deletions too). The kind must
+  /// support deletions (KindSupportsDeletions), or be tombstone-wrapped
+  /// via config.tombstone_window at threads == 1; anything else is
+  /// InvalidArgument. Tombstone-wrapped builds are flushed at
+  /// end-of-stream.
+  Result<std::unique_ptr<LinkPredictor>> Build(OpStream& stream);
+
   /// Edges pulled from the stream by the last Build (including
-  /// self-loops, which are dropped during routing).
+  /// self-loops, which are dropped during routing). For turnstile builds
+  /// this counts *events* (inserts + deletes) — the staleness cursor.
   uint64_t edges_ingested() const { return edges_ingested_; }
+
+  /// Delete events pulled from the stream by the last turnstile Build.
+  uint64_t deletes_ingested() const { return deletes_ingested_; }
 
   const ParallelIngestOptions& options() const { return options_; }
 
@@ -139,11 +158,16 @@ class ParallelIngestEngine {
   Result<std::unique_ptr<LinkPredictor>> BuildSequential(EdgeStream& stream);
   Result<std::unique_ptr<LinkPredictor>> BuildOrdered(EdgeStream& stream);
   Result<std::unique_ptr<LinkPredictor>> BuildRelaxed(EdgeStream& stream);
+  Result<std::unique_ptr<LinkPredictor>> BuildSequentialOps(OpStream& stream);
+  Result<std::unique_ptr<LinkPredictor>> BuildOrderedOps(OpStream& stream);
+  Result<std::unique_ptr<LinkPredictor>> BuildRelaxedOps(OpStream& stream);
   Status Validate() const;
+  Status ValidateTurnstile() const;
 
   PredictorConfig config_;
   ParallelIngestOptions options_;
   uint64_t edges_ingested_ = 0;
+  uint64_t deletes_ingested_ = 0;
 };
 
 /// Fluent construction for parallel ingestion — the one place every knob
@@ -245,6 +269,17 @@ class IngestEngineBuilder {
     ParallelIngestEngine engine = BuildEngine();
     auto built = engine.Build(stream);
     if (edges_ingested != nullptr) *edges_ingested = engine.edges_ingested();
+    return built;
+  }
+
+  /// Turnstile one-shot: events_ingested counts inserts + deletes.
+  Result<std::unique_ptr<LinkPredictor>> Ingest(
+      OpStream& stream, uint64_t* events_ingested = nullptr) const {
+    ParallelIngestEngine engine = BuildEngine();
+    auto built = engine.Build(stream);
+    if (events_ingested != nullptr) {
+      *events_ingested = engine.edges_ingested();
+    }
     return built;
   }
 

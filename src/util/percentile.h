@@ -1,0 +1,28 @@
+#ifndef STREAMLINK_UTIL_PERCENTILE_H_
+#define STREAMLINK_UTIL_PERCENTILE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace streamlink {
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element whose 1-based rank r satisfies r >= q * N, i.e.
+/// sorted[ceil(q * N) - 1] for q in (0, 1], clamped to the sample at both
+/// ends (q <= 0 reads the minimum, q >= 1 the maximum). Note the ceil:
+/// truncating instead reads one rank high whenever q * N lands on an
+/// integer — the median of [1, 2] is 1 here, not 2.
+inline double PercentileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+}  // namespace streamlink
+
+#endif  // STREAMLINK_UTIL_PERCENTILE_H_

@@ -114,6 +114,37 @@ struct DifferentialReport {
 Result<DifferentialReport> RunDifferentialOracle(
     const DifferentialOracleOptions& options);
 
+/// Configuration of a *turnstile* oracle run: a delete-heavy churn
+/// workload (gen/churn.h) streamed as insert/delete events into every
+/// deletable kind, checked against an ExactPredictor that replays the same
+/// events. "exact" is compared pointwise (a self-test of the delete
+/// plumbing); "tcm" gets a per-query tolerance derived from its Markov
+/// tail — each count strip overestimates the true intersection by at most
+/// slack * du * dv / width with probability 1 - per_query_delta, where
+/// slack = per_query_delta^(-1/depth) (min over depth independent rows).
+struct TurnstileOracleOptions {
+  std::string workload = "ba";
+  double scale = 0.05;
+  uint64_t seed = 1;
+  /// Target fraction of events that are deletes (see ChurnSpec).
+  double delete_fraction = 0.35;
+  uint32_t sketch_size = 128;
+  uint32_t tcm_depth = 3;
+  uint32_t query_pairs = 256;
+  double overlap_fraction = 0.7;
+  double per_query_delta = 0.05;
+  double overall_delta = 1e-9;
+  /// Kinds to test; empty = every deletable kind (KindSupportsDeletions).
+  std::vector<std::string> kinds;
+  uint32_t threads = 1;
+  IngestOrdering ordering = IngestOrdering::kOrdered;
+};
+
+/// Runs the turnstile oracle. Same reporting contract as
+/// RunDifferentialOracle; `stream_edges` in the report counts *events*.
+Result<DifferentialReport> RunTurnstileOracle(
+    const TurnstileOracleOptions& options);
+
 /// Renders a report as one line per kind (for test logs and the bench
 /// harness).
 std::string FormatReport(const DifferentialReport& report);

@@ -13,9 +13,12 @@
 
 #include "core/bottomk_predictor.h"
 #include "core/minhash_predictor.h"
+#include "core/tcm_predictor.h"
 #include "eval/experiment.h"
+#include "gen/churn.h"
 #include "stream/edge_batch.h"
 #include "stream/edge_stream.h"
+#include "stream/op_stream.h"
 #include "stream/parallel_ingest.h"
 #include "util/hashing.h"
 #include "util/random.h"
@@ -60,15 +63,20 @@ Result<std::unique_ptr<LinkPredictor>> BuildSequential(
 /// Compares two predictors' answers on seeded random pairs. Equality is
 /// exact (==, not approximate): every invariant here promises
 /// bit-identical execution, so any ULP of divergence is a failure.
+/// `compare_counters` additionally requires the bookkeeping (processed
+/// tallies, vertex-set size) to agree — right for two replays of the SAME
+/// stream, wrong when comparing a churn replay against its insert-only
+/// equivalent (same answers, legitimately different histories).
 Status CompareEstimates(const std::string& label, const LinkPredictor& a,
                         const LinkPredictor& b,
-                        const InvariantContext& context) {
-  if (a.edges_processed() != b.edges_processed()) {
+                        const InvariantContext& context,
+                        bool compare_counters = true) {
+  if (compare_counters && a.edges_processed() != b.edges_processed()) {
     return Status::Internal(label + ": edges_processed diverges: " +
                             std::to_string(a.edges_processed()) + " vs " +
                             std::to_string(b.edges_processed()));
   }
-  if (a.num_vertices() != b.num_vertices()) {
+  if (compare_counters && a.num_vertices() != b.num_vertices()) {
     return Status::Internal(label + ": num_vertices diverges: " +
                             std::to_string(a.num_vertices()) + " vs " +
                             std::to_string(b.num_vertices()));
@@ -412,7 +420,95 @@ Status CheckMergeAssociativity(const InvariantContext& context) {
   if (context.config.kind == "bottomk") {
     return MergeAssociativityImpl<BottomKPredictor>(context);
   }
+  if (context.config.kind == "tcm") {
+    return MergeAssociativityImpl<TcmPredictor>(context);
+  }
   return Status::Ok();  // no disjoint-partition merge for this kind
+}
+
+Status CheckTurnstileAnnihilation(const InvariantContext& context) {
+  if (!KindSupportsDeletions(context.config.kind)) return Status::Ok();
+  // Churn derived from the context's own stream: inserts stay in stream
+  // order, every delete targets a then-live edge, and net_edges is exactly
+  // the surviving set.
+  TurnstileWorkload churn = MakeChurnFromEdges(
+      context.edges, context.num_vertices, /*delete_fraction=*/0.35,
+      Mix64(context.seed ^ 0x7e4a57), context.config.kind + "_churn");
+  if (churn.deletes == 0) {
+    return Status::InvalidArgument(
+        "turnstile-annihilation: churn produced no deletes (stream too "
+        "small?)");
+  }
+
+  PredictorConfig config = context.config;
+  config.threads = 1;
+
+  // Reference: sequential replay of the event stream through the engine.
+  VectorOpStream seq_stream(churn.events);
+  ParallelIngestEngine seq_engine(config);
+  auto sequential = seq_engine.Build(seq_stream);
+  if (!sequential.ok()) return sequential.status();
+
+  // insert ∘ delete annihilation: every deleted edge leaves zero trace, so
+  // the churn replay answers exactly like an insert-only build of the
+  // surviving edges. Histories differ (more inserts happened), so only the
+  // estimates are compared.
+  auto net = MakePredictor(config);
+  if (!net.ok()) return net.status();
+  FeedStream(**net, churn.net_edges);
+  if (Status st = CompareEstimates("turnstile-annihilation(net)",
+                                   **sequential, **net, context,
+                                   /*compare_counters=*/false);
+      !st.ok()) {
+    return st;
+  }
+
+  // Engine cross product: thread count × batch size × ring capacity replay
+  // the same events bit-identically to the sequential replay, counters
+  // included.
+  for (uint32_t threads : {2u, 3u}) {
+    for (uint32_t batch_edges : {1u, 7u, 256u}) {
+      VectorOpStream stream(churn.events);
+      ParallelIngestEngine engine =
+          IngestEngineBuilder(context.config)
+              .Threads(threads)
+              .BatchEdges(batch_edges)
+              .RingBatches(batch_edges == 1 ? 1 : 64)
+              .BuildEngine();
+      auto parallel = engine.Build(stream);
+      if (!parallel.ok()) return parallel.status();
+      if (Status st = CompareEstimates(
+              "turnstile-annihilation(engine, threads=" +
+                  std::to_string(threads) + ", batch=" +
+                  std::to_string(batch_edges) + ")",
+              **sequential, **parallel, context);
+          !st.ok()) {
+        return st;
+      }
+    }
+  }
+
+  // Relaxed replicas: event partitions fold losslessly for signed-sum
+  // kinds; a replica that sees a delete before another's insert dips
+  // negative and heals at the fold.
+  if (KindSupportsReplicatedMerge(context.config.kind)) {
+    VectorOpStream stream(churn.events);
+    ParallelIngestEngine engine = IngestEngineBuilder(context.config)
+                                      .Threads(2)
+                                      .Ordering(IngestOrdering::kRelaxed)
+                                      .BatchEdges(static_cast<uint32_t>(
+                                          std::max(size_t{1},
+                                                   churn.events.size() / 8)))
+                                      .BuildEngine();
+    auto relaxed = engine.Build(stream);
+    if (!relaxed.ok()) return relaxed.status();
+    if (Status st = CompareEstimates("turnstile-annihilation(relaxed)",
+                                     **sequential, **relaxed, context);
+        !st.ok()) {
+      return st;
+    }
+  }
+  return Status::Ok();
 }
 
 Status CheckSnapshotRoundTrip(const InvariantContext& context) {
@@ -485,6 +581,7 @@ std::vector<Invariant> AllInvariants() {
       {"batch-size-invariance", CheckBatchSizeInvariance},
       {"clone-isolation", CheckCloneIsolation},
       {"merge-associativity", CheckMergeAssociativity},
+      {"turnstile-annihilation", CheckTurnstileAnnihilation},
       {"snapshot-round-trip", CheckSnapshotRoundTrip},
       {"resume-equivalence", CheckResumeEquivalence},
   };
@@ -509,6 +606,7 @@ std::vector<PredictorConfig> VerificationKindConfigs() {
     c.window_edges = 200;
     c.window_buckets = 4;
   });
+  add("tcm");
   add("exact");
   return configs;
 }

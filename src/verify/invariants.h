@@ -92,10 +92,18 @@ Status CheckBatchSizeInvariance(const InvariantContext& context);
 /// ingestion (the serving layer's snapshot-isolation contract).
 Status CheckCloneIsolation(const InvariantContext& context);
 
-/// For kinds with a disjoint-partition MergeFrom (minhash, bottomk):
+/// For kinds with a disjoint-partition MergeFrom (minhash, bottomk, tcm):
 /// folding three stream partitions in either association order equals the
 /// single-pass build, byte for byte. Skips other kinds.
 Status CheckMergeAssociativity(const InvariantContext& context);
+
+/// Turnstile triple (deletable kinds only; others pass trivially):
+/// (1) insert ∘ delete annihilation — a churn event stream derived from
+/// the context's edges answers exactly like an insert-only build of its
+/// surviving edge set; (2) the ordered engine replays the same events
+/// bit-identically across thread/batch/ring configurations; (3) relaxed
+/// replica folds match where the kind's merge is lossless.
+Status CheckTurnstileAnnihilation(const InvariantContext& context);
 
 /// Save -> Load -> Save is byte-identical and the loaded predictor keeps
 /// answering identically (the persistence contract, as an invariant).

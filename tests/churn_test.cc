@@ -1,0 +1,107 @@
+#include "gen/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graph/types.h"
+
+namespace streamlink {
+namespace {
+
+uint64_t Key(const Edge& e) {
+  const Edge c = e.Canonical();
+  return (static_cast<uint64_t>(c.u) << 32) | c.v;
+}
+
+ChurnSpec SmallSpec() {
+  ChurnSpec spec;
+  spec.base_workload = "ba";
+  spec.scale = 0.05;
+  spec.seed = 3;
+  spec.delete_fraction = 0.35;
+  return spec;
+}
+
+TEST(Churn, DeterministicInSpec) {
+  TurnstileWorkload a = MakeChurnWorkload(SmallSpec());
+  TurnstileWorkload b = MakeChurnWorkload(SmallSpec());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_TRUE(a.events == b.events);
+  EXPECT_TRUE(a.net_edges == b.net_edges);
+  EXPECT_EQ(a.name, "barabasi_albert_churn");
+}
+
+TEST(Churn, SeedChangesTheStream) {
+  ChurnSpec other = SmallSpec();
+  other.seed = 4;
+  TurnstileWorkload a = MakeChurnWorkload(SmallSpec());
+  TurnstileWorkload b = MakeChurnWorkload(other);
+  EXPECT_FALSE(a.events == b.events);
+}
+
+TEST(Churn, RealizedDeleteFractionNearTarget) {
+  TurnstileWorkload w = MakeChurnWorkload(SmallSpec());
+  ASSERT_GT(w.events.size(), 500u);
+  const double realized =
+      static_cast<double>(w.deletes) / static_cast<double>(w.events.size());
+  // ISSUE acceptance: deletes are at least 30% of ops on the oracle
+  // workload; the generator targets 35%.
+  EXPECT_GE(realized, 0.30);
+  EXPECT_LE(realized, 0.40);
+  EXPECT_EQ(w.inserts + w.deletes, w.events.size());
+}
+
+TEST(Churn, ZeroFractionIsInsertOnly) {
+  ChurnSpec spec = SmallSpec();
+  spec.delete_fraction = 0.0;
+  TurnstileWorkload w = MakeChurnWorkload(spec);
+  EXPECT_EQ(w.deletes, 0u);
+  EXPECT_EQ(w.inserts, w.events.size());
+}
+
+TEST(Churn, ReplayOfEventsLeavesExactlyNetEdges) {
+  TurnstileWorkload w = MakeChurnWorkload(SmallSpec());
+  std::unordered_set<uint64_t> live;
+  uint64_t skipped_self_loops = 0;
+  for (const EdgeEvent& ev : w.events) {
+    if (ev.op == EdgeOp::kInsert) {
+      if (ev.edge.IsSelfLoop()) {
+        ++skipped_self_loops;
+        continue;
+      }
+      // The generator never emits a duplicate insert of a live edge —
+      // count-based sketches are not duplicate-idempotent.
+      EXPECT_TRUE(live.insert(Key(ev.edge)).second);
+    } else {
+      // Deletes only ever target live edges.
+      EXPECT_EQ(live.erase(Key(ev.edge)), 1u);
+    }
+  }
+  std::unordered_set<uint64_t> net;
+  for (const Edge& e : w.net_edges) net.insert(Key(e));
+  EXPECT_EQ(live, net);
+  EXPECT_EQ(live.size() + skipped_self_loops,
+            static_cast<size_t>(w.inserts - w.deletes));
+}
+
+TEST(ChurnFromEdges, DuplicateLiveInsertIsSkipped) {
+  EdgeList base = {{0, 1}, {1, 0}, {0, 1}, {2, 3}};
+  TurnstileWorkload w = MakeChurnFromEdges(base, 4, 0.0, 9, "dup");
+  // All three spellings of (0, 1) collapse to one insert event.
+  EXPECT_EQ(w.events.size(), 2u);
+  EXPECT_EQ(w.net_edges.size(), 2u);
+}
+
+TEST(ChurnFromEdges, SelfLoopsPassThroughButNeverLive) {
+  EdgeList base = {{5, 5}, {0, 1}};
+  TurnstileWorkload w = MakeChurnFromEdges(base, 6, 0.0, 9, "loops");
+  ASSERT_EQ(w.events.size(), 2u);
+  EXPECT_TRUE(w.events[0].edge.IsSelfLoop());
+  EXPECT_EQ(w.events[0].op, EdgeOp::kInsert);
+  ASSERT_EQ(w.net_edges.size(), 1u);
+  EXPECT_FALSE(w.net_edges[0].IsSelfLoop());
+}
+
+}  // namespace
+}  // namespace streamlink

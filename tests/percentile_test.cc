@@ -1,0 +1,53 @@
+#include "util/percentile.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streamlink {
+namespace {
+
+TEST(PercentileSorted, EmptyIsZero) {
+  EXPECT_EQ(PercentileSorted({}, 0.5), 0.0);
+  EXPECT_EQ(PercentileSorted({}, 0.999), 0.0);
+}
+
+TEST(PercentileSorted, SingleSampleEveryQuantile) {
+  const std::vector<double> one = {42.0};
+  EXPECT_EQ(PercentileSorted(one, 0.0), 42.0);
+  EXPECT_EQ(PercentileSorted(one, 0.5), 42.0);
+  EXPECT_EQ(PercentileSorted(one, 0.999), 42.0);
+  EXPECT_EQ(PercentileSorted(one, 1.0), 42.0);
+}
+
+// The regression the load generator shipped with: floor indexing read
+// sorted[q*N], one rank too high whenever q*N is exact — the median of
+// two samples reported the larger one.
+TEST(PercentileSorted, TwoSampleMedianIsLowerRank) {
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_EQ(PercentileSorted(two, 0.50), 1.0);
+  EXPECT_EQ(PercentileSorted(two, 0.51), 2.0);
+  EXPECT_EQ(PercentileSorted(two, 1.0), 2.0);
+  EXPECT_EQ(PercentileSorted(two, 0.0), 1.0);
+}
+
+TEST(PercentileSorted, HundredSamplesNearestRank) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  // With N = 100 the nearest rank of q is exactly ceil(100q).
+  EXPECT_EQ(PercentileSorted(v, 0.50), 50.0);
+  EXPECT_EQ(PercentileSorted(v, 0.90), 90.0);
+  EXPECT_EQ(PercentileSorted(v, 0.99), 99.0);
+  EXPECT_EQ(PercentileSorted(v, 0.999), 100.0);
+  EXPECT_EQ(PercentileSorted(v, 0.001), 1.0);
+  EXPECT_EQ(PercentileSorted(v, 1.0), 100.0);
+}
+
+TEST(PercentileSorted, OutOfRangeQuantilesClamp) {
+  const std::vector<double> v = {3.0, 7.0, 9.0};
+  EXPECT_EQ(PercentileSorted(v, -0.5), 3.0);
+  EXPECT_EQ(PercentileSorted(v, 1.5), 9.0);
+}
+
+}  // namespace
+}  // namespace streamlink

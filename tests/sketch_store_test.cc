@@ -51,6 +51,25 @@ TEST(SketchStore, MergeFromGrowsAndApplies) {
   EXPECT_FALSE(a.Get(3)->IsEmpty());
 }
 
+// Regression: EnsureVertex used to resize to exactly max(id)+1 on every
+// growth, so an ascending-id ingest reallocated (and copied every sketch)
+// per new vertex — quadratic in vertices. With geometric reserve this
+// builds a million-vertex store in linear time; the assertions pin the
+// behavior (correct size, default-constructed tail) rather than wall
+// clock, which would flake under sanitizers.
+TEST(SketchStore, EnsureVertexAscendingMillionVertices) {
+  constexpr VertexId kVertices = 1u << 20;
+  SketchStore<MinHashSketch> store([] { return MinHashSketch(1); });
+  for (VertexId u = 0; u < kVertices; u += 1) {
+    store.EnsureVertex(u);
+  }
+  EXPECT_EQ(store.num_vertices(), kVertices);
+  ASSERT_NE(store.Get(0), nullptr);
+  ASSERT_NE(store.Get(kVertices - 1), nullptr);
+  EXPECT_TRUE(store.Get(kVertices - 1)->IsEmpty());
+  EXPECT_EQ(store.Get(kVertices), nullptr);
+}
+
 TEST(SketchStore, MemoryAccountsAllSketches) {
   SketchStore<MinHashSketch> store([] { return MinHashSketch(64); });
   uint64_t empty_bytes = store.MemoryBytes();
