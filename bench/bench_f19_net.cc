@@ -23,16 +23,21 @@
 // backlog, not the server.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/predictor_factory.h"
 #include "eval/experiment.h"
 #include "gen/workloads.h"
+#include "net/client.h"
 #include "net/load_gen.h"
 #include "net/server.h"
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
 #include "serve/query_service.h"
 #include "util/logging.h"
@@ -111,24 +116,28 @@ void Run(const BenchConfig& config) {
   SL_CHECK(predictor.ok()) << predictor.status().ToString();
   FeedStream(**predictor, g.edges);
 
+  // Registry declared before the service and server (whose gauge
+  // callbacks the registry holds), so it dies last.
+  obs::MetricsRegistry registry;
   auto built = QueryServiceBuilder()
                    .DefaultMeasures({LinkMeasure::kJaccard})
                    .InitialSnapshot(**predictor, g.edges.size())
+                   .Metrics(&registry)
                    .Build();
   SL_CHECK(built.ok()) << built.status().ToString();
 
-  // Registry declared before the server so the server (whose gauge
-  // callbacks the registry holds) dies first.
-  obs::MetricsRegistry registry;
   net::NetServerOptions server_options;
   server_options.workers = 2;
   server_options.admission.queue_capacity = 3;
   server_options.metrics = &registry;
+  server_options.admin.enabled = true;  // introspection plane under test too
   net::NetServer server;
   SL_CHECK_OK(server.Start(**built, server_options));
-  std::printf("serving %u vertices on 127.0.0.1:%u, workers=%u, queue=%u\n\n",
-              g.num_vertices, server.port(), server_options.workers,
-              server_options.admission.queue_capacity);
+  std::printf(
+      "serving %u vertices on 127.0.0.1:%u (admin :%u), workers=%u, "
+      "queue=%u\n\n",
+      g.num_vertices, server.port(), server.admin_port(),
+      server_options.workers, server_options.admission.queue_capacity);
 
   net::LoadGenOptions base;
   base.port = server.port();
@@ -136,14 +145,93 @@ void Run(const BenchConfig& config) {
   base.node_universe = g.num_vertices;
   base.seed = config.seed;
 
+  // Admin-plane overhead, part 1: the deterministic number. A /metrics
+  // scrape occupies the epoll loop thread (accept, parse, snapshot,
+  // export, write, close) for its whole service time, and the loop
+  // thread is the resource the data path shares with it — so at a given
+  // scrape rate, (median scrape time x rate) is the duty cycle the admin
+  // plane can steal from serving, to first order an upper bound on the
+  // capacity hit. The paired A/B below cross-checks this against real
+  // throughput, but on a shared 2-core box round-to-round scheduler
+  // noise is 15%+ — far too coarse to resolve a <2% effect — which is
+  // why the gate (SL_CHECK) is on the duty cycle, not the A/B delta.
+  constexpr int kScrapeProbes = 50;
+  constexpr double kScrapeHz = 4.0;
+  std::vector<double> scrape_us;
+  scrape_us.reserve(kScrapeProbes);
+  for (int i = 0; i < kScrapeProbes + 5; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto page =
+        net::FetchAdminPage("127.0.0.1", server.admin_port(), "/metrics");
+    const auto t1 = std::chrono::steady_clock::now();
+    SL_CHECK(page.ok() && page->status == 200) << "/metrics probe failed";
+    if (i >= 5) {  // first few warm the connection path and caches
+      scrape_us.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+  }
+  std::sort(scrape_us.begin(), scrape_us.end());
+  const double scrape_median_us = scrape_us[scrape_us.size() / 2];
+  const double admin_overhead_pct =
+      scrape_median_us * 1e-6 * kScrapeHz * 100.0;
+
   // Phase 1: closed-loop capacity with as many connections as workers —
   // the sustainable completion rate everything below is sized against.
+  // Best-of-3 bare, interleaved with best-of-3 under a 4Hz /metrics
+  // scraper — the A/B cross-check on the duty-cycle number above.
   net::LoadGenOptions calibrate = base;
   calibrate.closed_loop = true;
   calibrate.connections = server_options.workers;
   calibrate.duration_seconds = 1.0;
-  const net::LoadReport capacity = MustRun(calibrate);
+  net::LoadReport capacity;
+  net::LoadReport capacity_scraped;
+  uint64_t total_scrapes = 0;
+  for (int round = 0; round < 3; ++round) {
+    // Bare round first, scraped round right after — interleaved so any
+    // monotone drift (page cache, thermal, co-tenants) lands on both
+    // sides evenly instead of inflating the overhead number.
+    const net::LoadReport bare = MustRun(calibrate);
+    if (round == 0 || bare.achieved_qps > capacity.achieved_qps) {
+      capacity = bare;
+    }
+    std::atomic<bool> stop_scraper{false};
+    std::atomic<uint64_t> scrapes{0};
+    std::thread scraper([&server, &stop_scraper, &scrapes] {
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        auto page =
+            net::FetchAdminPage("127.0.0.1", server.admin_port(), "/metrics");
+        SL_CHECK(page.ok() && page->status == 200)
+            << "/metrics scrape failed mid-load";
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
+    });
+    const net::LoadReport with_scraper = MustRun(calibrate);
+    stop_scraper.store(true, std::memory_order_relaxed);
+    scraper.join();
+    total_scrapes += scrapes.load();
+    std::printf("  round %d: bare %.0f qps, scraped %.0f qps\n", round,
+                bare.achieved_qps, with_scraper.achieved_qps);
+    if (round == 0 ||
+        with_scraper.achieved_qps > capacity_scraped.achieved_qps) {
+      capacity_scraped = with_scraper;
+    }
+  }
   const double capacity_qps = std::max(100.0, capacity.achieved_qps);
+  const double scraped_qps = std::max(100.0, capacity_scraped.achieved_qps);
+  const double admin_ab_delta_pct =
+      std::max(0.0, (capacity_qps - scraped_qps) / capacity_qps * 100.0);
+  std::printf(
+      "admin plane: median /metrics scrape %.0f us -> %.3f%% duty cycle at "
+      "%.0f Hz; A/B best-of-3 %.0f vs %.0f qps (delta %.2f%%, noise-bound; "
+      "%llu scrapes under load)\n",
+      scrape_median_us, admin_overhead_pct, kScrapeHz, capacity_qps,
+      scraped_qps, admin_ab_delta_pct,
+      static_cast<unsigned long long>(total_scrapes));
+  SL_CHECK(admin_overhead_pct < 2.0)
+      << "admin plane duty cycle " << admin_overhead_pct
+      << "% at " << kScrapeHz << "Hz — /metrics scrape too slow ("
+      << scrape_median_us << "us median)";
   const obs::MetricsSnapshot after_capacity = registry.Snapshot();
 
   // Phase 2: unloaded baseline — one closed-loop connection, so every
@@ -197,6 +285,38 @@ void Run(const BenchConfig& config) {
     add_row(net::LoadShapeName(shape), o, MustRun(o));
   }
 
+  // Phase 3b: per-stage breakdown — a traced closed-loop pass. The trace
+  // bit in the request makes the server echo its per-stage timeline in
+  // every reply, so the client-side columns below are exact per-request
+  // stage times, not histogram reconstructions. Encode and write happen
+  // at/after encoding the reply and cannot ride the echo; their column
+  // comes from the serve.stage.* server-side histograms restricted to
+  // this phase's samples.
+  const obs::MetricsSnapshot before_traced = registry.Snapshot();
+  net::LoadGenOptions traced_options = base;
+  traced_options.closed_loop = true;
+  traced_options.connections = 1;
+  traced_options.duration_seconds = 1.0;
+  traced_options.trace = true;
+  const net::LoadReport traced = MustRun(traced_options);
+  const obs::MetricsSnapshot after_traced = registry.Snapshot();
+  SL_CHECK(traced.traced > 0) << "traced pass echoed no stage timelines";
+  std::printf("\nper-stage latency, %llu traced responses (us):\n",
+              static_cast<unsigned long long>(traced.traced));
+  std::printf("  %-16s %12s %12s %14s\n", "stage", "echo_mean", "echo_p99",
+              "server_p99");
+  for (size_t i = 0; i < obs::kNumServeStages; ++i) {
+    const std::string metric =
+        std::string("serve.stage.") +
+        obs::ServeStageName(static_cast<obs::ServeStage>(i)) + "_ns";
+    const double server_p99 =
+        DeltaPercentile(before_traced, after_traced, metric, 0.99) / 1e3;
+    std::printf("  %-16s %12.1f %12.1f %14.1f\n",
+                obs::ServeStageName(static_cast<obs::ServeStage>(i)),
+                traced.stage_mean_us[i], traced.stage_p99_us[i], server_p99);
+  }
+  std::printf("\n");
+
   // Phase 4: the overload burst — 4x capacity with far more connections
   // than the queue holds, so admission has to say no. One request in
   // flight per connection means the offered concurrency is the connection
@@ -246,6 +366,18 @@ void Run(const BenchConfig& config) {
   BenchReport& report = BenchReport::Get();
   report.AddMetric("capacity_qps", capacity_qps);
   report.AddMetric("unloaded_service_p50", unloaded_p50_us);
+  // The admin-plane duty cycle at 4Hz (SL_CHECKed < 2% above), its
+  // noise-bound A/B cross-check, and the traced pass's dominant-stage
+  // p99s for eyeballing regressions. All informational: the duty cycle
+  // is enforced by the SL_CHECK, not the diff gate.
+  report.AddMetric("admin_overhead_pct", admin_overhead_pct);
+  report.AddMetric("admin_ab_delta_pct", admin_ab_delta_pct);
+  report.AddMetric(
+      "traced_lookup_p99_us",
+      traced.stage_p99_us[static_cast<size_t>(obs::ServeStage::kSnapshotLookup)]);
+  report.AddMetric(
+      "traced_topk_p99_us",
+      traced.stage_p99_us[static_cast<size_t>(obs::ServeStage::kTopK)]);
   // No gated suffix on anything below: real numbers, but latency on a
   // shared 2-core box tracks co-tenant load, not the code under test.
   // The SL_CHECKs below are the per-run enforcement instead.

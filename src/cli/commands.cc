@@ -15,10 +15,13 @@
 #include "graph/csr_graph.h"
 #include "graph/edge_list_io.h"
 #include "graph/graph_stats.h"
+#include "net/client.h"
 #include "net/load_gen.h"
 #include "net/server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/proc_stats.h"
+#include "obs/slo.h"
 #include "obs/stats_reporter.h"
 #include "obs/trace.h"
 #include "persist/checkpoint.h"
@@ -715,7 +718,10 @@ Status CmdServeBench(const FlagParser& flags, std::ostream& out) {
 Status CmdNetServe(const FlagParser& flags, std::ostream& out) {
   if (auto st = flags.CheckUnknown(WithObsFlags(
           {"snapshot", "host", "port", "workers", "queue",
-           "staleness-edges", "max-age", "retry-after-ms", "duration"}));
+           "staleness-edges", "max-age", "retry-after-ms", "duration",
+           "admin-port", "admin-host", "healthz-staleness-edges",
+           "healthz-max-age", "tracez-slots", "slo-latency-us",
+           "slo-target", "hot-keys"}));
       !st.ok()) {
     return st;
   }
@@ -724,11 +730,36 @@ Status CmdNetServe(const FlagParser& flags, std::ostream& out) {
   auto predictor = LoadPredictorSnapshot(snapshot);
   if (!predictor.ok()) return predictor.status();
 
+  const bool admin_enabled = flags.Has("admin-port");
+
+  // SLO tracker + hot-key sampler feed the service's query path, so they
+  // must outlive the service (declared first = destroyed last).
+  obs::SloOptions slo_options;
+  slo_options.objective_latency_ns = static_cast<uint64_t>(
+      flags.GetDouble("slo-latency-us", 5000.0) * 1000.0);
+  slo_options.target = flags.GetDouble("slo-target", 0.999);
+  obs::SloTracker slo(slo_options);
+  obs::KeyFrequencyTopK key_sampler(
+      static_cast<uint32_t>(flags.GetInt("hot-keys", 64)));
+
   std::unique_ptr<QueryService> service;  // outlives the ObsScope gauges
+  // The admin plane needs a registry to serve /metrics even when no
+  // --metrics-out dump was asked for.
+  obs::MetricsRegistry standalone_registry;
   ObsScope obs;
   if (auto st = obs.Init(flags); !st.ok()) return st;
+  obs::MetricsRegistry* registry = obs.registry();
+  if (registry == nullptr && admin_enabled) registry = &standalone_registry;
+  if (registry != nullptr) {
+    obs::BindProcessMetrics(*registry);
+    obs::BindTracerMetrics(*registry);
+    slo.BindMetrics(*registry);
+    key_sampler.BindMetrics(*registry);
+  }
   auto built = QueryServiceBuilder()
-                   .Metrics(obs.registry())
+                   .Metrics(registry)
+                   .Slo(&slo)
+                   .KeySampler(&key_sampler)
                    .InitialSnapshot(**predictor, (*predictor)->edges_processed())
                    .Build();
   if (!built.ok()) return built.status();
@@ -745,7 +776,17 @@ Status CmdNetServe(const FlagParser& flags, std::ostream& out) {
   options.admission.max_snapshot_age_seconds = flags.GetDouble("max-age", 0.0);
   options.admission.retry_after_ms =
       static_cast<uint32_t>(flags.GetInt("retry-after-ms", 50));
-  options.metrics = obs.registry();
+  options.metrics = registry;
+  options.admin.enabled = admin_enabled;
+  options.admin.host = flags.GetString("admin-host", "127.0.0.1");
+  options.admin.port = static_cast<uint16_t>(flags.GetInt("admin-port", 0));
+  options.admin.healthz_max_staleness_edges =
+      static_cast<uint64_t>(flags.GetInt("healthz-staleness-edges", 0));
+  options.admin.healthz_max_age_seconds =
+      flags.GetDouble("healthz-max-age", 0.0);
+  options.admin.tracez_slots =
+      static_cast<size_t>(flags.GetInt("tracez-slots", 32));
+  options.admin.key_sampler = &key_sampler;
 
   net::NetServer server;
   if (auto st = server.Start(*service, options); !st.ok()) return st;
@@ -755,8 +796,13 @@ Status CmdNetServe(const FlagParser& flags, std::ostream& out) {
       << ":" << server.port()
       << (duration > 0 ? " for " + TablePrinter::FormatCell(duration) + "s"
                        : " until interrupted")
-      << "\n"
-      << std::flush;
+      << "\n";
+  if (admin_enabled) {
+    out << "admin plane on " << options.admin.host << ":"
+        << server.admin_port()
+        << " (/metrics /metrics.json /healthz /statusz /tracez)\n";
+  }
+  out << std::flush;
   if (duration > 0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(duration));
   } else {
@@ -767,10 +813,31 @@ Status CmdNetServe(const FlagParser& flags, std::ostream& out) {
   return obs.Finish(out);
 }
 
+Status CmdNetAdmin(const FlagParser& flags, std::ostream& out) {
+  if (auto st = flags.CheckUnknown({"host", "port", "page"}); !st.ok()) {
+    return st;
+  }
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("--port is required (1-65535)");
+  }
+  std::string page = flags.GetString("page", "tracez");
+  if (!page.empty() && page[0] != '/') page = "/" + page;
+  auto fetched = net::FetchAdminPage(flags.GetString("host", "127.0.0.1"),
+                                     static_cast<uint16_t>(port), page);
+  if (!fetched.ok()) return fetched.status();
+  out << fetched->body;
+  if (fetched->status != 200) {
+    return Status::FailedPrecondition(page + " answered HTTP " +
+                                      std::to_string(fetched->status));
+  }
+  return Status::Ok();
+}
+
 Status CmdNetLoad(const FlagParser& flags, std::ostream& out) {
   if (auto st = flags.CheckUnknown(
           {"host", "port", "connections", "qps", "duration", "shape",
-           "pairs", "top", "universe", "closed-loop", "seed"});
+           "pairs", "top", "universe", "closed-loop", "trace", "seed"});
       !st.ok()) {
     return st;
   }
@@ -789,6 +856,7 @@ Status CmdNetLoad(const FlagParser& flags, std::ostream& out) {
   options.node_universe =
       static_cast<uint32_t>(flags.GetInt("universe", 4096));
   options.closed_loop = flags.GetBool("closed-loop", false);
+  options.trace = flags.GetBool("trace", false);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const std::string shape = flags.GetString("shape", "steady");
   if (shape == "steady") {
@@ -828,6 +896,22 @@ Status CmdNetLoad(const FlagParser& flags, std::ostream& out) {
   table.AddRow({"service_p99_us",
                 TablePrinter::FormatCell(report->service_p99_us)});
   table.Print(out);
+  if (options.trace && report->traced > 0) {
+    TablePrinter stages({"stage", "mean_us", "p99_us"});
+    for (size_t i = 0; i < obs::kNumServeStages; ++i) {
+      // Encode/write happen at/after reply encoding and cannot be echoed;
+      // skip their all-zero rows (server-side histograms carry them).
+      if (report->stage_mean_us[i] == 0.0 && report->stage_p99_us[i] == 0.0) {
+        continue;
+      }
+      stages.AddRow({obs::ServeStageName(static_cast<obs::ServeStage>(i)),
+                     TablePrinter::FormatCell(report->stage_mean_us[i]),
+                     TablePrinter::FormatCell(report->stage_p99_us[i])});
+    }
+    out << "server-side stage breakdown (" << report->traced
+        << " traced responses):\n";
+    stages.Print(out);
+  }
   return Status::Ok();
 }
 
@@ -856,10 +940,15 @@ std::string CliUsage() {
       "[predictor flags] [obs flags]\n"
       "  net-serve --snapshot FILE [--host A] [--port N] [--workers N] "
       "[--queue N] [--staleness-edges N] [--max-age S] "
-      "[--retry-after-ms N] [--duration S] [obs flags]\n"
+      "[--retry-after-ms N] [--duration S] [--admin-port N [--admin-host A] "
+      "[--healthz-staleness-edges N] [--healthz-max-age S] "
+      "[--tracez-slots N]] [--slo-latency-us U] [--slo-target F] "
+      "[--hot-keys N] [obs flags]\n"
       "  net-load  --port N [--host A] [--connections N] [--qps R] "
       "[--duration S] [--shape steady|diurnal|bursty|hotkey] [--pairs N] "
-      "[--top N] [--universe N] [--closed-loop] [--seed N]\n"
+      "[--top N] [--universe N] [--closed-loop] [--trace] [--seed N]\n"
+      "  net-admin --port N [--host A] [--page metrics|metrics.json|healthz|"
+      "statusz|tracez]\n"
       "obs flags (build/resume/serve-bench; docs/observability.md):\n"
       "  --metrics-out FILE   final metrics dump (.prom/.txt Prometheus "
       "text, .csv rows, else JSON)\n"
@@ -890,6 +979,7 @@ Status RunCliCommand(const std::vector<std::string>& args,
   if (command == "serve-bench") return CmdServeBench(flags, out);
   if (command == "net-serve") return CmdNetServe(flags, out);
   if (command == "net-load") return CmdNetLoad(flags, out);
+  if (command == "net-admin") return CmdNetAdmin(flags, out);
   return Status::InvalidArgument("unknown command: " + command + "\n" +
                                  CliUsage());
 }

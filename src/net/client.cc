@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 #include <vector>
@@ -21,6 +22,69 @@ Status ErrnoStatus(const std::string& what) {
 }
 
 }  // namespace
+
+Result<AdminPage> FetchAdminPage(const std::string& host, uint16_t port,
+                                 const std::string& path) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Status st = ErrnoStatus("send");
+    ::close(fd);
+    return st;
+  }
+  // HTTP/1.0 with Connection: close — read to EOF.
+  std::string raw;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      raw.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      Status st = ErrnoStatus("recv");
+      ::close(fd);
+      return st;
+    }
+    break;  // EOF
+  }
+  ::close(fd);
+  // "HTTP/1.0 <code> <reason>\r\n" headers... "\r\n\r\n" body.
+  const size_t space = raw.find(' ');
+  if (space == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::InvalidArgument("not an HTTP response");
+  }
+  AdminPage page;
+  page.status = std::atoi(raw.c_str() + space + 1);
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::InvalidArgument("truncated HTTP response (no header end)");
+  }
+  page.body = raw.substr(head_end + 4);
+  return page;
+}
 
 NetClient::~NetClient() { Close(); }
 

@@ -19,6 +19,17 @@ struct CallOutcome {
   NackInfo nack;       // valid when nacked
 };
 
+/// One admin-plane page fetched over a one-shot HTTP/1.0 GET.
+struct AdminPage {
+  int status = 0;     // HTTP status code from the response line
+  std::string body;   // bytes after the header block
+};
+
+/// Fetches an admin endpoint path (e.g. "/tracez") from the server's
+/// admin listener. Blocking; opens and closes its own connection.
+Result<AdminPage> FetchAdminPage(const std::string& host, uint16_t port,
+                                 const std::string& path);
+
 // Minimal blocking client for the net front end: one connection, one
 // outstanding request at a time (the load generator multiplexes by
 // opening many). Single-threaded; not safe for concurrent use.

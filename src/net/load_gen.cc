@@ -26,8 +26,11 @@ struct ThreadStats {
   uint64_t retried = 0;
   uint64_t dropped = 0;
   uint64_t errors = 0;
+  uint64_t traced = 0;
   std::vector<double> latencies_us;  // from scheduled send time
   std::vector<double> service_us;    // from actual send time
+  // Echoed server-side stage times (trace mode), per ServeStage, in us.
+  std::array<std::vector<double>, obs::kNumServeStages> stage_us;
 };
 
 /// Offered rate (qps, per-thread) at relative time t.
@@ -55,6 +58,7 @@ double RateAt(const LoadGenOptions& options, double per_thread_qps, double t) {
 QueryRequest BuildRequest(const LoadGenOptions& options, Rng& rng) {
   QueryRequest request;
   request.top_k = options.top_k;
+  request.trace = options.trace;
   request.measures = options.measures;
   request.pairs.reserve(options.pairs_per_request);
   const bool hot = options.shape == LoadShape::kHotKey &&
@@ -135,6 +139,15 @@ void RunConnection(const LoadGenOptions& options, NetClient& client,
     const double done_at = MonotonicSeconds();
     stats.latencies_us.push_back((done_at - scheduled) * 1e6);
     stats.service_us.push_back((done_at - sent_at) * 1e6);
+    if (!outcome->result.stages.empty()) {
+      stats.traced++;
+      for (const StageSample& stage : outcome->result.stages) {
+        if (stage.stage < obs::kNumServeStages) {
+          stats.stage_us[stage.stage].push_back(
+              static_cast<double>(stage.ns) / 1e3);
+        }
+      }
+    }
   }
 }
 
@@ -188,6 +201,7 @@ Result<LoadReport> RunLoad(const LoadGenOptions& options) {
     report.retried += s.retried;
     report.dropped += s.dropped;
     report.errors += s.errors;
+    report.traced += s.traced;
     latencies.insert(latencies.end(), s.latencies_us.begin(),
                      s.latencies_us.end());
     service.insert(service.end(), s.service_us.begin(), s.service_us.end());
@@ -212,6 +226,18 @@ Result<LoadReport> RunLoad(const LoadGenOptions& options) {
   report.service_p50_us = PercentileSorted(service, 0.50);
   report.service_p99_us = PercentileSorted(service, 0.99);
   report.service_p999_us = PercentileSorted(service, 0.999);
+  for (size_t i = 0; i < obs::kNumServeStages; ++i) {
+    std::vector<double> merged;
+    for (ThreadStats& s : stats) {
+      merged.insert(merged.end(), s.stage_us[i].begin(), s.stage_us[i].end());
+    }
+    if (merged.empty()) continue;
+    std::sort(merged.begin(), merged.end());
+    double stage_sum = 0.0;
+    for (double v : merged) stage_sum += v;
+    report.stage_mean_us[i] = stage_sum / static_cast<double>(merged.size());
+    report.stage_p99_us[i] = PercentileSorted(merged, 0.99);
+  }
   return report;
 }
 

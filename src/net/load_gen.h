@@ -1,11 +1,13 @@
 #ifndef STREAMLINK_NET_LOAD_GEN_H_
 #define STREAMLINK_NET_LOAD_GEN_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "graph/exact_measures.h"
+#include "obs/exemplar.h"
 #include "util/status.h"
 
 namespace streamlink {
@@ -56,6 +58,9 @@ struct LoadGenOptions {
   uint32_t node_universe = 4096;
   /// Closed loop: ignore the schedule, fire as fast as responses return.
   bool closed_loop = false;
+  /// Set the codec's trace bit so the server echoes a per-stage latency
+  /// breakdown in every reply (aggregated in LoadReport::stage_*).
+  bool trace = false;
   uint64_t seed = 42;
 };
 
@@ -92,6 +97,14 @@ struct LoadReport {
   double service_p50_us = 0.0;
   double service_p99_us = 0.0;
   double service_p999_us = 0.0;
+  // Server-side per-stage breakdown of OK responses, microseconds,
+  // indexed by obs::ServeStage. Populated only when options.trace set the
+  // codec's trace bit. The encode and write stages happen at/after reply
+  // encoding so they cannot be echoed and stay 0 here — the server's
+  // serve.stage.* histograms and /tracez carry those.
+  uint64_t traced = 0;
+  std::array<double, obs::kNumServeStages> stage_mean_us{};
+  std::array<double, obs::kNumServeStages> stage_p99_us{};
 };
 
 /// Runs the configured load against a serving endpoint and blocks until

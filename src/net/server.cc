@@ -13,6 +13,10 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/admin.h"
+#include "obs/export.h"
+#include "obs/proc_stats.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -23,6 +27,10 @@ namespace {
 
 constexpr uint64_t kListenerTag = 1;
 constexpr uint64_t kWakeupTag = 2;
+constexpr uint64_t kAdminListenerTag = 3;
+
+/// An admin request head larger than this is not a health check.
+constexpr size_t kMaxAdminRequestBytes = 8 * 1024;
 
 void CloseFd(int& fd) {
   if (fd >= 0) {
@@ -39,6 +47,41 @@ Status ErrnoStatus(const std::string& what) {
 
 NetServer::~NetServer() { Stop(); }
 
+Status NetServer::OpenListener(const std::string& host, uint16_t port,
+                               int* fd_out, uint16_t* port_out) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = ErrnoStatus("bind " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, 128) < 0) {
+    Status st = ErrnoStatus("listen");
+    CloseFd(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Status st = ErrnoStatus("getsockname");
+    CloseFd(fd);
+    return st;
+  }
+  *fd_out = fd;
+  *port_out = ntohs(addr.sin_port);
+  return Status::Ok();
+}
+
 Status NetServer::Start(const QueryService& service, NetServerOptions options) {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("NetServer already started");
@@ -47,45 +90,27 @@ Status NetServer::Start(const QueryService& service, NetServerOptions options) {
   options_ = std::move(options);
   if (options_.workers == 0) options_.workers = 1;
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return ErrnoStatus("socket");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    CloseFd(listen_fd_);
-    return Status::InvalidArgument("not a numeric IPv4 address: " +
-                                   options_.host);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    Status st = ErrnoStatus("bind " + options_.host + ":" +
-                            std::to_string(options_.port));
-    CloseFd(listen_fd_);
+  if (Status st = OpenListener(options_.host, options_.port, &listen_fd_,
+                               &port_);
+      !st.ok()) {
     return st;
   }
-  if (::listen(listen_fd_, 128) < 0) {
-    Status st = ErrnoStatus("listen");
-    CloseFd(listen_fd_);
-    return st;
+  if (options_.admin.enabled) {
+    if (Status st = OpenListener(options_.admin.host, options_.admin.port,
+                                 &admin_listen_fd_, &admin_port_);
+        !st.ok()) {
+      CloseFd(listen_fd_);
+      port_ = 0;
+      return st;
+    }
   }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
-      0) {
-    Status st = ErrnoStatus("getsockname");
-    CloseFd(listen_fd_);
-    return st;
-  }
-  port_ = ntohs(addr.sin_port);
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   wakeup_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (epoll_fd_ < 0 || wakeup_fd_ < 0) {
     Status st = ErrnoStatus("epoll_create1/eventfd");
     CloseFd(listen_fd_);
+    CloseFd(admin_listen_fd_);
     CloseFd(epoll_fd_);
     CloseFd(wakeup_fd_);
     return st;
@@ -97,6 +122,11 @@ Status NetServer::Start(const QueryService& service, NetServerOptions options) {
   ev.events = EPOLLIN;
   ev.data.u64 = kWakeupTag;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev);
+  if (admin_listen_fd_ >= 0) {
+    ev.events = EPOLLIN;
+    ev.data.u64 = kAdminListenerTag;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, admin_listen_fd_, &ev);
+  }
 
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *options_.metrics;
@@ -110,12 +140,24 @@ Status NetServer::Start(const QueryService& service, NetServerOptions options) {
     metrics_.bad_requests = &reg.GetCounter("net.bad_requests_total");
     metrics_.protocol_errors = &reg.GetCounter("net.protocol_errors_total");
     metrics_.active_connections = &reg.GetGauge("net.active_connections");
+    metrics_.admin_requests = &reg.GetCounter("net.admin_requests_total");
+    metrics_.stage_decode = &reg.GetHistogram("serve.stage.decode_ns");
+    metrics_.stage_admission = &reg.GetHistogram("serve.stage.admission_ns");
+    metrics_.stage_queue_wait =
+        &reg.GetHistogram("serve.stage.queue_wait_ns");
+    metrics_.stage_encode = &reg.GetHistogram("serve.stage.encode_ns");
+    metrics_.stage_write = &reg.GetHistogram("serve.stage.write_ns");
     reg.RegisterHistogram("net.request_latency_ns", &request_latency_);
     reg.RegisterGaugeFn("net.queue_depth", [this] {
       return static_cast<double>(
           queue_depth_.load(std::memory_order_relaxed));
     });
   }
+
+  stage_timing_ = options_.metrics != nullptr || options_.admin.enabled;
+  exemplars_ = std::make_unique<obs::ExemplarRing>(
+      options_.admin.tracez_slots == 0 ? 32 : options_.admin.tracez_slots);
+  started_at_seconds_ = MonotonicSeconds();
 
   running_.store(true, std::memory_order_release);
   loop_ = std::thread([this] { LoopThread(); });
@@ -147,9 +189,11 @@ void NetServer::Stop() {
   done_.clear();
   queue_depth_.store(0, std::memory_order_relaxed);
   CloseFd(listen_fd_);
+  CloseFd(admin_listen_fd_);
   CloseFd(epoll_fd_);
   CloseFd(wakeup_fd_);
   port_ = 0;
+  admin_port_ = 0;
 }
 
 void NetServer::Wakeup() {
@@ -172,7 +216,11 @@ void NetServer::LoopThread() {
     for (int i = 0; i < n; ++i) {
       const uint64_t tag = events[i].data.u64;
       if (tag == kListenerTag) {
-        HandleAccept();
+        HandleAccept(listen_fd_, /*admin=*/false);
+        continue;
+      }
+      if (tag == kAdminListenerTag) {
+        HandleAccept(admin_listen_fd_, /*admin=*/true);
         continue;
       }
       if (tag == kWakeupTag) {
@@ -201,10 +249,10 @@ void NetServer::LoopThread() {
   }
 }
 
-void NetServer::HandleAccept() {
+void NetServer::HandleAccept(int listen_fd, bool admin) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
@@ -215,11 +263,14 @@ void NetServer::HandleAccept() {
     const uint64_t conn_id = next_conn_id_++;
     Conn& conn = conns_[conn_id];
     conn.fd = fd;
+    conn.admin = admin;
     conn.decoder = FrameDecoder({options_.max_payload_bytes});
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
     ev.data.u64 = conn_id;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    // Admin scrapes stay out of the serving-plane connection metrics.
+    if (admin) continue;
     if (metrics_.connections != nullptr) metrics_.connections->Add(1);
     if (metrics_.active_connections != nullptr) {
       metrics_.active_connections->Add(1.0);
@@ -228,6 +279,10 @@ void NetServer::HandleAccept() {
 }
 
 void NetServer::HandleReadable(uint64_t conn_id, Conn& conn) {
+  if (conn.admin) {
+    HandleAdminReadable(conn_id, conn);
+    return;
+  }
   char buf[64 * 1024];
   for (;;) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
@@ -263,6 +318,122 @@ void NetServer::HandleWritable(uint64_t conn_id, Conn& conn) {
   FlushConn(conn_id, conn);
 }
 
+void NetServer::HandleAdminReadable(uint64_t conn_id, Conn& conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.http_in.append(buf, static_cast<size_t>(n));
+      if (conn.http_in.size() > kMaxAdminRequestBytes) {
+        CloseConn(conn_id, conn);
+        return;
+      }
+      if (!obs::HttpRequestComplete(conn.http_in)) continue;
+      if (metrics_.admin_requests != nullptr) metrics_.admin_requests->Add(1);
+      const std::optional<std::string> path =
+          obs::ParseHttpRequestPath(conn.http_in);
+      std::string response =
+          path.has_value()
+              ? AdminResponse(*path)
+              : obs::BuildHttpResponse(400, "text/plain",
+                                       "malformed request\n");
+      conn.close_after_flush = true;
+      QueueToConn(conn_id, conn, std::move(response));
+      return;
+    }
+    if (n == 0) {  // peer closed
+      CloseConn(conn_id, conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConn(conn_id, conn);
+    return;
+  }
+}
+
+std::string NetServer::AdminResponse(const std::string& path) {
+  if (path == "/metrics" || path == "/metrics.json") {
+    if (options_.metrics == nullptr) {
+      return obs::BuildHttpResponse(503, "text/plain",
+                                    "no metrics registry bound\n");
+    }
+    const obs::MetricsSnapshot snapshot = options_.metrics->Snapshot();
+    if (path == "/metrics") {
+      return obs::BuildHttpResponse(200, "text/plain; version=0.0.4",
+                                    obs::ExportText(snapshot));
+    }
+    return obs::BuildHttpResponse(200, "application/json",
+                                  obs::ExportJson(snapshot));
+  }
+  if (path == "/healthz") {
+    const ServeHealth health = service_->Health();
+    obs::HealthzView view;
+    view.has_snapshot = health.has_snapshot;
+    view.staleness_edges = health.staleness_edges;
+    view.age_seconds = health.age_seconds;
+    // Explicit admin bounds win; otherwise readiness mirrors the
+    // service's own staleness options (what admission control enforces).
+    view.max_staleness_edges =
+        options_.admin.healthz_max_staleness_edges != 0
+            ? options_.admin.healthz_max_staleness_edges
+            : service_->options().max_staleness_edges;
+    view.max_age_seconds =
+        options_.admin.healthz_max_age_seconds > 0.0
+            ? options_.admin.healthz_max_age_seconds
+            : service_->options().max_snapshot_age_seconds;
+    const obs::HealthzResult result = obs::RenderHealthz(view);
+    return obs::BuildHttpResponse(result.ready ? 200 : 503, "text/plain",
+                                  result.body);
+  }
+  if (path == "/statusz") {
+    obs::StatuszView view;
+    view.uptime_seconds = MonotonicSeconds() - started_at_seconds_;
+    if (const auto snap = service_->snapshot(); snap != nullptr) {
+      view.predictor_kind = snap->predictor->name();
+      view.snapshot_version = snap->version;
+      view.snapshot_edges = snap->stream_edges;
+    }
+    const ServeHealth health = service_->Health();
+    view.staleness_edges = health.staleness_edges;
+    view.snapshot_age_seconds = health.age_seconds;
+    view.live_edges = service_->live_edges();
+    uint64_t active = 0;
+    for (const auto& [id, conn] : conns_) {
+      (void)id;
+      if (!conn.closed && !conn.admin) ++active;
+    }
+    view.active_connections = active;
+    view.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+    if (metrics_.admitted != nullptr) {
+      view.requests_admitted = metrics_.admitted->Value();
+      view.requests_shed = metrics_.shed_queue_full->Value() +
+                           metrics_.shed_stale->Value();
+    }
+    view.open_fds = obs::OpenFdCount();
+    view.threads = obs::ThreadCount();
+    view.rss_kb = obs::CurrentRssKb();
+    if (options_.admin.key_sampler != nullptr) {
+      const auto top = options_.admin.key_sampler->TopK(
+          static_cast<uint32_t>(options_.admin.statusz_hot_keys));
+      for (const auto& counter : top) {
+        view.hot_keys.emplace_back(counter.item, counter.count);
+      }
+    }
+    return obs::BuildHttpResponse(200, "text/plain",
+                                  obs::RenderStatusz(view));
+  }
+  if (path == "/tracez") {
+    return obs::BuildHttpResponse(
+        200, "text/plain",
+        obs::RenderTracez(exemplars_->SlowestFirst(), exemplars_->offered(),
+                          exemplars_->capacity()));
+  }
+  return obs::BuildHttpResponse(
+      404, "text/plain",
+      "unknown path; try /metrics /healthz /statusz /tracez\n");
+}
+
 void NetServer::OnFrame(uint64_t conn_id, Conn& conn, Frame frame) {
   switch (frame.type) {
     case FrameType::kPing: {
@@ -273,9 +444,16 @@ void NetServer::OnFrame(uint64_t conn_id, Conn& conn, Frame frame) {
       return;
     }
     case FrameType::kQuery: {
+      const uint64_t admit_start_ns =
+          stage_timing_ ? obs::Tracer::NowNs() : 0;
       const AdmissionDecision decision =
           Admit(options_.admission, queue_depth_.load(std::memory_order_relaxed),
                 service_->Health());
+      const uint64_t admission_ns =
+          stage_timing_ ? obs::Tracer::NowNs() - admit_start_ns : 0;
+      if (metrics_.stage_admission != nullptr) {
+        metrics_.stage_admission->Record(admission_ns);
+      }
       if (!decision.admit) {
         if (decision.reason == NackReason::kQueueFull) {
           if (metrics_.shed_queue_full != nullptr) {
@@ -303,6 +481,7 @@ void NetServer::OnFrame(uint64_t conn_id, Conn& conn, Frame frame) {
       item.request_id = frame.request_id;
       item.payload = std::move(frame.payload);
       item.admitted_at_seconds = MonotonicSeconds();
+      item.admission_ns = admission_ns;
       {
         std::lock_guard<std::mutex> lock(work_mu_);
         work_.push_back(std::move(item));
@@ -348,6 +527,7 @@ void NetServer::FlushConn(uint64_t conn_id, Conn& conn) {
   }
   conn.outbox.clear();
   conn.sent = 0;
+  if (conn.close_after_flush) CloseConn(conn_id, conn);
 }
 
 void NetServer::CloseConn(uint64_t conn_id, Conn& conn) {
@@ -355,7 +535,7 @@ void NetServer::CloseConn(uint64_t conn_id, Conn& conn) {
   conn.closed = true;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
   CloseFd(conn.fd);
-  if (metrics_.active_connections != nullptr) {
+  if (!conn.admin && metrics_.active_connections != nullptr) {
     metrics_.active_connections->Add(-1.0);
   }
   // Erasure is deferred to ReapDead so references held by callers up the
@@ -379,7 +559,27 @@ void NetServer::DrainCompletions() {
       if (conn.in_flight == 0) dead_.push_back(done.conn_id);
       continue;
     }
+    if (!done.timed) {
+      QueueToConn(done.conn_id, conn, std::move(done.bytes));
+      continue;
+    }
+    // Stamp the write stage here on the loop thread (QueueToConn flushes
+    // greedily; a partial write's EPOLLOUT remainder is not charged) and
+    // finish the request's timeline for /tracez.
+    const uint64_t write_start_ns = obs::Tracer::NowNs();
     QueueToConn(done.conn_id, conn, std::move(done.bytes));
+    const uint64_t write_ns = obs::Tracer::NowNs() - write_start_ns;
+    if (metrics_.stage_write != nullptr) {
+      metrics_.stage_write->Record(write_ns);
+    }
+    done.timeline.stage_ns[static_cast<size_t>(obs::ServeStage::kWrite)] =
+        write_ns;
+    const double total_seconds =
+        MonotonicSeconds() - done.admitted_at_seconds;
+    done.timeline.total_ns =
+        total_seconds <= 0.0 ? 0
+                             : static_cast<uint64_t>(total_seconds * 1e9);
+    exemplars_->Offer(done.timeline);
   }
 }
 
@@ -401,9 +601,24 @@ void NetServer::WorkerThread() {
       work_.pop_front();
     }
 
+    const double popped_at_seconds = MonotonicSeconds();
+    const double queue_wait_seconds =
+        popped_at_seconds - item.admitted_at_seconds;
+    const uint64_t queue_wait_ns =
+        queue_wait_seconds <= 0.0
+            ? 0
+            : static_cast<uint64_t>(queue_wait_seconds * 1e9);
+
     Frame reply;
     reply.request_id = item.request_id;
+    uint64_t decode_ns = 0;
+    uint64_t encode_ns = 0;  // payload + frame encode, summed
+    uint64_t lookup_ns = 0;
+    uint64_t topk_ns = 0;
+
+    const uint64_t decode_start_ns = stage_timing_ ? obs::Tracer::NowNs() : 0;
     Result<QueryRequest> request = DecodeQueryRequest(item.payload);
+    if (stage_timing_) decode_ns = obs::Tracer::NowNs() - decode_start_ns;
     if (!request.ok()) {
       if (metrics_.bad_requests != nullptr) metrics_.bad_requests->Add(1);
       NackInfo nack;
@@ -424,14 +639,65 @@ void NetServer::WorkerThread() {
         reply.type = FrameType::kNack;
         reply.payload = EncodeNack(nack);
       } else {
+        // The service's own stages feed the /tracez timeline; the client
+        // only sees them (plus the transport stages known pre-encode)
+        // when it opted in via the request's trace bit.
+        for (const StageSample& stage : result->stages) {
+          if (stage.stage ==
+              static_cast<uint32_t>(obs::ServeStage::kSnapshotLookup)) {
+            lookup_ns = stage.ns;
+          } else if (stage.stage ==
+                     static_cast<uint32_t>(obs::ServeStage::kTopK)) {
+            topk_ns = stage.ns;
+          }
+        }
+        if (request->trace) {
+          result->stages.push_back(StageSample{
+              static_cast<uint32_t>(obs::ServeStage::kDecode), decode_ns});
+          result->stages.push_back(
+              StageSample{static_cast<uint32_t>(obs::ServeStage::kAdmission),
+                          item.admission_ns});
+          result->stages.push_back(
+              StageSample{static_cast<uint32_t>(obs::ServeStage::kQueueWait),
+                          queue_wait_ns});
+        } else {
+          result->stages.clear();
+        }
         reply.type = FrameType::kResult;
+        const uint64_t encode_start_ns =
+            stage_timing_ ? obs::Tracer::NowNs() : 0;
         reply.payload = EncodeQueryResult(*result);
+        if (stage_timing_) {
+          encode_ns = obs::Tracer::NowNs() - encode_start_ns;
+        }
       }
     }
 
     Completion done;
     done.conn_id = item.conn_id;
+    const uint64_t frame_start_ns = stage_timing_ ? obs::Tracer::NowNs() : 0;
     done.bytes = EncodeFrame(reply);
+    if (stage_timing_) {
+      encode_ns += obs::Tracer::NowNs() - frame_start_ns;
+      if (metrics_.stage_decode != nullptr) {
+        metrics_.stage_decode->Record(decode_ns);
+        metrics_.stage_queue_wait->Record(queue_wait_ns);
+        metrics_.stage_encode->Record(encode_ns);
+      }
+      done.timed = true;
+      done.admitted_at_seconds = item.admitted_at_seconds;
+      obs::RequestTimeline& timeline = done.timeline;
+      timeline.request_id = item.request_id;
+      auto slot = [&timeline](obs::ServeStage stage) -> uint64_t& {
+        return timeline.stage_ns[static_cast<size_t>(stage)];
+      };
+      slot(obs::ServeStage::kDecode) = decode_ns;
+      slot(obs::ServeStage::kAdmission) = item.admission_ns;
+      slot(obs::ServeStage::kQueueWait) = queue_wait_ns;
+      slot(obs::ServeStage::kSnapshotLookup) = lookup_ns;
+      slot(obs::ServeStage::kTopK) = topk_ns;
+      slot(obs::ServeStage::kEncode) = encode_ns;
+    }
     request_latency_.Record(MonotonicSeconds() - item.admitted_at_seconds);
     queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     {

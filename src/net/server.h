@@ -14,7 +14,9 @@
 
 #include "net/admission.h"
 #include "net/frame.h"
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "serve/query_service.h"
 #include "util/status.h"
 
@@ -31,6 +33,31 @@ namespace net {
 // (net/admission.h) runs on the loop thread before anything is queued,
 // so overload is shed with a ~100-byte NACK instead of queue growth.
 
+/// The live introspection plane: a second listener on the same event loop
+/// answering minimal HTTP/1.0 GETs with text — `/metrics` (Prometheus
+/// scrape; `/metrics.json` for the JSON dump format), `/healthz`
+/// (liveness + snapshot-staleness readiness), `/statusz` (uptime,
+/// predictor, snapshot, connection and admission counts), and `/tracez`
+/// (slowest-request stage timelines). See docs/observability.md.
+struct AdminPlaneOptions {
+  bool enabled = false;
+  /// Admin listen address. Port 0 picks an ephemeral port (read it back
+  /// from admin_port() after Start).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// /healthz readiness bounds; 0 falls back to the service's own
+  /// staleness options (QueryServiceOptions), so by default /healthz
+  /// agrees with admission control about what "fresh enough" means.
+  uint64_t healthz_max_staleness_edges = 0;
+  double healthz_max_age_seconds = 0.0;
+  /// Slots in the slowest-request exemplar ring behind /tracez.
+  size_t tracez_slots = 32;
+  /// Optional hot-key sampler surfaced in /statusz (not owned).
+  const obs::KeyFrequencyTopK* key_sampler = nullptr;
+  /// Hot keys shown in /statusz when a sampler is bound.
+  size_t statusz_hot_keys = 8;
+};
+
 struct NetServerOptions {
   /// Listen address; only numeric IPv4 is supported. Port 0 picks an
   /// ephemeral port (read it back from port() after Start).
@@ -45,6 +72,8 @@ struct NetServerOptions {
   size_t max_outbox_bytes = 8u << 20;
   /// Optional registry for the net.* metric family (docs/observability.md).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional admin/introspection listener.
+  AdminPlaneOptions admin;
 };
 
 class NetServer {
@@ -68,6 +97,14 @@ class NetServer {
   /// The bound port (useful with options.port == 0). 0 before Start.
   uint16_t port() const { return port_; }
 
+  /// The bound admin port; 0 when the admin plane is disabled.
+  uint16_t admin_port() const { return admin_port_; }
+
+  /// The slowest-request exemplar ring behind /tracez (always present
+  /// after Start; only fed while stage timing is on — metrics bound or
+  /// admin plane enabled).
+  const obs::ExemplarRing* exemplars() const { return exemplars_.get(); }
+
   bool running() const { return running_.load(std::memory_order_acquire); }
 
  private:
@@ -82,6 +119,11 @@ class NetServer {
     /// completions have somewhere to be dropped.
     uint32_t in_flight = 0;
     bool closed = false;
+    /// Admin-plane connection: bytes are an HTTP request head, not
+    /// frames. Answered once and closed after the response flushes.
+    bool admin = false;
+    bool close_after_flush = false;
+    std::string http_in;
   };
 
   struct WorkItem {
@@ -89,17 +131,24 @@ class NetServer {
     uint64_t request_id = 0;
     std::string payload;
     double admitted_at_seconds = 0.0;
+    uint64_t admission_ns = 0;  // admission-decision time (loop thread)
   };
 
   struct Completion {
     uint64_t conn_id = 0;
     std::string bytes;  // a fully encoded frame
+    /// Stage timeline carried to the loop thread, which stamps the write
+    /// stage and offers the finished timeline to the exemplar ring.
+    bool timed = false;
+    double admitted_at_seconds = 0.0;
+    obs::RequestTimeline timeline;
   };
 
   void LoopThread();
   void WorkerThread();
-  void HandleAccept();
+  void HandleAccept(int listen_fd, bool admin);
   void HandleReadable(uint64_t conn_id, Conn& conn);
+  void HandleAdminReadable(uint64_t conn_id, Conn& conn);
   void HandleWritable(uint64_t conn_id, Conn& conn);
   void OnFrame(uint64_t conn_id, Conn& conn, Frame frame);
   void QueueToConn(uint64_t conn_id, Conn& conn, std::string bytes);
@@ -109,11 +158,26 @@ class NetServer {
   void ReapDead();
   void Wakeup();
 
+  /// Opens, binds, and listens a non-blocking TCP socket; on success
+  /// stores the fd in `*fd_out` and the bound port in `*port_out`.
+  Status OpenListener(const std::string& host, uint16_t port, int* fd_out,
+                      uint16_t* port_out);
+
+  /// Routes an admin GET path to a full HTTP response. Loop thread only
+  /// (reads loop-owned connection state for /statusz).
+  std::string AdminResponse(const std::string& path);
+
   const QueryService* service_ = nullptr;
   NetServerOptions options_;
   uint16_t port_ = 0;
+  uint16_t admin_port_ = 0;
+  double started_at_seconds_ = 0.0;
+  /// Stage stamps are taken when anyone can observe them: metrics bound
+  /// or the admin plane (i.e. /tracez) enabled.
+  bool stage_timing_ = false;
 
   int listen_fd_ = -1;
+  int admin_listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wakeup_fd_ = -1;
 
@@ -126,7 +190,8 @@ class NetServer {
   // so Conn references stay valid for the whole event).
   std::unordered_map<uint64_t, Conn> conns_;
   std::vector<uint64_t> dead_;
-  uint64_t next_conn_id_ = 3;  // 1 = listener tag, 2 = wakeup tag
+  // 1 = listener tag, 2 = wakeup tag, 3 = admin listener tag
+  uint64_t next_conn_id_ = 4;
 
   // Work queue: loop thread pushes admitted requests, workers pop.
   // queue_depth_ mirrors size() + in-service count so the admission
@@ -150,10 +215,21 @@ class NetServer {
     obs::Counter* bad_requests = nullptr;
     obs::Counter* protocol_errors = nullptr;
     obs::Gauge* active_connections = nullptr;
+    obs::Counter* admin_requests = nullptr;
+    // Per-stage serve pipeline timing, serve.stage.<name>_ns — the
+    // transport-side stages; the QueryService records snapshot_lookup and
+    // topk itself (docs/observability.md).
+    obs::Histogram* stage_decode = nullptr;
+    obs::Histogram* stage_admission = nullptr;
+    obs::Histogram* stage_queue_wait = nullptr;
+    obs::Histogram* stage_encode = nullptr;
+    obs::Histogram* stage_write = nullptr;
   } metrics_;
   /// Admission-to-response-encoded time of admitted requests, as
   /// net.request_latency_ns when a registry is bound.
   obs::LatencyHistogram request_latency_;
+  /// Slowest-request timelines for /tracez; created at Start.
+  std::unique_ptr<obs::ExemplarRing> exemplars_;
 };
 
 }  // namespace net

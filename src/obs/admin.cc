@@ -1,0 +1,144 @@
+#include "obs/admin.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace streamlink {
+namespace obs {
+
+namespace {
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+std::string FormatMicros(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+}  // namespace
+
+bool HttpRequestComplete(std::string_view buffer) {
+  return buffer.find("\r\n\r\n") != std::string_view::npos ||
+         buffer.find("\n\n") != std::string_view::npos;
+}
+
+std::optional<std::string> ParseHttpRequestPath(std::string_view request) {
+  const size_t eol = request.find_first_of("\r\n");
+  std::string_view line =
+      eol == std::string_view::npos ? request : request.substr(0, eol);
+  if (line.substr(0, 4) != "GET ") return std::nullopt;
+  line.remove_prefix(4);
+  const size_t space = line.find(' ');
+  if (space == std::string_view::npos || space == 0) return std::nullopt;
+  std::string_view path = line.substr(0, space);
+  const size_t query = path.find('?');
+  if (query != std::string_view::npos) path = path.substr(0, query);
+  if (path.empty() || path[0] != '/') return std::nullopt;
+  return std::string(path);
+}
+
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body) {
+  std::ostringstream out;
+  out << "HTTP/1.0 " << status << " " << StatusReason(status) << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+HealthzResult RenderHealthz(const HealthzView& view) {
+  HealthzResult result;
+  if (!view.has_snapshot) {
+    result.ready = false;
+    result.body = "unready: no snapshot published\n";
+    return result;
+  }
+  if (view.max_staleness_edges > 0 &&
+      view.staleness_edges > view.max_staleness_edges) {
+    result.ready = false;
+    std::ostringstream body;
+    body << "unready: snapshot staleness " << view.staleness_edges
+         << " edges exceeds bound " << view.max_staleness_edges << "\n";
+    result.body = body.str();
+    return result;
+  }
+  if (view.max_age_seconds > 0.0 &&
+      view.age_seconds > view.max_age_seconds) {
+    result.ready = false;
+    std::ostringstream body;
+    body << "unready: snapshot age " << view.age_seconds
+         << "s exceeds bound " << view.max_age_seconds << "s\n";
+    result.body = body.str();
+    return result;
+  }
+  result.ready = true;
+  result.body = "ok\n";
+  return result;
+}
+
+std::string RenderStatusz(const StatuszView& view) {
+  std::ostringstream out;
+  out << "streamlink net-serve status\n"
+      << "uptime_seconds: " << view.uptime_seconds << "\n"
+      << "predictor_kind: " << view.predictor_kind << "\n"
+      << "snapshot_version: " << view.snapshot_version << "\n"
+      << "snapshot_edges: " << view.snapshot_edges << "\n"
+      << "live_edges: " << view.live_edges << "\n"
+      << "staleness_edges: " << view.staleness_edges << "\n"
+      << "snapshot_age_seconds: " << view.snapshot_age_seconds << "\n"
+      << "active_connections: " << view.active_connections << "\n"
+      << "queue_depth: " << view.queue_depth << "\n"
+      << "requests_admitted: " << view.requests_admitted << "\n"
+      << "requests_shed: " << view.requests_shed << "\n"
+      << "open_fds: " << view.open_fds << "\n"
+      << "threads: " << view.threads << "\n"
+      << "rss_kb: " << view.rss_kb << "\n";
+  if (!view.hot_keys.empty()) {
+    out << "hot_keys (key: estimated count):\n";
+    for (const auto& [key, count] : view.hot_keys) {
+      out << "  " << key << ": " << count << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string RenderTracez(const std::vector<RequestTimeline>& slowest,
+                         uint64_t offered, size_t capacity) {
+  std::ostringstream out;
+  out << "slowest requests (" << slowest.size() << " of " << offered
+      << " seen, ring capacity " << capacity << "), stage times in us\n";
+  out << "request_id total";
+  for (size_t i = 0; i < kNumServeStages; ++i) {
+    out << " " << ServeStageName(static_cast<ServeStage>(i));
+  }
+  out << "\n";
+  for (const RequestTimeline& t : slowest) {
+    out << t.request_id << " " << FormatMicros(t.total_ns);
+    for (size_t i = 0; i < kNumServeStages; ++i) {
+      out << " " << FormatMicros(t.stage_ns[i]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace streamlink

@@ -1,0 +1,88 @@
+#ifndef STREAMLINK_OBS_ADMIN_H_
+#define STREAMLINK_OBS_ADMIN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/exemplar.h"
+
+namespace streamlink {
+namespace obs {
+
+/// Formatting layer of the admin plane: minimal HTTP/1.0 plumbing plus the
+/// /healthz, /statusz, and /tracez page renderers. Everything here is pure
+/// string-in/string-out over plain view structs so the obs library stays a
+/// leaf — the NetServer (src/net/) owns the sockets and fills the views
+/// from live serving state.
+
+/// True once `buffer` holds a complete HTTP request head (terminating
+/// blank line seen). Admin requests carry no body, so this is the whole
+/// request.
+bool HttpRequestComplete(std::string_view buffer);
+
+/// Extracts the path from an HTTP request line ("GET /healthz HTTP/1.0").
+/// Any query string is stripped. nullopt on a malformed line or a
+/// non-GET method.
+std::optional<std::string> ParseHttpRequestPath(std::string_view request);
+
+/// Formats a complete HTTP/1.0 response (status line, Content-Type,
+/// Content-Length, Connection: close, body).
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body);
+
+/// Inputs to /healthz: current snapshot state plus the configured
+/// readiness bounds (0 = unbounded).
+struct HealthzView {
+  bool has_snapshot = false;
+  uint64_t staleness_edges = 0;
+  double age_seconds = 0.0;
+  uint64_t max_staleness_edges = 0;
+  double max_age_seconds = 0.0;
+};
+
+struct HealthzResult {
+  bool ready = false;
+  std::string body;
+};
+
+/// Liveness is implied by responding at all; `ready` reflects snapshot
+/// presence and the staleness/age bounds. The body says which bound
+/// tripped.
+HealthzResult RenderHealthz(const HealthzView& view);
+
+/// Inputs to /statusz — a flat copy of the numbers a human wants first
+/// when a serving process misbehaves.
+struct StatuszView {
+  double uptime_seconds = 0.0;
+  std::string predictor_kind;
+  uint64_t snapshot_version = 0;
+  uint64_t snapshot_edges = 0;
+  uint64_t live_edges = 0;
+  uint64_t staleness_edges = 0;
+  double snapshot_age_seconds = 0.0;
+  uint64_t active_connections = 0;
+  uint64_t queue_depth = 0;
+  uint64_t requests_admitted = 0;
+  uint64_t requests_shed = 0;
+  uint64_t open_fds = 0;
+  uint64_t threads = 0;
+  uint64_t rss_kb = 0;
+  /// (key, estimated count) of the hottest query keys, count-descending.
+  std::vector<std::pair<uint64_t, uint64_t>> hot_keys;
+};
+
+std::string RenderStatusz(const StatuszView& view);
+
+/// Renders the slowest-request table: one row per retained timeline,
+/// per-stage microseconds in pipeline order.
+std::string RenderTracez(const std::vector<RequestTimeline>& slowest,
+                         uint64_t offered, size_t capacity);
+
+}  // namespace obs
+}  // namespace streamlink
+
+#endif  // STREAMLINK_OBS_ADMIN_H_

@@ -1,0 +1,70 @@
+#include "obs/exemplar.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace streamlink {
+namespace obs {
+
+namespace {
+
+constexpr const char* kStageNames[kNumServeStages] = {
+    "decode", "admission", "queue_wait", "snapshot_lookup",
+    "topk",   "encode",    "write",
+};
+
+bool SlowerThan(const RequestTimeline& a, const RequestTimeline& b) {
+  return a.total_ns > b.total_ns;  // min-heap: fastest resident on top
+}
+
+}  // namespace
+
+const char* ServeStageName(ServeStage stage) {
+  const auto i = static_cast<size_t>(stage);
+  SL_CHECK(i < kNumServeStages) << "bad ServeStage " << i;
+  return kStageNames[i];
+}
+
+ExemplarRing::ExemplarRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  heap_.reserve(capacity_);
+}
+
+void ExemplarRing::Offer(const RequestTimeline& timeline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++offered_;
+  if (heap_.size() < capacity_) {
+    heap_.push_back(timeline);
+    std::push_heap(heap_.begin(), heap_.end(), SlowerThan);
+    return;
+  }
+  if (timeline.total_ns <= heap_.front().total_ns) return;
+  std::pop_heap(heap_.begin(), heap_.end(), SlowerThan);
+  heap_.back() = timeline;
+  std::push_heap(heap_.begin(), heap_.end(), SlowerThan);
+}
+
+std::vector<RequestTimeline> ExemplarRing::SlowestFirst() const {
+  std::vector<RequestTimeline> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(), SlowerThan);
+  return out;
+}
+
+uint64_t ExemplarRing::offered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offered_;
+}
+
+void ExemplarRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  heap_.clear();
+  offered_ = 0;
+}
+
+}  // namespace obs
+}  // namespace streamlink

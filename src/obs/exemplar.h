@@ -1,0 +1,74 @@
+#ifndef STREAMLINK_OBS_EXEMPLAR_H_
+#define STREAMLINK_OBS_EXEMPLAR_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace streamlink {
+namespace obs {
+
+/// The fixed stage vocabulary of the serve path, in pipeline order. The
+/// server stamps decode/admission/queue-wait/encode/write; the query
+/// service stamps snapshot-lookup and top-k. Aggregates land in the
+/// `serve.stage.<name>_ns` histograms; per-request timelines ride the
+/// exemplar ring below and the codec's trace echo.
+enum class ServeStage : uint32_t {
+  kDecode = 0,
+  kAdmission,
+  kQueueWait,
+  kSnapshotLookup,
+  kTopK,
+  kEncode,
+  kWrite,
+};
+
+inline constexpr size_t kNumServeStages = 7;
+
+/// Short stable name ("decode", "queue_wait", ...) for metric suffixes and
+/// /tracez column headers. Fatal on out-of-range input.
+const char* ServeStageName(ServeStage stage);
+
+/// One request's per-stage wall time, nanoseconds per stage. total_ns is
+/// admission to last write — the rank key for the exemplar ring.
+struct RequestTimeline {
+  uint64_t request_id = 0;
+  uint64_t total_ns = 0;
+  std::array<uint64_t, kNumServeStages> stage_ns{};
+};
+
+/// Bounded keep-the-slowest sample of request timelines: a min-heap on
+/// total_ns behind a mutex. Offer is called once per completed request
+/// from the event-loop thread, so a short critical section (heap
+/// replace, O(log capacity)) is cheap; readers copy the sample out.
+class ExemplarRing {
+ public:
+  explicit ExemplarRing(size_t capacity = 32);
+
+  /// Considers one finished request. Kept iff the ring has a free slot or
+  /// `timeline.total_ns` beats the current fastest resident.
+  void Offer(const RequestTimeline& timeline);
+
+  /// The retained timelines, slowest first.
+  std::vector<RequestTimeline> SlowestFirst() const;
+
+  /// Total timelines ever offered (kept or not).
+  uint64_t offered() const;
+
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t offered_ = 0;
+  std::vector<RequestTimeline> heap_;  // min-heap by total_ns
+};
+
+}  // namespace obs
+}  // namespace streamlink
+
+#endif  // STREAMLINK_OBS_EXEMPLAR_H_

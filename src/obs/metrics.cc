@@ -74,8 +74,20 @@ double Histogram::Percentile(double p) const {
   if (rank > n) rank = n;
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) return BucketUpperBound(i);
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      // Log-linear interpolation within [2^i, 2^(i+1)): spread the bucket's
+      // mass geometrically across the bucket, which is exact for
+      // log-uniform data and never leaves the bucket holding the rank.
+      // frac is in (0, 1], so p == 1 of a single-bucket histogram still
+      // reports the bucket's upper bound.
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(in_bucket);
+      if (i == 0) return frac * BucketUpperBound(0);  // [0, 2): linear
+      return std::ldexp(1.0, static_cast<int>(i)) * std::exp2(frac);
+    }
+    seen += in_bucket;
   }
   return BucketUpperBound(kNumBuckets - 1);
 }

@@ -66,8 +66,9 @@ class Gauge {
 /// (nanoseconds, bytes, batch sizes, ...), safe for any number of
 /// concurrent recorders with no locking — each sample is a few relaxed
 /// atomic increments. Bucket i counts samples in [2^i, 2^(i+1)); quantile
-/// reads report the upper bound of the bucket holding the requested rank,
-/// so estimates are within 2x of truth — the right fidelity for a
+/// reads log-linearly interpolate within the bucket holding the requested
+/// rank, so estimates never leave that bucket (within 2x of truth in the
+/// worst case, exact for log-uniform data) — the right fidelity for a
 /// monitoring dashboard at per-sample cost independent of history length.
 ///
 /// This is the *single* histogram implementation in the tree; the serving

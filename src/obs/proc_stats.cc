@@ -1,32 +1,86 @@
 #include "obs/proc_stats.h"
 
+#include <dirent.h>
+
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace streamlink {
 namespace obs {
 
 namespace {
 
-/// Reads a "<Key>:   <value> kB" line from /proc/self/status.
-uint64_t StatusLineKb(const char* key) {
+/// Reads a "<Key>:   <value>" line from /proc/self/status.
+uint64_t StatusLineValue(const char* key) {
   std::ifstream status("/proc/self/status");
   if (!status) return 0;
-  const std::string prefix = std::string(key) + ":";
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.compare(0, prefix.size(), prefix) != 0) continue;
-    return std::strtoull(line.c_str() + prefix.size(), nullptr, 10);
-  }
-  return 0;
+  std::stringstream buffer;
+  buffer << status.rdbuf();
+  return StatusValueFromText(buffer.str(), key);
 }
 
 }  // namespace
 
-uint64_t PeakRssKb() { return StatusLineKb("VmHWM"); }
+uint64_t StatusValueFromText(std::string_view status_text,
+                             std::string_view key) {
+  size_t pos = 0;
+  while (pos < status_text.size()) {
+    size_t eol = status_text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = status_text.size();
+    const std::string_view line = status_text.substr(pos, eol - pos);
+    if (line.size() > key.size() &&
+        line.compare(0, key.size(), key) == 0 && line[key.size()] == ':') {
+      // strtoull skips leading whitespace and stops at " kB" (or EOL).
+      const std::string value(line.substr(key.size() + 1));
+      return std::strtoull(value.c_str(), nullptr, 10);
+    }
+    pos = eol + 1;
+  }
+  return 0;
+}
 
-uint64_t CurrentRssKb() { return StatusLineKb("VmRSS"); }
+uint64_t PeakRssKb() {
+  // Some container kernels omit VmHWM from /proc/self/status; the
+  // current RSS is then the best available floor on the peak.
+  const uint64_t peak = StatusLineValue("VmHWM");
+  return peak > 0 ? peak : StatusLineValue("VmRSS");
+}
+
+uint64_t CurrentRssKb() { return StatusLineValue("VmRSS"); }
+
+uint64_t ThreadCount() { return StatusLineValue("Threads"); }
+
+uint64_t OpenFdCount() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  uint64_t count = 0;
+  while (dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;  // "." and ".."
+    ++count;
+  }
+  closedir(dir);
+  // The scan itself holds one descriptor for the directory.
+  return count > 0 ? count - 1 : 0;
+}
+
+void BindProcessMetrics(MetricsRegistry& registry) {
+  registry.RegisterGaugeFn("proc.rss_kb", [] {
+    return static_cast<double>(CurrentRssKb());
+  });
+  registry.RegisterGaugeFn("proc.peak_rss_kb", [] {
+    return static_cast<double>(PeakRssKb());
+  });
+  registry.RegisterGaugeFn("proc.open_fds", [] {
+    return static_cast<double>(OpenFdCount());
+  });
+  registry.RegisterGaugeFn("proc.threads", [] {
+    return static_cast<double>(ThreadCount());
+  });
+}
 
 }  // namespace obs
 }  // namespace streamlink

@@ -2,9 +2,12 @@
 #define STREAMLINK_OBS_PROC_STATS_H_
 
 #include <cstdint>
+#include <string_view>
 
 namespace streamlink {
 namespace obs {
+
+class MetricsRegistry;
 
 /// Peak resident set size of this process in kilobytes (`VmHWM` from
 /// /proc/self/status). Returns 0 where procfs is unavailable.
@@ -12,6 +15,26 @@ uint64_t PeakRssKb();
 
 /// Current resident set size in kilobytes (`VmRSS`). 0 when unavailable.
 uint64_t CurrentRssKb();
+
+/// Number of threads in this process (`Threads` from /proc/self/status).
+/// 0 when unavailable.
+uint64_t ThreadCount();
+
+/// Number of open file descriptors (entries under /proc/self/fd, not
+/// counting the directory scan's own descriptor). 0 when unavailable.
+uint64_t OpenFdCount();
+
+/// Parses the integer after "<Key>:" from /proc/self/status-format text.
+/// Works for both "VmHWM:  123 kB" and unit-less lines like "Threads: 7".
+/// Returns 0 when the key is absent. Exposed for tests; the accessors
+/// above are thin wrappers over this against the live procfs file.
+uint64_t StatusValueFromText(std::string_view status_text,
+                             std::string_view key);
+
+/// Registers scrape-time process gauges on `registry`: `proc.rss_kb`,
+/// `proc.peak_rss_kb`, `proc.open_fds`, and `proc.threads` — the numbers
+/// /statusz and dashboards want without any caller-side plumbing.
+void BindProcessMetrics(MetricsRegistry& registry);
 
 }  // namespace obs
 }  // namespace streamlink

@@ -1,0 +1,80 @@
+#include "obs/slo.h"
+
+#include "obs/metrics.h"
+
+namespace streamlink {
+namespace obs {
+
+SloTracker::SloTracker(SloOptions options) : options_(options) {}
+
+void SloTracker::Record(uint64_t latency_ns) {
+  if (latency_ns <= options_.objective_latency_ns) {
+    within_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    violated_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+double SloTracker::BudgetBurn() const {
+  const uint64_t bad = violated();
+  const uint64_t total = within() + bad;
+  if (total == 0) return 0.0;
+  const double allowed = 1.0 - options_.target;
+  if (allowed <= 0.0) return bad == 0 ? 0.0 : static_cast<double>(total);
+  const double observed =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return observed / allowed;
+}
+
+void SloTracker::BindMetrics(MetricsRegistry& registry) {
+  registry.RegisterGaugeFn("slo.requests_within_total", [this] {
+    return static_cast<double>(within());
+  });
+  registry.RegisterGaugeFn("slo.requests_violated_total", [this] {
+    return static_cast<double>(violated());
+  });
+  registry.RegisterGaugeFn("slo.error_budget_burn",
+                           [this] { return BudgetBurn(); });
+  registry.GetGauge("slo.objective_latency_ns")
+      .Set(static_cast<double>(options_.objective_latency_ns));
+}
+
+KeyFrequencyTopK::KeyFrequencyTopK(uint32_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), sketch_(capacity_) {}
+
+void KeyFrequencyTopK::OfferBatch(const uint64_t* keys, size_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < n; ++i) sketch_.Offer(keys[i]);
+}
+
+std::vector<SpaceSaving::Counter> KeyFrequencyTopK::TopK(uint32_t k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sketch_.TopK(k);
+}
+
+uint64_t KeyFrequencyTopK::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sketch_.total_count();
+}
+
+void KeyFrequencyTopK::BindMetrics(MetricsRegistry& registry) {
+  registry.RegisterGaugeFn("slo.query_keys_total", [this] {
+    return static_cast<double>(total());
+  });
+  registry.RegisterGaugeFn("slo.hot_keys_tracked", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(sketch_.num_tracked());
+  });
+  registry.RegisterGaugeFn("slo.hot_key_top1_share", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t total = sketch_.total_count();
+    if (total == 0) return 0.0;
+    const auto top = sketch_.TopK(1);
+    if (top.empty()) return 0.0;
+    return static_cast<double>(top[0].count) / static_cast<double>(total);
+  });
+}
+
+}  // namespace obs
+}  // namespace streamlink

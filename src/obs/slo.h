@@ -1,0 +1,91 @@
+#ifndef STREAMLINK_OBS_SLO_H_
+#define STREAMLINK_OBS_SLO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sketch/space_saving.h"
+
+namespace streamlink {
+namespace obs {
+
+class MetricsRegistry;
+
+struct SloOptions {
+  /// Latency objective per request. Requests at or under the objective
+  /// count as within-SLO.
+  uint64_t objective_latency_ns = 5'000'000;  // 5 ms
+  /// Target fraction of requests within the objective (e.g. 0.999 = "three
+  /// nines"). 1 - target is the error budget.
+  double target = 0.999;
+};
+
+/// Tracks a single latency objective: within/violated counts and the
+/// error-budget burn rate (observed violation fraction over the allowed
+/// fraction; burn > 1 means the budget is being spent faster than the
+/// target permits). Record is two relaxed atomic increments — safe from
+/// any number of serving threads.
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions options = {});
+
+  void Record(uint64_t latency_ns);
+
+  uint64_t within() const { return within_.load(std::memory_order_relaxed); }
+  uint64_t violated() const {
+    return violated_.load(std::memory_order_relaxed);
+  }
+
+  /// (violated / total) / (1 - target); 0 with no traffic. A burn of 1.0
+  /// means violations are arriving exactly at the budgeted rate.
+  double BudgetBurn() const;
+
+  const SloOptions& options() const { return options_; }
+
+  /// Registers `slo.requests_within_total`, `slo.requests_violated_total`,
+  /// `slo.error_budget_burn`, and `slo.objective_latency_ns` on `registry`.
+  /// This object must outlive every scrape.
+  void BindMetrics(MetricsRegistry& registry);
+
+ private:
+  const SloOptions options_;
+  std::atomic<uint64_t> within_{0};
+  std::atomic<uint64_t> violated_{0};
+};
+
+/// Mutex-guarded Space-Saving sketch over query keys (vertex ids), fed by
+/// the serve path and scraped for skew-aware partitioning decisions. One
+/// lock per query (not per key): callers batch a request's keys into a
+/// single OfferBatch call.
+class KeyFrequencyTopK {
+ public:
+  explicit KeyFrequencyTopK(uint32_t capacity = 64);
+
+  /// Counts one occurrence of each key in `keys[0..n)`.
+  void OfferBatch(const uint64_t* keys, size_t n);
+
+  /// The k highest-frequency keys, count-descending.
+  std::vector<SpaceSaving::Counter> TopK(uint32_t k) const;
+
+  /// Total key occurrences offered.
+  uint64_t total() const;
+
+  uint32_t capacity() const { return capacity_; }
+
+  /// Registers `slo.query_keys_total`, `slo.hot_keys_tracked`, and
+  /// `slo.hot_key_top1_share` (top key's estimated share of all key
+  /// occurrences) on `registry`. This object must outlive every scrape.
+  void BindMetrics(MetricsRegistry& registry);
+
+ private:
+  const uint32_t capacity_;
+  mutable std::mutex mu_;
+  SpaceSaving sketch_;
+};
+
+}  // namespace obs
+}  // namespace streamlink
+
+#endif  // STREAMLINK_OBS_SLO_H_

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace streamlink {
@@ -162,6 +163,12 @@ ScopedSpan::~ScopedSpan() {
   span.dur_ns = end_ns - start_ns_;
   span.depth = t_span_depth;
   Tracer::Get().Record(span);
+}
+
+void BindTracerMetrics(MetricsRegistry& registry) {
+  registry.RegisterGaugeFn("trace.dropped_spans", [] {
+    return static_cast<double>(Tracer::Get().dropped());
+  });
 }
 
 }  // namespace obs

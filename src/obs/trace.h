@@ -13,6 +13,8 @@
 namespace streamlink {
 namespace obs {
 
+class MetricsRegistry;
+
 /// One completed span: a named interval on one thread. Timestamps are
 /// nanoseconds since the process-wide monotonic epoch (first tracer use).
 struct TraceSpan {
@@ -85,6 +87,11 @@ class Tracer {
   size_t ring_capacity_ = 8192;
   uint32_t next_tid_ = 0;
 };
+
+/// Registers a scrape-time `trace.dropped_spans` gauge on `registry`
+/// reporting Tracer::Get().dropped(), so ring wrap-around loss shows up in
+/// scrapes instead of silently truncating traces.
+void BindTracerMetrics(MetricsRegistry& registry);
 
 /// RAII span: records the interval from construction to destruction into
 /// Tracer::Get() when tracing is enabled. `name` must be a static string

@@ -71,6 +71,7 @@ std::string EncodeQueryRequest(const QueryRequest& request) {
   BinaryWriter writer(out);
   WriteEnvelope(writer, QueryMessageKind::kRequest);
   writer.WriteU32(request.top_k);
+  writer.WriteU32(request.trace ? 1 : 0);
   writer.WriteU64(request.measures.size());
   for (LinkMeasure m : request.measures) {
     writer.WriteU32(static_cast<uint32_t>(m));
@@ -91,6 +92,9 @@ Result<QueryRequest> DecodeQueryRequest(std::string_view bytes) {
   }
   QueryRequest request;
   request.top_k = reader.ReadU32();
+  // Any non-zero value opts in; the checksum footer already rejects
+  // corrupted bytes, so no range check is needed for wire safety.
+  request.trace = reader.ReadU32() != 0;
   const uint64_t measures = reader.ReadU64();
   if (!reader.ok()) return reader.status();
   if (measures > kMaxCodecMeasures) {
@@ -134,6 +138,11 @@ std::string EncodeQueryResult(const QueryResult& result) {
   writer.WriteU64(result.meta.live_edges);
   writer.WriteU64(result.meta.staleness_edges);
   writer.WriteDouble(result.meta.latency_us);
+  writer.WriteU64(result.stages.size());
+  for (const StageSample& stage : result.stages) {
+    writer.WriteU32(stage.stage);
+    writer.WriteU64(stage.ns);
+  }
   writer.WriteU64(result.pairs.size());
   for (const PairResult& pr : result.pairs) {
     writer.WriteU32(pr.pair.u);
@@ -163,6 +172,19 @@ Result<QueryResult> DecodeQueryResult(std::string_view bytes) {
   result.meta.live_edges = reader.ReadU64();
   result.meta.staleness_edges = reader.ReadU64();
   result.meta.latency_us = reader.ReadDouble();
+  const uint64_t stages = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (stages > kMaxCodecStages) {
+    return Status::InvalidArgument("result stage count implausible: " +
+                                   std::to_string(stages));
+  }
+  result.stages.reserve(stages);
+  for (uint64_t i = 0; i < stages; ++i) {
+    StageSample stage;
+    stage.stage = reader.ReadU32();
+    stage.ns = reader.ReadU64();
+    result.stages.push_back(stage);
+  }
   const uint64_t pairs = reader.ReadU64();
   if (!reader.ok()) return reader.status();
   if (pairs > kMaxCodecPairs) {

@@ -31,12 +31,15 @@ namespace streamlink {
 // so corrupt lengths can never trigger huge allocations.
 
 inline constexpr uint32_t kQueryMessageMagic = 0x534c514d;  // "SLQM"
-inline constexpr uint32_t kQueryCodecVersion = 1;
+/// v2 added the request trace-opt-in flag and the result's per-stage
+/// latency breakdown (both sides of this tree speak v2; v1 is rejected).
+inline constexpr uint32_t kQueryCodecVersion = 2;
 
 /// Decode-side plausibility caps. Generous for real traffic, tight enough
 /// that a corrupted count cannot allocate more than a few MiB.
 inline constexpr uint64_t kMaxCodecPairs = 1u << 20;
 inline constexpr uint64_t kMaxCodecMeasures = 64;
+inline constexpr uint64_t kMaxCodecStages = 64;
 
 enum class QueryMessageKind : uint32_t {
   kRequest = 1,

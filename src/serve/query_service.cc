@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/tombstone_predictor.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -107,6 +108,9 @@ void QueryService::BindMetrics(obs::MetricsRegistry* registry) {
   metrics_.batch_pairs = &registry->GetHistogram("serve.query_batch_pairs");
   metrics_.topk_fanout =
       &registry->GetHistogram("serve.topk_fanout_candidates");
+  metrics_.stage_lookup =
+      &registry->GetHistogram("serve.stage.snapshot_lookup_ns");
+  metrics_.stage_topk = &registry->GetHistogram("serve.stage.topk_ns");
   // Scrape-time gauges: cheap reads of this service's own atomics, so the
   // exporter sees fresh values without any writer-side bookkeeping.
   registry->RegisterGaugeFn("serve.live_edges", [this] {
@@ -115,6 +119,25 @@ void QueryService::BindMetrics(obs::MetricsRegistry* registry) {
   registry->RegisterGaugeFn("serve.snapshot_age_seconds", [this] {
     const double at = last_publish_seconds_.load(std::memory_order_relaxed);
     return at < 0.0 ? 0.0 : MonotonicSeconds() - at;
+  });
+  // Turnstile visibility (docs/turnstile.md): deletes the published
+  // predictor has processed, and the subset it could not retract — each
+  // of those permanently over-counts one edge. Both read the snapshot at
+  // scrape time; zero before the first publish or on insert-only kinds.
+  registry->RegisterGaugeFn("turnstile.deletes_processed", [this] {
+    const auto snap = snapshot();
+    return snap == nullptr
+               ? 0.0
+               : static_cast<double>(snap->predictor->deletes_processed());
+  });
+  registry->RegisterGaugeFn("turnstile.unretractable_deletes", [this] {
+    const auto snap = snapshot();
+    if (snap == nullptr) return 0.0;
+    const auto* tombstone = dynamic_cast<const TombstoneWindowPredictor*>(
+        snap->predictor.get());
+    return tombstone == nullptr
+               ? 0.0
+               : static_cast<double>(tombstone->unretractable_deletes());
   });
 }
 
@@ -164,6 +187,8 @@ ServeHealth QueryService::Health() const {
 Result<std::unique_ptr<QueryService>> QueryServiceBuilder::Build() const {
   auto service = std::make_unique<QueryService>(options_);
   service->BindMetrics(metrics_);
+  service->BindSlo(slo_);
+  service->BindKeySampler(key_sampler_);
   if (warm_start_) {
     if (Status st = warm_start_(*service); !st.ok()) return st;
   }
@@ -181,6 +206,10 @@ Result<QueryResult> QueryService::Query(const QueryRequest& request) const {
   obs::ScopedSpan span("serve/query");
   WallTimer timer;
   timer.Start();
+  // Stage stamps cost two extra clock reads per query; take them only when
+  // someone consumes them (bound stage histograms or a trace opt-in).
+  const bool timed = request.trace || metrics_.stage_lookup != nullptr;
+  const uint64_t stage_start_ns = timed ? obs::Tracer::NowNs() : 0;
   std::shared_ptr<const ServeSnapshot> snap =
       snapshot_.load(std::memory_order_acquire);
   if (snap == nullptr) {
@@ -199,6 +228,7 @@ Result<QueryResult> QueryService::Query(const QueryRequest& request) const {
     return Status::InvalidArgument(
         "top_k queries need at least one measure (measures[0] ranks)");
   }
+  const uint64_t lookup_end_ns = timed ? obs::Tracer::NowNs() : 0;
 
   QueryResult result;
   if (top_k > 0) {
@@ -235,9 +265,35 @@ Result<QueryResult> QueryService::Query(const QueryRequest& request) const {
       result.meta.live_edges > result.meta.snapshot_edges
           ? result.meta.live_edges - result.meta.snapshot_edges
           : 0;
+  if (timed) {
+    const uint64_t score_end_ns = obs::Tracer::NowNs();
+    const uint64_t lookup_ns = lookup_end_ns - stage_start_ns;
+    const uint64_t score_ns = score_end_ns - lookup_end_ns;
+    if (metrics_.stage_lookup != nullptr) {
+      metrics_.stage_lookup->Record(lookup_ns);
+      metrics_.stage_topk->Record(score_ns);
+    }
+    result.stages.push_back(StageSample{
+        static_cast<uint32_t>(obs::ServeStage::kSnapshotLookup), lookup_ns});
+    result.stages.push_back(StageSample{
+        static_cast<uint32_t>(obs::ServeStage::kTopK), score_ns});
+  }
+
   const double seconds = timer.Seconds();
   result.meta.latency_us = seconds * 1e6;
   latency_.Record(seconds);
+  if (slo_ != nullptr) {
+    slo_->Record(seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e9));
+  }
+  if (key_sampler_ != nullptr && !request.pairs.empty()) {
+    std::vector<uint64_t> keys;
+    keys.reserve(request.pairs.size() * 2);
+    for (const QueryPair& pair : request.pairs) {
+      keys.push_back(pair.u);
+      keys.push_back(pair.v);
+    }
+    key_sampler_->OfferBatch(keys.data(), keys.size());
+  }
   if (metrics_.queries != nullptr) {
     metrics_.queries->Add(1);
     metrics_.staleness->Set(

@@ -11,7 +11,9 @@
 #include "core/link_predictor.h"
 #include "core/top_k_engine.h"
 #include "gen/pair_sampler.h"
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "stream/edge_stream.h"
 #include "stream/parallel_ingest.h"
 #include "stream/stream_driver.h"
@@ -50,6 +52,10 @@ struct QueryRequest {
   std::vector<QueryPair> pairs;
   std::vector<LinkMeasure> measures;
   uint32_t top_k = 0;
+  /// Trace opt-in: ask the server to echo a per-stage latency breakdown in
+  /// the result's `stages` (docs/observability.md). Rides the wire codec,
+  /// so NetClient and the load generator can request it end to end.
+  bool trace = false;
 };
 
 /// Construction-time policy of a QueryService. Prefer QueryServiceBuilder
@@ -99,9 +105,21 @@ struct QueryMeta {
   double latency_us = 0.0;       // this query's evaluation time
 };
 
+/// One stage of the serve pipeline and the nanoseconds a request spent in
+/// it. `stage` is an obs::ServeStage value; kept as a raw u32 so the wire
+/// codec round-trips unknown future stages untouched.
+struct StageSample {
+  uint32_t stage = 0;
+  uint64_t ns = 0;
+};
+
 struct QueryResult {
   std::vector<PairResult> pairs;
   QueryMeta meta;
+  /// Per-stage breakdown (snapshot-lookup and top-k from the service; the
+  /// transport adds its own stages). Filled when the request opted into
+  /// tracing or stage metrics are bound; empty otherwise.
+  std::vector<StageSample> stages;
 };
 
 /// Serves link-prediction queries from any number of reader threads while
@@ -210,6 +228,17 @@ class QueryService {
   /// metrics recording is a no-op until bound.
   void BindMetrics(obs::MetricsRegistry* registry);
 
+  /// Feeds every successful query's latency into `slo` (nullptr detaches).
+  /// The tracker must outlive the service.
+  void BindSlo(obs::SloTracker* slo) { slo_ = slo; }
+
+  /// Offers every queried pair's endpoints to `sampler` — the observed
+  /// key-frequency skew future partitioning wants (nullptr detaches). The
+  /// sampler must outlive the service.
+  void BindKeySampler(obs::KeyFrequencyTopK* sampler) {
+    key_sampler_ = sampler;
+  }
+
  private:
   /// Registry-resident instruments, null until BindMetrics. Updated on the
   /// query/publish paths with relaxed atomics only.
@@ -221,6 +250,9 @@ class QueryService {
     obs::Gauge* version = nullptr;           // serve.snapshot_version
     obs::Histogram* batch_pairs = nullptr;   // serve.query_batch_pairs
     obs::Histogram* topk_fanout = nullptr;   // serve.topk_fanout_candidates
+    // Per-stage serve pipeline timing (docs/observability.md).
+    obs::Histogram* stage_lookup = nullptr;  // serve.stage.snapshot_lookup_ns
+    obs::Histogram* stage_topk = nullptr;    // serve.stage.topk_ns
   };
 
   QueryServiceOptions options_;
@@ -229,6 +261,8 @@ class QueryService {
   std::atomic<uint64_t> publish_count_{0};
   mutable obs::LatencyHistogram latency_;
   ServeMetrics metrics_;
+  obs::SloTracker* slo_ = nullptr;
+  obs::KeyFrequencyTopK* key_sampler_ = nullptr;
   /// Monotonic publish timestamp for the snapshot-age gauge; < 0 before
   /// the first publish.
   std::atomic<double> last_publish_seconds_{-1.0};
@@ -286,6 +320,18 @@ class QueryServiceBuilder {
     metrics_ = registry;
     return *this;
   }
+  /// Binds an SLO tracker fed by every successful query (nullptr skips).
+  /// Must outlive the built service.
+  QueryServiceBuilder& Slo(obs::SloTracker* slo) {
+    slo_ = slo;
+    return *this;
+  }
+  /// Binds a key-frequency sampler fed by every queried pair (nullptr
+  /// skips). Must outlive the built service.
+  QueryServiceBuilder& KeySampler(obs::KeyFrequencyTopK* sampler) {
+    key_sampler_ = sampler;
+    return *this;
+  }
   /// Publishes a clone of `predictor` as the service's first snapshot at
   /// Build — the wiring for serving a finished build or a loaded snapshot
   /// file. `stream_edges` is the stream position the predictor reflects.
@@ -329,6 +375,8 @@ class QueryServiceBuilder {
  private:
   QueryServiceOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SloTracker* slo_ = nullptr;
+  obs::KeyFrequencyTopK* key_sampler_ = nullptr;
   const LinkPredictor* initial_predictor_ = nullptr;
   uint64_t initial_stream_edges_ = 0;
   std::function<Status(QueryService&)> warm_start_;

@@ -1,0 +1,210 @@
+// End-to-end admin plane: boots the real CLI binary (`net-serve
+// --admin-port=0`) as a child process, parses the bound ports off its
+// stdout, fetches all four admin pages over raw sockets, round-trips the
+// /metrics.json scrape through ParseJsonDump, and checks /tracez fills
+// after traced queries. This is the `admin` ctest lane (check-admin).
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+#include "net/client.h"
+#include "obs/export.h"
+#include "serve/query_service.h"
+
+#ifndef STREAMLINK_CLI_BIN
+#error "STREAMLINK_CLI_BIN must point at the CLI binary"
+#endif
+
+namespace streamlink {
+namespace {
+
+/// The child net-serve process: spawned with an ephemeral serve + admin
+/// port, killed on teardown. Port discovery reads the child's stdout.
+class AdminEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string prefix =
+        ::testing::TempDir() + "/admin_ep_" + std::to_string(::getpid());
+    edges_path_ = prefix + "_edges.txt";
+    snapshot_path_ = prefix + "_snapshot.bin";
+    std::ostringstream out;
+    ASSERT_TRUE(RunCliCommand({"generate", "--workload=er", "--scale=0.02",
+                               "--seed=7", "--out=" + edges_path_},
+                              out)
+                    .ok());
+    ASSERT_TRUE(RunCliCommand({"build", "--input=" + edges_path_,
+                               "--kind=minhash", "--k=32",
+                               "--snapshot=" + snapshot_path_},
+                              out)
+                    .ok());
+    SpawnServer();
+  }
+
+  void TearDown() override {
+    if (child_ > 0) {
+      ::kill(child_, SIGKILL);
+      int status = 0;
+      ::waitpid(child_, &status, 0);
+    }
+    if (out_fd_ >= 0) ::close(out_fd_);
+    std::remove(edges_path_.c_str());
+    std::remove(snapshot_path_.c_str());
+  }
+
+  void SpawnServer() {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    child_ = ::fork();
+    ASSERT_GE(child_, 0);
+    if (child_ == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      const std::string snapshot_flag = "--snapshot=" + snapshot_path_;
+      ::execl(STREAMLINK_CLI_BIN, STREAMLINK_CLI_BIN, "net-serve",
+              snapshot_flag.c_str(), "--port=0", "--admin-port=0",
+              "--duration=60", static_cast<char*>(nullptr));
+      ::perror("execl");
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    out_fd_ = fds[0];
+    // The server prints its bound ports before it starts sleeping:
+    //   serving ... on 127.0.0.1:<port> ...
+    //   admin plane on 127.0.0.1:<port> (...)
+    std::string banner;
+    const int deadline_ms = 30000;
+    int waited_ms = 0;
+    while (waited_ms < deadline_ms) {
+      pollfd pfd{out_fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 250);
+      waited_ms += 250;
+      if (ready <= 0) continue;
+      char buf[4096];
+      const ssize_t n = ::read(out_fd_, buf, sizeof(buf));
+      ASSERT_GT(n, 0) << "server exited before printing its ports: "
+                      << banner;
+      banner.append(buf, static_cast<size_t>(n));
+      if (ParsePorts(banner)) return;
+    }
+    FAIL() << "timed out waiting for the server banner; got: " << banner;
+  }
+
+  bool ParsePorts(const std::string& banner) {
+    serve_port_ = PortAfter(banner, " on 127.0.0.1:");
+    admin_port_ = PortAfter(banner, "admin plane on 127.0.0.1:");
+    return serve_port_ != 0 && admin_port_ != 0;
+  }
+
+  static uint16_t PortAfter(const std::string& text, const std::string& key) {
+    const size_t at = text.find(key);
+    if (at == std::string::npos) return 0;
+    return static_cast<uint16_t>(
+        std::atoi(text.c_str() + at + key.size()));
+  }
+
+  Result<net::AdminPage> Fetch(const std::string& path) {
+    return net::FetchAdminPage("127.0.0.1", admin_port_, path);
+  }
+
+  std::string edges_path_, snapshot_path_;
+  pid_t child_ = -1;
+  int out_fd_ = -1;
+  uint16_t serve_port_ = 0;
+  uint16_t admin_port_ = 0;
+};
+
+TEST_F(AdminEndpointTest, HealthzReportsReady) {
+  auto page = Fetch("/healthz");
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->status, 200);
+  EXPECT_EQ(page->body, "ok\n");
+}
+
+TEST_F(AdminEndpointTest, MetricsServesPrometheusText) {
+  auto page = Fetch("/metrics");
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->status, 200);
+  EXPECT_NE(page->body.find("# TYPE"), std::string::npos);
+  EXPECT_NE(page->body.find("streamlink_proc_threads"), std::string::npos);
+  EXPECT_NE(page->body.find("streamlink_slo_error_budget_burn"),
+            std::string::npos);
+}
+
+TEST_F(AdminEndpointTest, MetricsJsonRoundTripsThroughParseJsonDump) {
+  auto page = Fetch("/metrics.json");
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->status, 200);
+  auto snapshot = obs::ParseJsonDump(page->body);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  bool saw_threads = false;
+  for (const obs::GaugeSample& g : snapshot->gauges) {
+    if (g.name == "proc.threads") saw_threads = g.value >= 1.0;
+  }
+  EXPECT_TRUE(saw_threads);
+  // The parsed scrape re-exports as Prometheus text: the full round trip
+  // a dashboard pipeline would make.
+  const std::string prom = obs::ExportText(*snapshot);
+  EXPECT_NE(prom.find(obs::PrometheusName("proc.threads")),
+            std::string::npos);
+}
+
+TEST_F(AdminEndpointTest, StatuszShowsServerState) {
+  auto page = Fetch("/statusz");
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->status, 200);
+  EXPECT_NE(page->body.find("predictor_kind: minhash"), std::string::npos);
+  EXPECT_NE(page->body.find("uptime_seconds: "), std::string::npos);
+  EXPECT_NE(page->body.find("queue_depth: "), std::string::npos);
+  EXPECT_NE(page->body.find("open_fds: "), std::string::npos);
+}
+
+TEST_F(AdminEndpointTest, TracezFillsAfterTracedQueries) {
+  net::NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", serve_port_).ok());
+  QueryRequest request;
+  request.trace = true;
+  request.pairs = {{1, 2}, {3, 4}};
+  for (int i = 0; i < 5; ++i) {
+    auto outcome = client.Call(request);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_FALSE(outcome->nacked);
+    // The trace bit echoes a per-stage breakdown in the reply.
+    EXPECT_FALSE(outcome->result.stages.empty());
+  }
+  auto page = Fetch("/tracez");
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->status, 200);
+  EXPECT_NE(page->body.find("slowest requests"), std::string::npos);
+  EXPECT_NE(page->body.find("decode"), std::string::npos);
+  // At least one retained timeline row below the header.
+  EXPECT_NE(page->body.find("\n1 "), std::string::npos);
+}
+
+TEST_F(AdminEndpointTest, UnknownPathIs404) {
+  auto page = Fetch("/nope");
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->status, 404);
+}
+
+TEST_F(AdminEndpointTest, UntracedQueriesEchoNoStages) {
+  net::NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", serve_port_).ok());
+  QueryRequest request;
+  request.pairs = {{1, 2}};
+  auto outcome = client.Call(request);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_FALSE(outcome->nacked);
+  EXPECT_TRUE(outcome->result.stages.empty());
+}
+
+}  // namespace
+}  // namespace streamlink

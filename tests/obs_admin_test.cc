@@ -1,0 +1,182 @@
+// The admin plane's pure pieces (obs/admin, obs/exemplar): HTTP request
+// parsing, response building, the /healthz readiness rules, the /statusz
+// and /tracez renderers, and the keep-the-slowest exemplar ring. Socket
+// plumbing is covered by admin_endpoint_test against a live server.
+
+#include "obs/admin.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/exemplar.h"
+
+namespace streamlink {
+namespace obs {
+namespace {
+
+TEST(HttpParse, RequestCompleteNeedsBlankLine) {
+  EXPECT_FALSE(HttpRequestComplete("GET / HTTP/1.0\r\n"));
+  EXPECT_TRUE(HttpRequestComplete("GET / HTTP/1.0\r\n\r\n"));
+  EXPECT_TRUE(HttpRequestComplete("GET / HTTP/1.0\n\n"));  // lenient LF-only
+  EXPECT_FALSE(HttpRequestComplete(""));
+}
+
+TEST(HttpParse, ExtractsThePath) {
+  auto path = ParseHttpRequestPath("GET /healthz HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, "/healthz");
+}
+
+TEST(HttpParse, StripsTheQueryString) {
+  auto path = ParseHttpRequestPath("GET /tracez?n=5 HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, "/tracez");
+}
+
+TEST(HttpParse, RejectsNonGetAndGarbage) {
+  EXPECT_FALSE(ParseHttpRequestPath("POST /metrics HTTP/1.0\r\n\r\n"));
+  EXPECT_FALSE(ParseHttpRequestPath("GET  HTTP/1.0\r\n\r\n").has_value());
+  EXPECT_FALSE(ParseHttpRequestPath("GET metrics HTTP/1.0\r\n\r\n"));
+  EXPECT_FALSE(ParseHttpRequestPath("\x16\x03\x01 TLS hello"));
+}
+
+TEST(HttpBuild, ResponseHasStatusLengthAndBody) {
+  const std::string response =
+      BuildHttpResponse(200, "text/plain", "hello\n");
+  EXPECT_EQ(response.find("HTTP/1.0 200 OK\r\n"), 0u);
+  EXPECT_NE(response.find("Content-Type: text/plain\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 6\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(response.substr(response.size() - 6), "hello\n");
+}
+
+TEST(Healthz, ReadyWhenFreshSnapshotWithinBounds) {
+  HealthzView view;
+  view.has_snapshot = true;
+  view.staleness_edges = 10;
+  view.age_seconds = 0.5;
+  view.max_staleness_edges = 100;
+  view.max_age_seconds = 5.0;
+  const HealthzResult result = RenderHealthz(view);
+  EXPECT_TRUE(result.ready);
+  EXPECT_EQ(result.body, "ok\n");
+}
+
+TEST(Healthz, UnreadyWithoutSnapshot) {
+  HealthzView view;  // has_snapshot defaults false
+  const HealthzResult result = RenderHealthz(view);
+  EXPECT_FALSE(result.ready);
+  EXPECT_NE(result.body.find("no snapshot"), std::string::npos);
+}
+
+TEST(Healthz, UnreadyWhenStalenessExceedsBound) {
+  HealthzView view;
+  view.has_snapshot = true;
+  view.staleness_edges = 101;
+  view.max_staleness_edges = 100;
+  EXPECT_FALSE(RenderHealthz(view).ready);
+}
+
+TEST(Healthz, UnreadyWhenTooOld) {
+  HealthzView view;
+  view.has_snapshot = true;
+  view.age_seconds = 10.0;
+  view.max_age_seconds = 5.0;
+  EXPECT_FALSE(RenderHealthz(view).ready);
+}
+
+TEST(Healthz, ZeroBoundsMeanUnbounded) {
+  HealthzView view;
+  view.has_snapshot = true;
+  view.staleness_edges = 1u << 30;
+  view.age_seconds = 1e6;
+  EXPECT_TRUE(RenderHealthz(view).ready);
+}
+
+TEST(Statusz, RendersEveryField) {
+  StatuszView view;
+  view.uptime_seconds = 12.5;
+  view.predictor_kind = "minhash";
+  view.snapshot_version = 3;
+  view.active_connections = 2;
+  view.hot_keys = {{7, 100}, {42, 50}};
+  const std::string body = RenderStatusz(view);
+  EXPECT_NE(body.find("uptime_seconds: 12.5"), std::string::npos);
+  EXPECT_NE(body.find("predictor_kind: minhash"), std::string::npos);
+  EXPECT_NE(body.find("snapshot_version: 3"), std::string::npos);
+  EXPECT_NE(body.find("active_connections: 2"), std::string::npos);
+  EXPECT_NE(body.find("  7: 100"), std::string::npos);
+  EXPECT_NE(body.find("  42: 50"), std::string::npos);
+}
+
+TEST(Tracez, RendersHeaderAndStageColumns) {
+  RequestTimeline timeline;
+  timeline.request_id = 99;
+  timeline.total_ns = 5000;
+  timeline.stage_ns[static_cast<size_t>(ServeStage::kDecode)] = 1500;
+  const std::string body = RenderTracez({timeline}, 7, 32);
+  EXPECT_NE(body.find("ring capacity 32"), std::string::npos);
+  EXPECT_NE(body.find("decode"), std::string::npos);
+  EXPECT_NE(body.find("queue_wait"), std::string::npos);
+  EXPECT_NE(body.find("99 5.0 1.5"), std::string::npos);  // us columns
+}
+
+TEST(ExemplarRing, KeepsTheSlowest) {
+  ExemplarRing ring(3);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    RequestTimeline t;
+    t.request_id = i;
+    t.total_ns = i * 100;
+    ring.Offer(t);
+  }
+  EXPECT_EQ(ring.offered(), 10u);
+  const auto slowest = ring.SlowestFirst();
+  ASSERT_EQ(slowest.size(), 3u);
+  EXPECT_EQ(slowest[0].total_ns, 1000u);
+  EXPECT_EQ(slowest[1].total_ns, 900u);
+  EXPECT_EQ(slowest[2].total_ns, 800u);
+}
+
+TEST(ExemplarRing, SlowRequestEvictsTheFastestResident) {
+  ExemplarRing ring(2);
+  RequestTimeline t;
+  t.total_ns = 500;
+  ring.Offer(t);
+  t.total_ns = 100;
+  ring.Offer(t);
+  t.total_ns = 50;  // slower than nothing: dropped
+  ring.Offer(t);
+  t.total_ns = 900;  // evicts the 100
+  ring.Offer(t);
+  const auto slowest = ring.SlowestFirst();
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_EQ(slowest[0].total_ns, 900u);
+  EXPECT_EQ(slowest[1].total_ns, 500u);
+}
+
+TEST(ExemplarRing, ClearEmptiesButKeepsCounting) {
+  ExemplarRing ring(4);
+  RequestTimeline t;
+  t.total_ns = 1;
+  ring.Offer(t);
+  ring.Clear();
+  EXPECT_TRUE(ring.SlowestFirst().empty());
+  ring.Offer(t);
+  EXPECT_EQ(ring.SlowestFirst().size(), 1u);
+}
+
+TEST(ServeStageNames, AreStableAndDistinct) {
+  EXPECT_STREQ(ServeStageName(ServeStage::kDecode), "decode");
+  EXPECT_STREQ(ServeStageName(ServeStage::kAdmission), "admission");
+  EXPECT_STREQ(ServeStageName(ServeStage::kQueueWait), "queue_wait");
+  EXPECT_STREQ(ServeStageName(ServeStage::kSnapshotLookup),
+               "snapshot_lookup");
+  EXPECT_STREQ(ServeStageName(ServeStage::kTopK), "topk");
+  EXPECT_STREQ(ServeStageName(ServeStage::kEncode), "encode");
+  EXPECT_STREQ(ServeStageName(ServeStage::kWrite), "write");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace streamlink

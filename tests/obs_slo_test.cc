@@ -1,0 +1,144 @@
+// The SLO tracker and hot-key sampler (obs/slo): within/violated
+// bookkeeping, error-budget burn arithmetic, concurrent recording, the
+// space-saving-backed key frequency top-K, and both objects' metric
+// bindings.
+
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace streamlink {
+namespace obs {
+namespace {
+
+double GaugeValue(const MetricsSnapshot& snapshot, const std::string& name) {
+  for (const GaugeSample& g : snapshot.gauges) {
+    if (g.name == name) return g.value;
+  }
+  ADD_FAILURE() << "gauge not found: " << name;
+  return -1.0;
+}
+
+TEST(SloTracker, ClassifiesAgainstTheObjective) {
+  SloOptions options;
+  options.objective_latency_ns = 1000;
+  SloTracker slo(options);
+  slo.Record(999);
+  slo.Record(1000);  // at the objective counts as within
+  slo.Record(1001);
+  EXPECT_EQ(slo.within(), 2u);
+  EXPECT_EQ(slo.violated(), 1u);
+}
+
+TEST(SloTracker, BudgetBurnIsViolationRateOverBudget) {
+  SloOptions options;
+  options.objective_latency_ns = 1000;
+  options.target = 0.99;  // 1% error budget
+  SloTracker slo(options);
+  EXPECT_EQ(slo.BudgetBurn(), 0.0);  // no traffic, no burn
+  for (int i = 0; i < 99; ++i) slo.Record(1);
+  slo.Record(5000);
+  // 1 violation in 100 requests == exactly the 1% budget: burn of 1.
+  EXPECT_NEAR(slo.BudgetBurn(), 1.0, 1e-9);
+  for (int i = 0; i < 100; ++i) slo.Record(5000);
+  // 101/200 violations against a 1% budget: burning ~50x too fast.
+  EXPECT_NEAR(slo.BudgetBurn(), (101.0 / 200.0) / 0.01, 1e-9);
+}
+
+TEST(SloTracker, ConcurrentRecordsLoseNothing) {
+  SloOptions options;
+  options.objective_latency_ns = 10;
+  SloTracker slo(options);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&slo] {
+      for (uint64_t i = 0; i < kPerThread; ++i) slo.Record(i % 2 == 0 ? 5 : 50);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(slo.within() + slo.violated(), kThreads * kPerThread);
+  EXPECT_EQ(slo.within(), kThreads * kPerThread / 2);
+}
+
+TEST(SloTracker, BindExportsCountersAndBurn) {
+  SloOptions options;
+  options.objective_latency_ns = 1000;
+  options.target = 0.9;
+  SloTracker slo(options);
+  MetricsRegistry registry;
+  slo.BindMetrics(registry);
+  for (int i = 0; i < 9; ++i) slo.Record(1);
+  slo.Record(100000);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(GaugeValue(snapshot, "slo.requests_within_total"), 9.0);
+  EXPECT_EQ(GaugeValue(snapshot, "slo.requests_violated_total"), 1.0);
+  EXPECT_NEAR(GaugeValue(snapshot, "slo.error_budget_burn"), 1.0, 1e-9);
+  EXPECT_EQ(GaugeValue(snapshot, "slo.objective_latency_ns"), 1000.0);
+}
+
+TEST(KeyFrequencyTopK, FindsTheHeavyKeys) {
+  KeyFrequencyTopK sampler(8);
+  std::vector<uint64_t> batch;
+  for (int round = 0; round < 100; ++round) {
+    batch.clear();
+    batch.push_back(7);  // heavy every round
+    batch.push_back(7);
+    batch.push_back(42);  // heavy every round
+    batch.push_back(1000 + static_cast<uint64_t>(round));  // long tail
+    sampler.OfferBatch(batch.data(), batch.size());
+  }
+  EXPECT_EQ(sampler.total(), 400u);
+  const auto top = sampler.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 7u);
+  EXPECT_EQ(top[1].item, 42u);
+  // Space-saving overestimates; estimate - error lower-bounds the truth.
+  EXPECT_GE(top[0].count, 200u);
+  EXPECT_GE(top[1].count, 100u);
+}
+
+TEST(KeyFrequencyTopK, BindExportsTotalsAndTopShare) {
+  KeyFrequencyTopK sampler(8);
+  MetricsRegistry registry;
+  sampler.BindMetrics(registry);
+  const uint64_t keys[4] = {1, 1, 1, 2};
+  sampler.OfferBatch(keys, 4);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(GaugeValue(snapshot, "slo.query_keys_total"), 4.0);
+  EXPECT_EQ(GaugeValue(snapshot, "slo.hot_keys_tracked"), 2.0);
+  EXPECT_NEAR(GaugeValue(snapshot, "slo.hot_key_top1_share"), 0.75, 1e-9);
+}
+
+TEST(KeyFrequencyTopK, ConcurrentOffersKeepTotalExact) {
+  KeyFrequencyTopK sampler(16);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sampler, t] {
+      uint64_t keys[2];
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        keys[0] = static_cast<uint64_t>(t);
+        keys[1] = 999;
+        sampler.OfferBatch(keys, 2);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sampler.total(), kThreads * kPerThread * 2);
+  const auto top = sampler.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].item, 999u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace streamlink

@@ -1,0 +1,90 @@
+// Process-level gauges (obs/proc_stats): the /proc/self/status parser on
+// known text, and the live accessors against this very process — every
+// running test binary has at least one thread, a few open descriptors,
+// and a nonzero resident set.
+
+#include "obs/proc_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace streamlink {
+namespace obs {
+namespace {
+
+constexpr const char* kStatusText =
+    "Name:\tstreamlink\n"
+    "Umask:\t0022\n"
+    "VmPeak:\t  204800 kB\n"
+    "VmRSS:\t   51200 kB\n"
+    "VmHWM:\t  102400 kB\n"
+    "Threads:\t7\n";
+
+TEST(ProcStatsParse, ExtractsKeyedValues) {
+  EXPECT_EQ(StatusValueFromText(kStatusText, "VmHWM"), 102400u);
+  EXPECT_EQ(StatusValueFromText(kStatusText, "VmRSS"), 51200u);
+  EXPECT_EQ(StatusValueFromText(kStatusText, "Threads"), 7u);
+}
+
+TEST(ProcStatsParse, AbsentKeyIsZero) {
+  EXPECT_EQ(StatusValueFromText(kStatusText, "VmSwap"), 0u);
+  EXPECT_EQ(StatusValueFromText("", "VmHWM"), 0u);
+}
+
+TEST(ProcStatsParse, KeyMustStartItsLine) {
+  // "RSS" is a suffix of "VmRSS", never a line of its own here.
+  EXPECT_EQ(StatusValueFromText(kStatusText, "RSS"), 0u);
+  // A prefix match must still see the ':' — "Vm" alone matches nothing.
+  EXPECT_EQ(StatusValueFromText(kStatusText, "Vm"), 0u);
+}
+
+TEST(ProcStatsParse, FirstMatchingLineWins) {
+  EXPECT_EQ(StatusValueFromText("A:\t1\nA:\t2\n", "A"), 1u);
+}
+
+TEST(ProcStatsLive, ThisProcessLooksAlive) {
+  // Running under gtest: at least this thread, some descriptors
+  // (stdin/stdout/stderr at minimum), and real memory.
+  EXPECT_GE(ThreadCount(), 1u);
+  EXPECT_GE(OpenFdCount(), 3u);
+  EXPECT_GT(CurrentRssKb(), 0u);
+  EXPECT_GE(PeakRssKb(), CurrentRssKb());
+}
+
+TEST(ProcStatsLive, ThreadCountSeesSpawnedThreads) {
+  const uint64_t before = ThreadCount();
+  std::atomic<bool> stop{false};
+  std::thread extra([&stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  EXPECT_GE(ThreadCount(), before + 1);
+  stop.store(true, std::memory_order_release);
+  extra.join();
+}
+
+TEST(ProcStatsBind, RegistersTheProcessGauges) {
+  MetricsRegistry registry;
+  BindProcessMetrics(registry);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  bool saw_rss = false, saw_peak = false, saw_fds = false, saw_threads = false;
+  for (const GaugeSample& g : snapshot.gauges) {
+    if (g.name == "proc.rss_kb") saw_rss = g.value > 0.0;
+    if (g.name == "proc.peak_rss_kb") saw_peak = g.value > 0.0;
+    if (g.name == "proc.open_fds") saw_fds = g.value >= 3.0;
+    if (g.name == "proc.threads") saw_threads = g.value >= 1.0;
+  }
+  EXPECT_TRUE(saw_rss);
+  EXPECT_TRUE(saw_peak);
+  EXPECT_TRUE(saw_fds);
+  EXPECT_TRUE(saw_threads);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace streamlink

@@ -11,6 +11,7 @@ namespace {
 QueryRequest SampleRequest() {
   QueryRequest request;
   request.top_k = 5;
+  request.trace = true;
   request.measures = {LinkMeasure::kJaccard, LinkMeasure::kAdamicAdar};
   for (uint32_t i = 0; i < 17; ++i) {
     request.pairs.push_back(QueryPair{i, i * 7 + 1});
@@ -25,6 +26,7 @@ QueryResult SampleResult() {
   result.meta.live_edges = 1450;
   result.meta.staleness_edges = 250;
   result.meta.latency_us = 37.5;
+  result.stages = {{0, 1200}, {2, 88000}, {3, 5400}};
   for (uint32_t i = 0; i < 6; ++i) {
     PairResult pr;
     pr.pair = QueryPair{i, i + 100};
@@ -47,6 +49,7 @@ TEST(QueryCodec, RequestRoundTrips) {
   Result<QueryRequest> decoded = DecodeQueryRequest(bytes);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded->top_k, request.top_k);
+  EXPECT_TRUE(decoded->trace);
   ASSERT_EQ(decoded->measures.size(), request.measures.size());
   for (size_t i = 0; i < request.measures.size(); ++i) {
     EXPECT_EQ(decoded->measures[i], request.measures[i]);
@@ -63,6 +66,7 @@ TEST(QueryCodec, EmptyRequestRoundTrips) {
   Result<QueryRequest> decoded = DecodeQueryRequest(EncodeQueryRequest(request));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->top_k, 0u);
+  EXPECT_FALSE(decoded->trace);  // trace is opt-in; the default stays off
   EXPECT_TRUE(decoded->measures.empty());
   EXPECT_TRUE(decoded->pairs.empty());
 }
@@ -76,6 +80,11 @@ TEST(QueryCodec, ResultRoundTrips) {
   EXPECT_EQ(decoded->meta.live_edges, result.meta.live_edges);
   EXPECT_EQ(decoded->meta.staleness_edges, result.meta.staleness_edges);
   EXPECT_EQ(decoded->meta.latency_us, result.meta.latency_us);
+  ASSERT_EQ(decoded->stages.size(), result.stages.size());
+  for (size_t i = 0; i < result.stages.size(); ++i) {
+    EXPECT_EQ(decoded->stages[i].stage, result.stages[i].stage);
+    EXPECT_EQ(decoded->stages[i].ns, result.stages[i].ns);
+  }
   ASSERT_EQ(decoded->pairs.size(), result.pairs.size());
   for (size_t i = 0; i < result.pairs.size(); ++i) {
     const PairResult& a = decoded->pairs[i];
@@ -165,6 +174,14 @@ TEST(QueryCodec, RejectsWrongMessageKind) {
   const std::string bytes = EncodeQueryResult(SampleResult());
   EXPECT_FALSE(DecodeQueryRequest(bytes).ok());
   EXPECT_FALSE(DecodeNack(bytes).ok());
+}
+
+TEST(QueryCodec, UntracedResultCarriesNoStages) {
+  QueryResult result = SampleResult();
+  result.stages.clear();
+  Result<QueryResult> decoded = DecodeQueryResult(EncodeQueryResult(result));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->stages.empty());
 }
 
 TEST(QueryCodec, RejectsGarbage) {
